@@ -1,0 +1,70 @@
+//! Criterion benches for the ukalloc backends (Figures 14–18 hot paths).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ukalloc::AllocBackend;
+
+fn bench_malloc_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("malloc_free_256B");
+    for backend in AllocBackend::all() {
+        g.bench_function(backend.name(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut a = backend.instantiate();
+                    a.init(1 << 26, 32 << 20).unwrap();
+                    a
+                },
+                |a| {
+                    let p = a.malloc(256).unwrap();
+                    if a.reclaims() {
+                        a.free(p);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator_init_64MB");
+    for backend in AllocBackend::all() {
+        g.bench_function(backend.name(), |b| {
+            b.iter(|| {
+                let mut a = backend.instantiate();
+                a.init(1 << 26, 64 << 20).unwrap();
+                std::hint::black_box(&a);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("churn_64_blocks");
+    for backend in [AllocBackend::Buddy, AllocBackend::Tlsf, AllocBackend::Mimalloc, AllocBackend::TinyAlloc] {
+        g.bench_function(backend.name(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut a = backend.instantiate();
+                    a.init(1 << 26, 32 << 20).unwrap();
+                    a
+                },
+                |a| {
+                    let mut ptrs = Vec::with_capacity(64);
+                    for i in 0..64 {
+                        ptrs.push(a.malloc(32 + i * 13).unwrap());
+                    }
+                    for p in ptrs {
+                        a.free(p);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_malloc_free, bench_init, bench_churn);
+criterion_main!(benches);

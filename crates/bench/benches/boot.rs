@@ -1,0 +1,65 @@
+//! Criterion benches for boot paths (Figures 10, 14, 21).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukalloc::AllocBackend;
+use ukboot::paging::{boot_paging, PageTables, PagingMode};
+use ukboot::sequence::{BootConfig, BootSequence};
+use ukplat::vmm::VmmKind;
+
+fn bench_guest_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guest_boot_hello");
+    for vmm in [VmmKind::Qemu, VmmKind::Firecracker, VmmKind::Solo5] {
+        g.bench_function(vmm.name(), |b| {
+            b.iter(|| {
+                let mut seq = BootSequence::new(BootConfig::hello(vmm));
+                std::hint::black_box(seq.run().unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_boot_per_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nginx_boot_allocator");
+    for alloc in [
+        AllocBackend::Buddy,
+        AllocBackend::Tlsf,
+        AllocBackend::TinyAlloc,
+        AllocBackend::Mimalloc,
+        AllocBackend::BootAlloc,
+    ] {
+        g.bench_function(alloc.name(), |b| {
+            b.iter(|| {
+                let mut cfg = BootConfig::nginx(VmmKind::Firecracker, alloc);
+                cfg.ram_bytes = 64 * 1024 * 1024;
+                let mut seq = BootSequence::new(cfg);
+                std::hint::black_box(seq.run().unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_paging(c: &mut Criterion) {
+    const GIB: u64 = 1 << 30;
+    let mut g = c.benchmark_group("page_tables");
+    let pre = PageTables::prebuilt(GIB);
+    g.bench_function("static_1G", |b| {
+        b.iter(|| {
+            let pt = boot_paging(PagingMode::Static, GIB, Some(pre.clone()));
+            std::hint::black_box(pt);
+        });
+    });
+    for mb in [64u64, 512, 1024, 3072] {
+        g.bench_function(format!("dynamic_{mb}M"), |b| {
+            b.iter(|| {
+                let pt = boot_paging(PagingMode::Dynamic, mb << 20, None);
+                std::hint::black_box(pt);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_guest_boot, bench_boot_per_allocator, bench_paging);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the filesystem paths (Figures 20, 22).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukplat::time::Tsc;
+use ukvfs::ninep::{NinePClient, NinePHost, VirtioP9Transport};
+use ukvfs::vfscore::FileSystem;
+use ukvfs::{RamFs, Shfs, Vfs};
+
+fn bench_open_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_latency");
+
+    let mut shfs = Shfs::new();
+    for i in 0..100 {
+        shfs.insert(&format!("f{i}"), vec![0; 612]);
+    }
+    g.bench_function("shfs_hash_open", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let name = format!("f{}", i % 100);
+            i += 1;
+            std::hint::black_box(shfs.open(&name).unwrap());
+        });
+    });
+
+    let mut ramfs = RamFs::new();
+    for i in 0..100 {
+        ramfs.add_file(&format!("d/f{i}"), &[0; 612]).unwrap();
+    }
+    let mut vfs = Vfs::new();
+    vfs.mount("/", Box::new(ramfs)).unwrap();
+    g.bench_function("vfscore_open_close", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let path = format!("/d/f{}", i % 100);
+            i += 1;
+            let fd = vfs.open(&path).unwrap();
+            vfs.close(fd).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_9pfs_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ninep_read");
+    for kb in [4usize, 64] {
+        g.bench_function(format!("{kb}K"), |b| {
+            let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+            let mut host = RamFs::new();
+            host.add_file("data", &vec![0u8; 128 * 1024]).unwrap();
+            let mut client =
+                NinePClient::new(VirtioP9Transport::kvm(NinePHost::new(host), &tsc));
+            let (ino, _) = client.lookup("data").unwrap();
+            b.iter(|| std::hint::black_box(client.read(ino, 0, kb * 1024).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_open_paths, bench_9pfs_read);
+criterion_main!(benches);

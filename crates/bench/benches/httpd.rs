@@ -1,0 +1,24 @@
+//! Criterion bench: HTTP request/response over the full stack (Fig 13/15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukalloc::AllocBackend;
+use ukbench::netharness::run_http_bench;
+use uknetdev::backend::VhostKind;
+
+fn bench_http(c: &mut Criterion) {
+    let mut g = c.benchmark_group("httpd_500_requests");
+    g.sample_size(10);
+    for alloc in [AllocBackend::Mimalloc, AllocBackend::TinyAlloc] {
+        g.bench_function(alloc.name(), |b| {
+            b.iter(|| {
+                let t = run_http_bench(alloc, VhostKind::VhostUser, 4, 4, 500);
+                assert_eq!(t.requests, 500);
+                std::hint::black_box(t);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_http);
+criterion_main!(benches);

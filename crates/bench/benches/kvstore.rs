@@ -1,0 +1,32 @@
+//! Criterion bench: RESP GET/SET over the full stack (Fig 12/18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukalloc::AllocBackend;
+use ukapps::loadgen::RespOp;
+use ukbench::netharness::run_resp_bench;
+use uknetdev::backend::VhostKind;
+
+fn bench_resp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore_500_requests");
+    g.sample_size(10);
+    for (label, op) in [("GET", RespOp::Get), ("SET", RespOp::Set)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let t = run_resp_bench(
+                    AllocBackend::Mimalloc,
+                    VhostKind::VhostUser,
+                    op,
+                    4,
+                    16,
+                    500,
+                );
+                assert_eq!(t.requests, 500);
+                std::hint::black_box(t);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_resp);
+criterion_main!(benches);

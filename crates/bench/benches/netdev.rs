@@ -1,0 +1,40 @@
+//! Criterion benches for the uknetdev TX path (Figure 19).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uknetdev::backend::VhostKind;
+use uknetdev::dev::{NetDev, NetDevConf};
+use uknetdev::netbuf::NetbufPool;
+use uknetdev::VirtioNet;
+use ukplat::time::Tsc;
+
+fn bench_tx_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx_burst_32");
+    for kind in [VhostKind::VhostUser, VhostKind::VhostNet] {
+        for size in [64usize, 1500] {
+            g.bench_function(format!("{}_{size}B", kind.name()), |b| {
+                let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+                let mut dev = VirtioNet::new(kind, &tsc);
+                dev.configure(NetDevConf::default()).unwrap();
+                let mut pool = NetbufPool::new(64, 2048, 64);
+                b.iter(|| {
+                    let mut burst = Vec::with_capacity(32);
+                    for _ in 0..32 {
+                        let mut nb = pool.take().unwrap();
+                        nb.set_len(size);
+                        burst.push(nb);
+                    }
+                    dev.tx_burst(0, &mut burst).unwrap();
+                    let mut done = Vec::new();
+                    dev.reclaim_tx(0, &mut done).unwrap();
+                    for nb in done {
+                        pool.give_back(nb);
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tx_burst);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: SQL insert workload per allocator (Fig 16/17).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ukalloc::AllocBackend;
+use ukapps::sqldb::SqlDb;
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_1000_inserts");
+    g.sample_size(20);
+    for backend in [
+        AllocBackend::Mimalloc,
+        AllocBackend::Tlsf,
+        AllocBackend::Buddy,
+        AllocBackend::TinyAlloc,
+    ] {
+        g.bench_function(backend.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut a = backend.instantiate();
+                    a.init(1 << 26, 64 << 20).unwrap();
+                    SqlDb::new(a)
+                },
+                |mut db| {
+                    db.insert_workload(1000).unwrap();
+                    std::hint::black_box(db.row_count("kv"));
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut a = AllocBackend::Tlsf.instantiate();
+    a.init(1 << 26, 64 << 20).unwrap();
+    let mut db = SqlDb::new(a);
+    db.insert_workload(5_000).unwrap();
+    c.bench_function("sql_point_select", |b| {
+        b.iter(|| {
+            let rows = db
+                .execute("SELECT body FROM kv WHERE id = 2500")
+                .unwrap();
+            std::hint::black_box(rows);
+        });
+    });
+}
+
+criterion_group!(benches, bench_inserts, bench_select);
+criterion_main!(benches);

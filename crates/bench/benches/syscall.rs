@@ -1,0 +1,40 @@
+//! Criterion benches for syscall dispatch (Table 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukplat::time::Tsc;
+use uksyscall::microbench;
+use uksyscall::shim::{SyscallMode, SyscallShim};
+
+fn bench_shim_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syscall_dispatch");
+    for mode in [
+        SyscallMode::UnikraftNative,
+        SyscallMode::UnikraftBinCompat,
+        SyscallMode::LinuxTrap,
+        SyscallMode::LinuxTrapNoMitigations,
+    ] {
+        let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+        let mut shim = SyscallShim::new(mode, &tsc);
+        shim.register(39, Box::new(|_| 0));
+        g.bench_function(mode.name(), |b| {
+            b.iter(|| std::hint::black_box(shim.invoke(39, &[])));
+        });
+    }
+    g.finish();
+}
+
+fn bench_real_calls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_host");
+    g.bench_function("function_call", |b| {
+        b.iter(|| std::hint::black_box(microbench::noop_function(42)));
+    });
+    if microbench::raw_getpid().is_some() {
+        g.bench_function("raw_getpid_syscall", |b| {
+            b.iter(|| std::hint::black_box(microbench::raw_getpid()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shim_modes, bench_real_calls);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: UDP KV store per mode (Table 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukapps::udpkv::{UdpKvMode, UdpKvServer, BATCH};
+use ukplat::time::Tsc;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("udpkv_batch32");
+    let requests: Vec<Vec<u8>> = (0..BATCH)
+        .map(|i| format!("G key{:04}", i % 16).into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = requests.iter().map(|r| r.as_slice()).collect();
+    for mode in UdpKvMode::all() {
+        let (setup, m) = mode.label();
+        g.bench_function(format!("{setup}/{m}"), |b| {
+            let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+            let mut server = UdpKvServer::new(mode, &tsc);
+            for i in 0..16 {
+                server.handle(format!("S key{i:04} v").as_bytes());
+            }
+            b.iter(|| std::hint::black_box(server.serve_batch(&refs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

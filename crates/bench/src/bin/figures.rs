@@ -1,0 +1,49 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p ukbench --release --bin figures -- all
+//! cargo run -p ukbench --release --bin figures -- fig8 fig10 tab1
+//! cargo run -p ukbench --release --bin figures -- --list
+//! ```
+
+use std::time::Instant;
+
+use ukbench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures [--list] <experiment-id>... | all");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        let t = Instant::now();
+        match run_experiment(id) {
+            Some(report) => {
+                println!("==================== {id} ====================");
+                println!("{report}");
+                println!("[{id} completed in {:.2?}]\n", t.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

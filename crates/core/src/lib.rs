@@ -1,0 +1,18 @@
+//! `ukcore`: composing micro-libraries into a unikernel.
+//!
+//! This crate is the "final link step" at run time: a
+//! [`UnikernelBuilder`] takes the Kconfig-style choices (platform,
+//! allocator, scheduler, network backend, filesystems, libc) and
+//! produces a [`Unikernel`] that boots through `ukboot`'s staged
+//! sequence and exposes the selected subsystems to the application.
+//!
+//! It also hosts [`ukdebug`], the debugging micro-library of §7
+//! (log levels, tracepoints, configurable assertions).
+
+pub mod posix;
+pub mod ukdebug;
+pub mod unikernel;
+
+pub use posix::PosixEnv;
+pub use ukdebug::{LogLevel, Logger, TraceBuffer};
+pub use unikernel::{Unikernel, UnikernelBuilder, UnikernelConfig};

@@ -1,0 +1,302 @@
+//! The POSIX compatibility layer: syscalls backed by real subsystems.
+//!
+//! §4 of the paper: "each library that implements a system call handler
+//! registers it, via a macro, with this micro-library" — `vfscore`
+//! registers the file syscalls, `posix-process` the process ones, and
+//! so on. This module performs those registrations: it binds a
+//! [`SyscallShim`] to a live [`Vfs`], so that invoking `open`/`read`/
+//! `write`/`close`/`lseek` *by syscall number* actually performs
+//! filesystem operations — at function-call cost, which is the whole
+//! point of the shim.
+//!
+//! Since syscall handlers pass raw `u64` arguments, the layer keeps an
+//! argument-translation table mapping "user pointers" to byte buffers,
+//! the role the single address space plays in a real unikernel.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ukplat::time::Tsc;
+use ukplat::Errno;
+use uksyscall::shim::{SyscallMode, SyscallShim};
+use ukvfs::vfscore::Fd;
+use ukvfs::{RamFs, Vfs};
+
+/// A POSIX process environment over a unikernel's subsystems.
+pub struct PosixEnv {
+    shim: SyscallShim,
+    /// "User memory": buffer id → bytes. Syscall args carry buffer ids.
+    buffers: Rc<RefCell<HashMap<u64, Vec<u8>>>>,
+    next_buf: u64,
+    vfs: Rc<RefCell<Vfs>>,
+}
+
+impl std::fmt::Debug for PosixEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PosixEnv")
+            .field("registered", &self.shim.registered().len())
+            .finish()
+    }
+}
+
+impl PosixEnv {
+    /// Builds a POSIX environment with a fresh ramfs root.
+    pub fn new(tsc: &Tsc) -> Self {
+        let mut vfs = Vfs::new();
+        vfs.mount("/", Box::new(RamFs::new())).expect("mount ramfs");
+        Self::with_vfs(tsc, vfs)
+    }
+
+    /// Builds a POSIX environment over an existing VFS.
+    pub fn with_vfs(tsc: &Tsc, vfs: Vfs) -> Self {
+        let vfs = Rc::new(RefCell::new(vfs));
+        let buffers: Rc<RefCell<HashMap<u64, Vec<u8>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let mut shim = SyscallShim::new(SyscallMode::UnikraftNative, tsc);
+
+        // open(path_buf, flags) → fd. O_CREAT (0x40) creates.
+        {
+            let vfs = vfs.clone();
+            let bufs = buffers.clone();
+            shim.register(
+                2,
+                Box::new(move |args| {
+                    let path = match bufs.borrow().get(&args[0]) {
+                        Some(b) => String::from_utf8_lossy(b).into_owned(),
+                        None => return -i64::from(Errno::Inval.code()),
+                    };
+                    let creat = args.get(1).map(|f| f & 0x40 != 0).unwrap_or(false);
+                    let r = if creat {
+                        vfs.borrow_mut().create(&path)
+                    } else {
+                        vfs.borrow_mut().open(&path)
+                    };
+                    match r {
+                        Ok(fd) => fd.0 as i64,
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // read(fd, buf, count) → n; bytes land in the buffer.
+        {
+            let vfs = vfs.clone();
+            let bufs = buffers.clone();
+            shim.register(
+                0,
+                Box::new(move |args| {
+                    let fd = Fd(args[0] as usize);
+                    let count = args[2] as usize;
+                    match vfs.borrow_mut().read(fd, count) {
+                        Ok(data) => {
+                            let n = data.len() as i64;
+                            bufs.borrow_mut().insert(args[1], data);
+                            n
+                        }
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // write(fd, buf, count) → n.
+        {
+            let vfs = vfs.clone();
+            let bufs = buffers.clone();
+            shim.register(
+                1,
+                Box::new(move |args| {
+                    let fd = Fd(args[0] as usize);
+                    let data = match bufs.borrow().get(&args[1]) {
+                        Some(b) => b.clone(),
+                        None => return -i64::from(Errno::Inval.code()),
+                    };
+                    let count = (args[2] as usize).min(data.len());
+                    match vfs.borrow_mut().write(fd, &data[..count]) {
+                        Ok(n) => n as i64,
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // close(fd).
+        {
+            let vfs = vfs.clone();
+            shim.register(
+                3,
+                Box::new(move |args| {
+                    match vfs.borrow_mut().close(Fd(args[0] as usize)) {
+                        Ok(()) => 0,
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // lseek(fd, offset, whence=SEEK_SET).
+        {
+            let vfs = vfs.clone();
+            shim.register(
+                8,
+                Box::new(move |args| {
+                    match vfs.borrow_mut().lseek(Fd(args[0] as usize), args[1]) {
+                        Ok(off) => off as i64,
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // mkdir(path_buf).
+        {
+            let vfs = vfs.clone();
+            let bufs = buffers.clone();
+            shim.register(
+                83,
+                Box::new(move |args| {
+                    let path = match bufs.borrow().get(&args[0]) {
+                        Some(b) => String::from_utf8_lossy(b).into_owned(),
+                        None => return -i64::from(Errno::Inval.code()),
+                    };
+                    match vfs.borrow_mut().mkdir(&path) {
+                        Ok(()) => 0,
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // unlink(path_buf).
+        {
+            let vfs = vfs.clone();
+            let bufs = buffers.clone();
+            shim.register(
+                87,
+                Box::new(move |args| {
+                    let path = match bufs.borrow().get(&args[0]) {
+                        Some(b) => String::from_utf8_lossy(b).into_owned(),
+                        None => return -i64::from(Errno::Inval.code()),
+                    };
+                    match vfs.borrow_mut().unlink(&path) {
+                        Ok(()) => 0,
+                        Err(e) => -i64::from(e.code()),
+                    }
+                }),
+            );
+        }
+        // getpid: single-process unikernel → always 1.
+        shim.register(39, Box::new(|_| 1));
+
+        PosixEnv {
+            shim,
+            buffers,
+            next_buf: 1,
+            vfs,
+        }
+    }
+
+    /// Places bytes into "user memory", returning the buffer id to pass
+    /// as a pointer argument.
+    pub fn user_buf(&mut self, data: &[u8]) -> u64 {
+        let id = self.next_buf;
+        self.next_buf += 1;
+        self.buffers.borrow_mut().insert(id, data.to_vec());
+        id
+    }
+
+    /// Reads back a buffer a syscall filled.
+    pub fn read_buf(&self, id: u64) -> Option<Vec<u8>> {
+        self.buffers.borrow().get(&id).cloned()
+    }
+
+    /// Issues a syscall by number.
+    pub fn syscall(&mut self, nr: u32, args: &[u64]) -> i64 {
+        self.shim.invoke(nr, args)
+    }
+
+    /// The underlying shim (for stats and extra registrations).
+    pub fn shim_mut(&mut self) -> &mut SyscallShim {
+        &mut self.shim
+    }
+
+    /// Direct VFS access (shares state with the syscalls).
+    pub fn vfs(&self) -> Rc<RefCell<Vfs>> {
+        self.vfs.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> PosixEnv {
+        PosixEnv::new(&Tsc::new(3_600_000_000))
+    }
+
+    const O_CREAT: u64 = 0x40;
+
+    #[test]
+    fn open_write_read_close_via_syscalls() {
+        let mut p = env();
+        let path = p.user_buf(b"/notes.txt");
+        let fd = p.syscall(2, &[path, O_CREAT]);
+        assert!(fd >= 0, "open failed: {fd}");
+        let payload = p.user_buf(b"written through the shim");
+        assert_eq!(p.syscall(1, &[fd as u64, payload, 24]), 24);
+        assert_eq!(p.syscall(8, &[fd as u64, 0]), 0); // lseek
+        let out = p.user_buf(b"");
+        assert_eq!(p.syscall(0, &[fd as u64, out, 100]), 24);
+        assert_eq!(p.read_buf(out).unwrap(), b"written through the shim");
+        assert_eq!(p.syscall(3, &[fd as u64]), 0);
+        // Reading a closed fd fails with -EBADF.
+        assert_eq!(p.syscall(0, &[fd as u64, out, 1]), -9);
+    }
+
+    #[test]
+    fn open_missing_returns_negative_enoent() {
+        let mut p = env();
+        let path = p.user_buf(b"/ghost");
+        assert_eq!(p.syscall(2, &[path, 0]), -2);
+    }
+
+    #[test]
+    fn mkdir_and_unlink_via_syscalls() {
+        let mut p = env();
+        let dir = p.user_buf(b"/data");
+        assert_eq!(p.syscall(83, &[dir]), 0);
+        let path = p.user_buf(b"/data/f");
+        let fd = p.syscall(2, &[path, O_CREAT]);
+        assert!(fd >= 0);
+        p.syscall(3, &[fd as u64]);
+        assert_eq!(p.syscall(87, &[path]), 0);
+        assert_eq!(p.syscall(2, &[path, 0]), -2, "unlinked");
+    }
+
+    #[test]
+    fn syscalls_share_state_with_direct_vfs() {
+        let mut p = env();
+        // Create through the VFS directly...
+        {
+            let vfs = p.vfs();
+            let mut vfs = vfs.borrow_mut();
+            let fd = vfs.create("/direct").unwrap();
+            vfs.write(fd, b"hi").unwrap();
+            vfs.close(fd).unwrap();
+        }
+        // ...and see it through the syscall interface.
+        let path = p.user_buf(b"/direct");
+        let fd = p.syscall(2, &[path, 0]);
+        assert!(fd >= 0);
+        let out = p.user_buf(b"");
+        assert_eq!(p.syscall(0, &[fd as u64, out, 10]), 2);
+    }
+
+    #[test]
+    fn getpid_is_one() {
+        let mut p = env();
+        assert_eq!(p.syscall(39, &[]), 1);
+    }
+
+    #[test]
+    fn unregistered_syscall_is_enosys() {
+        let mut p = env();
+        assert_eq!(p.syscall(57, &[]), -38); // fork
+    }
+}

@@ -1,0 +1,245 @@
+//! Memory allocation micro-library (`ukalloc`).
+//!
+//! §3.2 of the paper: Unikraft's allocation subsystem has three layers —
+//! a POSIX-facing external API (provided by the libc), the internal
+//! `ukalloc` multiplexing interface, and one or more backend allocators,
+//! each owning its own memory region. This crate reproduces layers two and
+//! three with *real* allocator implementations operating on guest-physical
+//! address ranges:
+//!
+//! - [`buddy`]: binary-buddy allocator (Mini-OS heritage) — slow to
+//!   initialize (touches every page), O(log n) alloc/free with coalescing;
+//! - [`tlsf`]: Two-Level Segregated Fits — O(1) real-time allocator;
+//! - [`tinyalloc`]: small block-table allocator with compaction;
+//! - [`mimalloc`]: free-list-sharded allocator in the style of Microsoft's
+//!   mimalloc (segments → pages → sharded free lists);
+//! - [`bootalloc`]: region (bump) allocator for fast boots — `free` is a
+//!   no-op;
+//! - [`oscar`]: a guarded wrapper adding canaries and a quarantine, in the
+//!   spirit of the Oscar secure allocator.
+//!
+//! The allocators manage address ranges, not host memory: an allocation
+//! returns a guest-physical address and all bookkeeping (free lists,
+//! bitmaps, headers, coalescing) is real data-structure work, which is what
+//! the paper's Figures 14–18 measure.
+
+pub mod bootalloc;
+pub mod buddy;
+pub mod mimalloc;
+pub mod oscar;
+pub mod registry;
+pub mod stats;
+pub mod tinyalloc;
+pub mod tlsf;
+
+pub use bootalloc::BootAlloc;
+pub use buddy::BuddyAlloc;
+pub use mimalloc::Mimalloc;
+pub use oscar::OscarAlloc;
+pub use registry::AllocRegistry;
+pub use stats::AllocStats;
+pub use tinyalloc::TinyAlloc;
+pub use tlsf::TlsfAlloc;
+
+use ukplat::{Errno, Result};
+
+/// Minimum alignment every backend guarantees (like `max_align_t`).
+pub const MIN_ALIGN: usize = 16;
+
+/// A guest-physical address returned by an allocator.
+pub type GpAddr = u64;
+
+/// The paper's five-plus allocator backends, for configuration menus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocBackend {
+    /// Binary buddy system (Mini-OS `mm.c` heritage).
+    Buddy,
+    /// Two-Level Segregated Fits real-time allocator.
+    Tlsf,
+    /// tinyalloc block-table allocator.
+    TinyAlloc,
+    /// mimalloc-style free-list sharding allocator.
+    Mimalloc,
+    /// Region/bump allocator for boot-time speed.
+    BootAlloc,
+    /// Oscar-style guarded secure allocator.
+    Oscar,
+}
+
+impl AllocBackend {
+    /// All backends in the order the paper's Figure 14 lists them.
+    pub fn all() -> [AllocBackend; 6] {
+        [
+            AllocBackend::Buddy,
+            AllocBackend::Mimalloc,
+            AllocBackend::BootAlloc,
+            AllocBackend::TinyAlloc,
+            AllocBackend::Tlsf,
+            AllocBackend::Oscar,
+        ]
+    }
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocBackend::Buddy => "Binary buddy",
+            AllocBackend::Tlsf => "TLSF",
+            AllocBackend::TinyAlloc => "tinyalloc",
+            AllocBackend::Mimalloc => "Mimalloc",
+            AllocBackend::BootAlloc => "Bootalloc",
+            AllocBackend::Oscar => "Oscar",
+        }
+    }
+
+    /// Instantiates an uninitialized allocator of this kind.
+    pub fn instantiate(self) -> Box<dyn Allocator> {
+        match self {
+            AllocBackend::Buddy => Box::new(BuddyAlloc::new()),
+            AllocBackend::Tlsf => Box::new(TlsfAlloc::new()),
+            AllocBackend::TinyAlloc => Box::new(TinyAlloc::new()),
+            AllocBackend::Mimalloc => Box::new(Mimalloc::new()),
+            AllocBackend::BootAlloc => Box::new(BootAlloc::new()),
+            AllocBackend::Oscar => Box::new(OscarAlloc::new()),
+        }
+    }
+}
+
+/// The internal `ukalloc` interface every backend implements.
+///
+/// Mirrors `struct uk_alloc`'s function-pointer table: `uk_malloc`,
+/// `uk_memalign`, `uk_free`, plus initialization as required by `ukboot`
+/// ("allocators must specify an initialization function which is called by
+/// ukboot at an early stage of the boot process", §3.2).
+pub trait Allocator {
+    /// Backend display name.
+    fn name(&self) -> &'static str;
+
+    /// Initializes the allocator over `[base, base + len)`.
+    ///
+    /// Called exactly once by `ukboot` with the heap region. The allocator
+    /// must be ready to serve requests when this returns; its cost is what
+    /// Figure 14 measures per backend.
+    fn init(&mut self, base: GpAddr, len: usize) -> Result<()>;
+
+    /// Allocates `size` bytes at [`MIN_ALIGN`] alignment.
+    fn malloc(&mut self, size: usize) -> Option<GpAddr>;
+
+    /// Allocates `size` bytes at the given alignment (a power of two
+    /// ≥ [`MIN_ALIGN`]).
+    fn memalign(&mut self, align: usize, size: usize) -> Option<GpAddr>;
+
+    /// Frees an allocation previously returned by this allocator.
+    ///
+    /// # Panics
+    ///
+    /// Backends panic on frees of unknown addresses (double free / wild
+    /// free) — the moral equivalent of `UK_ASSERT` in Unikraft.
+    fn free(&mut self, ptr: GpAddr);
+
+    /// Usable bytes remaining (approximate for sharded backends).
+    fn available(&self) -> usize;
+
+    /// Allocation statistics.
+    fn stats(&self) -> AllocStats;
+
+    /// Whether `free` actually reclaims memory (false for [`BootAlloc`]).
+    fn reclaims(&self) -> bool {
+        true
+    }
+}
+
+/// `uk_calloc` equivalent: allocate and conceptually zero `n * size` bytes.
+///
+/// Returns `None` on multiplication overflow, matching POSIX `calloc`.
+pub fn uk_calloc(a: &mut dyn Allocator, n: usize, size: usize) -> Option<GpAddr> {
+    let total = n.checked_mul(size)?;
+    a.malloc(total)
+}
+
+/// `uk_realloc` equivalent over the handle-based interface.
+///
+/// Since backends track sizes internally, the reproduction models realloc
+/// as malloc-new + free-old, which is also Unikraft's fallback path for
+/// backends without a native realloc.
+pub fn uk_realloc(a: &mut dyn Allocator, ptr: Option<GpAddr>, size: usize) -> Option<GpAddr> {
+    let newp = a.malloc(size)?;
+    if let Some(old) = ptr {
+        a.free(old);
+    }
+    Some(newp)
+}
+
+/// `uk_posix_memalign` equivalent returning `Errno` like the POSIX call.
+pub fn uk_posix_memalign(a: &mut dyn Allocator, align: usize, size: usize) -> Result<GpAddr> {
+    if !align.is_power_of_two() || align < std::mem::size_of::<usize>() {
+        return Err(Errno::Inval);
+    }
+    a.memalign(align.max(MIN_ALIGN), size).ok_or(Errno::NoMem)
+}
+
+/// Rounds `v` up to the next multiple of `align` (power of two).
+pub(crate) fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: AllocBackend) {
+        let mut a = backend.instantiate();
+        a.init(0x10_0000, 4 * 1024 * 1024).unwrap();
+        let p1 = a.malloc(100).expect("malloc 100");
+        let p2 = a.malloc(4096).expect("malloc 4096");
+        assert_ne!(p1, p2);
+        assert_eq!(p1 % MIN_ALIGN as u64, 0);
+        assert_eq!(p2 % MIN_ALIGN as u64, 0);
+        a.free(p1);
+        a.free(p2);
+    }
+
+    #[test]
+    fn every_backend_allocates_aligned_distinct_blocks() {
+        for b in AllocBackend::all() {
+            exercise(b);
+        }
+    }
+
+    #[test]
+    fn calloc_overflow_returns_none() {
+        let mut a = AllocBackend::Tlsf.instantiate();
+        a.init(0, 1024 * 1024).unwrap();
+        assert!(uk_calloc(a.as_mut(), usize::MAX, 2).is_none());
+        assert!(uk_calloc(a.as_mut(), 4, 16).is_some());
+    }
+
+    #[test]
+    fn posix_memalign_validates_alignment() {
+        let mut a = AllocBackend::Tlsf.instantiate();
+        a.init(0, 1024 * 1024).unwrap();
+        assert_eq!(
+            uk_posix_memalign(a.as_mut(), 3, 64).unwrap_err(),
+            Errno::Inval
+        );
+        let p = uk_posix_memalign(a.as_mut(), 256, 64).unwrap();
+        assert_eq!(p % 256, 0);
+    }
+
+    #[test]
+    fn realloc_moves_allocation() {
+        let mut a = AllocBackend::Buddy.instantiate();
+        a.init(1 << 20, 1024 * 1024).unwrap();
+        let p = a.malloc(64).unwrap();
+        let q = uk_realloc(a.as_mut(), Some(p), 128).unwrap();
+        assert!(q >= (1 << 20));
+        a.free(q);
+    }
+
+    #[test]
+    fn backend_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            AllocBackend::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), AllocBackend::all().len());
+    }
+}

@@ -1,0 +1,78 @@
+//! Allocation statistics shared by all backends.
+
+/// Counters every backend maintains; the basis of the memory-footprint
+/// experiments (paper Fig 11 reports minimum memory to run each app).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated (payload, not counting metadata).
+    pub cur_bytes: usize,
+    /// High-water mark of `cur_bytes`.
+    pub peak_bytes: usize,
+    /// Total successful allocations.
+    pub alloc_count: u64,
+    /// Total frees.
+    pub free_count: u64,
+    /// Allocation requests that failed for lack of memory.
+    pub failed_count: u64,
+    /// Bytes of allocator metadata overhead (headers, bitmaps).
+    pub meta_bytes: usize,
+}
+
+impl AllocStats {
+    /// Records a successful allocation of `bytes`.
+    pub fn on_alloc(&mut self, bytes: usize) {
+        self.cur_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
+        self.alloc_count += 1;
+    }
+
+    /// Records a free of `bytes`.
+    pub fn on_free(&mut self, bytes: usize) {
+        self.cur_bytes = self.cur_bytes.saturating_sub(bytes);
+        self.free_count += 1;
+    }
+
+    /// Records a failed allocation.
+    pub fn on_fail(&mut self) {
+        self.failed_count += 1;
+    }
+
+    /// Live allocations (allocs minus frees).
+    pub fn live(&self) -> u64 {
+        self.alloc_count.saturating_sub(self.free_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut s = AllocStats::default();
+        s.on_alloc(100);
+        s.on_alloc(50);
+        s.on_free(100);
+        s.on_alloc(10);
+        assert_eq!(s.cur_bytes, 60);
+        assert_eq!(s.peak_bytes, 150);
+        assert_eq!(s.live(), 2);
+    }
+
+    #[test]
+    fn failed_allocs_counted_separately() {
+        let mut s = AllocStats::default();
+        s.on_fail();
+        s.on_fail();
+        assert_eq!(s.failed_count, 2);
+        assert_eq!(s.alloc_count, 0);
+    }
+
+    #[test]
+    fn free_saturates_at_zero() {
+        let mut s = AllocStats::default();
+        s.on_alloc(10);
+        s.on_free(100);
+        assert_eq!(s.cur_bytes, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! An nginx-style HTTP/1.1 static file server.
+//!
+//! Serves a static page over keep-alive connections, like the paper's
+//! wrk benchmark (Figure 13: "static 612B page"). Request and response
+//! buffers are allocated from a `ukalloc` backend per request, so the
+//! allocator choice shows up in throughput exactly as in Figure 15.
+
+use std::collections::HashMap;
+
+use ukalloc::Allocator;
+use uknetstack::stack::{NetStack, SocketHandle};
+use ukplat::{Errno, Result};
+
+/// The paper's standard test page size.
+pub const DEFAULT_PAGE_SIZE: usize = 612;
+
+/// Builds the standard 612-byte index page.
+pub fn default_page() -> Vec<u8> {
+    let mut body = b"<html><head><title>unikraft-rs</title></head><body>".to_vec();
+    while body.len() < DEFAULT_PAGE_SIZE - 14 {
+        body.extend_from_slice(b"A");
+    }
+    body.extend_from_slice(b"</body></html>");
+    body.truncate(DEFAULT_PAGE_SIZE);
+    body
+}
+
+struct Conn {
+    sock: SocketHandle,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+/// The HTTP server.
+pub struct Httpd {
+    listener: SocketHandle,
+    conns: Vec<Conn>,
+    files: HashMap<String, Vec<u8>>,
+    alloc: Box<dyn Allocator>,
+    served: u64,
+    errors: u64,
+}
+
+impl std::fmt::Debug for Httpd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Httpd")
+            .field("conns", &self.conns.len())
+            .field("served", &self.served)
+            .finish()
+    }
+}
+
+impl Httpd {
+    /// Starts listening on `port` of `stack`, serving buffers from
+    /// `alloc` (already initialized).
+    pub fn new(stack: &mut NetStack, port: u16, alloc: Box<dyn Allocator>) -> Result<Self> {
+        let listener = stack.tcp_listen(port)?;
+        let mut files = HashMap::new();
+        files.insert("/index.html".to_string(), default_page());
+        files.insert("/".to_string(), default_page());
+        Ok(Httpd {
+            listener,
+            conns: Vec::new(),
+            files,
+            alloc,
+            served: 0,
+            errors: 0,
+        })
+    }
+
+    /// Adds (or replaces) a served file.
+    pub fn add_file(&mut self, path: impl Into<String>, contents: Vec<u8>) {
+        self.files.insert(path.into(), contents);
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Malformed requests seen.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Allocator statistics (live allocations should return to zero
+    /// between requests).
+    pub fn alloc_stats(&self) -> ukalloc::AllocStats {
+        self.alloc.stats()
+    }
+
+    /// Accepts new connections and serves any complete requests.
+    /// Returns the number of responses written this call.
+    pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
+        while let Some(sock) = stack.tcp_accept(self.listener) {
+            self.conns.push(Conn {
+                sock,
+                buf: Vec::new(),
+                closed: false,
+            });
+        }
+        let mut newly_served = 0;
+        for conn in &mut self.conns {
+            if conn.closed {
+                continue;
+            }
+            // Pull whatever arrived.
+            if let Ok(data) = stack.tcp_recv(conn.sock, 64 * 1024) {
+                conn.buf.extend_from_slice(&data);
+            }
+            // Serve every complete request in the buffer (pipelining).
+            while let Some(end) = find_header_end(&conn.buf) {
+                // Request buffer from the allocator (as nginx would).
+                let req_gp = self.alloc.malloc(end.max(64));
+                let request = conn.buf[..end].to_vec();
+                conn.buf.drain(..end);
+                let response = match parse_request(&request) {
+                    Ok(path) => match self.files.get(&path) {
+                        Some(body) => {
+                            let resp_gp = self.alloc.malloc(body.len() + 128);
+                            let r = render_response(200, "OK", body);
+                            if let Some(gp) = resp_gp {
+                                self.alloc.free(gp);
+                            }
+                            self.served += 1;
+                            newly_served += 1;
+                            r
+                        }
+                        None => {
+                            self.errors += 1;
+                            render_response(404, "Not Found", b"not found")
+                        }
+                    },
+                    Err(_) => {
+                        self.errors += 1;
+                        conn.closed = true;
+                        render_response(400, "Bad Request", b"bad request")
+                    }
+                };
+                if let Some(gp) = req_gp {
+                    self.alloc.free(gp);
+                }
+                let _ = stack.tcp_send(conn.sock, &response);
+                if conn.closed {
+                    let _ = stack.tcp_close(conn.sock);
+                    break;
+                }
+            }
+            if stack.tcp_peer_closed(conn.sock) && conn.buf.is_empty() {
+                let _ = stack.tcp_close(conn.sock);
+                conn.closed = true;
+            }
+        }
+        self.conns.retain(|c| !c.closed);
+        newly_served
+    }
+}
+
+/// Index one past the `\r\n\r\n` terminating the header block.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parses the request line, returning the path.
+fn parse_request(req: &[u8]) -> Result<String> {
+    let line_end = req
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .ok_or(Errno::Inval)?;
+    let line = std::str::from_utf8(&req[..line_end]).map_err(|_| Errno::Inval)?;
+    let mut parts = line.split(' ');
+    let method = parts.next().ok_or(Errno::Inval)?;
+    let path = parts.next().ok_or(Errno::Inval)?;
+    let version = parts.next().ok_or(Errno::Inval)?;
+    if method != "GET" && method != "HEAD" {
+        return Err(Errno::Inval);
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(Errno::Inval);
+    }
+    Ok(path.to_string())
+}
+
+fn render_response(code: u16, reason: &str, body: &[u8]) -> Vec<u8> {
+    let mut r = format!(
+        "HTTP/1.1 {code} {reason}\r\nServer: unikraft-rs\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    r.extend_from_slice(body);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukalloc::AllocBackend;
+    use uknetdev::backend::VhostKind;
+    use uknetdev::dev::{NetDev, NetDevConf};
+    use uknetdev::VirtioNet;
+    use uknetstack::stack::StackConfig;
+    use uknetstack::testnet::Network;
+    use uknetstack::{Endpoint, Ipv4Addr};
+    use ukplat::time::Tsc;
+
+    fn mk_stack(n: u8) -> NetStack {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        NetStack::new(StackConfig::node(n), Box::new(dev))
+    }
+
+    fn mk_alloc() -> Box<dyn Allocator> {
+        let mut a = AllocBackend::Tlsf.instantiate();
+        a.init(1 << 22, 8 << 20).unwrap();
+        a
+    }
+
+    #[test]
+    fn default_page_is_612_bytes() {
+        assert_eq!(default_page().len(), DEFAULT_PAGE_SIZE);
+    }
+
+    #[test]
+    fn parse_request_extracts_path() {
+        assert_eq!(
+            parse_request(b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n").unwrap(),
+            "/index.html"
+        );
+        assert!(parse_request(b"POST / HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_request(b"garbage").is_err());
+    }
+
+    #[test]
+    fn serves_request_over_real_stack() {
+        let mut net = Network::new();
+        let client_idx = net.attach(mk_stack(1));
+        let mut server_stack = mk_stack(2);
+        let mut httpd = Httpd::new(&mut server_stack, 80, mk_alloc()).unwrap();
+        let server_idx = net.attach(server_stack);
+
+        let server_ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80);
+        let conn = net.stack(client_idx).tcp_connect(server_ep).unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(server_idx));
+        }
+        net.stack(client_idx)
+            .tcp_send(conn, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(server_idx));
+        }
+        let resp = net.stack(client_idx).tcp_recv(conn, 64 * 1024).unwrap();
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Content-Length: 612"));
+        assert_eq!(httpd.served(), 1);
+        // No allocator leaks across requests.
+        assert_eq!(httpd.alloc_stats().cur_bytes, 0);
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut httpd = Httpd::new(&mut ss, 80, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        for _ in 0..4 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        net.stack(ci)
+            .tcp_send(conn, b"GET /ghost HTTP/1.1\r\n\r\n")
+            .unwrap();
+        for _ in 0..4 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        let resp = net.stack(ci).tcp_recv(conn, 4096).unwrap();
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+        assert_eq!(httpd.errors(), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! A Redis-style RESP key-value server.
+//!
+//! Speaks enough RESP (REdis Serialization Protocol) for
+//! `redis-benchmark`-style GET/SET load with pipelining (the paper's
+//! Figure 12 runs 30 connections, 100k requests, pipelining 16). Values
+//! are stored in memory allocated from a `ukalloc` backend, so allocator
+//! choice affects SET throughput as in Figure 18.
+
+use std::collections::HashMap;
+
+use ukalloc::{Allocator, GpAddr};
+use uknetstack::stack::{NetStack, SocketHandle};
+use ukplat::Result;
+
+/// A RESP value parsed from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR ...\r\n`
+    Error(String),
+    /// `$n\r\n...\r\n` (None = `$-1\r\n`, the nil bulk string).
+    Bulk(Option<Vec<u8>>),
+    /// `*n\r\n...`
+    Array(Vec<RespValue>),
+    /// `:n\r\n`
+    Integer(i64),
+}
+
+/// Serializes a RESP value.
+pub fn encode_resp(v: &RespValue, out: &mut Vec<u8>) {
+    match v {
+        RespValue::Simple(s) => {
+            out.push(b'+');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Error(s) => {
+            out.push(b'-');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Bulk(None) => out.extend_from_slice(b"$-1\r\n"),
+        RespValue::Bulk(Some(d)) => {
+            out.extend_from_slice(format!("${}\r\n", d.len()).as_bytes());
+            out.extend_from_slice(d);
+            out.extend_from_slice(b"\r\n");
+        }
+        RespValue::Array(items) => {
+            out.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+            for i in items {
+                encode_resp(i, out);
+            }
+        }
+        RespValue::Integer(n) => {
+            out.extend_from_slice(format!(":{n}\r\n").as_bytes());
+        }
+    }
+}
+
+/// Parses one RESP value; returns it plus the bytes consumed, or `None`
+/// if the buffer is incomplete.
+pub fn parse_resp(buf: &[u8]) -> Option<(RespValue, usize)> {
+    let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&buf[1..line_end]).ok()?;
+    let consumed = line_end + 2;
+    match buf.first()? {
+        b'+' => Some((RespValue::Simple(line.to_string()), consumed)),
+        b'-' => Some((RespValue::Error(line.to_string()), consumed)),
+        b':' => Some((RespValue::Integer(line.parse().ok()?), consumed)),
+        b'$' => {
+            let n: i64 = line.parse().ok()?;
+            if n < 0 {
+                return Some((RespValue::Bulk(None), consumed));
+            }
+            let n = n as usize;
+            if buf.len() < consumed + n + 2 {
+                return None;
+            }
+            let data = buf[consumed..consumed + n].to_vec();
+            Some((RespValue::Bulk(Some(data)), consumed + n + 2))
+        }
+        b'*' => {
+            let n: usize = line.parse().ok()?;
+            let mut items = Vec::with_capacity(n);
+            let mut off = consumed;
+            for _ in 0..n {
+                let (v, used) = parse_resp(&buf[off..])?;
+                items.push(v);
+                off += used;
+            }
+            Some((RespValue::Array(items), off))
+        }
+        _ => None,
+    }
+}
+
+struct StoredValue {
+    bytes: Vec<u8>,
+    gp: GpAddr,
+}
+
+struct Conn {
+    sock: SocketHandle,
+    buf: Vec<u8>,
+}
+
+/// The key-value server.
+pub struct KvStore {
+    listener: SocketHandle,
+    conns: Vec<Conn>,
+    data: HashMap<Vec<u8>, StoredValue>,
+    alloc: Box<dyn Allocator>,
+    gets: u64,
+    sets: u64,
+    errors: u64,
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("keys", &self.data.len())
+            .field("gets", &self.gets)
+            .field("sets", &self.sets)
+            .finish()
+    }
+}
+
+impl KvStore {
+    /// Starts listening on `port`.
+    pub fn new(stack: &mut NetStack, port: u16, alloc: Box<dyn Allocator>) -> Result<Self> {
+        let listener = stack.tcp_listen(port)?;
+        Ok(KvStore {
+            listener,
+            conns: Vec::new(),
+            data: HashMap::new(),
+            alloc,
+            gets: 0,
+            sets: 0,
+            errors: 0,
+        })
+    }
+
+    /// GET operations served.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// SET operations served.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Protocol errors.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Keys stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn exec(&mut self, cmd: &RespValue) -> RespValue {
+        let items = match cmd {
+            RespValue::Array(items) if !items.is_empty() => items,
+            _ => {
+                self.errors += 1;
+                return RespValue::Error("ERR protocol".into());
+            }
+        };
+        let word = |v: &RespValue| -> Option<Vec<u8>> {
+            match v {
+                RespValue::Bulk(Some(d)) => Some(d.clone()),
+                RespValue::Simple(s) => Some(s.clone().into_bytes()),
+                _ => None,
+            }
+        };
+        let name = match word(&items[0]) {
+            Some(n) => n.to_ascii_uppercase(),
+            None => {
+                self.errors += 1;
+                return RespValue::Error("ERR protocol".into());
+            }
+        };
+        match (name.as_slice(), items.len()) {
+            (b"PING", 1) => RespValue::Simple("PONG".into()),
+            (b"GET", 2) => {
+                self.gets += 1;
+                match word(&items[1]).and_then(|k| self.data.get(&k)) {
+                    Some(v) => RespValue::Bulk(Some(v.bytes.clone())),
+                    None => RespValue::Bulk(None),
+                }
+            }
+            (b"SET", 3) => {
+                let (k, v) = match (word(&items[1]), word(&items[2])) {
+                    (Some(k), Some(v)) => (k, v),
+                    _ => {
+                        self.errors += 1;
+                        return RespValue::Error("ERR protocol".into());
+                    }
+                };
+                self.sets += 1;
+                // Value storage comes from the ukalloc backend.
+                let gp = match self.alloc.malloc(v.len().max(16)) {
+                    Some(gp) => gp,
+                    None => return RespValue::Error("OOM".into()),
+                };
+                if let Some(old) = self.data.insert(k, StoredValue { bytes: v, gp }) {
+                    self.alloc.free(old.gp);
+                }
+                RespValue::Simple("OK".into())
+            }
+            (b"DEL", 2) => {
+                let removed = word(&items[1])
+                    .and_then(|k| self.data.remove(&k))
+                    .map(|old| {
+                        self.alloc.free(old.gp);
+                        1
+                    })
+                    .unwrap_or(0);
+                RespValue::Integer(removed)
+            }
+            _ => {
+                self.errors += 1;
+                RespValue::Error("ERR unknown command".into())
+            }
+        }
+    }
+
+    /// Accepts connections and serves every complete pipelined command.
+    /// Returns responses written this call.
+    pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
+        while let Some(sock) = stack.tcp_accept(self.listener) {
+            self.conns.push(Conn {
+                sock,
+                buf: Vec::new(),
+            });
+        }
+        let mut served = 0;
+        for i in 0..self.conns.len() {
+            if let Ok(data) = stack.tcp_recv(self.conns[i].sock, 256 * 1024) {
+                self.conns[i].buf.extend_from_slice(&data);
+            }
+            let mut out = Vec::new();
+            loop {
+                let parsed = parse_resp(&self.conns[i].buf);
+                match parsed {
+                    Some((cmd, used)) => {
+                        self.conns[i].buf.drain(..used);
+                        let reply = self.exec(&cmd);
+                        encode_resp(&reply, &mut out);
+                        served += 1;
+                    }
+                    None => break,
+                }
+            }
+            if !out.is_empty() {
+                let _ = stack.tcp_send(self.conns[i].sock, &out);
+            }
+        }
+        served
+    }
+}
+
+/// Builds a RESP command array from words.
+pub fn resp_command(words: &[&[u8]]) -> Vec<u8> {
+    let arr = RespValue::Array(
+        words
+            .iter()
+            .map(|w| RespValue::Bulk(Some(w.to_vec())))
+            .collect(),
+    );
+    let mut out = Vec::new();
+    encode_resp(&arr, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukalloc::AllocBackend;
+    use uknetdev::backend::VhostKind;
+    use uknetdev::dev::{NetDev, NetDevConf};
+    use uknetdev::VirtioNet;
+    use uknetstack::stack::StackConfig;
+    use uknetstack::testnet::Network;
+    use uknetstack::{Endpoint, Ipv4Addr};
+    use ukplat::time::Tsc;
+
+    fn mk_stack(n: u8) -> NetStack {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        NetStack::new(StackConfig::node(n), Box::new(dev))
+    }
+
+    fn mk_alloc() -> Box<dyn Allocator> {
+        let mut a = AllocBackend::Mimalloc.instantiate();
+        a.init(1 << 22, 16 << 20).unwrap();
+        a
+    }
+
+    #[test]
+    fn resp_roundtrip() {
+        let cmd = resp_command(&[b"SET", b"k", b"v"]);
+        let (v, used) = parse_resp(&cmd).unwrap();
+        assert_eq!(used, cmd.len());
+        match v {
+            RespValue::Array(items) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_incomplete_returns_none() {
+        let cmd = resp_command(&[b"GET", b"key"]);
+        assert!(parse_resp(&cmd[..cmd.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn pipelined_get_set_over_network() {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut kv = KvStore::new(&mut ss, 6379, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 6379))
+            .unwrap();
+        for _ in 0..4 {
+            net.run_until_quiet(16);
+            kv.poll(net.stack(si));
+        }
+        // Pipeline: SET a 1, SET b 2, GET a, GET missing.
+        let mut pipeline = Vec::new();
+        pipeline.extend(resp_command(&[b"SET", b"a", b"1"]));
+        pipeline.extend(resp_command(&[b"SET", b"b", b"2"]));
+        pipeline.extend(resp_command(&[b"GET", b"a"]));
+        pipeline.extend(resp_command(&[b"GET", b"missing"]));
+        net.stack(ci).tcp_send(conn, &pipeline).unwrap();
+        for _ in 0..6 {
+            net.run_until_quiet(16);
+            kv.poll(net.stack(si));
+        }
+        let resp = net.stack(ci).tcp_recv(conn, 64 * 1024).unwrap();
+        let text = String::from_utf8_lossy(&resp);
+        assert_eq!(text, "+OK\r\n+OK\r\n$1\r\n1\r\n$-1\r\n");
+        assert_eq!(kv.sets(), 2);
+        assert_eq!(kv.gets(), 2);
+    }
+
+    #[test]
+    fn set_overwrite_frees_old_allocation() {
+        let mut ss = mk_stack(2);
+        let mut kv = KvStore::new(&mut ss, 6379, mk_alloc()).unwrap();
+        let set = |kv: &mut KvStore, v: &[u8]| {
+            let cmd = RespValue::Array(vec![
+                RespValue::Bulk(Some(b"SET".to_vec())),
+                RespValue::Bulk(Some(b"k".to_vec())),
+                RespValue::Bulk(Some(v.to_vec())),
+            ]);
+            kv.exec(&cmd)
+        };
+        set(&mut kv, b"first");
+        set(&mut kv, b"second");
+        assert_eq!(kv.len(), 1);
+        let stats = kv.alloc.stats();
+        assert_eq!(stats.alloc_count - stats.free_count, 1, "one live value");
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        let mut ss = mk_stack(2);
+        let mut kv = KvStore::new(&mut ss, 6379, mk_alloc()).unwrap();
+        let cmd = RespValue::Array(vec![RespValue::Bulk(Some(b"FLUSHALL".to_vec()))]);
+        match kv.exec(&cmd) {
+            RespValue::Error(e) => assert!(e.contains("unknown")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

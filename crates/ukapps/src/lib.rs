@@ -1,0 +1,30 @@
+//! Example applications and load generators (`ukapps`).
+//!
+//! The paper's evaluation workloads, reimplemented as real Rust servers
+//! running over this workspace's own stack:
+//!
+//! - [`httpd`] — an nginx-stand-in: HTTP/1.1 keep-alive static server
+//!   (Figures 13, 14, 15);
+//! - [`kvstore`] — a Redis-stand-in: RESP protocol GET/SET server with
+//!   pipelining (Figures 12, 18);
+//! - [`sqldb`] — a SQLite-stand-in: SQL tokenizer/parser + row storage
+//!   whose record memory flows through `ukalloc` (Figures 16, 17);
+//! - [`webcache`] — the Figure 22 web cache opening files via SHFS or
+//!   the full vfscore path;
+//! - [`udpkv`] — the §6.4/Table 4 UDP key-value store with
+//!   syscall-single, syscall-batched, DPDK-style and raw-`uknetdev`
+//!   operation modes;
+//! - [`loadgen`] — wrk-like and redis-benchmark-like in-process clients.
+
+pub mod httpd;
+pub mod kvstore;
+pub mod loadgen;
+pub mod sqldb;
+pub mod udpkv;
+pub mod webcache;
+
+pub use httpd::Httpd;
+pub use kvstore::KvStore;
+pub use sqldb::SqlDb;
+pub use udpkv::{UdpKvMode, UdpKvServer};
+pub use webcache::WebCache;

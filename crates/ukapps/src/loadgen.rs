@@ -1,0 +1,302 @@
+//! In-process load generators: a wrk-alike and a redis-benchmark-alike.
+//!
+//! The paper drives nginx with `wrk` (14 threads, 30 connections, 1
+//! minute, static 612 B page) and Redis with `redis-benchmark` (30
+//! connections, 100 k requests, pipelining 16). These clients reproduce
+//! the *connection structure*: N concurrent keep-alive connections, each
+//! keeping `pipeline` requests in flight.
+
+use uknetstack::stack::{NetStack, SocketHandle};
+use uknetstack::Endpoint;
+use ukplat::Result;
+
+use crate::kvstore::resp_command;
+
+struct HttpConn {
+    sock: SocketHandle,
+    established: bool,
+    inflight: usize,
+    buf: Vec<u8>,
+}
+
+/// wrk-like HTTP load generator.
+pub struct HttpLoadGen {
+    conns: Vec<HttpConn>,
+    target: Endpoint,
+    path: String,
+    pipeline: usize,
+    completed: u64,
+    issued: u64,
+    bytes_read: u64,
+    target_requests: u64,
+}
+
+impl std::fmt::Debug for HttpLoadGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpLoadGen")
+            .field("conns", &self.conns.len())
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl HttpLoadGen {
+    /// Opens `nconns` connections to `target`, requesting `path`,
+    /// stopping after `target_requests` responses.
+    pub fn new(
+        stack: &mut NetStack,
+        target: Endpoint,
+        path: &str,
+        nconns: usize,
+        pipeline: usize,
+        target_requests: u64,
+    ) -> Result<Self> {
+        let mut conns = Vec::with_capacity(nconns);
+        for _ in 0..nconns {
+            let sock = stack.tcp_connect(target)?;
+            conns.push(HttpConn {
+                sock,
+                established: false,
+                inflight: 0,
+                buf: Vec::new(),
+            });
+        }
+        Ok(HttpLoadGen {
+            conns,
+            target,
+            path: path.to_string(),
+            pipeline: pipeline.max(1),
+            completed: 0,
+            issued: 0,
+            bytes_read: 0,
+            target_requests,
+        })
+    }
+
+    /// Responses completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether the run is done.
+    pub fn done(&self) -> bool {
+        self.completed >= self.target_requests
+    }
+
+    /// Total response bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Sends requests and consumes responses. Call between network
+    /// steps. Returns responses completed this call.
+    pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
+        let mut newly = 0;
+        let request = format!(
+            "GET {} HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n",
+            self.path
+        );
+        for c in &mut self.conns {
+            if !c.established {
+                if matches!(
+                    stack.tcp_state(c.sock),
+                    Some(uknetstack::tcp::TcpState::Established)
+                ) {
+                    c.established = true;
+                } else {
+                    continue;
+                }
+            }
+            // Keep the pipeline full.
+            while c.inflight < self.pipeline && self.issued < self.target_requests {
+                if stack.tcp_send(c.sock, request.as_bytes()).is_err() {
+                    break;
+                }
+                c.inflight += 1;
+                self.issued += 1;
+            }
+            // Drain responses.
+            if let Ok(data) = stack.tcp_recv(c.sock, 256 * 1024) {
+                self.bytes_read += data.len() as u64;
+                c.buf.extend_from_slice(&data);
+            }
+            while let Some(len) = complete_response_len(&c.buf) {
+                c.buf.drain(..len);
+                c.inflight = c.inflight.saturating_sub(1);
+                self.completed += 1;
+                newly += 1;
+            }
+        }
+        let _ = self.target;
+        newly
+    }
+}
+
+/// If `buf` starts with a complete HTTP response (headers +
+/// Content-Length body), returns its total length.
+fn complete_response_len(buf: &[u8]) -> Option<usize> {
+    let hdr_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let headers = std::str::from_utf8(&buf[..hdr_end]).ok()?;
+    let mut content_len = 0usize;
+    for line in headers.split("\r\n") {
+        if let Some(v) = line
+            .strip_prefix("Content-Length:")
+            .or_else(|| line.strip_prefix("content-length:"))
+        {
+            content_len = v.trim().parse().ok()?;
+        }
+    }
+    let total = hdr_end + content_len;
+    (buf.len() >= total).then_some(total)
+}
+
+struct RespConn {
+    sock: SocketHandle,
+    established: bool,
+    inflight: usize,
+    buf: Vec<u8>,
+}
+
+/// Which command mix a RESP run issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespOp {
+    /// GET of pre-seeded keys.
+    Get,
+    /// SET with a small value.
+    Set,
+}
+
+/// redis-benchmark-like RESP load generator.
+pub struct RespLoadGen {
+    conns: Vec<RespConn>,
+    op: RespOp,
+    pipeline: usize,
+    completed: u64,
+    issued: u64,
+    key_cursor: u64,
+    keyspace: u64,
+    target_requests: u64,
+}
+
+impl std::fmt::Debug for RespLoadGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RespLoadGen")
+            .field("op", &self.op)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl RespLoadGen {
+    /// Opens `nconns` connections issuing `op` with the given pipeline
+    /// depth over a `keyspace` of keys.
+    pub fn new(
+        stack: &mut NetStack,
+        target: Endpoint,
+        op: RespOp,
+        nconns: usize,
+        pipeline: usize,
+        keyspace: u64,
+        target_requests: u64,
+    ) -> Result<Self> {
+        let mut conns = Vec::with_capacity(nconns);
+        for _ in 0..nconns {
+            let sock = stack.tcp_connect(target)?;
+            conns.push(RespConn {
+                sock,
+                established: false,
+                inflight: 0,
+                buf: Vec::new(),
+            });
+        }
+        Ok(RespLoadGen {
+            conns,
+            op,
+            pipeline: pipeline.max(1),
+            completed: 0,
+            issued: 0,
+            key_cursor: 0,
+            keyspace: keyspace.max(1),
+            target_requests,
+        })
+    }
+
+    /// Responses completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether the run is done.
+    pub fn done(&self) -> bool {
+        self.completed >= self.target_requests
+    }
+
+    fn next_command(&mut self) -> Vec<u8> {
+        let key = format!("key:{:012}", self.key_cursor % self.keyspace);
+        self.key_cursor += 1;
+        match self.op {
+            RespOp::Get => resp_command(&[b"GET", key.as_bytes()]),
+            RespOp::Set => resp_command(&[b"SET", key.as_bytes(), b"xxxxxxxxxxxxxxxxxxxxxxxx"]),
+        }
+    }
+
+    /// Sends commands and consumes replies; returns replies completed.
+    pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
+        let mut newly = 0;
+        for i in 0..self.conns.len() {
+            if !self.conns[i].established {
+                if matches!(
+                    stack.tcp_state(self.conns[i].sock),
+                    Some(uknetstack::tcp::TcpState::Established)
+                ) {
+                    self.conns[i].established = true;
+                } else {
+                    continue;
+                }
+            }
+            let mut burst = Vec::new();
+            while self.conns[i].inflight < self.pipeline
+                && self.issued < self.target_requests
+            {
+                burst.extend(self.next_command());
+                self.conns[i].inflight += 1;
+                self.issued += 1;
+            }
+            if !burst.is_empty() {
+                let _ = stack.tcp_send(self.conns[i].sock, &burst);
+            }
+            if let Ok(data) = stack.tcp_recv(self.conns[i].sock, 256 * 1024) {
+                self.conns[i].buf.extend_from_slice(&data);
+            }
+            while let Some((_, used)) = crate::kvstore::parse_resp(&self.conns[i].buf) {
+                self.conns[i].buf.drain(..used);
+                self.conns[i].inflight = self.conns[i].inflight.saturating_sub(1);
+                self.completed += 1;
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_len_parses_content_length() {
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(complete_response_len(resp), Some(resp.len()));
+        // Incomplete body.
+        assert_eq!(complete_response_len(&resp[..resp.len() - 1]), None);
+    }
+
+    #[test]
+    fn response_len_handles_pipelined_buffer() {
+        let one = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok".to_vec();
+        let mut buf = one.clone();
+        buf.extend_from_slice(&one);
+        let len = complete_response_len(&buf).unwrap();
+        assert_eq!(len, one.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the application protocol engines.
+
+use proptest::prelude::*;
+
+use ukalloc::AllocBackend;
+use ukapps::kvstore::{parse_resp, resp_command, RespValue};
+use ukapps::sqldb::{parse, SqlDb, Statement, Value};
+use ukapps::udpkv::{UdpKvMode, UdpKvServer};
+use ukplat::time::Tsc;
+
+fn db() -> SqlDb {
+    let mut a = AllocBackend::Tlsf.instantiate();
+    a.init(1 << 24, 32 << 20).unwrap();
+    SqlDb::new(a)
+}
+
+proptest! {
+    /// RESP values roundtrip through encode/parse.
+    #[test]
+    fn resp_roundtrip(words in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..40), 1..6)
+    ) {
+        let refs: Vec<&[u8]> = words.iter().map(|w| w.as_slice()).collect();
+        let encoded = resp_command(&refs);
+        let (value, used) = parse_resp(&encoded).unwrap();
+        prop_assert_eq!(used, encoded.len());
+        match value {
+            RespValue::Array(items) => {
+                prop_assert_eq!(items.len(), words.len());
+                for (item, w) in items.iter().zip(&words) {
+                    prop_assert_eq!(item, &RespValue::Bulk(Some(w.clone())));
+                }
+            }
+            other => prop_assert!(false, "expected array, got {other:?}"),
+        }
+    }
+
+    /// Truncating an encoded RESP command yields "incomplete", never a
+    /// wrong parse or a panic.
+    #[test]
+    fn resp_truncation_is_incomplete(words in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..20), 1..4),
+        cut in 1usize..10,
+    ) {
+        let refs: Vec<&[u8]> = words.iter().map(|w| w.as_slice()).collect();
+        let encoded = resp_command(&refs);
+        let cut = cut.min(encoded.len() - 1);
+        prop_assert!(parse_resp(&encoded[..encoded.len() - cut]).is_none());
+    }
+
+    /// Arbitrary bytes never panic the RESP parser.
+    #[test]
+    fn resp_parser_tolerates_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = parse_resp(&bytes);
+    }
+
+    /// Integer inserts always read back exactly through SELECT.
+    #[test]
+    fn sql_insert_select_consistency(values in proptest::collection::vec(any::<i32>(), 1..40)) {
+        let mut db = db();
+        db.execute("CREATE TABLE t (k, v)").unwrap();
+        for (i, v) in values.iter().enumerate() {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {v})")).unwrap();
+        }
+        let rows = db.execute("SELECT v FROM t").unwrap();
+        prop_assert_eq!(rows.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            let rows = db.execute(&format!("SELECT v FROM t WHERE k = {i}")).unwrap();
+            prop_assert_eq!(&rows, &vec![vec![Value::Int(*v as i64)]]);
+        }
+    }
+
+    /// Deleting every row frees every record allocation.
+    #[test]
+    fn sql_delete_releases_memory(n in 1u64..60) {
+        let mut db = db();
+        db.execute("CREATE TABLE t (k)").unwrap();
+        for i in 0..n {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        for i in 0..n {
+            db.execute(&format!("DELETE FROM t WHERE k = {i}")).unwrap();
+        }
+        prop_assert_eq!(db.row_count("t"), 0);
+        prop_assert_eq!(db.alloc_stats().live(), 0);
+    }
+
+    /// The SQL parser never panics on arbitrary input strings.
+    #[test]
+    fn sql_parser_tolerates_garbage(s in "\\PC{0,80}") {
+        let _ = parse(&s);
+    }
+
+    /// Text values with awkward (but quote-free) content survive the
+    /// tokenizer.
+    #[test]
+    fn sql_text_roundtrip(s in "[a-zA-Z0-9 _.,!-]{0,30}") {
+        let stmt = format!("INSERT INTO t VALUES ('{s}')");
+        match parse(&stmt).unwrap() {
+            Statement::Insert { values, .. } => {
+                prop_assert_eq!(values, vec![Value::Text(s)]);
+            }
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// The UDP KV server: SET-then-GET returns the stored value for
+    /// arbitrary keys/values (space-free tokens per the protocol).
+    #[test]
+    fn udpkv_set_get_consistency(pairs in proptest::collection::vec(
+        ("[a-z0-9]{1,12}", "[a-zA-Z0-9]{1,24}"), 1..30)
+    ) {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut server = UdpKvServer::new(UdpKvMode::UnikraftUknetdev, &tsc);
+        for (k, v) in &pairs {
+            let reply = server.handle(format!("S {k} {v}").as_bytes());
+            prop_assert_eq!(reply, b"O".to_vec());
+        }
+        // Later writes win; reads agree with a model map.
+        let mut model = std::collections::HashMap::new();
+        for (k, v) in &pairs {
+            model.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &model {
+            let reply = server.handle(format!("G {k}").as_bytes());
+            prop_assert_eq!(reply, format!("V {v}").into_bytes());
+        }
+    }
+}

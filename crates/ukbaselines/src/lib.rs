@@ -1,0 +1,19 @@
+//! Baseline execution-environment models (`ukbaselines`).
+//!
+//! The paper compares Unikraft against native Linux, Linux VMs (QEMU/KVM
+//! and Firecracker), Docker, and the unikernels OSv, Rumprun, HermiTux,
+//! Lupine and MirageOS. We cannot run those systems here; instead each
+//! gets an [`env::EnvModel`]:
+//!
+//! - *mechanical* parts: which syscall cost mode applies (function call /
+//!   trap / trap+KPTI / seccomp-filtered), and which I/O backend path a
+//!   guest pays — the same machinery our own stack uses;
+//! - *calibrated* parts: per-request residual overheads, image sizes,
+//!   minimum memory and guest boot times taken from the paper's Figures
+//!   9–13 so comparison charts reproduce the published shape. Every
+//!   calibrated number is in [`data`] with its figure cited.
+
+pub mod data;
+pub mod env;
+
+pub use env::{EnvModel, ExecEnv, Workload};

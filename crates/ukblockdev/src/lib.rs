@@ -1,0 +1,123 @@
+//! Block device micro-library (`ukblockdev`).
+//!
+//! The paper's architecture exposes `ukblockdev` (scenario ➇ in Figure 4)
+//! so disk-bound applications can bypass the VFS and "optimize throughput
+//! by coding against the ukblock API". Mirroring `uknetdev`, requests are
+//! queued and completed asynchronously, queues can be polled or
+//! interrupt-driven, and the application owns all buffers.
+//!
+//! Backends:
+//! - [`ramdisk::RamDisk`] — sector store in memory (real reads/writes);
+//! - [`virtio::VirtioBlk`] — wraps a ramdisk, charging the virtio kick +
+//!   host copy costs per request, like a KVM `virtio-blk` device.
+
+pub mod ramdisk;
+pub mod virtio;
+
+pub use ramdisk::RamDisk;
+pub use virtio::VirtioBlk;
+
+use ukplat::Result;
+
+/// Sector size every backend uses.
+pub const SECTOR_SIZE: usize = 512;
+
+/// A block I/O request.
+#[derive(Debug, Clone)]
+pub enum BlockReq {
+    /// Read `count` sectors starting at `lba`.
+    Read {
+        /// First sector.
+        lba: u64,
+        /// Sector count.
+        count: u32,
+    },
+    /// Write the given data (multiple of the sector size) at `lba`.
+    Write {
+        /// First sector.
+        lba: u64,
+        /// Data to write.
+        data: Vec<u8>,
+    },
+    /// Flush volatile caches.
+    Flush,
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct BlockCompletion {
+    /// Token the request was submitted with.
+    pub token: u64,
+    /// Result: read data, or empty for writes/flushes.
+    pub result: Result<Vec<u8>>,
+}
+
+/// Device geometry and capabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockDevInfo {
+    /// Total sectors.
+    pub sectors: u64,
+    /// Sector size in bytes.
+    pub sector_size: usize,
+    /// Maximum sectors per request.
+    pub max_sectors_per_req: u32,
+    /// Whether the device is read-only.
+    pub read_only: bool,
+}
+
+/// The `ukblockdev` interface.
+pub trait BlockDev {
+    /// Device geometry.
+    fn info(&self) -> BlockDevInfo;
+
+    /// Submits a request under a caller-chosen token.
+    fn submit(&mut self, token: u64, req: BlockReq) -> Result<()>;
+
+    /// Polls for completions, appending them to `out`; returns the count.
+    fn poll(&mut self, out: &mut Vec<BlockCompletion>) -> usize;
+
+    /// Convenience: synchronous read of whole sectors.
+    fn read_sync(&mut self, lba: u64, count: u32) -> Result<Vec<u8>> {
+        self.submit(u64::MAX, BlockReq::Read { lba, count })?;
+        let mut done = Vec::new();
+        self.poll(&mut done);
+        done.pop()
+            .expect("backends complete synchronously in this model")
+            .result
+    }
+
+    /// Convenience: synchronous write.
+    fn write_sync(&mut self, lba: u64, data: &[u8]) -> Result<()> {
+        self.submit(
+            u64::MAX,
+            BlockReq::Write {
+                lba,
+                data: data.to_vec(),
+            },
+        )?;
+        let mut done = Vec::new();
+        self.poll(&mut done);
+        done.pop()
+            .expect("backends complete synchronously in this model")
+            .result
+            .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_size_is_standard() {
+        assert_eq!(SECTOR_SIZE, 512);
+    }
+
+    #[test]
+    fn sync_helpers_roundtrip_on_ramdisk() {
+        let mut d = RamDisk::new(128);
+        let data = vec![0xabu8; SECTOR_SIZE * 2];
+        d.write_sync(10, &data).unwrap();
+        assert_eq!(d.read_sync(10, 2).unwrap(), data);
+    }
+}

@@ -1,0 +1,142 @@
+//! RAM-backed block device.
+
+use std::collections::VecDeque;
+
+use ukplat::{Errno, Result};
+
+use crate::{BlockCompletion, BlockDev, BlockDevInfo, BlockReq, SECTOR_SIZE};
+
+/// A volatile sector store.
+#[derive(Debug)]
+pub struct RamDisk {
+    data: Vec<u8>,
+    sectors: u64,
+    completions: VecDeque<BlockCompletion>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RamDisk {
+    /// Creates a zeroed disk of `sectors` sectors.
+    pub fn new(sectors: u64) -> Self {
+        RamDisk {
+            data: vec![0; sectors as usize * SECTOR_SIZE],
+            sectors,
+            completions: VecDeque::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total read requests served.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total write requests served.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    fn do_req(&mut self, req: &BlockReq) -> Result<Vec<u8>> {
+        match req {
+            BlockReq::Read { lba, count } => {
+                let start = *lba as usize * SECTOR_SIZE;
+                let len = *count as usize * SECTOR_SIZE;
+                if lba + u64::from(*count) > self.sectors {
+                    return Err(Errno::Inval);
+                }
+                self.reads += 1;
+                Ok(self.data[start..start + len].to_vec())
+            }
+            BlockReq::Write { lba, data } => {
+                if data.is_empty() || data.len() % SECTOR_SIZE != 0 {
+                    return Err(Errno::Inval);
+                }
+                let count = (data.len() / SECTOR_SIZE) as u64;
+                if lba + count > self.sectors {
+                    return Err(Errno::NoSpc);
+                }
+                let start = *lba as usize * SECTOR_SIZE;
+                self.data[start..start + data.len()].copy_from_slice(data);
+                self.writes += 1;
+                Ok(Vec::new())
+            }
+            BlockReq::Flush => Ok(Vec::new()),
+        }
+    }
+}
+
+impl BlockDev for RamDisk {
+    fn info(&self) -> BlockDevInfo {
+        BlockDevInfo {
+            sectors: self.sectors,
+            sector_size: SECTOR_SIZE,
+            max_sectors_per_req: 256,
+            read_only: false,
+        }
+    }
+
+    fn submit(&mut self, token: u64, req: BlockReq) -> Result<()> {
+        let result = self.do_req(&req);
+        self.completions.push_back(BlockCompletion { token, result });
+        Ok(())
+    }
+
+    fn poll(&mut self, out: &mut Vec<BlockCompletion>) -> usize {
+        let n = self.completions.len();
+        out.extend(self.completions.drain(..));
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_back() {
+        let mut d = RamDisk::new(16);
+        let payload = vec![7u8; SECTOR_SIZE];
+        d.write_sync(3, &payload).unwrap();
+        assert_eq!(d.read_sync(3, 1).unwrap(), payload);
+        assert_eq!(d.read_count(), 1);
+        assert_eq!(d.write_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_read_fails() {
+        let mut d = RamDisk::new(4);
+        assert_eq!(d.read_sync(3, 2).unwrap_err(), Errno::Inval);
+    }
+
+    #[test]
+    fn out_of_range_write_fails() {
+        let mut d = RamDisk::new(2);
+        let data = vec![0u8; SECTOR_SIZE * 3];
+        assert_eq!(d.write_sync(0, &data).unwrap_err(), Errno::NoSpc);
+    }
+
+    #[test]
+    fn unaligned_write_rejected() {
+        let mut d = RamDisk::new(4);
+        assert_eq!(d.write_sync(0, &[1, 2, 3]).unwrap_err(), Errno::Inval);
+    }
+
+    #[test]
+    fn async_tokens_preserved() {
+        let mut d = RamDisk::new(4);
+        d.submit(42, BlockReq::Flush).unwrap();
+        d.submit(43, BlockReq::Read { lba: 0, count: 1 }).unwrap();
+        let mut done = Vec::new();
+        assert_eq!(d.poll(&mut done), 2);
+        assert_eq!(done[0].token, 42);
+        assert_eq!(done[1].token, 43);
+    }
+
+    #[test]
+    fn fresh_disk_reads_zeroes() {
+        let mut d = RamDisk::new(2);
+        assert!(d.read_sync(0, 2).unwrap().iter().all(|&b| b == 0));
+    }
+}

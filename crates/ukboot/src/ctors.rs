@@ -1,0 +1,154 @@
+//! Constructor tables.
+//!
+//! Unikraft collects initialization functions in priority-ordered linker
+//! tables (`uk_ctortab` / `uk_inittab`): platform constructors run before
+//! library constructors, which run before application `main`. Micro-
+//! libraries register their init functions at build time; `ukboot` walks
+//! the table in priority order.
+
+/// Priority classes, lowest runs first (mirrors `UK_INIT_CLASS_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CtorPriority {
+    /// Earliest platform setup (console, CPU features).
+    Early = 0,
+    /// Platform device discovery.
+    Plat = 1,
+    /// Core library init (allocator registration and the like).
+    Lib = 2,
+    /// Filesystem mounts.
+    Rootfs = 3,
+    /// Device/driver configuration.
+    Sys = 4,
+    /// Application-level constructors.
+    App = 5,
+}
+
+/// A registered constructor.
+struct Ctor {
+    name: &'static str,
+    prio: CtorPriority,
+    seq: usize,
+    f: Box<dyn FnMut() -> Result<(), ukplat::Errno>>,
+}
+
+impl std::fmt::Debug for Ctor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctor")
+            .field("name", &self.name)
+            .field("prio", &self.prio)
+            .finish()
+    }
+}
+
+/// The constructor table: registration plus ordered execution.
+#[derive(Debug, Default)]
+pub struct CtorTable {
+    ctors: Vec<Ctor>,
+    ran: Vec<&'static str>,
+}
+
+impl CtorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `f` under `name` at `prio`. Registration order is
+    /// preserved within a priority class (stable, like linker sections).
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        prio: CtorPriority,
+        f: impl FnMut() -> Result<(), ukplat::Errno> + 'static,
+    ) {
+        let seq = self.ctors.len();
+        self.ctors.push(Ctor {
+            name,
+            prio,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Runs all constructors in priority order. Stops at the first error,
+    /// returning the failing constructor's name and errno.
+    pub fn run_all(&mut self) -> Result<usize, (&'static str, ukplat::Errno)> {
+        self.ctors.sort_by_key(|c| (c.prio, c.seq));
+        let mut n = 0;
+        for c in &mut self.ctors {
+            match (c.f)() {
+                Ok(()) => {
+                    self.ran.push(c.name);
+                    n += 1;
+                }
+                Err(e) => return Err((c.name, e)),
+            }
+        }
+        Ok(n)
+    }
+
+    /// Names of constructors that ran, in execution order.
+    pub fn ran(&self) -> &[&'static str] {
+        &self.ran
+    }
+
+    /// Number of registered constructors.
+    pub fn len(&self) -> usize {
+        self.ctors.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ctors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukplat::Errno;
+
+    #[test]
+    fn runs_in_priority_order() {
+        let mut t = CtorTable::new();
+        t.register("app", CtorPriority::App, || Ok(()));
+        t.register("early", CtorPriority::Early, || Ok(()));
+        t.register("lib", CtorPriority::Lib, || Ok(()));
+        assert_eq!(t.run_all().unwrap(), 3);
+        assert_eq!(t.ran(), &["early", "lib", "app"]);
+    }
+
+    #[test]
+    fn stable_within_priority() {
+        let mut t = CtorTable::new();
+        t.register("lib-a", CtorPriority::Lib, || Ok(()));
+        t.register("lib-b", CtorPriority::Lib, || Ok(()));
+        t.run_all().unwrap();
+        assert_eq!(t.ran(), &["lib-a", "lib-b"]);
+    }
+
+    #[test]
+    fn failure_aborts_boot() {
+        let mut t = CtorTable::new();
+        t.register("ok", CtorPriority::Early, || Ok(()));
+        t.register("bad", CtorPriority::Plat, || Err(Errno::NoMem));
+        t.register("never", CtorPriority::App, || Ok(()));
+        let (name, e) = t.run_all().unwrap_err();
+        assert_eq!(name, "bad");
+        assert_eq!(e, Errno::NoMem);
+        assert_eq!(t.ran(), &["ok"]);
+    }
+
+    #[test]
+    fn ctors_can_mutate_state() {
+        let counter = std::rc::Rc::new(std::cell::Cell::new(0));
+        let c = counter.clone();
+        let mut t = CtorTable::new();
+        t.register("count", CtorPriority::Lib, move || {
+            c.set(c.get() + 1);
+            Ok(())
+        });
+        t.run_all().unwrap();
+        assert_eq!(counter.get(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for page tables: the software walk agrees with
+//! the mappings that were installed, for arbitrary mapping sets.
+
+use proptest::prelude::*;
+
+use ukboot::paging::{PageTables, PAGE_2M, PAGE_4K};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// translate() returns exactly the installed mapping for every
+    /// mapped page and None for addresses in unmapped pages.
+    #[test]
+    fn walk_matches_installed_mappings(
+        pages in proptest::collection::btree_map(0u64..4096, 0u64..4096, 1..40),
+        probe in 0u64..4096,
+        offset in 0u64..PAGE_4K,
+    ) {
+        let mut pt = PageTables::new();
+        for (vpn, ppn) in &pages {
+            pt.map_one(vpn * PAGE_4K, ppn * PAGE_4K, PAGE_4K).unwrap();
+        }
+        // Every installed page translates with offset preserved.
+        for (vpn, ppn) in &pages {
+            let va = vpn * PAGE_4K + offset;
+            prop_assert_eq!(pt.translate(va), Some(ppn * PAGE_4K + offset));
+        }
+        // A probe either hits its installed mapping or nothing.
+        let va = probe * PAGE_4K + offset;
+        match pages.get(&probe) {
+            Some(ppn) => prop_assert_eq!(pt.translate(va), Some(ppn * PAGE_4K + offset)),
+            None => prop_assert_eq!(pt.translate(va), None),
+        }
+    }
+
+    /// Identity maps cover exactly [0, len): inside translates to
+    /// itself, beyond the mapped region fails.
+    #[test]
+    fn identity_map_covers_exact_range(
+        mib in 2u64..256,
+        inside in 0.0f64..1.0,
+        beyond in 1u64..1024,
+    ) {
+        let len = mib << 20;
+        let mut pt = PageTables::new();
+        pt.map_identity(len, PAGE_2M).unwrap();
+        let va = ((len as f64 * inside) as u64).min(len - 1);
+        prop_assert_eq!(pt.translate(va), Some(va));
+        // Past the rounded-up end, nothing is mapped.
+        let end = len.div_ceil(PAGE_2M) * PAGE_2M;
+        prop_assert_eq!(pt.translate(end + beyond * PAGE_2M), None);
+    }
+
+    /// Entry count grows monotonically with RAM size and the table
+    /// count is exactly what the 4-level layout predicts for 2M pages.
+    #[test]
+    fn table_geometry_is_predictable(gib in 1u64..8) {
+        let mut pt = PageTables::new();
+        pt.map_identity(gib << 30, PAGE_2M).unwrap();
+        // One PD per GiB + 1 PDPT + 1 PML4.
+        prop_assert_eq!(pt.table_count() as u64, gib + 2);
+        // 512 PDEs per GiB + intermediate entries.
+        prop_assert_eq!(pt.entries_written(), gib * 512 + gib + 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! The Kconfig-style configuration menu.
+
+use std::collections::HashMap;
+
+use crate::registry::LibRegistry;
+
+/// Target platform choices (one binary per selected platform, §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetPlat {
+    /// QEMU/KVM.
+    Kvm,
+    /// Xen PV.
+    Xen,
+    /// Linux user-space debug target (§7 "Debugging").
+    LinuxU,
+}
+
+impl TargetPlat {
+    /// The platform micro-library implementing this target.
+    pub fn lib(self) -> &'static str {
+        match self {
+            TargetPlat::Kvm => "plat-kvm",
+            TargetPlat::Xen => "plat-xen",
+            TargetPlat::LinuxU => "plat-linuxu",
+        }
+    }
+}
+
+/// A build configuration: the outcome of a `make menuconfig` session.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Application root library (e.g. "app-nginx").
+    pub app: &'static str,
+    /// Platforms to produce binaries for.
+    pub platforms: Vec<TargetPlat>,
+    /// Extra libraries selected beyond the app's defaults.
+    pub extra_libs: Vec<&'static str>,
+    /// Libraries explicitly deselected (specialization by removal —
+    /// e.g. dropping "lwip" and "uksched" for the UDP appliance of §6.4).
+    pub removed_libs: Vec<&'static str>,
+    /// Per-library option strings (Kconfig values).
+    pub options: HashMap<String, String>,
+}
+
+impl BuildConfig {
+    /// Starts a configuration for an application.
+    pub fn new(app: &'static str) -> Self {
+        BuildConfig {
+            app,
+            platforms: vec![TargetPlat::Kvm],
+            extra_libs: Vec::new(),
+            removed_libs: Vec::new(),
+            options: HashMap::new(),
+        }
+    }
+
+    /// Adds a library selection.
+    pub fn with_lib(mut self, lib: &'static str) -> Self {
+        self.extra_libs.push(lib);
+        self
+    }
+
+    /// Removes a library (and everything only reachable through it).
+    pub fn without_lib(mut self, lib: &'static str) -> Self {
+        self.removed_libs.push(lib);
+        self
+    }
+
+    /// Sets a Kconfig option.
+    pub fn with_option(mut self, key: &str, value: &str) -> Self {
+        self.options.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Targets an additional platform.
+    pub fn for_platform(mut self, p: TargetPlat) -> Self {
+        if !self.platforms.contains(&p) {
+            self.platforms.push(p);
+        }
+        self
+    }
+
+    /// Resolves the final library set: app closure + extras − removals.
+    ///
+    /// Removal is *subtractive specialization*: the removed library and
+    /// any dependency no longer reachable from the roots disappear.
+    pub fn resolve(&self, registry: &LibRegistry) -> Result<Vec<&'static str>, String> {
+        let mut roots: Vec<&str> = vec![self.app];
+        roots.extend(self.extra_libs.iter().copied());
+        for p in &self.platforms {
+            roots.push(p.lib());
+        }
+        let full = registry.closure(&roots)?;
+        if self.removed_libs.is_empty() {
+            return Ok(full);
+        }
+        // Re-run the closure walking around removed libraries.
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut stack: Vec<&str> = roots
+            .iter()
+            .copied()
+            .filter(|r| !self.removed_libs.contains(r))
+            .collect();
+        while let Some(name) = stack.pop() {
+            if self.removed_libs.contains(&name) {
+                continue;
+            }
+            let lib = registry
+                .get(name)
+                .ok_or_else(|| format!("unknown micro-library: {name}"))?;
+            if seen.contains(&lib.name) {
+                continue;
+            }
+            seen.push(lib.name);
+            stack.extend(
+                lib.deps
+                    .iter()
+                    .copied()
+                    .filter(|d| !self.removed_libs.contains(d)),
+            );
+        }
+        seen.sort_unstable();
+        let _ = full;
+        Ok(seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_resolves() {
+        let r = LibRegistry::standard();
+        let c = BuildConfig::new("app-nginx");
+        let libs = c.resolve(&r).unwrap();
+        assert!(libs.contains(&"lwip"));
+        assert!(libs.contains(&"plat-kvm"));
+    }
+
+    #[test]
+    fn removal_specializes_the_image() {
+        // §6.4: "we remove the lwip stack and scheduler altogether (via
+        // Unikraft's Kconfig menu) and code against the uknetdev API".
+        let r = LibRegistry::standard();
+        let c = BuildConfig::new("app-nginx")
+            .without_lib("lwip")
+            .without_lib("ukschedcoop")
+            .with_lib("uknetdev");
+        let libs = c.resolve(&r).unwrap();
+        assert!(!libs.contains(&"lwip"));
+        assert!(!libs.contains(&"ukschedcoop"));
+        assert!(
+            !libs.contains(&"uksched"),
+            "dep only reachable through removed libs is dropped"
+        );
+        assert!(libs.contains(&"uknetdev"));
+    }
+
+    #[test]
+    fn multi_platform_adds_both_plat_libs() {
+        let r = LibRegistry::standard();
+        let c = BuildConfig::new("app-helloworld").for_platform(TargetPlat::Xen);
+        let libs = c.resolve(&r).unwrap();
+        assert!(libs.contains(&"plat-kvm"));
+        assert!(libs.contains(&"plat-xen"));
+    }
+
+    #[test]
+    fn options_are_stored() {
+        let c = BuildConfig::new("app-redis").with_option("CONFIG_LWIP_POOLS", "y");
+        assert_eq!(c.options["CONFIG_LWIP_POOLS"], "y");
+    }
+
+    #[test]
+    fn shared_dep_survives_removal_of_one_parent() {
+        let r = LibRegistry::standard();
+        // Removing the scheduler must not remove uklock (still used by
+        // lwip and vfscore).
+        let c = BuildConfig::new("app-nginx").without_lib("ukschedcoop");
+        let libs = c.resolve(&r).unwrap();
+        assert!(libs.contains(&"uklock"));
+    }
+}

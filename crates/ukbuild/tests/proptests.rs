@@ -1,0 +1,102 @@
+//! Property-based tests for the build-system resolver and size passes.
+
+use proptest::prelude::*;
+
+use ukbuild::config::BuildConfig;
+use ukbuild::image::{link_image, LinkPass};
+use ukbuild::registry::LibRegistry;
+
+static APPS: &[&str] = &[
+    "app-helloworld",
+    "app-nginx",
+    "app-redis",
+    "app-sqlite",
+    "app-webcache",
+];
+
+/// Non-app libraries a config may add or remove.
+static TWEAKABLE: &[&str] = &[
+    "lwip",
+    "ukschedcoop",
+    "ukschedpreempt",
+    "uknetdev",
+    "ukblockdev",
+    "9pfs",
+    "shfs",
+    "ukdebug",
+    "mimalloc",
+    "tinyalloc",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Resolution is closed: every dependency of every selected library
+    /// is itself selected (unless removed, in which case nothing
+    /// reachable only through it survives).
+    #[test]
+    fn closure_is_dependency_closed(
+        app_idx in 0usize..APPS.len(),
+        adds in proptest::collection::vec(0usize..TWEAKABLE.len(), 0..4),
+        removes in proptest::collection::vec(0usize..TWEAKABLE.len(), 0..3),
+    ) {
+        let reg = LibRegistry::standard();
+        let mut cfg = BuildConfig::new(APPS[app_idx]);
+        for a in &adds {
+            cfg = cfg.with_lib(TWEAKABLE[*a]);
+        }
+        let removed: Vec<&str> = removes.iter().map(|r| TWEAKABLE[*r]).collect();
+        for r in &removed {
+            cfg = cfg.without_lib(r);
+        }
+        // Adding then removing the same lib: removal wins; skip the
+        // contradictory combinations where the *app root* would break.
+        let libs = match cfg.resolve(&reg) {
+            Ok(l) => l,
+            Err(_) => return Ok(()),
+        };
+        for name in &libs {
+            prop_assert!(!removed.contains(name), "{name} was removed");
+            for dep in reg.get(name).unwrap().deps {
+                prop_assert!(
+                    libs.contains(dep) || removed.contains(dep),
+                    "{name} depends on {dep} which is neither selected nor removed"
+                );
+            }
+        }
+    }
+
+    /// The size passes are monotone: DCE and LTO never grow an image,
+    /// and both together are the smallest.
+    #[test]
+    fn size_passes_monotone(app_idx in 0usize..APPS.len()) {
+        let reg = LibRegistry::standard();
+        let cfg = BuildConfig::new(APPS[app_idx]);
+        let d = link_image(&reg, &cfg, LinkPass::Default).unwrap().size_bytes;
+        let lto = link_image(&reg, &cfg, LinkPass::Lto).unwrap().size_bytes;
+        let dce = link_image(&reg, &cfg, LinkPass::Dce).unwrap().size_bytes;
+        let both = link_image(&reg, &cfg, LinkPass::DceLto).unwrap().size_bytes;
+        prop_assert!(lto <= d);
+        prop_assert!(dce <= d);
+        prop_assert!(both <= lto && both <= dce);
+    }
+
+    /// Removing libraries never grows the image.
+    #[test]
+    fn removal_never_grows(
+        app_idx in 0usize..APPS.len(),
+        removes in proptest::collection::vec(0usize..TWEAKABLE.len(), 1..3),
+    ) {
+        let reg = LibRegistry::standard();
+        let base = link_image(&reg, &BuildConfig::new(APPS[app_idx]), LinkPass::Default)
+            .unwrap()
+            .size_bytes;
+        let mut cfg = BuildConfig::new(APPS[app_idx]);
+        for r in &removes {
+            cfg = cfg.without_lib(TWEAKABLE[*r]);
+        }
+        if let Ok(slim) = link_image(&reg, &cfg, LinkPass::Default) {
+            prop_assert!(slim.size_bytes <= base);
+        }
+    }
+}

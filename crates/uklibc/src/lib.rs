@@ -1,0 +1,21 @@
+//! libc micro-libraries and the automated-porting link model.
+//!
+//! §4 of the paper: Unikraft ports musl ("largely glibc-compatible but
+//! more resource efficient") and newlib, plus provides `nolibc`, a
+//! minimal Unikraft-specific libc. Applications are built with their
+//! *native* build systems and the resulting static archives are linked
+//! against Unikraft; whether that link succeeds depends on which symbols
+//! the chosen libc provides. A glibc compatibility layer — "a series of
+//! musl patches and 20 other functions that we implement by hand (mostly
+//! 64-bit versions of file operations such as pread or pwrite)" — closes
+//! the remaining gaps, which is what Table 2's "compat layer" column
+//! shows.
+//!
+//! [`profile::LibcProfile`] models the symbol sets; [`linker::link`] is
+//! the resolver that reproduces Table 2's outcomes mechanically.
+
+pub mod linker;
+pub mod profile;
+
+pub use linker::{link, AppArchive, LinkOutcome};
+pub use profile::{LibcKind, LibcProfile};

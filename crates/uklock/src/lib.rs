@@ -1,0 +1,74 @@
+//! Synchronization micro-library (`uklock`).
+//!
+//! §3.3 of the paper: `uklock` provides mutexes and semaphores whose
+//! implementation is selected by the unikernel configuration along two
+//! dimensions — threading and multi-core. In the simplest case (no
+//! threading, single core) the primitives compile out entirely; our
+//! [`LockConfig`] reproduces that selection and the primitives record
+//! whether they actually perform work.
+
+pub mod mutex;
+pub mod rwlock;
+pub mod semaphore;
+
+pub use mutex::Mutex;
+pub use rwlock::RwLock;
+pub use semaphore::Semaphore;
+
+/// Build-time lock configuration (threading x multi-core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockConfig {
+    /// Whether the image contains a scheduler / more than one thread.
+    pub threading: bool,
+    /// Whether more than one vCPU is configured (paper: not yet supported
+    /// upstream; we model it for completeness).
+    pub multicore: bool,
+}
+
+impl LockConfig {
+    /// Single-threaded, single-core: everything compiles out.
+    pub const BARE: LockConfig = LockConfig { threading: false, multicore: false };
+    /// Threaded, single core: counting state, no atomics needed.
+    pub const THREADED: LockConfig = LockConfig { threading: true, multicore: false };
+    /// Threaded, multi-core: full spinlock-backed primitives.
+    pub const SMP: LockConfig = LockConfig { threading: true, multicore: true };
+
+    /// Whether mutual exclusion state is needed at all.
+    pub fn needs_state(&self) -> bool {
+        self.threading
+    }
+
+    /// Whether atomic spin loops are needed.
+    pub fn needs_spin(&self) -> bool {
+        self.multicore
+    }
+}
+
+impl Default for LockConfig {
+    fn default() -> Self {
+        LockConfig::THREADED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_config_compiles_out() {
+        assert!(!LockConfig::BARE.needs_state());
+        assert!(!LockConfig::BARE.needs_spin());
+    }
+
+    #[test]
+    fn smp_needs_everything() {
+        assert!(LockConfig::SMP.needs_state());
+        assert!(LockConfig::SMP.needs_spin());
+    }
+
+    #[test]
+    fn threaded_single_core_skips_spin() {
+        assert!(LockConfig::THREADED.needs_state());
+        assert!(!LockConfig::THREADED.needs_spin());
+    }
+}

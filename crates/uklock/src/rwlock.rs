@@ -1,0 +1,209 @@
+//! Reader-writer lock.
+//!
+//! §3.3 notes that with multi-core enabled the primitives would use
+//! spin-locks and RCU; the reader-writer lock is the read-mostly building
+//! block. Writer-preferring to avoid writer starvation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::LockConfig;
+
+/// Which side a queued context is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Want {
+    Read,
+    Write,
+}
+
+#[derive(Debug, Default)]
+struct RwInner {
+    readers: Vec<u64>,
+    writer: Option<u64>,
+    queue: VecDeque<(u64, Want)>,
+}
+
+/// A writer-preferring reader-writer lock over scheduler context ids.
+#[derive(Debug, Clone)]
+pub struct RwLock {
+    config: LockConfig,
+    inner: Rc<RefCell<RwInner>>,
+}
+
+impl RwLock {
+    /// Creates an unlocked rwlock.
+    pub fn new(config: LockConfig) -> Self {
+        RwLock {
+            config,
+            inner: Rc::new(RefCell::new(RwInner::default())),
+        }
+    }
+
+    /// Acquires a read lock for `ctx`. Returns `false` if queued.
+    pub fn read_lock(&self, ctx: u64) -> bool {
+        if !self.config.needs_state() {
+            return true;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let writer_waiting = inner.queue.iter().any(|(_, w)| *w == Want::Write);
+        if inner.writer.is_none() && !writer_waiting {
+            inner.readers.push(ctx);
+            true
+        } else {
+            inner.queue.push_back((ctx, Want::Read));
+            false
+        }
+    }
+
+    /// Acquires the write lock for `ctx`. Returns `false` if queued.
+    pub fn write_lock(&self, ctx: u64) -> bool {
+        if !self.config.needs_state() {
+            return true;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.writer.is_none() && inner.readers.is_empty() {
+            inner.writer = Some(ctx);
+            true
+        } else {
+            inner.queue.push_back((ctx, Want::Write));
+            false
+        }
+    }
+
+    /// Releases a read lock held by `ctx`; returns contexts to wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` holds no read lock.
+    pub fn read_unlock(&self, ctx: u64) -> Vec<u64> {
+        if !self.config.needs_state() {
+            return Vec::new();
+        }
+        let mut inner = self.inner.borrow_mut();
+        let pos = inner
+            .readers
+            .iter()
+            .position(|r| *r == ctx)
+            .unwrap_or_else(|| panic!("context {ctx} holds no read lock"));
+        inner.readers.swap_remove(pos);
+        Self::promote(&mut inner)
+    }
+
+    /// Releases the write lock held by `ctx`; returns contexts to wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is not the writer.
+    pub fn write_unlock(&self, ctx: u64) -> Vec<u64> {
+        if !self.config.needs_state() {
+            return Vec::new();
+        }
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(inner.writer, Some(ctx), "context {ctx} is not the writer");
+        inner.writer = None;
+        Self::promote(&mut inner)
+    }
+
+    /// Number of active readers.
+    pub fn reader_count(&self) -> usize {
+        self.inner.borrow().readers.len()
+    }
+
+    /// Whether a writer currently holds the lock.
+    pub fn has_writer(&self) -> bool {
+        self.inner.borrow().writer.is_some()
+    }
+
+    fn promote(inner: &mut RwInner) -> Vec<u64> {
+        let mut woken = Vec::new();
+        if inner.writer.is_some() || !inner.readers.is_empty() {
+            // A writer can only enter when fully free; readers may still
+            // be active, in which case only more readers could enter, but
+            // writer preference forbids that too, so nothing to do.
+            if inner.writer.is_some() {
+                return woken;
+            }
+        }
+        match inner.queue.front() {
+            Some((_, Want::Write)) if inner.readers.is_empty() => {
+                let (ctx, _) = inner.queue.pop_front().unwrap();
+                inner.writer = Some(ctx);
+                woken.push(ctx);
+            }
+            Some((_, Want::Read)) => {
+                // Admit the leading run of readers.
+                while matches!(inner.queue.front(), Some((_, Want::Read))) {
+                    let (ctx, _) = inner.queue.pop_front().unwrap();
+                    inner.readers.push(ctx);
+                    woken.push(ctx);
+                }
+            }
+            _ => {}
+        }
+        woken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_readers_coexist() {
+        let l = RwLock::new(LockConfig::THREADED);
+        assert!(l.read_lock(1));
+        assert!(l.read_lock(2));
+        assert_eq!(l.reader_count(), 2);
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let l = RwLock::new(LockConfig::THREADED);
+        assert!(l.write_lock(1));
+        assert!(!l.read_lock(2));
+        let woken = l.write_unlock(1);
+        assert_eq!(woken, vec![2]);
+        assert_eq!(l.reader_count(), 1);
+    }
+
+    #[test]
+    fn writer_preference_blocks_new_readers() {
+        let l = RwLock::new(LockConfig::THREADED);
+        assert!(l.read_lock(1));
+        assert!(!l.write_lock(2)); // Writer queued behind reader 1.
+        assert!(!l.read_lock(3)); // New reader must queue behind writer.
+        let woken = l.read_unlock(1);
+        assert_eq!(woken, vec![2]); // Writer admitted first.
+        assert!(l.has_writer());
+        let woken = l.write_unlock(2);
+        assert_eq!(woken, vec![3]); // Then the queued reader.
+    }
+
+    #[test]
+    fn queued_reader_run_admitted_together() {
+        let l = RwLock::new(LockConfig::THREADED);
+        assert!(l.write_lock(1));
+        assert!(!l.read_lock(2));
+        assert!(!l.read_lock(3));
+        let woken = l.write_unlock(1);
+        assert_eq!(woken, vec![2, 3]);
+        assert_eq!(l.reader_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not the writer")]
+    fn wrong_writer_unlock_panics() {
+        let l = RwLock::new(LockConfig::THREADED);
+        l.write_lock(1);
+        l.write_unlock(2);
+    }
+
+    #[test]
+    fn bare_config_noop() {
+        let l = RwLock::new(LockConfig::BARE);
+        assert!(l.write_lock(1));
+        assert!(l.read_lock(2));
+        assert!(l.write_unlock(9).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Counting semaphore.
+//!
+//! Used by drivers to signal completions to waiting threads (e.g. the
+//! interrupt callback of a `uknetdev` queue unblocking a receiver, §3.1).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::LockConfig;
+
+#[derive(Debug)]
+struct SemInner {
+    count: i64,
+    waiters: VecDeque<u64>,
+}
+
+/// A counting semaphore over scheduler context ids.
+///
+/// # Examples
+///
+/// ```
+/// use uklock::{LockConfig, Semaphore};
+///
+/// let s = Semaphore::new(LockConfig::THREADED, 0);
+/// assert!(!s.down(7));          // Nothing available: ctx 7 blocks.
+/// assert_eq!(s.up(), Some(7));  // Post wakes ctx 7.
+/// ```
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    config: LockConfig,
+    inner: Rc<RefCell<SemInner>>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with the given initial count.
+    pub fn new(config: LockConfig, initial: i64) -> Self {
+        Semaphore {
+            config,
+            inner: Rc::new(RefCell::new(SemInner {
+                count: initial,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// P operation for context `ctx`. Returns `true` if a unit was taken,
+    /// `false` if the caller was queued and must block.
+    pub fn down(&self, ctx: u64) -> bool {
+        if !self.config.needs_state() {
+            return true;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.count > 0 {
+            inner.count -= 1;
+            true
+        } else {
+            inner.waiters.push_back(ctx);
+            false
+        }
+    }
+
+    /// Non-blocking P; never queues.
+    pub fn try_down(&self) -> bool {
+        if !self.config.needs_state() {
+            return true;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.count > 0 {
+            inner.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// V operation. If a context is waiting it receives the unit directly;
+    /// its id is returned so the scheduler can wake it.
+    pub fn up(&self) -> Option<u64> {
+        if !self.config.needs_state() {
+            return None;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if let Some(ctx) = inner.waiters.pop_front() {
+            Some(ctx)
+        } else {
+            inner.count += 1;
+            None
+        }
+    }
+
+    /// Current count (may be 0 with waiters queued).
+    pub fn count(&self) -> i64 {
+        self.inner.borrow().count
+    }
+
+    /// Number of queued waiters.
+    pub fn waiter_count(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_decrements_when_available() {
+        let s = Semaphore::new(LockConfig::THREADED, 2);
+        assert!(s.down(1));
+        assert!(s.down(2));
+        assert_eq!(s.count(), 0);
+        assert!(!s.down(3));
+        assert_eq!(s.waiter_count(), 1);
+    }
+
+    #[test]
+    fn up_wakes_fifo() {
+        let s = Semaphore::new(LockConfig::THREADED, 0);
+        assert!(!s.down(1));
+        assert!(!s.down(2));
+        assert_eq!(s.up(), Some(1));
+        assert_eq!(s.up(), Some(2));
+        assert_eq!(s.up(), None);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn try_down_does_not_queue() {
+        let s = Semaphore::new(LockConfig::THREADED, 0);
+        assert!(!s.try_down());
+        assert_eq!(s.waiter_count(), 0);
+    }
+
+    #[test]
+    fn bare_semaphore_is_noop() {
+        let s = Semaphore::new(LockConfig::BARE, 0);
+        assert!(s.down(1));
+        assert_eq!(s.up(), None);
+    }
+}

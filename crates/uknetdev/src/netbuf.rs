@@ -1,0 +1,277 @@
+//! `uk_netbuf`: the packet-buffer wrapper.
+//!
+//! "In order to develop application-independent network drivers while
+//! using the application's or network stack's memory management we
+//! introduce a network packet buffer wrapper structure called
+//! `uk_netbuf`" (§3.1). The struct carries the metadata the driver needs
+//! (headroom, length) while the *allocation policy* stays with the
+//! application: performance-critical code uses a pre-allocated
+//! [`NetbufPool`], memory-frugal code allocates from the heap.
+
+use bytes::BytesMut;
+
+/// A packet buffer with driver metadata.
+#[derive(Debug)]
+pub struct Netbuf {
+    /// Backing storage (headroom + payload + tailroom).
+    data: BytesMut,
+    /// Offset of the packet start (headroom in front).
+    offset: usize,
+    /// Payload length.
+    len: usize,
+    /// Pool slot this buffer came from, if pooled.
+    pool_slot: Option<usize>,
+}
+
+impl Netbuf {
+    /// Allocates a standalone (heap) netbuf with `cap` bytes of storage
+    /// and `headroom` reserved in front.
+    pub fn alloc(cap: usize, headroom: usize) -> Self {
+        assert!(headroom <= cap, "headroom exceeds capacity");
+        let mut data = BytesMut::with_capacity(cap);
+        data.resize(cap, 0);
+        Netbuf {
+            data,
+            offset: headroom,
+            len: 0,
+            pool_slot: None,
+        }
+    }
+
+    /// Current payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Sets the payload, copying `bytes` in after the headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` does not fit.
+    pub fn set_payload(&mut self, bytes: &[u8]) {
+        assert!(
+            self.offset + bytes.len() <= self.data.len(),
+            "payload too large"
+        );
+        self.data[self.offset..self.offset + bytes.len()].copy_from_slice(bytes);
+        self.len = bytes.len();
+    }
+
+    /// Sets the payload length without copying (zero-copy fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the space after the headroom.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(self.offset + len <= self.data.len(), "len too large");
+        self.len = len;
+    }
+
+    /// Payload length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining headroom in front of the payload.
+    pub fn headroom(&self) -> usize {
+        self.offset
+    }
+
+    /// Prepends `bytes` into the headroom (protocol header push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the headroom is too small.
+    pub fn push_header(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() <= self.offset, "insufficient headroom");
+        self.offset -= bytes.len();
+        let off = self.offset;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
+
+    /// Strips `n` bytes from the front (protocol header pull).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the payload.
+    pub fn pull_header(&mut self, n: usize) {
+        assert!(n <= self.len, "pull beyond payload");
+        self.offset += n;
+        self.len -= n;
+    }
+
+    /// Total storage capacity.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Pool slot, if this buffer belongs to a pool.
+    pub fn pool_slot(&self) -> Option<usize> {
+        self.pool_slot
+    }
+
+    /// Resets to an empty buffer with `headroom` reserved.
+    pub fn reset(&mut self, headroom: usize) {
+        assert!(headroom <= self.data.len());
+        self.offset = headroom;
+        self.len = 0;
+    }
+}
+
+/// A fixed pool of pre-allocated netbufs.
+///
+/// "Performance critical workloads can make use of pre-allocated network
+/// buffer pools, while memory efficient applications can reduce memory
+/// footprint by allocating buffers from the standard heap" (§3.1).
+#[derive(Debug)]
+pub struct NetbufPool {
+    bufs: Vec<Option<Netbuf>>,
+    free: Vec<usize>,
+    buf_cap: usize,
+    headroom: usize,
+}
+
+impl NetbufPool {
+    /// Pre-allocates `count` buffers of `cap` bytes with `headroom`.
+    pub fn new(count: usize, cap: usize, headroom: usize) -> Self {
+        let mut bufs = Vec::with_capacity(count);
+        let mut free = Vec::with_capacity(count);
+        for slot in 0..count {
+            let mut nb = Netbuf::alloc(cap, headroom);
+            nb.pool_slot = Some(slot);
+            bufs.push(Some(nb));
+            free.push(slot);
+        }
+        NetbufPool {
+            bufs,
+            free,
+            buf_cap: cap,
+            headroom,
+        }
+    }
+
+    /// Takes a buffer from the pool, or `None` if exhausted.
+    pub fn take(&mut self) -> Option<Netbuf> {
+        let slot = self.free.pop()?;
+        let mut nb = self.bufs[slot].take().expect("slot tracked as free");
+        nb.reset(self.headroom);
+        Some(nb)
+    }
+
+    /// Returns a buffer to its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not from this pool or the slot is occupied.
+    pub fn give_back(&mut self, nb: Netbuf) {
+        let slot = nb.pool_slot.expect("netbuf is not pooled");
+        assert!(self.bufs[slot].is_none(), "double give_back for slot {slot}");
+        self.bufs[slot] = Some(nb);
+        self.free.push(slot);
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total buffers in the pool.
+    pub fn capacity(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Per-buffer storage size.
+    pub fn buf_capacity(&self) -> usize {
+        self.buf_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_read_payload() {
+        let mut nb = Netbuf::alloc(256, 64);
+        nb.set_payload(b"hello");
+        assert_eq!(nb.payload(), b"hello");
+        assert_eq!(nb.len(), 5);
+        assert_eq!(nb.headroom(), 64);
+    }
+
+    #[test]
+    fn header_push_pull_roundtrip() {
+        let mut nb = Netbuf::alloc(256, 64);
+        nb.set_payload(b"payload");
+        nb.push_header(b"HDR!");
+        assert_eq!(nb.payload(), b"HDR!payload");
+        assert_eq!(nb.headroom(), 60);
+        nb.pull_header(4);
+        assert_eq!(nb.payload(), b"payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient headroom")]
+    fn push_beyond_headroom_panics() {
+        let mut nb = Netbuf::alloc(64, 2);
+        nb.set_payload(b"x");
+        nb.push_header(b"too-long-header");
+    }
+
+    #[test]
+    fn pool_take_and_give_back() {
+        let mut pool = NetbufPool::new(4, 2048, 64);
+        assert_eq!(pool.available(), 4);
+        let a = pool.take().unwrap();
+        let b = pool.take().unwrap();
+        assert_eq!(pool.available(), 2);
+        pool.give_back(a);
+        pool.give_back(b);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let mut pool = NetbufPool::new(1, 128, 0);
+        let a = pool.take().unwrap();
+        assert!(pool.take().is_none());
+        pool.give_back(a);
+        assert!(pool.take().is_some());
+    }
+
+    #[test]
+    fn pooled_buffer_resets_on_take() {
+        let mut pool = NetbufPool::new(1, 128, 32);
+        let mut a = pool.take().unwrap();
+        a.set_payload(b"dirty");
+        a.pull_header(2);
+        pool.give_back(a);
+        let b = pool.take().unwrap();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.headroom(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "double give_back")]
+    fn double_give_back_panics() {
+        let mut pool = NetbufPool::new(2, 128, 0);
+        let a = pool.take().unwrap();
+        let slot = a.pool_slot().unwrap();
+        // Forge a second buffer claiming the same slot.
+        let mut forged = Netbuf::alloc(128, 0);
+        forged.pool_slot = Some(slot);
+        pool.give_back(a);
+        pool.give_back(forged);
+    }
+}

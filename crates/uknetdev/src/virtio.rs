@@ -1,0 +1,417 @@
+//! The virtio-net device model.
+//!
+//! Implements [`NetDev`] over descriptor rings and a [`HostBackend`].
+//! TX path: the driver enqueues a burst into the TX virtqueue; for a
+//! vhost-net backend it then kicks (one trap per *burst*, which is where
+//! batching wins), for vhost-user the polling backend drains the ring
+//! without any notification. Completed buffers park in a done-list the
+//! application reclaims into its pool.
+//!
+//! RX path: the host injects frames into the RX ring; `rx_burst` drains
+//! it. In interrupt mode, draining the ring dry arms the queue's
+//! interrupt; the next injected frame fires the callback once and disarms
+//! it — §3.1's storm-free scheme, which degrades to polling under load.
+
+use ukplat::cost;
+use ukplat::time::Tsc;
+use ukplat::{Errno, Result};
+
+use crate::backend::{HostBackend, VhostKind};
+use crate::dev::{NetDev, NetDevConf, NetDevInfo, QueueMode, RxStatus, TxStatus};
+use crate::netbuf::Netbuf;
+use crate::ring::DescRing;
+use crate::MAX_BURST;
+
+struct RxQueue {
+    ring: DescRing,
+    mode: QueueMode,
+    irq_armed: bool,
+    callback: Option<Box<dyn FnMut()>>,
+    irq_fires: u64,
+}
+
+struct TxQueue {
+    ring: DescRing,
+    done: Vec<Netbuf>,
+}
+
+/// The virtio-net device.
+pub struct VirtioNet {
+    tsc: Tsc,
+    backend: HostBackend,
+    rxqs: Vec<RxQueue>,
+    txqs: Vec<TxQueue>,
+    configured: bool,
+}
+
+impl std::fmt::Debug for VirtioNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtioNet")
+            .field("backend", &self.backend.kind().name())
+            .field("rx_queues", &self.rxqs.len())
+            .field("tx_queues", &self.txqs.len())
+            .finish()
+    }
+}
+
+impl VirtioNet {
+    /// Creates an unconfigured device over the given backend kind.
+    pub fn new(kind: VhostKind, tsc: &Tsc) -> Self {
+        VirtioNet {
+            tsc: tsc.clone(),
+            backend: HostBackend::new(kind, tsc),
+            rxqs: Vec::new(),
+            txqs: Vec::new(),
+            configured: false,
+        }
+    }
+
+    /// Host-side injection of received frames (the test/wire harness).
+    /// Fires the queue interrupt if it is armed.
+    fn inject_rx_inner(&mut self, queue: u16, frames: Vec<Netbuf>) -> Result<usize> {
+        let q = self
+            .rxqs
+            .get_mut(queue as usize)
+            .ok_or(Errno::Inval)?;
+        let mut injected = 0;
+        for f in frames {
+            if q.ring.push(f).is_err() {
+                break; // Ring full: drop, like a real NIC.
+            }
+            injected += 1;
+        }
+        if injected > 0 && q.irq_armed {
+            // One interrupt, then the line stays off until re-armed.
+            q.irq_armed = false;
+            q.irq_fires += 1;
+            self.tsc.advance(cost::IRQ_INJECT_CYCLES);
+            if let Some(cb) = q.callback.as_mut() {
+                cb();
+            }
+        }
+        Ok(injected)
+    }
+
+    /// Direct access to backend statistics.
+    pub fn backend(&self) -> &HostBackend {
+        &self.backend
+    }
+
+    /// Interrupt deliveries on an RX queue.
+    pub fn irq_fires(&self, queue: u16) -> u64 {
+        self.rxqs
+            .get(queue as usize)
+            .map(|q| q.irq_fires)
+            .unwrap_or(0)
+    }
+
+    /// Whether an RX queue's interrupt line is currently armed.
+    pub fn irq_armed(&self, queue: u16) -> bool {
+        self.rxqs
+            .get(queue as usize)
+            .map(|q| q.irq_armed)
+            .unwrap_or(false)
+    }
+}
+
+impl NetDev for VirtioNet {
+    fn info(&self) -> NetDevInfo {
+        NetDevInfo {
+            max_rx_queues: 16,
+            max_tx_queues: 16,
+            max_mtu: crate::MTU,
+            tx_csum_offload: true,
+            max_ring_size: 1024,
+        }
+    }
+
+    fn configure(&mut self, conf: NetDevConf) -> Result<()> {
+        let info = self.info();
+        if conf.nr_rx_queues == 0
+            || conf.nr_tx_queues == 0
+            || conf.nr_rx_queues > info.max_rx_queues
+            || conf.nr_tx_queues > info.max_tx_queues
+            || !conf.ring_size.is_power_of_two()
+            || conf.ring_size > info.max_ring_size
+        {
+            return Err(Errno::Inval);
+        }
+        self.rxqs = (0..conf.nr_rx_queues)
+            .map(|_| RxQueue {
+                ring: DescRing::new(conf.ring_size),
+                mode: QueueMode::Polling,
+                irq_armed: false,
+                callback: None,
+                irq_fires: 0,
+            })
+            .collect();
+        self.txqs = (0..conf.nr_tx_queues)
+            .map(|_| TxQueue {
+                ring: DescRing::new(conf.ring_size),
+                done: Vec::new(),
+            })
+            .collect();
+        self.configured = true;
+        Ok(())
+    }
+
+    fn set_queue_mode(&mut self, queue: u16, mode: QueueMode) -> Result<()> {
+        let q = self.rxqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
+        q.mode = mode;
+        if mode == QueueMode::Polling {
+            q.irq_armed = false;
+        }
+        Ok(())
+    }
+
+    fn set_rx_callback(&mut self, queue: u16, cb: Box<dyn FnMut()>) -> Result<()> {
+        let q = self.rxqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
+        q.callback = Some(cb);
+        Ok(())
+    }
+
+    fn tx_burst(&mut self, queue: u16, pkts: &mut Vec<Netbuf>) -> Result<TxStatus> {
+        if !self.configured {
+            return Err(Errno::Inval);
+        }
+        let q = self.txqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
+        let n = pkts.len().min(MAX_BURST);
+        let mut burst: Vec<Netbuf> = pkts.drain(..n).collect();
+        let sent = q.ring.push_burst(&mut burst);
+        // Unsent buffers go back to the caller's array front.
+        while let Some(nb) = burst.pop() {
+            pkts.insert(0, nb);
+        }
+        // Notify / drain the backend.
+        if sent > 0 {
+            if self.backend.needs_kick() {
+                self.backend.kick();
+            }
+            let mut inflight = Vec::with_capacity(sent);
+            q.ring.pop_burst(&mut inflight, sent);
+            self.backend.process_tx(&inflight);
+            q.done.extend(inflight);
+        }
+        Ok(TxStatus {
+            sent,
+            more_room: !q.ring.is_full(),
+        })
+    }
+
+    fn rx_burst(&mut self, queue: u16, out: &mut Vec<Netbuf>, max: usize) -> Result<RxStatus> {
+        if !self.configured {
+            return Err(Errno::Inval);
+        }
+        let q = self.rxqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
+        let received = q.ring.pop_burst(out, max.min(MAX_BURST));
+        let more = !q.ring.is_empty();
+        if !more && q.mode == QueueMode::Interrupt {
+            // Queue ran dry: arm the interrupt line (§3.1).
+            q.irq_armed = true;
+        }
+        Ok(RxStatus { received, more })
+    }
+
+    fn reclaim_tx(&mut self, queue: u16, out: &mut Vec<Netbuf>) -> Result<usize> {
+        let q = self.txqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
+        let n = q.done.len();
+        out.append(&mut q.done);
+        Ok(n)
+    }
+
+    fn inject_rx(&mut self, queue: u16, frames: Vec<Netbuf>) -> Result<usize> {
+        self.inject_rx_inner(queue, frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn mk(kind: VhostKind) -> (VirtioNet, Tsc) {
+        let tsc = Tsc::new(cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(kind, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        (dev, tsc)
+    }
+
+    fn pkts(n: usize, len: usize) -> Vec<Netbuf> {
+        (0..n)
+            .map(|_| {
+                let mut nb = Netbuf::alloc(2048, 64);
+                nb.set_len(len);
+                nb
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tx_burst_sends_and_reclaims() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        let mut batch = pkts(16, 64);
+        let st = dev.tx_burst(0, &mut batch).unwrap();
+        assert_eq!(st.sent, 16);
+        assert!(batch.is_empty());
+        assert_eq!(dev.backend().tx_packets(), 16);
+        let mut done = Vec::new();
+        assert_eq!(dev.reclaim_tx(0, &mut done).unwrap(), 16);
+    }
+
+    #[test]
+    fn vhost_net_kicks_once_per_burst() {
+        let (mut dev, _t) = mk(VhostKind::VhostNet);
+        let mut batch = pkts(32, 64);
+        dev.tx_burst(0, &mut batch).unwrap();
+        assert_eq!(dev.backend().kicks(), 1, "one kick per burst (batching)");
+        let mut batch = pkts(32, 64);
+        dev.tx_burst(0, &mut batch).unwrap();
+        assert_eq!(dev.backend().kicks(), 2);
+    }
+
+    #[test]
+    fn vhost_user_never_kicks() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        let mut batch = pkts(32, 64);
+        dev.tx_burst(0, &mut batch).unwrap();
+        assert_eq!(dev.backend().kicks(), 0);
+    }
+
+    #[test]
+    fn oversized_burst_is_clamped() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        let mut batch = pkts(MAX_BURST + 10, 64);
+        let st = dev.tx_burst(0, &mut batch).unwrap();
+        assert_eq!(st.sent, MAX_BURST);
+        assert_eq!(batch.len(), 10, "overflow stays with the caller");
+    }
+
+    #[test]
+    fn rx_burst_drains_injected_frames() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        dev.inject_rx(0, pkts(8, 100)).unwrap();
+        let mut out = Vec::new();
+        let st = dev.rx_burst(0, &mut out, 4).unwrap();
+        assert_eq!(st.received, 4);
+        assert!(st.more);
+        let st = dev.rx_burst(0, &mut out, 8).unwrap();
+        assert_eq!(st.received, 4);
+        assert!(!st.more);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn interrupt_mode_arms_on_dry_and_fires_once() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        dev.set_queue_mode(0, QueueMode::Interrupt).unwrap();
+        let fired = Rc::new(Cell::new(0));
+        let f = fired.clone();
+        dev.set_rx_callback(0, Box::new(move || f.set(f.get() + 1)))
+            .unwrap();
+        // Drain the empty queue → arms the IRQ.
+        let mut out = Vec::new();
+        dev.rx_burst(0, &mut out, 16).unwrap();
+        assert!(dev.irq_armed(0));
+        // First injection fires the callback once and disarms.
+        dev.inject_rx(0, pkts(2, 64)).unwrap();
+        assert_eq!(fired.get(), 1);
+        assert!(!dev.irq_armed(0));
+        // Further injections while not re-armed do NOT fire (storm-free).
+        dev.inject_rx(0, pkts(2, 64)).unwrap();
+        assert_eq!(fired.get(), 1);
+        // Draining dry re-arms.
+        dev.rx_burst(0, &mut out, 16).unwrap();
+        assert!(dev.irq_armed(0));
+        assert_eq!(dev.irq_fires(0), 1);
+    }
+
+    #[test]
+    fn polling_mode_never_arms() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        let mut out = Vec::new();
+        dev.rx_burst(0, &mut out, 16).unwrap();
+        assert!(!dev.irq_armed(0));
+    }
+
+    #[test]
+    fn rx_ring_overflow_drops() {
+        let (mut dev, _t) = mk(VhostKind::VhostUser);
+        let injected = dev.inject_rx(0, pkts(300, 64)).unwrap();
+        assert_eq!(injected, 256, "default ring holds 256 descriptors");
+    }
+
+    #[test]
+    fn unconfigured_device_rejects_io() {
+        let tsc = Tsc::new(cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        let mut batch = pkts(1, 64);
+        assert_eq!(dev.tx_burst(0, &mut batch).unwrap_err(), Errno::Inval);
+    }
+
+    #[test]
+    fn multi_queue_traffic_is_isolated() {
+        // §3.1: the API supports multiple queues; traffic on one queue
+        // must not appear on another.
+        let tsc = Tsc::new(cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf {
+            nr_rx_queues: 4,
+            nr_tx_queues: 4,
+            ring_size: 64,
+        })
+        .unwrap();
+        for q in 0..4u16 {
+            dev.inject_rx(q, pkts(usize::from(q) + 1, 64)).unwrap();
+        }
+        for q in 0..4u16 {
+            let mut out = Vec::new();
+            let st = dev.rx_burst(q, &mut out, 16).unwrap();
+            assert_eq!(st.received, usize::from(q) + 1, "queue {q}");
+        }
+        // TX per queue accumulates its own completions.
+        let mut b0 = pkts(3, 64);
+        let mut b2 = pkts(5, 64);
+        dev.tx_burst(0, &mut b0).unwrap();
+        dev.tx_burst(2, &mut b2).unwrap();
+        let mut done = Vec::new();
+        assert_eq!(dev.reclaim_tx(0, &mut done).unwrap(), 3);
+        assert_eq!(dev.reclaim_tx(2, &mut done).unwrap(), 5);
+        assert_eq!(dev.reclaim_tx(1, &mut done).unwrap(), 0);
+    }
+
+    #[test]
+    fn per_queue_interrupt_modes_are_independent() {
+        let tsc = Tsc::new(cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf {
+            nr_rx_queues: 2,
+            nr_tx_queues: 1,
+            ring_size: 64,
+        })
+        .unwrap();
+        dev.set_queue_mode(0, QueueMode::Interrupt).unwrap();
+        // Queue 1 stays polled.
+        let mut out = Vec::new();
+        dev.rx_burst(0, &mut out, 8).unwrap();
+        dev.rx_burst(1, &mut out, 8).unwrap();
+        assert!(dev.irq_armed(0));
+        assert!(!dev.irq_armed(1));
+    }
+
+    #[test]
+    fn invalid_configure_rejected() {
+        let tsc = Tsc::new(cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        let bad = NetDevConf {
+            nr_rx_queues: 0,
+            ..Default::default()
+        };
+        assert_eq!(dev.configure(bad).unwrap_err(), Errno::Inval);
+        let bad = NetDevConf {
+            ring_size: 300,
+            ..Default::default()
+        };
+        assert_eq!(dev.configure(bad).unwrap_err(), Errno::Inval);
+    }
+}

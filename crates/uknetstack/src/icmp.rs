@@ -1,0 +1,133 @@
+//! ICMP echo (ping): codec and reply logic.
+//!
+//! Rounds out the stack the way lwIP does: echo requests are answered
+//! by the stack itself, and applications can issue pings to probe
+//! reachability (useful when bringing up driver + wiring).
+
+use ukplat::{Errno, Result};
+
+use crate::inet_checksum;
+
+/// ICMP header length for echo messages.
+pub const ICMP_ECHO_LEN: usize = 8;
+
+/// An ICMP echo message (request or reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// `true` for echo request (type 8), `false` for reply (type 0).
+    pub request: bool,
+    /// Identifier (like a process id).
+    pub ident: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Payload carried back verbatim.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpEcho {
+    /// Serializes with a correct ICMP checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(ICMP_ECHO_LEN + self.payload.len());
+        b.push(if self.request { 8 } else { 0 });
+        b.push(0); // code
+        b.extend_from_slice(&[0, 0]); // checksum placeholder
+        b.extend_from_slice(&self.ident.to_be_bytes());
+        b.extend_from_slice(&self.seq.to_be_bytes());
+        b.extend_from_slice(&self.payload);
+        let ck = inet_checksum(&b, 0);
+        b[2..4].copy_from_slice(&ck.to_be_bytes());
+        b
+    }
+
+    /// Parses and checksum-verifies an echo message.
+    pub fn decode(data: &[u8]) -> Result<IcmpEcho> {
+        if data.len() < ICMP_ECHO_LEN {
+            return Err(Errno::Inval);
+        }
+        if inet_checksum(data, 0) != 0 {
+            return Err(Errno::Io);
+        }
+        let request = match data[0] {
+            8 => true,
+            0 => false,
+            _ => return Err(Errno::ProtoNoSupport),
+        };
+        Ok(IcmpEcho {
+            request,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            seq: u16::from_be_bytes([data[6], data[7]]),
+            payload: data[ICMP_ECHO_LEN..].to_vec(),
+        })
+    }
+
+    /// Builds the reply to this request (payload echoed back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a reply.
+    pub fn reply(&self) -> IcmpEcho {
+        assert!(self.request, "only requests are answered");
+        IcmpEcho {
+            request: false,
+            ident: self.ident,
+            seq: self.seq,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = IcmpEcho {
+            request: true,
+            ident: 0x1234,
+            seq: 7,
+            payload: b"ping-data".to_vec(),
+        };
+        assert_eq!(IcmpEcho::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let e = IcmpEcho {
+            request: true,
+            ident: 1,
+            seq: 1,
+            payload: vec![1, 2, 3, 4],
+        };
+        let mut b = e.encode();
+        b[9] ^= 0xff;
+        assert_eq!(IcmpEcho::decode(&b).unwrap_err(), Errno::Io);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpEcho {
+            request: true,
+            ident: 9,
+            seq: 3,
+            payload: b"abc".to_vec(),
+        };
+        let rep = req.reply();
+        assert!(!rep.request);
+        assert_eq!(rep.ident, 9);
+        assert_eq!(rep.seq, 3);
+        assert_eq!(rep.payload, b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "only requests")]
+    fn reply_to_reply_panics() {
+        let rep = IcmpEcho {
+            request: false,
+            ident: 0,
+            seq: 0,
+            payload: Vec::new(),
+        };
+        let _ = rep.reply();
+    }
+}

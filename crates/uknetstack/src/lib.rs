@@ -1,0 +1,150 @@
+//! Network stack micro-library (the paper's lwIP port).
+//!
+//! Unikraft runs lwIP on top of `uknetdev`; applications choose between
+//! the standard socket interface (scenario ➁ in the paper's Figure 4) or
+//! the raw `uknetdev` burst API (scenario ➆) when performance dictates.
+//! This crate is the socket-path substrate: a small but real stack —
+//! byte-level Ethernet/ARP/IPv4/UDP/TCP codecs with genuine Internet
+//! checksums, an ARP cache, a TCP state machine with sequence tracking,
+//! and a non-blocking socket layer.
+//!
+//! Frames travel through a [`VirtioNet`](uknetdev::VirtioNet) device;
+//! [`testnet::Network`] wires multiple stacks together so clients and
+//! servers exchange real packets in-process.
+
+pub mod arp;
+pub mod eth;
+pub mod icmp;
+pub mod ipv4;
+pub mod stack;
+pub mod tcp;
+pub mod testnet;
+pub mod udp;
+
+pub use stack::{NetStack, SocketHandle, StackConfig};
+pub use testnet::Network;
+
+use std::fmt;
+
+/// A MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// Deterministic MAC for test node `n`.
+    pub fn node(n: u8) -> Mac {
+        Mac([0x02, 0x00, 0x00, 0x00, 0x00, n])
+    }
+}
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds an address from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Byte representation (network order).
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// An (address, port) endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub addr: Ipv4Addr,
+    /// Port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Builds an endpoint.
+    pub fn new(addr: Ipv4Addr, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// The Internet checksum (RFC 1071) over `data`, seeded with `initial`.
+pub fn inet_checksum(data: &[u8], initial: u32) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 → checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(inet_checksum(&data, 0), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        let data = [0x01, 0x02, 0x03];
+        // 0x0102 + 0x0300 = 0x0402 → !0x0402 = 0xfbfd.
+        assert_eq!(inet_checksum(&data, 0), 0xfbfd);
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00, 0x40, 0x11];
+        let ck = inet_checksum(&data, 0);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(inet_checksum(&data, 0), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ipv4Addr::new(10, 0, 0, 1).to_string(), "10.0.0.1");
+        assert_eq!(Mac::node(3).to_string(), "02:00:00:00:00:03");
+        assert_eq!(
+            Endpoint::new(Ipv4Addr::new(1, 2, 3, 4), 80).to_string(),
+            "1.2.3.4:80"
+        );
+    }
+}

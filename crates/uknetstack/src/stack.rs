@@ -1,0 +1,581 @@
+//! The stack proper: interface, demux, sockets.
+//!
+//! A [`NetStack`] owns a `uk_netdev` device and implements the socket path
+//! of the paper's architecture (scenario ➁): frames are pulled with
+//! `rx_burst`, decoded (Ethernet → ARP/IPv4 → UDP/TCP), demultiplexed to
+//! sockets, and replies are encoded back into netbufs — taken from a
+//! pre-allocated pool when `use_pools` is on (§5.3 enables memory pools in
+//! lwIP for the throughput runs) — and pushed with `tx_burst`.
+
+use std::collections::{HashMap, VecDeque};
+
+use uknetdev::dev::NetDev;
+use uknetdev::netbuf::{Netbuf, NetbufPool};
+use ukplat::{Errno, Result};
+
+use crate::arp::{ArpCache, ArpOp, ArpPacket};
+use crate::icmp::IcmpEcho;
+use crate::eth::{EthHeader, EtherType, ETH_HDR_LEN};
+use crate::ipv4::{IpProto, Ipv4Header, IPV4_HDR_LEN};
+use crate::tcp::{Tcb, TcpHeader, TcpState};
+use crate::udp::{UdpHeader, UDP_HDR_LEN};
+use crate::{Endpoint, Ipv4Addr, Mac};
+
+/// Interface configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StackConfig {
+    /// Our MAC address.
+    pub mac: Mac,
+    /// Our IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Whether TX buffers come from a pre-allocated pool.
+    pub use_pools: bool,
+    /// Pool size (buffers) when pooling.
+    pub pool_size: usize,
+}
+
+impl StackConfig {
+    /// Config for test node `n` (10.0.0.n).
+    pub fn node(n: u8) -> Self {
+        StackConfig {
+            mac: Mac::node(n),
+            ip: Ipv4Addr::new(10, 0, 0, n),
+            use_pools: true,
+            pool_size: 512,
+        }
+    }
+}
+
+/// Handle to a socket or connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SocketHandle(pub usize);
+
+struct UdpSocket {
+    port: u16,
+    rx: VecDeque<(Endpoint, Vec<u8>)>,
+}
+
+struct TcpConn {
+    tcb: Tcb,
+    remote: Endpoint,
+}
+
+struct TcpListener {
+    port: u16,
+    backlog: VecDeque<SocketHandle>,
+}
+
+/// Stack statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StackStats {
+    /// Frames received and parsed.
+    pub rx_frames: u64,
+    /// Frames transmitted.
+    pub tx_frames: u64,
+    /// Frames dropped (parse errors, unknown ports).
+    pub dropped: u64,
+}
+
+/// The network stack.
+pub struct NetStack {
+    config: StackConfig,
+    dev: Box<dyn NetDev>,
+    arp: ArpCache,
+    pool: Option<NetbufPool>,
+    udp_socks: HashMap<usize, UdpSocket>,
+    udp_ports: HashMap<u16, usize>,
+    conns: HashMap<usize, TcpConn>,
+    /// (local port, remote endpoint) → conn handle.
+    tcp_demux: HashMap<(u16, Endpoint), usize>,
+    listeners: HashMap<u16, TcpListener>,
+    next_handle: usize,
+    next_ephemeral: u16,
+    iss: u32,
+    stats: StackStats,
+    /// Packets waiting for ARP resolution, keyed by next-hop IP.
+    arp_pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
+    /// Echo replies received: (peer, ident, seq).
+    ping_replies: Vec<(Ipv4Addr, u16, u16)>,
+}
+
+impl std::fmt::Debug for NetStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetStack")
+            .field("ip", &self.config.ip)
+            .field("conns", &self.conns.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl NetStack {
+    /// Creates a stack over a configured device.
+    pub fn new(config: StackConfig, dev: Box<dyn NetDev>) -> Self {
+        let pool = config
+            .use_pools
+            .then(|| NetbufPool::new(config.pool_size, 2048, ETH_HDR_LEN + IPV4_HDR_LEN + 64));
+        NetStack {
+            config,
+            dev,
+            arp: ArpCache::new(),
+            pool,
+            udp_socks: HashMap::new(),
+            udp_ports: HashMap::new(),
+            conns: HashMap::new(),
+            tcp_demux: HashMap::new(),
+            listeners: HashMap::new(),
+            next_handle: 1,
+            next_ephemeral: 49152,
+            iss: 1,
+            stats: StackStats::default(),
+            arp_pending: HashMap::new(),
+            ping_replies: Vec::new(),
+        }
+    }
+
+    /// Our address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.config.ip
+    }
+
+    /// Our MAC.
+    pub fn mac(&self) -> Mac {
+        self.config.mac
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    fn handle(&mut self) -> usize {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    // --- UDP ----------------------------------------------------------
+
+    /// Binds a UDP socket to `port`.
+    pub fn udp_bind(&mut self, port: u16) -> Result<SocketHandle> {
+        if self.udp_ports.contains_key(&port) {
+            return Err(Errno::AddrInUse);
+        }
+        let h = self.handle();
+        self.udp_socks.insert(
+            h,
+            UdpSocket {
+                port,
+                rx: VecDeque::new(),
+            },
+        );
+        self.udp_ports.insert(port, h);
+        Ok(SocketHandle(h))
+    }
+
+    /// Sends a datagram.
+    pub fn udp_send_to(&mut self, sock: SocketHandle, data: &[u8], to: Endpoint) -> Result<()> {
+        let src_port = self
+            .udp_socks
+            .get(&sock.0)
+            .ok_or(Errno::BadF)?
+            .port;
+        let ip = Ipv4Header {
+            src: self.config.ip,
+            dst: to.addr,
+            proto: IpProto::Udp,
+            payload_len: UDP_HDR_LEN + data.len(),
+            ttl: 64,
+        };
+        let udp = UdpHeader {
+            src_port,
+            dst_port: to.port,
+        };
+        let dgram = udp.encode(&ip, data);
+        self.send_ipv4(ip, &dgram)
+    }
+
+    /// Receives a datagram, if one is queued.
+    pub fn udp_recv_from(&mut self, sock: SocketHandle) -> Option<(Endpoint, Vec<u8>)> {
+        self.udp_socks.get_mut(&sock.0)?.rx.pop_front()
+    }
+
+    // --- TCP ----------------------------------------------------------
+
+    /// Starts listening on `port`.
+    pub fn tcp_listen(&mut self, port: u16) -> Result<SocketHandle> {
+        if self.listeners.contains_key(&port) {
+            return Err(Errno::AddrInUse);
+        }
+        self.listeners.insert(
+            port,
+            TcpListener {
+                port,
+                backlog: VecDeque::new(),
+            },
+        );
+        Ok(SocketHandle(port as usize | 0x1_0000))
+    }
+
+    /// Accepts a pending connection, if any.
+    pub fn tcp_accept(&mut self, listener: SocketHandle) -> Option<SocketHandle> {
+        let port = (listener.0 & 0xffff) as u16;
+        self.listeners.get_mut(&port)?.backlog.pop_front()
+    }
+
+    /// Starts an active connection; completes after network pumping.
+    pub fn tcp_connect(&mut self, to: Endpoint) -> Result<SocketHandle> {
+        let local_port = self.next_ephemeral;
+        self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(49152);
+        self.iss = self.iss.wrapping_add(64_000);
+        let tcb = Tcb::connect(local_port, to.port, self.iss);
+        let h = self.handle();
+        self.conns.insert(h, TcpConn { tcb, remote: to });
+        self.tcp_demux.insert((local_port, to), h);
+        self.flush_tcp()?;
+        Ok(SocketHandle(h))
+    }
+
+    /// Connection state.
+    pub fn tcp_state(&self, conn: SocketHandle) -> Option<TcpState> {
+        self.conns.get(&conn.0).map(|c| c.tcb.state)
+    }
+
+    /// Queues data on a connection.
+    pub fn tcp_send(&mut self, conn: SocketHandle, data: &[u8]) -> Result<()> {
+        let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
+        c.tcb.app_send(data)?;
+        self.flush_tcp()
+    }
+
+    /// Reads up to `max` bytes from a connection.
+    pub fn tcp_recv(&mut self, conn: SocketHandle, max: usize) -> Result<Vec<u8>> {
+        let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
+        Ok(c.tcb.app_recv(max))
+    }
+
+    /// Bytes ready to read.
+    pub fn tcp_readable(&self, conn: SocketHandle) -> usize {
+        self.conns.get(&conn.0).map(|c| c.tcb.readable()).unwrap_or(0)
+    }
+
+    /// Whether the peer closed (EOF).
+    pub fn tcp_peer_closed(&self, conn: SocketHandle) -> bool {
+        self.conns
+            .get(&conn.0)
+            .map(|c| c.tcb.peer_closed())
+            .unwrap_or(true)
+    }
+
+    /// Starts an orderly close.
+    pub fn tcp_close(&mut self, conn: SocketHandle) -> Result<()> {
+        let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
+        c.tcb.app_close();
+        self.flush_tcp()
+    }
+
+    // --- Data path ----------------------------------------------------
+
+    /// Takes a TX buffer (pool or heap — the application's choice, §3.1).
+    fn take_buf(&mut self) -> Netbuf {
+        match self.pool.as_mut().and_then(|p| p.take()) {
+            Some(nb) => nb,
+            None => Netbuf::alloc(2048, ETH_HDR_LEN + IPV4_HDR_LEN + 64),
+        }
+    }
+
+    fn send_frame(&mut self, dst: Mac, ethertype: EtherType, payload: &[u8]) -> Result<()> {
+        let eth = EthHeader {
+            dst,
+            src: self.config.mac,
+            ethertype,
+        };
+        let mut frame = Vec::with_capacity(ETH_HDR_LEN + payload.len());
+        frame.extend_from_slice(&eth.encode());
+        frame.extend_from_slice(payload);
+        let mut nb = self.take_buf();
+        nb.reset(0);
+        nb.set_payload(&frame);
+        let mut batch = vec![nb];
+        self.dev.tx_burst(0, &mut batch)?;
+        self.stats.tx_frames += 1;
+        Ok(())
+    }
+
+    fn send_ipv4(&mut self, ip: Ipv4Header, transport: &[u8]) -> Result<()> {
+        let mut packet = Vec::with_capacity(IPV4_HDR_LEN + transport.len());
+        packet.extend_from_slice(&ip.encode());
+        packet.extend_from_slice(transport);
+        match self.arp.lookup(ip.dst) {
+            Some(mac) => self.send_frame(mac, EtherType::Ipv4, &packet),
+            None => {
+                // Park the packet and ask who-has.
+                self.arp_pending.entry(ip.dst).or_default().push(packet);
+                let req = ArpPacket {
+                    op: ArpOp::Request,
+                    sha: self.config.mac,
+                    spa: self.config.ip,
+                    tha: Mac([0; 6]),
+                    tpa: ip.dst,
+                };
+                self.send_frame(Mac::BROADCAST, EtherType::Arp, &req.encode())
+            }
+        }
+    }
+
+    /// Emits all pending TCP output.
+    fn flush_tcp(&mut self) -> Result<()> {
+        let mut to_send = Vec::new();
+        for c in self.conns.values_mut() {
+            let remote = c.remote;
+            for seg in c.tcb.poll_output() {
+                to_send.push((remote, seg));
+            }
+        }
+        for (remote, seg) in to_send {
+            let ip = Ipv4Header {
+                src: self.config.ip,
+                dst: remote.addr,
+                proto: IpProto::Tcp,
+                payload_len: crate::tcp::TCP_HDR_LEN + seg.payload.len(),
+                ttl: 64,
+            };
+            let bytes = seg.header.encode(&ip, &seg.payload);
+            self.send_ipv4(ip, &bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Processes received frames and flushes replies. Returns the number
+    /// of frames handled.
+    pub fn pump(&mut self) -> usize {
+        let mut handled = 0;
+        loop {
+            let mut frames = Vec::new();
+            let st = match self.dev.rx_burst(0, &mut frames, 32) {
+                Ok(st) => st,
+                Err(_) => break,
+            };
+            for nb in &frames {
+                if self.handle_frame(nb.payload()).is_ok() {
+                    handled += 1;
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            // Return RX buffers to the pool.
+            if let Some(pool) = self.pool.as_mut() {
+                for nb in frames {
+                    if nb.pool_slot().is_some() {
+                        pool.give_back(nb);
+                    }
+                }
+            }
+            if st.received == 0 && !st.more {
+                break;
+            }
+        }
+        let _ = self.flush_tcp();
+        handled
+    }
+
+    /// Collects transmitted frames (for the wire/hub), recycling the
+    /// underlying buffers into the pool.
+    pub fn harvest_tx_frames(&mut self) -> Vec<Vec<u8>> {
+        let mut done = Vec::new();
+        let _ = self.dev.reclaim_tx(0, &mut done);
+        let mut frames = Vec::with_capacity(done.len());
+        for nb in done {
+            frames.push(nb.payload().to_vec());
+            if nb.pool_slot().is_some() {
+                if let Some(pool) = self.pool.as_mut() {
+                    pool.give_back(nb);
+                }
+            }
+        }
+        frames
+    }
+
+    /// Injects frames into this stack's device RX ring (the wire side).
+    pub fn deliver_frames(&mut self, frames: Vec<Netbuf>) {
+        let _ = self.dev.inject_rx(0, frames);
+    }
+
+    fn handle_frame(&mut self, frame: &[u8]) -> Result<()> {
+        self.stats.rx_frames += 1;
+        let (eth, payload) = EthHeader::decode(frame)?;
+        if eth.dst != self.config.mac && eth.dst != Mac::BROADCAST {
+            return Err(Errno::Inval);
+        }
+        match eth.ethertype {
+            EtherType::Arp => self.handle_arp(payload),
+            EtherType::Ipv4 => self.handle_ipv4(payload),
+        }
+    }
+
+    fn handle_arp(&mut self, data: &[u8]) -> Result<()> {
+        let arp = ArpPacket::decode(data)?;
+        self.arp.insert(arp.spa, arp.sha);
+        // Release packets that were waiting on this mapping.
+        if let Some(pending) = self.arp_pending.remove(&arp.spa) {
+            for packet in pending {
+                self.send_frame(arp.sha, EtherType::Ipv4, &packet)?;
+            }
+        }
+        if arp.op == ArpOp::Request && arp.tpa == self.config.ip {
+            let reply = ArpPacket {
+                op: ArpOp::Reply,
+                sha: self.config.mac,
+                spa: self.config.ip,
+                tha: arp.sha,
+                tpa: arp.spa,
+            };
+            self.send_frame(arp.sha, EtherType::Arp, &reply.encode())?;
+        }
+        Ok(())
+    }
+
+    fn handle_ipv4(&mut self, data: &[u8]) -> Result<()> {
+        let (ip, payload) = Ipv4Header::decode(data)?;
+        if ip.dst != self.config.ip {
+            return Err(Errno::Inval);
+        }
+        match ip.proto {
+            IpProto::Udp => self.handle_udp(&ip, payload),
+            IpProto::Tcp => self.handle_tcp(&ip, payload),
+            IpProto::Icmp => self.handle_icmp(&ip, payload),
+        }
+    }
+
+    fn handle_icmp(&mut self, ip: &Ipv4Header, data: &[u8]) -> Result<()> {
+        let echo = IcmpEcho::decode(data)?;
+        if echo.request {
+            // Answer pings like lwIP does.
+            let reply = echo.reply().encode();
+            let hdr = Ipv4Header {
+                src: self.config.ip,
+                dst: ip.src,
+                proto: IpProto::Icmp,
+                payload_len: reply.len(),
+                ttl: 64,
+            };
+            self.send_ipv4(hdr, &reply)
+        } else {
+            self.ping_replies.push((ip.src, echo.ident, echo.seq));
+            Ok(())
+        }
+    }
+
+    /// Sends an ICMP echo request to `dst`.
+    pub fn ping(&mut self, dst: Ipv4Addr, ident: u16, seq: u16) -> Result<()> {
+        let echo = IcmpEcho {
+            request: true,
+            ident,
+            seq,
+            payload: b"unikraft-rs ping".to_vec(),
+        }
+        .encode();
+        let hdr = Ipv4Header {
+            src: self.config.ip,
+            dst,
+            proto: IpProto::Icmp,
+            payload_len: echo.len(),
+            ttl: 64,
+        };
+        self.send_ipv4(hdr, &echo)
+    }
+
+    /// Drains echo replies received so far: (peer, ident, seq).
+    pub fn ping_replies(&mut self) -> Vec<(Ipv4Addr, u16, u16)> {
+        std::mem::take(&mut self.ping_replies)
+    }
+
+    fn handle_udp(&mut self, ip: &Ipv4Header, dgram: &[u8]) -> Result<()> {
+        let (udp, payload) = UdpHeader::decode(ip, dgram)?;
+        let h = *self.udp_ports.get(&udp.dst_port).ok_or(Errno::ConnRefused)?;
+        let sock = self.udp_socks.get_mut(&h).ok_or(Errno::BadF)?;
+        sock.rx.push_back((
+            Endpoint::new(ip.src, udp.src_port),
+            payload.to_vec(),
+        ));
+        Ok(())
+    }
+
+    fn handle_tcp(&mut self, ip: &Ipv4Header, seg: &[u8]) -> Result<()> {
+        let (tcp, payload) = TcpHeader::decode(ip, seg)?;
+        let remote = Endpoint::new(ip.src, tcp.src_port);
+        let key = (tcp.dst_port, remote);
+        if let Some(&h) = self.tcp_demux.get(&key) {
+            if let Some(c) = self.conns.get_mut(&h) {
+                c.tcb.on_segment(&tcp, payload);
+                return Ok(());
+            }
+        }
+        // No connection: a SYN to a listener spawns one.
+        if tcp.flags.syn && !tcp.flags.ack {
+            if let Some(l) = self.listeners.get_mut(&tcp.dst_port) {
+                let port = l.port;
+                let mut tcb = Tcb::listen(port);
+                self.iss = self.iss.wrapping_add(64_000);
+                tcb.on_segment(&tcp, payload);
+                let h = self.handle();
+                self.conns.insert(h, TcpConn { tcb, remote });
+                self.tcp_demux.insert(key, h);
+                self.listeners
+                    .get_mut(&tcp.dst_port)
+                    .expect("listener exists")
+                    .backlog
+                    .push_back(SocketHandle(h));
+                return Ok(());
+            }
+        }
+        Err(Errno::ConnRefused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uknetdev::backend::VhostKind;
+    use uknetdev::dev::NetDevConf;
+    use uknetdev::VirtioNet;
+    use ukplat::time::Tsc;
+
+    fn stack(n: u8) -> NetStack {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        NetStack::new(StackConfig::node(n), Box::new(dev))
+    }
+
+    #[test]
+    fn udp_bind_conflicts_detected() {
+        let mut s = stack(1);
+        s.udp_bind(5000).unwrap();
+        assert_eq!(s.udp_bind(5000).unwrap_err(), Errno::AddrInUse);
+    }
+
+    #[test]
+    fn udp_send_without_arp_parks_and_requests() {
+        let mut s = stack(1);
+        let sock = s.udp_bind(5000).unwrap();
+        s.udp_send_to(sock, b"ping", Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7))
+            .unwrap();
+        // One broadcast ARP request must have left the stack.
+        assert_eq!(s.stats().tx_frames, 1);
+        assert_eq!(s.arp_pending.len(), 1);
+    }
+
+    #[test]
+    fn tcp_listen_twice_fails() {
+        let mut s = stack(1);
+        s.tcp_listen(80).unwrap();
+        assert_eq!(s.tcp_listen(80).unwrap_err(), Errno::AddrInUse);
+    }
+
+    #[test]
+    fn recv_on_bad_handle_errors() {
+        let mut s = stack(1);
+        assert_eq!(s.tcp_recv(SocketHandle(99), 10).unwrap_err(), Errno::BadF);
+    }
+}

@@ -1,0 +1,546 @@
+//! TCP: header codec and a compact connection state machine.
+//!
+//! Enough TCP to run the paper's request/response servers over real
+//! packets: three-way handshake, sequence/ack tracking, MSS segmentation,
+//! PSH data delivery, FIN teardown and RST on unexpected segments. The
+//! in-process wire is lossless and ordered, so retransmission and
+//! congestion control are intentionally out of scope (documented in
+//! DESIGN.md).
+
+use std::collections::VecDeque;
+
+use ukplat::{Errno, Result};
+
+use crate::inet_checksum;
+use crate::ipv4::Ipv4Header;
+
+/// TCP header length (no options).
+pub const TCP_HDR_LEN: usize = 20;
+/// Maximum segment size used by the stack (Ethernet MTU minus headers).
+pub const MSS: usize = 1460;
+
+/// TCP flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// FIN.
+    pub fin: bool,
+    /// RST.
+    pub rst: bool,
+    /// PSH.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+
+    fn to_u8(self) -> u8 {
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_u8(v: u8) -> Self {
+        TcpFlags {
+            fin: v & 1 != 0,
+            syn: v & 2 != 0,
+            rst: v & 4 != 0,
+            psh: v & 8 != 0,
+            ack: v & 16 != 0,
+        }
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Serializes header + payload into a segment with a valid checksum.
+    pub fn encode(&self, ip: &Ipv4Header, payload: &[u8]) -> Vec<u8> {
+        let mut seg = Vec::with_capacity(TCP_HDR_LEN + payload.len());
+        seg.extend_from_slice(&self.src_port.to_be_bytes());
+        seg.extend_from_slice(&self.dst_port.to_be_bytes());
+        seg.extend_from_slice(&self.seq.to_be_bytes());
+        seg.extend_from_slice(&self.ack.to_be_bytes());
+        seg.push(5 << 4); // Data offset 5 words.
+        seg.push(self.flags.to_u8());
+        seg.extend_from_slice(&self.window.to_be_bytes());
+        seg.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        seg.extend_from_slice(&[0, 0]); // Urgent pointer.
+        seg.extend_from_slice(payload);
+        let ck = inet_checksum(&seg, ip.pseudo_header_sum());
+        seg[16..18].copy_from_slice(&ck.to_be_bytes());
+        seg
+    }
+
+    /// Parses and verifies a segment; returns header + payload.
+    pub fn decode<'a>(ip: &Ipv4Header, seg: &'a [u8]) -> Result<(TcpHeader, &'a [u8])> {
+        if seg.len() < TCP_HDR_LEN {
+            return Err(Errno::Inval);
+        }
+        let doff = (seg[12] >> 4) as usize * 4;
+        if doff < TCP_HDR_LEN || doff > seg.len() {
+            return Err(Errno::Inval);
+        }
+        if inet_checksum(seg, ip.pseudo_header_sum()) != 0 {
+            return Err(Errno::Io);
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([seg[0], seg[1]]),
+                dst_port: u16::from_be_bytes([seg[2], seg[3]]),
+                seq: u32::from_be_bytes([seg[4], seg[5], seg[6], seg[7]]),
+                ack: u32::from_be_bytes([seg[8], seg[9], seg[10], seg[11]]),
+                flags: TcpFlags::from_u8(seg[13]),
+                window: u16::from_be_bytes([seg[14], seg[15]]),
+            },
+            &seg[doff..],
+        ))
+    }
+}
+
+/// TCP connection states (subset of RFC 793).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Passive open.
+    Listen,
+    /// Active open sent.
+    SynSent,
+    /// Handshake reply sent.
+    SynReceived,
+    /// Data flows.
+    Established,
+    /// We sent FIN.
+    FinWait,
+    /// Peer sent FIN; we may still send.
+    CloseWait,
+    /// We sent FIN after CloseWait.
+    LastAck,
+    /// Done.
+    Closed,
+}
+
+/// An outgoing segment (flags + payload), produced by the TCB.
+#[derive(Debug, Clone)]
+pub struct OutSegment {
+    /// Header to send.
+    pub header: TcpHeader,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A transmission control block.
+#[derive(Debug)]
+pub struct Tcb {
+    /// Connection state.
+    pub state: TcpState,
+    local_port: u16,
+    remote_port: u16,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    /// Bytes the application queued but we have not yet segmented.
+    send_buf: VecDeque<u8>,
+    /// Bytes received, ready for the application.
+    recv_buf: VecDeque<u8>,
+    /// Segments ready to be emitted on the wire.
+    out: VecDeque<OutSegment>,
+    /// Whether the app asked to close after the send buffer drains.
+    closing: bool,
+    /// Peer closed its direction.
+    peer_fin: bool,
+}
+
+impl Tcb {
+    /// Creates a listening TCB (server side).
+    pub fn listen(local_port: u16) -> Self {
+        Tcb::new(TcpState::Listen, local_port, 0, 0)
+    }
+
+    /// Creates a connecting TCB and queues the SYN (client side).
+    pub fn connect(local_port: u16, remote_port: u16, iss: u32) -> Self {
+        let mut tcb = Tcb::new(TcpState::SynSent, local_port, remote_port, iss);
+        tcb.emit(TcpFlags::SYN, Vec::new());
+        tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1); // SYN consumes a sequence.
+        tcb
+    }
+
+    fn new(state: TcpState, local_port: u16, remote_port: u16, iss: u32) -> Self {
+        Tcb {
+            state,
+            local_port,
+            remote_port,
+            snd_nxt: iss,
+            rcv_nxt: 0,
+            send_buf: VecDeque::new(),
+            recv_buf: VecDeque::new(),
+            out: VecDeque::new(),
+            closing: false,
+            peer_fin: false,
+        }
+    }
+
+    fn emit(&mut self, flags: TcpFlags, payload: Vec<u8>) {
+        self.out.push_back(OutSegment {
+            header: TcpHeader {
+                src_port: self.local_port,
+                dst_port: self.remote_port,
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags,
+                window: 65535,
+            },
+            payload,
+        });
+    }
+
+    /// Handles an incoming segment.
+    pub fn on_segment(&mut self, h: &TcpHeader, payload: &[u8]) {
+        if h.flags.rst {
+            self.state = TcpState::Closed;
+            return;
+        }
+        match self.state {
+            TcpState::Listen => {
+                if h.flags.syn {
+                    self.remote_port = h.src_port;
+                    self.rcv_nxt = h.seq.wrapping_add(1);
+                    self.emit(
+                        TcpFlags {
+                            syn: true,
+                            ack: true,
+                            ..Default::default()
+                        },
+                        Vec::new(),
+                    );
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.state = TcpState::SynReceived;
+                }
+            }
+            TcpState::SynSent => {
+                if h.flags.syn && h.flags.ack {
+                    self.rcv_nxt = h.seq.wrapping_add(1);
+                    self.emit(
+                        TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
+                        Vec::new(),
+                    );
+                    self.state = TcpState::Established;
+                }
+            }
+            TcpState::SynReceived => {
+                if h.flags.ack {
+                    self.state = TcpState::Established;
+                    // The ACK completing the handshake may carry data.
+                    self.ingest(h, payload);
+                }
+            }
+            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+                self.ingest(h, payload);
+                if h.flags.fin && self.state == TcpState::Established {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    self.peer_fin = true;
+                    self.emit(
+                        TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
+                        Vec::new(),
+                    );
+                    self.state = TcpState::CloseWait;
+                } else if h.flags.fin && self.state == TcpState::FinWait {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    self.emit(
+                        TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
+                        Vec::new(),
+                    );
+                    self.state = TcpState::Closed;
+                }
+            }
+            TcpState::LastAck => {
+                if h.flags.ack {
+                    self.state = TcpState::Closed;
+                }
+            }
+            TcpState::Closed => {
+                // Reply RST to anything but RST.
+                self.emit(
+                    TcpFlags {
+                        rst: true,
+                        ack: true,
+                        ..Default::default()
+                    },
+                    Vec::new(),
+                );
+            }
+        }
+    }
+
+    fn ingest(&mut self, h: &TcpHeader, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        if h.seq == self.rcv_nxt {
+            self.recv_buf.extend(payload);
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            self.emit(
+                TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                },
+                Vec::new(),
+            );
+        }
+        // Out-of-order segments are impossible on the lossless testnet;
+        // they would be dropped (and retransmitted) on a real one.
+    }
+
+    /// Queues application data for transmission.
+    pub fn app_send(&mut self, data: &[u8]) -> Result<()> {
+        match self.state {
+            TcpState::Established | TcpState::CloseWait | TcpState::SynReceived => {
+                self.send_buf.extend(data);
+                Ok(())
+            }
+            _ => Err(Errno::NotConn),
+        }
+    }
+
+    /// Reads up to `max` bytes the peer sent.
+    pub fn app_recv(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.recv_buf.len());
+        self.recv_buf.drain(..n).collect()
+    }
+
+    /// Bytes available to read.
+    pub fn readable(&self) -> usize {
+        self.recv_buf.len()
+    }
+
+    /// Whether the peer has closed and all data was read.
+    pub fn peer_closed(&self) -> bool {
+        self.peer_fin && self.recv_buf.is_empty()
+    }
+
+    /// Starts an orderly close once the send buffer drains.
+    pub fn app_close(&mut self) {
+        self.closing = true;
+    }
+
+    /// Segments pending transmission: segmentation of queued data (MSS
+    /// chunks, PSH on the last), then FIN if closing.
+    pub fn poll_output(&mut self) -> Vec<OutSegment> {
+        if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
+            while !self.send_buf.is_empty() {
+                let n = self.send_buf.len().min(MSS);
+                let chunk: Vec<u8> = self.send_buf.drain(..n).collect();
+                let last = self.send_buf.is_empty();
+                let len = chunk.len() as u32;
+                self.emit(
+                    TcpFlags {
+                        ack: true,
+                        psh: last,
+                        ..Default::default()
+                    },
+                    chunk,
+                );
+                self.snd_nxt = self.snd_nxt.wrapping_add(len);
+            }
+            if self.closing {
+                self.emit(
+                    TcpFlags {
+                        fin: true,
+                        ack: true,
+                        ..Default::default()
+                    },
+                    Vec::new(),
+                );
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.state = if self.state == TcpState::CloseWait {
+                    TcpState::LastAck
+                } else {
+                    TcpState::FinWait
+                };
+                self.closing = false;
+            }
+        }
+        self.out.drain(..).collect()
+    }
+
+    /// The local port.
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// The remote port (0 while listening).
+    pub fn remote_port(&self) -> u16 {
+        self.remote_port
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::IpProto;
+    use crate::Ipv4Addr;
+
+    fn ip(len: usize) -> Ipv4Header {
+        Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            proto: IpProto::Tcp,
+            payload_len: len,
+            ttl: 64,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = TcpHeader {
+            src_port: 4000,
+            dst_port: 80,
+            seq: 12345,
+            ack: 67890,
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 65535,
+        };
+        let seg = h.encode(&ip(TCP_HDR_LEN + 3), b"abc");
+        let (h2, p) = TcpHeader::decode(&ip(TCP_HDR_LEN + 3), &seg).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(p, b"abc");
+    }
+
+    /// Drives two TCBs against each other until no segments remain.
+    fn pump(a: &mut Tcb, b: &mut Tcb) {
+        for _ in 0..32 {
+            let from_a = a.poll_output();
+            let from_b = b.poll_output();
+            if from_a.is_empty() && from_b.is_empty() {
+                break;
+            }
+            for s in from_a {
+                b.on_segment(&s.header, &s.payload);
+            }
+            for s in from_b {
+                a.on_segment(&s.header, &s.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1000);
+        pump(&mut client, &mut server);
+        assert_eq!(client.state, TcpState::Established);
+        assert_eq!(server.state, TcpState::Established);
+        assert_eq!(server.remote_port(), 4000);
+    }
+
+    #[test]
+    fn data_transfer_both_directions() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        client.app_send(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        pump(&mut client, &mut server);
+        assert_eq!(server.app_recv(1024), b"GET / HTTP/1.1\r\n\r\n");
+        server.app_send(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        pump(&mut client, &mut server);
+        assert_eq!(client.app_recv(1024), b"HTTP/1.1 200 OK\r\n\r\n");
+    }
+
+    #[test]
+    fn large_payload_is_segmented_by_mss() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let big = vec![0x5a; MSS * 3 + 100];
+        client.app_send(&big).unwrap();
+        let segs = client.poll_output();
+        let data_segs: Vec<_> = segs.iter().filter(|s| !s.payload.is_empty()).collect();
+        assert_eq!(data_segs.len(), 4);
+        assert!(data_segs[..3].iter().all(|s| s.payload.len() == MSS));
+        assert!(data_segs[3].header.flags.psh);
+        for s in segs {
+            server.on_segment(&s.header, &s.payload);
+        }
+        assert_eq!(server.readable(), big.len());
+        assert_eq!(server.app_recv(usize::MAX), big);
+    }
+
+    #[test]
+    fn orderly_close_four_way() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        client.app_close();
+        pump(&mut client, &mut server);
+        assert_eq!(server.state, TcpState::CloseWait);
+        assert!(server.peer_closed());
+        server.app_close();
+        pump(&mut client, &mut server);
+        assert_eq!(server.state, TcpState::Closed);
+        assert_eq!(client.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn send_before_established_fails() {
+        let mut c = Tcb::connect(1, 2, 0);
+        assert_eq!(c.app_send(b"x").unwrap_err(), Errno::NotConn);
+    }
+
+    #[test]
+    fn rst_kills_connection() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let rst = TcpHeader {
+            src_port: 80,
+            dst_port: 4000,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags {
+                rst: true,
+                ..Default::default()
+            },
+            window: 0,
+        };
+        client.on_segment(&rst, &[]);
+        assert_eq!(client.state, TcpState::Closed);
+    }
+}

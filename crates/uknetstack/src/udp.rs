@@ -1,0 +1,110 @@
+//! UDP codec with pseudo-header checksums.
+
+use ukplat::{Errno, Result};
+
+use crate::inet_checksum;
+use crate::ipv4::Ipv4Header;
+
+/// UDP header length.
+pub const UDP_HDR_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpHeader {
+    /// Serializes header + payload into a datagram with a valid checksum
+    /// computed over the given IPv4 pseudo header.
+    pub fn encode(&self, ip: &Ipv4Header, payload: &[u8]) -> Vec<u8> {
+        let len = (UDP_HDR_LEN + payload.len()) as u16;
+        let mut dgram = Vec::with_capacity(len as usize);
+        dgram.extend_from_slice(&self.src_port.to_be_bytes());
+        dgram.extend_from_slice(&self.dst_port.to_be_bytes());
+        dgram.extend_from_slice(&len.to_be_bytes());
+        dgram.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        dgram.extend_from_slice(payload);
+        let ck = inet_checksum(&dgram, ip.pseudo_header_sum());
+        let ck = if ck == 0 { 0xffff } else { ck };
+        dgram[6..8].copy_from_slice(&ck.to_be_bytes());
+        dgram
+    }
+
+    /// Parses and verifies a datagram; returns header + payload.
+    pub fn decode<'a>(ip: &Ipv4Header, dgram: &'a [u8]) -> Result<(UdpHeader, &'a [u8])> {
+        if dgram.len() < UDP_HDR_LEN {
+            return Err(Errno::Inval);
+        }
+        let len = u16::from_be_bytes([dgram[4], dgram[5]]) as usize;
+        if len < UDP_HDR_LEN || len > dgram.len() {
+            return Err(Errno::Inval);
+        }
+        let ck = u16::from_be_bytes([dgram[6], dgram[7]]);
+        if ck != 0 && inet_checksum(&dgram[..len], ip.pseudo_header_sum()) != 0 {
+            return Err(Errno::Io);
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([dgram[0], dgram[1]]),
+                dst_port: u16::from_be_bytes([dgram[2], dgram[3]]),
+            },
+            &dgram[UDP_HDR_LEN..len],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::IpProto;
+    use crate::Ipv4Addr;
+
+    fn ip(payload_len: usize) -> Ipv4Header {
+        Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            proto: IpProto::Udp,
+            payload_len,
+            ttl: 64,
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let h = UdpHeader {
+            src_port: 5000,
+            dst_port: 53,
+        };
+        let payload = b"dns-query";
+        let ip = ip(UDP_HDR_LEN + payload.len());
+        let dgram = h.encode(&ip, payload);
+        let (h2, p2) = UdpHeader::decode(&ip, &dgram).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let ip = ip(UDP_HDR_LEN + 4);
+        let mut dgram = h.encode(&ip, &[1, 2, 3, 4]);
+        dgram[9] ^= 0x55;
+        assert_eq!(UdpHeader::decode(&ip, &dgram).unwrap_err(), Errno::Io);
+    }
+
+    #[test]
+    fn short_datagram_rejected() {
+        let ip = ip(4);
+        assert_eq!(
+            UdpHeader::decode(&ip, &[0; 4]).unwrap_err(),
+            Errno::Inval
+        );
+    }
+}

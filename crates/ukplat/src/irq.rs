@@ -1,0 +1,235 @@
+//! Simulated interrupt controller.
+//!
+//! `uknetdev` queues can run in interrupt mode: the driver enables the
+//! queue's interrupt line when it runs dry, and the device raises the line
+//! when new work arrives (§3.1 of the paper). This module provides the
+//! line-level mechanics: registration, masking, raising and dispatch.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Number of interrupt lines our platforms expose.
+pub const NLINES: usize = 64;
+
+/// An interrupt handler. Returns `true` if it handled work.
+pub type IrqHandler = Box<dyn Fn() -> bool>;
+
+struct Line {
+    handler: Option<IrqHandler>,
+    enabled: bool,
+    pending: bool,
+    /// Statistics: how many times this line fired.
+    fired: u64,
+}
+
+impl std::fmt::Debug for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Line")
+            .field("has_handler", &self.handler.is_some())
+            .field("enabled", &self.enabled)
+            .field("pending", &self.pending)
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+/// The platform interrupt controller.
+///
+/// Cloning yields a handle to the same controller (devices and the boot
+/// code share it).
+#[derive(Debug, Clone)]
+pub struct IrqController {
+    lines: Rc<RefCell<Vec<Line>>>,
+}
+
+impl IrqController {
+    /// Creates a controller with `n` lines, all masked and unclaimed.
+    pub fn new(n: usize) -> Self {
+        let lines = (0..n)
+            .map(|_| Line {
+                handler: None,
+                enabled: false,
+                pending: false,
+                fired: 0,
+            })
+            .collect();
+        IrqController {
+            lines: Rc::new(RefCell::new(lines)),
+        }
+    }
+
+    /// Registers `handler` on `line` and unmasks it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range or already claimed — double
+    /// registration is a driver bug, as in Unikraft.
+    pub fn register(&self, line: usize, handler: IrqHandler) {
+        let mut lines = self.lines.borrow_mut();
+        let l = &mut lines[line];
+        assert!(l.handler.is_none(), "IRQ line {line} already claimed");
+        l.handler = Some(handler);
+        l.enabled = true;
+    }
+
+    /// Unmasks `line` (device may fire).
+    pub fn enable(&self, line: usize) {
+        self.lines.borrow_mut()[line].enabled = true;
+    }
+
+    /// Masks `line`; raises while masked are latched as pending.
+    pub fn disable(&self, line: usize) {
+        self.lines.borrow_mut()[line].enabled = false;
+    }
+
+    /// Whether `line` is currently unmasked.
+    pub fn is_enabled(&self, line: usize) -> bool {
+        self.lines.borrow()[line].enabled
+    }
+
+    /// Raises `line`. If unmasked and a handler is registered, the handler
+    /// runs immediately (simulating injection); otherwise the interrupt is
+    /// latched and delivered on the next [`IrqController::enable`] +
+    /// [`IrqController::dispatch_pending`].
+    ///
+    /// Returns `true` if a handler ran.
+    pub fn raise(&self, line: usize) -> bool {
+        // Take the handler decision under the borrow, then run the handler
+        // outside it so handlers can re-enter the controller.
+        let run = {
+            let mut lines = self.lines.borrow_mut();
+            let l = &mut lines[line];
+            if l.enabled && l.handler.is_some() {
+                l.fired += 1;
+                true
+            } else {
+                l.pending = true;
+                false
+            }
+        };
+        if run {
+            self.run_handler(line);
+        }
+        run
+    }
+
+    /// Delivers any latched interrupts on unmasked lines.
+    ///
+    /// Returns the number of handlers that ran.
+    pub fn dispatch_pending(&self) -> usize {
+        let mut ran = 0;
+        let n = self.lines.borrow().len();
+        for line in 0..n {
+            let fire = {
+                let mut lines = self.lines.borrow_mut();
+                let l = &mut lines[line];
+                if l.pending && l.enabled && l.handler.is_some() {
+                    l.pending = false;
+                    l.fired += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if fire {
+                self.run_handler(line);
+                ran += 1;
+            }
+        }
+        ran
+    }
+
+    /// How many times `line` fired so far.
+    pub fn fired_count(&self, line: usize) -> u64 {
+        self.lines.borrow()[line].fired
+    }
+
+    fn run_handler(&self, line: usize) {
+        // Move the handler out for the duration of the call so the
+        // RefCell is not held across user code.
+        let handler = self.lines.borrow_mut()[line].handler.take();
+        if let Some(h) = handler {
+            let _ = h();
+            let mut lines = self.lines.borrow_mut();
+            // Another registration while we ran would be a bug; restore.
+            assert!(
+                lines[line].handler.is_none(),
+                "IRQ line {line} re-registered during dispatch"
+            );
+            lines[line].handler = Some(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn raise_runs_registered_handler() {
+        let ctl = IrqController::new(4);
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        ctl.register(1, Box::new(move || {
+            h.set(h.get() + 1);
+            true
+        }));
+        assert!(ctl.raise(1));
+        assert_eq!(hits.get(), 1);
+        assert_eq!(ctl.fired_count(1), 1);
+    }
+
+    #[test]
+    fn masked_line_latches_pending() {
+        let ctl = IrqController::new(4);
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        ctl.register(0, Box::new(move || {
+            h.set(h.get() + 1);
+            true
+        }));
+        ctl.disable(0);
+        assert!(!ctl.raise(0));
+        assert_eq!(hits.get(), 0);
+        ctl.enable(0);
+        assert_eq!(ctl.dispatch_pending(), 1);
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn raise_without_handler_is_pending() {
+        let ctl = IrqController::new(2);
+        assert!(!ctl.raise(1));
+        // Registering later and dispatching delivers it.
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        ctl.register(1, Box::new(move || {
+            h.set(h.get() + 1);
+            true
+        }));
+        assert_eq!(ctl.dispatch_pending(), 1);
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_register_panics() {
+        let ctl = IrqController::new(2);
+        ctl.register(0, Box::new(|| true));
+        ctl.register(0, Box::new(|| true));
+    }
+
+    #[test]
+    fn handler_may_reenter_controller() {
+        let ctl = IrqController::new(4);
+        let c2 = ctl.clone();
+        ctl.register(2, Box::new(move || {
+            // Re-entering to mask ourselves must not deadlock.
+            c2.disable(2);
+            true
+        }));
+        assert!(ctl.raise(2));
+        assert!(!ctl.is_enabled(2));
+    }
+}

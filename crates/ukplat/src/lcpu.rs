@@ -1,0 +1,171 @@
+//! Logical CPU abstraction.
+//!
+//! Unikraft's `plat` layer provides only the raw mechanisms a scheduler
+//! needs — context save/restore and a timer — while scheduling *policy*
+//! lives in `uksched` micro-libraries. This module models the mechanism
+//! side: a logical CPU with a current context, a context-switch primitive
+//! that charges its real-world cost, and a one-shot timer used by the
+//! preemptive scheduler.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::cost;
+use crate::time::Tsc;
+
+/// Identifier of a thread context known to the platform.
+pub type CtxId = u64;
+
+/// A one-shot timer deadline in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerDeadline(pub u64);
+
+#[derive(Debug)]
+struct LcpuInner {
+    current: CtxId,
+    switches: u64,
+    timer: Option<TimerDeadline>,
+}
+
+/// A logical CPU.
+///
+/// Each scheduler instance in `uksched` owns one `Lcpu` — the paper notes
+/// that Unikraft can instantiate one scheduler per virtual CPU.
+#[derive(Debug, Clone)]
+pub struct Lcpu {
+    id: u32,
+    tsc: Tsc,
+    inner: Rc<RefCell<LcpuInner>>,
+}
+
+impl Lcpu {
+    /// Creates logical CPU `id` running bootstrap context 0.
+    pub fn new(id: u32, tsc: &Tsc) -> Self {
+        Lcpu {
+            id,
+            tsc: tsc.clone(),
+            inner: Rc::new(RefCell::new(LcpuInner {
+                current: 0,
+                switches: 0,
+                timer: None,
+            })),
+        }
+    }
+
+    /// This CPU's index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The context currently executing.
+    pub fn current(&self) -> CtxId {
+        self.inner.borrow().current
+    }
+
+    /// Switches to `next`, charging the cooperative or preemptive
+    /// context-switch cost to the TSC.
+    pub fn switch_to(&self, next: CtxId, preemptive: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.current == next {
+            return;
+        }
+        inner.current = next;
+        inner.switches += 1;
+        let c = if preemptive {
+            cost::CTX_SWITCH_PREEMPT_CYCLES
+        } else {
+            cost::CTX_SWITCH_COOP_CYCLES
+        };
+        self.tsc.advance(c);
+    }
+
+    /// Number of context switches performed so far.
+    pub fn switch_count(&self) -> u64 {
+        self.inner.borrow().switches
+    }
+
+    /// Arms the one-shot preemption timer for `deadline`.
+    pub fn arm_timer(&self, deadline: TimerDeadline) {
+        self.inner.borrow_mut().timer = Some(deadline);
+    }
+
+    /// Disarms the timer.
+    pub fn disarm_timer(&self) {
+        self.inner.borrow_mut().timer = None;
+    }
+
+    /// Checks whether the armed timer has expired at the current virtual
+    /// time; if so, disarms it and returns `true`.
+    pub fn timer_fired(&self) -> bool {
+        let now_ns = self.tsc.cycles_to_ns(self.tsc.now_cycles());
+        let mut inner = self.inner.borrow_mut();
+        match inner.timer {
+            Some(TimerDeadline(d)) if now_ns >= d => {
+                inner.timer = None;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tsc() -> Tsc {
+        Tsc::new(1_000_000_000)
+    }
+
+    #[test]
+    fn switch_changes_current_and_charges() {
+        let t = tsc();
+        let cpu = Lcpu::new(0, &t);
+        assert_eq!(cpu.current(), 0);
+        cpu.switch_to(7, false);
+        assert_eq!(cpu.current(), 7);
+        assert_eq!(cpu.switch_count(), 1);
+        assert_eq!(t.now_cycles(), cost::CTX_SWITCH_COOP_CYCLES);
+    }
+
+    #[test]
+    fn switch_to_self_is_free() {
+        let t = tsc();
+        let cpu = Lcpu::new(0, &t);
+        cpu.switch_to(0, false);
+        assert_eq!(cpu.switch_count(), 0);
+        assert_eq!(t.now_cycles(), 0);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn preemptive_switch_costs_more() {
+        let t = tsc();
+        let cpu = Lcpu::new(0, &t);
+        cpu.switch_to(1, true);
+        assert_eq!(t.now_cycles(), cost::CTX_SWITCH_PREEMPT_CYCLES);
+        assert!(cost::CTX_SWITCH_PREEMPT_CYCLES > cost::CTX_SWITCH_COOP_CYCLES);
+    }
+
+    #[test]
+    fn timer_fires_once() {
+        let t = tsc();
+        let cpu = Lcpu::new(0, &t);
+        cpu.arm_timer(TimerDeadline(100));
+        assert!(!cpu.timer_fired());
+        t.advance_ns(150);
+        assert!(cpu.timer_fired());
+        // One-shot: does not fire again.
+        assert!(!cpu.timer_fired());
+    }
+
+    #[test]
+    fn disarm_cancels() {
+        let t = tsc();
+        let cpu = Lcpu::new(0, &t);
+        cpu.arm_timer(TimerDeadline(10));
+        cpu.disarm_timer();
+        t.advance_ns(100);
+        assert!(!cpu.timer_fired());
+    }
+}

@@ -1,0 +1,136 @@
+//! Coverage analysis: Figures 5 and 7.
+
+use std::collections::HashMap;
+
+use uksyscall::UNIKRAFT_SUPPORTED;
+
+use crate::appdb::{AppRequirements, TOP30_APPS};
+
+/// How many of the 30 apps need each syscall (Figure 5's color scale).
+pub fn usage_counts() -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for a in TOP30_APPS.iter() {
+        for nr in &a.syscalls {
+            *counts.entry(*nr).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// (supported, total) requirement coverage for one app against the
+/// Unikraft-supported set.
+pub fn coverage(app: &AppRequirements) -> (usize, usize) {
+    let supported = app
+        .syscalls
+        .iter()
+        .filter(|nr| UNIKRAFT_SUPPORTED.contains(nr))
+        .count();
+    (supported, app.syscalls.len())
+}
+
+/// Coverage assuming `extra` syscalls were additionally implemented
+/// (Figure 7's "if top 5 / top 10 implemented" projections).
+pub fn coverage_with_extra(app: &AppRequirements, extra: &[u32]) -> (usize, usize) {
+    let supported = app
+        .syscalls
+        .iter()
+        .filter(|nr| UNIKRAFT_SUPPORTED.contains(nr) || extra.contains(nr))
+        .count();
+    (supported, app.syscalls.len())
+}
+
+/// The `n` unsupported syscalls most frequently required across all 30
+/// apps — the paper's "next 5 / next 10 most common syscalls".
+pub fn top_missing(n: usize) -> Vec<u32> {
+    let counts = usage_counts();
+    let mut missing: Vec<(u32, u32)> = counts
+        .into_iter()
+        .filter(|(nr, _)| !UNIKRAFT_SUPPORTED.contains(nr))
+        .collect();
+    // Highest demand first; stable tie-break on number.
+    missing.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    missing.into_iter().take(n).map(|(nr, _)| nr).collect()
+}
+
+/// Figure 5 summary: of all syscalls any app needs, how many Unikraft
+/// supports, and how many exist overall.
+pub fn heatmap_summary() -> (usize, usize, usize) {
+    let needed = usage_counts();
+    let needed_supported = needed
+        .keys()
+        .filter(|nr| UNIKRAFT_SUPPORTED.contains(nr))
+        .count();
+    (needed_supported, needed.len(), 314)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_is_mostly_supported() {
+        // Fig 7's first take-away: "all applications are close to having
+        // full support (the graph is mostly green)".
+        for a in TOP30_APPS.iter() {
+            let (s, t) = coverage(a);
+            let pct = s as f64 / t as f64;
+            assert!(pct >= 0.55, "{}: only {:.0}%", a.name, pct * 100.0);
+        }
+    }
+
+    #[test]
+    fn no_app_is_fully_supported_yet() {
+        // Even nginx/sqlite bars are not all green in the paper (some
+        // syscalls are stubbed), and fork-family calls are unsupported.
+        let all_full = TOP30_APPS.iter().all(|a| {
+            let (s, t) = coverage(a);
+            s == t
+        });
+        assert!(!all_full);
+    }
+
+    #[test]
+    fn top_missing_projections_increase_coverage() {
+        let top5 = top_missing(5);
+        let top10 = top_missing(10);
+        assert_eq!(top5.len(), 5);
+        assert_eq!(top10.len(), 10);
+        assert_eq!(&top10[..5], &top5[..]);
+        let mut improved = 0;
+        for a in TOP30_APPS.iter() {
+            let (s0, _) = coverage(a);
+            let (s5, _) = coverage_with_extra(a, &top5);
+            let (s10, t) = coverage_with_extra(a, &top10);
+            assert!(s5 >= s0);
+            assert!(s10 >= s5);
+            assert!(s10 <= t);
+            if s5 > s0 {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 10, "top-5 must help many apps, got {improved}");
+    }
+
+    #[test]
+    fn more_than_half_of_all_syscalls_unneeded() {
+        // §4.1: "more than half the syscalls are not even needed in
+        // order to support popular applications".
+        let (_, needed, total) = heatmap_summary();
+        assert!(needed * 2 < total + needed, "needed {needed} of {total}");
+        assert!(needed < 200);
+    }
+
+    #[test]
+    fn write_is_needed_by_all_apps() {
+        let counts = usage_counts();
+        assert_eq!(counts[&1], 30, "Fig 5: square 1 (write) is black");
+    }
+
+    #[test]
+    fn futex_and_eventfd_among_missing() {
+        // eventfd (284/290) is WIP per §4.1; fork (57) unsupported.
+        let missing = top_missing(30);
+        assert!(missing.contains(&284) || missing.contains(&290));
+        assert!(missing.contains(&57));
+    }
+}

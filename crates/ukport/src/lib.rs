@@ -1,0 +1,23 @@
+//! Application-compatibility analysis (`ukport`).
+//!
+//! §4.1 of the paper builds a framework that derives, per application,
+//! the set of syscalls it actually needs (static analysis extended with
+//! strace-driven dynamic analysis over unit tests), then compares that
+//! against what Unikraft's syscall shim implements:
+//!
+//! - [`appdb`] — the requirement database for the top-30 Debian server
+//!   applications (Figure 5's columns / Figure 7's bars);
+//! - [`analysis`] — the coverage computations: the Figure 5 heatmap
+//!   (how many apps need each syscall), per-app support percentages, and
+//!   the "if top-5 / top-10 implemented" projections of Figure 7;
+//! - [`survey`] — the developer porting-effort survey of Figure 6;
+//! - [`table2`] — the 24 externally-built library archives of Table 2
+//!   with their link outcomes against musl/newlib ± compat layer.
+
+pub mod analysis;
+pub mod appdb;
+pub mod survey;
+pub mod table2;
+
+pub use analysis::{coverage, coverage_with_extra, top_missing, usage_counts};
+pub use appdb::{AppRequirements, TOP30_APPS};

@@ -1,0 +1,138 @@
+//! Property-based tests: the VFS against a reference model, SHFS
+//! against a hash map, and 9P codec robustness.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ukvfs::shfs::Shfs;
+use ukvfs::vfscore::Vfs;
+use ukvfs::{NinePHost, RamFs};
+
+/// Random file operations applied both to the VFS (ramfs-backed) and to
+/// a plain map model; contents must agree at every read.
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create { name: u8, data: Vec<u8> },
+    Append { name: u8, data: Vec<u8> },
+    Read { name: u8 },
+    Unlink { name: u8 },
+}
+
+fn fs_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(name, data)| FsOp::Create { name: name % 8, data }),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(name, data)| FsOp::Append { name: name % 8, data }),
+        any::<u8>().prop_map(|name| FsOp::Read { name: name % 8 }),
+        any::<u8>().prop_map(|name| FsOp::Unlink { name: name % 8 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vfs_matches_model(ops in proptest::collection::vec(fs_op(), 1..60)) {
+        let mut vfs = Vfs::new();
+        vfs.mount("/", Box::new(RamFs::new())).unwrap();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                FsOp::Create { name, data } => {
+                    let path = format!("/f{name}");
+                    let fd = vfs.create(&path).unwrap();
+                    vfs.write(fd, &data).unwrap();
+                    vfs.close(fd).unwrap();
+                    model.insert(path, data);
+                }
+                FsOp::Append { name, data } => {
+                    let path = format!("/f{name}");
+                    if let Some(m) = model.get_mut(&path) {
+                        let fd = vfs.open(&path).unwrap();
+                        let size = vfs.fsize(fd).unwrap();
+                        vfs.lseek(fd, size).unwrap();
+                        vfs.write(fd, &data).unwrap();
+                        vfs.close(fd).unwrap();
+                        m.extend_from_slice(&data);
+                    } else {
+                        prop_assert!(vfs.open(&path).is_err());
+                    }
+                }
+                FsOp::Read { name } => {
+                    let path = format!("/f{name}");
+                    match model.get(&path) {
+                        Some(expect) => {
+                            let fd = vfs.open(&path).unwrap();
+                            let got = vfs.read(fd, expect.len() + 16).unwrap();
+                            vfs.close(fd).unwrap();
+                            prop_assert_eq!(&got, expect);
+                        }
+                        None => prop_assert!(vfs.open(&path).is_err()),
+                    }
+                }
+                FsOp::Unlink { name } => {
+                    let path = format!("/f{name}");
+                    if model.remove(&path).is_some() {
+                        vfs.unlink(&path).unwrap();
+                    } else {
+                        prop_assert!(vfs.unlink(&path).is_err());
+                    }
+                }
+            }
+        }
+        // Directory listing agrees with the model keys.
+        let mut listed = vfs.readdir("/").unwrap();
+        listed.sort();
+        let mut expected: Vec<String> = model
+            .keys()
+            .map(|k| k.trim_start_matches('/').to_string())
+            .collect();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+        prop_assert_eq!(vfs.open_fds(), 0, "no descriptor leaks");
+    }
+
+    /// SHFS behaves like a map for arbitrary insert/open sequences even
+    /// with heavy bucket collisions.
+    #[test]
+    fn shfs_matches_map(entries in proptest::collection::vec(
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32)), 1..80)
+    ) {
+        let mut fs = Shfs::with_buckets(4); // Force collisions.
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for (name, data) in entries {
+            let name = format!("obj-{}", name % 16);
+            fs.insert(&name, data.clone());
+            model.insert(name, data);
+        }
+        prop_assert_eq!(fs.len(), model.len());
+        for (name, data) in &model {
+            let h = fs.open(name).unwrap();
+            prop_assert_eq!(fs.read(h, 0, data.len() + 8).unwrap(), &data[..]);
+            prop_assert_eq!(fs.size(h).unwrap(), data.len());
+        }
+        prop_assert!(fs.open("never-inserted").is_err());
+    }
+
+    /// The 9P host never panics on arbitrary request bytes — it must
+    /// reply (usually Rerror) or reject, not crash.
+    #[test]
+    fn ninep_host_tolerates_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut host = NinePHost::new(RamFs::new());
+        // Correct the size prefix half the time so we exercise both the
+        // framing check and the per-message parsers.
+        let mut msg = bytes.clone();
+        if msg.len() >= 4 {
+            let fix = (msg[0] & 1) == 0;
+            if fix {
+                let sz = (msg.len() as u32).to_le_bytes();
+                msg[..4].copy_from_slice(&sz);
+            }
+        }
+        let reply = host.serve(&msg);
+        prop_assert!(!reply.is_empty());
+    }
+}

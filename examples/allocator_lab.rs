@@ -1,0 +1,88 @@
+//! Allocator specialization lab (§3.2, §5.5).
+//!
+//! ```text
+//! cargo run --release --example allocator_lab
+//! ```
+//!
+//! Demonstrates the two `ukalloc` superpowers the paper leans on:
+//!
+//! 1. *pick-and-choose*: boot the same image with each backend and watch
+//!    the boot-time/runtime trade-off (Figures 14–16);
+//! 2. *multiplexing*: run two allocators in one unikernel — a region
+//!    allocator for boot, a general-purpose one for the app — and flip
+//!    the default at runtime (the GC-handoff pattern).
+
+use std::time::Instant;
+
+use unikraft_rs::alloc::{AllocBackend, AllocRegistry};
+use unikraft_rs::apps::sqldb::SqlDb;
+use unikraft_rs::boot::sequence::{BootConfig, BootSequence};
+use unikraft_rs::plat::vmm::VmmKind;
+
+fn main() {
+    println!("== 1. boot + workload per backend ==");
+    println!(
+        "{:<14} {:>14} {:>16}",
+        "allocator", "boot (guest)", "10k inserts"
+    );
+    for backend in [
+        AllocBackend::Buddy,
+        AllocBackend::Tlsf,
+        AllocBackend::TinyAlloc,
+        AllocBackend::Mimalloc,
+        AllocBackend::BootAlloc,
+    ] {
+        // Boot cost.
+        let mut cfg = BootConfig::nginx(VmmKind::Firecracker, backend);
+        cfg.ram_bytes = 64 * 1024 * 1024;
+        let mut seq = BootSequence::new(cfg);
+        let report = seq.run().expect("boot");
+
+        // Runtime cost: the SQL insert workload.
+        let mut a = backend.instantiate();
+        a.init(1 << 26, 128 << 20).expect("init");
+        let mut db = SqlDb::new(a);
+        let t = Instant::now();
+        db.insert_workload(10_000).expect("workload");
+        let work_ns = t.elapsed().as_nanos() as u64;
+
+        println!(
+            "{:<14} {:>11} us {:>13} us",
+            backend.name(),
+            report.guest_ns / 1_000,
+            work_ns / 1_000
+        );
+    }
+
+    println!("\n== 2. two allocators in one image (GC-handoff pattern) ==");
+    let mut reg = AllocRegistry::new();
+    let early = reg
+        .register(AllocBackend::BootAlloc, 0x10_0000, 1 << 20)
+        .expect("boot heap");
+    println!(
+        "early boot uses {:?} ({})",
+        early,
+        reg.name(early).expect("registered")
+    );
+    let boot_obj = reg.malloc_default(4096).expect("boot-time allocation");
+    println!("  boot-time object at {boot_obj:#x}");
+
+    let main = reg
+        .register(AllocBackend::Mimalloc, 0x40_0000, 32 << 20)
+        .expect("main heap");
+    reg.set_default(main).expect("switch default");
+    println!(
+        "application uses {:?} ({})",
+        main,
+        reg.name(main).expect("registered")
+    );
+    let app_obj = reg.malloc_default(4096).expect("app allocation");
+    println!("  app object at {app_obj:#x} (different region)");
+    assert!(app_obj >= 0x40_0000);
+
+    let stats = reg.total_stats();
+    println!(
+        "registry totals: {} allocations, {} bytes live",
+        stats.alloc_count, stats.cur_bytes
+    );
+}

@@ -1,0 +1,74 @@
+//! Explore the micro-library build system (§3, Figures 2, 3, 8).
+//!
+//! ```text
+//! cargo run --example build_explorer
+//! ```
+//!
+//! Resolves build configurations through the Kconfig-style resolver,
+//! prints the dependency graphs the paper contrasts with Linux, and
+//! shows how subtractive specialization (dropping lwip + the scheduler
+//! for a uknetdev appliance) shrinks the image.
+
+use unikraft_rs::build::config::BuildConfig;
+use unikraft_rs::build::graph::DepGraph;
+use unikraft_rs::build::image::{link_image, LinkPass};
+use unikraft_rs::build::registry::LibRegistry;
+
+fn main() {
+    let reg = LibRegistry::standard();
+
+    println!("== dependency graphs (Figures 1-3) ==");
+    let linux = DepGraph::linux();
+    println!(
+        "Linux kernel : {:>2} components, {:>3} edges, avg degree {:.1}",
+        linux.nodes.len(),
+        linux.edges.len(),
+        linux.avg_degree()
+    );
+    for app in ["app-helloworld", "app-nginx"] {
+        let g = DepGraph::from_config(&reg, &BuildConfig::new(app)).expect("resolves");
+        println!(
+            "{:<13}: {:>2} micro-libs,  {:>3} edges, avg degree {:.1}",
+            app,
+            g.nodes.len(),
+            g.edges.len(),
+            g.avg_degree()
+        );
+    }
+
+    println!("\n== image sizes across link passes (Figure 8) ==");
+    for app in ["app-helloworld", "app-nginx", "app-redis", "app-sqlite"] {
+        print!("{app:<16}");
+        for pass in LinkPass::all() {
+            let rep = link_image(&reg, &BuildConfig::new(app), pass).expect("links");
+            print!(" {:>9.1} KB", rep.size_kb());
+        }
+        println!();
+    }
+
+    println!("\n== subtractive specialization (the §6.4 appliance) ==");
+    let full = link_image(&reg, &BuildConfig::new("app-nginx"), LinkPass::DceLto)
+        .expect("links");
+    let slim_cfg = BuildConfig::new("app-nginx")
+        .without_lib("lwip")
+        .without_lib("ukschedcoop")
+        .with_lib("uknetdev");
+    let slim = link_image(&reg, &slim_cfg, LinkPass::DceLto).expect("links");
+    println!(
+        "full socket-path image : {:>8.1} KB ({} libs)",
+        full.size_kb(),
+        full.libs.len()
+    );
+    println!(
+        "uknetdev appliance     : {:>8.1} KB ({} libs)",
+        slim.size_kb(),
+        slim.libs.len()
+    );
+    println!(
+        "dropped: {:?}",
+        full.libs
+            .iter()
+            .filter(|l| !slim.libs.contains(l))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,115 @@
+//! Integration: boot unikernels across the configuration matrix.
+//!
+//! Every combination of VMM x allocator x paging mode must boot, produce
+//! a consistent report, and hand back working subsystems.
+
+use unikraft_rs::alloc::AllocBackend;
+use unikraft_rs::boot::paging::PagingMode;
+use unikraft_rs::core::UnikernelBuilder;
+use unikraft_rs::netdev::backend::VhostKind;
+use unikraft_rs::plat::vmm::VmmKind;
+use unikraft_rs::sched::SchedPolicy;
+
+#[test]
+fn full_matrix_boots() {
+    for vmm in VmmKind::all() {
+        for alloc in AllocBackend::all() {
+            for paging in [PagingMode::Static, PagingMode::Dynamic, PagingMode::Disabled] {
+                let mut uk = UnikernelBuilder::new("matrix")
+                    .platform(vmm)
+                    .allocator(alloc)
+                    .paging(paging)
+                    .memory(16 * 1024 * 1024)
+                    .build()
+                    .unwrap_or_else(|e| panic!("{vmm:?}/{alloc:?}/{paging:?}: {e}"));
+                let report = uk
+                    .boot()
+                    .unwrap_or_else(|e| panic!("{vmm:?}/{alloc:?}/{paging:?}: {e}"));
+                assert!(report.guest_ns > 0, "{vmm:?}/{alloc:?}/{paging:?}");
+                assert_eq!(
+                    report.guest_ns,
+                    report.stages.iter().map(|s| s.ns).sum::<u64>(),
+                    "stage sum must equal guest total"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faster_vmm_means_faster_total() {
+    let boot = |vmm| {
+        let mut uk = UnikernelBuilder::new("x").platform(vmm).build().unwrap();
+        uk.boot().unwrap().vmm_ns
+    };
+    assert!(boot(VmmKind::Firecracker) < boot(VmmKind::QemuMicroVm));
+    assert!(boot(VmmKind::QemuMicroVm) < boot(VmmKind::Qemu));
+}
+
+#[test]
+fn scheduler_and_net_compose() {
+    for sched in [SchedPolicy::None, SchedPolicy::Coop, SchedPolicy::Preempt] {
+        let mut uk = UnikernelBuilder::new("composed")
+            .scheduler(sched)
+            .with_net(VhostKind::VhostUser, 5)
+            .allocator(AllocBackend::Tlsf)
+            .build()
+            .unwrap();
+        uk.boot().unwrap();
+        assert_eq!(uk.sched_mut().is_some(), sched != SchedPolicy::None);
+        assert!(uk.stack_mut().is_some());
+    }
+}
+
+#[test]
+fn run_to_completion_image_has_no_scheduler() {
+    // The paper's §3.3: scheduling is optional; a run-to-completion
+    // unikernel carries no scheduler at all.
+    let mut uk = UnikernelBuilder::new("rtc")
+        .scheduler(SchedPolicy::None)
+        .build()
+        .unwrap();
+    let report = uk.boot().unwrap();
+    assert!(uk.sched_mut().is_none());
+    assert!(report.stage_ns("sched").is_none());
+}
+
+#[test]
+fn boot_reports_allocator_stage_for_every_backend() {
+    for alloc in AllocBackend::all() {
+        let mut uk = UnikernelBuilder::new("alloc-stage")
+            .allocator(alloc)
+            .memory(32 * 1024 * 1024)
+            .build()
+            .unwrap();
+        let report = uk.boot().unwrap();
+        assert!(report.stage_ns("alloc").is_some(), "{alloc:?}");
+        // The booted heap serves allocations.
+        let heap = uk.heap_id().unwrap();
+        let reg = uk.registry_mut().unwrap();
+        let p = reg.malloc(heap, 1024).unwrap();
+        if alloc != AllocBackend::BootAlloc {
+            reg.free(heap, p);
+        }
+    }
+}
+
+#[test]
+fn buddy_has_slowest_alloc_stage() {
+    let stage = |alloc| {
+        let mut best = u64::MAX;
+        for _ in 0..5 {
+            let mut uk = UnikernelBuilder::new("t")
+                .allocator(alloc)
+                .memory(64 * 1024 * 1024)
+                .build()
+                .unwrap();
+            let r = uk.boot().unwrap();
+            best = best.min(r.stage_ns("alloc").unwrap());
+        }
+        best
+    };
+    // Fig 14's shape: buddy's per-page init dominates.
+    assert!(stage(AllocBackend::Buddy) > stage(AllocBackend::BootAlloc));
+    assert!(stage(AllocBackend::Buddy) > stage(AllocBackend::Tlsf));
+}

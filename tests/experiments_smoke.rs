@@ -1,0 +1,96 @@
+//! Integration: every experiment harness produces a sane report.
+//!
+//! The heavyweight throughput experiments are exercised at reduced scale
+//! by their own crate tests; here we smoke the cheap/deterministic ones
+//! end to end through the public `ukbench` entry point.
+
+use ukbench::run_experiment;
+
+fn report(id: &str) -> String {
+    run_experiment(id).unwrap_or_else(|| panic!("experiment {id} missing"))
+}
+
+#[test]
+fn tab1_contains_paper_numbers() {
+    let r = report("tab1");
+    assert!(r.contains("222"));
+    assert!(r.contains("84"));
+    assert!(r.contains("61.67"));
+}
+
+#[test]
+fn tab2_reproduces_porting_matrix() {
+    let r = report("tab2");
+    assert!(r.contains("lib-sqlite"));
+    // 24 libraries, all compat cells green (checked by unit tests);
+    // here: std column has both successes and failures.
+    assert!(r.contains("ok"));
+    assert!(r.contains('X'));
+}
+
+#[test]
+fn graph_figures_emit_metrics() {
+    assert!(report("fig1").contains("avg out-degree"));
+    assert!(report("fig2").contains("app-nginx"));
+    assert!(report("fig3").contains("app-helloworld"));
+}
+
+#[test]
+fn fig5_and_fig7_cover_thirty_apps() {
+    let f5 = report("fig5");
+    assert!(f5.contains("146"));
+    let f7 = report("fig7");
+    for app in ["apache", "nginx", "redis", "sqlite3", "postgresql"] {
+        assert!(f7.contains(app), "{app} missing");
+    }
+}
+
+#[test]
+fn fig6_shows_declining_effort() {
+    let r = report("fig6");
+    assert!(r.contains("Q2 2019"));
+    assert!(r.contains("287"));
+}
+
+#[test]
+fn fig8_fig9_report_sizes() {
+    let r8 = report("fig8");
+    assert!(r8.contains("+DCE+LTO"));
+    let r9 = report("fig9");
+    assert!(r9.contains("Unikraft"));
+    assert!(r9.contains("OSv"));
+}
+
+#[test]
+fn fig10_boot_breakdown() {
+    let r = report("fig10");
+    assert!(r.contains("Firecracker"));
+    assert!(r.contains("QEMU (MicroVM)"));
+}
+
+#[test]
+fn fig21_static_vs_dynamic() {
+    let r = report("fig21");
+    assert!(r.contains("static 1GB"));
+    assert!(r.contains("dynamic 3GB"));
+}
+
+#[test]
+fn fig22_shfs_speedup() {
+    let r = report("fig22");
+    assert!(r.contains("Unikraft SHFS"));
+    assert!(r.contains("speedup"));
+}
+
+#[test]
+fn tab4_runs_all_modes() {
+    let r = report("tab4");
+    assert!(r.contains("uknetdev"));
+    assert!(r.contains("LWIP"));
+    assert!(r.contains("baremetal"));
+}
+
+#[test]
+fn unknown_id_is_rejected() {
+    assert!(run_experiment("fig99").is_none());
+}

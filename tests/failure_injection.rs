@@ -1,0 +1,139 @@
+//! Integration: failure injection across subsystem boundaries.
+//!
+//! A production OS library must fail loudly and cleanly: boots abort on
+//! driver errors, allocators report exhaustion instead of corrupting,
+//! rings drop instead of overrunning, and filesystems return errno.
+
+use unikraft_rs::alloc::AllocBackend;
+use unikraft_rs::boot::sequence::{BootConfig, BootSequence};
+use unikraft_rs::core::UnikernelBuilder;
+use unikraft_rs::netdev::backend::VhostKind;
+use unikraft_rs::netdev::dev::{NetDev, NetDevConf};
+use unikraft_rs::netdev::netbuf::Netbuf;
+use unikraft_rs::netdev::VirtioNet;
+use unikraft_rs::plat::time::Tsc;
+use unikraft_rs::plat::vmm::VmmKind;
+use unikraft_rs::plat::Errno;
+
+#[test]
+fn failing_driver_aborts_boot_cleanly() {
+    let mut seq = BootSequence::new(BootConfig::hello(VmmKind::Firecracker));
+    seq.add_stage("flaky-nic", |_, _| Err(Errno::Io));
+    assert_eq!(seq.run().unwrap_err(), Errno::Io);
+    // Nothing half-initialized leaks out.
+    assert!(seq.registry_mut().is_none());
+}
+
+#[test]
+fn boot_time_allocation_failure_propagates() {
+    let mut seq = BootSequence::new(BootConfig::hello(VmmKind::Solo5));
+    seq.add_stage("greedy-driver", |_, reg| {
+        let id = reg.default_id().ok_or(Errno::NoMem)?;
+        // Demand far more than the 8 MiB hello heap.
+        for _ in 0..10_000 {
+            reg.malloc(id, 64 * 1024).ok_or(Errno::NoMem)?;
+        }
+        Ok(())
+    });
+    assert_eq!(seq.run().unwrap_err(), Errno::NoMem);
+}
+
+#[test]
+fn rx_ring_overflow_drops_instead_of_growing() {
+    let tsc = Tsc::new(3_600_000_000);
+    let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+    dev.configure(NetDevConf {
+        ring_size: 64,
+        ..Default::default()
+    })
+    .unwrap();
+    let frames: Vec<Netbuf> = (0..200)
+        .map(|_| {
+            let mut nb = Netbuf::alloc(128, 0);
+            nb.set_len(60);
+            nb
+        })
+        .collect();
+    let injected = dev.inject_rx(0, frames).unwrap();
+    assert_eq!(injected, 64, "ring capacity bounds acceptance");
+    let mut out = Vec::new();
+    let st = dev.rx_burst(0, &mut out, 256).unwrap();
+    assert!(st.received <= 64);
+}
+
+#[test]
+fn allocator_exhaustion_is_reported_not_fatal() {
+    for backend in AllocBackend::all() {
+        let mut a = backend.instantiate();
+        a.init(1 << 20, 256 * 1024).unwrap();
+        let mut taken = Vec::new();
+        // 2 KiB blocks: enough of them that even Oscar's 64-block
+        // quarantine drains during the free phase below.
+        while let Some(p) = a.malloc(2048) {
+            taken.push(p);
+            assert!(taken.len() < 10_000, "{:?} never exhausts", backend.name());
+        }
+        assert!(a.stats().failed_count > 0, "{}", backend.name());
+        // After frees, a same-sized request succeeds again (size-class
+        // sharded allocators only reuse within the class; Oscar delays
+        // reuse behind its quarantine, so drain everything for it).
+        if a.reclaims() && !taken.is_empty() {
+            for p in taken.drain(..) {
+                a.free(p);
+            }
+            assert!(a.malloc(2048).is_some(), "{}", backend.name());
+        }
+    }
+}
+
+#[test]
+fn vfs_errors_map_to_errnos() {
+    let mut uk = UnikernelBuilder::new("errs").build().unwrap();
+    uk.boot().unwrap();
+    let vfs = uk.vfs_mut().unwrap();
+    assert_eq!(vfs.open("/missing").unwrap_err(), Errno::NoEnt);
+    assert_eq!(vfs.open("relative").unwrap_err(), Errno::Inval);
+    vfs.mkdir("/d").unwrap();
+    assert_eq!(vfs.open("/d").unwrap_err(), Errno::IsDir);
+    let fd = vfs.create("/f").unwrap();
+    vfs.close(fd).unwrap();
+    assert_eq!(vfs.read(fd, 1).unwrap_err(), Errno::BadF);
+}
+
+#[test]
+fn oversized_workset_fails_but_unikernel_survives() {
+    let mut uk = UnikernelBuilder::new("survivor")
+        .memory(8 * 1024 * 1024)
+        .allocator(AllocBackend::Tlsf)
+        .build()
+        .unwrap();
+    uk.boot().unwrap();
+    assert_eq!(
+        uk.allocate_workset(1 << 30).unwrap_err(),
+        Errno::NoMem
+    );
+    // The VFS still functions after the failed allocation burst.
+    let vfs = uk.vfs_mut().unwrap();
+    let fd = vfs.create("/still-alive").unwrap();
+    vfs.write(fd, b"ok").unwrap();
+}
+
+#[test]
+fn stack_rejects_traffic_for_foreign_addresses() {
+    use unikraft_rs::netstack::stack::{NetStack, StackConfig};
+    let tsc = Tsc::new(3_600_000_000);
+    let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+    dev.configure(NetDevConf::default()).unwrap();
+    let mut stack = NetStack::new(StackConfig::node(1), Box::new(dev));
+    // Inject a frame addressed to someone else's MAC.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 99]); // dst: node 99
+    frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]); // src
+    frame.extend_from_slice(&0x0800u16.to_be_bytes());
+    frame.extend_from_slice(&[0u8; 28]);
+    let mut nb = Netbuf::alloc(frame.len().max(64), 0);
+    nb.set_payload(&frame);
+    stack.deliver_frames(vec![nb]);
+    stack.pump();
+    assert_eq!(stack.stats().dropped, 1);
+}

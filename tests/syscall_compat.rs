@@ -1,0 +1,83 @@
+//! Integration: syscall shim + compatibility analysis agree.
+
+use unikraft_rs::core::UnikernelBuilder;
+use unikraft_rs::plat::time::Tsc;
+use unikraft_rs::port::analysis;
+use unikraft_rs::port::appdb::TOP30_APPS;
+use unikraft_rs::syscall::shim::{SyscallMode, SyscallShim};
+use unikraft_rs::syscall::{syscall_nr, UNIKRAFT_SUPPORTED};
+use uksyscall::uk_syscall_register;
+
+#[test]
+fn booted_unikernel_serves_the_supported_surface() {
+    let mut uk = UnikernelBuilder::new("compat").build().unwrap();
+    uk.boot().unwrap();
+    let shim = uk.shim_mut();
+    // Every supported syscall answers without ENOSYS.
+    for &nr in UNIKRAFT_SUPPORTED.iter() {
+        assert_ne!(shim.invoke(nr, &[]), -38, "syscall {nr}");
+    }
+    assert_eq!(shim.enosys_hits(), 0);
+    // An unsupported one is auto-stubbed with -ENOSYS (§4.1).
+    assert_eq!(shim.invoke(284, &[]), -38);
+    assert_eq!(shim.enosys_hits(), 1);
+}
+
+#[test]
+fn registered_surface_matches_coverage_analysis() {
+    let mut uk = UnikernelBuilder::new("coverage").build().unwrap();
+    uk.boot().unwrap();
+    let registered = uk.shim_mut().registered();
+    assert_eq!(registered.len(), UNIKRAFT_SUPPORTED.len());
+    // The per-app coverage computed by ukport equals what the live shim
+    // would actually serve.
+    let nginx = TOP30_APPS.iter().find(|a| a.name == "nginx").unwrap();
+    let (supported, total) = analysis::coverage(nginx);
+    let live = nginx
+        .syscalls
+        .iter()
+        .filter(|nr| registered.contains(nr))
+        .count();
+    assert_eq!(supported, live);
+    assert!(supported as f64 / total as f64 > 0.9);
+}
+
+#[test]
+fn app_runs_with_stubbed_syscalls() {
+    // "many applications work even if certain syscalls are stubbed or
+    // return ENOSYS" — simulate an app probing optional syscalls.
+    let tsc = Tsc::new(3_600_000_000);
+    let mut shim = SyscallShim::new(SyscallMode::UnikraftNative, &tsc);
+    uk_syscall_register!(shim, write, |args: &[u64]| args[2] as i64);
+    uk_syscall_register!(shim, getpid, |_args| 1);
+    // The app probes eventfd (missing) and falls back to pipes.
+    let r = shim.invoke_by_name("eventfd", &[0]).unwrap();
+    assert_eq!(r, -38);
+    // And keeps working through supported calls.
+    assert_eq!(shim.invoke_by_name("write", &[1, 0, 10]).unwrap(), 10);
+    assert_eq!(shim.invoke_by_name("getpid", &[]).unwrap(), 1);
+    assert_eq!(shim.missing_syscalls(), &[syscall_nr("eventfd").unwrap()]);
+}
+
+#[test]
+fn mode_costs_are_ordered_like_table1() {
+    let cost_of = |mode: SyscallMode| {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut shim = SyscallShim::new(mode, &tsc);
+        shim.register(39, Box::new(|_| 0));
+        for _ in 0..100 {
+            shim.invoke(39, &[]);
+        }
+        tsc.now_cycles()
+    };
+    let native = cost_of(SyscallMode::UnikraftNative);
+    let bincompat = cost_of(SyscallMode::UnikraftBinCompat);
+    let nomit = cost_of(SyscallMode::LinuxTrapNoMitigations);
+    let full = cost_of(SyscallMode::LinuxTrap);
+    assert!(native < bincompat);
+    assert!(bincompat < nomit);
+    assert!(nomit < full);
+    // "system calls with run-time translation have a tenfold performance
+    // cost compared to function calls".
+    assert!(bincompat >= 10 * native);
+}
