@@ -1,0 +1,37 @@
+# unikraft-rs — tier-1 verification and common developer targets.
+#
+# `make verify` is the one-command tier-1 check (build + tests for the
+# root crate, as the ROADMAP specifies); `make verify-workspace` sweeps
+# every crate in the workspace, which is what CI should run.
+
+CARGO ?= cargo
+
+.PHONY: verify verify-workspace test bench bench-event examples clean
+
+## Tier-1: release build + root-crate tests (ROADMAP's check).
+verify:
+	$(CARGO) build --release
+	$(CARGO) test -q
+
+## The full sweep: every workspace crate's unit, integration and prop
+## tests, plus bench/example compilation.
+verify-workspace:
+	$(CARGO) build --release --workspace --benches --examples
+	$(CARGO) test -q --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+## All criterion benches (smoke harness — prints ns/iter).
+bench:
+	$(CARGO) bench
+
+## Just the ukevent readiness benches.
+bench-event:
+	$(CARGO) bench -p ukbench --bench event
+
+examples:
+	$(CARGO) build --release --examples
+
+clean:
+	$(CARGO) clean

@@ -1,0 +1,108 @@
+//! Criterion benches for the `ukevent` readiness subsystem: wakeup
+//! latency (publish → deliver), dispatch throughput over wide interest
+//! lists, eventfd counter ops, and the park/wake cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ukevent::{EventFd, EventMask, EventQueue, ReadySource};
+use uksched::ThreadId;
+
+/// One edge published, one event delivered: the subsystem's end-to-end
+/// wakeup latency for a single watched object.
+fn bench_wakeup_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_wakeup");
+    let mut q = EventQueue::new();
+    let s = ReadySource::new();
+    q.ctl_add(1, &s, EventMask::IN).unwrap();
+    g.bench_function("raise_poll_clear", |b| {
+        b.iter(|| {
+            s.raise(EventMask::IN);
+            let n = q.poll_ready(8).len();
+            s.clear(EventMask::IN);
+            n
+        });
+    });
+    // Edge-triggered variant: the delivery bookkeeping differs.
+    let mut qet = EventQueue::new();
+    let set = ReadySource::new();
+    qet.ctl_add(1, &set, EventMask::IN | EventMask::ET).unwrap();
+    g.bench_function("raise_poll_clear_et", |b| {
+        b.iter(|| {
+            set.raise(EventMask::IN);
+            let n = qet.poll_ready(8).len();
+            set.clear(EventMask::IN);
+            n
+        });
+    });
+    g.finish();
+}
+
+/// Events/sec through one queue as the interest list widens: the scan
+/// cost a single-loop server pays per turn with N connections.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_dispatch");
+    for n in [16usize, 256, 1024] {
+        let mut q = EventQueue::new();
+        let sources: Vec<ReadySource> = (0..n).map(|_| ReadySource::new()).collect();
+        for (i, s) in sources.iter().enumerate() {
+            q.ctl_add(i as u64, s, EventMask::IN).unwrap();
+        }
+        // A realistic turn: 1/8 of the sockets have pending input.
+        for s in sources.iter().step_by(8) {
+            s.raise(EventMask::IN);
+        }
+        g.bench_function(format!("poll_{n}_sources"), |b| {
+            b.iter(|| q.poll_ready(n).len());
+        });
+    }
+    g.finish();
+}
+
+/// eventfd counter signal/consume pairs, normal vs semaphore mode.
+fn bench_eventfd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eventfd");
+    let mut efd = EventFd::new(0, 0).unwrap();
+    g.bench_function("write_read_pair", |b| {
+        b.iter(|| {
+            efd.write(1).unwrap();
+            efd.read().unwrap()
+        });
+    });
+    let mut sem = EventFd::new(0, ukevent::EFD_SEMAPHORE).unwrap();
+    g.bench_function("semaphore_pair", |b| {
+        b.iter(|| {
+            sem.write(1).unwrap();
+            sem.read().unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// The full blocking-path cycle: park a waiter, publish an edge, drain
+/// the wakeup list, deliver — the cost of *not* busy-polling.
+fn bench_park_wake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_park_wake");
+    let mut q = EventQueue::new();
+    let s = ReadySource::new();
+    q.ctl_add(1, &s, EventMask::IN).unwrap();
+    let tid = ThreadId(1);
+    g.bench_function("park_edge_wake_deliver", |b| {
+        b.iter(|| {
+            let parked = q.wait(8, tid);
+            s.raise(EventMask::IN);
+            let woken = q.take_wakeups().len();
+            let delivered = q.poll_ready(8).len();
+            s.clear(EventMask::IN);
+            (matches!(parked, ukevent::WaitOutcome::Parked), woken, delivered)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wakeup_latency,
+    bench_dispatch,
+    bench_eventfd,
+    bench_park_wake
+);
+criterion_main!(benches);

@@ -103,6 +103,10 @@ struct StoredValue {
 struct Conn {
     sock: SocketHandle,
     buf: Vec<u8>,
+    /// Reply bytes the socket has not yet accepted (partial writes).
+    out: Vec<u8>,
+    /// Connection failed; dropped from the table at the end of `poll`.
+    dead: bool,
 }
 
 /// The key-value server.
@@ -240,10 +244,15 @@ impl KvStore {
             self.conns.push(Conn {
                 sock,
                 buf: Vec::new(),
+                out: Vec::new(),
+                dead: false,
             });
         }
         let mut served = 0;
         for i in 0..self.conns.len() {
+            if self.conns[i].dead {
+                continue;
+            }
             if let Ok(data) = stack.tcp_recv(self.conns[i].sock, 256 * 1024) {
                 self.conns[i].buf.extend_from_slice(&data);
             }
@@ -260,10 +269,15 @@ impl KvStore {
                     None => break,
                 }
             }
-            if !out.is_empty() {
-                let _ = stack.tcp_send(self.conns[i].sock, &out);
+            // Queue replies behind any earlier partial write, then push
+            // as much as the socket's send buffer accepts.
+            self.conns[i].out.extend_from_slice(&out);
+            let sock = self.conns[i].sock;
+            if !crate::flush_partial(stack, sock, &mut self.conns[i].out) {
+                self.conns[i].dead = true;
             }
         }
+        self.conns.retain(|c| !c.dead);
         served
     }
 }

@@ -23,6 +23,31 @@ pub mod sqldb;
 pub mod udpkv;
 pub mod webcache;
 
+/// Pushes pending bytes into a TCP socket, honoring partial writes:
+/// whatever `tcp_send` does not accept (closed tx window, full send
+/// buffer) stays queued in `out` for the caller's next turn. Returns
+/// `false` when the connection failed and the backlog was discarded.
+pub(crate) fn flush_partial(
+    stack: &mut uknetstack::NetStack,
+    sock: uknetstack::SocketHandle,
+    out: &mut Vec<u8>,
+) -> bool {
+    while !out.is_empty() {
+        match stack.tcp_send(sock, out) {
+            Ok(0) => break,
+            Ok(n) => {
+                out.drain(..n);
+            }
+            Err(ukplat::Errno::Again) => break,
+            Err(_) => {
+                out.clear();
+                return false;
+            }
+        }
+    }
+    true
+}
+
 pub use httpd::Httpd;
 pub use kvstore::KvStore;
 pub use sqldb::SqlDb;

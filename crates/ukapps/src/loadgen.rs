@@ -17,6 +17,10 @@ struct HttpConn {
     established: bool,
     inflight: usize,
     buf: Vec<u8>,
+    /// Request bytes the socket has not yet accepted (partial writes).
+    out: Vec<u8>,
+    /// Connection failed; its in-flight budget was returned.
+    dead: bool,
 }
 
 /// wrk-like HTTP load generator.
@@ -59,6 +63,8 @@ impl HttpLoadGen {
                 established: false,
                 inflight: 0,
                 buf: Vec::new(),
+                out: Vec::new(),
+                dead: false,
             });
         }
         Ok(HttpLoadGen {
@@ -97,6 +103,9 @@ impl HttpLoadGen {
             self.path
         );
         for c in &mut self.conns {
+            if c.dead {
+                continue;
+            }
             if !c.established {
                 if matches!(
                     stack.tcp_state(c.sock),
@@ -107,13 +116,22 @@ impl HttpLoadGen {
                     continue;
                 }
             }
-            // Keep the pipeline full.
+            // Keep the pipeline full. Requests are queued whole and
+            // flushed with partial-write handling: a closed tx window
+            // never truncates a request mid-line.
             while c.inflight < self.pipeline && self.issued < self.target_requests {
-                if stack.tcp_send(c.sock, request.as_bytes()).is_err() {
-                    break;
-                }
+                c.out.extend_from_slice(request.as_bytes());
                 c.inflight += 1;
                 self.issued += 1;
+            }
+            if !crate::flush_partial(stack, c.sock, &mut c.out) {
+                // The connection failed: its unanswered requests can
+                // never complete, so return them to the issue budget
+                // for the surviving connections.
+                c.dead = true;
+                self.issued = self.issued.saturating_sub(c.inflight as u64);
+                c.inflight = 0;
+                continue;
             }
             // Drain responses.
             if let Ok(data) = stack.tcp_recv(c.sock, 256 * 1024) {
@@ -155,6 +173,10 @@ struct RespConn {
     established: bool,
     inflight: usize,
     buf: Vec<u8>,
+    /// Command bytes the socket has not yet accepted (partial writes).
+    out: Vec<u8>,
+    /// Connection failed; its in-flight budget was returned.
+    dead: bool,
 }
 
 /// Which command mix a RESP run issues.
@@ -207,6 +229,8 @@ impl RespLoadGen {
                 established: false,
                 inflight: 0,
                 buf: Vec::new(),
+                out: Vec::new(),
+                dead: false,
             });
         }
         Ok(RespLoadGen {
@@ -244,6 +268,9 @@ impl RespLoadGen {
     pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
         let mut newly = 0;
         for i in 0..self.conns.len() {
+            if self.conns[i].dead {
+                continue;
+            }
             if !self.conns[i].established {
                 if matches!(
                     stack.tcp_state(self.conns[i].sock),
@@ -262,8 +289,17 @@ impl RespLoadGen {
                 self.conns[i].inflight += 1;
                 self.issued += 1;
             }
-            if !burst.is_empty() {
-                let _ = stack.tcp_send(self.conns[i].sock, &burst);
+            // Whole commands enter the backlog; the socket takes what
+            // its send buffer admits, the rest waits for the window.
+            self.conns[i].out.extend_from_slice(&burst);
+            let sock = self.conns[i].sock;
+            if !crate::flush_partial(stack, sock, &mut self.conns[i].out) {
+                // Failed connection: hand its budget back (see
+                // HttpLoadGen::poll).
+                self.conns[i].dead = true;
+                self.issued = self.issued.saturating_sub(self.conns[i].inflight as u64);
+                self.conns[i].inflight = 0;
+                continue;
             }
             if let Ok(data) = stack.tcp_recv(self.conns[i].sock, 256 * 1024) {
                 self.conns[i].buf.extend_from_slice(&data);

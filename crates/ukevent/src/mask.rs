@@ -1,0 +1,160 @@
+//! Event bit masks, mirroring Linux `epoll_events` values.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of readiness/interest bits. Values match the Linux ABI so the
+/// mask travels unchanged through the syscall shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EventMask(pub u32);
+
+impl EventMask {
+    /// No bits.
+    pub const EMPTY: EventMask = EventMask(0);
+    /// `EPOLLIN`: readable (data queued, accept-queue non-empty).
+    pub const IN: EventMask = EventMask(0x001);
+    /// `EPOLLPRI`: exceptional condition.
+    pub const PRI: EventMask = EventMask(0x002);
+    /// `EPOLLOUT`: writable (tx buffer has room).
+    pub const OUT: EventMask = EventMask(0x004);
+    /// `EPOLLERR`: error; always reported, never needs subscribing.
+    pub const ERR: EventMask = EventMask(0x008);
+    /// `EPOLLHUP`: hangup; always reported, never needs subscribing.
+    pub const HUP: EventMask = EventMask(0x010);
+    /// `EPOLLRDHUP`: peer closed its write direction (FIN seen).
+    pub const RDHUP: EventMask = EventMask(0x2000);
+    /// `EPOLLONESHOT`: disarm after one delivery until re-armed by MOD.
+    pub const ONESHOT: EventMask = EventMask(0x4000_0000);
+    /// `EPOLLET`: edge-triggered delivery.
+    pub const ET: EventMask = EventMask(0x8000_0000);
+
+    /// Bits that are reported even when the watcher did not ask for them
+    /// (Linux: `EPOLLERR | EPOLLHUP`).
+    pub const ALWAYS: EventMask = EventMask(Self::ERR.0 | Self::HUP.0);
+
+    /// The readiness payload bits (mode bits `ET`/`ONESHOT` stripped).
+    pub fn payload(self) -> EventMask {
+        EventMask(self.0 & !(Self::ET.0 | Self::ONESHOT.0))
+    }
+
+    /// Whether every bit of `other` is set.
+    pub fn contains(self, other: EventMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any bit of `other` is set.
+    pub fn intersects(self, other: EventMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl BitOr for EventMask {
+    type Output = EventMask;
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for EventMask {
+    fn bitor_assign(&mut self, rhs: EventMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for EventMask {
+    type Output = EventMask;
+    fn bitand(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 & rhs.0)
+    }
+}
+
+impl Sub for EventMask {
+    type Output = EventMask;
+    fn sub(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 & !rhs.0)
+    }
+}
+
+impl Not for EventMask {
+    type Output = EventMask;
+    fn not(self) -> EventMask {
+        EventMask(!self.0)
+    }
+}
+
+impl fmt::Display for EventMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::IN, "IN"),
+            (Self::PRI, "PRI"),
+            (Self::OUT, "OUT"),
+            (Self::ERR, "ERR"),
+            (Self::HUP, "HUP"),
+            (Self::RDHUP, "RDHUP"),
+            (Self::ONESHOT, "ONESHOT"),
+            (Self::ET, "ET"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_abi_values() {
+        assert_eq!(EventMask::IN.bits(), 0x001);
+        assert_eq!(EventMask::OUT.bits(), 0x004);
+        assert_eq!(EventMask::ERR.bits(), 0x008);
+        assert_eq!(EventMask::HUP.bits(), 0x010);
+        assert_eq!(EventMask::RDHUP.bits(), 0x2000);
+        assert_eq!(EventMask::ET.bits(), 1 << 31);
+        assert_eq!(EventMask::ONESHOT.bits(), 1 << 30);
+    }
+
+    #[test]
+    fn set_operations() {
+        let m = EventMask::IN | EventMask::OUT;
+        assert!(m.contains(EventMask::IN));
+        assert!(m.intersects(EventMask::OUT));
+        assert!(!m.contains(EventMask::IN | EventMask::HUP));
+        assert_eq!(m - EventMask::IN, EventMask::OUT);
+        assert!((m & EventMask::HUP).is_empty());
+    }
+
+    #[test]
+    fn payload_strips_mode_bits() {
+        let m = EventMask::IN | EventMask::ET | EventMask::ONESHOT;
+        assert_eq!(m.payload(), EventMask::IN);
+    }
+
+    #[test]
+    fn display_names_bits() {
+        assert_eq!((EventMask::IN | EventMask::HUP).to_string(), "IN|HUP");
+        assert_eq!(EventMask::EMPTY.to_string(), "(empty)");
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use ukevent::{EventMask, ReadySource};
 use uknetdev::dev::NetDev;
 use uknetdev::netbuf::{Netbuf, NetbufPool};
 use ukplat::{Errno, Result};
@@ -53,6 +54,8 @@ pub struct SocketHandle(pub usize);
 struct UdpSocket {
     port: u16,
     rx: VecDeque<(Endpoint, Vec<u8>)>,
+    /// Monotonic count of datagrams ever enqueued (readiness progress).
+    rx_total: u64,
 }
 
 struct TcpConn {
@@ -60,9 +63,17 @@ struct TcpConn {
     remote: Endpoint,
 }
 
+/// A readiness cell plus the last progress value published through it.
+struct SourceEntry {
+    src: ReadySource,
+    progress: u64,
+}
+
 struct TcpListener {
     port: u16,
     backlog: VecDeque<SocketHandle>,
+    /// Monotonic count of connections ever queued (readiness progress).
+    accepted_total: u64,
 }
 
 /// Stack statistics.
@@ -96,6 +107,10 @@ pub struct NetStack {
     arp_pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
     /// Echo replies received: (peer, ident, seq).
     ping_replies: Vec<(Ipv4Addr, u16, u16)>,
+    /// Readiness cells handed out to event queues, keyed by handle,
+    /// with the progress counter last published through each. Synced
+    /// after every socket-mutating operation and each `pump`.
+    sources: HashMap<usize, SourceEntry>,
 }
 
 impl std::fmt::Debug for NetStack {
@@ -130,6 +145,7 @@ impl NetStack {
             stats: StackStats::default(),
             arp_pending: HashMap::new(),
             ping_replies: Vec::new(),
+            sources: HashMap::new(),
         }
     }
 
@@ -149,9 +165,164 @@ impl NetStack {
     }
 
     fn handle(&mut self) -> usize {
+        // Bit 16 encodes listener handles; plain handles must never
+        // carry it, so hop over that range when the counter reaches it.
+        if self.next_handle & 0x1_0000 != 0 {
+            self.next_handle += 0x1_0000;
+        }
         let h = self.next_handle;
         self.next_handle += 1;
         h
+    }
+
+    // --- Readiness (ukevent integration) ------------------------------
+
+    /// Computes the current level-triggered readiness of a socket:
+    ///
+    /// - listeners: `EPOLLIN` while the accept queue is non-empty;
+    /// - UDP sockets: `EPOLLIN` while datagrams are queued, `EPOLLOUT`
+    ///   always (sends never block);
+    /// - TCP connections: `EPOLLIN` on buffered rx data, `EPOLLRDHUP`
+    ///   (plus `EPOLLIN`) once the peer's FIN arrived, `EPOLLOUT` while
+    ///   the send buffer has room, `EPOLLHUP` when fully closed;
+    /// - unknown/closed handles: `EPOLLHUP`.
+    pub fn readiness(&self, sock: SocketHandle) -> EventMask {
+        if sock.0 & 0x1_0000 != 0 {
+            let port = (sock.0 & 0xffff) as u16;
+            return match self.listeners.get(&port) {
+                Some(l) if !l.backlog.is_empty() => EventMask::IN,
+                Some(_) => EventMask::EMPTY,
+                None => EventMask::HUP,
+            };
+        }
+        if let Some(u) = self.udp_socks.get(&sock.0) {
+            let mut m = EventMask::OUT;
+            if !u.rx.is_empty() {
+                m |= EventMask::IN;
+            }
+            return m;
+        }
+        if let Some(c) = self.conns.get(&sock.0) {
+            let mut m = EventMask::EMPTY;
+            if c.tcb.readable() > 0 {
+                m |= EventMask::IN;
+            }
+            if c.tcb.peer_fin_seen() {
+                m |= EventMask::IN | EventMask::RDHUP;
+            }
+            if c.tcb.send_capacity() > 0 {
+                m |= EventMask::OUT;
+            }
+            if c.tcb.state == TcpState::Closed {
+                m |= EventMask::HUP;
+            }
+            return m;
+        }
+        EventMask::HUP
+    }
+
+    /// Returns the shared readiness cell for `sock`, creating it on
+    /// first use. Event queues register this cell (it implements
+    /// [`ukevent::Pollable`]); the stack publishes every state
+    /// transition — accept-queue non-empty, rx data, tx window opening,
+    /// FIN — through it as edges.
+    pub fn ready_source(&mut self, sock: SocketHandle) -> ReadySource {
+        let level = self.readiness(sock);
+        let progress = self.rx_progress(sock);
+        let entry = self.sources.entry(sock.0).or_insert_with(|| SourceEntry {
+            src: ReadySource::new(),
+            progress,
+        });
+        entry.progress = progress;
+        let src = entry.src.clone();
+        src.set_level(level);
+        src
+    }
+
+    /// Monotonic "input happened" counter for a socket: bytes ingested
+    /// on a connection, datagrams on a UDP socket, connections queued
+    /// on a listener. Lets the readiness sync distinguish *new* input
+    /// from *pending* input, which is what re-triggers `EPOLLET`
+    /// watchers while the readable level is already high.
+    fn rx_progress(&self, sock: SocketHandle) -> u64 {
+        if sock.0 & 0x1_0000 != 0 {
+            return self
+                .listeners
+                .get(&((sock.0 & 0xffff) as u16))
+                .map(|l| l.accepted_total)
+                .unwrap_or(0);
+        }
+        if let Some(u) = self.udp_socks.get(&sock.0) {
+            return u.rx_total;
+        }
+        self.conns
+            .get(&sock.0)
+            .map(|c| c.tcb.rx_total())
+            .unwrap_or(0)
+    }
+
+    /// Number of live readiness cells the stack is publishing to (for
+    /// tests and reports; defunct sockets' cells are pruned).
+    pub fn watched_source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the socket behind a handle is gone for good: a removed
+    /// listener/UDP socket, or a fully closed connection with no
+    /// residual readable data. Its readiness can never change again.
+    fn socket_defunct(&self, sock: SocketHandle) -> bool {
+        if sock.0 & 0x1_0000 != 0 {
+            return !self.listeners.contains_key(&((sock.0 & 0xffff) as u16));
+        }
+        if self.udp_socks.contains_key(&sock.0) {
+            return false;
+        }
+        match self.conns.get(&sock.0) {
+            Some(c) => c.tcb.state == TcpState::Closed && c.tcb.readable() == 0,
+            None => true,
+        }
+    }
+
+    /// Publishes readiness for one watched socket (the one an operation
+    /// just touched), dropping its cell when the socket is defunct.
+    /// Per-socket operations use this so an event-loop turn stays O(N)
+    /// overall; the full sweep below runs only from `pump`, where any
+    /// number of sockets may have changed.
+    fn sync_one(&mut self, key: usize) {
+        if !self.sources.contains_key(&key) {
+            return;
+        }
+        let level = self.readiness(SocketHandle(key));
+        let progress = self.rx_progress(SocketHandle(key));
+        let entry = self.sources.get_mut(&key).expect("checked above");
+        let had_in = entry.src.current().contains(EventMask::IN);
+        let new_input = progress > entry.progress;
+        entry.progress = progress;
+        let src = entry.src.clone();
+        src.set_level(level);
+        // New input while already readable: no level transition, but
+        // Linux re-triggers EPOLLET consumers — pulse the edge counter.
+        if new_input && had_in && level.contains(EventMask::IN) {
+            src.pulse();
+        }
+        if self.socket_defunct(SocketHandle(key)) {
+            self.sources.remove(&key);
+        }
+    }
+
+    /// Recomputes and publishes readiness for every socket an event
+    /// queue is watching. The `ReadySource` cells detect rising edges
+    /// themselves, so calling this after every mutation is idempotent.
+    /// Sources for defunct sockets get a final `EPOLLHUP` level and are
+    /// dropped, bounding the table to live sockets.
+    fn sync_readiness(&mut self) {
+        if self.sources.is_empty() {
+            return;
+        }
+        let keys: Vec<usize> = self.sources.keys().copied().collect();
+        for key in keys {
+            self.sync_one(key);
+        }
     }
 
     // --- UDP ----------------------------------------------------------
@@ -167,6 +338,7 @@ impl NetStack {
             UdpSocket {
                 port,
                 rx: VecDeque::new(),
+                rx_total: 0,
             },
         );
         self.udp_ports.insert(port, h);
@@ -197,7 +369,9 @@ impl NetStack {
 
     /// Receives a datagram, if one is queued.
     pub fn udp_recv_from(&mut self, sock: SocketHandle) -> Option<(Endpoint, Vec<u8>)> {
-        self.udp_socks.get_mut(&sock.0)?.rx.pop_front()
+        let r = self.udp_socks.get_mut(&sock.0)?.rx.pop_front();
+        self.sync_one(sock.0);
+        r
     }
 
     // --- TCP ----------------------------------------------------------
@@ -212,6 +386,7 @@ impl NetStack {
             TcpListener {
                 port,
                 backlog: VecDeque::new(),
+                accepted_total: 0,
             },
         );
         Ok(SocketHandle(port as usize | 0x1_0000))
@@ -220,7 +395,9 @@ impl NetStack {
     /// Accepts a pending connection, if any.
     pub fn tcp_accept(&mut self, listener: SocketHandle) -> Option<SocketHandle> {
         let port = (listener.0 & 0xffff) as u16;
-        self.listeners.get_mut(&port)?.backlog.pop_front()
+        let r = self.listeners.get_mut(&port)?.backlog.pop_front();
+        self.sync_one(listener.0);
+        r
     }
 
     /// Starts an active connection; completes after network pumping.
@@ -241,17 +418,41 @@ impl NetStack {
         self.conns.get(&conn.0).map(|c| c.tcb.state)
     }
 
-    /// Queues data on a connection.
-    pub fn tcp_send(&mut self, conn: SocketHandle, data: &[u8]) -> Result<()> {
+    /// Queues data on a connection, returning the bytes accepted — a
+    /// partial write when the send buffer is short on space (`EAGAIN`
+    /// when it is full because the peer's window stays closed).
+    pub fn tcp_send(&mut self, conn: SocketHandle, data: &[u8]) -> Result<usize> {
         let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
-        c.tcb.app_send(data)?;
-        self.flush_tcp()
+        let accepted = c.tcb.app_send(data)?;
+        self.flush_tcp()?;
+        self.sync_one(conn.0);
+        Ok(accepted)
     }
 
-    /// Reads up to `max` bytes from a connection.
+    /// Reads up to `max` bytes from a connection. May emit a
+    /// window-update ACK when a previously-zero receive window reopens.
     pub fn tcp_recv(&mut self, conn: SocketHandle, max: usize) -> Result<Vec<u8>> {
         let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
-        Ok(c.tcb.app_recv(max))
+        let data = c.tcb.app_recv(max);
+        self.flush_tcp()?;
+        self.sync_one(conn.0);
+        Ok(data)
+    }
+
+    /// Free send-buffer space on a connection (0 for closed handles).
+    pub fn tcp_send_capacity(&self, conn: SocketHandle) -> usize {
+        self.conns
+            .get(&conn.0)
+            .map(|c| c.tcb.send_capacity())
+            .unwrap_or(0)
+    }
+
+    /// Whether the peer's advertised receive window admits no more data.
+    pub fn tcp_window_closed(&self, conn: SocketHandle) -> bool {
+        self.conns
+            .get(&conn.0)
+            .map(|c| c.tcb.window_closed())
+            .unwrap_or(true)
     }
 
     /// Bytes ready to read.
@@ -271,7 +472,9 @@ impl NetStack {
     pub fn tcp_close(&mut self, conn: SocketHandle) -> Result<()> {
         let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
         c.tcb.app_close();
-        self.flush_tcp()
+        let r = self.flush_tcp();
+        self.sync_one(conn.0);
+        r
     }
 
     // --- Data path ----------------------------------------------------
@@ -376,6 +579,7 @@ impl NetStack {
             }
         }
         let _ = self.flush_tcp();
+        self.sync_readiness();
         handled
     }
 
@@ -498,6 +702,7 @@ impl NetStack {
             Endpoint::new(ip.src, udp.src_port),
             payload.to_vec(),
         ));
+        sock.rx_total += 1;
         Ok(())
     }
 
@@ -521,11 +726,12 @@ impl NetStack {
                 let h = self.handle();
                 self.conns.insert(h, TcpConn { tcb, remote });
                 self.tcp_demux.insert(key, h);
-                self.listeners
+                let l = self
+                    .listeners
                     .get_mut(&tcp.dst_port)
-                    .expect("listener exists")
-                    .backlog
-                    .push_back(SocketHandle(h));
+                    .expect("listener exists");
+                l.backlog.push_back(SocketHandle(h));
+                l.accepted_total += 1;
                 return Ok(());
             }
         }
@@ -577,5 +783,29 @@ mod tests {
     fn recv_on_bad_handle_errors() {
         let mut s = stack(1);
         assert_eq!(s.tcp_recv(SocketHandle(99), 10).unwrap_err(), Errno::BadF);
+    }
+
+    #[test]
+    fn plain_handles_skip_listener_bit_range() {
+        let mut s = stack(1);
+        s.next_handle = 0x1_0000;
+        let h = s.handle();
+        assert_eq!(h & 0x1_0000, 0, "bit 16 is reserved for listeners");
+        assert_eq!(h, 0x2_0000);
+        assert_eq!(s.handle(), 0x2_0001);
+    }
+
+    #[test]
+    fn source_for_unknown_handle_reports_hup_and_is_pruned() {
+        let mut s = stack(1);
+        let src = s.ready_source(SocketHandle(4242));
+        assert!(src.current().contains(EventMask::HUP));
+        let sock = s.udp_bind(9000).unwrap();
+        let _live = s.ready_source(sock);
+        assert_eq!(s.watched_source_count(), 2);
+        // Per-socket ops only sync their own cell; the full sweep in
+        // `pump` prunes defunct ones.
+        s.pump();
+        assert_eq!(s.watched_source_count(), 1, "only the live socket stays");
     }
 }

@@ -18,6 +18,13 @@ use crate::ipv4::Ipv4Header;
 pub const TCP_HDR_LEN: usize = 20;
 /// Maximum segment size used by the stack (Ethernet MTU minus headers).
 pub const MSS: usize = 1460;
+/// Send-buffer capacity: bytes the application may queue beyond what the
+/// peer's receive window has admitted. `app_send` accepts partial writes
+/// against this cap, like a non-blocking `send(2)`.
+pub const SND_BUF_CAP: usize = 64 * 1024;
+/// Receive-buffer capacity; also the largest window we advertise (the
+/// field is 16 bits without window scaling).
+pub const RCV_BUF_CAP: usize = 65_535;
 
 /// TCP flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -164,10 +171,20 @@ pub struct Tcb {
     remote_port: u16,
     snd_nxt: u32,
     rcv_nxt: u32,
+    /// Oldest unacknowledged sequence number (flow control).
+    snd_una: u32,
+    /// Peer's advertised receive window.
+    snd_wnd: u32,
+    /// Window we advertised in our last segment (zero-window tracking).
+    last_adv_wnd: u16,
     /// Bytes the application queued but we have not yet segmented.
     send_buf: VecDeque<u8>,
     /// Bytes received, ready for the application.
     recv_buf: VecDeque<u8>,
+    /// Monotonic count of bytes ever ingested (readiness progress:
+    /// edge-triggered watchers re-trigger on new arrivals even while
+    /// data is already pending).
+    rx_total: u64,
     /// Segments ready to be emitted on the wire.
     out: VecDeque<OutSegment>,
     /// Whether the app asked to close after the send buffer drains.
@@ -197,15 +214,26 @@ impl Tcb {
             remote_port,
             snd_nxt: iss,
             rcv_nxt: 0,
+            snd_una: iss,
+            snd_wnd: RCV_BUF_CAP as u32,
+            last_adv_wnd: RCV_BUF_CAP as u16,
             send_buf: VecDeque::new(),
             recv_buf: VecDeque::new(),
+            rx_total: 0,
             out: VecDeque::new(),
             closing: false,
             peer_fin: false,
         }
     }
 
+    /// The receive window to advertise: free space in the receive buffer.
+    fn rcv_window(&self) -> u16 {
+        (RCV_BUF_CAP - self.recv_buf.len().min(RCV_BUF_CAP)) as u16
+    }
+
     fn emit(&mut self, flags: TcpFlags, payload: Vec<u8>) {
+        let window = self.rcv_window();
+        self.last_adv_wnd = window;
         self.out.push_back(OutSegment {
             header: TcpHeader {
                 src_port: self.local_port,
@@ -213,10 +241,26 @@ impl Tcb {
                 seq: self.snd_nxt,
                 ack: self.rcv_nxt,
                 flags,
-                window: 65535,
+                window,
             },
             payload,
         });
+    }
+
+    /// `a <= b` in sequence space.
+    fn seq_le(a: u32, b: u32) -> bool {
+        b.wrapping_sub(a) as i32 >= 0
+    }
+
+    /// Processes the acknowledgement and window fields of a segment.
+    fn process_ack(&mut self, h: &TcpHeader) {
+        if !h.flags.ack {
+            return;
+        }
+        if Self::seq_le(self.snd_una, h.ack) && Self::seq_le(h.ack, self.snd_nxt) {
+            self.snd_una = h.ack;
+        }
+        self.snd_wnd = u32::from(h.window);
     }
 
     /// Handles an incoming segment.
@@ -244,6 +288,7 @@ impl Tcb {
             }
             TcpState::SynSent => {
                 if h.flags.syn && h.flags.ack {
+                    self.process_ack(h);
                     self.rcv_nxt = h.seq.wrapping_add(1);
                     self.emit(
                         TcpFlags {
@@ -257,12 +302,14 @@ impl Tcb {
             }
             TcpState::SynReceived => {
                 if h.flags.ack {
+                    self.process_ack(h);
                     self.state = TcpState::Established;
                     // The ACK completing the handshake may carry data.
                     self.ingest(h, payload);
                 }
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+                self.process_ack(h);
                 self.ingest(h, payload);
                 if h.flags.fin && self.state == TcpState::Established {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
@@ -312,6 +359,7 @@ impl Tcb {
         }
         if h.seq == self.rcv_nxt {
             self.recv_buf.extend(payload);
+            self.rx_total += payload.len() as u64;
             self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
             self.emit(
                 TcpFlags {
@@ -325,21 +373,41 @@ impl Tcb {
         // they would be dropped (and retransmitted) on a real one.
     }
 
-    /// Queues application data for transmission.
-    pub fn app_send(&mut self, data: &[u8]) -> Result<()> {
+    /// Queues application data for transmission, accepting at most the
+    /// free send-buffer space — a partial write, like non-blocking
+    /// `send(2)`. Returns the bytes accepted; `EAGAIN` when the buffer
+    /// is full (tx window closed and backlog at capacity).
+    pub fn app_send(&mut self, data: &[u8]) -> Result<usize> {
         match self.state {
             TcpState::Established | TcpState::CloseWait | TcpState::SynReceived => {
-                self.send_buf.extend(data);
-                Ok(())
+                let space = SND_BUF_CAP - self.send_buf.len().min(SND_BUF_CAP);
+                if space == 0 {
+                    return Err(Errno::Again);
+                }
+                let n = data.len().min(space);
+                self.send_buf.extend(&data[..n]);
+                Ok(n)
             }
             _ => Err(Errno::NotConn),
         }
     }
 
-    /// Reads up to `max` bytes the peer sent.
+    /// Reads up to `max` bytes the peer sent. Draining a buffer that had
+    /// advertised a zero window emits a window-update ACK so the peer's
+    /// transmission can resume.
     pub fn app_recv(&mut self, max: usize) -> Vec<u8> {
         let n = max.min(self.recv_buf.len());
-        self.recv_buf.drain(..n).collect()
+        let data: Vec<u8> = self.recv_buf.drain(..n).collect();
+        if n > 0 && self.last_adv_wnd == 0 && self.state != TcpState::Closed {
+            self.emit(
+                TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                },
+                Vec::new(),
+            );
+        }
+        data
     }
 
     /// Bytes available to read.
@@ -347,9 +415,20 @@ impl Tcb {
         self.recv_buf.len()
     }
 
+    /// Monotonic count of bytes ever received (readiness progress).
+    pub fn rx_total(&self) -> u64 {
+        self.rx_total
+    }
+
     /// Whether the peer has closed and all data was read.
     pub fn peer_closed(&self) -> bool {
         self.peer_fin && self.recv_buf.is_empty()
+    }
+
+    /// Whether the peer's FIN has arrived (data may remain buffered) —
+    /// the `EPOLLRDHUP` condition.
+    pub fn peer_fin_seen(&self) -> bool {
+        self.peer_fin
     }
 
     /// Starts an orderly close once the send buffer drains.
@@ -357,12 +436,38 @@ impl Tcb {
         self.closing = true;
     }
 
+    /// Bytes sent but not yet acknowledged.
+    pub fn bytes_in_flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Whether the peer's advertised window admits no more data.
+    pub fn window_closed(&self) -> bool {
+        self.bytes_in_flight() >= self.snd_wnd
+    }
+
+    /// Free space in the send buffer (0 when not in a sendable state).
+    pub fn send_capacity(&self) -> usize {
+        match self.state {
+            TcpState::Established | TcpState::CloseWait | TcpState::SynReceived => {
+                SND_BUF_CAP - self.send_buf.len().min(SND_BUF_CAP)
+            }
+            _ => 0,
+        }
+    }
+
     /// Segments pending transmission: segmentation of queued data (MSS
-    /// chunks, PSH on the last), then FIN if closing.
+    /// chunks, capped by the peer's receive window, PSH on the last),
+    /// then FIN once the queue drains.
     pub fn poll_output(&mut self) -> Vec<OutSegment> {
         if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
             while !self.send_buf.is_empty() {
-                let n = self.send_buf.len().min(MSS);
+                let in_flight = self.bytes_in_flight();
+                let window_room = self.snd_wnd.saturating_sub(in_flight) as usize;
+                if window_room == 0 {
+                    break; // Tx window closed; data stays queued.
+                }
+                let n = self.send_buf.len().min(MSS).min(window_room);
                 let chunk: Vec<u8> = self.send_buf.drain(..n).collect();
                 let last = self.send_buf.is_empty();
                 let len = chunk.len() as u32;
@@ -376,7 +481,7 @@ impl Tcb {
                 );
                 self.snd_nxt = self.snd_nxt.wrapping_add(len);
             }
-            if self.closing {
+            if self.closing && self.send_buf.is_empty() {
                 self.emit(
                     TcpFlags {
                         fin: true,
@@ -522,6 +627,63 @@ mod tests {
     fn send_before_established_fails() {
         let mut c = Tcb::connect(1, 2, 0);
         assert_eq!(c.app_send(b"x").unwrap_err(), Errno::NotConn);
+    }
+
+    #[test]
+    fn app_send_is_partial_against_buffer_cap() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let big = vec![0x7fu8; SND_BUF_CAP + 10_000];
+        let accepted = client.app_send(&big).unwrap();
+        assert_eq!(accepted, SND_BUF_CAP, "partial write at the cap");
+        assert_eq!(client.send_capacity(), 0);
+        assert_eq!(client.app_send(b"more").unwrap_err(), Errno::Again);
+    }
+
+    #[test]
+    fn window_closes_then_reopens_on_drain() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        // More than one full receive window, queued at once.
+        let big: Vec<u8> = (0..RCV_BUF_CAP + 1)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let accepted = client.app_send(&big).unwrap();
+        assert_eq!(accepted, big.len(), "fits the send buffer");
+        pump(&mut client, &mut server);
+        // The receiver's window admitted exactly one window's worth; the
+        // tail stays queued and the tx window is reported closed.
+        assert_eq!(server.readable(), RCV_BUF_CAP);
+        assert!(client.window_closed(), "zero window reached");
+        // Draining the receiver emits a window update that releases the
+        // remaining byte — nothing was dropped.
+        let first = server.app_recv(usize::MAX);
+        pump(&mut client, &mut server);
+        let rest = server.app_recv(usize::MAX);
+        assert!(!client.window_closed());
+        let mut all = first;
+        all.extend_from_slice(&rest);
+        assert_eq!(all, big, "stream intact across the closed-window stretch");
+    }
+
+    #[test]
+    fn fin_waits_for_window_limited_data() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let big = vec![1u8; RCV_BUF_CAP + 5];
+        client.app_send(&big).unwrap();
+        client.app_close();
+        pump(&mut client, &mut server);
+        // FIN must not overtake the queued tail.
+        assert!(!server.peer_fin_seen(), "FIN held back behind data");
+        server.app_recv(usize::MAX);
+        pump(&mut client, &mut server);
+        server.app_recv(usize::MAX);
+        pump(&mut client, &mut server);
+        assert!(server.peer_fin_seen(), "FIN delivered after drain");
     }
 
     #[test]

@@ -175,6 +175,65 @@ mod tests {
     }
 
     #[test]
+    fn et_retriggers_on_new_data_while_level_high() {
+        use ukevent::{EventMask, EventQueue};
+        let mut net = two_node_net();
+        let listener = net.stack(1).tcp_listen(8100).unwrap();
+        let client = net
+            .stack(0)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 8100))
+            .unwrap();
+        net.run_until_quiet(32);
+        let conn = net.stack(1).tcp_accept(listener).unwrap();
+        let src = net.stack(1).ready_source(conn);
+        let mut q = EventQueue::new();
+        q.ctl_add(1, &src, EventMask::IN | EventMask::ET).unwrap();
+
+        net.stack(0).tcp_send(client, b"first").unwrap();
+        net.run_until_quiet(32);
+        assert_eq!(q.poll_ready(4).len(), 1);
+        assert!(q.poll_ready(4).is_empty(), "edge consumed");
+        // More data lands while the first is still unread: the level
+        // never falls, but Linux ET re-triggers on each new arrival.
+        net.stack(0).tcp_send(client, b"second").unwrap();
+        net.run_until_quiet(32);
+        assert_eq!(
+            q.poll_ready(4).len(),
+            1,
+            "new arrival must re-trigger the edge watcher"
+        );
+    }
+
+    #[test]
+    fn window_closed_is_visible_through_stack_api() {
+        let mut net = two_node_net();
+        let listener = net.stack(1).tcp_listen(8000).unwrap();
+        let client = net
+            .stack(0)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 8000))
+            .unwrap();
+        net.run_until_quiet(32);
+        let conn = net.stack(1).tcp_accept(listener).unwrap();
+        assert!(!net.stack(0).tcp_window_closed(client));
+
+        // Flood more than one receive window; the server does not read.
+        let big = vec![0x11u8; 80_000];
+        let accepted = net.stack(0).tcp_send(client, &big).unwrap();
+        assert_eq!(accepted, crate::tcp::SND_BUF_CAP, "partial write at cap");
+        net.run_until_quiet(64);
+        assert!(net.stack(0).tcp_window_closed(client), "peer window exhausted");
+        assert!(net.stack(0).tcp_send_capacity(client) < crate::tcp::SND_BUF_CAP);
+
+        // Server drains; the window update reopens the sender.
+        let got = net.stack(1).tcp_recv(conn, usize::MAX).unwrap();
+        assert_eq!(got.len(), crate::tcp::RCV_BUF_CAP);
+        net.run_until_quiet(64);
+        assert!(!net.stack(0).tcp_window_closed(client));
+        let rest = net.stack(1).tcp_recv(conn, usize::MAX).unwrap();
+        assert_eq!(got.len() + rest.len(), accepted, "no byte lost");
+    }
+
+    #[test]
     fn ping_round_trip() {
         let mut net = two_node_net();
         net.stack(0)

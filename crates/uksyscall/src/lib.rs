@@ -23,7 +23,7 @@ pub mod microbench;
 pub mod nr;
 pub mod shim;
 
-pub use nr::{syscall_name, syscall_nr, UNIKRAFT_SUPPORTED};
+pub use nr::{syscall_name, syscall_nr, UNIKRAFT_RS_SUPPORTED, UNIKRAFT_SUPPORTED};
 pub use shim::{SyscallMode, SyscallShim};
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! - [`sched`] — `uksched`: cooperative/preemptive/no-op schedulers
 //! - [`netdev`] — `uknetdev`: netbufs, burst TX/RX, virtio-net model
 //! - [`netstack`] — lwIP-analog network stack + sockets
+//! - [`event`] — `ukevent`: epoll/eventfd readiness subsystem
 //! - [`blockdev`] — `ukblockdev`: block devices, ramdisk
 //! - [`vfs`] — vfscore + ramfs + 9pfs + SHFS
 //! - [`syscall`] — syscall shim layer
@@ -44,6 +45,7 @@ pub use ukblockdev as blockdev;
 pub use ukboot as boot;
 pub use ukbuild as build;
 pub use ukcore as core;
+pub use ukevent as event;
 pub use uklibc as libc;
 pub use uklock as lock;
 pub use uknetdev as netdev;

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset used by `crates/bench`: `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched, iter_batched_ref}`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs a short calibrated loop and prints mean
+//! nanoseconds per iteration — enough to compare configurations locally
+//! without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter*` call.
+    ns_per_iter: f64,
+    iters_done: u64,
+    measure_ms: u64,
+}
+
+impl Bencher {
+    fn new(measure_ms: u64) -> Self {
+        Self { ns_per_iter: 0.0, iters_done: 0, measure_ms }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = Duration::from_millis(self.measure_ms);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters_done = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = Duration::from_millis(self.measure_ms);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let budget = Duration::from_millis(self.measure_ms);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < budget {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters;
+        self.ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+pub struct Criterion {
+    measure_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: this is a smoke-harness, not a statistics engine.
+        Self { measure_ms: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_ms);
+        f(&mut b);
+        println!(
+            "bench {:<48} {:>14.1} ns/iter ({} iters)",
+            id, b.ns_per_iter, b.iters_done
+        );
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
