@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-workspace test bench bench-event examples clean
+.PHONY: verify verify-workspace test bench bench-event bench-smoke examples clean
 
 ## Tier-1: release build + root-crate tests (ROADMAP's check).
 verify:
@@ -14,10 +14,12 @@ verify:
 	$(CARGO) test -q
 
 ## The full sweep: every workspace crate's unit, integration and prop
-## tests, plus bench/example compilation.
+## tests, plus bench/example compilation and the netpath smoke bench
+## (which asserts 0.000 allocs/frame on the pooled datapath).
 verify-workspace:
 	$(CARGO) build --release --workspace --benches --examples
 	$(CARGO) test -q --workspace
+	$(MAKE) bench-smoke
 
 test:
 	$(CARGO) test -q --workspace
@@ -29,6 +31,12 @@ bench:
 ## Just the ukevent readiness benches.
 bench-event:
 	$(CARGO) bench -p ukbench --bench event
+
+## Cheap datapath smoke: runs the netpath bench in test mode (the
+## offline criterion stand-in keeps runs short) and prints the
+## allocs-per-frame figure for the pooled vs heap-buffer paths.
+bench-smoke:
+	$(CARGO) bench -p ukbench --bench netpath -- --test
 
 examples:
 	$(CARGO) build --release --examples

@@ -55,6 +55,10 @@ pub struct Httpd {
     alloc: Box<dyn Allocator>,
     served: u64,
     errors: u64,
+    /// Reusable receive buffer: socket reads land here via the
+    /// allocation-free `tcp_recv_into` path, then move into the
+    /// connection's request buffer.
+    rx_scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for Httpd {
@@ -86,6 +90,7 @@ impl Httpd {
             alloc,
             served: 0,
             errors: 0,
+            rx_scratch: vec![0; 64 * 1024],
         })
     }
 
@@ -178,8 +183,8 @@ impl Httpd {
             return;
         };
         if ev.events.intersects(EventMask::IN | EventMask::RDHUP) {
-            if let Ok(data) = stack.tcp_recv(conn.sock, 64 * 1024) {
-                conn.buf.extend_from_slice(&data);
+            if let Ok(n) = stack.tcp_recv_into(conn.sock, &mut self.rx_scratch) {
+                conn.buf.extend_from_slice(&self.rx_scratch[..n]);
             }
             // Serve every complete request in the buffer (pipelining).
             while let Some(end) = find_header_end(&conn.buf) {

@@ -211,6 +211,11 @@ pub struct UdpKvNetServer {
     sock: SocketHandle,
     queue: EventQueue,
     server: UdpKvServer,
+    /// Reusable per-batch request storage: datagrams land in these
+    /// fixed slots via the allocation-free `udp_recv_into` path.
+    rx_slots: Vec<Vec<u8>>,
+    rx_lens: Vec<usize>,
+    rx_froms: Vec<Endpoint>,
 }
 
 impl std::fmt::Debug for UdpKvNetServer {
@@ -232,12 +237,16 @@ impl UdpKvNetServer {
             sock,
             queue,
             server: UdpKvServer::new(mode, tsc),
+            rx_slots: vec![vec![0; 2048]; BATCH],
+            rx_lens: Vec::with_capacity(BATCH),
+            rx_froms: Vec::with_capacity(BATCH),
         })
     }
 
     /// One turn of the event loop: for each `EPOLLIN` event, drains up
-    /// to [`BATCH`] datagrams, serves them as one batch and sends the
-    /// replies. Returns requests served this call.
+    /// to [`BATCH`] datagrams into the reusable slot buffers (no
+    /// allocation on the receive path), serves them as one batch and
+    /// sends the replies. Returns requests served this call.
     pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
         let mut served = 0;
         for ev in self.queue.poll_ready(16) {
@@ -245,25 +254,31 @@ impl UdpKvNetServer {
                 continue;
             }
             loop {
-                let mut froms: Vec<Endpoint> = Vec::with_capacity(BATCH);
-                let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(BATCH);
-                while payloads.len() < BATCH {
-                    match stack.udp_recv_from(self.sock) {
-                        Some((from, data)) => {
-                            froms.push(from);
-                            payloads.push(data);
+                self.rx_froms.clear();
+                self.rx_lens.clear();
+                while self.rx_lens.len() < BATCH {
+                    let slot = &mut self.rx_slots[self.rx_lens.len()];
+                    match stack.udp_recv_into(self.sock, slot) {
+                        Some((from, n)) => {
+                            self.rx_froms.push(from);
+                            self.rx_lens.push(n);
                         }
                         None => break,
                     }
                 }
-                if payloads.is_empty() {
+                if self.rx_lens.is_empty() {
                     break;
                 }
-                let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+                let refs: Vec<&[u8]> = self
+                    .rx_slots
+                    .iter()
+                    .zip(&self.rx_lens)
+                    .map(|(slot, &n)| &slot[..n])
+                    .collect();
                 let replies = self.server.serve_batch(&refs);
                 served += replies.len() as u64;
-                for (reply, from) in replies.into_iter().zip(froms) {
-                    let _ = stack.udp_send_to(self.sock, &reply, from);
+                for (reply, from) in replies.into_iter().zip(&self.rx_froms) {
+                    let _ = stack.udp_send_to(self.sock, &reply, *from);
                 }
             }
         }

@@ -105,8 +105,11 @@ pub trait NetDev {
     fn reclaim_tx(&mut self, queue: u16, out: &mut Vec<Netbuf>) -> Result<usize>;
 
     /// Host-side injection of received frames (the wire harness calls
-    /// this; real hardware receives from the medium instead).
-    fn inject_rx(&mut self, queue: u16, frames: Vec<Netbuf>) -> Result<usize>;
+    /// this; real hardware receives from the medium instead). Drains
+    /// from the front of `frames` as long as the ring has room; buffers
+    /// that do not fit stay with the caller, which owns their memory
+    /// and recycles them.
+    fn inject_rx(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<usize>;
 }
 
 #[cfg(test)]

@@ -9,6 +9,14 @@
 //! - memory management belongs to the *application*: drivers never
 //!   allocate; packet buffers come either from a pre-allocated
 //!   [`netbuf::NetbufPool`] (performance path) or the general heap;
+//! - **zero-copy headroom discipline**: a [`netbuf::Netbuf`] reserves
+//!   headroom in front of the payload so protocol layers *prepend*
+//!   their headers in place (`push_header` / `push_header_uninit`)
+//!   instead of re-serializing — one buffer travels from application
+//!   write to wire, and back up through `pull_header` on receive. The
+//!   whole datapath performs zero heap allocations per packet in
+//!   steady state: buffers circulate pool → tx ring → done-list →
+//!   recycle (see the `netbuf` module docs for the ownership rules);
 //! - polling, interrupt-driven, or mixed queue operation: a queue runs
 //!   polled by default; the driver enables its interrupt line only when it
 //!   runs out of work, avoiding interrupt storms and transitioning back to

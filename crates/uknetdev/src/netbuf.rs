@@ -7,8 +7,48 @@
 //! (headroom, length) while the *allocation policy* stays with the
 //! application: performance-critical code uses a pre-allocated
 //! [`NetbufPool`], memory-frugal code allocates from the heap.
+//!
+//! # The headroom/ownership model
+//!
+//! A netbuf is one contiguous storage area split into three regions:
+//!
+//! ```text
+//! [ headroom ............ ][ payload ............ ][ tailroom ... ]
+//! ^ offset counts down     ^ offset               ^ offset + len
+//! ```
+//!
+//! The DPDK/Unikraft zero-copy discipline falls out of two operations:
+//!
+//! - **producers write payload once** into the buffer body ([`append`])
+//!   at an offset that leaves all protocol headers' worth of headroom
+//!   in front;
+//! - **each protocol layer prepends its header in place**
+//!   ([`push_header`] / [`push_header_uninit`]) by moving `offset`
+//!   *down* into the headroom — no copy of the payload, no intermediate
+//!   allocation, one buffer from application to wire.
+//!
+//! On receive the same buffer walks the stack upward with
+//! [`pull_header`]/[`truncate`], so a frame is parsed, demultiplexed
+//! and queued on a socket without ever being copied.
+//!
+//! Ownership follows the buffer, not the layer: whoever holds the
+//! `Netbuf` owns it, and when the packet's life ends the holder hands
+//! it back to its [`NetbufPool`] (checked by a per-pool identity tag).
+//! Drivers never allocate — they only move netbufs between rings.
+//!
+//! [`append`]: Netbuf::append
+//! [`push_header`]: Netbuf::push_header
+//! [`push_header_uninit`]: Netbuf::push_header_uninit
+//! [`pull_header`]: Netbuf::pull_header
+//! [`truncate`]: Netbuf::truncate
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::BytesMut;
+
+/// Monotonic source of pool identities (so a buffer can never be
+/// returned to a pool it did not come from).
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A packet buffer with driver metadata.
 #[derive(Debug)]
@@ -21,6 +61,8 @@ pub struct Netbuf {
     len: usize,
     /// Pool slot this buffer came from, if pooled.
     pool_slot: Option<usize>,
+    /// Identity of the owning pool (0 for heap buffers).
+    pool_id: u64,
 }
 
 impl Netbuf {
@@ -35,6 +77,7 @@ impl Netbuf {
             offset: headroom,
             len: 0,
             pool_slot: None,
+            pool_id: 0,
         }
     }
 
@@ -62,6 +105,21 @@ impl Netbuf {
         self.len = bytes.len();
     }
 
+    /// Appends `bytes` into the tailroom (payload body write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tailroom is too small.
+    pub fn append(&mut self, bytes: &[u8]) {
+        let end = self.offset + self.len;
+        assert!(
+            end + bytes.len() <= self.data.len(),
+            "insufficient tailroom"
+        );
+        self.data[end..end + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
+
     /// Sets the payload length without copying (zero-copy fill).
     ///
     /// # Panics
@@ -70,6 +128,12 @@ impl Netbuf {
     pub fn set_len(&mut self, len: usize) {
         assert!(self.offset + len <= self.data.len(), "len too large");
         self.len = len;
+    }
+
+    /// Shrinks the payload to at most `len` bytes (drops the tail; used
+    /// to discard Ethernet padding after decoding a length field).
+    pub fn truncate(&mut self, len: usize) {
+        self.len = self.len.min(len);
     }
 
     /// Payload length.
@@ -87,17 +151,34 @@ impl Netbuf {
         self.offset
     }
 
+    /// Remaining tailroom behind the payload.
+    pub fn tailroom(&self) -> usize {
+        self.data.len() - self.offset - self.len
+    }
+
     /// Prepends `bytes` into the headroom (protocol header push).
     ///
     /// # Panics
     ///
     /// Panics if the headroom is too small.
     pub fn push_header(&mut self, bytes: &[u8]) {
-        assert!(bytes.len() <= self.offset, "insufficient headroom");
-        self.offset -= bytes.len();
+        let dst = self.push_header_uninit(bytes.len());
+        dst.copy_from_slice(bytes);
+    }
+
+    /// Grows the payload front by `n` bytes into the headroom and
+    /// returns the new region for in-place header writing (the
+    /// zero-copy `encode_into` primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the headroom is too small.
+    pub fn push_header_uninit(&mut self, n: usize) -> &mut [u8] {
+        assert!(n <= self.offset, "insufficient headroom");
+        self.offset -= n;
+        self.len += n;
         let off = self.offset;
-        self.data[off..off + bytes.len()].copy_from_slice(bytes);
-        self.len += bytes.len();
+        &mut self.data[off..off + n]
     }
 
     /// Strips `n` bytes from the front (protocol header pull).
@@ -121,6 +202,11 @@ impl Netbuf {
         self.pool_slot
     }
 
+    /// Whether this buffer came from a pool (and must be recycled).
+    pub fn is_pooled(&self) -> bool {
+        self.pool_slot.is_some()
+    }
+
     /// Resets to an empty buffer with `headroom` reserved.
     pub fn reset(&mut self, headroom: usize) {
         assert!(headroom <= self.data.len());
@@ -134,8 +220,16 @@ impl Netbuf {
 /// "Performance critical workloads can make use of pre-allocated network
 /// buffer pools, while memory efficient applications can reduce memory
 /// footprint by allocating buffers from the standard heap" (§3.1).
+///
+/// In steady state buffers only *circulate*: taken for TX/RX, handed
+/// through rings and sockets, and recycled with [`give_back`] — the
+/// pool is the reason the datapath performs zero heap allocations per
+/// packet.
+///
+/// [`give_back`]: NetbufPool::give_back
 #[derive(Debug)]
 pub struct NetbufPool {
+    id: u64,
     bufs: Vec<Option<Netbuf>>,
     free: Vec<usize>,
     buf_cap: usize,
@@ -145,15 +239,18 @@ pub struct NetbufPool {
 impl NetbufPool {
     /// Pre-allocates `count` buffers of `cap` bytes with `headroom`.
     pub fn new(count: usize, cap: usize, headroom: usize) -> Self {
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let mut bufs = Vec::with_capacity(count);
         let mut free = Vec::with_capacity(count);
         for slot in 0..count {
             let mut nb = Netbuf::alloc(cap, headroom);
             nb.pool_slot = Some(slot);
+            nb.pool_id = id;
             bufs.push(Some(nb));
             free.push(slot);
         }
         NetbufPool {
+            id,
             bufs,
             free,
             buf_cap: cap,
@@ -169,6 +266,11 @@ impl NetbufPool {
         Some(nb)
     }
 
+    /// Whether `nb` was allocated by this pool.
+    pub fn owns(&self, nb: &Netbuf) -> bool {
+        nb.pool_slot.is_some() && nb.pool_id == self.id
+    }
+
     /// Returns a buffer to its slot.
     ///
     /// # Panics
@@ -176,6 +278,7 @@ impl NetbufPool {
     /// Panics if the buffer is not from this pool or the slot is occupied.
     pub fn give_back(&mut self, nb: Netbuf) {
         let slot = nb.pool_slot.expect("netbuf is not pooled");
+        assert!(nb.pool_id == self.id, "netbuf belongs to another pool");
         assert!(self.bufs[slot].is_none(), "double give_back for slot {slot}");
         self.bufs[slot] = Some(nb);
         self.free.push(slot);
@@ -195,6 +298,11 @@ impl NetbufPool {
     pub fn buf_capacity(&self) -> usize {
         self.buf_cap
     }
+
+    /// The headroom buffers are reset to on `take`.
+    pub fn headroom(&self) -> usize {
+        self.headroom
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +316,23 @@ mod tests {
         assert_eq!(nb.payload(), b"hello");
         assert_eq!(nb.len(), 5);
         assert_eq!(nb.headroom(), 64);
+        assert_eq!(nb.tailroom(), 256 - 64 - 5);
+    }
+
+    #[test]
+    fn append_extends_payload_in_tailroom() {
+        let mut nb = Netbuf::alloc(64, 16);
+        nb.append(b"abc");
+        nb.append(b"def");
+        assert_eq!(nb.payload(), b"abcdef");
+        assert_eq!(nb.headroom(), 16, "headroom untouched by appends");
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient tailroom")]
+    fn append_beyond_tailroom_panics() {
+        let mut nb = Netbuf::alloc(8, 4);
+        nb.append(b"too-long-payload");
     }
 
     #[test]
@@ -219,6 +344,25 @@ mod tests {
         assert_eq!(nb.headroom(), 60);
         nb.pull_header(4);
         assert_eq!(nb.payload(), b"payload");
+    }
+
+    #[test]
+    fn push_header_uninit_exposes_new_front() {
+        let mut nb = Netbuf::alloc(64, 8);
+        nb.set_payload(b"data");
+        let hdr = nb.push_header_uninit(2);
+        hdr.copy_from_slice(b"ab");
+        assert_eq!(nb.payload(), b"abdata");
+    }
+
+    #[test]
+    fn truncate_drops_tail_only() {
+        let mut nb = Netbuf::alloc(64, 0);
+        nb.set_payload(b"frame+padding");
+        nb.truncate(5);
+        assert_eq!(nb.payload(), b"frame");
+        nb.truncate(100); // never grows
+        assert_eq!(nb.len(), 5);
     }
 
     #[test]
@@ -236,6 +380,7 @@ mod tests {
         let a = pool.take().unwrap();
         let b = pool.take().unwrap();
         assert_eq!(pool.available(), 2);
+        assert!(pool.owns(&a));
         pool.give_back(a);
         pool.give_back(b);
         assert_eq!(pool.available(), 4);
@@ -263,6 +408,26 @@ mod tests {
     }
 
     #[test]
+    fn foreign_pool_buffers_are_not_owned() {
+        let mut p1 = NetbufPool::new(1, 128, 0);
+        let mut p2 = NetbufPool::new(1, 128, 0);
+        let a = p1.take().unwrap();
+        assert!(!p2.owns(&a));
+        assert!(!p1.owns(&Netbuf::alloc(64, 0)), "heap buffers unowned");
+        p1.give_back(a);
+        let _ = p2.take();
+    }
+
+    #[test]
+    #[should_panic(expected = "another pool")]
+    fn cross_pool_give_back_panics() {
+        let mut p1 = NetbufPool::new(1, 128, 0);
+        let mut p2 = NetbufPool::new(1, 128, 0);
+        let a = p1.take().unwrap();
+        p2.give_back(a);
+    }
+
+    #[test]
     #[should_panic(expected = "double give_back")]
     fn double_give_back_panics() {
         let mut pool = NetbufPool::new(2, 128, 0);
@@ -271,6 +436,7 @@ mod tests {
         // Forge a second buffer claiming the same slot.
         let mut forged = Netbuf::alloc(128, 0);
         forged.pool_slot = Some(slot);
+        forged.pool_id = a.pool_id;
         pool.give_back(a);
         pool.give_back(forged);
     }

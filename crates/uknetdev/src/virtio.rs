@@ -68,17 +68,16 @@ impl VirtioNet {
 
     /// Host-side injection of received frames (the test/wire harness).
     /// Fires the queue interrupt if it is armed.
-    fn inject_rx_inner(&mut self, queue: u16, frames: Vec<Netbuf>) -> Result<usize> {
+    fn inject_rx_inner(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<usize> {
         let q = self
             .rxqs
             .get_mut(queue as usize)
             .ok_or(Errno::Inval)?;
-        let mut injected = 0;
-        for f in frames {
-            if q.ring.push(f).is_err() {
-                break; // Ring full: drop, like a real NIC.
-            }
-            injected += 1;
+        // Ring full: stop, like a real NIC dropping; buffers that do
+        // not fit stay with the caller (which owns their memory).
+        let injected = q.ring.room().min(frames.len());
+        for f in frames.drain(..injected) {
+            q.ring.push(f).expect("room checked");
         }
         if injected > 0 && q.irq_armed {
             // One interrupt, then the line stays off until re-armed.
@@ -175,22 +174,23 @@ impl NetDev for VirtioNet {
             return Err(Errno::Inval);
         }
         let q = self.txqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
-        let n = pkts.len().min(MAX_BURST);
-        let mut burst: Vec<Netbuf> = pkts.drain(..n).collect();
-        let sent = q.ring.push_burst(&mut burst);
-        // Unsent buffers go back to the caller's array front.
-        while let Some(nb) = burst.pop() {
-            pkts.insert(0, nb);
+        // Alloc-free enqueue: clamp to ring room up front and drain the
+        // caller's buffers straight into the ring — no staging vector,
+        // nothing bounces back to the caller.
+        let sent = pkts.len().min(MAX_BURST).min(q.ring.room());
+        for nb in pkts.drain(..sent) {
+            q.ring.push(nb).expect("room checked");
         }
         // Notify / drain the backend.
         if sent > 0 {
             if self.backend.needs_kick() {
                 self.backend.kick();
             }
-            let mut inflight = Vec::with_capacity(sent);
-            q.ring.pop_burst(&mut inflight, sent);
-            self.backend.process_tx(&inflight);
-            q.done.extend(inflight);
+            // Completions land on the done-list tail; the backend is
+            // charged for exactly that slice (no inflight copy-out).
+            let start = q.done.len();
+            q.ring.pop_burst(&mut q.done, sent);
+            self.backend.process_tx(&q.done[start..]);
         }
         Ok(TxStatus {
             sent,
@@ -219,7 +219,7 @@ impl NetDev for VirtioNet {
         Ok(n)
     }
 
-    fn inject_rx(&mut self, queue: u16, frames: Vec<Netbuf>) -> Result<usize> {
+    fn inject_rx(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<usize> {
         self.inject_rx_inner(queue, frames)
     }
 }
@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn rx_burst_drains_injected_frames() {
         let (mut dev, _t) = mk(VhostKind::VhostUser);
-        dev.inject_rx(0, pkts(8, 100)).unwrap();
+        dev.inject_rx(0, &mut pkts(8, 100)).unwrap();
         let mut out = Vec::new();
         let st = dev.rx_burst(0, &mut out, 4).unwrap();
         assert_eq!(st.received, 4);
@@ -314,11 +314,11 @@ mod tests {
         dev.rx_burst(0, &mut out, 16).unwrap();
         assert!(dev.irq_armed(0));
         // First injection fires the callback once and disarms.
-        dev.inject_rx(0, pkts(2, 64)).unwrap();
+        dev.inject_rx(0, &mut pkts(2, 64)).unwrap();
         assert_eq!(fired.get(), 1);
         assert!(!dev.irq_armed(0));
         // Further injections while not re-armed do NOT fire (storm-free).
-        dev.inject_rx(0, pkts(2, 64)).unwrap();
+        dev.inject_rx(0, &mut pkts(2, 64)).unwrap();
         assert_eq!(fired.get(), 1);
         // Draining dry re-arms.
         dev.rx_burst(0, &mut out, 16).unwrap();
@@ -337,7 +337,7 @@ mod tests {
     #[test]
     fn rx_ring_overflow_drops() {
         let (mut dev, _t) = mk(VhostKind::VhostUser);
-        let injected = dev.inject_rx(0, pkts(300, 64)).unwrap();
+        let injected = dev.inject_rx(0, &mut pkts(300, 64)).unwrap();
         assert_eq!(injected, 256, "default ring holds 256 descriptors");
     }
 
@@ -362,7 +362,7 @@ mod tests {
         })
         .unwrap();
         for q in 0..4u16 {
-            dev.inject_rx(q, pkts(usize::from(q) + 1, 64)).unwrap();
+            dev.inject_rx(q, &mut pkts(usize::from(q) + 1, 64)).unwrap();
         }
         for q in 0..4u16 {
             let mut out = Vec::new();

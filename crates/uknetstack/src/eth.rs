@@ -1,5 +1,6 @@
 //! Ethernet II framing.
 
+use uknetdev::netbuf::Netbuf;
 use ukplat::{Errno, Result};
 
 use crate::Mac;
@@ -54,6 +55,20 @@ impl EthHeader {
         b
     }
 
+    /// Prepends the 14-byte header into `nb`'s headroom in place: the
+    /// packet already in the buffer becomes the frame payload without
+    /// being copied (zero-copy pooled datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` has less than [`ETH_HDR_LEN`] bytes of headroom.
+    pub fn encode_into(&self, nb: &mut Netbuf) {
+        let b = nb.push_header_uninit(ETH_HDR_LEN);
+        b[0..6].copy_from_slice(&self.dst.0);
+        b[6..12].copy_from_slice(&self.src.0);
+        b[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+
     /// Parses a frame, returning the header and the payload slice.
     pub fn decode(frame: &[u8]) -> Result<(EthHeader, &[u8])> {
         if frame.len() < ETH_HDR_LEN {
@@ -80,6 +95,16 @@ impl EthHeader {
 mod tests {
     use super::*;
 
+    /// Frame building for tests goes through the headroom path — the
+    /// same code the stack uses (no parallel `encode().to_vec()` frame
+    /// assembly to keep in sync).
+    fn frame(h: &EthHeader, payload: &[u8]) -> Netbuf {
+        let mut nb = Netbuf::alloc(256, ETH_HDR_LEN);
+        nb.append(payload);
+        h.encode_into(&mut nb);
+        nb
+    }
+
     #[test]
     fn roundtrip() {
         let h = EthHeader {
@@ -87,9 +112,8 @@ mod tests {
             src: Mac::node(1),
             ethertype: EtherType::Ipv4,
         };
-        let mut frame = h.encode().to_vec();
-        frame.extend_from_slice(b"payload");
-        let (h2, payload) = EthHeader::decode(&frame).unwrap();
+        let nb = frame(&h, b"payload");
+        let (h2, payload) = EthHeader::decode(nb.payload()).unwrap();
         assert_eq!(h, h2);
         assert_eq!(payload, b"payload");
     }
@@ -106,11 +130,11 @@ mod tests {
             src: Mac::node(1),
             ethertype: EtherType::Arp,
         };
-        let mut frame = h.encode().to_vec();
-        frame[12] = 0x86;
-        frame[13] = 0xdd; // IPv6
+        let mut nb = frame(&h, &[]);
+        nb.payload_mut()[12] = 0x86;
+        nb.payload_mut()[13] = 0xdd; // IPv6
         assert_eq!(
-            EthHeader::decode(&frame).unwrap_err(),
+            EthHeader::decode(nb.payload()).unwrap_err(),
             Errno::ProtoNoSupport
         );
     }

@@ -4,6 +4,7 @@
 //! by the stack itself, and applications can issue pings to probe
 //! reachability (useful when bringing up driver + wiring).
 
+use uknetdev::netbuf::Netbuf;
 use ukplat::{Errno, Result};
 
 use crate::inet_checksum;
@@ -39,41 +40,69 @@ impl IcmpEcho {
         b
     }
 
-    /// Parses and checksum-verifies an echo message.
+    /// Prepends this message's header over its payload via the
+    /// headroom path: appends the payload, then calls
+    /// [`encode_echo_into`]. Byte-identical to [`encode`](Self::encode).
+    pub fn encode_into(&self, nb: &mut Netbuf) {
+        nb.append(&self.payload);
+        encode_echo_into(self.request, self.ident, self.seq, nb);
+    }
+
+    /// Parses and checksum-verifies an echo message into an owned
+    /// value (copies the payload; the stack's hot path uses the
+    /// borrowing [`decode_echo`] instead).
     pub fn decode(data: &[u8]) -> Result<IcmpEcho> {
-        if data.len() < ICMP_ECHO_LEN {
-            return Err(Errno::Inval);
-        }
-        if inet_checksum(data, 0) != 0 {
-            return Err(Errno::Io);
-        }
-        let request = match data[0] {
-            8 => true,
-            0 => false,
-            _ => return Err(Errno::ProtoNoSupport),
-        };
+        let (request, ident, seq, payload) = decode_echo(data)?;
         Ok(IcmpEcho {
             request,
-            ident: u16::from_be_bytes([data[4], data[5]]),
-            seq: u16::from_be_bytes([data[6], data[7]]),
-            payload: data[ICMP_ECHO_LEN..].to_vec(),
+            ident,
+            seq,
+            payload: payload.to_vec(),
         })
     }
 
-    /// Builds the reply to this request (payload echoed back).
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on a reply.
-    pub fn reply(&self) -> IcmpEcho {
-        assert!(self.request, "only requests are answered");
-        IcmpEcho {
-            request: false,
-            ident: self.ident,
-            seq: self.seq,
-            payload: self.payload.clone(),
-        }
+}
+
+/// Parses and checksum-verifies an echo message without copying:
+/// returns `(request, ident, seq, payload)` with the payload borrowed
+/// from `data`.
+pub fn decode_echo(data: &[u8]) -> Result<(bool, u16, u16, &[u8])> {
+    if data.len() < ICMP_ECHO_LEN {
+        return Err(Errno::Inval);
     }
+    if inet_checksum(data, 0) != 0 {
+        return Err(Errno::Io);
+    }
+    let request = match data[0] {
+        8 => true,
+        0 => false,
+        _ => return Err(Errno::ProtoNoSupport),
+    };
+    Ok((
+        request,
+        u16::from_be_bytes([data[4], data[5]]),
+        u16::from_be_bytes([data[6], data[7]]),
+        &data[ICMP_ECHO_LEN..],
+    ))
+}
+
+/// Prepends an 8-byte echo header (correct checksum) over the payload
+/// already in `nb` — the zero-copy primitive behind both `ping` and
+/// the stack's echo replies, which previously cloned the payload into
+/// a fresh [`IcmpEcho`].
+///
+/// # Panics
+///
+/// Panics if `nb` has less than [`ICMP_ECHO_LEN`] bytes of headroom.
+pub fn encode_echo_into(request: bool, ident: u16, seq: u16, nb: &mut Netbuf) {
+    let hdr = nb.push_header_uninit(ICMP_ECHO_LEN);
+    hdr[0] = if request { 8 } else { 0 };
+    hdr[1] = 0; // code
+    hdr[2..4].copy_from_slice(&[0, 0]); // checksum placeholder
+    hdr[4..6].copy_from_slice(&ident.to_be_bytes());
+    hdr[6..8].copy_from_slice(&seq.to_be_bytes());
+    let ck = inet_checksum(nb.payload(), 0);
+    nb.payload_mut()[2..4].copy_from_slice(&ck.to_be_bytes());
 }
 
 #[cfg(test)]
@@ -105,14 +134,13 @@ mod tests {
     }
 
     #[test]
-    fn reply_mirrors_request() {
-        let req = IcmpEcho {
-            request: true,
-            ident: 9,
-            seq: 3,
-            payload: b"abc".to_vec(),
-        };
-        let rep = req.reply();
+    fn in_place_reply_mirrors_request() {
+        // The stack's reply path: echo the request payload into a
+        // buffer and prepend a reply header in the headroom.
+        let mut nb = Netbuf::alloc(256, ICMP_ECHO_LEN);
+        nb.append(b"abc");
+        encode_echo_into(false, 9, 3, &mut nb);
+        let rep = IcmpEcho::decode(nb.payload()).unwrap();
         assert!(!rep.request);
         assert_eq!(rep.ident, 9);
         assert_eq!(rep.seq, 3);
@@ -120,14 +148,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "only requests")]
-    fn reply_to_reply_panics() {
-        let rep = IcmpEcho {
-            request: false,
-            ident: 0,
-            seq: 0,
-            payload: Vec::new(),
+    fn encode_into_matches_encode() {
+        let e = IcmpEcho {
+            request: true,
+            ident: 0x0102,
+            seq: 42,
+            payload: b"payload bytes".to_vec(),
         };
-        let _ = rep.reply();
+        let mut nb = Netbuf::alloc(256, ICMP_ECHO_LEN);
+        e.encode_into(&mut nb);
+        assert_eq!(nb.payload(), &e.encode()[..]);
     }
 }

@@ -1,5 +1,6 @@
 //! IPv4 header codec with real header checksums.
 
+use uknetdev::netbuf::Netbuf;
 use ukplat::{Errno, Result};
 
 use crate::{inet_checksum, Ipv4Addr};
@@ -66,6 +67,18 @@ impl Ipv4Header {
         let ck = inet_checksum(&b, 0);
         b[10..12].copy_from_slice(&ck.to_be_bytes());
         b
+    }
+
+    /// Prepends the 20-byte header (correct checksum included) into
+    /// `nb`'s headroom; the transport packet already in the buffer is
+    /// untouched. Byte-identical to [`encode`](Self::encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` has less than [`IPV4_HDR_LEN`] bytes of headroom.
+    pub fn encode_into(&self, nb: &mut Netbuf) {
+        let hdr = self.encode();
+        nb.push_header(&hdr);
     }
 
     /// Parses and checksum-verifies a packet; returns header + payload.

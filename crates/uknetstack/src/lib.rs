@@ -8,9 +8,29 @@
 //! checksums, an ARP cache, a TCP state machine with sequence tracking,
 //! and a non-blocking socket layer.
 //!
+//! # Zero-copy pooled datapath
+//!
+//! The stack follows `uknetdev`'s §3.1 buffer-ownership model end to
+//! end. Every protocol codec has two serializers: `encode()` — the
+//! allocating reference form — and `encode_into(&mut Netbuf)`, which
+//! *prepends* the header into a pooled buffer's headroom in place
+//! (property-tested byte-identical to the reference). On transmit the
+//! payload is written once behind [`stack::TX_HEADROOM`] bytes of
+//! headroom and TCP/UDP/ICMP → IPv4 → Ethernet headers are pushed in
+//! front of it; the same buffer goes to `tx_burst`, is reclaimed on
+//! completion and recycled into the [`NetbufPool`]. On receive the
+//! buffer walks back up via `pull_header`, and UDP payloads are queued
+//! on sockets as netbufs until a reader copies them out
+//! (`udp_recv_into`/`tcp_recv_into`). Steady-state packet processing
+//! performs zero heap allocations (asserted by the `zero_alloc`
+//! integration test and the `netpath` smoke bench).
+//!
 //! Frames travel through a [`VirtioNet`](uknetdev::VirtioNet) device;
 //! [`testnet::Network`] wires multiple stacks together so clients and
-//! servers exchange real packets in-process.
+//! servers exchange real packets in-process — the wire moves netbufs
+//! between pools too, one DMA-style copy per hop.
+//!
+//! [`NetbufPool`]: uknetdev::NetbufPool
 
 pub mod arp;
 pub mod eth;

@@ -1,11 +1,32 @@
-//! The stack proper: interface, demux, sockets.
+//! The stack proper: interface, demux, sockets — zero-copy datapath.
 //!
-//! A [`NetStack`] owns a `uk_netdev` device and implements the socket path
-//! of the paper's architecture (scenario ➁): frames are pulled with
-//! `rx_burst`, decoded (Ethernet → ARP/IPv4 → UDP/TCP), demultiplexed to
-//! sockets, and replies are encoded back into netbufs — taken from a
-//! pre-allocated pool when `use_pools` is on (§5.3 enables memory pools in
-//! lwIP for the throughput runs) — and pushed with `tx_burst`.
+//! A [`NetStack`] owns a `uk_netdev` device and implements the socket
+//! path of the paper's architecture (scenario ➁) with the §3.1
+//! buffer-ownership discipline end to end:
+//!
+//! - **TX** is one buffer from application to wire. Payload bytes are
+//!   written once into a pooled [`Netbuf`] behind [`TX_HEADROOM`]
+//!   bytes of headroom; TCP/UDP/ICMP, IPv4 and Ethernet each *prepend*
+//!   their header in place (`encode_into`). Frames are staged and
+//!   handed to `NetDev::tx_burst` as netbufs; completions are
+//!   reclaimed by the wire harness as netbufs ([`harvest_tx`]) and
+//!   recycled into the pool ([`recycle`]).
+//! - **RX** walks the same buffer up the stack: `rx_burst` fills
+//!   pooled buffers, headers are stripped with `pull_header`, and UDP
+//!   payloads are queued on sockets *as netbufs* — no per-datagram
+//!   `Vec`. Readers copy into their own storage
+//!   ([`udp_recv_into`]/[`tcp_recv_into`]) and the buffer returns to
+//!   the pool.
+//!
+//! In steady state the rx/tx hot path performs **zero heap
+//! allocations per packet** (asserted by the `zero_alloc` integration
+//! test); all scratch vectors live in the stack and are reused across
+//! turns.
+//!
+//! [`harvest_tx`]: NetStack::harvest_tx
+//! [`recycle`]: NetStack::recycle
+//! [`udp_recv_into`]: NetStack::udp_recv_into
+//! [`tcp_recv_into`]: NetStack::tcp_recv_into
 
 use std::collections::{HashMap, VecDeque};
 
@@ -15,12 +36,46 @@ use uknetdev::netbuf::{Netbuf, NetbufPool};
 use ukplat::{Errno, Result};
 
 use crate::arp::{ArpCache, ArpOp, ArpPacket};
-use crate::icmp::IcmpEcho;
 use crate::eth::{EthHeader, EtherType, ETH_HDR_LEN};
+use crate::icmp::{self, ICMP_ECHO_LEN};
 use crate::ipv4::{IpProto, Ipv4Header, IPV4_HDR_LEN};
-use crate::tcp::{Tcb, TcpHeader, TcpState};
+use crate::tcp::{Tcb, TcpHeader, TcpState, TCP_HDR_LEN};
 use crate::udp::{UdpHeader, UDP_HDR_LEN};
 use crate::{Endpoint, Ipv4Addr, Mac};
+
+/// Headroom reserved in every TX buffer: room for Ethernet + IPv4 +
+/// the largest transport header, so payloads are written once and all
+/// headers are prepended in place.
+pub const TX_HEADROOM: usize = 64;
+
+/// Storage size of each packet buffer (MTU + headers, rounded up).
+pub const BUF_CAP: usize = 2048;
+
+/// Most datagrams a UDP socket queues before new arrivals are dropped
+/// (bounds how much of the pool a flooded socket can pin).
+const UDP_RX_QUEUE_CAP: usize = 256;
+
+/// Packets parked per next-hop awaiting ARP resolution before
+/// *droppable* (non-TCP) packets start being evicted oldest-first
+/// (Linux's `unres_qlen` idea). TCP segments are preferred survivors —
+/// the stack has no retransmission (lossless in-process wire), so a
+/// dropped SYN or data segment would hang its connection forever.
+const ARP_PENDING_CAP: usize = 16;
+
+/// Absolute per-next-hop parking bound. Parked packets pin pooled
+/// buffers, so even TCP segments must stop accumulating at some point
+/// (an application looping `tcp_connect` on an unreachable address
+/// would otherwise pin the whole pool); beyond this the oldest packet
+/// is dropped regardless of protocol.
+const ARP_PENDING_HARD_CAP: usize = 64;
+
+/// A who-has request is (re-)broadcast on the 1st, 9th, 17th, …
+/// packet parked for a next-hop: self-healing if a request frame was
+/// lost to RX-ring overflow, without the old request-per-packet storm.
+const ARP_REQUEST_RETRY_EVERY: u64 = 8;
+
+// All three header layers must fit the reserved headroom.
+const _: () = assert!(TX_HEADROOM >= ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN);
 
 /// Interface configuration.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +108,9 @@ pub struct SocketHandle(pub usize);
 
 struct UdpSocket {
     port: u16,
-    rx: VecDeque<(Endpoint, Vec<u8>)>,
+    /// Received datagrams, held as the pooled buffers they arrived in
+    /// (payload trimmed to the UDP body) — recycled on receive.
+    rx: VecDeque<(Endpoint, Netbuf)>,
     /// Monotonic count of datagrams ever enqueued (readiness progress).
     rx_total: u64,
 }
@@ -61,6 +118,16 @@ struct UdpSocket {
 struct TcpConn {
     tcb: Tcb,
     remote: Endpoint,
+}
+
+/// Packets parked for one unresolved next-hop: IP-level packets with
+/// Ethernet headroom still reserved, tagged with their transport
+/// protocol so eviction can prefer droppable (non-TCP) traffic.
+#[derive(Default)]
+struct ArpPendingQueue {
+    packets: Vec<(IpProto, Netbuf)>,
+    /// Packets ever parked here (drives the who-has retry cadence).
+    parked_total: u64,
 }
 
 /// A readiness cell plus the last progress value published through it.
@@ -83,7 +150,7 @@ pub struct StackStats {
     pub rx_frames: u64,
     /// Frames transmitted.
     pub tx_frames: u64,
-    /// Frames dropped (parse errors, unknown ports).
+    /// Frames dropped (parse errors, unknown ports, full queues).
     pub dropped: u64,
 }
 
@@ -104,13 +171,23 @@ pub struct NetStack {
     iss: u32,
     stats: StackStats,
     /// Packets waiting for ARP resolution, keyed by next-hop IP.
-    arp_pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
+    arp_pending: HashMap<Ipv4Addr, ArpPendingQueue>,
     /// Echo replies received: (peer, ident, seq).
     ping_replies: Vec<(Ipv4Addr, u16, u16)>,
     /// Readiness cells handed out to event queues, keyed by handle,
     /// with the progress counter last published through each. Synced
     /// after every socket-mutating operation and each `pump`.
     sources: HashMap<usize, SourceEntry>,
+    /// Ethernet-ready frames staged for the next `tx_burst` (reused).
+    tx_stage: Vec<Netbuf>,
+    /// TCP segments staged during `flush_tcp`, pre-ARP (reused).
+    tcp_stage: Vec<(Ipv4Addr, Netbuf)>,
+    /// RX burst scratch for `pump` (reused).
+    rx_scratch: Vec<Netbuf>,
+    /// Injection scratch for `deliver_frame` (reused).
+    inject_scratch: Vec<Netbuf>,
+    /// Key scratch for `sync_readiness` (reused).
+    sync_scratch: Vec<usize>,
 }
 
 impl std::fmt::Debug for NetStack {
@@ -128,7 +205,7 @@ impl NetStack {
     pub fn new(config: StackConfig, dev: Box<dyn NetDev>) -> Self {
         let pool = config
             .use_pools
-            .then(|| NetbufPool::new(config.pool_size, 2048, ETH_HDR_LEN + IPV4_HDR_LEN + 64));
+            .then(|| NetbufPool::new(config.pool_size, BUF_CAP, TX_HEADROOM));
         NetStack {
             config,
             dev,
@@ -146,6 +223,11 @@ impl NetStack {
             arp_pending: HashMap::new(),
             ping_replies: Vec::new(),
             sources: HashMap::new(),
+            tx_stage: Vec::new(),
+            tcp_stage: Vec::new(),
+            rx_scratch: Vec::new(),
+            inject_scratch: Vec::new(),
+            sync_scratch: Vec::new(),
         }
     }
 
@@ -162,6 +244,12 @@ impl NetStack {
     /// Statistics snapshot.
     pub fn stats(&self) -> StackStats {
         self.stats
+    }
+
+    /// Buffers currently available in the TX pool (diagnostics; `None`
+    /// when pooling is off).
+    pub fn pool_available(&self) -> Option<usize> {
+        self.pool.as_ref().map(|p| p.available())
     }
 
     fn handle(&mut self) -> usize {
@@ -319,10 +407,13 @@ impl NetStack {
         if self.sources.is_empty() {
             return;
         }
-        let keys: Vec<usize> = self.sources.keys().copied().collect();
-        for key in keys {
+        let mut keys = std::mem::take(&mut self.sync_scratch);
+        keys.clear();
+        keys.extend(self.sources.keys().copied());
+        for key in keys.drain(..) {
             self.sync_one(key);
         }
+        self.sync_scratch = keys;
     }
 
     // --- UDP ----------------------------------------------------------
@@ -345,13 +436,24 @@ impl NetStack {
         Ok(SocketHandle(h))
     }
 
-    /// Sends a datagram.
+    /// Sends a datagram: the payload is written once into a pooled
+    /// buffer and UDP/IP/Ethernet headers are prepended in place.
+    ///
+    /// The stack does not fragment: payloads beyond a packet buffer's
+    /// tailroom ([`BUF_CAP`] − [`TX_HEADROOM`] = 1984 bytes — already
+    /// past the 1500-byte wire MTU) are rejected with `EINVAL`.
     pub fn udp_send_to(&mut self, sock: SocketHandle, data: &[u8], to: Endpoint) -> Result<()> {
         let src_port = self
             .udp_socks
             .get(&sock.0)
             .ok_or(Errno::BadF)?
             .port;
+        let mut nb = self.take_buf();
+        if data.len() > nb.tailroom() {
+            self.recycle(nb);
+            return Err(Errno::Inval); // Larger than MTU-sized buffers.
+        }
+        nb.append(data);
         let ip = Ipv4Header {
             src: self.config.ip,
             dst: to.addr,
@@ -359,19 +461,40 @@ impl NetStack {
             payload_len: UDP_HDR_LEN + data.len(),
             ttl: 64,
         };
-        let udp = UdpHeader {
+        UdpHeader {
             src_port,
             dst_port: to.port,
-        };
-        let dgram = udp.encode(&ip, data);
-        self.send_ipv4(ip, &dgram)
+        }
+        .encode_into(&ip, &mut nb);
+        ip.encode_into(&mut nb);
+        self.send_ipv4_nb(to.addr, IpProto::Udp, nb);
+        self.flush_tx()
     }
 
-    /// Receives a datagram, if one is queued.
+    /// Receives a datagram, if one is queued (allocating convenience
+    /// wrapper over [`udp_recv_into`](Self::udp_recv_into)).
     pub fn udp_recv_from(&mut self, sock: SocketHandle) -> Option<(Endpoint, Vec<u8>)> {
-        let r = self.udp_socks.get_mut(&sock.0)?.rx.pop_front();
+        let (from, nb) = self.udp_socks.get_mut(&sock.0)?.rx.pop_front()?;
+        let data = nb.payload().to_vec();
+        self.recycle(nb);
         self.sync_one(sock.0);
-        r
+        Some((from, data))
+    }
+
+    /// Copies the next queued datagram into `out` (truncating to fit)
+    /// and recycles its buffer — the allocation-free receive path.
+    /// Returns the sender and the copied length.
+    pub fn udp_recv_into(
+        &mut self,
+        sock: SocketHandle,
+        out: &mut [u8],
+    ) -> Option<(Endpoint, usize)> {
+        let (from, nb) = self.udp_socks.get_mut(&sock.0)?.rx.pop_front()?;
+        let n = nb.len().min(out.len());
+        out[..n].copy_from_slice(&nb.payload()[..n]);
+        self.recycle(nb);
+        self.sync_one(sock.0);
+        Some((from, n))
     }
 
     // --- TCP ----------------------------------------------------------
@@ -429,14 +552,30 @@ impl NetStack {
         Ok(accepted)
     }
 
-    /// Reads up to `max` bytes from a connection. May emit a
-    /// window-update ACK when a previously-zero receive window reopens.
+    /// Reads up to `max` bytes from a connection (allocating
+    /// convenience wrapper over [`tcp_recv_into`](Self::tcp_recv_into)).
     pub fn tcp_recv(&mut self, conn: SocketHandle, max: usize) -> Result<Vec<u8>> {
+        let readable = self
+            .conns
+            .get(&conn.0)
+            .ok_or(Errno::BadF)?
+            .tcb
+            .readable();
+        let mut data = vec![0u8; max.min(readable)];
+        let n = self.tcp_recv_into(conn, &mut data)?;
+        data.truncate(n);
+        Ok(data)
+    }
+
+    /// Copies buffered received bytes into `out` — the allocation-free
+    /// receive path. May emit a window-update ACK when a
+    /// previously-zero receive window reopens.
+    pub fn tcp_recv_into(&mut self, conn: SocketHandle, out: &mut [u8]) -> Result<usize> {
         let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
-        let data = c.tcb.app_recv(max);
+        let n = c.tcb.app_recv_into(out);
         self.flush_tcp()?;
         self.sync_one(conn.0);
-        Ok(data)
+        Ok(n)
     }
 
     /// Free send-buffer space on a connection (0 for closed handles).
@@ -479,141 +618,220 @@ impl NetStack {
 
     // --- Data path ----------------------------------------------------
 
-    /// Takes a TX buffer (pool or heap — the application's choice, §3.1).
+    /// Takes a TX buffer (pool or heap — the application's choice,
+    /// §3.1) with [`TX_HEADROOM`] reserved for headers.
     fn take_buf(&mut self) -> Netbuf {
         match self.pool.as_mut().and_then(|p| p.take()) {
             Some(nb) => nb,
-            None => Netbuf::alloc(2048, ETH_HDR_LEN + IPV4_HDR_LEN + 64),
+            None => Netbuf::alloc(BUF_CAP, TX_HEADROOM),
         }
     }
 
-    fn send_frame(&mut self, dst: Mac, ethertype: EtherType, payload: &[u8]) -> Result<()> {
-        let eth = EthHeader {
+    /// Takes an RX buffer (no headroom: the wire writes whole frames).
+    /// The wire harness fills it and injects it with
+    /// [`deliver_frame`](Self::deliver_frame).
+    pub fn take_rx_buf(&mut self) -> Netbuf {
+        match self.pool.as_mut().and_then(|p| p.take()) {
+            Some(mut nb) => {
+                nb.reset(0);
+                nb
+            }
+            None => Netbuf::alloc(BUF_CAP, 0),
+        }
+    }
+
+    /// Returns a finished buffer to the stack's pool (heap and foreign
+    /// buffers are simply dropped). Everyone who takes a netbuf out of
+    /// this stack — the wire harness via [`harvest_tx`](Self::harvest_tx),
+    /// readers via the `*_recv_into` paths — hands it back here.
+    pub fn recycle(&mut self, nb: Netbuf) {
+        if let Some(pool) = self.pool.as_mut() {
+            if pool.owns(&nb) {
+                pool.give_back(nb);
+            }
+        }
+    }
+
+    /// Prepends the Ethernet header and stages the frame for the next
+    /// TX burst.
+    fn stage_eth(&mut self, dst: Mac, ethertype: EtherType, mut nb: Netbuf) {
+        EthHeader {
             dst,
             src: self.config.mac,
             ethertype,
-        };
-        let mut frame = Vec::with_capacity(ETH_HDR_LEN + payload.len());
-        frame.extend_from_slice(&eth.encode());
-        frame.extend_from_slice(payload);
-        let mut nb = self.take_buf();
-        nb.reset(0);
-        nb.set_payload(&frame);
-        let mut batch = vec![nb];
-        self.dev.tx_burst(0, &mut batch)?;
-        self.stats.tx_frames += 1;
+        }
+        .encode_into(&mut nb);
+        self.tx_stage.push(nb);
+    }
+
+    /// Pushes staged frames into the device (one burst call per
+    /// `MAX_BURST` frames; leftovers stay staged if the ring fills).
+    fn flush_tx(&mut self) -> Result<()> {
+        while !self.tx_stage.is_empty() {
+            let st = self.dev.tx_burst(0, &mut self.tx_stage)?;
+            self.stats.tx_frames += st.sent as u64;
+            if st.sent == 0 {
+                break; // Ring full; retried on the next flush.
+            }
+        }
         Ok(())
     }
 
-    fn send_ipv4(&mut self, ip: Ipv4Header, transport: &[u8]) -> Result<()> {
-        let mut packet = Vec::with_capacity(IPV4_HDR_LEN + transport.len());
-        packet.extend_from_slice(&ip.encode());
-        packet.extend_from_slice(transport);
-        match self.arp.lookup(ip.dst) {
-            Some(mac) => self.send_frame(mac, EtherType::Ipv4, &packet),
+    /// Routes an IP-level packet (headers already in place, Ethernet
+    /// headroom reserved): resolved destinations are staged for TX,
+    /// unresolved ones park under the pending ARP request. Parking is
+    /// bounded (soft cap evicting droppable traffic first, hard cap
+    /// evicting anything) so an unreachable next-hop cannot pin the
+    /// buffer pool, and the who-has broadcast is re-issued every
+    /// [`ARP_REQUEST_RETRY_EVERY`] parked packets.
+    fn send_ipv4_nb(&mut self, dst: Ipv4Addr, proto: IpProto, nb: Netbuf) {
+        match self.arp.lookup(dst) {
+            Some(mac) => self.stage_eth(mac, EtherType::Ipv4, nb),
             None => {
-                // Park the packet and ask who-has.
-                self.arp_pending.entry(ip.dst).or_default().push(packet);
-                let req = ArpPacket {
-                    op: ArpOp::Request,
-                    sha: self.config.mac,
-                    spa: self.config.ip,
-                    tha: Mac([0; 6]),
-                    tpa: ip.dst,
+                let (evicted, request_due) = {
+                    let pending = self.arp_pending.entry(dst).or_default();
+                    pending.packets.push((proto, nb));
+                    pending.parked_total += 1;
+                    let evicted = if pending.packets.len() > ARP_PENDING_HARD_CAP {
+                        Some(pending.packets.remove(0))
+                    } else if pending.packets.len() > ARP_PENDING_CAP {
+                        pending
+                            .packets
+                            .iter()
+                            .position(|(p, _)| *p != IpProto::Tcp)
+                            .map(|i| pending.packets.remove(i))
+                    } else {
+                        None
+                    };
+                    (
+                        evicted,
+                        pending.parked_total % ARP_REQUEST_RETRY_EVERY == 1,
+                    )
                 };
-                self.send_frame(Mac::BROADCAST, EtherType::Arp, &req.encode())
+                if let Some((_, old)) = evicted {
+                    self.stats.dropped += 1;
+                    self.recycle(old);
+                }
+                if request_due {
+                    let req = ArpPacket {
+                        op: ArpOp::Request,
+                        sha: self.config.mac,
+                        spa: self.config.ip,
+                        tha: Mac([0; 6]),
+                        tpa: dst,
+                    };
+                    let mut anb = self.take_buf();
+                    anb.append(&req.encode());
+                    self.stage_eth(Mac::BROADCAST, EtherType::Arp, anb);
+                }
             }
         }
     }
 
-    /// Emits all pending TCP output.
+    /// Emits all pending TCP output: each segment is cut from the send
+    /// buffer straight into a pooled netbuf (payload first, then
+    /// TCP/IP headers prepended in place) — no intermediate `Vec`s.
     fn flush_tcp(&mut self) -> Result<()> {
-        let mut to_send = Vec::new();
+        let mut staged = std::mem::take(&mut self.tcp_stage);
+        let mut pool = self.pool.take();
+        let src_ip = self.config.ip;
         for c in self.conns.values_mut() {
-            let remote = c.remote;
-            for seg in c.tcb.poll_output() {
-                to_send.push((remote, seg));
-            }
+            let dst = c.remote.addr;
+            c.tcb.poll_output_with(|header, a, b| {
+                let mut nb = pool
+                    .as_mut()
+                    .and_then(|p| p.take())
+                    .unwrap_or_else(|| Netbuf::alloc(BUF_CAP, TX_HEADROOM));
+                nb.append(a);
+                nb.append(b);
+                let ip = Ipv4Header {
+                    src: src_ip,
+                    dst,
+                    proto: IpProto::Tcp,
+                    payload_len: TCP_HDR_LEN + a.len() + b.len(),
+                    ttl: 64,
+                };
+                header.encode_into(&ip, &mut nb);
+                ip.encode_into(&mut nb);
+                staged.push((dst, nb));
+            });
         }
-        for (remote, seg) in to_send {
-            let ip = Ipv4Header {
-                src: self.config.ip,
-                dst: remote.addr,
-                proto: IpProto::Tcp,
-                payload_len: crate::tcp::TCP_HDR_LEN + seg.payload.len(),
-                ttl: 64,
-            };
-            let bytes = seg.header.encode(&ip, &seg.payload);
-            self.send_ipv4(ip, &bytes)?;
+        self.pool = pool;
+        for (dst, nb) in staged.drain(..) {
+            self.send_ipv4_nb(dst, IpProto::Tcp, nb);
         }
-        Ok(())
+        self.tcp_stage = staged;
+        self.flush_tx()
     }
 
     /// Processes received frames and flushes replies. Returns the number
     /// of frames handled.
     pub fn pump(&mut self) -> usize {
         let mut handled = 0;
+        let mut frames = std::mem::take(&mut self.rx_scratch);
         loop {
-            let mut frames = Vec::new();
             let st = match self.dev.rx_burst(0, &mut frames, 32) {
                 Ok(st) => st,
                 Err(_) => break,
             };
-            for nb in &frames {
-                if self.handle_frame(nb.payload()).is_ok() {
+            for nb in frames.drain(..) {
+                if self.handle_frame(nb).is_ok() {
                     handled += 1;
                 } else {
                     self.stats.dropped += 1;
-                }
-            }
-            // Return RX buffers to the pool.
-            if let Some(pool) = self.pool.as_mut() {
-                for nb in frames {
-                    if nb.pool_slot().is_some() {
-                        pool.give_back(nb);
-                    }
                 }
             }
             if st.received == 0 && !st.more {
                 break;
             }
         }
+        self.rx_scratch = frames;
         let _ = self.flush_tcp();
         self.sync_readiness();
         handled
     }
 
-    /// Collects transmitted frames (for the wire/hub), recycling the
-    /// underlying buffers into the pool.
-    pub fn harvest_tx_frames(&mut self) -> Vec<Vec<u8>> {
-        let mut done = Vec::new();
-        let _ = self.dev.reclaim_tx(0, &mut done);
-        let mut frames = Vec::with_capacity(done.len());
-        for nb in done {
-            frames.push(nb.payload().to_vec());
-            if nb.pool_slot().is_some() {
-                if let Some(pool) = self.pool.as_mut() {
-                    pool.give_back(nb);
-                }
-            }
+    /// Reclaims completed TX frames into `out` as netbufs — the wire
+    /// handoff (no copy-out; the old `Vec<Vec<u8>>` path is gone). The
+    /// harness copies each frame onto the destination's RX buffers and
+    /// returns ours via [`recycle`](Self::recycle).
+    pub fn harvest_tx(&mut self, out: &mut Vec<Netbuf>) -> usize {
+        self.dev.reclaim_tx(0, out).unwrap_or(0)
+    }
+
+    /// Injects one frame into this stack's device RX ring (the wire
+    /// side). If the ring is full the frame is dropped and its buffer
+    /// recycled, like a real NIC.
+    pub fn deliver_frame(&mut self, nb: Netbuf) {
+        self.inject_scratch.push(nb);
+        let _ = self.dev.inject_rx(0, &mut self.inject_scratch);
+        while let Some(rest) = self.inject_scratch.pop() {
+            self.stats.dropped += 1;
+            self.recycle(rest);
         }
-        frames
     }
 
-    /// Injects frames into this stack's device RX ring (the wire side).
-    pub fn deliver_frames(&mut self, frames: Vec<Netbuf>) {
-        let _ = self.dev.inject_rx(0, frames);
-    }
-
-    fn handle_frame(&mut self, frame: &[u8]) -> Result<()> {
+    fn handle_frame(&mut self, mut nb: Netbuf) -> Result<()> {
         self.stats.rx_frames += 1;
-        let (eth, payload) = EthHeader::decode(frame)?;
+        let eth = match EthHeader::decode(nb.payload()) {
+            Ok((h, _)) => h,
+            Err(e) => {
+                self.recycle(nb);
+                return Err(e);
+            }
+        };
         if eth.dst != self.config.mac && eth.dst != Mac::BROADCAST {
+            self.recycle(nb);
             return Err(Errno::Inval);
         }
+        nb.pull_header(ETH_HDR_LEN);
         match eth.ethertype {
-            EtherType::Arp => self.handle_arp(payload),
-            EtherType::Ipv4 => self.handle_ipv4(payload),
+            EtherType::Arp => {
+                let r = self.handle_arp(nb.payload());
+                self.recycle(nb);
+                r
+            }
+            EtherType::Ipv4 => self.handle_ipv4(nb),
         }
     }
 
@@ -622,8 +840,8 @@ impl NetStack {
         self.arp.insert(arp.spa, arp.sha);
         // Release packets that were waiting on this mapping.
         if let Some(pending) = self.arp_pending.remove(&arp.spa) {
-            for packet in pending {
-                self.send_frame(arp.sha, EtherType::Ipv4, &packet)?;
+            for (_, nb) in pending.packets {
+                self.stage_eth(arp.sha, EtherType::Ipv4, nb);
             }
         }
         if arp.op == ArpOp::Request && arp.tpa == self.config.ip {
@@ -634,59 +852,90 @@ impl NetStack {
                 tha: arp.sha,
                 tpa: arp.spa,
             };
-            self.send_frame(arp.sha, EtherType::Arp, &reply.encode())?;
+            let mut nb = self.take_buf();
+            nb.append(&reply.encode());
+            self.stage_eth(arp.sha, EtherType::Arp, nb);
         }
         Ok(())
     }
 
-    fn handle_ipv4(&mut self, data: &[u8]) -> Result<()> {
-        let (ip, payload) = Ipv4Header::decode(data)?;
+    /// Walks an IPv4 frame up the stack in place: the IP header is
+    /// pulled, trailing Ethernet padding trimmed, and the same buffer
+    /// continues to the transport layer.
+    fn handle_ipv4(&mut self, mut nb: Netbuf) -> Result<()> {
+        let (ip, body_len) = match Ipv4Header::decode(nb.payload()) {
+            Ok((h, body)) => (h, body.len()),
+            Err(e) => {
+                self.recycle(nb);
+                return Err(e);
+            }
+        };
         if ip.dst != self.config.ip {
+            self.recycle(nb);
             return Err(Errno::Inval);
         }
+        nb.pull_header(IPV4_HDR_LEN);
+        nb.truncate(body_len);
         match ip.proto {
-            IpProto::Udp => self.handle_udp(&ip, payload),
-            IpProto::Tcp => self.handle_tcp(&ip, payload),
-            IpProto::Icmp => self.handle_icmp(&ip, payload),
+            IpProto::Udp => self.handle_udp(&ip, nb),
+            IpProto::Tcp => {
+                let r = self.handle_tcp(&ip, nb.payload());
+                self.recycle(nb);
+                r
+            }
+            IpProto::Icmp => {
+                let r = self.handle_icmp(&ip, nb.payload());
+                self.recycle(nb);
+                r
+            }
         }
     }
 
     fn handle_icmp(&mut self, ip: &Ipv4Header, data: &[u8]) -> Result<()> {
-        let echo = IcmpEcho::decode(data)?;
-        if echo.request {
-            // Answer pings like lwIP does.
-            let reply = echo.reply().encode();
+        let (request, ident, seq, payload) = icmp::decode_echo(data)?;
+        if request {
+            // Answer pings like lwIP does: echo the payload into a
+            // fresh pooled buffer, headers prepended in place. A
+            // request too large for a reply buffer (an injected
+            // over-MTU frame) is dropped, not echoed.
+            let mut nb = self.take_buf();
+            if payload.len() > nb.tailroom() {
+                self.recycle(nb);
+                return Err(Errno::Inval);
+            }
+            nb.append(payload);
+            icmp::encode_echo_into(false, ident, seq, &mut nb);
             let hdr = Ipv4Header {
                 src: self.config.ip,
                 dst: ip.src,
                 proto: IpProto::Icmp,
-                payload_len: reply.len(),
+                payload_len: ICMP_ECHO_LEN + payload.len(),
                 ttl: 64,
             };
-            self.send_ipv4(hdr, &reply)
+            hdr.encode_into(&mut nb);
+            self.send_ipv4_nb(ip.src, IpProto::Icmp, nb);
+            Ok(())
         } else {
-            self.ping_replies.push((ip.src, echo.ident, echo.seq));
+            self.ping_replies.push((ip.src, ident, seq));
             Ok(())
         }
     }
 
     /// Sends an ICMP echo request to `dst`.
     pub fn ping(&mut self, dst: Ipv4Addr, ident: u16, seq: u16) -> Result<()> {
-        let echo = IcmpEcho {
-            request: true,
-            ident,
-            seq,
-            payload: b"unikraft-rs ping".to_vec(),
-        }
-        .encode();
+        let mut nb = self.take_buf();
+        nb.append(b"unikraft-rs ping");
+        icmp::encode_echo_into(true, ident, seq, &mut nb);
         let hdr = Ipv4Header {
             src: self.config.ip,
             dst,
             proto: IpProto::Icmp,
-            payload_len: echo.len(),
+            payload_len: nb.len(),
             ttl: 64,
         };
-        self.send_ipv4(hdr, &echo)
+        hdr.encode_into(&mut nb);
+        self.send_ipv4_nb(dst, IpProto::Icmp, nb);
+        self.flush_tx()
     }
 
     /// Drains echo replies received so far: (peer, ident, seq).
@@ -694,14 +943,37 @@ impl NetStack {
         std::mem::take(&mut self.ping_replies)
     }
 
-    fn handle_udp(&mut self, ip: &Ipv4Header, dgram: &[u8]) -> Result<()> {
-        let (udp, payload) = UdpHeader::decode(ip, dgram)?;
-        let h = *self.udp_ports.get(&udp.dst_port).ok_or(Errno::ConnRefused)?;
-        let sock = self.udp_socks.get_mut(&h).ok_or(Errno::BadF)?;
-        sock.rx.push_back((
-            Endpoint::new(ip.src, udp.src_port),
-            payload.to_vec(),
-        ));
+    /// Demultiplexes a UDP datagram: the receive buffer itself (payload
+    /// trimmed to the UDP body) moves into the socket's queue.
+    fn handle_udp(&mut self, ip: &Ipv4Header, mut nb: Netbuf) -> Result<()> {
+        let (udp, body_len) = match UdpHeader::decode(ip, nb.payload()) {
+            Ok((h, body)) => (h, body.len()),
+            Err(e) => {
+                self.recycle(nb);
+                return Err(e);
+            }
+        };
+        let Some(&h) = self.udp_ports.get(&udp.dst_port) else {
+            self.recycle(nb);
+            return Err(Errno::ConnRefused);
+        };
+        let queued = self.udp_socks.get(&h).map(|s| s.rx.len());
+        match queued {
+            None => {
+                self.recycle(nb);
+                return Err(Errno::BadF);
+            }
+            Some(n) if n >= UDP_RX_QUEUE_CAP => {
+                self.recycle(nb);
+                return Err(Errno::NoMem); // Queue full: drop (counted).
+            }
+            Some(_) => {}
+        }
+        nb.pull_header(UDP_HDR_LEN);
+        nb.truncate(body_len);
+        let sock = self.udp_socks.get_mut(&h).expect("checked above");
+        sock.rx
+            .push_back((Endpoint::new(ip.src, udp.src_port), nb));
         sock.rx_total += 1;
         Ok(())
     }
@@ -770,6 +1042,126 @@ mod tests {
         // One broadcast ARP request must have left the stack.
         assert_eq!(s.stats().tx_frames, 1);
         assert_eq!(s.arp_pending.len(), 1);
+    }
+
+    #[test]
+    fn unresolved_arp_parking_is_capped_and_buffers_recycled() {
+        let mut s = stack(1);
+        let sock = s.udp_bind(5000).unwrap();
+        let dst = Endpoint::new(Ipv4Addr::new(10, 0, 0, 99), 7);
+        // Far more sends than the per-next-hop cap; nobody ever answers
+        // the ARP request.
+        for _ in 0..64 {
+            s.udp_send_to(sock, b"black hole", dst).unwrap();
+        }
+        assert_eq!(
+            s.arp_pending.get(&dst.addr).unwrap().packets.len(),
+            ARP_PENDING_CAP,
+            "parked packets bounded per destination"
+        );
+        assert_eq!(
+            s.stats().dropped,
+            64 - ARP_PENDING_CAP as u64,
+            "evicted packets are counted as drops"
+        );
+        // Who-has re-broadcast on a fixed cadence, not per packet.
+        let requests = 64u64.div_ceil(ARP_REQUEST_RETRY_EVERY);
+        assert_eq!(s.stats().tx_frames, requests, "bounded retry cadence");
+        // Pool accounting: the capped parked packets plus the ARP
+        // request frames (in the device done-list until the wire
+        // harvests them) are the only outstanding buffers.
+        let outstanding =
+            s.config.pool_size - s.pool_available().unwrap();
+        assert_eq!(
+            outstanding,
+            ARP_PENDING_CAP + requests as usize,
+            "no buffer leak"
+        );
+    }
+
+    #[test]
+    fn arp_parking_hard_cap_bounds_even_tcp() {
+        let mut s = stack(1);
+        // An app looping connects on an unreachable address must not
+        // pin the pool without bound.
+        for _ in 0..100 {
+            s.tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 99), 80))
+                .unwrap();
+        }
+        let pending = s.arp_pending.get(&Ipv4Addr::new(10, 0, 0, 99)).unwrap();
+        assert_eq!(pending.packets.len(), ARP_PENDING_HARD_CAP);
+        assert_eq!(s.stats().dropped, 100 - ARP_PENDING_HARD_CAP as u64);
+    }
+
+    #[test]
+    fn arp_eviction_never_drops_tcp_segments() {
+        let mut s = stack(1);
+        // Park a SYN on an unresolved next-hop…
+        s.tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 99), 80))
+            .unwrap();
+        // …then flood the same next-hop with droppable datagrams.
+        let sock = s.udp_bind(5000).unwrap();
+        let dst = Endpoint::new(Ipv4Addr::new(10, 0, 0, 99), 7);
+        for _ in 0..32 {
+            s.udp_send_to(sock, b"flood", dst).unwrap();
+        }
+        let pending = s.arp_pending.get(&dst.addr).unwrap();
+        assert_eq!(pending.packets.len(), ARP_PENDING_CAP);
+        let tcp_parked = pending
+            .packets
+            .iter()
+            .filter(|(p, _)| *p == IpProto::Tcp)
+            .count();
+        assert_eq!(
+            tcp_parked, 1,
+            "the SYN survives eviction (no retransmission exists to recover it)"
+        );
+    }
+
+    #[test]
+    fn oversized_icmp_echo_request_is_dropped_not_echoed() {
+        // An injected over-MTU echo request must not panic the reply
+        // path (`append` would assert on tailroom) — it is dropped.
+        let mut s = stack(1);
+        let mut nb = uknetdev::netbuf::Netbuf::alloc(4096, TX_HEADROOM);
+        nb.append(&[0x77u8; BUF_CAP]); // larger than any reply buffer
+        crate::icmp::encode_echo_into(true, 1, 1, &mut nb);
+        let ip = Ipv4Header {
+            src: Ipv4Addr::new(10, 0, 0, 2),
+            dst: s.ip(),
+            proto: IpProto::Icmp,
+            payload_len: nb.len(),
+            ttl: 64,
+        };
+        ip.encode_into(&mut nb);
+        EthHeader {
+            dst: s.mac(),
+            src: Mac::node(2),
+            ethertype: EtherType::Ipv4,
+        }
+        .encode_into(&mut nb);
+        s.deliver_frame(nb);
+        let pool_before = s.pool_available().unwrap();
+        s.pump();
+        assert_eq!(s.stats().dropped, 1, "oversized request dropped");
+        assert_eq!(
+            s.pool_available().unwrap(),
+            pool_before,
+            "reply buffer recycled"
+        );
+    }
+
+    #[test]
+    fn oversized_udp_payload_rejected_and_buffer_recycled() {
+        let mut s = stack(1);
+        let sock = s.udp_bind(5000).unwrap();
+        let before = s.pool_available().unwrap();
+        let big = vec![0u8; BUF_CAP];
+        let err = s
+            .udp_send_to(sock, &big, Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7))
+            .unwrap_err();
+        assert_eq!(err, Errno::Inval);
+        assert_eq!(s.pool_available().unwrap(), before, "no pool leak");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use uknetdev::netbuf::Netbuf;
 use ukplat::{Errno, Result};
 
 use crate::inet_checksum;
@@ -106,6 +107,30 @@ impl TcpHeader {
         seg
     }
 
+    /// Prepends the 20-byte header into `nb`'s headroom; the payload
+    /// already in the buffer becomes the segment body without being
+    /// copied. The checksum is computed in place over the whole segment
+    /// with the pseudo-header seed — byte-identical to
+    /// [`encode`](Self::encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` has less than [`TCP_HDR_LEN`] bytes of headroom.
+    pub fn encode_into(&self, ip: &Ipv4Header, nb: &mut Netbuf) {
+        let hdr = nb.push_header_uninit(TCP_HDR_LEN);
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        hdr[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        hdr[12] = 5 << 4; // Data offset 5 words.
+        hdr[13] = self.flags.to_u8();
+        hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
+        hdr[16..18].copy_from_slice(&[0, 0]); // Checksum placeholder.
+        hdr[18..20].copy_from_slice(&[0, 0]); // Urgent pointer.
+        let ck = inet_checksum(nb.payload(), ip.pseudo_header_sum());
+        nb.payload_mut()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
     /// Parses and verifies a segment; returns header + payload.
     pub fn decode<'a>(ip: &Ipv4Header, seg: &'a [u8]) -> Result<(TcpHeader, &'a [u8])> {
         if seg.len() < TCP_HDR_LEN {
@@ -154,12 +179,26 @@ pub enum TcpState {
 }
 
 /// An outgoing segment (flags + payload), produced by the TCB.
+///
+/// This owned form exists for tests and diagnostics; the stack's hot
+/// path uses [`Tcb::poll_output_with`], which hands out the payload as
+/// borrowed slices so it can be written straight into a pooled netbuf
+/// without an intermediate `Vec`.
 #[derive(Debug, Clone)]
 pub struct OutSegment {
     /// Header to send.
     pub header: TcpHeader,
     /// Payload bytes.
     pub payload: Vec<u8>,
+}
+
+/// The first `n` bytes of a ring buffer as its (up to) two contiguous
+/// slices — the shape both allocation-free copy paths
+/// ([`Tcb::app_recv_into`], [`Tcb::poll_output_with`]) consume.
+fn ring_front(dq: &VecDeque<u8>, n: usize) -> (&[u8], &[u8]) {
+    let (a, b) = dq.as_slices();
+    let from_a = n.min(a.len());
+    (&a[..from_a], &b[..n - from_a])
 }
 
 /// A transmission control block.
@@ -185,8 +224,10 @@ pub struct Tcb {
     /// edge-triggered watchers re-trigger on new arrivals even while
     /// data is already pending).
     rx_total: u64,
-    /// Segments ready to be emitted on the wire.
-    out: VecDeque<OutSegment>,
+    /// Control segments (no payload) ready to be emitted on the wire.
+    /// Data segments are never queued: they are cut from `send_buf`
+    /// directly into the caller's netbuf at `poll_output_with` time.
+    out: VecDeque<TcpHeader>,
     /// Whether the app asked to close after the send buffer drains.
     closing: bool,
     /// Peer closed its direction.
@@ -202,7 +243,7 @@ impl Tcb {
     /// Creates a connecting TCB and queues the SYN (client side).
     pub fn connect(local_port: u16, remote_port: u16, iss: u32) -> Self {
         let mut tcb = Tcb::new(TcpState::SynSent, local_port, remote_port, iss);
-        tcb.emit(TcpFlags::SYN, Vec::new());
+        tcb.emit(TcpFlags::SYN);
         tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1); // SYN consumes a sequence.
         tcb
     }
@@ -231,20 +272,25 @@ impl Tcb {
         (RCV_BUF_CAP - self.recv_buf.len().min(RCV_BUF_CAP)) as u16
     }
 
-    fn emit(&mut self, flags: TcpFlags, payload: Vec<u8>) {
+    /// Builds the header for the next outgoing segment, recording the
+    /// advertised window (zero-window tracking).
+    fn make_header(&mut self, flags: TcpFlags) -> TcpHeader {
         let window = self.rcv_window();
         self.last_adv_wnd = window;
-        self.out.push_back(OutSegment {
-            header: TcpHeader {
-                src_port: self.local_port,
-                dst_port: self.remote_port,
-                seq: self.snd_nxt,
-                ack: self.rcv_nxt,
-                flags,
-                window,
-            },
-            payload,
-        });
+        TcpHeader {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq: self.snd_nxt,
+            ack: self.rcv_nxt,
+            flags,
+            window,
+        }
+    }
+
+    /// Queues a control (payload-free) segment.
+    fn emit(&mut self, flags: TcpFlags) {
+        let header = self.make_header(flags);
+        self.out.push_back(header);
     }
 
     /// `a <= b` in sequence space.
@@ -274,14 +320,11 @@ impl Tcb {
                 if h.flags.syn {
                     self.remote_port = h.src_port;
                     self.rcv_nxt = h.seq.wrapping_add(1);
-                    self.emit(
-                        TcpFlags {
+                    self.emit(TcpFlags {
                             syn: true,
                             ack: true,
                             ..Default::default()
-                        },
-                        Vec::new(),
-                    );
+                        });
                     self.snd_nxt = self.snd_nxt.wrapping_add(1);
                     self.state = TcpState::SynReceived;
                 }
@@ -290,13 +333,10 @@ impl Tcb {
                 if h.flags.syn && h.flags.ack {
                     self.process_ack(h);
                     self.rcv_nxt = h.seq.wrapping_add(1);
-                    self.emit(
-                        TcpFlags {
+                    self.emit(TcpFlags {
                             ack: true,
                             ..Default::default()
-                        },
-                        Vec::new(),
-                    );
+                        });
                     self.state = TcpState::Established;
                 }
             }
@@ -314,23 +354,17 @@ impl Tcb {
                 if h.flags.fin && self.state == TcpState::Established {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
                     self.peer_fin = true;
-                    self.emit(
-                        TcpFlags {
+                    self.emit(TcpFlags {
                             ack: true,
                             ..Default::default()
-                        },
-                        Vec::new(),
-                    );
+                        });
                     self.state = TcpState::CloseWait;
                 } else if h.flags.fin && self.state == TcpState::FinWait {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
-                    self.emit(
-                        TcpFlags {
+                    self.emit(TcpFlags {
                             ack: true,
                             ..Default::default()
-                        },
-                        Vec::new(),
-                    );
+                        });
                     self.state = TcpState::Closed;
                 }
             }
@@ -341,14 +375,11 @@ impl Tcb {
             }
             TcpState::Closed => {
                 // Reply RST to anything but RST.
-                self.emit(
-                    TcpFlags {
+                self.emit(TcpFlags {
                         rst: true,
                         ack: true,
                         ..Default::default()
-                    },
-                    Vec::new(),
-                );
+                    });
             }
         }
     }
@@ -361,13 +392,10 @@ impl Tcb {
             self.recv_buf.extend(payload);
             self.rx_total += payload.len() as u64;
             self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
-            self.emit(
-                TcpFlags {
+            self.emit(TcpFlags {
                     ack: true,
                     ..Default::default()
-                },
-                Vec::new(),
-            );
+                });
         }
         // Out-of-order segments are impossible on the lossless testnet;
         // they would be dropped (and retransmitted) on a real one.
@@ -396,18 +424,28 @@ impl Tcb {
     /// advertised a zero window emits a window-update ACK so the peer's
     /// transmission can resume.
     pub fn app_recv(&mut self, max: usize) -> Vec<u8> {
-        let n = max.min(self.recv_buf.len());
-        let data: Vec<u8> = self.recv_buf.drain(..n).collect();
-        if n > 0 && self.last_adv_wnd == 0 && self.state != TcpState::Closed {
-            self.emit(
-                TcpFlags {
-                    ack: true,
-                    ..Default::default()
-                },
-                Vec::new(),
-            );
-        }
+        let mut data = vec![0u8; max.min(self.recv_buf.len())];
+        let n = self.app_recv_into(&mut data);
+        data.truncate(n);
         data
+    }
+
+    /// Copies up to `out.len()` received bytes into `out` (the
+    /// allocation-free receive path), returning the count. Same
+    /// window-update semantics as [`app_recv`](Self::app_recv).
+    pub fn app_recv_into(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.recv_buf.len());
+        let (a, b) = ring_front(&self.recv_buf, n);
+        out[..a.len()].copy_from_slice(a);
+        out[a.len()..n].copy_from_slice(b);
+        self.recv_buf.drain(..n);
+        if n > 0 && self.last_adv_wnd == 0 && self.state != TcpState::Closed {
+            self.emit(TcpFlags {
+                ack: true,
+                ..Default::default()
+            });
+        }
+        n
     }
 
     /// Bytes available to read.
@@ -456,10 +494,20 @@ impl Tcb {
         }
     }
 
-    /// Segments pending transmission: segmentation of queued data (MSS
-    /// chunks, capped by the peer's receive window, PSH on the last),
-    /// then FIN once the queue drains.
-    pub fn poll_output(&mut self) -> Vec<OutSegment> {
+    /// Streams pending transmission through `emit`: queued control
+    /// segments first, then segmentation of queued data (MSS chunks,
+    /// capped by the peer's receive window, PSH on the last), then FIN
+    /// once the queue drains.
+    ///
+    /// `emit` receives the header plus the payload as *two* borrowed
+    /// slices (the send buffer is a ring, so a chunk may wrap); the
+    /// caller copies them straight into a pooled netbuf behind the
+    /// headroom — no intermediate `Vec` per segment, which is what
+    /// makes steady-state TX allocation-free.
+    pub fn poll_output_with<F: FnMut(TcpHeader, &[u8], &[u8])>(&mut self, mut emit: F) {
+        while let Some(h) = self.out.pop_front() {
+            emit(h, &[], &[]);
+        }
         if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
             while !self.send_buf.is_empty() {
                 let in_flight = self.bytes_in_flight();
@@ -468,28 +516,24 @@ impl Tcb {
                     break; // Tx window closed; data stays queued.
                 }
                 let n = self.send_buf.len().min(MSS).min(window_room);
-                let chunk: Vec<u8> = self.send_buf.drain(..n).collect();
-                let last = self.send_buf.is_empty();
-                let len = chunk.len() as u32;
-                self.emit(
-                    TcpFlags {
-                        ack: true,
-                        psh: last,
-                        ..Default::default()
-                    },
-                    chunk,
-                );
-                self.snd_nxt = self.snd_nxt.wrapping_add(len);
+                let last = n == self.send_buf.len();
+                let header = self.make_header(TcpFlags {
+                    ack: true,
+                    psh: last,
+                    ..Default::default()
+                });
+                let (a, b) = ring_front(&self.send_buf, n);
+                emit(header, a, b);
+                self.send_buf.drain(..n);
+                self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
             }
             if self.closing && self.send_buf.is_empty() {
-                self.emit(
-                    TcpFlags {
-                        fin: true,
-                        ack: true,
-                        ..Default::default()
-                    },
-                    Vec::new(),
-                );
+                let header = self.make_header(TcpFlags {
+                    fin: true,
+                    ack: true,
+                    ..Default::default()
+                });
+                emit(header, &[], &[]);
                 self.snd_nxt = self.snd_nxt.wrapping_add(1);
                 self.state = if self.state == TcpState::CloseWait {
                     TcpState::LastAck
@@ -499,7 +543,20 @@ impl Tcb {
                 self.closing = false;
             }
         }
-        self.out.drain(..).collect()
+    }
+
+    /// Owned-segment convenience over
+    /// [`poll_output_with`](Self::poll_output_with) (tests,
+    /// diagnostics): each segment's payload is collected into a `Vec`.
+    pub fn poll_output(&mut self) -> Vec<OutSegment> {
+        let mut segs = Vec::new();
+        self.poll_output_with(|header, a, b| {
+            let mut payload = Vec::with_capacity(a.len() + b.len());
+            payload.extend_from_slice(a);
+            payload.extend_from_slice(b);
+            segs.push(OutSegment { header, payload });
+        });
+        segs
     }
 
     /// The local port.

@@ -5,6 +5,13 @@
 //! goes everywhere). This replaces the paper's physical 10 GbE cable
 //! between two Shuttle machines with a lossless in-memory link — the code
 //! under test (drivers, stack, sockets) is identical.
+//!
+//! The wire moves *netbufs*, not owned byte vectors: TX completions are
+//! reclaimed as pooled buffers ([`NetStack::harvest_tx`]), each frame is
+//! "DMA"-copied onto a buffer posted from the receiver's own pool (one
+//! copy, exactly what a NIC does on the cable) and injected, and the
+//! sender's buffer is recycled. In steady state a `step` performs zero
+//! heap allocations — buffers just circulate through the two pools.
 
 use uknetdev::netbuf::Netbuf;
 
@@ -16,6 +23,8 @@ use crate::Mac;
 #[derive(Debug, Default)]
 pub struct Network {
     stacks: Vec<NetStack>,
+    /// Harvest scratch, reused across steps.
+    wire_scratch: Vec<Netbuf>,
 }
 
 impl Network {
@@ -38,33 +47,34 @@ impl Network {
     /// Moves frames between stacks once; returns frames moved.
     pub fn step(&mut self) -> usize {
         let mut moved = 0;
-        // Harvest everything first, then deliver, to avoid borrow issues.
-        let mut outbound: Vec<(usize, Vec<Vec<u8>>)> = Vec::new();
-        for (i, s) in self.stacks.iter_mut().enumerate() {
-            let frames = s.harvest_tx_frames();
-            if !frames.is_empty() {
-                outbound.push((i, frames));
-            }
-        }
-        for (src, frames) in outbound {
-            for frame in frames {
-                let dst = match EthHeader::decode(&frame) {
+        let mut scratch = std::mem::take(&mut self.wire_scratch);
+        for src in 0..self.stacks.len() {
+            self.stacks[src].harvest_tx(&mut scratch);
+            for nb in scratch.drain(..) {
+                let dst = match EthHeader::decode(nb.payload()) {
                     Ok((h, _)) => h.dst,
-                    Err(_) => continue,
+                    Err(_) => {
+                        self.stacks[src].recycle(nb);
+                        continue;
+                    }
                 };
-                for (i, s) in self.stacks.iter_mut().enumerate() {
+                for i in 0..self.stacks.len() {
                     if i == src {
                         continue;
                     }
-                    if dst == s.mac() || dst == Mac::BROADCAST {
-                        let mut nb = Netbuf::alloc(frame.len().max(64), 0);
-                        nb.set_payload(&frame);
-                        s.deliver_frames(vec![nb]);
+                    if dst == self.stacks[i].mac() || dst == Mac::BROADCAST {
+                        // Wire "DMA": copy the frame onto a buffer from
+                        // the receiver's pool and inject it.
+                        let mut rx = self.stacks[i].take_rx_buf();
+                        rx.set_payload(nb.payload());
+                        self.stacks[i].deliver_frame(rx);
                         moved += 1;
                     }
                 }
+                self.stacks[src].recycle(nb);
             }
         }
+        self.wire_scratch = scratch;
         // Let every stack process what arrived.
         for s in &mut self.stacks {
             s.pump();

@@ -1,5 +1,6 @@
 //! UDP codec with pseudo-header checksums.
 
+use uknetdev::netbuf::Netbuf;
 use ukplat::{Errno, Result};
 
 use crate::inet_checksum;
@@ -32,6 +33,27 @@ impl UdpHeader {
         let ck = if ck == 0 { 0xffff } else { ck };
         dgram[6..8].copy_from_slice(&ck.to_be_bytes());
         dgram
+    }
+
+    /// Prepends the 8-byte header into `nb`'s headroom; the payload
+    /// already in the buffer becomes the datagram body without being
+    /// copied. The checksum is computed in place over header + payload
+    /// with the pseudo-header seed — byte-identical to
+    /// [`encode`](Self::encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` has less than [`UDP_HDR_LEN`] bytes of headroom.
+    pub fn encode_into(&self, ip: &Ipv4Header, nb: &mut Netbuf) {
+        let len = nb.len() as u16 + UDP_HDR_LEN as u16;
+        let hdr = nb.push_header_uninit(UDP_HDR_LEN);
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..6].copy_from_slice(&len.to_be_bytes());
+        hdr[6..8].copy_from_slice(&[0, 0]); // Checksum placeholder.
+        let ck = inet_checksum(nb.payload(), ip.pseudo_header_sum());
+        let ck = if ck == 0 { 0xffff } else { ck };
+        nb.payload_mut()[6..8].copy_from_slice(&ck.to_be_bytes());
     }
 
     /// Parses and verifies a datagram; returns header + payload.

@@ -186,6 +186,133 @@ proptest! {
     }
 }
 
+// --- encode_into ≡ encode (headroom path vs. reference codec) --------
+//
+// The zero-copy datapath prepends headers into a pooled netbuf's
+// headroom (`encode_into`); the `encode()` methods remain as the
+// reference serialization. For every protocol and any payload up to
+// MTU size, the two must produce byte-identical packets.
+
+/// A netbuf with the payload appended behind standard TX headroom.
+fn nb_with_payload(payload: &[u8]) -> uknetdev::netbuf::Netbuf {
+    let mut nb = uknetdev::netbuf::Netbuf::alloc(2048, 64);
+    nb.append(payload);
+    nb
+}
+
+proptest! {
+    /// Ethernet: headroom path matches `encode()` + payload concat.
+    #[test]
+    fn eth_encode_into_matches_encode(
+        dst in arb_mac(), src in arb_mac(), ipv4 in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1486),
+    ) {
+        let h = EthHeader {
+            dst,
+            src,
+            ethertype: if ipv4 { EtherType::Ipv4 } else { EtherType::Arp },
+        };
+        let mut reference = h.encode().to_vec();
+        reference.extend_from_slice(&payload);
+        let mut nb = nb_with_payload(&payload);
+        h.encode_into(&mut nb);
+        prop_assert_eq!(nb.payload(), &reference[..]);
+    }
+
+    /// IPv4: headroom path matches `encode()` + payload concat.
+    #[test]
+    fn ipv4_encode_into_matches_encode(
+        src in arb_ip(), dst in arb_ip(), ttl in 1u8..255,
+        payload in proptest::collection::vec(any::<u8>(), 0..1480),
+    ) {
+        let h = Ipv4Header {
+            src, dst,
+            proto: IpProto::Udp,
+            payload_len: payload.len(),
+            ttl,
+        };
+        let mut reference = h.encode().to_vec();
+        reference.extend_from_slice(&payload);
+        let mut nb = nb_with_payload(&payload);
+        h.encode_into(&mut nb);
+        prop_assert_eq!(nb.payload(), &reference[..]);
+    }
+
+    /// UDP: headroom path matches the reference datagram (checksum
+    /// included, zero-checksum substitution included).
+    #[test]
+    fn udp_encode_into_matches_encode(
+        sp in 1u16..u16::MAX, dp in 1u16..u16::MAX,
+        src in arb_ip(), dst in arb_ip(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1472),
+    ) {
+        let h = UdpHeader { src_port: sp, dst_port: dp };
+        let ip = Ipv4Header {
+            src, dst,
+            proto: IpProto::Udp,
+            payload_len: 8 + payload.len(),
+            ttl: 64,
+        };
+        let reference = h.encode(&ip, &payload);
+        let mut nb = nb_with_payload(&payload);
+        h.encode_into(&ip, &mut nb);
+        prop_assert_eq!(nb.payload(), &reference[..]);
+    }
+
+    /// TCP: headroom path matches the reference segment.
+    #[test]
+    fn tcp_encode_into_matches_encode(
+        sp in 1u16..u16::MAX, dp in 1u16..u16::MAX,
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags_bits in any::<u8>(), window in any::<u16>(),
+        src in arb_ip(), dst in arb_ip(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1460),
+    ) {
+        let h = TcpHeader {
+            src_port: sp,
+            dst_port: dp,
+            seq,
+            ack,
+            flags: TcpFlags {
+                syn: flags_bits & 1 != 0,
+                ack: flags_bits & 2 != 0,
+                fin: flags_bits & 4 != 0,
+                rst: flags_bits & 8 != 0,
+                psh: flags_bits & 16 != 0,
+            },
+            window,
+        };
+        let ip = Ipv4Header {
+            src, dst,
+            proto: IpProto::Tcp,
+            payload_len: 20 + payload.len(),
+            ttl: 64,
+        };
+        let reference = h.encode(&ip, &payload);
+        let mut nb = nb_with_payload(&payload);
+        h.encode_into(&ip, &mut nb);
+        prop_assert_eq!(nb.payload(), &reference[..]);
+    }
+
+    /// ICMP echo: headroom path matches the reference message.
+    #[test]
+    fn icmp_encode_into_matches_encode(
+        request in any::<bool>(), ident in any::<u16>(), seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1472),
+    ) {
+        let e = uknetstack::icmp::IcmpEcho {
+            request,
+            ident,
+            seq,
+            payload: payload.clone(),
+        };
+        let reference = e.encode();
+        let mut nb = nb_with_payload(&payload);
+        uknetstack::icmp::encode_echo_into(request, ident, seq, &mut nb);
+        prop_assert_eq!(nb.payload(), &reference[..]);
+    }
+}
+
 /// Drives two TCBs against each other until quiescent.
 fn pump(a: &mut Tcb, b: &mut Tcb) {
     for _ in 0..64 {

@@ -1,0 +1,171 @@
+//! The zero-allocation guard for the pooled datapath.
+//!
+//! This binary installs [`ukalloc::stats::CountingAlloc`] as its global
+//! allocator, so every heap allocation the process performs is counted.
+//! After warm-up (scratch vectors sized, ARP resolved, ring buffers and
+//! socket queues at steady capacity), a full TCP echo round-trip and a
+//! full UDP request/response round-trip through the in-process wire
+//! must perform **exactly zero** heap allocations: payloads are written
+//! once into pooled netbufs, headers are prepended in the headroom, the
+//! wire hands buffers between pools, and readers copy into caller-owned
+//! storage via the `*_recv_into` paths.
+
+use std::sync::{Mutex, MutexGuard};
+
+use ukalloc::stats::{AllocCounter, CountingAlloc};
+use uknetdev::backend::VhostKind;
+use uknetdev::dev::{NetDev, NetDevConf};
+use uknetdev::VirtioNet;
+use uknetstack::stack::{NetStack, StackConfig};
+use uknetstack::testnet::Network;
+use uknetstack::{Endpoint, Ipv4Addr};
+use ukplat::time::Tsc;
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// The allocation counters are process-global and libtest runs the
+/// tests in this binary on parallel threads, so each test holds this
+/// lock for its whole body — otherwise a sibling test's setup
+/// allocations would land inside another test's measured window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn mk_stack(n: u8) -> NetStack {
+    let tsc = Tsc::new(3_600_000_000);
+    let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+    dev.configure(NetDevConf::default()).unwrap();
+    NetStack::new(StackConfig::node(n), Box::new(dev))
+}
+
+#[test]
+fn tcp_echo_round_trip_is_allocation_free_in_steady_state() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1));
+    let si = net.attach(mk_stack(2));
+    let listener = net.stack(si).tcp_listen(7).unwrap();
+    let client = net
+        .stack(ci)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7))
+        .unwrap();
+    net.run_until_quiet(32);
+    let server = net.stack(si).tcp_accept(listener).unwrap();
+
+    let request = [0x42u8; 512];
+    let mut buf = [0u8; 2048];
+
+    let mut echo_round_trip = |net: &mut Network| {
+        assert_eq!(net.stack(ci).tcp_send(client, &request).unwrap(), 512);
+        net.run_until_quiet(32);
+        let n = net.stack(si).tcp_recv_into(server, &mut buf).unwrap();
+        assert_eq!(&buf[..n], &request[..]);
+        assert_eq!(net.stack(si).tcp_send(server, &buf[..n]).unwrap(), n);
+        net.run_until_quiet(32);
+        let m = net.stack(ci).tcp_recv_into(client, &mut buf).unwrap();
+        assert_eq!(&buf[..m], &request[..]);
+    };
+
+    // Warm up: scratch vectors, ring done-lists, recv/send rings and
+    // HashMap capacities all reach their steady-state sizes.
+    for _ in 0..4 {
+        echo_round_trip(&mut net);
+    }
+
+    let counter = AllocCounter::start();
+    echo_round_trip(&mut net);
+    assert_eq!(
+        counter.allocs(),
+        0,
+        "steady-state TCP echo round-trip must not touch the heap"
+    );
+}
+
+#[test]
+fn udp_round_trip_is_allocation_free_in_steady_state() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1));
+    let si = net.attach(mk_stack(2));
+    let server_sock = net.stack(si).udp_bind(9).unwrap();
+    let client_sock = net.stack(ci).udp_bind(5000).unwrap();
+    let server_ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9);
+
+    let payload = [0x5au8; 256];
+    let mut buf = [0u8; 2048];
+
+    let mut round_trip = |net: &mut Network| {
+        net.stack(ci)
+            .udp_send_to(client_sock, &payload, server_ep)
+            .unwrap();
+        net.run_until_quiet(16);
+        let (from, n) = net
+            .stack(si)
+            .udp_recv_into(server_sock, &mut buf)
+            .unwrap();
+        assert_eq!(&buf[..n], &payload[..]);
+        net.stack(si)
+            .udp_send_to(server_sock, &buf[..n], from)
+            .unwrap();
+        net.run_until_quiet(16);
+        let (_, m) = net
+            .stack(ci)
+            .udp_recv_into(client_sock, &mut buf)
+            .unwrap();
+        assert_eq!(&buf[..m], &payload[..]);
+    };
+
+    for _ in 0..4 {
+        round_trip(&mut net);
+    }
+
+    let counter = AllocCounter::start();
+    round_trip(&mut net);
+    assert_eq!(
+        counter.allocs(),
+        0,
+        "steady-state UDP round-trip must not touch the heap"
+    );
+}
+
+#[test]
+fn buffers_circulate_without_draining_the_pools() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1));
+    let si = net.attach(mk_stack(2));
+    let server_sock = net.stack(si).udp_bind(9).unwrap();
+    let client_sock = net.stack(ci).udp_bind(5000).unwrap();
+    let server_ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9);
+    let mut buf = [0u8; 2048];
+
+    // Settle, then record pool levels.
+    net.stack(ci)
+        .udp_send_to(client_sock, b"warm", server_ep)
+        .unwrap();
+    net.run_until_quiet(16);
+    net.stack(si).udp_recv_into(server_sock, &mut buf).unwrap();
+    let ci_avail = net.stack(ci).pool_available().unwrap();
+    let si_avail = net.stack(si).pool_available().unwrap();
+
+    for _ in 0..100 {
+        net.stack(ci)
+            .udp_send_to(client_sock, b"ping", server_ep)
+            .unwrap();
+        net.run_until_quiet(16);
+        net.stack(si).udp_recv_into(server_sock, &mut buf).unwrap();
+    }
+    assert_eq!(
+        net.stack(ci).pool_available(),
+        Some(ci_avail),
+        "every TX buffer returned to the client pool"
+    );
+    assert_eq!(
+        net.stack(si).pool_available(),
+        Some(si_avail),
+        "every RX buffer returned to the server pool"
+    );
+}

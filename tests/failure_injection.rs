@@ -54,7 +54,9 @@ fn rx_ring_overflow_drops_instead_of_growing() {
             nb
         })
         .collect();
-    let injected = dev.inject_rx(0, frames).unwrap();
+    let mut frames = frames;
+    let injected = dev.inject_rx(0, &mut frames).unwrap();
+    assert_eq!(frames.len(), 200 - 64, "overflow stays with the caller");
     assert_eq!(injected, 64, "ring capacity bounds acceptance");
     let mut out = Vec::new();
     let st = dev.rx_burst(0, &mut out, 256).unwrap();
@@ -133,7 +135,7 @@ fn stack_rejects_traffic_for_foreign_addresses() {
     frame.extend_from_slice(&[0u8; 28]);
     let mut nb = Netbuf::alloc(frame.len().max(64), 0);
     nb.set_payload(&frame);
-    stack.deliver_frames(vec![nb]);
+    stack.deliver_frame(nb);
     stack.pump();
     assert_eq!(stack.stats().dropped, 1);
 }
