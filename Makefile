@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-workspace test bench bench-event bench-smoke examples clean
+.PHONY: verify verify-workspace test bench bench-event bench-smoke bench-json examples clean
 
 ## Tier-1: release build + root-crate tests (ROADMAP's check).
 verify:
@@ -37,6 +37,12 @@ bench-event:
 ## allocs-per-frame figure for the pooled vs heap-buffer paths.
 bench-smoke:
 	$(CARGO) bench -p ukbench --bench netpath -- --test
+
+## Machine-readable perf trajectory: runs the netpath ablation matrix
+## (per-frame vs burst, checksum offload on/off, pooled vs heap) and
+## writes rtt/s, ns/RTT and allocs/frame per config to BENCH_PR3.json.
+bench-json:
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR3.json
 
 examples:
 	$(CARGO) build --release --examples

@@ -1,17 +1,25 @@
-//! Criterion benches for the zero-copy pooled datapath.
+//! Criterion benches for the zero-copy pooled **burst** datapath.
 //!
 //! Measures full stack round-trips over the in-process wire (client
-//! stack → device → wire → server stack and back): the paths that used
-//! to allocate per packet at every layer (`encode().to_vec()` in each
-//! codec, `harvest_tx_frames`'s `Vec<Vec<u8>>` copy-out, per-datagram
-//! rx `Vec`s) and are now allocation-free behind netbuf headroom.
+//! stack → device → wire → server stack and back) in the ablation
+//! matrix of the burst-datapath PR:
+//!
+//! - **per_frame vs burst32** — one echo per turn (every layer crossed
+//!   once per packet) vs 32 echoes per turn (one staged TX burst, one
+//!   `inject_rx` per wire hop, one demux sweep per `rx_burst` batch);
+//! - **offload vs no_offload** — TCP/UDP checksums stamped as partial
+//!   pseudo-header sums and completed by the virtio model vs computed
+//!   in software by the stack;
+//! - **pooled vs heap_bufs** — the PR 2 buffer-pool ablation, kept for
+//!   trajectory continuity.
 //!
 //! The binary installs `ukalloc::stats::CountingAlloc` as its global
-//! allocator, so alongside the ns/iter numbers it prints the measured
-//! **allocations per frame** for the pooled datapath (expected: 0.000)
-//! and for the heap-buffer ablation (`use_pools = false`), plus the
-//! achieved round-trips/s — the pps-style figure recorded in
-//! CHANGES.md.
+//! allocator, so alongside the ns/iter numbers it prints measured
+//! **allocations per frame** (expected: 0.000 on every pooled config,
+//! enforced), round-trips/s and ns/RTT. With `--json <path>` the
+//! ablation table is also written as machine-readable JSON
+//! (`make bench-json` → `BENCH_PR3.json`), so the perf trajectory is
+//! diffable across PRs.
 
 use std::time::Instant;
 
@@ -28,12 +36,17 @@ use ukplat::time::Tsc;
 #[global_allocator]
 static COUNTING: ukalloc::stats::CountingAlloc = ukalloc::stats::CountingAlloc;
 
-fn mk_stack(n: u8, pools: bool) -> NetStack {
+/// Echoes per burst turn (matches `MAX_BURST / 2` and the zero-alloc
+/// guard's batch).
+const BURST: usize = 32;
+
+fn mk_stack(n: u8, pools: bool, offload: bool) -> NetStack {
     let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
     let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
     dev.configure(NetDevConf::default()).unwrap();
     let mut cfg = StackConfig::node(n);
     cfg.use_pools = pools;
+    cfg.tx_csum_offload = offload;
     NetStack::new(cfg, Box::new(dev))
 }
 
@@ -48,10 +61,10 @@ struct TcpHarness {
 }
 
 impl TcpHarness {
-    fn new(pools: bool) -> Self {
+    fn new(pools: bool, offload: bool) -> Self {
         let mut net = Network::new();
-        let ci = net.attach(mk_stack(1, pools));
-        let si = net.attach(mk_stack(2, pools));
+        let ci = net.attach(mk_stack(1, pools, offload));
+        let si = net.attach(mk_stack(2, pools, offload));
         let listener = net.stack(si).tcp_listen(7).unwrap();
         let client = net
             .stack(ci)
@@ -70,9 +83,13 @@ impl TcpHarness {
         for _ in 0..8 {
             h.round_trip(&[0x42; 512]);
         }
+        for _ in 0..4 {
+            h.burst_round_trip(&[0x42; 512]);
+        }
         h
     }
 
+    /// One echo per turn: the per-frame baseline.
     fn round_trip(&mut self, payload: &[u8]) {
         self.net.stack(self.ci).tcp_send(self.client, payload).unwrap();
         self.net.run_until_quiet(32);
@@ -91,8 +108,145 @@ impl TcpHarness {
             .unwrap();
     }
 
+    /// [`BURST`] echoes per turn through the burst path: requests are
+    /// queued (`tcp_send_queued`) and emitted as one staged TX burst
+    /// (`flush_output`); the wire then moves each hop's frames with
+    /// one `deliver_burst` per step and the server echoes the whole
+    /// batch back the same way.
+    fn burst_round_trip(&mut self, payload: &[u8]) {
+        for _ in 0..BURST {
+            self.net
+                .stack(self.ci)
+                .tcp_send_queued(self.client, payload)
+                .unwrap();
+        }
+        self.net.stack(self.ci).flush_output().unwrap();
+        self.net.run_until_quiet(64);
+        loop {
+            let n = self
+                .net
+                .stack(self.si)
+                .tcp_recv_into(self.server, &mut self.buf)
+                .unwrap();
+            if n == 0 {
+                break;
+            }
+            let buf = std::mem::take(&mut self.buf);
+            self.net
+                .stack(self.si)
+                .tcp_send_queued(self.server, &buf[..n])
+                .unwrap();
+            self.buf = buf;
+        }
+        self.net.stack(self.si).flush_output().unwrap();
+        self.net.run_until_quiet(64);
+        loop {
+            let n = self
+                .net
+                .stack(self.ci)
+                .tcp_recv_into(self.client, &mut self.buf)
+                .unwrap();
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
     fn tx_frames(&mut self) -> u64 {
         self.net.stack(self.ci).stats().tx_frames + self.net.stack(self.si).stats().tx_frames
+    }
+}
+
+/// A warmed-up two-node net with bound UDP sockets and resolved ARP.
+struct UdpHarness {
+    net: Network,
+    ci: usize,
+    si: usize,
+    cs: SocketHandle,
+    ss: SocketHandle,
+    ep: Endpoint,
+    buf: Vec<u8>,
+    msgs: Vec<(Endpoint, usize)>,
+}
+
+impl UdpHarness {
+    fn new(pools: bool, offload: bool) -> Self {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1, pools, offload));
+        let si = net.attach(mk_stack(2, pools, offload));
+        let ss = net.stack(si).udp_bind(9).unwrap();
+        let cs = net.stack(ci).udp_bind(5000).unwrap();
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9);
+        let mut h = UdpHarness {
+            net,
+            ci,
+            si,
+            cs,
+            ss,
+            ep,
+            buf: vec![0; BURST * 2048],
+            msgs: Vec::with_capacity(BURST),
+        };
+        for _ in 0..8 {
+            h.round_trip(&[0x5a; 256]);
+        }
+        for _ in 0..4 {
+            h.burst_round_trip(&[0x5a; 256]);
+        }
+        h
+    }
+
+    fn round_trip(&mut self, payload: &[u8]) {
+        self.net.stack(self.ci).udp_send_to(self.cs, payload, self.ep).unwrap();
+        self.net.run_until_quiet(16);
+        let (from, n) = self
+            .net
+            .stack(self.si)
+            .udp_recv_into(self.ss, &mut self.buf)
+            .unwrap();
+        let buf = std::mem::take(&mut self.buf);
+        self.net.stack(self.si).udp_send_to(self.ss, &buf[..n], from).unwrap();
+        self.buf = buf;
+        self.net.run_until_quiet(16);
+        self.net
+            .stack(self.ci)
+            .udp_recv_into(self.cs, &mut self.buf)
+            .unwrap();
+    }
+
+    /// [`BURST`] datagrams per turn through `udp_send_burst` /
+    /// `udp_recv_burst_into` (the recvmmsg/sendmmsg shape).
+    fn burst_round_trip(&mut self, payload: &[u8]) {
+        let ep = self.ep;
+        let sent = self
+            .net
+            .stack(self.ci)
+            .udp_send_burst(self.cs, std::iter::repeat((payload, ep)).take(BURST))
+            .unwrap();
+        assert_eq!(sent, BURST);
+        self.net.run_until_quiet(16);
+        self.msgs.clear();
+        let n = self
+            .net
+            .stack(self.si)
+            .udp_recv_burst_into(self.ss, &mut self.buf, &mut self.msgs, BURST);
+        assert_eq!(n, BURST);
+        let buf = std::mem::take(&mut self.buf);
+        let mut off = 0;
+        let replies = self.msgs.iter().map(|&(from, len)| {
+            let s = &buf[off..off + len];
+            off += len;
+            (s, from)
+        });
+        self.net.stack(self.si).udp_send_burst(self.ss, replies).unwrap();
+        self.buf = buf;
+        self.net.run_until_quiet(16);
+        self.msgs.clear();
+        let m = self
+            .net
+            .stack(self.ci)
+            .udp_recv_burst_into(self.cs, &mut self.buf, &mut self.msgs, BURST);
+        assert_eq!(m, BURST);
     }
 }
 
@@ -100,10 +254,14 @@ fn bench_tcp_echo(c: &mut Criterion) {
     let mut g = c.benchmark_group("netpath/tcp_echo_512B");
     for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
         g.bench_function(label, |b| {
-            let mut h = TcpHarness::new(pools);
+            let mut h = TcpHarness::new(pools, true);
             b.iter(|| h.round_trip(&[0x42; 512]));
         });
     }
+    g.bench_function("burst32", |b| {
+        let mut h = TcpHarness::new(true, true);
+        b.iter(|| h.burst_round_trip(&[0x42; 512]));
+    });
     g.finish();
 }
 
@@ -111,62 +269,163 @@ fn bench_udp_rtt(c: &mut Criterion) {
     let mut g = c.benchmark_group("netpath/udp_rtt_256B");
     for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
         g.bench_function(label, |b| {
-            let mut net = Network::new();
-            let ci = net.attach(mk_stack(1, pools));
-            let si = net.attach(mk_stack(2, pools));
-            let ss = net.stack(si).udp_bind(9).unwrap();
-            let cs = net.stack(ci).udp_bind(5000).unwrap();
-            let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9);
-            let mut buf = [0u8; 2048];
-            let payload = [0x5a; 256];
-            // Warm up (resolves ARP, sizes every scratch vector).
-            for _ in 0..8 {
-                net.stack(ci).udp_send_to(cs, &payload, ep).unwrap();
-                net.run_until_quiet(16);
-                let (from, n) = net.stack(si).udp_recv_into(ss, &mut buf).unwrap();
-                net.stack(si).udp_send_to(ss, &buf[..n], from).unwrap();
-                net.run_until_quiet(16);
-                net.stack(ci).udp_recv_into(cs, &mut buf).unwrap();
-            }
-            b.iter(|| {
-                net.stack(ci).udp_send_to(cs, &payload, ep).unwrap();
-                net.run_until_quiet(16);
-                let (from, n) = net.stack(si).udp_recv_into(ss, &mut buf).unwrap();
-                net.stack(si).udp_send_to(ss, &buf[..n], from).unwrap();
-                net.run_until_quiet(16);
-                net.stack(ci).udp_recv_into(cs, &mut buf).unwrap();
-            });
+            let mut h = UdpHarness::new(pools, true);
+            b.iter(|| h.round_trip(&[0x5a; 256]));
         });
     }
+    g.bench_function("burst32", |b| {
+        let mut h = UdpHarness::new(true, true);
+        b.iter(|| h.burst_round_trip(&[0x5a; 256]));
+    });
     g.finish();
 }
 
-/// The allocs-per-frame / round-trips-per-second figure (printed after
-/// the criterion groups; this is the number the zero-alloc guard test
-/// pins at exactly zero for the pooled path).
-fn alloc_report() {
+/// One row of the ablation report.
+struct Row {
+    name: &'static str,
+    proto: &'static str,
+    mode: &'static str,
+    pooled: bool,
+    csum_offload: bool,
+    rtt_per_s: f64,
+    ns_per_rtt: f64,
+    allocs_per_frame: f64,
+}
+
+/// The ablation matrix: per-frame vs burst, offload on/off, pooled vs
+/// heap — rtt/s, ns/RTT and allocs/frame for each. Zero allocations
+/// per frame is a hard guarantee on every pooled configuration.
+fn ablation_report(json_path: Option<&str>) {
     const ROUNDS: u64 = 2_000;
-    for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
-        let mut h = TcpHarness::new(pools);
-        let frames_before = h.tx_frames();
+    const BURST_ROUNDS: u64 = 250;
+
+    /// Times `rounds` turns, each worth `rtts_per_round` round-trips.
+    fn run_tcp(
+        h: &mut TcpHarness,
+        rounds: u64,
+        burst: bool,
+    ) -> (f64, f64, f64) {
+        let before = h.tx_frames();
         let counter = AllocCounter::start();
         let start = Instant::now();
-        for _ in 0..ROUNDS {
-            h.round_trip(&[0x42; 512]);
+        for _ in 0..rounds {
+            if burst {
+                h.burst_round_trip(&[0x42; 512]);
+            } else {
+                h.round_trip(&[0x42; 512]);
+            }
         }
         let elapsed = start.elapsed();
+        let rtts = (rounds * if burst { BURST as u64 } else { 1 }) as f64;
+        let frames = (h.tx_frames() - before).max(1);
+        (
+            rtts / elapsed.as_secs_f64(),
+            elapsed.as_nanos() as f64 / rtts,
+            counter.allocs() as f64 / frames as f64,
+        )
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, mode, pooled, offload) in [
+        ("tcp_per_frame/offload", "per_frame", true, true),
+        ("tcp_per_frame/no_offload", "per_frame", true, false),
+        ("tcp_burst32/offload", "burst32", true, true),
+        ("tcp_burst32/no_offload", "burst32", true, false),
+        // The PR 2 pooled-vs-heap ablation, kept for continuity.
+        ("tcp_per_frame/heap_bufs", "per_frame", false, true),
+    ] {
+        let burst = mode == "burst32";
+        let mut h = TcpHarness::new(pooled, offload);
+        let rounds = if burst { BURST_ROUNDS } else { ROUNDS };
+        let (rtt_per_s, ns_per_rtt, allocs_per_frame) = run_tcp(&mut h, rounds, burst);
+        rows.push(Row {
+            name,
+            proto: "tcp_512B",
+            mode,
+            pooled,
+            csum_offload: offload,
+            rtt_per_s,
+            ns_per_rtt,
+            allocs_per_frame,
+        });
+    }
+
+    for (name, mode, offload) in [
+        ("udp_per_frame/offload", "per_frame", true),
+        ("udp_burst32/offload", "burst32", true),
+        ("udp_burst32/no_offload", "burst32", false),
+    ] {
+        let mut h = UdpHarness::new(true, offload);
+        let counter = AllocCounter::start();
+        let start = Instant::now();
+        let rtts = if mode == "per_frame" {
+            for _ in 0..ROUNDS {
+                h.round_trip(&[0x5a; 256]);
+            }
+            ROUNDS as f64
+        } else {
+            for _ in 0..BURST_ROUNDS {
+                h.burst_round_trip(&[0x5a; 256]);
+            }
+            (BURST_ROUNDS * BURST as u64) as f64
+        };
+        let elapsed = start.elapsed();
         let allocs = counter.allocs();
-        let frames = h.tx_frames() - frames_before;
-        let rtps = ROUNDS as f64 / elapsed.as_secs_f64();
+        // Each UDP round-trip is exactly two frames.
+        rows.push(Row {
+            name,
+            proto: "udp_256B",
+            mode,
+            pooled: true,
+            csum_offload: offload,
+            rtt_per_s: rtts / elapsed.as_secs_f64(),
+            ns_per_rtt: elapsed.as_nanos() as f64 / rtts,
+            allocs_per_frame: allocs as f64 / (rtts * 2.0),
+        });
+    }
+
+    println!();
+    println!(
+        "{:<28} {:>12} {:>10} {:>14}",
+        "netpath/ablation", "rtt/s", "ns/RTT", "allocs/frame"
+    );
+    for r in &rows {
         println!(
-            "netpath/alloc_report/{label:<9} {:>8.3} allocs/frame ({allocs} allocs / {frames} frames), {rtps:>10.0} tcp-echo round-trips/s",
-            allocs as f64 / frames as f64,
+            "{:<28} {:>12.0} {:>10.0} {:>14.3}",
+            r.name, r.rtt_per_s, r.ns_per_rtt, r.allocs_per_frame
         );
-        // The pooled path's zero-allocation property is a hard
-        // guarantee, so the smoke bench enforces it too.
-        if pools {
-            assert_eq!(allocs, 0, "pooled datapath must not touch the heap");
+        if r.pooled {
+            assert_eq!(
+                r.allocs_per_frame, 0.0,
+                "pooled datapath must not touch the heap ({})",
+                r.name
+            );
         }
+    }
+
+    if let Some(path) = json_path {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"netpath\",\n");
+        out.push_str("  \"baseline_pr2\": { \"name\": \"tcp_per_frame/pooled\", \"rtt_per_s\": 470000, \"allocs_per_frame\": 0.0 },\n");
+        out.push_str("  \"configs\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"proto\": \"{}\", \"mode\": \"{}\", \"pooled\": {}, \"csum_offload\": {}, \"rtt_per_s\": {:.0}, \"ns_per_rtt\": {:.1}, \"allocs_per_frame\": {:.3} }}{}\n",
+                r.name,
+                r.proto,
+                r.mode,
+                r.pooled,
+                r.csum_offload,
+                r.rtt_per_s,
+                r.ns_per_rtt,
+                r.allocs_per_frame,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write bench json");
+        println!("netpath/ablation written to {path}");
     }
 }
 
@@ -174,5 +433,11 @@ criterion_group!(benches, bench_tcp_echo, bench_udp_rtt);
 
 fn main() {
     benches();
-    alloc_report();
+    let args: Vec<String> = std::env::args().collect();
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    ablation_report(json.as_deref());
 }

@@ -42,7 +42,7 @@ pub fn ablate_batching() -> String {
                 nb.set_len(64);
                 b.push(nb);
             }
-            sent += dev.tx_burst(0, &mut b).expect("tx").sent;
+            sent += dev.tx_burst(0, &mut b).expect("tx").sent();
             let mut done = Vec::new();
             dev.reclaim_tx(0, &mut done).expect("reclaim");
             for nb in done {

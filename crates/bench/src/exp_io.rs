@@ -89,7 +89,7 @@ pub fn fig19_tx_throughput() -> String {
                     burst.push(nb);
                 }
                 let st = dev.tx_burst(0, &mut burst).expect("tx");
-                sent += st.sent;
+                sent += st.sent();
                 let mut done = Vec::new();
                 dev.reclaim_tx(0, &mut done).expect("reclaim");
                 for nb in done {

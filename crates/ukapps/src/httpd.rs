@@ -126,8 +126,10 @@ impl Httpd {
     }
 
     /// One turn of the event loop: drains the queue's ready events —
-    /// accepting, reading, serving, and flushing partial writes — and
-    /// returns the number of responses completed this call.
+    /// accepting, reading, serving, and queueing partial writes — then
+    /// emits every connection's pending output as **one TX burst**
+    /// (`flush_output` once per turn, not once per send). Returns the
+    /// number of responses completed this call.
     ///
     /// This is the single `EventQueue::wait`-shaped loop; callers embed
     /// it either by polling (benchmarks) or by parking a thread on the
@@ -142,6 +144,7 @@ impl Httpd {
                 self.drive_conn(stack, ev);
             }
         }
+        let _ = stack.flush_output();
         self.reap_closed(stack);
         self.served - before
     }
@@ -231,11 +234,13 @@ impl Httpd {
         }
     }
 
-    /// Pushes pending response bytes into the socket, keeping what the
-    /// send buffer refuses (closed tx window) and adjusting `EPOLLOUT`
-    /// interest so the event loop resumes exactly when it can progress.
+    /// Queues pending response bytes on the socket (the device push
+    /// happens once per event-loop turn in [`poll`](Self::poll)),
+    /// keeping what the send buffer refuses (closed tx window) and
+    /// adjusting `EPOLLOUT` interest so the event loop resumes exactly
+    /// when it can progress.
     fn flush_conn(queue: &mut EventQueue, stack: &mut NetStack, conn: &mut Conn) {
-        if !crate::flush_partial(stack, conn.sock, &mut conn.out) {
+        if !crate::flush_partial_queued(stack, conn.sock, &mut conn.out) {
             // Connection is gone; nothing more can be delivered.
             conn.closing = true;
         }

@@ -23,17 +23,23 @@ pub mod sqldb;
 pub mod udpkv;
 pub mod webcache;
 
-/// Pushes pending bytes into a TCP socket, honoring partial writes:
-/// whatever `tcp_send` does not accept (closed tx window, full send
-/// buffer) stays queued in `out` for the caller's next turn. Returns
-/// `false` when the connection failed and the backlog was discarded.
-pub(crate) fn flush_partial(
+/// The shared partial-write drain loop behind [`flush_partial`] and
+/// [`flush_partial_queued`]: pushes `out` through `send` until it is
+/// empty, the socket stops accepting (`Ok(0)`/`EAGAIN` — the rest
+/// stays queued for the caller's next turn), or the connection fails
+/// (backlog discarded, returns `false`).
+fn drain_partial(
     stack: &mut uknetstack::NetStack,
     sock: uknetstack::SocketHandle,
     out: &mut Vec<u8>,
+    send: fn(
+        &mut uknetstack::NetStack,
+        uknetstack::SocketHandle,
+        &[u8],
+    ) -> ukplat::Result<usize>,
 ) -> bool {
     while !out.is_empty() {
-        match stack.tcp_send(sock, out) {
+        match send(stack, sock, out) {
             Ok(0) => break,
             Ok(n) => {
                 out.drain(..n);
@@ -46,6 +52,30 @@ pub(crate) fn flush_partial(
         }
     }
     true
+}
+
+/// Pushes pending bytes into a TCP socket, honoring partial writes:
+/// whatever `tcp_send` does not accept (closed tx window, full send
+/// buffer) stays queued in `out` for the caller's next turn. Returns
+/// `false` when the connection failed and the backlog was discarded.
+pub(crate) fn flush_partial(
+    stack: &mut uknetstack::NetStack,
+    sock: uknetstack::SocketHandle,
+    out: &mut Vec<u8>,
+) -> bool {
+    drain_partial(stack, sock, out, uknetstack::NetStack::tcp_send)
+}
+
+/// The burst-datapath variant of [`flush_partial`]: bytes are *queued*
+/// on the connection (`tcp_send_queued`) and nothing is pushed to the
+/// device — the caller emits every connection's output as one TX burst
+/// with `NetStack::flush_output` at the end of its event-loop turn.
+pub(crate) fn flush_partial_queued(
+    stack: &mut uknetstack::NetStack,
+    sock: uknetstack::SocketHandle,
+    out: &mut Vec<u8>,
+) -> bool {
+    drain_partial(stack, sock, out, uknetstack::NetStack::tcp_send_queued)
 }
 
 pub use httpd::Httpd;

@@ -203,19 +203,23 @@ impl UdpKvServer {
 /// The socket-path front-end: [`UdpKvServer`] behind a real UDP socket,
 /// driven by readiness events from one [`EventQueue`] instead of
 /// unconditional `udp_recv_from` polling. This is the `UnikraftLwip`
-/// row of Table 4 restructured the way the event subsystem intends:
-/// requests are drained in bursts of [`BATCH`] per `EPOLLIN` event and
-/// handed to [`UdpKvServer::serve_batch`], which still charges the
-/// mode's I/O cost model.
+/// row of Table 4 restructured the way the event subsystem intends —
+/// and, since the burst datapath landed, the way `recvmmsg`/`sendmmsg`
+/// intend: each `EPOLLIN` event drains up to [`BATCH`] datagrams with
+/// one [`NetStack::udp_recv_burst_into`] call into a flat reusable
+/// buffer, serves them as one [`UdpKvServer::serve_batch`] (which
+/// still charges the mode's I/O cost model), and pushes all replies
+/// back with one [`NetStack::udp_send_burst`] — one TX burst per
+/// batch instead of one flush per reply.
 pub struct UdpKvNetServer {
     sock: SocketHandle,
     queue: EventQueue,
     server: UdpKvServer,
-    /// Reusable per-batch request storage: datagrams land in these
-    /// fixed slots via the allocation-free `udp_recv_into` path.
-    rx_slots: Vec<Vec<u8>>,
-    rx_lens: Vec<usize>,
-    rx_froms: Vec<Endpoint>,
+    /// Flat recvmmsg-style landing buffer for one batch of requests
+    /// (datagrams packed back-to-back; reused, allocation-free).
+    rx_buf: Vec<u8>,
+    /// One `(sender, length)` pair per received datagram (reused).
+    rx_msgs: Vec<(Endpoint, usize)>,
 }
 
 impl std::fmt::Debug for UdpKvNetServer {
@@ -237,16 +241,15 @@ impl UdpKvNetServer {
             sock,
             queue,
             server: UdpKvServer::new(mode, tsc),
-            rx_slots: vec![vec![0; 2048]; BATCH],
-            rx_lens: Vec::with_capacity(BATCH),
-            rx_froms: Vec::with_capacity(BATCH),
+            rx_buf: vec![0; BATCH * 2048],
+            rx_msgs: Vec::with_capacity(BATCH),
         })
     }
 
     /// One turn of the event loop: for each `EPOLLIN` event, drains up
-    /// to [`BATCH`] datagrams into the reusable slot buffers (no
-    /// allocation on the receive path), serves them as one batch and
-    /// sends the replies. Returns requests served this call.
+    /// to [`BATCH`] datagrams per `udp_recv_burst_into` call (no
+    /// allocation on the receive path), serves each batch and pushes
+    /// its replies as one `udp_send_burst`. Returns requests served.
     pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
         let mut served = 0;
         for ev in self.queue.poll_ready(16) {
@@ -254,32 +257,27 @@ impl UdpKvNetServer {
                 continue;
             }
             loop {
-                self.rx_froms.clear();
-                self.rx_lens.clear();
-                while self.rx_lens.len() < BATCH {
-                    let slot = &mut self.rx_slots[self.rx_lens.len()];
-                    match stack.udp_recv_into(self.sock, slot) {
-                        Some((from, n)) => {
-                            self.rx_froms.push(from);
-                            self.rx_lens.push(n);
-                        }
-                        None => break,
-                    }
-                }
-                if self.rx_lens.is_empty() {
+                self.rx_msgs.clear();
+                let n =
+                    stack.udp_recv_burst_into(self.sock, &mut self.rx_buf, &mut self.rx_msgs, BATCH);
+                if n == 0 {
                     break;
                 }
-                let refs: Vec<&[u8]> = self
-                    .rx_slots
-                    .iter()
-                    .zip(&self.rx_lens)
-                    .map(|(slot, &n)| &slot[..n])
-                    .collect();
+                let mut refs: Vec<&[u8]> = Vec::with_capacity(n);
+                let mut off = 0;
+                for &(_, len) in &self.rx_msgs {
+                    refs.push(&self.rx_buf[off..off + len]);
+                    off += len;
+                }
                 let replies = self.server.serve_batch(&refs);
                 served += replies.len() as u64;
-                for (reply, from) in replies.into_iter().zip(&self.rx_froms) {
-                    let _ = stack.udp_send_to(self.sock, &reply, *from);
-                }
+                let _ = stack.udp_send_burst(
+                    self.sock,
+                    replies
+                        .iter()
+                        .zip(&self.rx_msgs)
+                        .map(|(reply, &(from, _))| (&reply[..], from)),
+                );
             }
         }
         served

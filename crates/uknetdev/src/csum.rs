@@ -1,0 +1,128 @@
+//! The Internet checksum (RFC 1071), shared by the device model and
+//! the network stack.
+//!
+//! Lives in `uknetdev` (not the stack) because checksum offload makes
+//! the *device* a checksum producer too: when a TX netbuf carries a
+//! [`CsumRequest`](crate::netbuf::CsumRequest), the virtio model
+//! completes the transport checksum from the partial pseudo-header sum
+//! the stack stamped into the header — exactly the split a real NIC
+//! implements. The stack re-exports [`inet_checksum`] for its codecs'
+//! no-offload fallback and RX verification.
+//!
+//! The implementation is the hot-loop rewrite: one pass of
+//! native-endian 64-bit loads summed with end-around carry, exploiting
+//! RFC 1071's two classic identities. One's-complement 16-bit
+//! arithmetic is mod 65535 and `2^16 ≡ 1 (mod 65535)`, so a wide word
+//! contributes exactly its 16-bit pieces and a carry out of the
+//! accumulator wraps around as `+1`; and the one's-complement sum is
+//! byte-order independent — sum in machine order, swap the folded
+//! result once (§2(B), "parallel summation"). The single end fold
+//! replaces the old per-word loop's folding, and the 8-byte loads
+//! replace its 2-byte loads: ~4× fewer adds on the dependency chain
+//! than even the autovectorized byte-pair form. Bit-identical to the
+//! naive reference (property tested in `uknetstack/tests/proptests.rs`
+//! over arbitrary lengths, alignments and seeds; the `chunks_exact(8)`
+//! remainder always starts at an even offset, which is what keeps the
+//! byte-swap trick exact).
+
+/// Folds a one's-complement accumulator to 16 bits (end-around carry),
+/// *without* the final complement — the form a partial pseudo-header
+/// sum is stamped into a checksum field for the device to complete.
+pub fn fold_partial_sum(mut sum: u64) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// The Internet checksum over `data`, seeded with `initial` (a
+/// pseudo-header sum, or 0): the complement of the folded
+/// one's-complement sum of all 16-bit big-endian words, an odd
+/// trailing byte padded with zero.
+pub fn inet_checksum(data: &[u8], initial: u32) -> u16 {
+    // Bulk: native-endian u64 loads, carries re-injected (≡ +1 each).
+    let mut sum: u64 = 0;
+    let mut carries: u64 = 0;
+    let mut blocks = data.chunks_exact(8);
+    for b in &mut blocks {
+        let v = u64::from_ne_bytes(b.try_into().expect("8-byte chunk"));
+        let (s, c) = sum.overflowing_add(v);
+        sum = s;
+        carries += u64::from(c);
+    }
+    let folded = fold_partial_sum((sum & 0xffff_ffff) + (sum >> 32) + carries);
+    let machine_order = if cfg!(target_endian = "little") {
+        folded.swap_bytes()
+    } else {
+        folded
+    };
+    // Tail (< 8 bytes, always at an even offset): plain 16-bit words.
+    let mut tail_sum = u64::from(machine_order) + u64::from(initial);
+    let tail = blocks.remainder();
+    let mut words = tail.chunks_exact(2);
+    for w in &mut words {
+        tail_sum += u64::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = words.remainder() {
+        tail_sum += u64::from(*last) << 8;
+    }
+    !fold_partial_sum(tail_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook byte-pair reference implementation (64-bit
+    /// accumulator so extreme seeds cannot drop an end-around carry).
+    fn naive(data: &[u8], initial: u32) -> u16 {
+        let mut sum = u64::from(initial);
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            sum += u64::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            sum += u64::from(u16::from_be_bytes([*last, 0]));
+        }
+        !fold_partial_sum(sum)
+    }
+
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(inet_checksum(&data, 0), 0x220d);
+    }
+
+    #[test]
+    fn matches_naive_across_lengths_and_seeds() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(97) % 251) as u8).collect();
+        for len in 0..data.len() {
+            for seed in [0u32, 1, 0xffff, 0x1234_5678] {
+                assert_eq!(
+                    inet_checksum(&data[..len], seed),
+                    naive(&data[..len], seed),
+                    "len {len} seed {seed:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_alignments() {
+        let data = vec![0xabu8; 96];
+        for off in 0..33 {
+            assert_eq!(
+                inet_checksum(&data[off..], 7),
+                naive(&data[off..], 7),
+                "offset {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_fold_is_uncomplemented() {
+        assert_eq!(fold_partial_sum(0x1_0001), 2);
+        assert_eq!(fold_partial_sum(0xffff), 0xffff);
+        assert_eq!(fold_partial_sum(0), 0);
+    }
+}

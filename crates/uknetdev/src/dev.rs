@@ -56,15 +56,47 @@ pub enum QueueMode {
     Interrupt,
 }
 
-/// Result of a TX burst: how many packets were placed on the queue and
-/// whether there is still room ("the function returns flags that indicate
-/// if there is still room on the queue").
+/// Accounting for one burst crossing the device boundary: the unit of
+/// work of the burst datapath. Every layer that moves a burst
+/// (`tx_burst`, `inject_rx`, the stack's pump sweep) reports one of
+/// these so per-burst amortization is observable end to end.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BurstStats {
+    /// Frames that crossed.
+    pub frames: usize,
+    /// Payload bytes that crossed.
+    pub bytes: usize,
+    /// Frames that could not cross (ring full) and were left behind.
+    pub drops: usize,
+}
+
+impl BurstStats {
+    /// Merges another burst's counts into this one.
+    pub fn merge(&mut self, other: BurstStats) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.drops += other.drops;
+    }
+}
+
+/// Result of a TX burst: what crossed onto the queue and whether there
+/// is still room ("the function returns flags that indicate if there
+/// is still room on the queue").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxStatus {
-    /// Packets actually enqueued (the in/out `cnt` parameter).
-    pub sent: usize,
+    /// Frames/bytes enqueued this call (the in/out `cnt` parameter);
+    /// `drops` stays 0 — frames that do not fit remain with the
+    /// caller, which owns their memory and retries or recycles.
+    pub stats: BurstStats,
     /// Whether more packets could be enqueued right now.
     pub more_room: bool,
+}
+
+impl TxStatus {
+    /// Frames enqueued this call.
+    pub fn sent(&self) -> usize {
+        self.stats.frames
+    }
 }
 
 /// Result of an RX burst.
@@ -107,9 +139,9 @@ pub trait NetDev {
     /// Host-side injection of received frames (the wire harness calls
     /// this; real hardware receives from the medium instead). Drains
     /// from the front of `frames` as long as the ring has room; buffers
-    /// that do not fit stay with the caller, which owns their memory
-    /// and recycles them.
-    fn inject_rx(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<usize>;
+    /// that do not fit stay with the caller (counted as `drops` in the
+    /// returned stats), which owns their memory and recycles them.
+    fn inject_rx(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<BurstStats>;
 }
 
 #[cfg(test)]

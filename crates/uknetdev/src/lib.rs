@@ -30,13 +30,14 @@
 //! no kicks, no copies).
 
 pub mod backend;
+pub mod csum;
 pub mod dev;
 pub mod netbuf;
 pub mod ring;
 pub mod virtio;
 
 pub use backend::{HostBackend, VhostKind, Wire};
-pub use dev::{NetDev, NetDevConf, NetDevInfo, QueueMode};
+pub use dev::{BurstStats, NetDev, NetDevConf, NetDevInfo, QueueMode};
 pub use netbuf::{Netbuf, NetbufPool};
 pub use ring::DescRing;
 pub use virtio::VirtioNet;

@@ -36,6 +36,26 @@
 //! it back to its [`NetbufPool`] (checked by a per-pool identity tag).
 //! Drivers never allocate — they only move netbufs between rings.
 //!
+//! # The burst lifecycle
+//!
+//! Since the burst datapath, netbufs cross every layer boundary in
+//! *batches*, and a buffer's steady-state life is a loop:
+//!
+//! ```text
+//!         ┌───────────────────────────────────────────────────┐
+//!         ▼                                                   │
+//!  pool ─take─▶ payload + headers (headroom) ─▶ tx_burst      │
+//!  (device completes any CsumRequest) ─▶ done-list ─▶         │
+//!  harvest/reclaim ─▶ wire ─▶ receiver pool's RX buffer ─▶    │
+//!  inject_rx (whole burst) ─▶ rx_burst ─▶ demux sweep ─▶      │
+//!  socket queue ─▶ recv_into ─▶ recycle ──────────────────────┘
+//! ```
+//!
+//! A buffer may also carry a transmit-side [`CsumRequest`]: the stack
+//! stamps the transport header with the partial pseudo-header sum and
+//! the *device* finishes the Internet checksum at `tx_burst` time —
+//! checksum offload without any extra buffer walk.
+//!
 //! [`append`]: Netbuf::append
 //! [`push_header`]: Netbuf::push_header
 //! [`push_header_uninit`]: Netbuf::push_header_uninit
@@ -50,6 +70,28 @@ use bytes::BytesMut;
 /// returned to a pool it did not come from).
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
+/// A transmit checksum-offload request riding on a netbuf — the role
+/// of `virtio_net_hdr`'s `csum_start`/`csum_offset` pair.
+///
+/// The stack stamps the transport header with the *partial*
+/// pseudo-header sum ([`crate::csum::fold_partial_sum`],
+/// uncomplemented) and attaches this request; the device completes the
+/// Internet checksum over the trailing `region_len` bytes of the frame
+/// (the transport header + payload — prepending more headers in front
+/// later does not move the region relative to the tail) and stores it
+/// at `field_off` within that region.
+/// Field widths are deliberately narrow (a checksum region is at most
+/// one frame) so the `Option<CsumRequest>` rides in one word of the
+/// [`Netbuf`] — the struct is moved through rings and staging vectors
+/// constantly, and its size is hot-path relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsumRequest {
+    /// Bytes covered, counted back from the end of the payload.
+    pub region_len: u32,
+    /// Offset of the 16-bit checksum field within the region.
+    pub field_off: u16,
+}
+
 /// A packet buffer with driver metadata.
 #[derive(Debug)]
 pub struct Netbuf {
@@ -63,6 +105,8 @@ pub struct Netbuf {
     pool_slot: Option<usize>,
     /// Identity of the owning pool (0 for heap buffers).
     pool_id: u64,
+    /// Pending checksum-offload request, if any.
+    csum: Option<CsumRequest>,
 }
 
 impl Netbuf {
@@ -78,6 +122,7 @@ impl Netbuf {
             len: 0,
             pool_slot: None,
             pool_id: 0,
+            csum: None,
         }
     }
 
@@ -212,6 +257,35 @@ impl Netbuf {
         assert!(headroom <= self.data.len());
         self.offset = headroom;
         self.len = 0;
+        self.csum = None;
+    }
+
+    /// Attaches a checksum-offload request: the device must compute
+    /// the Internet checksum over the trailing `region_len` payload
+    /// bytes and store it `field_off` bytes into that region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region exceeds the payload or the field does not
+    /// fit inside it.
+    pub fn request_csum(&mut self, region_len: usize, field_off: usize) {
+        assert!(region_len <= self.len, "csum region beyond payload");
+        assert!(field_off + 2 <= region_len, "csum field outside region");
+        self.csum = Some(CsumRequest {
+            region_len: region_len as u32,
+            field_off: field_off as u16,
+        });
+    }
+
+    /// The pending checksum-offload request, if any.
+    pub fn csum_request(&self) -> Option<CsumRequest> {
+        self.csum
+    }
+
+    /// Takes the pending checksum-offload request (the device calls
+    /// this when it completes the checksum).
+    pub fn take_csum_request(&mut self) -> Option<CsumRequest> {
+        self.csum.take()
     }
 }
 

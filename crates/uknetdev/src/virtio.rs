@@ -11,13 +11,23 @@
 //! it. In interrupt mode, draining the ring dry arms the queue's
 //! interrupt; the next injected frame fires the callback once and disarms
 //! it — §3.1's storm-free scheme, which degrades to polling under load.
+//!
+//! Checksum offload (`VIRTIO_NET_F_CSUM`): a TX netbuf carrying a
+//! [`CsumRequest`](crate::netbuf::CsumRequest) holds only the partial
+//! pseudo-header sum in its checksum field; the device completes the
+//! Internet checksum over the requested region before the frame
+//! reaches the backend. Frames *without* a request claim a complete
+//! checksum — in debug builds the device verifies that claim
+//! (IPv4 header + TCP/UDP transport sums), so a broken no-offload path
+//! cannot silently put bad frames on the wire.
 
 use ukplat::cost;
 use ukplat::time::Tsc;
 use ukplat::{Errno, Result};
 
 use crate::backend::{HostBackend, VhostKind};
-use crate::dev::{NetDev, NetDevConf, NetDevInfo, QueueMode, RxStatus, TxStatus};
+use crate::csum::inet_checksum;
+use crate::dev::{BurstStats, NetDev, NetDevConf, NetDevInfo, QueueMode, RxStatus, TxStatus};
 use crate::netbuf::Netbuf;
 use crate::ring::DescRing;
 use crate::MAX_BURST;
@@ -68,7 +78,7 @@ impl VirtioNet {
 
     /// Host-side injection of received frames (the test/wire harness).
     /// Fires the queue interrupt if it is armed.
-    fn inject_rx_inner(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<usize> {
+    fn inject_rx_inner(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<BurstStats> {
         let q = self
             .rxqs
             .get_mut(queue as usize)
@@ -76,7 +86,13 @@ impl VirtioNet {
         // Ring full: stop, like a real NIC dropping; buffers that do
         // not fit stay with the caller (which owns their memory).
         let injected = q.ring.room().min(frames.len());
+        let mut stats = BurstStats {
+            frames: injected,
+            bytes: 0,
+            drops: frames.len() - injected,
+        };
         for f in frames.drain(..injected) {
+            stats.bytes += f.len();
             q.ring.push(f).expect("room checked");
         }
         if injected > 0 && q.irq_armed {
@@ -88,7 +104,7 @@ impl VirtioNet {
                 cb();
             }
         }
-        Ok(injected)
+        Ok(stats)
     }
 
     /// Direct access to backend statistics.
@@ -111,6 +127,43 @@ impl VirtioNet {
             .map(|q| q.irq_armed)
             .unwrap_or(false)
     }
+}
+
+/// Debug-build wire validation for frames that did *not* request
+/// checksum offload: parses just enough Ethernet/IPv4 framing
+/// (independently of the stack's codecs — a device-side second
+/// opinion) to verify the IPv4 header checksum and the TCP/UDP
+/// transport checksum. Non-IPv4 frames and frames too short to parse
+/// pass — malformed traffic is the stack's RX path's problem, silent
+/// checksum corruption is this check's.
+fn frame_checksums_valid(frame: &[u8]) -> bool {
+    const ETH: usize = 14;
+    const IHL: usize = 20;
+    if frame.len() < ETH + IHL || frame[12..14] != [0x08, 0x00] || frame[ETH] != 0x45 {
+        return true;
+    }
+    let ip = &frame[ETH..ETH + IHL];
+    if inet_checksum(ip, 0) != 0 {
+        return false;
+    }
+    let total = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if total < IHL || ETH + total > frame.len() {
+        return true;
+    }
+    let body = &frame[ETH + IHL..ETH + total];
+    let proto = ip[9];
+    if proto != 6 && proto != 17 {
+        return true;
+    }
+    if proto == 17 && body.len() >= 8 && body[6..8] == [0, 0] {
+        return true; // UDP checksum 0: not used.
+    }
+    let mut pseudo = u32::from(u16::from_be_bytes([ip[12], ip[13]]))
+        + u32::from(u16::from_be_bytes([ip[14], ip[15]]))
+        + u32::from(u16::from_be_bytes([ip[16], ip[17]]))
+        + u32::from(u16::from_be_bytes([ip[18], ip[19]]));
+    pseudo += u32::from(proto) + body.len() as u32;
+    inet_checksum(body, pseudo) == 0
 }
 
 impl NetDev for VirtioNet {
@@ -178,7 +231,32 @@ impl NetDev for VirtioNet {
         // caller's buffers straight into the ring — no staging vector,
         // nothing bounces back to the caller.
         let sent = pkts.len().min(MAX_BURST).min(q.ring.room());
-        for nb in pkts.drain(..sent) {
+        let mut bytes = 0;
+        for mut nb in pkts.drain(..sent) {
+            // VIRTIO_NET_F_CSUM: complete a partial transport checksum
+            // before the frame leaves the guest.
+            if let Some(req) = nb.take_csum_request() {
+                let start = nb.len() - req.region_len as usize;
+                let field = start + req.field_off as usize;
+                // The field holds the folded pseudo-header sum, so
+                // summing the region as-is yields the full checksum. A
+                // result of 0 is emitted as the congruent 0xffff (UDP
+                // reserves 0 for "no checksum"; for TCP both encode
+                // zero in one's complement).
+                let ck = match inet_checksum(&nb.payload()[start..], 0) {
+                    0 => 0xffff,
+                    ck => ck,
+                };
+                nb.payload_mut()[field..field + 2].copy_from_slice(&ck.to_be_bytes());
+            } else {
+                // No offload requested: the frame claims complete
+                // checksums — hold it to that in debug builds.
+                debug_assert!(
+                    frame_checksums_valid(nb.payload()),
+                    "tx_burst: frame without csum offload carries a bad checksum"
+                );
+            }
+            bytes += nb.len();
             q.ring.push(nb).expect("room checked");
         }
         // Notify / drain the backend.
@@ -193,7 +271,11 @@ impl NetDev for VirtioNet {
             self.backend.process_tx(&q.done[start..]);
         }
         Ok(TxStatus {
-            sent,
+            stats: BurstStats {
+                frames: sent,
+                bytes,
+                drops: 0,
+            },
             more_room: !q.ring.is_full(),
         })
     }
@@ -219,7 +301,7 @@ impl NetDev for VirtioNet {
         Ok(n)
     }
 
-    fn inject_rx(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<usize> {
+    fn inject_rx(&mut self, queue: u16, frames: &mut Vec<Netbuf>) -> Result<BurstStats> {
         self.inject_rx_inner(queue, frames)
     }
 }
@@ -252,7 +334,7 @@ mod tests {
         let (mut dev, _t) = mk(VhostKind::VhostUser);
         let mut batch = pkts(16, 64);
         let st = dev.tx_burst(0, &mut batch).unwrap();
-        assert_eq!(st.sent, 16);
+        assert_eq!(st.sent(), 16);
         assert!(batch.is_empty());
         assert_eq!(dev.backend().tx_packets(), 16);
         let mut done = Vec::new();
@@ -283,7 +365,7 @@ mod tests {
         let (mut dev, _t) = mk(VhostKind::VhostUser);
         let mut batch = pkts(MAX_BURST + 10, 64);
         let st = dev.tx_burst(0, &mut batch).unwrap();
-        assert_eq!(st.sent, MAX_BURST);
+        assert_eq!(st.sent(), MAX_BURST);
         assert_eq!(batch.len(), 10, "overflow stays with the caller");
     }
 
@@ -337,8 +419,9 @@ mod tests {
     #[test]
     fn rx_ring_overflow_drops() {
         let (mut dev, _t) = mk(VhostKind::VhostUser);
-        let injected = dev.inject_rx(0, &mut pkts(300, 64)).unwrap();
-        assert_eq!(injected, 256, "default ring holds 256 descriptors");
+        let st = dev.inject_rx(0, &mut pkts(300, 64)).unwrap();
+        assert_eq!(st.frames, 256, "default ring holds 256 descriptors");
+        assert_eq!(st.drops, 44, "overflow counted as drops");
     }
 
     #[test]

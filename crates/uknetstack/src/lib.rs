@@ -117,19 +117,13 @@ impl fmt::Display for Endpoint {
 }
 
 /// The Internet checksum (RFC 1071) over `data`, seeded with `initial`.
+///
+/// Delegates to the one-pass unrolled implementation in
+/// [`uknetdev::csum`] — shared with the virtio device model, which
+/// completes offloaded transport checksums with the same code the
+/// stack's software fallback and RX verification use.
 pub fn inet_checksum(data: &[u8], initial: u32) -> u16 {
-    let mut sum = initial;
-    let mut chunks = data.chunks_exact(2);
-    for c in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
-    }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
-    }
-    while sum >> 16 != 0 {
-        sum = (sum & 0xffff) + (sum >> 16);
-    }
-    !(sum as u16)
+    uknetdev::csum::inet_checksum(data, initial)
 }
 
 #[cfg(test)]

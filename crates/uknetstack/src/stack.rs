@@ -1,38 +1,64 @@
-//! The stack proper: interface, demux, sockets — zero-copy datapath.
+//! The stack proper: interface, demux, sockets — zero-copy **burst**
+//! datapath.
 //!
 //! A [`NetStack`] owns a `uk_netdev` device and implements the socket
 //! path of the paper's architecture (scenario ➁) with the §3.1
-//! buffer-ownership discipline end to end:
+//! buffer-ownership discipline end to end. Since the burst rework, the
+//! unit of work at every layer boundary is *a burst of netbufs*, not a
+//! single packet; the steady-state lifecycle of a buffer is:
+//!
+//! ```text
+//! pool ─take──▶ payload write ─▶ headers prepended in place
+//!      ─stage─▶ tx_burst (whole batch; checksum completed by the
+//!      device when offloaded) ─▶ harvest_tx ─▶ wire DMA-copies onto
+//!      the receiver's pooled RX buffers ─▶ deliver_burst (one
+//!      inject_rx per burst) ─▶ pump: rx_burst ─▶ per-burst demux
+//!      sweep ─▶ socket queues ─▶ *_recv_into ─▶ recycle ─▶ pool
+//! ```
 //!
 //! - **TX** is one buffer from application to wire. Payload bytes are
 //!   written once into a pooled [`Netbuf`] behind [`TX_HEADROOM`]
 //!   bytes of headroom; TCP/UDP/ICMP, IPv4 and Ethernet each *prepend*
-//!   their header in place (`encode_into`). Frames are staged and
-//!   handed to `NetDev::tx_burst` as netbufs; completions are
-//!   reclaimed by the wire harness as netbufs ([`harvest_tx`]) and
+//!   their header in place (`encode_into`). When the device advertises
+//!   `tx_csum_offload`, TCP/UDP headers are stamped with only the
+//!   partial pseudo-header sum (`encode_into_partial`) and the device
+//!   completes the checksum at `tx_burst` time. Senders *stage* frames
+//!   ([`udp_send_burst`], [`tcp_send_queued`]) and the whole batch
+//!   crosses in one `tx_burst` sweep ([`flush_output`]); completions
+//!   are reclaimed by the wire harness as netbufs ([`harvest_tx`]) and
 //!   recycled into the pool ([`recycle`]).
-//! - **RX** walks the same buffer up the stack: `rx_burst` fills
-//!   pooled buffers, headers are stripped with `pull_header`, and UDP
-//!   payloads are queued on sockets *as netbufs* — no per-datagram
-//!   `Vec`. Readers copy into their own storage
-//!   ([`udp_recv_into`]/[`tcp_recv_into`]) and the buffer returns to
-//!   the pool.
+//! - **RX** walks the same buffers up the stack in bursts: the wire
+//!   injects a whole burst with one [`deliver_burst`], [`pump`] drains
+//!   `rx_burst` and demuxes every frame of the burst (next-hop MACs
+//!   memoized per burst) before running the transport/readiness sweep
+//!   *once per burst*. UDP payloads are queued on sockets *as netbufs*
+//!   — no per-datagram `Vec`. Readers copy out in batches
+//!   ([`udp_recv_burst_into`]) or singly
+//!   ([`udp_recv_into`]/[`tcp_recv_into`]) and buffers return to the
+//!   pool.
 //!
 //! In steady state the rx/tx hot path performs **zero heap
-//! allocations per packet** (asserted by the `zero_alloc` integration
-//! test); all scratch vectors live in the stack and are reused across
-//! turns.
+//! allocations per packet** — per-frame *and* per-burst, asserted by
+//! the `zero_alloc` integration test; all scratch vectors live in the
+//! stack and are reused across turns.
 //!
 //! [`harvest_tx`]: NetStack::harvest_tx
 //! [`recycle`]: NetStack::recycle
 //! [`udp_recv_into`]: NetStack::udp_recv_into
+//! [`udp_recv_burst_into`]: NetStack::udp_recv_burst_into
+//! [`udp_send_burst`]: NetStack::udp_send_burst
 //! [`tcp_recv_into`]: NetStack::tcp_recv_into
+//! [`tcp_send_queued`]: NetStack::tcp_send_queued
+//! [`flush_output`]: NetStack::flush_output
+//! [`deliver_burst`]: NetStack::deliver_burst
+//! [`pump`]: NetStack::pump
 
 use std::collections::{HashMap, VecDeque};
 
 use ukevent::{EventMask, ReadySource};
-use uknetdev::dev::NetDev;
+use uknetdev::dev::{BurstStats, NetDev};
 use uknetdev::netbuf::{Netbuf, NetbufPool};
+use uknetdev::MAX_BURST;
 use ukplat::{Errno, Result};
 
 use crate::arp::{ArpCache, ArpOp, ArpPacket};
@@ -74,6 +100,18 @@ const ARP_PENDING_HARD_CAP: usize = 64;
 /// lost to RX-ring overflow, without the old request-per-packet storm.
 const ARP_REQUEST_RETRY_EVERY: u64 = 8;
 
+/// A who-has request is also re-broadcast every this-many `pump`
+/// bursts while packets stay parked: a queue that went quiet after
+/// parking (no new sends to trip the per-packet cadence above) still
+/// makes progress.
+const ARP_REQUEST_RETRY_PUMPS: u64 = 8;
+
+/// Slots in the per-burst next-hop memo: resolved `(dst IP → MAC)`
+/// pairs are remembered across one burst sweep so a burst of replies
+/// to the same few peers does one ARP-table lookup per peer, not per
+/// frame.
+const ARP_MEMO_SIZE: usize = 8;
+
 // All three header layers must fit the reserved headroom.
 const _: () = assert!(TX_HEADROOM >= ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN);
 
@@ -88,6 +126,10 @@ pub struct StackConfig {
     pub use_pools: bool,
     /// Pool size (buffers) when pooling.
     pub pool_size: usize,
+    /// Whether to offload TCP/UDP transmit checksums to the device
+    /// (effective only when the device advertises the capability;
+    /// disable for the software-checksum ablation).
+    pub tx_csum_offload: bool,
 }
 
 impl StackConfig {
@@ -98,6 +140,7 @@ impl StackConfig {
             ip: Ipv4Addr::new(10, 0, 0, n),
             use_pools: true,
             pool_size: 512,
+            tx_csum_offload: true,
         }
     }
 }
@@ -128,6 +171,9 @@ struct ArpPendingQueue {
     packets: Vec<(IpProto, Netbuf)>,
     /// Packets ever parked here (drives the who-has retry cadence).
     parked_total: u64,
+    /// Pump bursts survived while parked (drives the quiet-queue
+    /// who-has retry — see [`ARP_REQUEST_RETRY_PUMPS`]).
+    pump_ticks: u64,
 }
 
 /// A readiness cell plus the last progress value published through it.
@@ -150,6 +196,15 @@ pub struct StackStats {
     pub rx_frames: u64,
     /// Frames transmitted.
     pub tx_frames: u64,
+    /// Payload bytes transmitted.
+    pub tx_bytes: u64,
+    /// RX bursts swept by `pump` (`rx_frames / rx_bursts` is the
+    /// per-burst amortization factor).
+    pub rx_bursts: u64,
+    /// TX bursts pushed into the device.
+    pub tx_bursts: u64,
+    /// Frames whose transport checksum was offloaded to the device.
+    pub csum_offloaded: u64,
     /// Frames dropped (parse errors, unknown ports, full queues).
     pub dropped: u64,
 }
@@ -188,6 +243,15 @@ pub struct NetStack {
     inject_scratch: Vec<Netbuf>,
     /// Key scratch for `sync_readiness` (reused).
     sync_scratch: Vec<usize>,
+    /// Whether TCP/UDP TX checksums are completed by the device
+    /// (config wish ∧ device capability).
+    csum_offload: bool,
+    /// Per-burst next-hop memo: `(dst IP, MAC)` pairs resolved during
+    /// the current burst sweep (cleared each `pump` and on ARP-table
+    /// updates; reused storage).
+    arp_memo: Vec<(Ipv4Addr, Mac)>,
+    /// Next-hops due a who-has re-broadcast this pump (reused).
+    arp_retry_scratch: Vec<Ipv4Addr>,
 }
 
 impl std::fmt::Debug for NetStack {
@@ -206,6 +270,7 @@ impl NetStack {
         let pool = config
             .use_pools
             .then(|| NetbufPool::new(config.pool_size, BUF_CAP, TX_HEADROOM));
+        let csum_offload = config.tx_csum_offload && dev.info().tx_csum_offload;
         NetStack {
             config,
             dev,
@@ -228,7 +293,16 @@ impl NetStack {
             rx_scratch: Vec::new(),
             inject_scratch: Vec::new(),
             sync_scratch: Vec::new(),
+            csum_offload,
+            arp_memo: Vec::with_capacity(ARP_MEMO_SIZE),
+            arp_retry_scratch: Vec::new(),
         }
+    }
+
+    /// Whether TX transport checksums are being offloaded to the
+    /// device (configuration wish ∧ device capability).
+    pub fn csum_offload(&self) -> bool {
+        self.csum_offload
     }
 
     /// Our address.
@@ -436,18 +510,12 @@ impl NetStack {
         Ok(SocketHandle(h))
     }
 
-    /// Sends a datagram: the payload is written once into a pooled
-    /// buffer and UDP/IP/Ethernet headers are prepended in place.
-    ///
-    /// The stack does not fragment: payloads beyond a packet buffer's
-    /// tailroom ([`BUF_CAP`] − [`TX_HEADROOM`] = 1984 bytes — already
-    /// past the 1500-byte wire MTU) are rejected with `EINVAL`.
-    pub fn udp_send_to(&mut self, sock: SocketHandle, data: &[u8], to: Endpoint) -> Result<()> {
-        let src_port = self
-            .udp_socks
-            .get(&sock.0)
-            .ok_or(Errno::BadF)?
-            .port;
+    /// Builds and routes one datagram (payload written once, headers
+    /// prepended in place, checksum offloaded when the device supports
+    /// it) *without* flushing — the shared staging half of
+    /// [`udp_send_to`](Self::udp_send_to) and
+    /// [`udp_send_burst`](Self::udp_send_burst).
+    fn stage_udp(&mut self, src_port: u16, data: &[u8], to: Endpoint) -> Result<()> {
         let mut nb = self.take_buf();
         if data.len() > nb.tailroom() {
             self.recycle(nb);
@@ -461,14 +529,75 @@ impl NetStack {
             payload_len: UDP_HDR_LEN + data.len(),
             ttl: 64,
         };
-        UdpHeader {
+        let hdr = UdpHeader {
             src_port,
             dst_port: to.port,
+        };
+        if self.csum_offload {
+            hdr.encode_into_partial(&ip, &mut nb);
+            self.stats.csum_offloaded += 1;
+        } else {
+            hdr.encode_into(&ip, &mut nb);
         }
-        .encode_into(&ip, &mut nb);
         ip.encode_into(&mut nb);
         self.send_ipv4_nb(to.addr, IpProto::Udp, nb);
+        Ok(())
+    }
+
+    /// Sends a datagram: the payload is written once into a pooled
+    /// buffer and UDP/IP/Ethernet headers are prepended in place.
+    ///
+    /// The stack does not fragment: payloads beyond a packet buffer's
+    /// tailroom ([`BUF_CAP`] − [`TX_HEADROOM`] = 1984 bytes — already
+    /// past the 1500-byte wire MTU) are rejected with `EINVAL`.
+    pub fn udp_send_to(&mut self, sock: SocketHandle, data: &[u8], to: Endpoint) -> Result<()> {
+        let src_port = self
+            .udp_socks
+            .get(&sock.0)
+            .ok_or(Errno::BadF)?
+            .port;
+        self.stage_udp(src_port, data, to)?;
         self.flush_tx()
+    }
+
+    /// `sendmmsg`-style burst send: stages every `(payload, dest)`
+    /// datagram, then pushes the whole batch to the device in bursts —
+    /// one `tx_burst` sweep instead of one flush per datagram.
+    ///
+    /// Returns the datagrams sent. Like `sendmmsg(2)`, a failing
+    /// datagram stops the burst and is reported as an error only when
+    /// nothing was sent before it.
+    pub fn udp_send_burst<'a, I>(&mut self, sock: SocketHandle, msgs: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = (&'a [u8], Endpoint)>,
+    {
+        let src_port = self
+            .udp_socks
+            .get(&sock.0)
+            .ok_or(Errno::BadF)?
+            .port;
+        let mut sent = 0;
+        let mut first_err = None;
+        for (data, to) in msgs {
+            match self.stage_udp(src_port, data, to) {
+                Ok(()) => sent += 1,
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let flushed = self.flush_tx();
+        if sent == 0 {
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            flushed?;
+        }
+        // Partial success wins over a late error (sendmmsg contract):
+        // a flush failure leaves the tail staged for the next flush,
+        // nothing is lost.
+        Ok(sent)
     }
 
     /// Receives a datagram, if one is queued (allocating convenience
@@ -495,6 +624,54 @@ impl NetStack {
         self.recycle(nb);
         self.sync_one(sock.0);
         Some((from, n))
+    }
+
+    /// `recvmmsg`-style burst receive: drains up to `max` queued
+    /// datagrams, packing their payloads back-to-back into `buf` and
+    /// appending one `(sender, length)` pair per datagram to `msgs`
+    /// (the caller slices `buf` by running offset). Stops early when
+    /// the remaining space cannot hold the next datagram whole (no
+    /// truncation in burst mode — size `buf` for `max` MTU-sized
+    /// datagrams). Returns the datagrams received this call.
+    ///
+    /// Allocation-free in steady state: payloads copy straight from
+    /// the queued netbufs, which recycle into the pool.
+    pub fn udp_recv_burst_into(
+        &mut self,
+        sock: SocketHandle,
+        buf: &mut [u8],
+        msgs: &mut Vec<(Endpoint, usize)>,
+        max: usize,
+    ) -> usize {
+        let mut pool = self.pool.take();
+        let mut received = 0;
+        let mut off = 0;
+        if let Some(s) = self.udp_socks.get_mut(&sock.0) {
+            while received < max {
+                let fits = match s.rx.front() {
+                    Some((_, nb)) => off + nb.len() <= buf.len(),
+                    None => false,
+                };
+                if !fits {
+                    break;
+                }
+                let (from, nb) = s.rx.pop_front().expect("checked above");
+                buf[off..off + nb.len()].copy_from_slice(nb.payload());
+                msgs.push((from, nb.len()));
+                off += nb.len();
+                received += 1;
+                if let Some(p) = pool.as_mut() {
+                    if p.owns(&nb) {
+                        p.give_back(nb);
+                    }
+                }
+            }
+        }
+        self.pool = pool;
+        if received > 0 {
+            self.sync_one(sock.0);
+        }
+        received
     }
 
     // --- TCP ----------------------------------------------------------
@@ -545,11 +722,30 @@ impl NetStack {
     /// partial write when the send buffer is short on space (`EAGAIN`
     /// when it is full because the peer's window stays closed).
     pub fn tcp_send(&mut self, conn: SocketHandle, data: &[u8]) -> Result<usize> {
+        let accepted = self.tcp_send_queued(conn, data)?;
+        self.flush_tcp()?;
+        Ok(accepted)
+    }
+
+    /// Queues data on a connection *without* flushing segments to the
+    /// device — the burst-TX half of [`tcp_send`](Self::tcp_send).
+    /// Callers batch any number of sends across any number of
+    /// connections inside one event-loop turn, then emit everything as
+    /// a single burst with [`flush_output`](Self::flush_output).
+    pub fn tcp_send_queued(&mut self, conn: SocketHandle, data: &[u8]) -> Result<usize> {
         let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
         let accepted = c.tcb.app_send(data)?;
-        self.flush_tcp()?;
         self.sync_one(conn.0);
         Ok(accepted)
+    }
+
+    /// Emits all pending transport output as one burst: segments every
+    /// connection's send queue into pooled buffers and pushes the
+    /// staged frames through `tx_burst` sweeps. The companion to
+    /// [`tcp_send_queued`](Self::tcp_send_queued) (idempotent when
+    /// there is nothing to send) — one event-loop turn, one flush.
+    pub fn flush_output(&mut self) -> Result<()> {
+        self.flush_tcp()
     }
 
     /// Reads up to `max` bytes from a connection (allocating
@@ -669,12 +865,44 @@ impl NetStack {
     fn flush_tx(&mut self) -> Result<()> {
         while !self.tx_stage.is_empty() {
             let st = self.dev.tx_burst(0, &mut self.tx_stage)?;
-            self.stats.tx_frames += st.sent as u64;
-            if st.sent == 0 {
+            if st.stats.frames == 0 {
                 break; // Ring full; retried on the next flush.
             }
+            self.stats.tx_frames += st.stats.frames as u64;
+            self.stats.tx_bytes += st.stats.bytes as u64;
+            self.stats.tx_bursts += 1;
         }
         Ok(())
+    }
+
+    /// Resolves a next-hop MAC through the per-burst memo first, then
+    /// the ARP table (memoizing a hit). The memo is cleared at every
+    /// `pump` and whenever the ARP table learns a mapping, so one
+    /// burst's worth of frames to the same few peers pays one table
+    /// lookup per peer.
+    fn lookup_next_hop(&mut self, dst: Ipv4Addr) -> Option<Mac> {
+        if let Some(&(_, mac)) = self.arp_memo.iter().find(|(ip, _)| *ip == dst) {
+            return Some(mac);
+        }
+        let mac = self.arp.lookup(dst)?;
+        if self.arp_memo.len() < ARP_MEMO_SIZE {
+            self.arp_memo.push((dst, mac));
+        }
+        Some(mac)
+    }
+
+    /// Stages a broadcast who-has request for `dst`.
+    fn stage_arp_request(&mut self, dst: Ipv4Addr) {
+        let req = ArpPacket {
+            op: ArpOp::Request,
+            sha: self.config.mac,
+            spa: self.config.ip,
+            tha: Mac([0; 6]),
+            tpa: dst,
+        };
+        let mut anb = self.take_buf();
+        anb.append(&req.encode());
+        self.stage_eth(Mac::BROADCAST, EtherType::Arp, anb);
     }
 
     /// Routes an IP-level packet (headers already in place, Ethernet
@@ -685,7 +913,7 @@ impl NetStack {
     /// buffer pool, and the who-has broadcast is re-issued every
     /// [`ARP_REQUEST_RETRY_EVERY`] parked packets.
     fn send_ipv4_nb(&mut self, dst: Ipv4Addr, proto: IpProto, nb: Netbuf) {
-        match self.arp.lookup(dst) {
+        match self.lookup_next_hop(dst) {
             Some(mac) => self.stage_eth(mac, EtherType::Ipv4, nb),
             None => {
                 let (evicted, request_due) = {
@@ -713,19 +941,38 @@ impl NetStack {
                     self.recycle(old);
                 }
                 if request_due {
-                    let req = ArpPacket {
-                        op: ArpOp::Request,
-                        sha: self.config.mac,
-                        spa: self.config.ip,
-                        tha: Mac([0; 6]),
-                        tpa: dst,
-                    };
-                    let mut anb = self.take_buf();
-                    anb.append(&req.encode());
-                    self.stage_eth(Mac::BROADCAST, EtherType::Arp, anb);
+                    self.stage_arp_request(dst);
                 }
             }
         }
+    }
+
+    /// The quiet-queue who-has retry (run once per `pump`): every
+    /// pending next-hop ticks a per-burst counter and re-broadcasts
+    /// its request every [`ARP_REQUEST_RETRY_PUMPS`] pumps. The
+    /// per-parked-packet cadence in [`send_ipv4_nb`](Self::send_ipv4_nb)
+    /// only fires while *new* packets keep parking; this one keeps
+    /// parked packets making progress after the application goes
+    /// quiet.
+    fn arp_retry_tick(&mut self) {
+        if self.arp_pending.is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.arp_retry_scratch);
+        due.clear();
+        for (dst, pending) in self.arp_pending.iter_mut() {
+            if pending.packets.is_empty() {
+                continue;
+            }
+            pending.pump_ticks += 1;
+            if pending.pump_ticks % ARP_REQUEST_RETRY_PUMPS == 0 {
+                due.push(*dst);
+            }
+        }
+        for dst in due.drain(..) {
+            self.stage_arp_request(dst);
+        }
+        self.arp_retry_scratch = due;
     }
 
     /// Emits all pending TCP output: each segment is cut from the send
@@ -735,6 +982,8 @@ impl NetStack {
         let mut staged = std::mem::take(&mut self.tcp_stage);
         let mut pool = self.pool.take();
         let src_ip = self.config.ip;
+        let offload = self.csum_offload;
+        let mut offloaded = 0u64;
         for c in self.conns.values_mut() {
             let dst = c.remote.addr;
             c.tcb.poll_output_with(|header, a, b| {
@@ -751,12 +1000,18 @@ impl NetStack {
                     payload_len: TCP_HDR_LEN + a.len() + b.len(),
                     ttl: 64,
                 };
-                header.encode_into(&ip, &mut nb);
+                if offload {
+                    header.encode_into_partial(&ip, &mut nb);
+                    offloaded += 1;
+                } else {
+                    header.encode_into(&ip, &mut nb);
+                }
                 ip.encode_into(&mut nb);
                 staged.push((dst, nb));
             });
         }
         self.pool = pool;
+        self.stats.csum_offloaded += offloaded;
         for (dst, nb) in staged.drain(..) {
             self.send_ipv4_nb(dst, IpProto::Tcp, nb);
         }
@@ -764,16 +1019,29 @@ impl NetStack {
         self.flush_tx()
     }
 
-    /// Processes received frames and flushes replies. Returns the number
-    /// of frames handled.
+    /// Processes received frames in bursts and flushes replies once.
+    /// Returns the number of frames handled.
+    ///
+    /// This is the per-burst sweep of the burst datapath: each
+    /// `rx_burst` batch is fully decoded and demultiplexed (replies
+    /// and ACKs *staging*, not flushing — next-hop MACs come from the
+    /// per-burst memo), and only after the ring runs dry does the
+    /// stack run its transport sweep: who-has retries for parked
+    /// queues, one `flush_tcp` segmenting every connection, one staged
+    /// `tx_burst` push, one readiness sync. Per-packet overheads
+    /// become per-burst overheads.
     pub fn pump(&mut self) -> usize {
         let mut handled = 0;
         let mut frames = std::mem::take(&mut self.rx_scratch);
+        self.arp_memo.clear();
         loop {
-            let st = match self.dev.rx_burst(0, &mut frames, 32) {
+            let st = match self.dev.rx_burst(0, &mut frames, MAX_BURST) {
                 Ok(st) => st,
                 Err(_) => break,
             };
+            if st.received > 0 {
+                self.stats.rx_bursts += 1;
+            }
             for nb in frames.drain(..) {
                 if self.handle_frame(nb).is_ok() {
                     handled += 1;
@@ -786,6 +1054,7 @@ impl NetStack {
             }
         }
         self.rx_scratch = frames;
+        self.arp_retry_tick();
         let _ = self.flush_tcp();
         self.sync_readiness();
         handled
@@ -799,16 +1068,32 @@ impl NetStack {
         self.dev.reclaim_tx(0, out).unwrap_or(0)
     }
 
-    /// Injects one frame into this stack's device RX ring (the wire
-    /// side). If the ring is full the frame is dropped and its buffer
-    /// recycled, like a real NIC.
-    pub fn deliver_frame(&mut self, nb: Netbuf) {
-        self.inject_scratch.push(nb);
-        let _ = self.dev.inject_rx(0, &mut self.inject_scratch);
-        while let Some(rest) = self.inject_scratch.pop() {
+    /// Injects a whole burst of frames into this stack's device RX
+    /// ring with a single `inject_rx` call (the wire side — one
+    /// boundary crossing per burst instead of per frame). Frames that
+    /// do not fit (ring full) are dropped and their buffers recycled,
+    /// like a real NIC. Returns the device's burst accounting.
+    pub fn deliver_burst(&mut self, frames: &mut Vec<Netbuf>) -> BurstStats {
+        let stats = self.dev.inject_rx(0, frames).unwrap_or(BurstStats {
+            frames: 0,
+            bytes: 0,
+            drops: frames.len(),
+        });
+        while let Some(rest) = frames.pop() {
             self.stats.dropped += 1;
             self.recycle(rest);
         }
+        stats
+    }
+
+    /// Injects one frame into this stack's device RX ring (the wire
+    /// side) — single-frame convenience over
+    /// [`deliver_burst`](Self::deliver_burst).
+    pub fn deliver_frame(&mut self, nb: Netbuf) {
+        let mut scratch = std::mem::take(&mut self.inject_scratch);
+        scratch.push(nb);
+        self.deliver_burst(&mut scratch);
+        self.inject_scratch = scratch;
     }
 
     fn handle_frame(&mut self, mut nb: Netbuf) -> Result<()> {
@@ -838,6 +1123,8 @@ impl NetStack {
     fn handle_arp(&mut self, data: &[u8]) -> Result<()> {
         let arp = ArpPacket::decode(data)?;
         self.arp.insert(arp.spa, arp.sha);
+        // The table changed: memoized next-hops may be stale.
+        self.arp_memo.clear();
         // Release packets that were waiting on this mapping.
         if let Some(pending) = self.arp_pending.remove(&arp.spa) {
             for (_, nb) in pending.packets {
@@ -1116,6 +1403,70 @@ mod tests {
             tcp_parked, 1,
             "the SYN survives eviction (no retransmission exists to recover it)"
         );
+    }
+
+    #[test]
+    fn quiet_queue_arp_retry_fires_on_pump_cadence() {
+        let mut s = stack(1);
+        let sock = s.udp_bind(5000).unwrap();
+        // One send parks one packet and broadcasts one who-has.
+        s.udp_send_to(sock, b"hello?", Endpoint::new(Ipv4Addr::new(10, 0, 0, 99), 7))
+            .unwrap();
+        assert_eq!(s.stats().tx_frames, 1);
+        // The application goes quiet: no new packets ever park, so the
+        // per-parked-packet cadence can never fire again — but pumping
+        // must still retry on the per-burst counter.
+        for _ in 0..ARP_REQUEST_RETRY_PUMPS * 2 {
+            s.pump();
+        }
+        assert_eq!(
+            s.stats().tx_frames,
+            3,
+            "two who-has retries after 2×{ARP_REQUEST_RETRY_PUMPS} quiet pumps"
+        );
+        assert_eq!(
+            s.arp_pending.get(&Ipv4Addr::new(10, 0, 0, 99)).unwrap().packets.len(),
+            1,
+            "the parked packet still waits"
+        );
+    }
+
+    #[test]
+    fn udp_send_burst_reports_sendmmsg_counts() {
+        let mut s = stack(1);
+        let sock = s.udp_bind(5000).unwrap();
+        let dst = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7);
+        let ok = [0x11u8; 64];
+        let too_big = vec![0u8; BUF_CAP];
+        // A failing datagram mid-burst stops the burst; the count of
+        // datagrams already staged is returned.
+        let n = s
+            .udp_send_burst(sock, [(&ok[..], dst), (&too_big[..], dst), (&ok[..], dst)])
+            .unwrap();
+        assert_eq!(n, 1, "burst stops at the first failure");
+        // A failing *first* datagram surfaces the error.
+        assert_eq!(
+            s.udp_send_burst(sock, [(&too_big[..], dst)]).unwrap_err(),
+            Errno::Inval
+        );
+        assert_eq!(
+            s.udp_send_burst(sock, std::iter::empty()).unwrap(),
+            0,
+            "empty burst is a no-op"
+        );
+    }
+
+    #[test]
+    fn csum_offload_tracks_config_and_device_capability() {
+        let s = stack(1);
+        assert!(s.csum_offload(), "VirtioNet advertises tx csum offload");
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        let mut cfg = StackConfig::node(1);
+        cfg.tx_csum_offload = false;
+        let s = NetStack::new(cfg, Box::new(dev));
+        assert!(!s.csum_offload(), "ablation switch wins over capability");
     }
 
     #[test]

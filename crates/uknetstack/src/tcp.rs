@@ -131,6 +131,34 @@ impl TcpHeader {
         nb.payload_mut()[16..18].copy_from_slice(&ck.to_be_bytes());
     }
 
+    /// The checksum-offload form of [`encode_into`](Self::encode_into):
+    /// prepends the header with the checksum field holding only the
+    /// *folded pseudo-header sum* (uncomplemented) and attaches a
+    /// [`CsumRequest`](uknetdev::netbuf::CsumRequest) to the netbuf, so
+    /// the device completes the sum over the whole segment on
+    /// `tx_burst` — the frame that reaches the wire is
+    /// checksum-equivalent to the software path's (the device emits a
+    /// computed `0x0000` as the congruent `0xffff`, which the software
+    /// TCP path leaves raw; both verify identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` has less than [`TCP_HDR_LEN`] bytes of headroom.
+    pub fn encode_into_partial(&self, ip: &Ipv4Header, nb: &mut Netbuf) {
+        let hdr = nb.push_header_uninit(TCP_HDR_LEN);
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        hdr[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        hdr[12] = 5 << 4; // Data offset 5 words.
+        hdr[13] = self.flags.to_u8();
+        hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
+        let partial = uknetdev::csum::fold_partial_sum(u64::from(ip.pseudo_header_sum()));
+        hdr[16..18].copy_from_slice(&partial.to_be_bytes());
+        hdr[18..20].copy_from_slice(&[0, 0]); // Urgent pointer.
+        nb.request_csum(nb.len(), 16);
+    }
+
     /// Parses and verifies a segment; returns header + payload.
     pub fn decode<'a>(ip: &Ipv4Header, seg: &'a [u8]) -> Result<(TcpHeader, &'a [u8])> {
         if seg.len() < TCP_HDR_LEN {

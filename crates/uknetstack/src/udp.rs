@@ -56,6 +56,28 @@ impl UdpHeader {
         nb.payload_mut()[6..8].copy_from_slice(&ck.to_be_bytes());
     }
 
+    /// The checksum-offload form of [`encode_into`](Self::encode_into):
+    /// prepends the header with the checksum field holding only the
+    /// *folded pseudo-header sum* (uncomplemented) and attaches a
+    /// [`CsumRequest`](uknetdev::netbuf::CsumRequest) to the netbuf, so
+    /// the device completes the sum over the whole datagram on
+    /// `tx_burst` — the frame that reaches the wire is byte-identical
+    /// to the software path's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` has less than [`UDP_HDR_LEN`] bytes of headroom.
+    pub fn encode_into_partial(&self, ip: &Ipv4Header, nb: &mut Netbuf) {
+        let len = nb.len() as u16 + UDP_HDR_LEN as u16;
+        let hdr = nb.push_header_uninit(UDP_HDR_LEN);
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..6].copy_from_slice(&len.to_be_bytes());
+        let partial = uknetdev::csum::fold_partial_sum(u64::from(ip.pseudo_header_sum()));
+        hdr[6..8].copy_from_slice(&partial.to_be_bytes());
+        nb.request_csum(nb.len(), 6);
+    }
+
     /// Parses and verifies a datagram; returns header + payload.
     pub fn decode<'a>(ip: &Ipv4Header, dgram: &'a [u8]) -> Result<(UdpHeader, &'a [u8])> {
         if dgram.len() < UDP_HDR_LEN {

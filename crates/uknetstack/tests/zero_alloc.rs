@@ -132,6 +132,146 @@ fn udp_round_trip_is_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn tcp_echo_burst_of_32_is_allocation_free_in_steady_state() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1));
+    let si = net.attach(mk_stack(2));
+    let listener = net.stack(si).tcp_listen(7).unwrap();
+    let client = net
+        .stack(ci)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7))
+        .unwrap();
+    net.run_until_quiet(32);
+    let server = net.stack(si).tcp_accept(listener).unwrap();
+
+    let request = [0x42u8; 512];
+    let mut buf = [0u8; 2048];
+
+    // 32 echoes per turn through the burst path: requests queue on the
+    // connection (`tcp_send_queued`), one `flush_output` emits them as
+    // MSS-sized segments in one staged tx burst, and the wire moves
+    // each hop's frames with one `deliver_burst` per step.
+    let mut echo_burst = |net: &mut Network| {
+        for _ in 0..32 {
+            assert_eq!(net.stack(ci).tcp_send_queued(client, &request).unwrap(), 512);
+        }
+        net.stack(ci).flush_output().unwrap();
+        net.run_until_quiet(64);
+        let mut echoed = 0;
+        loop {
+            let n = net.stack(si).tcp_recv_into(server, &mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert_eq!(net.stack(si).tcp_send_queued(server, &buf[..n]).unwrap(), n);
+            echoed += n;
+        }
+        assert_eq!(echoed, 32 * 512, "whole burst arrived at the server");
+        net.stack(si).flush_output().unwrap();
+        net.run_until_quiet(64);
+        let mut got = 0;
+        loop {
+            let n = net.stack(ci).tcp_recv_into(client, &mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        assert_eq!(got, 32 * 512, "whole burst echoed back");
+    };
+
+    for _ in 0..4 {
+        echo_burst(&mut net);
+    }
+
+    let counter = AllocCounter::start();
+    echo_burst(&mut net);
+    assert_eq!(
+        counter.allocs(),
+        0,
+        "steady-state burst of 32 TCP echoes must not touch the heap"
+    );
+}
+
+#[test]
+fn udp_burst_of_32_datagrams_is_allocation_free_in_steady_state() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1));
+    let si = net.attach(mk_stack(2));
+    let server_sock = net.stack(si).udp_bind(9).unwrap();
+    let client_sock = net.stack(ci).udp_bind(5000).unwrap();
+    let server_ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9);
+
+    let payload = [0x5au8; 256];
+    let payloads = [payload; 32];
+    let mut rx_buf = vec![0u8; 32 * 2048];
+    let mut msgs: Vec<(Endpoint, usize)> = Vec::with_capacity(32);
+
+    // Resolve ARP first: an unresolved next-hop would park the first
+    // burst and the droppable-packet cap would evict half of it.
+    net.stack(ci)
+        .udp_send_to(client_sock, b"warm", server_ep)
+        .unwrap();
+    net.run_until_quiet(16);
+    let mut warm = [0u8; 64];
+    net.stack(si)
+        .udp_recv_into(server_sock, &mut warm)
+        .unwrap();
+    net.stack(si)
+        .udp_send_to(server_sock, b"warm", Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 5000))
+        .unwrap();
+    net.run_until_quiet(16);
+    net.stack(ci)
+        .udp_recv_into(client_sock, &mut warm)
+        .unwrap();
+
+    // 32 datagrams per turn: one sendmmsg-style burst out, one
+    // recvmmsg-style drain into a flat buffer, one burst of replies
+    // sliced straight out of that buffer, one burst drain back.
+    let round_trip = |net: &mut Network, msgs: &mut Vec<(Endpoint, usize)>,
+                      rx_buf: &mut Vec<u8>| {
+        let sent = net
+            .stack(ci)
+            .udp_send_burst(client_sock, payloads.iter().map(|p| (&p[..], server_ep)))
+            .unwrap();
+        assert_eq!(sent, 32);
+        net.run_until_quiet(16);
+        msgs.clear();
+        let n = net
+            .stack(si)
+            .udp_recv_burst_into(server_sock, rx_buf, msgs, 32);
+        assert_eq!(n, 32, "whole batch received in one call");
+        let mut off = 0;
+        let replies = msgs.iter().map(|&(from, len)| {
+            let s = &rx_buf[off..off + len];
+            off += len;
+            (s, from)
+        });
+        assert_eq!(net.stack(si).udp_send_burst(server_sock, replies).unwrap(), 32);
+        net.run_until_quiet(16);
+        msgs.clear();
+        let m = net
+            .stack(ci)
+            .udp_recv_burst_into(client_sock, rx_buf, msgs, 32);
+        assert_eq!(m, 32, "all replies received in one call");
+    };
+
+    for _ in 0..4 {
+        round_trip(&mut net, &mut msgs, &mut rx_buf);
+    }
+
+    let counter = AllocCounter::start();
+    round_trip(&mut net, &mut msgs, &mut rx_buf);
+    assert_eq!(
+        counter.allocs(),
+        0,
+        "steady-state burst of 32 UDP datagrams must not touch the heap"
+    );
+}
+
+#[test]
 fn buffers_circulate_without_draining_the_pools() {
     let _guard = serial();
     let mut net = Network::new();

@@ -57,7 +57,8 @@ fn rx_ring_overflow_drops_instead_of_growing() {
     let mut frames = frames;
     let injected = dev.inject_rx(0, &mut frames).unwrap();
     assert_eq!(frames.len(), 200 - 64, "overflow stays with the caller");
-    assert_eq!(injected, 64, "ring capacity bounds acceptance");
+    assert_eq!(injected.frames, 64, "ring capacity bounds acceptance");
+    assert_eq!(injected.drops, 200 - 64, "overflow counted as drops");
     let mut out = Vec::new();
     let st = dev.rx_burst(0, &mut out, 256).unwrap();
     assert!(st.received <= 64);
