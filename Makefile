@@ -34,15 +34,19 @@ bench-event:
 
 ## Cheap datapath smoke: runs the netpath bench in test mode (the
 ## offline criterion stand-in keeps runs short) and prints the
-## allocs-per-frame figure for the pooled vs heap-buffer paths.
+## allocs-per-frame figures — RTT matrix plus the bulk-transfer
+## matrix, whose pooled cells (including the 1 MB TSO transfers) are
+## asserted at 0.000 allocs/frame.
 bench-smoke:
 	$(CARGO) bench -p ukbench --bench netpath -- --test
 
-## Machine-readable perf trajectory: runs the netpath ablation matrix
-## (per-frame vs burst, checksum offload on/off, pooled vs heap) and
-## writes rtt/s, ns/RTT and allocs/frame per config to BENCH_PR3.json.
+## Machine-readable perf trajectory: runs the netpath ablation
+## matrices — the PR 3 RTT cells (per-frame vs burst, checksum offload
+## on/off, pooled vs heap) plus the PR 4 bulk-throughput grid
+## (4KB/64KB/1MB × tso × rx_csum, bytes/s, allocs/frame) — and writes
+## them to BENCH_PR4.json.
 bench-json:
-	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR3.json
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR4.json
 
 examples:
 	$(CARGO) build --release --examples

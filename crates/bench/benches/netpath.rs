@@ -13,12 +13,18 @@
 //! - **pooled vs heap_bufs** — the PR 2 buffer-pool ablation, kept for
 //!   trajectory continuity.
 //!
+//! Since the large-transfer fast path landed, the report also carries
+//! a **bulk-throughput matrix**: 4 KB / 64 KB / 1 MB client→server
+//! transfers across the `{tso, rx_csum_offload}` ablation grid —
+//! bytes/s and allocs/frame per cell, with the 64 KB TSO-vs-software
+//! speedup as the headline number.
+//!
 //! The binary installs `ukalloc::stats::CountingAlloc` as its global
 //! allocator, so alongside the ns/iter numbers it prints measured
 //! **allocations per frame** (expected: 0.000 on every pooled config,
 //! enforced), round-trips/s and ns/RTT. With `--json <path>` the
 //! ablation table is also written as machine-readable JSON
-//! (`make bench-json` → `BENCH_PR3.json`), so the perf trajectory is
+//! (`make bench-json` → `BENCH_PR4.json`), so the perf trajectory is
 //! diffable across PRs.
 
 use std::time::Instant;
@@ -41,12 +47,18 @@ static COUNTING: ukalloc::stats::CountingAlloc = ukalloc::stats::CountingAlloc;
 const BURST: usize = 32;
 
 fn mk_stack(n: u8, pools: bool, offload: bool) -> NetStack {
+    mk_stack_cfg(n, pools, offload, true, true)
+}
+
+fn mk_stack_cfg(n: u8, pools: bool, offload: bool, tso: bool, rx_csum: bool) -> NetStack {
     let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
     let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
     dev.configure(NetDevConf::default()).unwrap();
     let mut cfg = StackConfig::node(n);
     cfg.use_pools = pools;
     cfg.tx_csum_offload = offload;
+    cfg.tso = tso;
+    cfg.rx_csum_offload = rx_csum;
     NetStack::new(cfg, Box::new(dev))
 }
 
@@ -250,6 +262,82 @@ impl UdpHarness {
     }
 }
 
+/// A warmed-up two-node net moving bulk data client → server: the
+/// large-transfer fast path (scatter-gather super-segments + TSO
+/// cutting + RX checksum offload), with both offloads switchable for
+/// the ablation matrix.
+struct BulkHarness {
+    net: Network,
+    ci: usize,
+    si: usize,
+    client: SocketHandle,
+    server: SocketHandle,
+    buf: Vec<u8>,
+}
+
+impl BulkHarness {
+    fn new(tso: bool, rx_csum: bool) -> Self {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack_cfg(1, true, true, tso, rx_csum));
+        let si = net.attach(mk_stack_cfg(2, true, true, tso, rx_csum));
+        let listener = net.stack(si).tcp_listen(9000).unwrap();
+        let client = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9000))
+            .unwrap();
+        net.run_until_quiet(32);
+        let server = net.stack(si).tcp_accept(listener).unwrap();
+        let mut h = BulkHarness {
+            net,
+            ci,
+            si,
+            client,
+            server,
+            buf: vec![0; 64 * 1024],
+        };
+        for _ in 0..3 {
+            h.transfer(64 * 1024);
+        }
+        h
+    }
+
+    /// Streams `total` bytes client → server, draining as they
+    /// arrive (window stays open).
+    fn transfer(&mut self, total: usize) {
+        const CHUNK: [u8; 64 * 1024] = [0x6b; 64 * 1024];
+        let mut sent = 0;
+        let mut got = 0;
+        while got < total {
+            if sent < total {
+                let want = CHUNK.len().min(total - sent);
+                let n = self
+                    .net
+                    .stack(self.ci)
+                    .tcp_send_queued(self.client, &CHUNK[..want])
+                    .unwrap_or(0);
+                sent += n;
+                self.net.stack(self.ci).flush_output().unwrap();
+            }
+            self.net.step();
+            loop {
+                let n = self
+                    .net
+                    .stack(self.si)
+                    .tcp_recv_into(self.server, &mut self.buf)
+                    .unwrap();
+                if n == 0 {
+                    break;
+                }
+                got += n;
+            }
+        }
+    }
+
+    fn tx_frames(&mut self) -> u64 {
+        self.net.stack(self.ci).stats().tx_frames + self.net.stack(self.si).stats().tx_frames
+    }
+}
+
 fn bench_tcp_echo(c: &mut Criterion) {
     let mut g = c.benchmark_group("netpath/tcp_echo_512B");
     for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
@@ -289,6 +377,17 @@ struct Row {
     csum_offload: bool,
     rtt_per_s: f64,
     ns_per_rtt: f64,
+    allocs_per_frame: f64,
+}
+
+/// One row of the bulk-throughput ablation matrix.
+struct BulkRow {
+    name: String,
+    transfer_bytes: usize,
+    tso: bool,
+    rx_csum: bool,
+    bytes_per_s: f64,
+    mib_per_s: f64,
     allocs_per_frame: f64,
 }
 
@@ -403,6 +502,83 @@ fn ablation_report(json_path: Option<&str>) {
         }
     }
 
+    // --- Bulk-throughput matrix: {4 KB, 64 KB, 1 MB} × tso × rx_csum.
+    let mut bulk_rows: Vec<BulkRow> = Vec::new();
+    for (size, label, reps) in [
+        (4 * 1024, "4KB", 600u64),
+        (64 * 1024, "64KB", 120u64),
+        (1024 * 1024, "1MB", 10u64),
+    ] {
+        for (tso, rx_csum) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut h = BulkHarness::new(tso, rx_csum);
+            // Per-size warmup: scratch and ring capacities reach the
+            // steady state of *this* transfer size before counting
+            // (the deepest backlogs take a few transfers to appear).
+            for _ in 0..8 {
+                h.transfer(size);
+            }
+            let frames_before = h.tx_frames();
+            let counter = AllocCounter::start();
+            let start = Instant::now();
+            for _ in 0..reps {
+                h.transfer(size);
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let allocs = counter.allocs();
+            let frames = (h.tx_frames() - frames_before).max(1);
+            let total = (size as u64 * reps) as f64;
+            bulk_rows.push(BulkRow {
+                name: format!(
+                    "tcp_bulk_{label}/{}{}",
+                    if tso { "tso" } else { "sw_seg" },
+                    if rx_csum { "" } else { "+rx_sw_csum" }
+                ),
+                transfer_bytes: size,
+                tso,
+                rx_csum,
+                bytes_per_s: total / elapsed,
+                mib_per_s: total / elapsed / (1024.0 * 1024.0),
+                allocs_per_frame: allocs as f64 / frames as f64,
+            });
+        }
+    }
+    println!();
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "netpath/bulk", "MiB/s", "allocs/frame"
+    );
+    for r in &bulk_rows {
+        println!(
+            "{:<28} {:>12.1} {:>14.3}",
+            r.name, r.mib_per_s, r.allocs_per_frame
+        );
+        assert_eq!(
+            r.allocs_per_frame, 0.0,
+            "bulk pooled datapath must not touch the heap ({})",
+            r.name
+        );
+    }
+    // The PR's headline: the 64 KB fast path (TSO + RX csum offload)
+    // vs the all-software segmentation ablation.
+    let fast = bulk_rows
+        .iter()
+        .find(|r| r.transfer_bytes == 64 * 1024 && r.tso && r.rx_csum)
+        .expect("fast cell");
+    let soft = bulk_rows
+        .iter()
+        .find(|r| r.transfer_bytes == 64 * 1024 && !r.tso && !r.rx_csum)
+        .expect("software cell");
+    let speedup_64k = fast.bytes_per_s / soft.bytes_per_s;
+    let soft_tso_only = bulk_rows
+        .iter()
+        .find(|r| r.transfer_bytes == 64 * 1024 && !r.tso && r.rx_csum)
+        .expect("tso-off cell");
+    let speedup_64k_tso_only = fast.bytes_per_s / soft_tso_only.bytes_per_s;
+    println!(
+        "netpath/bulk 64KB speedup: fast-path {speedup_64k:.2}x vs all-software \
+         ({speedup_64k_tso_only:.2}x vs tso-off alone)"
+    );
+
     if let Some(path) = json_path {
         let mut out = String::new();
         out.push_str("{\n");
@@ -423,7 +599,29 @@ fn ablation_report(json_path: Option<&str>) {
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str("  \"bulk_configs\": [\n");
+        for (i, r) in bulk_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"transfer_bytes\": {}, \"tso\": {}, \"rx_csum_offload\": {}, \"bytes_per_s\": {:.0}, \"mib_per_s\": {:.1}, \"allocs_per_frame\": {:.3} }}{}\n",
+                r.name,
+                r.transfer_bytes,
+                r.tso,
+                r.rx_csum,
+                r.bytes_per_s,
+                r.mib_per_s,
+                r.allocs_per_frame,
+                if i + 1 == bulk_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"bulk_64k_speedup_vs_all_software\": {speedup_64k:.2},\n"
+        ));
+        out.push_str(&format!(
+            "  \"bulk_64k_speedup_vs_tso_off\": {speedup_64k_tso_only:.2}\n"
+        ));
+        out.push_str("}\n");
         std::fs::write(path, out).expect("write bench json");
         println!("netpath/ablation written to {path}");
     }

@@ -24,6 +24,16 @@ use ukplat::{Errno, Result};
 /// The paper's standard test page size.
 pub const DEFAULT_PAGE_SIZE: usize = 612;
 
+/// Largest body `/blob/<size>` serves (bounds the shared source
+/// buffer).
+pub const BLOB_MAX: usize = 4 << 20;
+
+/// The deterministic byte at position `i` of every blob body (clients
+/// verify transfers against this).
+pub fn blob_byte(i: usize) -> u8 {
+    ((i as u32).wrapping_mul(131).wrapping_add(7) % 251) as u8
+}
+
 /// Builds the standard 612-byte index page.
 pub fn default_page() -> Vec<u8> {
     let mut body = b"<html><head><title>unikraft-rs</title></head><body>".to_vec();
@@ -42,6 +52,13 @@ struct Conn {
     /// Response bytes accepted by us but not yet by the socket (the
     /// partial-write backlog).
     out: Vec<u8>,
+    /// An in-flight `/blob/<size>` body: `(size, offset)` into the
+    /// server's shared blob source. The bytes go straight from that
+    /// buffer into the connection's send queue (`tcp_send_queued`) —
+    /// no per-request body copy, no backlog duplication. Further
+    /// pipelined requests wait until the blob drains (responses stay
+    /// ordered).
+    blob: Option<(usize, usize)>,
     /// Close once `out` drains.
     closing: bool,
 }
@@ -59,6 +76,12 @@ pub struct Httpd {
     /// allocation-free `tcp_recv_into` path, then move into the
     /// connection's request buffer.
     rx_scratch: Vec<u8>,
+    /// Shared deterministic source for `/blob/<size>` bodies, grown
+    /// lazily to the largest size requested. Every blob response
+    /// streams out of this one buffer — the large-transfer fast path
+    /// from application memory to super-segment without intermediate
+    /// copies.
+    blob_src: Vec<u8>,
 }
 
 impl std::fmt::Debug for Httpd {
@@ -91,6 +114,7 @@ impl Httpd {
             served: 0,
             errors: 0,
             rx_scratch: vec![0; 64 * 1024],
+            blob_src: Vec::new(),
         })
     }
 
@@ -144,6 +168,25 @@ impl Httpd {
                 self.drive_conn(stack, ev);
             }
         }
+        // Requests that queued up behind a streaming blob response
+        // become serviceable the turn the blob drains.
+        let resume: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.blob.is_none() && !c.closing && find_header_end(&c.buf).is_some()
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in resume {
+            self.drive_conn(
+                stack,
+                Event {
+                    token,
+                    events: EventMask::IN,
+                },
+            );
+        }
         let _ = stack.flush_output();
         self.reap_closed(stack);
         self.served - before
@@ -165,6 +208,7 @@ impl Httpd {
                         sock,
                         buf: Vec::new(),
                         out: Vec::new(),
+                        blob: None,
                         closing: false,
                     },
                 );
@@ -189,26 +233,51 @@ impl Httpd {
             if let Ok(n) = stack.tcp_recv_into(conn.sock, &mut self.rx_scratch) {
                 conn.buf.extend_from_slice(&self.rx_scratch[..n]);
             }
-            // Serve every complete request in the buffer (pipelining).
-            while let Some(end) = find_header_end(&conn.buf) {
+            // Serve every complete request in the buffer (pipelining);
+            // a streaming blob response pauses the loop so responses
+            // stay ordered (poll resumes it once the blob drains).
+            while conn.blob.is_none() {
+                let Some(end) = find_header_end(&conn.buf) else {
+                    break;
+                };
                 let req_gp = self.alloc.malloc(end.max(64));
                 let request: Vec<u8> = conn.buf.drain(..end).collect();
                 let response = match parse_request(&request) {
-                    Ok(path) => match self.files.get(&path) {
-                        Some(body) => {
-                            let resp_gp = self.alloc.malloc(body.len() + 128);
-                            let r = render_response(200, "OK", body);
-                            if let Some(gp) = resp_gp {
-                                self.alloc.free(gp);
+                    Ok(path) => {
+                        if let Some(size) = parse_blob_path(&path) {
+                            if size <= BLOB_MAX {
+                                // Grow the shared source once; the body
+                                // then streams straight from it into
+                                // the connection's send queue — no
+                                // per-request body materialization.
+                                while self.blob_src.len() < size {
+                                    self.blob_src.push(blob_byte(self.blob_src.len()));
+                                }
+                                conn.blob = Some((size, 0));
+                                self.served += 1;
+                                render_header(200, "OK", size)
+                            } else {
+                                self.errors += 1;
+                                render_response(404, "Not Found", b"blob too large")
                             }
-                            self.served += 1;
-                            r
+                        } else {
+                            match self.files.get(&path) {
+                                Some(body) => {
+                                    let resp_gp = self.alloc.malloc(body.len() + 128);
+                                    let r = render_response(200, "OK", body);
+                                    if let Some(gp) = resp_gp {
+                                        self.alloc.free(gp);
+                                    }
+                                    self.served += 1;
+                                    r
+                                }
+                                None => {
+                                    self.errors += 1;
+                                    render_response(404, "Not Found", b"not found")
+                                }
+                            }
                         }
-                        None => {
-                            self.errors += 1;
-                            render_response(404, "Not Found", b"not found")
-                        }
-                    },
+                    }
                     Err(_) => {
                         self.errors += 1;
                         conn.closing = true;
@@ -226,7 +295,7 @@ impl Httpd {
         }
         // Always try to flush: an EPOLLOUT edge (tx window reopened)
         // lands here, and freshly queued responses go out immediately.
-        Self::flush_conn(&mut self.queue, stack, conn);
+        Self::flush_conn(&mut self.queue, stack, conn, &self.blob_src);
         // After the peer's FIN no bytes can complete a partial request,
         // so any non-request residue in `buf` is discardable garbage.
         if stack.tcp_peer_closed(conn.sock) && find_header_end(&conn.buf).is_none() {
@@ -238,15 +307,43 @@ impl Httpd {
     /// happens once per event-loop turn in [`poll`](Self::poll)),
     /// keeping what the send buffer refuses (closed tx window) and
     /// adjusting `EPOLLOUT` interest so the event loop resumes exactly
-    /// when it can progress.
-    fn flush_conn(queue: &mut EventQueue, stack: &mut NetStack, conn: &mut Conn) {
+    /// when it can progress. After the header backlog drains, an
+    /// in-flight blob body streams directly from the shared source
+    /// buffer into the send queue — the only copy the server makes.
+    fn flush_conn(queue: &mut EventQueue, stack: &mut NetStack, conn: &mut Conn, blob: &[u8]) {
         if !crate::flush_partial_queued(stack, conn.sock, &mut conn.out) {
             // Connection is gone; nothing more can be delivered.
             conn.closing = true;
+            conn.blob = None;
+        } else if conn.out.is_empty() {
+            if let Some((size, off)) = conn.blob.as_mut() {
+                let mut dead = false;
+                while *off < *size {
+                    match stack.tcp_send_queued(conn.sock, &blob[*off..*size]) {
+                        Ok(0) | Err(ukplat::Errno::Again) => break,
+                        Ok(n) => *off += n,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                // The blob survives an unrelated `closing` mark (e.g.
+                // the peer half-closed its write side): the promised
+                // Content-Length worth of body still goes out, and
+                // only then does the reap close the socket. Only a
+                // failed connection abandons the stream.
+                if *off >= *size || dead {
+                    conn.blob = None;
+                }
+                if dead {
+                    conn.closing = true;
+                }
+            }
         }
         let token = conn.sock.0 as u64;
         let mut interest = EventMask::IN | EventMask::RDHUP;
-        if !conn.out.is_empty() {
+        if !conn.out.is_empty() || conn.blob.is_some() {
             interest |= EventMask::OUT;
         }
         let _ = queue.ctl_mod(token, interest);
@@ -257,7 +354,7 @@ impl Httpd {
         let done: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.closing && c.out.is_empty())
+            .filter(|(_, c)| c.closing && c.out.is_empty() && c.blob.is_none())
             .map(|(t, _)| *t)
             .collect();
         for token in done {
@@ -271,6 +368,20 @@ impl Httpd {
 /// Index one past the `\r\n\r\n` terminating the header block.
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// `/blob/<size>` → `Some(size)`; anything else → `None`.
+fn parse_blob_path(path: &str) -> Option<usize> {
+    path.strip_prefix("/blob/")?.parse().ok()
+}
+
+/// Renders just the response status line + headers for a body of
+/// `len` bytes that will be streamed separately.
+fn render_header(code: u16, reason: &str, len: usize) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {code} {reason}\r\nServer: unikraft-rs\r\nContent-Length: {len}\r\nConnection: keep-alive\r\n\r\n"
+    )
+    .into_bytes()
 }
 
 /// Parses the request line, returning the path.
@@ -493,6 +604,181 @@ mod tests {
             .position(|w| w == b"\r\n\r\n")
             .map(|p| p + 4)
             .unwrap_or(0)
+    }
+
+    #[test]
+    fn blob_handler_streams_large_bodies_through_the_fast_path() {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut httpd = Httpd::new(&mut ss, 80, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        const SIZE: usize = 256 * 1024; // Several receive windows.
+        net.stack(ci)
+            .tcp_send(conn, format!("GET /blob/{SIZE} HTTP/1.1\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut received = Vec::new();
+        for _ in 0..2000 {
+            net.run_until_quiet(32);
+            httpd.poll(net.stack(si));
+            if let Ok(chunk) = net.stack(ci).tcp_recv(conn, 64 * 1024) {
+                received.extend_from_slice(&chunk);
+            }
+            if !received.is_empty() {
+                let hdr = header_len(&received);
+                if hdr > 0 && received.len() >= hdr + SIZE {
+                    break;
+                }
+            }
+        }
+        let text_head = String::from_utf8_lossy(&received[..64.min(received.len())]);
+        assert!(text_head.starts_with("HTTP/1.1 200 OK"), "{text_head}");
+        assert!(String::from_utf8_lossy(&received[..header_len(&received)])
+            .contains(&format!("Content-Length: {SIZE}")));
+        let body = &received[header_len(&received)..];
+        assert_eq!(body.len(), SIZE, "whole blob delivered");
+        for (i, &b) in body.iter().enumerate() {
+            assert_eq!(b, blob_byte(i), "blob byte {i}");
+        }
+        assert_eq!(httpd.served(), 1);
+        // The transfer rode super-segments, not per-MSS frames.
+        assert!(net.stack(si).stats().tso_super_frames > 0);
+    }
+
+    #[test]
+    fn requests_pipelined_behind_a_blob_are_served_in_order() {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut httpd = Httpd::new(&mut ss, 80, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        const SIZE: usize = 100 * 1024;
+        // A blob request and an index request in one write: the index
+        // response must come after the full blob body.
+        net.stack(ci)
+            .tcp_send(
+                conn,
+                format!("GET /blob/{SIZE} HTTP/1.1\r\n\r\nGET /index.html HTTP/1.1\r\n\r\n")
+                    .as_bytes(),
+            )
+            .unwrap();
+        let mut received = Vec::new();
+        for _ in 0..2000 {
+            net.run_until_quiet(32);
+            httpd.poll(net.stack(si));
+            if let Ok(chunk) = net.stack(ci).tcp_recv(conn, 64 * 1024) {
+                received.extend_from_slice(&chunk);
+            }
+            if httpd.served() == 2 && net.stack(si).tcp_send_capacity(conn) > 0 {
+                // Both responses queued; drain the tail.
+                let hdr1 = header_len(&received);
+                if hdr1 > 0 && received.len() >= hdr1 + SIZE + 100 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(httpd.served(), 2, "both requests served");
+        let hdr1 = header_len(&received);
+        let body1 = &received[hdr1..hdr1 + SIZE];
+        for (i, &b) in body1.iter().enumerate() {
+            assert_eq!(b, blob_byte(i), "blob byte {i} precedes the second response");
+        }
+        let rest = &received[hdr1 + SIZE..];
+        assert!(
+            String::from_utf8_lossy(rest).starts_with("HTTP/1.1 200 OK"),
+            "index response follows the blob intact"
+        );
+    }
+
+    #[test]
+    fn blob_completes_after_peer_half_close() {
+        // A client that sends its request and immediately shuts its
+        // write side (FIN) must still receive the entire promised
+        // Content-Length body — a half-close is not an abort.
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut httpd = Httpd::new(&mut ss, 80, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        const SIZE: usize = 200 * 1024; // Several receive windows.
+        net.stack(ci)
+            .tcp_send(conn, format!("GET /blob/{SIZE} HTTP/1.1\r\n\r\n").as_bytes())
+            .unwrap();
+        net.stack(ci).tcp_close(conn).unwrap(); // Half-close right away.
+        let mut received = Vec::new();
+        for _ in 0..2000 {
+            net.run_until_quiet(32);
+            httpd.poll(net.stack(si));
+            if let Ok(chunk) = net.stack(ci).tcp_recv(conn, 64 * 1024) {
+                received.extend_from_slice(&chunk);
+            }
+            let hdr = header_len(&received);
+            if hdr > 0 && received.len() >= hdr + SIZE {
+                break;
+            }
+        }
+        let hdr = header_len(&received);
+        assert_eq!(
+            received.len() - hdr,
+            SIZE,
+            "full body delivered despite the early FIN"
+        );
+        let body = &received[hdr..];
+        for (i, &b) in body.iter().enumerate() {
+            assert_eq!(b, blob_byte(i), "blob byte {i}");
+        }
+        assert_eq!(httpd.conn_count(), 0, "connection reaped after the body");
+    }
+
+    #[test]
+    fn oversized_blob_requests_are_rejected() {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut httpd = Httpd::new(&mut ss, 80, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        for _ in 0..4 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        net.stack(ci)
+            .tcp_send(conn, format!("GET /blob/{} HTTP/1.1\r\n\r\n", BLOB_MAX + 1).as_bytes())
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        let resp = net.stack(ci).tcp_recv(conn, 4096).unwrap();
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+        assert_eq!(httpd.errors(), 1);
     }
 
     #[test]

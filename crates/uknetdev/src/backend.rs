@@ -122,17 +122,21 @@ impl HostBackend {
         let mut cpu_cycles = 0u64;
         let mut wire_ns = 0u64;
         for p in pkts {
+            // A GSO chain is one descriptor here but its full byte
+            // count still crosses the host (and, cut into MSS frames,
+            // the wire).
+            let len = p.chain_len();
             match self.kind {
                 VhostKind::VhostNet => {
-                    cpu_cycles += cost::VHOST_NET_PKT_CYCLES + cost::copy_cost_cycles(p.len());
+                    cpu_cycles += cost::VHOST_NET_PKT_CYCLES + cost::copy_cost_cycles(len);
                 }
                 VhostKind::VhostUser => {
                     cpu_cycles += cost::VHOST_USER_PKT_CYCLES;
                 }
             }
-            wire_ns += self.wire.frame_ns(p.len());
+            wire_ns += self.wire.frame_ns(len);
             self.tx_packets += 1;
-            self.tx_bytes += p.len() as u64;
+            self.tx_bytes += len as u64;
         }
         // The backend pipeline overlaps CPU work and wire time: the burst
         // costs whichever is longer.

@@ -22,6 +22,21 @@ pub struct NetDevInfo {
     pub max_mtu: usize,
     /// Whether checksum offload is available.
     pub tx_csum_offload: bool,
+    /// Whether TSO/GSO segmentation offload is available
+    /// (`VIRTIO_NET_F_HOST_TSO4` shape): the device accepts one
+    /// oversized TCP frame per send and the host cuts MSS frames.
+    pub tso: bool,
+    /// Whether the device can *deliver* oversized TCP frames to the
+    /// guest (`VIRTIO_NET_F_GUEST_TSO4` + `VIRTIO_NET_F_MRG_RXBUF`
+    /// shape): a peer's super-segment arrives whole as a buffer chain
+    /// instead of being cut into MSS frames at the host boundary —
+    /// the guest-to-guest fast path. Requires RX checksum offload
+    /// (the spec ties `GUEST_TSO4` to `GUEST_CSUM`).
+    pub guest_tso: bool,
+    /// Whether the device marks received frames checksum-validated
+    /// (`VIRTIO_NET_F_GUEST_CSUM` shape), letting the stack skip
+    /// software verification.
+    pub rx_csum_offload: bool,
     /// Maximum descriptors per ring.
     pub max_ring_size: usize,
 }

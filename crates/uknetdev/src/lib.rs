@@ -32,13 +32,14 @@
 pub mod backend;
 pub mod csum;
 pub mod dev;
+pub mod gso;
 pub mod netbuf;
 pub mod ring;
 pub mod virtio;
 
 pub use backend::{HostBackend, VhostKind, Wire};
 pub use dev::{BurstStats, NetDev, NetDevConf, NetDevInfo, QueueMode};
-pub use netbuf::{Netbuf, NetbufPool};
+pub use netbuf::{GsoRequest, Netbuf, NetbufPool};
 pub use ring::DescRing;
 pub use virtio::VirtioNet;
 

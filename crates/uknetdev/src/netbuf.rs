@@ -56,7 +56,32 @@
 //! the *device* finishes the Internet checksum at `tx_burst` time —
 //! checksum offload without any extra buffer walk.
 //!
+//! # Scatter-gather chains
+//!
+//! A payload larger than one buffer travels as a *chain*: one head
+//! netbuf (headers in its headroom, the first payload bytes in its
+//! body) owning a list of fragment buffers ([`chain_append`]) that
+//! hold the rest. This is `uk_netbuf`'s `next`/`prev` scatter-gather
+//! list recast for ownership semantics: instead of intrusive sibling
+//! pointers, the head *owns* its fragments, so a chain moves through
+//! rings, staging vectors and the wire as one `Netbuf` value and can
+//! never be torn apart by a partial transfer. Chain invariants:
+//!
+//! - only the **head** carries protocol headers, a [`CsumRequest`] or a
+//!   [`GsoRequest`]; fragments are raw payload extents (no headroom);
+//! - fragments never nest: appending flattens ([`chain_append`] panics
+//!   on a fragment that itself has fragments);
+//! - [`len`](Netbuf::len) stays the *head's* extent; chain-aware
+//!   accounting uses [`chain_len`]/[`chain_segments`];
+//! - recycling is whole-chain: the holder pops every fragment back to
+//!   its owning pool before returning the head (pools pre-reserve the
+//!   fragment list's capacity so steady-state chain building performs
+//!   no heap allocation).
+//!
 //! [`append`]: Netbuf::append
+//! [`chain_append`]: Netbuf::chain_append
+//! [`chain_len`]: Netbuf::chain_len
+//! [`chain_segments`]: Netbuf::chain_segments
 //! [`push_header`]: Netbuf::push_header
 //! [`push_header_uninit`]: Netbuf::push_header_uninit
 //! [`pull_header`]: Netbuf::pull_header
@@ -86,10 +111,29 @@ static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 /// constantly, and its size is hot-path relevant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CsumRequest {
-    /// Bytes covered, counted back from the end of the payload.
+    /// Bytes covered, counted back from the end of the payload (the
+    /// end of the *chain* payload for a scatter-gather chain).
     pub region_len: u32,
     /// Offset of the 16-bit checksum field within the region.
     pub field_off: u16,
+}
+
+/// A TSO/GSO segmentation-offload request riding on a netbuf — the
+/// role of `virtio_net_hdr`'s `gso_type`/`gso_size` pair
+/// (`VIRTIO_NET_F_HOST_TSO4` shape).
+///
+/// The stack hands the device one oversized TCP frame (usually a
+/// scatter-gather chain) whose headers describe the whole
+/// super-segment; the host side cuts it into wire frames of at most
+/// `mss` payload bytes each, replicating and fixing up the IPv4/TCP
+/// headers and completing per-frame checksums (see [`crate::gso`]).
+/// A GSO frame must also carry a [`CsumRequest`] — virtio requires
+/// `VIRTIO_NET_F_CSUM` alongside TSO for exactly this reason: the
+/// per-frame checksums only exist after the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GsoRequest {
+    /// Maximum TCP payload bytes per cut frame.
+    pub mss: u16,
 }
 
 /// A packet buffer with driver metadata.
@@ -107,6 +151,14 @@ pub struct Netbuf {
     pool_id: u64,
     /// Pending checksum-offload request, if any.
     csum: Option<CsumRequest>,
+    /// Pending segmentation-offload request, if any (head of a chain).
+    gso: Option<GsoRequest>,
+    /// RX: the wire/device validated this frame's checksums
+    /// (`VIRTIO_NET_F_GUEST_CSUM` shape); the stack may skip software
+    /// verification.
+    csum_verified: bool,
+    /// Scatter-gather fragments owned by this (head) buffer.
+    frags: Vec<Netbuf>,
 }
 
 impl Netbuf {
@@ -123,6 +175,9 @@ impl Netbuf {
             pool_slot: None,
             pool_id: 0,
             csum: None,
+            gso: None,
+            csum_verified: false,
+            frags: Vec::new(),
         }
     }
 
@@ -252,12 +307,19 @@ impl Netbuf {
         self.pool_slot.is_some()
     }
 
-    /// Resets to an empty buffer with `headroom` reserved.
+    /// Resets to an empty buffer with `headroom` reserved. The caller
+    /// must have popped any chain fragments first ([`pop_frag`]) —
+    /// resetting cannot return them to their pool.
+    ///
+    /// [`pop_frag`]: Netbuf::pop_frag
     pub fn reset(&mut self, headroom: usize) {
         assert!(headroom <= self.data.len());
+        debug_assert!(self.frags.is_empty(), "reset with live chain fragments");
         self.offset = headroom;
         self.len = 0;
         self.csum = None;
+        self.gso = None;
+        self.csum_verified = false;
     }
 
     /// Attaches a checksum-offload request: the device must compute
@@ -266,10 +328,10 @@ impl Netbuf {
     ///
     /// # Panics
     ///
-    /// Panics if the region exceeds the payload or the field does not
-    /// fit inside it.
+    /// Panics if the region exceeds the (chain) payload or the field
+    /// does not fit inside it.
     pub fn request_csum(&mut self, region_len: usize, field_off: usize) {
-        assert!(region_len <= self.len, "csum region beyond payload");
+        assert!(region_len <= self.chain_len(), "csum region beyond payload");
         assert!(field_off + 2 <= region_len, "csum field outside region");
         self.csum = Some(CsumRequest {
             region_len: region_len as u32,
@@ -286,6 +348,88 @@ impl Netbuf {
     /// this when it completes the checksum).
     pub fn take_csum_request(&mut self) -> Option<CsumRequest> {
         self.csum.take()
+    }
+
+    /// Attaches a segmentation-offload request: the host side must cut
+    /// this (chained) frame into wire frames of at most `mss` payload
+    /// bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mss` is zero.
+    pub fn request_gso(&mut self, mss: u16) {
+        assert!(mss > 0, "GSO with a zero mss");
+        self.gso = Some(GsoRequest { mss });
+    }
+
+    /// The pending segmentation-offload request, if any.
+    pub fn gso_request(&self) -> Option<GsoRequest> {
+        self.gso
+    }
+
+    /// Takes the pending segmentation-offload request (whoever cuts
+    /// the frame calls this).
+    pub fn take_gso_request(&mut self) -> Option<GsoRequest> {
+        self.gso.take()
+    }
+
+    /// Marks this received frame's checksums as validated by the
+    /// wire/device (`VIRTIO_NET_F_GUEST_CSUM`): the stack may skip
+    /// software verification.
+    pub fn mark_csum_verified(&mut self) {
+        self.csum_verified = true;
+    }
+
+    /// Whether the wire/device validated this frame's checksums.
+    pub fn csum_verified(&self) -> bool {
+        self.csum_verified
+    }
+
+    // --- Scatter-gather chains ---------------------------------------
+
+    /// Appends a fragment to this buffer's chain. The fragment's
+    /// payload extends the chain payload; its headroom is dead space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frag` itself has fragments (chains never nest).
+    pub fn chain_append(&mut self, frag: Netbuf) {
+        assert!(frag.frags.is_empty(), "chain fragments never nest");
+        self.frags.push(frag);
+    }
+
+    /// Whether this buffer heads a chain.
+    pub fn has_frags(&self) -> bool {
+        !self.frags.is_empty()
+    }
+
+    /// Buffers in the chain (1 for an unchained buffer).
+    pub fn frag_count(&self) -> usize {
+        1 + self.frags.len()
+    }
+
+    /// Total payload bytes across the whole chain.
+    pub fn chain_len(&self) -> usize {
+        self.len + self.frags.iter().map(|f| f.len).sum::<usize>()
+    }
+
+    /// The chain payload as its contiguous extents, head first.
+    pub fn chain_segments(&self) -> impl Iterator<Item = &[u8]> {
+        std::iter::once(self.payload()).chain(self.frags.iter().map(|f| f.payload()))
+    }
+
+    /// Pops the last fragment off the chain (recycling walks the chain
+    /// with this until `None`, returning each buffer to its pool; the
+    /// fragment list's capacity stays with the head for reuse).
+    pub fn pop_frag(&mut self) -> Option<Netbuf> {
+        self.frags.pop()
+    }
+
+    /// Pre-reserves capacity for `n` chain fragments (pools call this
+    /// once at construction so steady-state chain building never
+    /// allocates).
+    pub fn reserve_frags(&mut self, n: usize) {
+        self.frags.reserve(n);
     }
 }
 
@@ -313,6 +457,19 @@ pub struct NetbufPool {
 impl NetbufPool {
     /// Pre-allocates `count` buffers of `cap` bytes with `headroom`.
     pub fn new(count: usize, cap: usize, headroom: usize) -> Self {
+        Self::with_chain_capacity(count, cap, headroom, 0)
+    }
+
+    /// Like [`new`](Self::new), but every buffer pre-reserves room for
+    /// `chain_frags` scatter-gather fragments, so chain heads built
+    /// from this pool never grow their fragment list on the hot path
+    /// (the capacity survives recycling).
+    pub fn with_chain_capacity(
+        count: usize,
+        cap: usize,
+        headroom: usize,
+        chain_frags: usize,
+    ) -> Self {
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let mut bufs = Vec::with_capacity(count);
         let mut free = Vec::with_capacity(count);
@@ -320,6 +477,7 @@ impl NetbufPool {
             let mut nb = Netbuf::alloc(cap, headroom);
             nb.pool_slot = Some(slot);
             nb.pool_id = id;
+            nb.reserve_frags(chain_frags);
             bufs.push(Some(nb));
             free.push(slot);
         }
@@ -345,17 +503,34 @@ impl NetbufPool {
         nb.pool_slot.is_some() && nb.pool_id == self.id
     }
 
-    /// Returns a buffer to its slot.
+    /// Returns a buffer to its slot. For a chain head, pop the
+    /// fragments first (or use [`give_back_chain`](Self::give_back_chain)).
     ///
     /// # Panics
     ///
-    /// Panics if the buffer is not from this pool or the slot is occupied.
+    /// Panics if the buffer is not from this pool, the slot is
+    /// occupied, or the buffer still owns chain fragments.
     pub fn give_back(&mut self, nb: Netbuf) {
         let slot = nb.pool_slot.expect("netbuf is not pooled");
         assert!(nb.pool_id == self.id, "netbuf belongs to another pool");
+        assert!(nb.frags.is_empty(), "give_back with live chain fragments");
         assert!(self.bufs[slot].is_none(), "double give_back for slot {slot}");
         self.bufs[slot] = Some(nb);
         self.free.push(slot);
+    }
+
+    /// Returns a whole chain to this pool: every fragment and then the
+    /// head. Fragments not owned by this pool (heap buffers, foreign
+    /// pools) are dropped.
+    pub fn give_back_chain(&mut self, mut nb: Netbuf) {
+        while let Some(frag) = nb.pop_frag() {
+            if self.owns(&frag) {
+                self.give_back(frag);
+            }
+        }
+        if self.owns(&nb) {
+            self.give_back(nb);
+        }
     }
 
     /// Buffers currently available.
@@ -499,6 +674,66 @@ mod tests {
         let mut p2 = NetbufPool::new(1, 128, 0);
         let a = p1.take().unwrap();
         p2.give_back(a);
+    }
+
+    #[test]
+    fn chain_append_and_len_and_segments() {
+        let mut head = Netbuf::alloc(128, 32);
+        head.set_payload(b"head");
+        let mut f1 = Netbuf::alloc(64, 0);
+        f1.set_payload(b"-mid-");
+        let mut f2 = Netbuf::alloc(64, 0);
+        f2.set_payload(b"tail");
+        head.chain_append(f1);
+        head.chain_append(f2);
+        assert_eq!(head.frag_count(), 3);
+        assert!(head.has_frags());
+        assert_eq!(head.len(), 4, "len stays the head's extent");
+        assert_eq!(head.chain_len(), 13);
+        let all: Vec<u8> = head.chain_segments().flatten().copied().collect();
+        assert_eq!(all, b"head-mid-tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "never nest")]
+    fn nested_chains_panic() {
+        let mut inner = Netbuf::alloc(64, 0);
+        inner.chain_append(Netbuf::alloc(64, 0));
+        let mut head = Netbuf::alloc(64, 0);
+        head.chain_append(inner);
+    }
+
+    #[test]
+    fn chain_recycles_whole_to_owning_pool() {
+        let mut pool = NetbufPool::with_chain_capacity(4, 128, 16, 4);
+        let mut head = pool.take().unwrap();
+        head.chain_append(pool.take().unwrap());
+        head.chain_append(pool.take().unwrap());
+        assert_eq!(pool.available(), 1);
+        pool.give_back_chain(head);
+        assert_eq!(pool.available(), 4, "head and every fragment returned");
+    }
+
+    #[test]
+    fn gso_request_rides_and_is_taken() {
+        let mut nb = Netbuf::alloc(128, 0);
+        nb.set_payload(b"data");
+        assert!(nb.gso_request().is_none());
+        nb.request_gso(1460);
+        assert_eq!(nb.gso_request(), Some(GsoRequest { mss: 1460 }));
+        assert_eq!(nb.take_gso_request(), Some(GsoRequest { mss: 1460 }));
+        assert!(nb.gso_request().is_none());
+    }
+
+    #[test]
+    fn reset_clears_gso_and_verified_mark() {
+        let mut nb = Netbuf::alloc(128, 16);
+        nb.set_payload(b"x");
+        nb.request_gso(100);
+        nb.mark_csum_verified();
+        nb.reset(16);
+        assert!(nb.gso_request().is_none());
+        assert!(!nb.csum_verified());
     }
 
     #[test]

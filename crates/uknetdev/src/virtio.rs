@@ -52,6 +52,15 @@ pub struct VirtioNet {
     rxqs: Vec<RxQueue>,
     txqs: Vec<TxQueue>,
     configured: bool,
+    /// Whether `VIRTIO_NET_F_HOST_TSO4` is negotiated (tests flip this
+    /// off to exercise the stack's software-segmentation fallback).
+    tso: bool,
+    /// Whether `VIRTIO_NET_F_GUEST_TSO4`/`MRG_RXBUF` are negotiated
+    /// (tests flip this off to force the host-side MSS cut on
+    /// delivery).
+    guest_tso: bool,
+    /// GSO super-frames accepted on TX.
+    tso_frames: u64,
 }
 
 impl std::fmt::Debug for VirtioNet {
@@ -73,7 +82,28 @@ impl VirtioNet {
             rxqs: Vec::new(),
             txqs: Vec::new(),
             configured: false,
+            tso: true,
+            guest_tso: true,
+            tso_frames: 0,
         }
+    }
+
+    /// Enables/disables TSO feature negotiation (ablation and the
+    /// software-segmentation fallback path).
+    pub fn set_tso(&mut self, on: bool) {
+        self.tso = on;
+    }
+
+    /// Enables/disables big-receive feature negotiation
+    /// (`VIRTIO_NET_F_GUEST_TSO4`): off forces the host to cut MSS
+    /// frames on delivery to this device.
+    pub fn set_guest_tso(&mut self, on: bool) {
+        self.guest_tso = on;
+    }
+
+    /// GSO super-frames accepted on TX so far.
+    pub fn tso_frames(&self) -> u64 {
+        self.tso_frames
     }
 
     /// Host-side injection of received frames (the test/wire harness).
@@ -173,6 +203,9 @@ impl NetDev for VirtioNet {
             max_tx_queues: 16,
             max_mtu: crate::MTU,
             tx_csum_offload: true,
+            tso: self.tso,
+            guest_tso: self.guest_tso,
+            rx_csum_offload: true,
             max_ring_size: 1024,
         }
     }
@@ -232,11 +265,26 @@ impl NetDev for VirtioNet {
         // nothing bounces back to the caller.
         let sent = pkts.len().min(MAX_BURST).min(q.ring.room());
         let mut bytes = 0;
+        let mut tso_frames = 0;
         for mut nb in pkts.drain(..sent) {
-            // VIRTIO_NET_F_CSUM: complete a partial transport checksum
-            // before the frame leaves the guest.
-            if let Some(req) = nb.take_csum_request() {
-                let start = nb.len() - req.region_len as usize;
+            if nb.gso_request().is_some() {
+                // VIRTIO_NET_F_HOST_TSO4: an oversized TCP frame whose
+                // MSS cutting — and per-frame checksum completion —
+                // happens on the host side of the ring (see
+                // `crate::gso`). The request rides the buffer through
+                // to the host cutter; its CsumRequest stays unserviced
+                // here because the per-frame checksums only exist
+                // after the cut.
+                debug_assert!(self.tso, "GSO frame on a device without TSO");
+                debug_assert!(
+                    nb.csum_request().is_some(),
+                    "TSO requires checksum offload (VIRTIO_NET_F_CSUM)"
+                );
+                tso_frames += 1;
+            } else if let Some(req) = nb.take_csum_request() {
+                // VIRTIO_NET_F_CSUM: complete a partial transport
+                // checksum before the frame leaves the guest.
+                let start = nb.chain_len() - req.region_len as usize;
                 let field = start + req.field_off as usize;
                 // The field holds the folded pseudo-header sum, so
                 // summing the region as-is yields the full checksum. A
@@ -256,9 +304,10 @@ impl NetDev for VirtioNet {
                     "tx_burst: frame without csum offload carries a bad checksum"
                 );
             }
-            bytes += nb.len();
+            bytes += nb.chain_len();
             q.ring.push(nb).expect("room checked");
         }
+        self.tso_frames += tso_frames;
         // Notify / drain the backend.
         if sent > 0 {
             if self.backend.needs_kick() {

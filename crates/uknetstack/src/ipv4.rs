@@ -83,13 +83,25 @@ impl Ipv4Header {
 
     /// Parses and checksum-verifies a packet; returns header + payload.
     pub fn decode(data: &[u8]) -> Result<(Ipv4Header, &[u8])> {
+        Self::decode_inner(data, true)
+    }
+
+    /// [`decode`](Self::decode) for a frame the wire/device already
+    /// marked checksum-validated (`VIRTIO_NET_F_GUEST_CSUM`):
+    /// structural validation only, the header checksum pass is
+    /// skipped.
+    pub fn decode_trusted(data: &[u8]) -> Result<(Ipv4Header, &[u8])> {
+        Self::decode_inner(data, false)
+    }
+
+    fn decode_inner(data: &[u8], verify_csum: bool) -> Result<(Ipv4Header, &[u8])> {
         if data.len() < IPV4_HDR_LEN {
             return Err(Errno::Inval);
         }
         if data[0] != 0x45 {
             return Err(Errno::ProtoNoSupport); // v4 without options only
         }
-        if inet_checksum(&data[..IPV4_HDR_LEN], 0) != 0 {
+        if verify_csum && inet_checksum(&data[..IPV4_HDR_LEN], 0) != 0 {
             return Err(Errno::Io); // Corrupt header.
         }
         let total = u16::from_be_bytes([data[2], data[3]]) as usize;

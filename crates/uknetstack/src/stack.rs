@@ -37,10 +37,23 @@
 //!   ([`udp_recv_into`]/[`tcp_recv_into`]) and buffers return to the
 //!   pool.
 //!
+//! - **Bulk transfers** ride the large-transfer fast path:
+//!   [`tcp_send_queued`] writes application bytes once into pooled
+//!   buffers on the connection's zero-copy send queue; a flush moves
+//!   a window's worth of them out as one scatter-gather
+//!   **super-segment** chain carrying a `GsoRequest` (TSO,
+//!   `VIRTIO_NET_F_HOST_TSO4`), and a peer that negotiated big
+//!   receive (`VIRTIO_NET_F_GUEST_TSO4`) gets the chain delivered
+//!   whole — one demux, one ingest, one coalesced ACK for what would
+//!   otherwise be ~40 per-MSS frames' worth of per-segment work.
+//!   Peers without the features fall back transparently: the host
+//!   side cuts MSS frames (`uknetdev::gso`), and with `tso` off the
+//!   stack segments per-MSS in software (the ablation baseline).
+//!
 //! In steady state the rx/tx hot path performs **zero heap
-//! allocations per packet** — per-frame *and* per-burst, asserted by
-//! the `zero_alloc` integration test; all scratch vectors live in the
-//! stack and are reused across turns.
+//! allocations per packet** — per-frame, per-burst *and* per
+//! 1 MB bulk transfer, asserted by the `zero_alloc` integration test;
+//! all scratch vectors live in the stack and are reused across turns.
 //!
 //! [`harvest_tx`]: NetStack::harvest_tx
 //! [`recycle`]: NetStack::recycle
@@ -65,7 +78,7 @@ use crate::arp::{ArpCache, ArpOp, ArpPacket};
 use crate::eth::{EthHeader, EtherType, ETH_HDR_LEN};
 use crate::icmp::{self, ICMP_ECHO_LEN};
 use crate::ipv4::{IpProto, Ipv4Header, IPV4_HDR_LEN};
-use crate::tcp::{Tcb, TcpHeader, TcpState, TCP_HDR_LEN};
+use crate::tcp::{Tcb, TcpHeader, TcpState, MSS, TCP_HDR_LEN};
 use crate::udp::{UdpHeader, UDP_HDR_LEN};
 use crate::{Endpoint, Ipv4Addr, Mac};
 
@@ -76,6 +89,11 @@ pub const TX_HEADROOM: usize = 64;
 
 /// Storage size of each packet buffer (MTU + headers, rounded up).
 pub const BUF_CAP: usize = 2048;
+
+/// Default ceiling on one GSO super-segment's TCP payload (Linux's
+/// classic `GSO_MAX_SIZE` neighborhood; comfortably under the 16-bit
+/// IPv4 total-length limit with headers included).
+pub const GSO_MAX_SIZE: usize = 61440;
 
 /// Most datagrams a UDP socket queues before new arrivals are dropped
 /// (bounds how much of the pool a flooded socket can pin).
@@ -130,6 +148,31 @@ pub struct StackConfig {
     /// (effective only when the device advertises the capability;
     /// disable for the software-checksum ablation).
     pub tx_csum_offload: bool,
+    /// Whether to offload TCP segmentation (`VIRTIO_NET_F_HOST_TSO4`):
+    /// bulk sends leave the stack as one super-segment chain per
+    /// window's worth of data and the host cuts the MSS frames.
+    /// Effective only when the device advertises TSO *and* transmit
+    /// checksum offload is on (the per-frame checksums only exist
+    /// after the cut); otherwise the stack falls back to software
+    /// per-MSS segmentation. Disable for the software-segmentation
+    /// ablation.
+    pub tso: bool,
+    /// Ceiling on one super-segment's payload when `tso` is on.
+    pub gso_max_size: usize,
+    /// Whether to trust the wire/device's checksum-validated mark on
+    /// received frames (`VIRTIO_NET_F_GUEST_CSUM`) and skip software
+    /// verification. Unmarked frames are always verified. Disable for
+    /// the software-verification ablation.
+    pub rx_csum_offload: bool,
+    /// Whether to accept oversized TCP frames delivered whole as
+    /// buffer chains (`VIRTIO_NET_F_GUEST_TSO4` + `MRG_RXBUF`): a
+    /// peer's super-segment crosses the wire as one chain — one demux,
+    /// one ingest — instead of being cut into MSS frames at the host
+    /// boundary. Effective only with `rx_csum_offload` on (the spec
+    /// ties `GUEST_TSO4` to `GUEST_CSUM`); without it the host cuts.
+    pub guest_tso: bool,
+    /// Maximum segment size for this stack's TCP connections.
+    pub mss: usize,
 }
 
 impl StackConfig {
@@ -141,6 +184,11 @@ impl StackConfig {
             use_pools: true,
             pool_size: 512,
             tx_csum_offload: true,
+            tso: true,
+            gso_max_size: GSO_MAX_SIZE,
+            rx_csum_offload: true,
+            guest_tso: true,
+            mss: MSS,
         }
     }
 }
@@ -205,6 +253,18 @@ pub struct StackStats {
     pub tx_bursts: u64,
     /// Frames whose transport checksum was offloaded to the device.
     pub csum_offloaded: u64,
+    /// GSO super-segments handed to the device for TSO cutting (each
+    /// counts once in `tx_frames` but covers many wire frames).
+    pub tso_super_frames: u64,
+    /// Payload bytes that left in GSO super-segments.
+    pub tso_super_bytes: u64,
+    /// Received frames whose software checksum verification was
+    /// skipped because the wire/device marked them validated.
+    pub rx_csum_skipped: u64,
+    /// Super-segments received whole as buffer chains (big receive);
+    /// each counts once in `rx_frames` but covers many MSS worth of
+    /// stream.
+    pub rx_super_frames: u64,
     /// Frames dropped (parse errors, unknown ports, full queues).
     pub dropped: u64,
 }
@@ -246,6 +306,16 @@ pub struct NetStack {
     /// Whether TCP/UDP TX checksums are completed by the device
     /// (config wish ∧ device capability).
     csum_offload: bool,
+    /// Whether bulk TCP output leaves as GSO super-segments for the
+    /// device to cut (config wish ∧ device TSO ∧ `csum_offload`).
+    tso: bool,
+    /// Whether software checksum verification is skipped for received
+    /// frames the wire marked validated (config wish ∧ device
+    /// capability).
+    rx_csum_offload: bool,
+    /// Whether peers' super-segments are delivered whole as chains
+    /// (config wish ∧ device capability ∧ `rx_csum_offload`).
+    guest_tso: bool,
     /// Per-burst next-hop memo: `(dst IP, MAC)` pairs resolved during
     /// the current burst sweep (cleared each `pump` and on ARP-table
     /// updates; reused storage).
@@ -265,12 +335,40 @@ impl std::fmt::Debug for NetStack {
 }
 
 impl NetStack {
-    /// Creates a stack over a configured device.
-    pub fn new(config: StackConfig, dev: Box<dyn NetDev>) -> Self {
-        let pool = config
-            .use_pools
-            .then(|| NetbufPool::new(config.pool_size, BUF_CAP, TX_HEADROOM));
-        let csum_offload = config.tx_csum_offload && dev.info().tx_csum_offload;
+    /// Creates a stack over a configured device. Out-of-range tuning
+    /// knobs are clamped to safe values: the MSS to what one wire
+    /// frame and one pooled buffer can carry, the GSO budget to what
+    /// the IPv4 16-bit total-length field admits.
+    pub fn new(mut config: StackConfig, dev: Box<dyn NetDev>) -> Self {
+        config.mss = config.mss.clamp(1, MSS);
+        // Headers + super-segment payload must fit the u16 IPv4 total
+        // length, or the frame would be unparseable on arrival (and
+        // this stack has no retransmission to recover a drop).
+        const GSO_HARD_MAX: usize = 65_535 - IPV4_HDR_LEN - TCP_HDR_LEN;
+        config.gso_max_size = config.gso_max_size.clamp(config.mss, GSO_HARD_MAX);
+        let info = dev.info();
+        let csum_offload = config.tx_csum_offload && info.tx_csum_offload;
+        // TSO requires checksum offload (the cut frames' checksums are
+        // completed host-side); without either capability the stack
+        // falls back to software per-MSS segmentation.
+        let tso = config.tso && info.tso && csum_offload;
+        let rx_csum_offload = config.rx_csum_offload && info.rx_csum_offload;
+        // Big receive needs the checksum-validated mark: a chained
+        // super-frame's checksum was never materialized, so a stack
+        // that insists on software verification must have the host
+        // cut (and checksum) MSS frames instead.
+        let guest_tso = config.guest_tso && info.guest_tso && rx_csum_offload;
+        // Pooled buffers pre-reserve fragment-list capacity for the
+        // largest super-segment chain, so chain building — GSO on TX,
+        // big receive on RX — never grows a Vec on the hot path.
+        let chain_frags = if tso || guest_tso {
+            config.gso_max_size.div_ceil(BUF_CAP) + 2
+        } else {
+            0
+        };
+        let pool = config.use_pools.then(|| {
+            NetbufPool::with_chain_capacity(config.pool_size, BUF_CAP, TX_HEADROOM, chain_frags)
+        });
         NetStack {
             config,
             dev,
@@ -294,6 +392,9 @@ impl NetStack {
             inject_scratch: Vec::new(),
             sync_scratch: Vec::new(),
             csum_offload,
+            tso,
+            rx_csum_offload,
+            guest_tso,
             arp_memo: Vec::with_capacity(ARP_MEMO_SIZE),
             arp_retry_scratch: Vec::new(),
         }
@@ -303,6 +404,28 @@ impl NetStack {
     /// device (configuration wish ∧ device capability).
     pub fn csum_offload(&self) -> bool {
         self.csum_offload
+    }
+
+    /// Whether bulk TCP output leaves as GSO super-segments for TSO
+    /// cutting (configuration wish ∧ device capability ∧ checksum
+    /// offload on).
+    pub fn tso(&self) -> bool {
+        self.tso
+    }
+
+    /// Whether received frames marked checksum-validated by the wire
+    /// skip software verification (configuration wish ∧ device
+    /// capability).
+    pub fn rx_csum_offload(&self) -> bool {
+        self.rx_csum_offload
+    }
+
+    /// Whether this stack accepts peers' super-segments whole, as
+    /// buffer chains (`VIRTIO_NET_F_GUEST_TSO4` shape) — the wire
+    /// consults this to decide between whole-chain delivery and the
+    /// host-side MSS cut.
+    pub fn accepts_super_frames(&self) -> bool {
+        self.guest_tso
     }
 
     /// Our address.
@@ -705,7 +828,8 @@ impl NetStack {
         let local_port = self.next_ephemeral;
         self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(49152);
         self.iss = self.iss.wrapping_add(64_000);
-        let tcb = Tcb::connect(local_port, to.port, self.iss);
+        let mut tcb = Tcb::connect(local_port, to.port, self.iss);
+        tcb.set_mss(self.config.mss);
         let h = self.handle();
         self.conns.insert(h, TcpConn { tcb, remote: to });
         self.tcp_demux.insert((local_port, to), h);
@@ -732,9 +856,23 @@ impl NetStack {
     /// Callers batch any number of sends across any number of
     /// connections inside one event-loop turn, then emit everything as
     /// a single burst with [`flush_output`](Self::flush_output).
+    ///
+    /// The bytes are written **once**, directly into pooled buffers on
+    /// the connection's zero-copy send queue; emission moves those
+    /// buffers into outgoing frames (chained into super-segments on
+    /// the TSO path) without ever re-copying the payload.
     pub fn tcp_send_queued(&mut self, conn: SocketHandle, data: &[u8]) -> Result<usize> {
-        let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
-        let accepted = c.tcb.app_send(data)?;
+        let mut pool = self.pool.take();
+        let r = match self.conns.get_mut(&conn.0) {
+            Some(c) => c.tcb.app_send_with(data, || {
+                pool.as_mut()
+                    .and_then(|p| p.take())
+                    .unwrap_or_else(|| Netbuf::alloc(BUF_CAP, TX_HEADROOM))
+            }),
+            None => Err(Errno::BadF),
+        };
+        self.pool = pool;
+        let accepted = r?;
         self.sync_one(conn.0);
         Ok(accepted)
     }
@@ -836,15 +974,17 @@ impl NetStack {
         }
     }
 
-    /// Returns a finished buffer to the stack's pool (heap and foreign
-    /// buffers are simply dropped). Everyone who takes a netbuf out of
-    /// this stack — the wire harness via [`harvest_tx`](Self::harvest_tx),
-    /// readers via the `*_recv_into` paths — hands it back here.
-    pub fn recycle(&mut self, nb: Netbuf) {
+    /// Returns a finished buffer — or a whole scatter-gather chain —
+    /// to the stack's pool (heap and foreign buffers are simply
+    /// dropped). Everyone who takes a netbuf out of this stack — the
+    /// wire harness via [`harvest_tx`](Self::harvest_tx), readers via
+    /// the `*_recv_into` paths — hands it back here.
+    pub fn recycle(&mut self, mut nb: Netbuf) {
         if let Some(pool) = self.pool.as_mut() {
-            if pool.owns(&nb) {
-                pool.give_back(nb);
-            }
+            pool.give_back_chain(nb);
+        } else {
+            // No pool: still unlink the chain so fragments drop flat.
+            while nb.pop_frag().is_some() {}
         }
     }
 
@@ -978,29 +1118,61 @@ impl NetStack {
     /// Emits all pending TCP output: each segment is cut from the send
     /// buffer straight into a pooled netbuf (payload first, then
     /// TCP/IP headers prepended in place) — no intermediate `Vec`s.
+    ///
+    /// With TSO on, a connection's whole sendable window leaves as
+    /// *one* frame per `gso_max_size` bytes: the payload streams into
+    /// a scatter-gather chain, the headers describe the super-segment,
+    /// and a [`GsoRequest`](uknetdev::netbuf::GsoRequest) tells the
+    /// host side to cut the per-MSS wire frames — the per-segment
+    /// header encode / checksum stamp / staging / ring costs are paid
+    /// once per super-segment instead of once per MSS.
     fn flush_tcp(&mut self) -> Result<()> {
         let mut staged = std::mem::take(&mut self.tcp_stage);
-        let mut pool = self.pool.take();
+        // Both the TCB's buffer supplier and the frame finisher need
+        // the pool, so it lives in a local cell for the duration.
+        let pool = std::cell::RefCell::new(self.pool.take());
+        let take_buf = || {
+            pool.borrow_mut()
+                .as_mut()
+                .and_then(|p| p.take())
+                .unwrap_or_else(|| Netbuf::alloc(BUF_CAP, TX_HEADROOM))
+        };
         let src_ip = self.config.ip;
         let offload = self.csum_offload;
+        let tso = self.tso;
+        let gso_max = self.config.gso_max_size;
         let mut offloaded = 0u64;
+        let mut supers = 0u64;
+        let mut super_bytes = 0u64;
         for c in self.conns.values_mut() {
             let dst = c.remote.addr;
-            c.tcb.poll_output_with(|header, a, b| {
-                let mut nb = pool
-                    .as_mut()
-                    .and_then(|p| p.take())
-                    .unwrap_or_else(|| Netbuf::alloc(BUF_CAP, TX_HEADROOM));
-                nb.append(a);
-                nb.append(b);
+            let mss = c.tcb.mss();
+            // The GSO budget is floored to a multiple of the MSS so a
+            // super-segment boundary never forces a short wire frame
+            // mid-stream — the cut frames land on exactly the byte
+            // boundaries software segmentation would produce.
+            let max_seg = if tso { (gso_max / mss).max(1) * mss } else { mss };
+            c.tcb.poll_output_chain_with(max_seg, &take_buf, |header, chain| {
+                // Data rides in as the send queue's own buffers —
+                // chained for a super-segment, a single moved buffer
+                // otherwise; control segments get a fresh head.
+                let mut nb = chain.unwrap_or_else(&take_buf);
+                let plen = nb.chain_len();
                 let ip = Ipv4Header {
                     src: src_ip,
                     dst,
                     proto: IpProto::Tcp,
-                    payload_len: TCP_HDR_LEN + a.len() + b.len(),
+                    payload_len: TCP_HDR_LEN + plen,
                     ttl: 64,
                 };
-                if offload {
+                if plen > mss {
+                    // Super-segment: headers on the chain head, MSS
+                    // cutting offloaded to the device's host side.
+                    header.encode_into_gso(&ip, &mut nb, mss as u16);
+                    offloaded += 1;
+                    supers += 1;
+                    super_bytes += plen as u64;
+                } else if offload {
                     header.encode_into_partial(&ip, &mut nb);
                     offloaded += 1;
                 } else {
@@ -1010,8 +1182,10 @@ impl NetStack {
                 staged.push((dst, nb));
             });
         }
-        self.pool = pool;
+        self.pool = pool.into_inner();
         self.stats.csum_offloaded += offloaded;
+        self.stats.tso_super_frames += supers;
+        self.stats.tso_super_bytes += super_bytes;
         for (dst, nb) in staged.drain(..) {
             self.send_ipv4_nb(dst, IpProto::Tcp, nb);
         }
@@ -1149,8 +1323,32 @@ impl NetStack {
     /// Walks an IPv4 frame up the stack in place: the IP header is
     /// pulled, trailing Ethernet padding trimmed, and the same buffer
     /// continues to the transport layer.
+    ///
+    /// A frame the wire/device marked checksum-validated
+    /// (`VIRTIO_NET_F_GUEST_CSUM`) skips the software IPv4-header and
+    /// TCP/UDP checksum passes when RX checksum offload is on;
+    /// unmarked frames are always fully verified.
     fn handle_ipv4(&mut self, mut nb: Netbuf) -> Result<()> {
-        let (ip, body_len) = match Ipv4Header::decode(nb.payload()) {
+        let trusted = self.rx_csum_offload && nb.csum_verified();
+        if nb.has_frags() {
+            // A big-receive super-segment: headers in the head buffer,
+            // payload spanning the chain. Only the trusted wire
+            // delivers these (GUEST_TSO4 requires GUEST_CSUM) — an
+            // unmarked chain is a forgery and is dropped.
+            let r = if trusted {
+                self.handle_super_frame(&nb)
+            } else {
+                Err(Errno::Inval)
+            };
+            self.recycle(nb);
+            return r;
+        }
+        let decoded = if trusted {
+            Ipv4Header::decode_trusted(nb.payload())
+        } else {
+            Ipv4Header::decode(nb.payload())
+        };
+        let (ip, body_len) = match decoded {
             Ok((h, body)) => (h, body.len()),
             Err(e) => {
                 self.recycle(nb);
@@ -1161,12 +1359,15 @@ impl NetStack {
             self.recycle(nb);
             return Err(Errno::Inval);
         }
+        if trusted && matches!(ip.proto, IpProto::Tcp | IpProto::Udp) {
+            self.stats.rx_csum_skipped += 1;
+        }
         nb.pull_header(IPV4_HDR_LEN);
         nb.truncate(body_len);
         match ip.proto {
-            IpProto::Udp => self.handle_udp(&ip, nb),
+            IpProto::Udp => self.handle_udp(&ip, nb, trusted),
             IpProto::Tcp => {
-                let r = self.handle_tcp(&ip, nb.payload());
+                let r = self.handle_tcp(&ip, nb.payload(), trusted);
                 self.recycle(nb);
                 r
             }
@@ -1232,8 +1433,13 @@ impl NetStack {
 
     /// Demultiplexes a UDP datagram: the receive buffer itself (payload
     /// trimmed to the UDP body) moves into the socket's queue.
-    fn handle_udp(&mut self, ip: &Ipv4Header, mut nb: Netbuf) -> Result<()> {
-        let (udp, body_len) = match UdpHeader::decode(ip, nb.payload()) {
+    fn handle_udp(&mut self, ip: &Ipv4Header, mut nb: Netbuf, trusted: bool) -> Result<()> {
+        let decoded = if trusted {
+            UdpHeader::decode_trusted(ip, nb.payload())
+        } else {
+            UdpHeader::decode(ip, nb.payload())
+        };
+        let (udp, body_len) = match decoded {
             Ok((h, body)) => (h, body.len()),
             Err(e) => {
                 self.recycle(nb);
@@ -1265,8 +1471,52 @@ impl NetStack {
         Ok(())
     }
 
-    fn handle_tcp(&mut self, ip: &Ipv4Header, seg: &[u8]) -> Result<()> {
-        let (tcp, payload) = TcpHeader::decode(ip, seg)?;
+    /// Parses and ingests a big-receive super-segment: IPv4 and TCP
+    /// headers sit in the head extent (the wire guarantees this), the
+    /// TCP payload is the rest of the head plus every chain fragment,
+    /// ingested as *one* multi-part segment — one demux, one ACK, no
+    /// per-MSS work anywhere on the receive side.
+    fn handle_super_frame(&mut self, nb: &Netbuf) -> Result<()> {
+        let head = nb.payload();
+        let total = nb.chain_len();
+        if head.len() < IPV4_HDR_LEN + TCP_HDR_LEN || head[0] != 0x45 {
+            return Err(Errno::Inval);
+        }
+        let ip_total = u16::from_be_bytes([head[2], head[3]]) as usize;
+        if ip_total != total || head[9] != 6 {
+            return Err(Errno::Inval); // Chains carry exactly one TCP super-segment.
+        }
+        let ip = Ipv4Header {
+            src: Ipv4Addr(u32::from_be_bytes([head[12], head[13], head[14], head[15]])),
+            dst: Ipv4Addr(u32::from_be_bytes([head[16], head[17], head[18], head[19]])),
+            proto: IpProto::Tcp,
+            payload_len: total - IPV4_HDR_LEN,
+            ttl: head[8],
+        };
+        if ip.dst != self.config.ip {
+            return Err(Errno::Inval);
+        }
+        let (tcp, first) = TcpHeader::decode_trusted(&ip, &head[IPV4_HDR_LEN..])?;
+        let remote = Endpoint::new(ip.src, tcp.src_port);
+        let Some(&h) = self.tcp_demux.get(&(tcp.dst_port, remote)) else {
+            return Err(Errno::ConnRefused);
+        };
+        let Some(c) = self.conns.get_mut(&h) else {
+            return Err(Errno::ConnRefused);
+        };
+        c.tcb
+            .on_segment_parts(&tcp, std::iter::once(first).chain(nb.chain_segments().skip(1)));
+        self.stats.rx_super_frames += 1;
+        self.stats.rx_csum_skipped += 1;
+        Ok(())
+    }
+
+    fn handle_tcp(&mut self, ip: &Ipv4Header, seg: &[u8], trusted: bool) -> Result<()> {
+        let (tcp, payload) = if trusted {
+            TcpHeader::decode_trusted(ip, seg)?
+        } else {
+            TcpHeader::decode(ip, seg)?
+        };
         let remote = Endpoint::new(ip.src, tcp.src_port);
         let key = (tcp.dst_port, remote);
         if let Some(&h) = self.tcp_demux.get(&key) {
@@ -1280,6 +1530,7 @@ impl NetStack {
             if let Some(l) = self.listeners.get_mut(&tcp.dst_port) {
                 let port = l.port;
                 let mut tcb = Tcb::listen(port);
+                tcb.set_mss(self.config.mss);
                 self.iss = self.iss.wrapping_add(64_000);
                 tcb.on_segment(&tcp, payload);
                 let h = self.handle();
@@ -1467,6 +1718,21 @@ mod tests {
         cfg.tx_csum_offload = false;
         let s = NetStack::new(cfg, Box::new(dev));
         assert!(!s.csum_offload(), "ablation switch wins over capability");
+    }
+
+    #[test]
+    fn tso_requires_tx_csum_offload() {
+        // The cut frames' checksums are completed host-side, so TSO
+        // without checksum offload is a contradiction: the stack must
+        // fall back to software segmentation.
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        let mut cfg = StackConfig::node(1);
+        cfg.tx_csum_offload = false; // tso wish stays on
+        let s = NetStack::new(cfg, Box::new(dev));
+        assert!(!s.tso(), "TSO gated on checksum offload");
+        assert!(!s.csum_offload());
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! in-process wire is lossless and ordered, so retransmission and
 //! congestion control are intentionally out of scope (documented in
 //! DESIGN.md).
+//!
+//! Since the large-transfer fast path, the send queue is **zero-copy**:
+//! [`Tcb::app_send_with`] writes application bytes once into pooled
+//! netbufs, and [`Tcb::poll_output_chain_with`] *moves* those buffers
+//! into outgoing frames — as one scatter-gather super-segment of up to
+//! a GSO budget when segmentation is offloaded (sequence/window
+//! accounting once per super-segment), or per-MSS in software when it
+//! is not. Received data is acknowledged with per-poll coalesced ACKs
+//! (delayed-ACK shape), and a big-receive super-segment arriving as a
+//! buffer chain is ingested in one [`Tcb::on_segment_parts`] call.
 
 use std::collections::VecDeque;
 
@@ -23,6 +33,10 @@ pub const MSS: usize = 1460;
 /// peer's receive window has admitted. `app_send` accepts partial writes
 /// against this cap, like a non-blocking `send(2)`.
 pub const SND_BUF_CAP: usize = 64 * 1024;
+/// Storage/headroom shape of the buffers [`Tcb::app_send`] allocates
+/// when no pool-backed supplier is given (mirrors the stack's TX
+/// buffers).
+const SEND_BUF_SHAPE: (usize, usize) = (2048, 64);
 /// Receive-buffer capacity; also the largest window we advertise (the
 /// field is 16 bits without window scaling).
 pub const RCV_BUF_CAP: usize = 65_535;
@@ -145,6 +159,33 @@ impl TcpHeader {
     ///
     /// Panics if `nb` has less than [`TCP_HDR_LEN`] bytes of headroom.
     pub fn encode_into_partial(&self, ip: &Ipv4Header, nb: &mut Netbuf) {
+        self.push_partial_header(ip, nb);
+        nb.request_csum(nb.len(), 16);
+    }
+
+    /// The TSO form of [`encode_into_partial`](Self::encode_into_partial)
+    /// for a scatter-gather super-segment: prepends the header onto
+    /// the *chain head* with the partial pseudo-header sum stamped,
+    /// and attaches both a chain-spanning
+    /// [`CsumRequest`](uknetdev::netbuf::CsumRequest) and a
+    /// [`GsoRequest`](uknetdev::netbuf::GsoRequest) so the host side
+    /// cuts per-`mss` wire frames and completes their checksums
+    /// (`uknetdev::gso`). `ip.payload_len` must span the whole chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head has less than [`TCP_HDR_LEN`] bytes of
+    /// headroom or `mss` is zero.
+    pub fn encode_into_gso(&self, ip: &Ipv4Header, nb: &mut Netbuf, mss: u16) {
+        self.push_partial_header(ip, nb);
+        nb.request_csum(nb.chain_len(), 16);
+        nb.request_gso(mss);
+    }
+
+    /// Shared header prepend of the offload encoders: every field
+    /// final except the checksum, which holds the folded pseudo-header
+    /// sum for a downstream completer.
+    fn push_partial_header(&self, ip: &Ipv4Header, nb: &mut Netbuf) {
         let hdr = nb.push_header_uninit(TCP_HDR_LEN);
         hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
         hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
@@ -156,11 +197,26 @@ impl TcpHeader {
         let partial = uknetdev::csum::fold_partial_sum(u64::from(ip.pseudo_header_sum()));
         hdr[16..18].copy_from_slice(&partial.to_be_bytes());
         hdr[18..20].copy_from_slice(&[0, 0]); // Urgent pointer.
-        nb.request_csum(nb.len(), 16);
     }
 
     /// Parses and verifies a segment; returns header + payload.
     pub fn decode<'a>(ip: &Ipv4Header, seg: &'a [u8]) -> Result<(TcpHeader, &'a [u8])> {
+        Self::decode_inner(ip, seg, true)
+    }
+
+    /// [`decode`](Self::decode) for a frame the wire/device already
+    /// marked checksum-validated (`VIRTIO_NET_F_GUEST_CSUM`):
+    /// structural validation only, the checksum pass over the segment
+    /// is skipped.
+    pub fn decode_trusted<'a>(ip: &Ipv4Header, seg: &'a [u8]) -> Result<(TcpHeader, &'a [u8])> {
+        Self::decode_inner(ip, seg, false)
+    }
+
+    fn decode_inner<'a>(
+        ip: &Ipv4Header,
+        seg: &'a [u8],
+        verify_csum: bool,
+    ) -> Result<(TcpHeader, &'a [u8])> {
         if seg.len() < TCP_HDR_LEN {
             return Err(Errno::Inval);
         }
@@ -168,7 +224,7 @@ impl TcpHeader {
         if doff < TCP_HDR_LEN || doff > seg.len() {
             return Err(Errno::Inval);
         }
-        if inet_checksum(seg, ip.pseudo_header_sum()) != 0 {
+        if verify_csum && inet_checksum(seg, ip.pseudo_header_sum()) != 0 {
             return Err(Errno::Io);
         }
         Ok((
@@ -209,9 +265,9 @@ pub enum TcpState {
 /// An outgoing segment (flags + payload), produced by the TCB.
 ///
 /// This owned form exists for tests and diagnostics; the stack's hot
-/// path uses [`Tcb::poll_output_with`], which hands out the payload as
-/// borrowed slices so it can be written straight into a pooled netbuf
-/// without an intermediate `Vec`.
+/// path uses [`Tcb::poll_output_chain_with`], which hands out the
+/// payload as the send queue's own pooled buffers, moved into the
+/// outgoing frame chain without a copy.
 #[derive(Debug, Clone)]
 pub struct OutSegment {
     /// Header to send.
@@ -221,8 +277,8 @@ pub struct OutSegment {
 }
 
 /// The first `n` bytes of a ring buffer as its (up to) two contiguous
-/// slices — the shape both allocation-free copy paths
-/// ([`Tcb::app_recv_into`], [`Tcb::poll_output_with`]) consume.
+/// slices — the shape the allocation-free receive copy path
+/// ([`Tcb::app_recv_into`]) consumes.
 fn ring_front(dq: &VecDeque<u8>, n: usize) -> (&[u8], &[u8]) {
     let (a, b) = dq.as_slices();
     let from_a = n.min(a.len());
@@ -244,8 +300,16 @@ pub struct Tcb {
     snd_wnd: u32,
     /// Window we advertised in our last segment (zero-window tracking).
     last_adv_wnd: u16,
-    /// Bytes the application queued but we have not yet segmented.
-    send_buf: VecDeque<u8>,
+    /// Application data queued for transmission, held as the pooled
+    /// buffers it was written into — the zero-copy send queue.
+    /// [`app_send`](Self::app_send) writes bytes once (coalescing into
+    /// the last buffer's tailroom); emission *moves* whole buffers
+    /// into the outgoing frame chain, so bulk data never takes a
+    /// send-ring copy. Only a window split mid-buffer copies, and only
+    /// the split-off part.
+    send_q: VecDeque<Netbuf>,
+    /// Bytes across `send_q` (the send-buffer fill level).
+    send_q_len: usize,
     /// Bytes received, ready for the application.
     recv_buf: VecDeque<u8>,
     /// Monotonic count of bytes ever ingested (readiness progress:
@@ -253,9 +317,19 @@ pub struct Tcb {
     /// data is already pending).
     rx_total: u64,
     /// Control segments (no payload) ready to be emitted on the wire.
-    /// Data segments are never queued: they are cut from `send_buf`
-    /// directly into the caller's netbuf at `poll_output_with` time.
+    /// Data segments are never queued here: their buffers move out of
+    /// `send_q` at `poll_output_chain_with` time.
     out: VecDeque<TcpHeader>,
+    /// Received data awaits acknowledgement (delayed-ACK coalescing):
+    /// instead of one ACK per ingested segment, the next emitted
+    /// segment carries the cumulative ACK, and a pure ACK is emitted
+    /// at `poll_output` time only if nothing else is leaving. A burst
+    /// of 40 MSS segments (one cut super-segment) costs one ACK on the
+    /// return path, not 40.
+    ack_pending: bool,
+    /// Maximum segment size for software segmentation (and the cut
+    /// size a GSO super-segment requests).
+    mss: usize,
     /// Whether the app asked to close after the send buffer drains.
     closing: bool,
     /// Peer closed its direction.
@@ -286,13 +360,31 @@ impl Tcb {
             snd_una: iss,
             snd_wnd: RCV_BUF_CAP as u32,
             last_adv_wnd: RCV_BUF_CAP as u16,
-            send_buf: VecDeque::new(),
+            send_q: VecDeque::new(),
+            send_q_len: 0,
             recv_buf: VecDeque::new(),
             rx_total: 0,
             out: VecDeque::new(),
+            ack_pending: false,
+            mss: MSS,
             closing: false,
             peer_fin: false,
         }
+    }
+
+    /// Overrides the maximum segment size (defaults to [`MSS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mss` is zero.
+    pub fn set_mss(&mut self, mss: usize) {
+        assert!(mss > 0, "zero mss");
+        self.mss = mss;
+    }
+
+    /// The segment size software segmentation cuts to.
+    pub fn mss(&self) -> usize {
+        self.mss
     }
 
     /// The receive window to advertise: free space in the receive buffer.
@@ -339,6 +431,18 @@ impl Tcb {
 
     /// Handles an incoming segment.
     pub fn on_segment(&mut self, h: &TcpHeader, payload: &[u8]) {
+        self.on_segment_parts(h, std::iter::once(payload))
+    }
+
+    /// [`on_segment`](Self::on_segment) for a payload delivered as
+    /// several contiguous extents — the shape of a big-receive
+    /// (`VIRTIO_NET_F_GUEST_TSO4`) super-segment arriving as a netbuf
+    /// chain. The parts are one segment: control processing happens
+    /// once, the parts are ingested back-to-back in sequence order.
+    pub fn on_segment_parts<'a, I>(&mut self, h: &TcpHeader, payload: I)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
         if h.flags.rst {
             self.state = TcpState::Closed;
             return;
@@ -373,12 +477,12 @@ impl Tcb {
                     self.process_ack(h);
                     self.state = TcpState::Established;
                     // The ACK completing the handshake may carry data.
-                    self.ingest(h, payload);
+                    self.ingest_parts(h, payload);
                 }
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
                 self.process_ack(h);
-                self.ingest(h, payload);
+                self.ingest_parts(h, payload);
                 if h.flags.fin && self.state == TcpState::Established {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
                     self.peer_fin = true;
@@ -412,18 +516,32 @@ impl Tcb {
         }
     }
 
-    fn ingest(&mut self, h: &TcpHeader, payload: &[u8]) {
-        if payload.is_empty() {
-            return;
+    fn ingest_parts<'a, I>(&mut self, h: &TcpHeader, payload: I)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        // The parts are consecutive extents of one segment: each
+        // continues at the sequence position the previous one ended.
+        let mut seq = h.seq;
+        let mut ingested = false;
+        for part in payload {
+            if part.is_empty() {
+                continue;
+            }
+            if seq == self.rcv_nxt {
+                self.recv_buf.extend(part);
+                self.rx_total += part.len() as u64;
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(part.len() as u32);
+                ingested = true;
+            }
+            seq = seq.wrapping_add(part.len() as u32);
         }
-        if h.seq == self.rcv_nxt {
-            self.recv_buf.extend(payload);
-            self.rx_total += payload.len() as u64;
-            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
-            self.emit(TcpFlags {
-                    ack: true,
-                    ..Default::default()
-                });
+        if ingested {
+            // Delayed-ACK coalescing: the acknowledgement rides the
+            // next outgoing segment (or one pure ACK at poll time),
+            // so a burst of segments is answered once per poll, not
+            // once per segment.
+            self.ack_pending = true;
         }
         // Out-of-order segments are impossible on the lossless testnet;
         // they would be dropped (and retransmitted) on a real one.
@@ -433,15 +551,48 @@ impl Tcb {
     /// free send-buffer space — a partial write, like non-blocking
     /// `send(2)`. Returns the bytes accepted; `EAGAIN` when the buffer
     /// is full (tx window closed and backlog at capacity).
+    ///
+    /// Buffers come from the heap; the stack's pooled path is
+    /// [`app_send_with`](Self::app_send_with).
     pub fn app_send(&mut self, data: &[u8]) -> Result<usize> {
+        let (cap, headroom) = SEND_BUF_SHAPE;
+        self.app_send_with(data, || Netbuf::alloc(cap, headroom))
+    }
+
+    /// [`app_send`](Self::app_send) with an explicit buffer supplier:
+    /// the bytes are written **once**, straight into supplied buffers
+    /// (coalescing into the last queued buffer's tailroom first) —
+    /// the single copy bulk data ever takes inside the stack. Supplied
+    /// buffers must be empty with enough headroom for all protocol
+    /// headers, since the first buffer of every outgoing segment
+    /// becomes the frame head.
+    pub fn app_send_with<T: FnMut() -> Netbuf>(
+        &mut self,
+        data: &[u8],
+        mut take_buf: T,
+    ) -> Result<usize> {
         match self.state {
             TcpState::Established | TcpState::CloseWait | TcpState::SynReceived => {
-                let space = SND_BUF_CAP - self.send_buf.len().min(SND_BUF_CAP);
+                let space = SND_BUF_CAP - self.send_q_len.min(SND_BUF_CAP);
                 if space == 0 {
                     return Err(Errno::Again);
                 }
                 let n = data.len().min(space);
-                self.send_buf.extend(&data[..n]);
+                let mut off = 0;
+                while off < n {
+                    let room = self.send_q.back().map_or(0, |b| b.tailroom());
+                    if room == 0 {
+                        self.send_q.push_back(take_buf());
+                        continue;
+                    }
+                    let take = room.min(n - off);
+                    self.send_q
+                        .back_mut()
+                        .expect("queue non-empty")
+                        .append(&data[off..off + take]);
+                    off += take;
+                }
+                self.send_q_len += n;
                 Ok(n)
             }
             _ => Err(Errno::NotConn),
@@ -516,52 +667,136 @@ impl Tcb {
     pub fn send_capacity(&self) -> usize {
         match self.state {
             TcpState::Established | TcpState::CloseWait | TcpState::SynReceived => {
-                SND_BUF_CAP - self.send_buf.len().min(SND_BUF_CAP)
+                SND_BUF_CAP - self.send_q_len.min(SND_BUF_CAP)
             }
             _ => 0,
         }
     }
 
-    /// Streams pending transmission through `emit`: queued control
-    /// segments first, then segmentation of queued data (MSS chunks,
-    /// capped by the peer's receive window, PSH on the last), then FIN
-    /// once the queue drains.
+    /// Assembles the next `n` bytes of the send queue into an outgoing
+    /// buffer chain. Whole buffers *move* (the zero-copy path); only
+    /// two cases copy:
     ///
-    /// `emit` receives the header plus the payload as *two* borrowed
-    /// slices (the send buffer is a ring, so a chunk may wrap); the
-    /// caller copies them straight into a pooled netbuf behind the
-    /// headroom — no intermediate `Vec` per segment, which is what
-    /// makes steady-state TX allocation-free.
-    pub fn poll_output_with<F: FnMut(TcpHeader, &[u8], &[u8])>(&mut self, mut emit: F) {
+    /// - `n` spans several buffers but fits one wire frame
+    ///   (`n <= mss`): the parts coalesce into a single fresh buffer,
+    ///   since a sub-MSS frame must be one contiguous extent;
+    /// - the boundary splits a buffer (window edge or segment cap):
+    ///   the split-off front is copied out and the remainder stays
+    ///   queued with its headroom grown past the consumed bytes.
+    fn assemble_chain<T: FnMut() -> Netbuf>(&mut self, n: usize, take_buf: &mut T) -> Netbuf {
+        debug_assert!(n > 0 && n <= self.send_q_len);
+        let single_frame = n <= self.mss;
+        let mut head: Option<Netbuf> = None;
+        let link = |head: &mut Option<Netbuf>, nb: Netbuf| match head.as_mut() {
+            None => *head = Some(nb),
+            Some(h) => h.chain_append(nb),
+        };
+        let mut assembled = 0;
+        while assembled < n {
+            let need = n - assembled;
+            let front_len = self.send_q.front().expect("bytes tracked").len();
+            let whole = front_len <= need;
+            let take = front_len.min(need);
+            if single_frame {
+                // A sub-MSS frame must be one contiguous extent: move
+                // the front buffer only when it covers the frame by
+                // itself; otherwise coalesce the parts by copy. A
+                // buffer emptied by the copy still belongs to a pool,
+                // so it rides the chain as an empty fragment and gets
+                // recycled with the frame.
+                if whole && take == n {
+                    link(&mut head, self.send_q.pop_front().expect("checked"));
+                } else {
+                    if head.is_none() {
+                        head = Some(take_buf());
+                    }
+                    let front = self.send_q.front_mut().expect("checked");
+                    head.as_mut()
+                        .expect("created above")
+                        .append(&front.payload()[..take]);
+                    front.pull_header(take);
+                    if whole {
+                        let spent = self.send_q.pop_front().expect("checked");
+                        head.as_mut().expect("created above").chain_append(spent);
+                    }
+                }
+            } else if whole {
+                // Chain frame: whole buffers move, zero-copy.
+                link(&mut head, self.send_q.pop_front().expect("checked"));
+            } else {
+                // Boundary splits the buffer: copy out the split-off
+                // front, keep the remainder queued (its start advances
+                // over the consumed bytes, growing the headroom).
+                let mut part = take_buf();
+                let front = self.send_q.front_mut().expect("checked");
+                part.append(&front.payload()[..take]);
+                front.pull_header(take);
+                link(&mut head, part);
+            }
+            assembled += take;
+        }
+        self.send_q_len -= n;
+        let head = head.expect("n > 0");
+        debug_assert_eq!(head.chain_len(), n);
+        head
+    }
+
+    /// Streams pending transmission through `emit`: queued control
+    /// segments first, then segmentation of queued data (chunks of up
+    /// to `max_seg` bytes, capped by the peer's receive window, PSH on
+    /// the last), then FIN once the queue drains, then — only if
+    /// nothing else left — a coalesced pure ACK for ingested data.
+    ///
+    /// `emit` receives each segment's payload as an owned buffer
+    /// chain (`None` for control segments): queued buffers move out
+    /// whole, headers get prepended into the head's headroom by the
+    /// caller — bulk data never takes a send-ring copy. With
+    /// `max_seg` equal to the MSS this is software segmentation; with
+    /// a GSO budget (e.g. 60 KB) each data `emit` hands out one
+    /// super-segment, the sequence/window accounting done **once**
+    /// per super-segment, and the caller attaches a
+    /// [`GsoRequest`](uknetdev::netbuf::GsoRequest) so the device
+    /// cuts the MSS frames. A partial peer window splits a
+    /// super-segment at the window edge exactly like an MSS segment:
+    /// the tail stays queued, sequence numbers advance only past
+    /// emitted bytes.
+    pub fn poll_output_chain_with<T, F>(&mut self, max_seg: usize, mut take_buf: T, mut emit: F)
+    where
+        T: FnMut() -> Netbuf,
+        F: FnMut(TcpHeader, Option<Netbuf>),
+    {
+        let mut emitted_ack = false;
         while let Some(h) = self.out.pop_front() {
-            emit(h, &[], &[]);
+            emitted_ack |= h.flags.ack;
+            emit(h, None);
         }
         if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
-            while !self.send_buf.is_empty() {
+            while self.send_q_len > 0 {
                 let in_flight = self.bytes_in_flight();
                 let window_room = self.snd_wnd.saturating_sub(in_flight) as usize;
                 if window_room == 0 {
                     break; // Tx window closed; data stays queued.
                 }
-                let n = self.send_buf.len().min(MSS).min(window_room);
-                let last = n == self.send_buf.len();
+                let n = self.send_q_len.min(max_seg).min(window_room);
+                let last = n == self.send_q_len;
                 let header = self.make_header(TcpFlags {
                     ack: true,
                     psh: last,
                     ..Default::default()
                 });
-                let (a, b) = ring_front(&self.send_buf, n);
-                emit(header, a, b);
-                self.send_buf.drain(..n);
+                let chain = self.assemble_chain(n, &mut take_buf);
+                emit(header, Some(chain));
+                emitted_ack = true;
                 self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
             }
-            if self.closing && self.send_buf.is_empty() {
+            if self.closing && self.send_q_len == 0 {
                 let header = self.make_header(TcpFlags {
                     fin: true,
                     ack: true,
                     ..Default::default()
                 });
-                emit(header, &[], &[]);
+                emit(header, None);
+                emitted_ack = true;
                 self.snd_nxt = self.snd_nxt.wrapping_add(1);
                 self.state = if self.state == TcpState::CloseWait {
                     TcpState::LastAck
@@ -571,19 +806,44 @@ impl Tcb {
                 self.closing = false;
             }
         }
+        // Ingested data still unacknowledged and no segment carried
+        // the cumulative ACK out: emit one pure ACK for the whole
+        // poll's worth of arrivals.
+        if self.ack_pending && !emitted_ack && self.state != TcpState::Closed {
+            let header = self.make_header(TcpFlags {
+                ack: true,
+                ..Default::default()
+            });
+            emit(header, None);
+        }
+        self.ack_pending = false;
     }
 
     /// Owned-segment convenience over
-    /// [`poll_output_with`](Self::poll_output_with) (tests,
-    /// diagnostics): each segment's payload is collected into a `Vec`.
+    /// [`poll_output_chain_with`](Self::poll_output_chain_with)
+    /// (tests, diagnostics): each segment's payload is collected into
+    /// a `Vec`, segmented at the connection's MSS.
     pub fn poll_output(&mut self) -> Vec<OutSegment> {
+        let mss = self.mss;
+        self.poll_output_seg(mss)
+    }
+
+    /// [`poll_output`](Self::poll_output) with an explicit
+    /// segmentation bound (tests drive GSO-sized super-segments
+    /// through this).
+    pub fn poll_output_seg(&mut self, max_seg: usize) -> Vec<OutSegment> {
+        let (cap, headroom) = SEND_BUF_SHAPE;
         let mut segs = Vec::new();
-        self.poll_output_with(|header, a, b| {
-            let mut payload = Vec::with_capacity(a.len() + b.len());
-            payload.extend_from_slice(a);
-            payload.extend_from_slice(b);
-            segs.push(OutSegment { header, payload });
-        });
+        self.poll_output_chain_with(
+            max_seg,
+            || Netbuf::alloc(cap, headroom),
+            |header, chain| {
+                let payload = chain
+                    .map(|nb| nb.chain_segments().flatten().copied().collect())
+                    .unwrap_or_default();
+                segs.push(OutSegment { header, payload });
+            },
+        );
         segs
     }
 
@@ -769,6 +1029,141 @@ mod tests {
         server.app_recv(usize::MAX);
         pump(&mut client, &mut server);
         assert!(server.peer_fin_seen(), "FIN delivered after drain");
+    }
+
+    /// The audit pinning super-segment output against the send-queue
+    /// and window machinery: every emitted byte range must be
+    /// contiguous in sequence space (no double-send), and draining the
+    /// receiver must always release the queued tail (no stall) — even
+    /// when a partial peer window splits a super-segment mid-buffer,
+    /// leaving a partially-consumed buffer at the queue front.
+    #[test]
+    fn partial_window_splits_super_segment_without_stall_or_double_send() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let total = SND_BUF_CAP; // One byte beyond the 65535 window.
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        assert_eq!(client.app_send(&data).unwrap(), total);
+
+        let gso_budget = 60 * 1024;
+        let mut stream: Vec<u8> = Vec::new();
+        let mut next_seq: Option<u32> = None;
+        for _ in 0..64 {
+            let mut progressed = false;
+            for s in client.poll_output_seg(gso_budget) {
+                if !s.payload.is_empty() {
+                    // Sequence space must advance without gap or
+                    // overlap across window-split super-segments.
+                    if let Some(exp) = next_seq {
+                        assert_eq!(s.header.seq, exp, "contiguous super-segments");
+                    }
+                    next_seq = Some(s.header.seq.wrapping_add(s.payload.len() as u32));
+                    stream.extend_from_slice(&s.payload);
+                }
+                server.on_segment(&s.header, &s.payload);
+                progressed = true;
+            }
+            // The receiver drains slowly, reopening the window a
+            // little at a time — the split points move around and
+            // land mid-buffer (7000 is not a buffer multiple).
+            server.app_recv(7000);
+            for s in server.poll_output() {
+                client.on_segment(&s.header, &s.payload);
+            }
+            if !progressed && stream.len() == total && server.readable() == 0 {
+                break;
+            }
+        }
+        assert_eq!(stream.len(), total, "no byte stalled behind a split window");
+        assert_eq!(stream, data, "byte stream intact, nothing double-sent");
+        assert_eq!(client.bytes_in_flight(), 0, "everything acknowledged");
+    }
+
+    /// The zero-copy send queue: emitting a super-segment *moves* the
+    /// queued buffers into the chain instead of copying — only a
+    /// window/budget boundary mid-buffer copies the split-off part.
+    #[test]
+    fn super_segment_emission_moves_queued_buffers() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let data = vec![0x3cu8; 10_000];
+        client.app_send(&data).unwrap();
+        let mut takes = 0usize;
+        let mut chains = Vec::new();
+        client.poll_output_chain_with(
+            60 * 1024,
+            || {
+                takes += 1;
+                Netbuf::alloc(2048, 64)
+            },
+            |_, chain| chains.push(chain),
+        );
+        assert_eq!(chains.len(), 1, "one super-segment");
+        let chain = chains.pop().unwrap().expect("data segment");
+        assert_eq!(chain.chain_len(), 10_000);
+        assert!(chain.frag_count() > 1, "payload spans a chain");
+        assert_eq!(
+            takes, 0,
+            "no buffer was taken at emission: the queue's own buffers moved"
+        );
+    }
+
+    /// The receive buffer is still a byte ring: after drain/refill
+    /// cycles its contents wrap the backing storage and
+    /// `app_recv_into` reads cross the wrap point as two slices. The
+    /// delivered stream must stay exact through the wrap.
+    #[test]
+    fn recv_ring_wraparound_keeps_stream_exact() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let mut sent_log: Vec<u8> = Vec::new();
+        let mut rcvd_log: Vec<u8> = Vec::new();
+        let mut out = vec![0u8; 40_000];
+        for round in 0..8u32 {
+            // Keep a residue buffered (read less than arrived) so the
+            // ring head advances without resetting, forcing wraps.
+            let data: Vec<u8> =
+                (0..30_000).map(|i| ((i as u32 * 31 + round) % 251) as u8).collect();
+            assert_eq!(client.app_send(&data).unwrap(), data.len());
+            sent_log.extend_from_slice(&data);
+            pump(&mut client, &mut server);
+            let n = server.app_recv_into(&mut out[..29_000]);
+            rcvd_log.extend_from_slice(&out[..n]);
+        }
+        // Drain the residue.
+        loop {
+            let n = server.app_recv_into(&mut out);
+            if n == 0 {
+                break;
+            }
+            rcvd_log.extend_from_slice(&out[..n]);
+        }
+        pump(&mut client, &mut server);
+        assert_eq!(rcvd_log.len(), sent_log.len(), "no byte lost across wraps");
+        assert_eq!(rcvd_log, sent_log, "stream exact through ring wraps");
+    }
+
+    #[test]
+    fn acks_coalesce_across_an_ingest_burst() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        client.app_send(&vec![0x11u8; MSS * 8]).unwrap();
+        let segs = client.poll_output();
+        assert_eq!(segs.len(), 8);
+        for s in &segs {
+            server.on_segment(&s.header, &s.payload);
+        }
+        let acks = server.poll_output();
+        assert_eq!(acks.len(), 1, "one coalesced ACK for the whole burst");
+        assert_eq!(
+            acks[0].header.ack,
+            segs.last().unwrap().header.seq.wrapping_add(MSS as u32),
+            "cumulative acknowledgement"
+        );
     }
 
     #[test]

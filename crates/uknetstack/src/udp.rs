@@ -80,6 +80,22 @@ impl UdpHeader {
 
     /// Parses and verifies a datagram; returns header + payload.
     pub fn decode<'a>(ip: &Ipv4Header, dgram: &'a [u8]) -> Result<(UdpHeader, &'a [u8])> {
+        Self::decode_inner(ip, dgram, true)
+    }
+
+    /// [`decode`](Self::decode) for a frame the wire/device already
+    /// marked checksum-validated (`VIRTIO_NET_F_GUEST_CSUM`):
+    /// structural validation only, the checksum pass over the datagram
+    /// is skipped.
+    pub fn decode_trusted<'a>(ip: &Ipv4Header, dgram: &'a [u8]) -> Result<(UdpHeader, &'a [u8])> {
+        Self::decode_inner(ip, dgram, false)
+    }
+
+    fn decode_inner<'a>(
+        ip: &Ipv4Header,
+        dgram: &'a [u8],
+        verify_csum: bool,
+    ) -> Result<(UdpHeader, &'a [u8])> {
         if dgram.len() < UDP_HDR_LEN {
             return Err(Errno::Inval);
         }
@@ -88,7 +104,7 @@ impl UdpHeader {
             return Err(Errno::Inval);
         }
         let ck = u16::from_be_bytes([dgram[6], dgram[7]]);
-        if ck != 0 && inet_checksum(&dgram[..len], ip.pseudo_header_sum()) != 0 {
+        if verify_csum && ck != 0 && inet_checksum(&dgram[..len], ip.pseudo_header_sum()) != 0 {
             return Err(Errno::Io);
         }
         Ok((

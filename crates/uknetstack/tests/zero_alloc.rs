@@ -272,6 +272,74 @@ fn udp_burst_of_32_datagrams_is_allocation_free_in_steady_state() {
 }
 
 #[test]
+fn bulk_1mb_tso_transfer_is_allocation_free_in_steady_state() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let ci = net.attach(mk_stack(1));
+    let si = net.attach(mk_stack(2));
+    assert!(net.stack(ci).tso(), "bulk path runs over TSO super-segments");
+    let listener = net.stack(si).tcp_listen(9000).unwrap();
+    let client = net
+        .stack(ci)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9000))
+        .unwrap();
+    net.run_until_quiet(32);
+    let server = net.stack(si).tcp_accept(listener).unwrap();
+
+    const TOTAL: usize = 1024 * 1024;
+    let chunk = [0x6bu8; 64 * 1024];
+    let mut buf = vec![0u8; 64 * 1024];
+
+    // One bulk transfer: the client streams 1 MB through the send
+    // buffer (GSO super-segment chains on the wire), the server
+    // drains as it arrives, keeping the window open.
+    let transfer = |net: &mut Network, buf: &mut Vec<u8>| {
+        let mut sent = 0;
+        let mut got = 0;
+        while got < TOTAL {
+            if sent < TOTAL {
+                let want = chunk.len().min(TOTAL - sent);
+                let n = net
+                    .stack(ci)
+                    .tcp_send_queued(client, &chunk[..want])
+                    .unwrap_or(0);
+                sent += n;
+                net.stack(ci).flush_output().unwrap();
+            }
+            net.step();
+            loop {
+                let n = net.stack(si).tcp_recv_into(server, buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got += n;
+            }
+        }
+        assert_eq!(got, TOTAL, "whole megabyte arrived");
+    };
+
+    for _ in 0..2 {
+        transfer(&mut net, &mut buf);
+    }
+
+    let frames_before =
+        net.stack(ci).stats().tx_frames + net.stack(si).stats().tx_frames;
+    let counter = AllocCounter::start();
+    transfer(&mut net, &mut buf);
+    let allocs = counter.allocs();
+    let frames =
+        net.stack(ci).stats().tx_frames + net.stack(si).stats().tx_frames - frames_before;
+    assert!(frames > 0);
+    assert_eq!(
+        allocs, 0,
+        "steady-state 1 MB pooled transfer must not touch the heap \
+         ({allocs} allocs over {frames} frames)"
+    );
+    // And it really rode the fast path: super-segments, not per-MSS.
+    assert!(net.stack(ci).stats().tso_super_frames > 0);
+}
+
+#[test]
 fn buffers_circulate_without_draining_the_pools() {
     let _guard = serial();
     let mut net = Network::new();
