@@ -42,11 +42,13 @@ bench-smoke:
 
 ## Machine-readable perf trajectory: runs the netpath ablation
 ## matrices — the PR 3 RTT cells (per-frame vs burst, checksum offload
-## on/off, pooled vs heap) plus the PR 4 bulk-throughput grid
-## (4KB/64KB/1MB × tso × rx_csum, bytes/s, allocs/frame) — and writes
-## them to BENCH_PR4.json.
+## on/off, pooled vs heap), the PR 4 bulk-throughput grid
+## (4KB/64KB/1MB × tso × rx_csum, bytes/s, allocs/frame), and the PR 5
+## receive-path grid (64KB/1MB per-MSS ingest × gro on/off ×
+## netbuf-recv vs copy-recv, receiver-side bytes/s, allocs/frame) —
+## and writes them to BENCH_PR5.json.
 bench-json:
-	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR4.json
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR5.json
 
 examples:
 	$(CARGO) build --release --examples

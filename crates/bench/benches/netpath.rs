@@ -19,12 +19,19 @@
 //! bytes/s and allocs/frame per cell, with the 64 KB TSO-vs-software
 //! speedup as the headline number.
 //!
+//! Since the receive-side fast path landed, a **receive-path matrix**
+//! rides along: a per-MSS (non-TSO) sender streams 64 KB / 1 MB while
+//! only the *receiver's* time is on the clock (`Network::transfer`
+//! moves the wire, the two pumps are driven — and timed — separately),
+//! across the `{gro, netbuf-vs-copy recv}` grid. The headline is the
+//! 64 KB GRO-on vs GRO-off receive throughput.
+//!
 //! The binary installs `ukalloc::stats::CountingAlloc` as its global
 //! allocator, so alongside the ns/iter numbers it prints measured
 //! **allocations per frame** (expected: 0.000 on every pooled config,
 //! enforced), round-trips/s and ns/RTT. With `--json <path>` the
 //! ablation table is also written as machine-readable JSON
-//! (`make bench-json` → `BENCH_PR4.json`), so the perf trajectory is
+//! (`make bench-json` → `BENCH_PR5.json`), so the perf trajectory is
 //! diffable across PRs.
 
 use std::time::Instant;
@@ -59,6 +66,19 @@ fn mk_stack_cfg(n: u8, pools: bool, offload: bool, tso: bool, rx_csum: bool) -> 
     cfg.tx_csum_offload = offload;
     cfg.tso = tso;
     cfg.rx_csum_offload = rx_csum;
+    NetStack::new(cfg, Box::new(dev))
+}
+
+/// A stack for the receive-path matrix: TSO switchable on the sender
+/// (off = the per-MSS workload GRO targets), GRO switchable on the
+/// receiver.
+fn mk_stack_recv(n: u8, tso: bool, gro: bool) -> NetStack {
+    let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+    let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+    dev.configure(NetDevConf::default()).unwrap();
+    let mut cfg = StackConfig::node(n);
+    cfg.tso = tso;
+    cfg.gro = gro;
     NetStack::new(cfg, Box::new(dev))
 }
 
@@ -338,6 +358,117 @@ impl BulkHarness {
     }
 }
 
+/// The receive-path harness: a per-MSS (non-TSO) sender streaming to a
+/// receiver whose GRO and receive mode (zero-copy netbuf vs copy) are
+/// the ablation axes. Unlike [`BulkHarness`] it drives the wire and
+/// the two pumps separately (`Network::transfer`), timing **only the
+/// receiver's share** — the pump that ingests the burst plus the
+/// drain — so the cells isolate receive-path cost instead of diluting
+/// it with sender-side segmentation.
+struct RecvHarness {
+    net: Network,
+    ci: usize,
+    si: usize,
+    client: SocketHandle,
+    server: SocketHandle,
+    buf: Vec<u8>,
+    bufs: Vec<uknetdev::netbuf::Netbuf>,
+}
+
+impl RecvHarness {
+    fn new(gro: bool) -> Self {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack_recv(1, false, gro)); // tso off: per-MSS frames.
+        let si = net.attach(mk_stack_recv(2, false, gro));
+        let listener = net.stack(si).tcp_listen(9100).unwrap();
+        let client = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9100))
+            .unwrap();
+        net.run_until_quiet(32);
+        let server = net.stack(si).tcp_accept(listener).unwrap();
+        let mut h = RecvHarness {
+            net,
+            ci,
+            si,
+            client,
+            server,
+            buf: vec![0; 64 * 1024],
+            bufs: Vec::with_capacity(64),
+        };
+        for _ in 0..3 {
+            h.transfer(64 * 1024, true);
+            h.transfer(64 * 1024, false);
+        }
+        h
+    }
+
+    /// Streams `total` bytes client → server and returns the seconds
+    /// spent on the receiver's side (ingest pump + drain). `netbuf`
+    /// selects the zero-copy drain (`tcp_recv_burst_netbuf`, buffers
+    /// recycled) vs the copy drain (`tcp_recv_into`).
+    fn transfer(&mut self, total: usize, netbuf: bool) -> f64 {
+        const CHUNK: [u8; 64 * 1024] = [0x6b; 64 * 1024];
+        let mut recv_secs = 0.0;
+        let mut sent = 0;
+        let mut got = 0;
+        while got < total {
+            if sent < total {
+                let want = CHUNK.len().min(total - sent);
+                let n = self
+                    .net
+                    .stack(self.ci)
+                    .tcp_send_queued(self.client, &CHUNK[..want])
+                    .unwrap_or(0);
+                sent += n;
+                self.net.stack(self.ci).flush_output().unwrap();
+            }
+            self.net.transfer(); // Data frames to the receiver.
+            let t0 = Instant::now();
+            self.net.stack(self.si).pump();
+            if netbuf {
+                loop {
+                    let n = self
+                        .net
+                        .stack(self.si)
+                        .tcp_recv_burst_netbuf(self.server, &mut self.bufs, 64);
+                    if n == 0 {
+                        break;
+                    }
+                    for nb in self.bufs.drain(..) {
+                        got += nb.payload().len();
+                        self.net.stack(self.si).recycle(nb);
+                    }
+                }
+            } else {
+                loop {
+                    let n = self
+                        .net
+                        .stack(self.si)
+                        .tcp_recv_into(self.server, &mut self.buf)
+                        .unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    got += n;
+                }
+            }
+            recv_secs += t0.elapsed().as_secs_f64();
+            self.net.transfer(); // ACKs / window updates back.
+            self.net.stack(self.ci).pump();
+        }
+        recv_secs
+    }
+
+    fn rx_frames(&mut self) -> u64 {
+        self.net.stack(self.si).stats().rx_frames
+    }
+
+    fn gro_runs(&mut self) -> u64 {
+        self.net.stack(self.si).stats().gro_runs
+    }
+}
+
 fn bench_tcp_echo(c: &mut Criterion) {
     let mut g = c.benchmark_group("netpath/tcp_echo_512B");
     for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
@@ -388,6 +519,18 @@ struct BulkRow {
     rx_csum: bool,
     bytes_per_s: f64,
     mib_per_s: f64,
+    allocs_per_frame: f64,
+}
+
+/// One row of the receive-path ablation matrix (per-MSS sender;
+/// receiver-side time only).
+struct RecvRow {
+    name: String,
+    transfer_bytes: usize,
+    gro: bool,
+    netbuf_recv: bool,
+    recv_bytes_per_s: f64,
+    recv_mib_per_s: f64,
     allocs_per_frame: f64,
 }
 
@@ -558,6 +701,78 @@ fn ablation_report(json_path: Option<&str>) {
             r.name
         );
     }
+    // --- Receive-path matrix: {64 KB, 1 MB} × gro × {netbuf, copy}.
+    // A per-MSS (non-TSO) sender streams; only the *receiver's* time
+    // (ingest pump + drain) is on the clock, so the cells measure what
+    // GRO coalescing and zero-copy receive actually buy on ingest.
+    let mut recv_rows: Vec<RecvRow> = Vec::new();
+    for (size, label, reps) in [(64 * 1024, "64KB", 1200u64), (1024 * 1024, "1MB", 80u64)] {
+        for (gro, netbuf) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut h = RecvHarness::new(gro);
+            for _ in 0..12 {
+                h.transfer(size, netbuf);
+            }
+            let frames_before = h.rx_frames();
+            let runs_before = h.gro_runs();
+            let counter = AllocCounter::start();
+            let mut recv_secs = 0.0;
+            for _ in 0..reps {
+                recv_secs += h.transfer(size, netbuf);
+            }
+            let allocs = counter.allocs();
+            let frames = (h.rx_frames() - frames_before).max(1);
+            if gro {
+                assert!(h.gro_runs() > runs_before, "GRO engaged on {label}");
+            }
+            let total = (size as u64 * reps) as f64;
+            recv_rows.push(RecvRow {
+                name: format!(
+                    "tcp_recv_{label}/{}+{}",
+                    if gro { "gro" } else { "nogro" },
+                    if netbuf { "netbuf" } else { "copy" }
+                ),
+                transfer_bytes: size,
+                gro,
+                netbuf_recv: netbuf,
+                recv_bytes_per_s: total / recv_secs,
+                recv_mib_per_s: total / recv_secs / (1024.0 * 1024.0),
+                allocs_per_frame: allocs as f64 / frames as f64,
+            });
+        }
+    }
+    println!();
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "netpath/recv (rx-side)", "MiB/s", "allocs/frame"
+    );
+    for r in &recv_rows {
+        println!(
+            "{:<28} {:>12.1} {:>14.3}",
+            r.name, r.recv_mib_per_s, r.allocs_per_frame
+        );
+        assert_eq!(
+            r.allocs_per_frame, 0.0,
+            "pooled receive path must not touch the heap ({})",
+            r.name
+        );
+    }
+    let recv_cell = |size: usize, gro: bool, netbuf: bool| {
+        recv_rows
+            .iter()
+            .find(|r| r.transfer_bytes == size && r.gro == gro && r.netbuf_recv == netbuf)
+            .expect("recv cell")
+    };
+    let recv_gro_speedup = recv_cell(64 * 1024, true, true).recv_bytes_per_s
+        / recv_cell(64 * 1024, false, true).recv_bytes_per_s;
+    let recv_gro_speedup_copy = recv_cell(64 * 1024, true, false).recv_bytes_per_s
+        / recv_cell(64 * 1024, false, false).recv_bytes_per_s;
+    let recv_netbuf_speedup = recv_cell(64 * 1024, true, true).recv_bytes_per_s
+        / recv_cell(64 * 1024, true, false).recv_bytes_per_s;
+    println!(
+        "netpath/recv 64KB speedups: gro {recv_gro_speedup:.2}x (netbuf recv; \
+         {recv_gro_speedup_copy:.2}x under copy recv), netbuf-vs-copy {recv_netbuf_speedup:.2}x"
+    );
+
     // The PR's headline: the 64 KB fast path (TSO + RX csum offload)
     // vs the all-software segmentation ablation.
     let fast = bulk_rows
@@ -615,6 +830,30 @@ fn ablation_report(json_path: Option<&str>) {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"recv_configs\": [\n");
+        for (i, r) in recv_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"transfer_bytes\": {}, \"gro\": {}, \"netbuf_recv\": {}, \"recv_bytes_per_s\": {:.0}, \"recv_mib_per_s\": {:.1}, \"allocs_per_frame\": {:.3} }}{}\n",
+                r.name,
+                r.transfer_bytes,
+                r.gro,
+                r.netbuf_recv,
+                r.recv_bytes_per_s,
+                r.recv_mib_per_s,
+                r.allocs_per_frame,
+                if i + 1 == recv_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"recv_64k_gro_speedup\": {recv_gro_speedup:.2},\n"
+        ));
+        out.push_str(&format!(
+            "  \"recv_64k_gro_speedup_copy_recv\": {recv_gro_speedup_copy:.2},\n"
+        ));
+        out.push_str(&format!(
+            "  \"recv_64k_netbuf_vs_copy_speedup\": {recv_netbuf_speedup:.2},\n"
+        ));
         out.push_str(&format!(
             "  \"bulk_64k_speedup_vs_all_software\": {speedup_64k:.2},\n"
         ));

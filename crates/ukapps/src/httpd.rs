@@ -72,10 +72,12 @@ pub struct Httpd {
     alloc: Box<dyn Allocator>,
     served: u64,
     errors: u64,
-    /// Reusable receive buffer: socket reads land here via the
-    /// allocation-free `tcp_recv_into` path, then move into the
-    /// connection's request buffer.
-    rx_scratch: Vec<u8>,
+    /// Reusable landing area for one burst of received payload
+    /// netbufs: socket reads take whole buffers via the zero-copy
+    /// `tcp_recv_burst_netbuf` path, request bytes move into the
+    /// connection's buffer, and every netbuf recycles to the stack's
+    /// pool — no intermediate copy buffer.
+    rx_bufs: Vec<uknetdev::netbuf::Netbuf>,
     /// Shared deterministic source for `/blob/<size>` bodies, grown
     /// lazily to the largest size requested. Every blob response
     /// streams out of this one buffer — the large-transfer fast path
@@ -113,7 +115,7 @@ impl Httpd {
             alloc,
             served: 0,
             errors: 0,
-            rx_scratch: vec![0; 64 * 1024],
+            rx_bufs: Vec::new(),
             blob_src: Vec::new(),
         })
     }
@@ -230,8 +232,17 @@ impl Httpd {
             return;
         };
         if ev.events.intersects(EventMask::IN | EventMask::RDHUP) {
-            if let Ok(n) = stack.tcp_recv_into(conn.sock, &mut self.rx_scratch) {
-                conn.buf.extend_from_slice(&self.rx_scratch[..n]);
+            // Zero-copy request read: take the payload buffers whole,
+            // append their bytes to the request buffer, recycle.
+            loop {
+                let n = stack.tcp_recv_burst_netbuf(conn.sock, &mut self.rx_bufs, 32);
+                if n == 0 {
+                    break;
+                }
+                for nb in self.rx_bufs.drain(..) {
+                    conn.buf.extend_from_slice(nb.payload());
+                    stack.recycle(nb);
+                }
             }
             // Serve every complete request in the buffer (pipelining);
             // a streaming blob response pauses the loop so responses

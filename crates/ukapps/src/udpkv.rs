@@ -204,22 +204,22 @@ impl UdpKvServer {
 /// driven by readiness events from one [`EventQueue`] instead of
 /// unconditional `udp_recv_from` polling. This is the `UnikraftLwip`
 /// row of Table 4 restructured the way the event subsystem intends —
-/// and, since the burst datapath landed, the way `recvmmsg`/`sendmmsg`
-/// intend: each `EPOLLIN` event drains up to [`BATCH`] datagrams with
-/// one [`NetStack::udp_recv_burst_into`] call into a flat reusable
-/// buffer, serves them as one [`UdpKvServer::serve_batch`] (which
-/// still charges the mode's I/O cost model), and pushes all replies
-/// back with one [`NetStack::udp_send_burst`] — one TX burst per
-/// batch instead of one flush per reply.
+/// and, since the receive-side fast path landed, the way zero-copy
+/// receive intends: each `EPOLLIN` event takes up to [`BATCH`] queued
+/// datagrams *as the pooled netbufs they arrived in*
+/// ([`NetStack::udp_recv_netbuf`] — no flat-buffer copy anywhere on
+/// the request path), serves them as one [`UdpKvServer::serve_batch`]
+/// (which still charges the mode's I/O cost model), pushes all replies
+/// back with one [`NetStack::udp_send_burst`], and recycles every
+/// request buffer to the stack's pool.
 pub struct UdpKvNetServer {
     sock: SocketHandle,
     queue: EventQueue,
     server: UdpKvServer,
-    /// Flat recvmmsg-style landing buffer for one batch of requests
-    /// (datagrams packed back-to-back; reused, allocation-free).
-    rx_buf: Vec<u8>,
-    /// One `(sender, length)` pair per received datagram (reused).
-    rx_msgs: Vec<(Endpoint, usize)>,
+    /// One batch of in-flight request buffers: the sender endpoint and
+    /// the pooled netbuf its datagram arrived in (reused, recycled
+    /// after every batch).
+    rx_nbs: Vec<(Endpoint, uknetdev::netbuf::Netbuf)>,
 }
 
 impl std::fmt::Debug for UdpKvNetServer {
@@ -241,15 +241,15 @@ impl UdpKvNetServer {
             sock,
             queue,
             server: UdpKvServer::new(mode, tsc),
-            rx_buf: vec![0; BATCH * 2048],
-            rx_msgs: Vec::with_capacity(BATCH),
+            rx_nbs: Vec::with_capacity(BATCH),
         })
     }
 
-    /// One turn of the event loop: for each `EPOLLIN` event, drains up
-    /// to [`BATCH`] datagrams per `udp_recv_burst_into` call (no
-    /// allocation on the receive path), serves each batch and pushes
-    /// its replies as one `udp_send_burst`. Returns requests served.
+    /// One turn of the event loop: for each `EPOLLIN` event, takes up
+    /// to [`BATCH`] queued datagrams as their pooled netbufs (the
+    /// zero-copy receive path — request bytes are read in place),
+    /// serves each batch, pushes its replies as one `udp_send_burst`,
+    /// and recycles the request buffers. Returns requests served.
     pub fn poll(&mut self, stack: &mut NetStack) -> u64 {
         let mut served = 0;
         for ev in self.queue.poll_ready(16) {
@@ -257,27 +257,31 @@ impl UdpKvNetServer {
                 continue;
             }
             loop {
-                self.rx_msgs.clear();
-                let n =
-                    stack.udp_recv_burst_into(self.sock, &mut self.rx_buf, &mut self.rx_msgs, BATCH);
-                if n == 0 {
+                self.rx_nbs.clear();
+                while self.rx_nbs.len() < BATCH {
+                    match stack.udp_recv_netbuf(self.sock) {
+                        Some(msg) => self.rx_nbs.push(msg),
+                        None => break,
+                    }
+                }
+                if self.rx_nbs.is_empty() {
                     break;
                 }
-                let mut refs: Vec<&[u8]> = Vec::with_capacity(n);
-                let mut off = 0;
-                for &(_, len) in &self.rx_msgs {
-                    refs.push(&self.rx_buf[off..off + len]);
-                    off += len;
-                }
+                let refs: Vec<&[u8]> =
+                    self.rx_nbs.iter().map(|(_, nb)| nb.payload()).collect();
                 let replies = self.server.serve_batch(&refs);
                 served += replies.len() as u64;
+                drop(refs);
                 let _ = stack.udp_send_burst(
                     self.sock,
                     replies
                         .iter()
-                        .zip(&self.rx_msgs)
+                        .zip(&self.rx_nbs)
                         .map(|(reply, &(from, _))| (&reply[..], from)),
                 );
+                for (_, nb) in self.rx_nbs.drain(..) {
+                    stack.recycle(nb);
+                }
             }
         }
         served

@@ -425,6 +425,27 @@ impl Netbuf {
         self.frags.pop()
     }
 
+    /// Detaches every fragment into `out` in chain order, leaving the
+    /// head flat. This is the receive-side flattening primitive: a
+    /// big-receive chain is split into its extents so each buffer can
+    /// be retained (queued on a socket) or recycled independently. The
+    /// head keeps its fragment-list *capacity* — a pooled buffer
+    /// flattened this way still builds chains allocation-free after
+    /// recycling.
+    pub fn take_frags_into(&mut self, out: &mut Vec<Netbuf>) {
+        out.extend(self.frags.drain(..));
+    }
+
+    /// Allocates a standalone (heap) netbuf holding exactly `bytes`,
+    /// with no headroom — the owned form of a borrowed payload extent
+    /// (the slice-based TCP ingest path uses this to adapt to the
+    /// buffer-owning receive queue).
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let mut nb = Netbuf::alloc(bytes.len(), 0);
+        nb.set_payload(bytes);
+        nb
+    }
+
     /// Pre-reserves capacity for `n` chain fragments (pools call this
     /// once at construction so steady-state chain building never
     /// allocates).
@@ -712,6 +733,42 @@ mod tests {
         assert_eq!(pool.available(), 1);
         pool.give_back_chain(head);
         assert_eq!(pool.available(), 4, "head and every fragment returned");
+    }
+
+    #[test]
+    fn take_frags_into_flattens_in_order_and_keeps_capacity() {
+        let mut pool = NetbufPool::with_chain_capacity(4, 128, 16, 4);
+        let mut head = pool.take().unwrap();
+        head.set_payload(b"head");
+        let mut f1 = pool.take().unwrap();
+        f1.set_payload(b"one");
+        let mut f2 = pool.take().unwrap();
+        f2.set_payload(b"two");
+        head.chain_append(f1);
+        head.chain_append(f2);
+        let mut out = Vec::new();
+        head.take_frags_into(&mut out);
+        assert!(!head.has_frags(), "head flat after detach");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload(), b"one", "chain order preserved");
+        assert_eq!(out[1].payload(), b"two");
+        // The head's reserved fragment capacity survives the detach
+        // (steady-state chain building stays allocation-free).
+        assert!(head.frags.capacity() >= 4);
+        for nb in out {
+            pool.give_back(nb);
+        }
+        pool.give_back(head);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn from_slice_wraps_bytes_with_no_headroom() {
+        let nb = Netbuf::from_slice(b"exact bytes");
+        assert_eq!(nb.payload(), b"exact bytes");
+        assert_eq!(nb.headroom(), 0);
+        assert_eq!(nb.tailroom(), 0);
+        assert!(Netbuf::from_slice(&[]).is_empty());
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! headroom and TCP/UDP/ICMP → IPv4 → Ethernet headers are pushed in
 //! front of it; the same buffer goes to `tx_burst`, is reclaimed on
 //! completion and recycled into the [`NetbufPool`]. On receive the
-//! buffer walks back up via `pull_header`, and UDP payloads are queued
-//! on sockets as netbufs until a reader copies them out
-//! (`udp_recv_into`/`tcp_recv_into`). Steady-state packet processing
-//! performs zero heap allocations (asserted by the `zero_alloc`
-//! integration test and the `netpath` smoke bench).
+//! buffer walks back up via `pull_header` and is *kept*: UDP payloads
+//! queue on sockets as netbufs and TCP payloads queue on connections
+//! as netbufs (GRO-coalesced per burst), until a reader either copies
+//! them out (`udp_recv_into`/`tcp_recv_into`) or takes the buffers
+//! whole — the zero-copy receive path
+//! (`tcp_recv_netbuf`/`udp_recv_netbuf`, recycled by the caller).
+//! Steady-state packet processing performs zero heap allocations
+//! (asserted by the `zero_alloc` integration test and the `netpath`
+//! smoke bench).
 //!
 //! Frames travel through a [`VirtioNet`](uknetdev::VirtioNet) device;
 //! [`testnet::Network`] wires multiple stacks together so clients and

@@ -16,6 +16,23 @@
 //! is not. Received data is acknowledged with per-poll coalesced ACKs
 //! (delayed-ACK shape), and a big-receive super-segment arriving as a
 //! buffer chain is ingested in one [`Tcb::on_segment_parts`] call.
+//!
+//! Since the receive-side fast path, the **receive queue is zero-copy
+//! too**: [`Tcb::on_segment_bufs`] *keeps* the RX netbufs the payload
+//! arrived in (trimmed to the TCP body) instead of copying bytes into
+//! a ring, and readers either copy out
+//! ([`app_recv_into_with`](Tcb::app_recv_into_with)) or take whole
+//! buffers ([`app_recv_netbuf`](Tcb::app_recv_netbuf) — the
+//! `tcp_recv_netbuf` substrate, the receiver's mirror of the zero-copy
+//! send queue). Ingest is **in-order only**: a payload extent is
+//! accepted exactly when it lands at `rcv_nxt`; anything else (old,
+//! duplicated, or out-of-window data, including a reordered FIN) is
+//! dropped *and answered with an immediate duplicate ACK*
+//! (`ack_pending` forced) so the peer always learns our cumulative
+//! position — a silent drop would wedge the connection. A FIN is
+//! processed only when it lands in sequence, i.e. after every payload
+//! byte preceding it was accepted; a FIN riding a dropped segment
+//! neither advances `rcv_nxt` nor changes state.
 
 use std::collections::VecDeque;
 
@@ -276,15 +293,6 @@ pub struct OutSegment {
     pub payload: Vec<u8>,
 }
 
-/// The first `n` bytes of a ring buffer as its (up to) two contiguous
-/// slices — the shape the allocation-free receive copy path
-/// ([`Tcb::app_recv_into`]) consumes.
-fn ring_front(dq: &VecDeque<u8>, n: usize) -> (&[u8], &[u8]) {
-    let (a, b) = dq.as_slices();
-    let from_a = n.min(a.len());
-    (&a[..from_a], &b[..n - from_a])
-}
-
 /// A transmission control block.
 #[derive(Debug)]
 pub struct Tcb {
@@ -310,8 +318,20 @@ pub struct Tcb {
     send_q: VecDeque<Netbuf>,
     /// Bytes across `send_q` (the send-buffer fill level).
     send_q_len: usize,
-    /// Bytes received, ready for the application.
-    recv_buf: VecDeque<u8>,
+    /// Received data, held as the pooled RX buffers it arrived in
+    /// (each trimmed to its TCP payload extent) — the zero-copy
+    /// receive queue, the mirror of `send_q`. Ingest *moves* buffers
+    /// in ([`on_segment_bufs`](Self::on_segment_bufs)); readers copy
+    /// out ([`app_recv_into_with`](Self::app_recv_into_with)) or take
+    /// buffers whole ([`app_recv_netbuf`](Self::app_recv_netbuf)).
+    /// Entries are always flat (chains are flattened at ingest).
+    recv_q: VecDeque<Netbuf>,
+    /// Bytes across `recv_q` (what [`readable`](Self::readable)
+    /// reports and the advertised window subtracts).
+    recv_q_len: usize,
+    /// Scratch for flattening ingested chains (reused; capacity
+    /// reaches steady state after the first big receive).
+    flatten_scratch: Vec<Netbuf>,
     /// Monotonic count of bytes ever ingested (readiness progress:
     /// edge-triggered watchers re-trigger on new arrivals even while
     /// data is already pending).
@@ -362,7 +382,9 @@ impl Tcb {
             last_adv_wnd: RCV_BUF_CAP as u16,
             send_q: VecDeque::new(),
             send_q_len: 0,
-            recv_buf: VecDeque::new(),
+            recv_q: VecDeque::new(),
+            recv_q_len: 0,
+            flatten_scratch: Vec::new(),
             rx_total: 0,
             out: VecDeque::new(),
             ack_pending: false,
@@ -389,7 +411,7 @@ impl Tcb {
 
     /// The receive window to advertise: free space in the receive buffer.
     fn rcv_window(&self) -> u16 {
-        (RCV_BUF_CAP - self.recv_buf.len().min(RCV_BUF_CAP)) as u16
+        (RCV_BUF_CAP - self.recv_q_len.min(RCV_BUF_CAP)) as u16
     }
 
     /// Builds the header for the next outgoing segment, recording the
@@ -429,22 +451,54 @@ impl Tcb {
         self.snd_wnd = u32::from(h.window);
     }
 
-    /// Handles an incoming segment.
+    /// Handles an incoming segment (borrowed-payload convenience over
+    /// [`on_segment_bufs`](Self::on_segment_bufs); accepted payload is
+    /// copied into a heap netbuf — tests and diagnostics only, the
+    /// stack's hot path hands the RX buffer itself over).
     pub fn on_segment(&mut self, h: &TcpHeader, payload: &[u8]) {
         self.on_segment_parts(h, std::iter::once(payload))
     }
 
     /// [`on_segment`](Self::on_segment) for a payload delivered as
     /// several contiguous extents — the shape of a big-receive
-    /// (`VIRTIO_NET_F_GUEST_TSO4`) super-segment arriving as a netbuf
-    /// chain. The parts are one segment: control processing happens
-    /// once, the parts are ingested back-to-back in sequence order.
+    /// (`VIRTIO_NET_F_GUEST_TSO4`) super-segment. The parts are one
+    /// segment: control processing happens once, the parts are
+    /// ingested back-to-back in sequence order.
     pub fn on_segment_parts<'a, I>(&mut self, h: &TcpHeader, payload: I)
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
+        self.on_segment_bufs(
+            h,
+            payload
+                .into_iter()
+                .filter(|p| !p.is_empty())
+                .map(Netbuf::from_slice),
+            |_| {},
+        )
+    }
+
+    /// The zero-copy ingest entry: handles one logical segment whose
+    /// payload arrives as *owned* netbufs (consecutive extents starting
+    /// at `h.seq` — one trimmed RX buffer, the flattened extents of a
+    /// big-receive chain, or a GRO-coalesced run of per-MSS segments).
+    /// Accepted buffers **move into the receive queue**; buffers whose
+    /// data is not accepted (old/duplicated/out-of-window), and every
+    /// buffer of a control segment, are handed to `recycle` so the
+    /// caller can return them to their pool.
+    ///
+    /// Ingest is in-order only, and never silent: dropped data forces
+    /// an immediate duplicate ACK (`ack_pending`) so the peer learns
+    /// our cumulative position instead of waiting forever.
+    pub fn on_segment_bufs<I, R>(&mut self, h: &TcpHeader, payload: I, mut recycle: R)
+    where
+        I: IntoIterator<Item = Netbuf>,
+        R: FnMut(Netbuf),
+    {
+        let payload = payload.into_iter();
         if h.flags.rst {
             self.state = TcpState::Closed;
+            payload.for_each(recycle);
             return;
         }
         match self.state {
@@ -460,6 +514,7 @@ impl Tcb {
                     self.snd_nxt = self.snd_nxt.wrapping_add(1);
                     self.state = TcpState::SynReceived;
                 }
+                payload.for_each(recycle);
             }
             TcpState::SynSent => {
                 if h.flags.syn && h.flags.ack {
@@ -471,19 +526,31 @@ impl Tcb {
                         });
                     self.state = TcpState::Established;
                 }
+                payload.for_each(recycle);
             }
             TcpState::SynReceived => {
                 if h.flags.ack {
                     self.process_ack(h);
                     self.state = TcpState::Established;
                     // The ACK completing the handshake may carry data.
-                    self.ingest_parts(h, payload);
+                    self.ingest_bufs(h, payload, &mut recycle);
+                } else {
+                    payload.for_each(recycle);
                 }
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
                 self.process_ack(h);
-                self.ingest_parts(h, payload);
-                if h.flags.fin && self.state == TcpState::Established {
+                let seg_end = self.ingest_bufs(h, payload, &mut recycle);
+                // A FIN is in sequence only when it lands exactly at
+                // `rcv_nxt` — i.e. after every payload byte preceding
+                // it was accepted. A FIN riding dropped (out-of-order
+                // or duplicated) data must not advance the sequence
+                // space or transition state; the forced duplicate ACK
+                // from the drop tells the peer where we really are.
+                let fin_in_order = self.rcv_nxt == seg_end;
+                if h.flags.fin && !fin_in_order {
+                    self.ack_pending = true;
+                } else if h.flags.fin && self.state == TcpState::Established {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
                     self.peer_fin = true;
                     self.emit(TcpFlags {
@@ -493,6 +560,7 @@ impl Tcb {
                     self.state = TcpState::CloseWait;
                 } else if h.flags.fin && self.state == TcpState::FinWait {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    self.peer_fin = true;
                     self.emit(TcpFlags {
                             ack: true,
                             ..Default::default()
@@ -504,6 +572,7 @@ impl Tcb {
                 if h.flags.ack {
                     self.state = TcpState::Closed;
                 }
+                payload.for_each(recycle);
             }
             TcpState::Closed => {
                 // Reply RST to anything but RST.
@@ -512,30 +581,73 @@ impl Tcb {
                         ack: true,
                         ..Default::default()
                     });
+                payload.for_each(recycle);
             }
         }
     }
 
-    fn ingest_parts<'a, I>(&mut self, h: &TcpHeader, payload: I)
+    /// Moves in-order payload buffers into the receive queue (chains
+    /// are flattened; every extent landing exactly at `rcv_nxt` is
+    /// kept, everything else recycled). Returns the segment's end
+    /// sequence number (`h.seq` + total payload length) — the position
+    /// a trailing FIN would occupy.
+    ///
+    /// The buffers are consecutive extents of one logical segment:
+    /// each continues at the sequence position the previous one ended,
+    /// so a duplicate whose tail reaches past `rcv_nxt` still has its
+    /// new extents accepted at buffer granularity.
+    fn ingest_bufs<I, R>(&mut self, h: &TcpHeader, payload: I, recycle: &mut R) -> u32
     where
-        I: IntoIterator<Item = &'a [u8]>,
+        I: IntoIterator<Item = Netbuf>,
+        R: FnMut(Netbuf),
     {
-        // The parts are consecutive extents of one segment: each
-        // continues at the sequence position the previous one ended.
         let mut seq = h.seq;
         let mut ingested = false;
-        for part in payload {
-            if part.is_empty() {
-                continue;
+        let mut dropped = false;
+        let mut scratch = std::mem::take(&mut self.flatten_scratch);
+        for mut head in payload {
+            // Flatten a chain into its extents, head first (the
+            // detached head keeps its fragment-list capacity, so the
+            // buffer still builds chains allocation-free after it is
+            // recycled).
+            head.take_frags_into(&mut scratch);
+            for nb in std::iter::once(head).chain(scratch.drain(..)) {
+                let len = nb.len();
+                if len == 0 {
+                    recycle(nb);
+                    continue;
+                }
+                if seq == self.rcv_nxt {
+                    self.recv_q_len += len;
+                    self.rx_total += len as u64;
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(len as u32);
+                    // Coalesce into the queue tail's tailroom when the
+                    // extent fits (Linux's `tcp_try_coalesce`): the
+                    // advertised window counts payload bytes, but each
+                    // retained buffer pins a whole pool buffer — a
+                    // fine-grained sender (many small segments) must
+                    // not pin a buffer per segment. The copy touches
+                    // only small extents; a full-MSS stream never fits
+                    // the tail and stays zero-copy.
+                    match self.recv_q.back_mut() {
+                        Some(tail) if len <= tail.tailroom() => {
+                            tail.append(nb.payload());
+                            recycle(nb);
+                        }
+                        _ => self.recv_q.push_back(nb),
+                    }
+                    ingested = true;
+                } else {
+                    // In-order-only ingest: old, duplicated or
+                    // out-of-window data is dropped — but never
+                    // silently (see below).
+                    dropped = true;
+                    recycle(nb);
+                }
+                seq = seq.wrapping_add(len as u32);
             }
-            if seq == self.rcv_nxt {
-                self.recv_buf.extend(part);
-                self.rx_total += part.len() as u64;
-                self.rcv_nxt = self.rcv_nxt.wrapping_add(part.len() as u32);
-                ingested = true;
-            }
-            seq = seq.wrapping_add(part.len() as u32);
         }
+        self.flatten_scratch = scratch;
         if ingested {
             // Delayed-ACK coalescing: the acknowledgement rides the
             // next outgoing segment (or one pure ACK at poll time),
@@ -543,8 +655,14 @@ impl Tcb {
             // once per segment.
             self.ack_pending = true;
         }
-        // Out-of-order segments are impossible on the lossless testnet;
-        // they would be dropped (and retransmitted) on a real one.
+        if dropped {
+            // Duplicate ACK: dropped data *must* be acknowledged at
+            // our current cumulative position, or a peer whose
+            // segment was duplicated/reordered in delivery would wait
+            // forever for an acknowledgement that never comes.
+            self.ack_pending = true;
+        }
+        seq
     }
 
     /// Queues application data for transmission, accepting at most the
@@ -603,33 +721,82 @@ impl Tcb {
     /// advertised a zero window emits a window-update ACK so the peer's
     /// transmission can resume.
     pub fn app_recv(&mut self, max: usize) -> Vec<u8> {
-        let mut data = vec![0u8; max.min(self.recv_buf.len())];
+        let mut data = vec![0u8; max.min(self.recv_q_len)];
         let n = self.app_recv_into(&mut data);
         data.truncate(n);
         data
     }
 
     /// Copies up to `out.len()` received bytes into `out` (the
-    /// allocation-free receive path), returning the count. Same
+    /// allocation-free receive copy path), returning the count. Spent
+    /// queue buffers are dropped — the pooled path is
+    /// [`app_recv_into_with`](Self::app_recv_into_with). Same
     /// window-update semantics as [`app_recv`](Self::app_recv).
     pub fn app_recv_into(&mut self, out: &mut [u8]) -> usize {
-        let n = out.len().min(self.recv_buf.len());
-        let (a, b) = ring_front(&self.recv_buf, n);
-        out[..a.len()].copy_from_slice(a);
-        out[a.len()..n].copy_from_slice(b);
-        self.recv_buf.drain(..n);
-        if n > 0 && self.last_adv_wnd == 0 && self.state != TcpState::Closed {
+        self.app_recv_into_with(out, |_| {})
+    }
+
+    /// [`app_recv_into`](Self::app_recv_into) with an explicit buffer
+    /// sink: queue buffers drained to exhaustion are handed to
+    /// `recycle` (the stack returns them to its pool). A buffer only
+    /// partially consumed by the copy retains its tail — the start of
+    /// its payload advances over the copied bytes and it stays at the
+    /// queue front (split-and-retain).
+    pub fn app_recv_into_with<R: FnMut(Netbuf)>(&mut self, out: &mut [u8], mut recycle: R) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            let Some(front) = self.recv_q.front_mut() else {
+                break;
+            };
+            let take = front.len().min(out.len() - n);
+            out[n..n + take].copy_from_slice(&front.payload()[..take]);
+            front.pull_header(take);
+            n += take;
+            if front.is_empty() {
+                let spent = self.recv_q.pop_front().expect("front exists");
+                recycle(spent);
+            }
+        }
+        self.recv_q_len -= n;
+        if n > 0 {
+            self.window_update_after_drain();
+        }
+        n
+    }
+
+    /// Takes the next received buffer whole — the zero-copy receive
+    /// path (`tcp_recv_netbuf`): the payload extent the peer's bytes
+    /// arrived in moves straight to the application, which owns it and
+    /// must hand it back to the stack's pool when done. Same
+    /// window-update semantics as [`app_recv`](Self::app_recv).
+    pub fn app_recv_netbuf(&mut self) -> Option<Netbuf> {
+        let nb = self.recv_q.pop_front()?;
+        self.recv_q_len -= nb.len();
+        self.window_update_after_drain();
+        Some(nb)
+    }
+
+    /// Emits a window-update ACK when draining reopens a receive
+    /// window that had been advertised as zero.
+    fn window_update_after_drain(&mut self) {
+        if self.last_adv_wnd == 0 && self.state != TcpState::Closed {
             self.emit(TcpFlags {
                 ack: true,
                 ..Default::default()
             });
         }
-        n
     }
 
     /// Bytes available to read.
     pub fn readable(&self) -> usize {
-        self.recv_buf.len()
+        self.recv_q_len
+    }
+
+    /// Whether control output (ACKs, handshake segments) is queued —
+    /// the cheap "does a flush have anything to do" probe the netbuf
+    /// receive paths use to avoid a full output poll per buffer.
+    pub fn has_pending_control(&self) -> bool {
+        !self.out.is_empty()
     }
 
     /// Monotonic count of bytes ever received (readiness progress).
@@ -639,7 +806,7 @@ impl Tcb {
 
     /// Whether the peer has closed and all data was read.
     pub fn peer_closed(&self) -> bool {
-        self.peer_fin && self.recv_buf.is_empty()
+        self.peer_fin && self.recv_q_len == 0
     }
 
     /// Whether the peer's FIN has arrived (data may remain buffered) —
@@ -1164,6 +1331,159 @@ mod tests {
             segs.last().unwrap().header.seq.wrapping_add(MSS as u32),
             "cumulative acknowledgement"
         );
+    }
+
+    /// The silent-drop regression: a duplicated segment (seq <
+    /// rcv_nxt) must be answered with an immediate pure ACK at the
+    /// cumulative position — the old code dropped it without a word,
+    /// so a peer waiting for that acknowledgement wedged forever.
+    #[test]
+    fn duplicated_segment_gets_an_immediate_dup_ack() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        client.app_send(b"hello dup").unwrap();
+        let segs = client.poll_output();
+        for s in &segs {
+            server.on_segment(&s.header, &s.payload);
+        }
+        let _ = server.poll_output(); // Drain the first ACK.
+        let expected_ack = server.rcv_nxt;
+        // The same data segment arrives again (duplicated delivery).
+        let data_seg = segs.iter().find(|s| !s.payload.is_empty()).unwrap();
+        server.on_segment(&data_seg.header, &data_seg.payload);
+        assert_eq!(server.readable(), b"hello dup".len(), "no double ingest");
+        let acks = server.poll_output();
+        assert_eq!(acks.len(), 1, "dup-ACK emitted, not silence");
+        assert!(acks[0].payload.is_empty());
+        assert!(acks[0].header.flags.ack);
+        assert_eq!(
+            acks[0].header.ack, expected_ack,
+            "dup-ACK carries the cumulative position"
+        );
+    }
+
+    /// Out-of-window (future) data is also dropped loudly: the pure
+    /// ACK at rcv_nxt is what tells the peer to retransmit the gap.
+    #[test]
+    fn out_of_order_segment_is_dropped_with_a_dup_ack() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let rcv_before = server.rcv_nxt;
+        let gap = TcpHeader {
+            src_port: 4000,
+            dst_port: 80,
+            seq: rcv_before.wrapping_add(1000), // A hole precedes this.
+            ack: server.snd_nxt,
+            flags: TcpFlags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
+            window: 65535,
+        };
+        server.on_segment(&gap, b"future bytes");
+        assert_eq!(server.readable(), 0, "gapped data not ingested");
+        assert_eq!(server.rcv_nxt, rcv_before, "sequence space untouched");
+        let acks = server.poll_output();
+        assert_eq!(acks.len(), 1, "drop is acknowledged, not silent");
+        assert_eq!(acks[0].header.ack, rcv_before);
+    }
+
+    /// The FIN-desync regression: a FIN riding a segment whose payload
+    /// was dropped (out-of-order) must not advance `rcv_nxt` or
+    /// transition state — the old code did both, corrupting the
+    /// sequence space so the real data could never be accepted.
+    #[test]
+    fn fin_with_dropped_out_of_order_data_does_not_desync() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        let rcv_before = server.rcv_nxt;
+        // An out-of-order data+FIN segment: its payload starts one
+        // byte past rcv_nxt, so nothing can be accepted.
+        let ooo = TcpHeader {
+            src_port: 4000,
+            dst_port: 80,
+            seq: rcv_before.wrapping_add(1),
+            ack: server.snd_nxt,
+            flags: TcpFlags {
+                ack: true,
+                fin: true,
+                psh: true,
+                ..Default::default()
+            },
+            window: 65535,
+        };
+        server.on_segment(&ooo, b"tail");
+        assert_eq!(server.state, TcpState::Established, "no bogus CloseWait");
+        assert_eq!(server.rcv_nxt, rcv_before, "FIN did not eat a sequence");
+        assert!(!server.peer_fin_seen());
+        let acks = server.poll_output();
+        assert_eq!(acks.len(), 1, "the drop was dup-ACKed");
+        assert_eq!(acks[0].header.ack, rcv_before);
+        // The stream still works: the in-order bytes and FIN arrive
+        // and the connection closes normally.
+        client.app_send(b"xtail").unwrap();
+        client.app_close();
+        pump(&mut client, &mut server);
+        assert_eq!(server.app_recv(usize::MAX), b"xtail", "stream intact");
+        assert_eq!(server.state, TcpState::CloseWait, "real FIN processed");
+        assert!(server.peer_fin_seen());
+    }
+
+    /// A FIN-only segment that is itself out of order (retransmitted
+    /// duplicate) is ignored but acknowledged.
+    #[test]
+    fn duplicate_fin_is_not_processed_twice() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        client.app_close();
+        let segs = client.poll_output();
+        let fin = segs.iter().find(|s| s.header.flags.fin).unwrap();
+        server.on_segment(&fin.header, &fin.payload);
+        assert_eq!(server.state, TcpState::CloseWait);
+        let rcv_after_fin = server.rcv_nxt;
+        let _ = server.poll_output();
+        // The same FIN again: seq now sits one below rcv_nxt.
+        server.on_segment(&fin.header, &fin.payload);
+        assert_eq!(server.rcv_nxt, rcv_after_fin, "FIN consumed exactly once");
+        assert_eq!(server.state, TcpState::CloseWait);
+        let acks = server.poll_output();
+        assert_eq!(acks.len(), 1, "duplicate FIN is re-ACKed");
+        assert_eq!(acks[0].header.ack, rcv_after_fin);
+    }
+
+    /// The zero-copy receive queue: ingested buffers come back out
+    /// whole through `app_recv_netbuf`, in order, and mixing the copy
+    /// path with the netbuf path preserves the stream (a partially
+    /// copied buffer retains its tail at the queue front).
+    #[test]
+    fn recv_netbuf_hands_out_ingested_buffers_in_order() {
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(4000, 80, 1);
+        pump(&mut client, &mut server);
+        client.app_send(b"first-segment").unwrap();
+        for s in client.poll_output() {
+            server.on_segment(&s.header, &s.payload);
+        }
+        client.app_send(b"second-segment").unwrap();
+        for s in client.poll_output() {
+            server.on_segment(&s.header, &s.payload);
+        }
+        assert_eq!(server.readable(), 27);
+        // Copy out part of the first buffer; the tail must be retained.
+        let mut head = [0u8; 6];
+        assert_eq!(server.app_recv_into(&mut head), 6);
+        assert_eq!(&head, b"first-");
+        let nb = server.app_recv_netbuf().expect("retained tail");
+        assert_eq!(nb.payload(), b"segment");
+        let nb2 = server.app_recv_netbuf().expect("second buffer");
+        assert_eq!(nb2.payload(), b"second-segment");
+        assert!(server.app_recv_netbuf().is_none());
+        assert_eq!(server.readable(), 0);
     }
 
     #[test]

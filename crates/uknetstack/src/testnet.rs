@@ -33,6 +33,15 @@
 //!   the receiving stack may skip its software verification pass.
 //!   Frames injected by other means (tests forging corruption) stay
 //!   unmarked and are always verified.
+//!
+//! For receive-path robustness tests the wire can also be made
+//! **imperfect**: [`Network::set_dup_every`] duplicates every n-th
+//! delivered plain frame and [`Network::set_reorder_every`] swaps
+//! every n-th with its predecessor in the same destination's batch —
+//! deterministic stand-ins for the duplicated/reordered deliveries a
+//! real L2 can produce, which the TCP ingest must survive (drop the
+//! stale copy, answer with a duplicate ACK, never desync on a
+//! reordered FIN).
 
 use uknetdev::netbuf::Netbuf;
 
@@ -51,6 +60,15 @@ pub struct Network {
     /// When capturing, every delivered wire frame's bytes in delivery
     /// order (post-TSO-cut — what the receivers actually see).
     wire_log: Option<Vec<Vec<u8>>>,
+    /// Duplicate every n-th delivered plain frame (0 = off).
+    dup_every: u64,
+    /// Swap every n-th delivered plain frame with its predecessor in
+    /// the same destination batch (0 = off).
+    reorder_every: u64,
+    /// Plain frames delivered since the fault counters were armed.
+    fault_tick: u64,
+    /// Faults injected so far (tests assert against this).
+    faults_injected: u64,
 }
 
 impl Network {
@@ -86,9 +104,33 @@ impl Network {
         self.wire_log.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
-    /// Moves frames between stacks once; returns frames moved (wire
-    /// frames, i.e. a TSO super-segment counts once per cut frame).
-    pub fn step(&mut self) -> usize {
+    /// Duplicates every `n`-th delivered plain (unchained) frame: the
+    /// receiver sees the frame twice back-to-back, like a flapping
+    /// switch path. `0` disables. Deterministic — tests get the same
+    /// fault pattern every run.
+    pub fn set_dup_every(&mut self, n: u64) {
+        self.dup_every = n;
+        self.fault_tick = 0;
+    }
+
+    /// Swaps every `n`-th delivered plain frame with the frame staged
+    /// just before it for the same destination (adjacent reorder).
+    /// `0` disables.
+    pub fn set_reorder_every(&mut self, n: u64) {
+        self.reorder_every = n;
+        self.fault_tick = 0;
+    }
+
+    /// Faults (duplicates + reorders) injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Moves frames between stacks once **without** pumping them — the
+    /// pure wire half of [`step`](Self::step). Callers that need to
+    /// attribute work per side (the receive-path benches time the
+    /// receiver's pump separately) drive the pumps themselves.
+    pub fn transfer(&mut self) -> usize {
         let mut moved = 0;
         let mut scratch = std::mem::take(&mut self.wire_scratch);
         let mut stage = std::mem::take(&mut self.inject_stage);
@@ -175,6 +217,31 @@ impl Network {
                             log.push(rx.chain_segments().flatten().copied().collect());
                         }
                     }
+                    // Configured wire faults: duplicate delivery and
+                    // adjacent reorder of plain frames, on
+                    // deterministic cadences.
+                    if (self.dup_every > 0 || self.reorder_every > 0)
+                        && stage[i].len() > staged_from
+                        && !stage[i].last().expect("staged").has_frags()
+                    {
+                        self.fault_tick += 1;
+                        if self.dup_every > 0 && self.fault_tick % self.dup_every == 0 {
+                            let mut dup = self.stacks[i].take_rx_buf();
+                            dup.set_payload(stage[i].last().expect("staged").payload());
+                            dup.mark_csum_verified();
+                            stage[i].push(dup);
+                            moved += 1;
+                            self.faults_injected += 1;
+                        }
+                        if self.reorder_every > 0
+                            && self.fault_tick % self.reorder_every == 0
+                            && stage[i].len() >= 2
+                        {
+                            let n = stage[i].len();
+                            stage[i].swap(n - 1, n - 2);
+                            self.faults_injected += 1;
+                        }
+                    }
                 }
                 self.stacks[src].recycle(nb);
             }
@@ -187,7 +254,14 @@ impl Network {
         }
         self.wire_scratch = scratch;
         self.inject_stage = stage;
-        // Let every stack process what arrived.
+        moved
+    }
+
+    /// Moves frames between stacks once and lets every stack process
+    /// what arrived; returns frames moved (wire frames, i.e. a TSO
+    /// super-segment counts once per cut frame).
+    pub fn step(&mut self) -> usize {
+        let moved = self.transfer();
         for s in &mut self.stacks {
             s.pump();
         }
@@ -816,6 +890,158 @@ mod tests {
         net2.stack(rx).pump();
         assert_eq!(net2.stack(rx).stats().dropped, dropped_before + 1);
         assert!(net2.stack(rx).udp_recv_from(sock2).is_none());
+    }
+
+    /// A wire that duplicates frames: the receiver must drop every
+    /// stale copy (answering with a dup-ACK, not silence), keep the
+    /// stream byte-exact, and recycle the dropped buffers — no pool
+    /// leak. The sender runs without TSO so real per-MSS data frames
+    /// are what get duplicated.
+    #[test]
+    fn duplicated_wire_frames_leave_the_stream_exact_and_leak_nothing() {
+        let mut net = Network::new();
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        let mut cfg = StackConfig::node(1);
+        cfg.tso = false; // Per-MSS frames on the wire.
+        let ci = net.attach(NetStack::new(cfg, Box::new(dev)));
+        let si = net.attach(mk_stack(2));
+        net.set_dup_every(4);
+        let (client, conn) = establish(&mut net, ci, si, 9800);
+        let blob: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let got = bulk_send(&mut net, ci, si, client, conn, &blob);
+        assert_eq!(got.len(), blob.len(), "every byte arrived exactly once");
+        assert_eq!(got, blob, "stream exact despite duplicated deliveries");
+        assert!(net.faults_injected() > 10, "the wire really duplicated");
+        net.run_until_quiet(32);
+        assert_eq!(
+            net.stack(si).pool_available(),
+            Some(512),
+            "every dropped duplicate was recycled to the pool"
+        );
+        assert_eq!(net.stack(ci).pool_available(), Some(512));
+    }
+
+    /// The FIN-reorder regression at wire level: the wire swaps the
+    /// final data segment with the FIN behind it, so the FIN arrives
+    /// first (out of order). The receiver must drop the FIN without
+    /// touching the sequence space — the data that follows still lands
+    /// in order and the stream stays exact. (The old ingest advanced
+    /// `rcv_nxt` for the early FIN and transitioned to CloseWait,
+    /// after which the real data could never be accepted.)
+    #[test]
+    fn reordered_fin_does_not_desync_the_stream() {
+        let mut net = two_node_net();
+        let (client, conn) = establish(&mut net, 0, 1, 9900);
+        // Everything already settled; now arm adjacent reordering for
+        // every delivery whose batch has two frames.
+        net.set_reorder_every(1);
+        let payload = b"the last chunk before close";
+        net.stack(0).tcp_send_queued(client, payload).unwrap();
+        net.stack(0).tcp_close(client).unwrap(); // Data + FIN, one batch.
+        net.run_until_quiet(32);
+        assert!(net.faults_injected() > 0, "the wire really reordered");
+        let got = net.stack(1).tcp_recv(conn, 1024).unwrap();
+        assert_eq!(got, payload, "data accepted despite the early FIN");
+        // The reordered FIN was dropped, not processed out of order:
+        // the connection is still Established (the FIN is gone for
+        // good — this wire has no retransmission — but the sequence
+        // space is intact, which is the property under test).
+        assert_eq!(
+            net.stack(1).tcp_state(conn),
+            Some(TcpState::Established),
+            "no bogus CloseWait from an out-of-order FIN"
+        );
+        assert!(!net.stack(1).tcp_peer_closed(conn));
+    }
+
+    /// GRO engages on per-MSS bursts: a non-TSO sender's consecutive
+    /// segments are merged into multi-frame ingests, and the received
+    /// stream plus the zero-copy netbuf drain are byte-exact.
+    #[test]
+    fn gro_coalesces_per_mss_bursts_and_netbuf_recv_drains_them() {
+        let mut net = Network::new();
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        let mut cfg = StackConfig::node(1);
+        cfg.tso = false; // Per-MSS sender: the GRO target workload.
+        let ci = net.attach(NetStack::new(cfg, Box::new(dev)));
+        let si = net.attach(mk_stack(2));
+        assert!(net.stack(si).gro());
+        let (client, conn) = establish(&mut net, ci, si, 9950);
+        let blob: Vec<u8> = (0..120_000u32).map(|i| (i.wrapping_mul(13) % 251) as u8).collect();
+
+        let mut got = Vec::new();
+        let mut bufs: Vec<Netbuf> = Vec::new();
+        let mut sent = 0;
+        for _ in 0..10_000 {
+            if sent < blob.len() {
+                sent += net.stack(ci).tcp_send_queued(client, &blob[sent..]).unwrap_or(0);
+                net.stack(ci).flush_output().unwrap();
+            }
+            net.step();
+            // Zero-copy drain: whole payload buffers, recycled after.
+            loop {
+                let n = net.stack(si).tcp_recv_burst_netbuf(conn, &mut bufs, 64);
+                if n == 0 {
+                    break;
+                }
+                for nb in bufs.drain(..) {
+                    got.extend_from_slice(nb.payload());
+                    net.stack(si).recycle(nb);
+                }
+            }
+            if got.len() == blob.len() {
+                break;
+            }
+        }
+        assert_eq!(got, blob, "stream exact through GRO + netbuf recv");
+        let stats = net.stack(si).stats();
+        assert!(stats.gro_runs > 0, "GRO really merged runs");
+        assert!(
+            stats.gro_merged_frames >= 2 * stats.gro_runs,
+            "runs contain at least two frames each"
+        );
+        net.run_until_quiet(32);
+        assert_eq!(
+            net.stack(si).pool_available(),
+            Some(512),
+            "all receive-queue buffers returned to the pool"
+        );
+    }
+
+    /// A fine-grained sender (many small segments, never drained) must
+    /// not pin one pool buffer per segment: small extents coalesce
+    /// into the receive-queue tail's tailroom (`tcp_try_coalesce`
+    /// shape), so the buffers pinned stay proportional to the *bytes*
+    /// buffered, not the segment count.
+    #[test]
+    fn small_segment_flood_does_not_pin_a_buffer_per_segment() {
+        let mut net = two_node_net();
+        let (client, conn) = establish(&mut net, 0, 1, 9850);
+        // 300 separate 100-byte segments: sent one per step so the
+        // send queue cannot merge them into MSS segments — each is
+        // its own wire frame. The server never reads.
+        let chunk = [0x4du8; 100];
+        for _ in 0..300 {
+            net.stack(0).tcp_send(client, &chunk).unwrap();
+            net.step();
+        }
+        assert_eq!(net.stack(1).tcp_readable(conn), 300 * 100, "all buffered");
+        let pinned = 512 - net.stack(1).pool_available().unwrap();
+        assert!(
+            pinned <= 32,
+            "30 KB of 100-byte segments must coalesce into few buffers \
+             ({pinned} pinned)"
+        );
+        // The stream is intact and every buffer comes back.
+        let got = net.stack(1).tcp_recv(conn, usize::MAX).unwrap();
+        assert_eq!(got.len(), 300 * 100);
+        assert!(got.iter().all(|&b| b == 0x4d));
+        net.run_until_quiet(16);
+        assert_eq!(net.stack(1).pool_available(), Some(512), "no leak");
     }
 
     #[test]

@@ -569,6 +569,114 @@ proptest! {
     }
 }
 
+// --- GRO coalescing ≡ per-segment delivery ---------------------------
+
+/// Runs one bulk client→server transfer over a per-MSS (non-TSO)
+/// sender and returns `(received stream, wire frames)` — the receiver
+/// either GRO-coalesces consecutive segments before ingest or takes
+/// them one at a time. `drain` bytes are read per step, so small
+/// values squeeze the receive window and vary the burst shapes.
+fn gro_transfer(gro: bool, mss: usize, data: &[u8], drain: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    use uknetdev::backend::VhostKind;
+    use uknetdev::dev::{NetDev, NetDevConf};
+    use uknetdev::VirtioNet;
+    use uknetstack::stack::{NetStack, StackConfig};
+    use uknetstack::testnet::Network;
+    use uknetstack::Endpoint;
+    use ukplat::time::Tsc;
+
+    let mk = |n: u8, gro: bool| {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        let mut cfg = StackConfig::node(n);
+        cfg.tso = false; // Per-MSS wire frames: the GRO target shape.
+        cfg.mss = mss;
+        cfg.gro = gro;
+        NetStack::new(cfg, Box::new(dev))
+    };
+    let mut net = Network::new();
+    let ci = net.attach(mk(1, gro));
+    let si = net.attach(mk(2, gro));
+    let listener = net.stack(si).tcp_listen(80).unwrap();
+    let client = net
+        .stack(ci)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+        .unwrap();
+    net.run_until_quiet(32);
+    let conn = net.stack(si).tcp_accept(listener).unwrap();
+
+    net.start_wire_capture();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sent = 0;
+    let mut got: Vec<u8> = Vec::with_capacity(data.len());
+    for _ in 0..20_000 {
+        if sent < data.len() {
+            let n = net
+                .stack(ci)
+                .tcp_send_queued(client, &data[sent..])
+                .unwrap_or(0);
+            sent += n;
+            net.stack(ci).flush_output().unwrap();
+        }
+        net.step();
+        let room = drain.min(buf.len());
+        let n = net.stack(si).tcp_recv_into(conn, &mut buf[..room]).unwrap();
+        got.extend_from_slice(&buf[..n]);
+        if sent == data.len() && got.len() == data.len() {
+            break;
+        }
+    }
+    assert_eq!(got.len(), data.len(), "transfer completed (gro={gro})");
+    // Teardown rides the capture too.
+    net.stack(ci).tcp_close(client).unwrap();
+    net.run_until_quiet(64);
+    if gro && data.len() >= 8 * mss {
+        // Enough consecutive segments flow per burst that at least one
+        // multi-frame run must have formed.
+        assert!(
+            net.stack(si).stats().gro_runs > 0,
+            "GRO engaged on the coalescing run (mss={mss})"
+        );
+    }
+    (got, net.take_wire_capture())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// GRO-coalesced delivery ≡ per-segment delivery: for arbitrary
+    /// payload sizes, MSS values and receiver drain rates, both the
+    /// received byte stream *and* the full wire conversation — data
+    /// segments, coalesced ACKs, window updates and teardown — are
+    /// byte-identical with GRO on and off. Coalescing may change how
+    /// the receiver does its work, never what the peer observes.
+    #[test]
+    fn gro_delivery_is_byte_identical_to_per_segment(
+        len in 1usize..80_000,
+        mss in 300usize..1461,
+        drain in 500usize..65_536,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..len)
+            .map(|i| ((i as u32).wrapping_mul(17).wrapping_add(seed as u32) % 251) as u8)
+            .collect();
+        let (on_stream, on_wire) = gro_transfer(true, mss, &data, drain);
+        let (off_stream, off_wire) = gro_transfer(false, mss, &data, drain);
+        prop_assert_eq!(&on_stream, &data, "GRO stream exact");
+        prop_assert_eq!(on_stream, off_stream, "identical delivered streams");
+        prop_assert_eq!(
+            on_wire.len(),
+            off_wire.len(),
+            "same wire frame count (mss={}, len={}, drain={})",
+            mss, len, drain
+        );
+        for (i, (a, b)) in on_wire.iter().zip(off_wire.iter()).enumerate() {
+            prop_assert_eq!(a, b, "wire frame {} differs (mss={}, len={})", i, mss, len);
+        }
+    }
+}
+
 /// Drives two TCBs against each other until quiescent.
 fn pump(a: &mut Tcb, b: &mut Tcb) {
     for _ in 0..64 {

@@ -339,6 +339,87 @@ fn bulk_1mb_tso_transfer_is_allocation_free_in_steady_state() {
     assert!(net.stack(ci).stats().tso_super_frames > 0);
 }
 
+/// The receive-side guard: a 1 MB transfer from a **per-MSS sender**
+/// (TSO off — every wire frame is an MSS segment, the workload GRO
+/// exists for) drained through the zero-copy netbuf receive path must
+/// be allocation-free: frames coalesce in the reused GRO stage, the
+/// payload buffers move from the demux into the connection's receive
+/// queue and out to the application, and recycling returns each to
+/// the pool. Not one byte of payload is copied on the receive side
+/// and not one heap allocation happens anywhere.
+#[test]
+fn recv_1mb_gro_netbuf_path_is_allocation_free_in_steady_state() {
+    let _guard = serial();
+    let mut net = Network::new();
+    let tsc = Tsc::new(3_600_000_000);
+    let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+    dev.configure(NetDevConf::default()).unwrap();
+    let mut cfg = StackConfig::node(1);
+    cfg.tso = false; // Per-MSS frames on the wire.
+    let ci = net.attach(NetStack::new(cfg, Box::new(dev)));
+    let si = net.attach(mk_stack(2));
+    assert!(net.stack(si).gro(), "receive path runs over GRO");
+    let listener = net.stack(si).tcp_listen(9100).unwrap();
+    let client = net
+        .stack(ci)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9100))
+        .unwrap();
+    net.run_until_quiet(32);
+    let server = net.stack(si).tcp_accept(listener).unwrap();
+
+    const TOTAL: usize = 1024 * 1024;
+    let chunk = [0x2eu8; 64 * 1024];
+    let mut bufs: Vec<uknetdev::netbuf::Netbuf> = Vec::with_capacity(64);
+
+    // One bulk transfer, drained entirely through tcp_recv_burst_netbuf
+    // with every buffer recycled to the receiver's pool.
+    let transfer = |net: &mut Network, bufs: &mut Vec<uknetdev::netbuf::Netbuf>| {
+        let mut sent = 0;
+        let mut got = 0;
+        while got < TOTAL {
+            if sent < TOTAL {
+                let want = chunk.len().min(TOTAL - sent);
+                let n = net
+                    .stack(ci)
+                    .tcp_send_queued(client, &chunk[..want])
+                    .unwrap_or(0);
+                sent += n;
+                net.stack(ci).flush_output().unwrap();
+            }
+            net.step();
+            loop {
+                let n = net.stack(si).tcp_recv_burst_netbuf(server, bufs, 64);
+                if n == 0 {
+                    break;
+                }
+                for nb in bufs.drain(..) {
+                    got += nb.payload().len();
+                    net.stack(si).recycle(nb);
+                }
+            }
+        }
+        assert_eq!(got, TOTAL, "whole megabyte received as netbufs");
+    };
+
+    for _ in 0..2 {
+        transfer(&mut net, &mut bufs);
+    }
+
+    let frames_before = net.stack(si).stats().rx_frames;
+    let counter = AllocCounter::start();
+    transfer(&mut net, &mut bufs);
+    let allocs = counter.allocs();
+    let frames = net.stack(si).stats().rx_frames - frames_before;
+    assert!(frames > 500, "per-MSS receive really happened ({frames} frames)");
+    assert_eq!(
+        allocs, 0,
+        "steady-state 1 MB GRO + netbuf receive must not touch the heap \
+         ({allocs} allocs over {frames} frames)"
+    );
+    // And it really rode the receive fast path: coalesced runs.
+    assert!(net.stack(si).stats().gro_runs > 0, "GRO merged runs");
+}
+
 #[test]
 fn buffers_circulate_without_draining_the_pools() {
     let _guard = serial();
