@@ -6,12 +6,22 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-workspace test bench bench-event bench-smoke bench-json examples clean
+.PHONY: verify verify-trace-off verify-workspace test bench bench-event bench-smoke bench-json examples clean
 
 ## Tier-1: release build + root-crate tests (ROADMAP's check).
 verify:
 	$(CARGO) build --release
 	$(CARGO) test -q
+
+## The compile-out guarantee: build and test the datapath with
+## tracing (and the uktrace/ukstats default features) off. The
+## `trace_noop` cfg test asserts the no-op ring is zero-sized and that
+## the echo scenario records nothing — i.e. the tracepoints added no
+## code to `pump` and friends.
+verify-trace-off:
+	$(CARGO) test -q -p uknetstack --no-default-features
+	$(CARGO) test -q -p ukstats --no-default-features
+	$(CARGO) test -q -p uktrace --no-default-features
 
 ## The full sweep: every workspace crate's unit, integration and prop
 ## tests, plus bench/example compilation and the netpath smoke bench
@@ -19,6 +29,7 @@ verify:
 verify-workspace:
 	$(CARGO) build --release --workspace --benches --examples
 	$(CARGO) test -q --workspace
+	$(MAKE) verify-trace-off
 	$(MAKE) bench-smoke
 
 test:
@@ -46,9 +57,12 @@ bench-smoke:
 ## (4KB/64KB/1MB × tso × rx_csum, bytes/s, allocs/frame), and the PR 5
 ## receive-path grid (64KB/1MB per-MSS ingest × gro on/off ×
 ## netbuf-recv vs copy-recv, receiver-side bytes/s, allocs/frame) —
-## and writes them to BENCH_PR5.json.
+## and writes them to BENCH_PR6.json. Since PR 6 each cell also embeds
+## the ukstats counter deltas measured inside its timed window and the
+## document ends with a full registry snapshot; the human tables are
+## suppressed (leveled logging drops to Warn in --json mode).
 bench-json:
-	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR5.json
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR6.json
 
 examples:
 	$(CARGO) build --release --examples

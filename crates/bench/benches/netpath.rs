@@ -31,8 +31,13 @@
 //! **allocations per frame** (expected: 0.000 on every pooled config,
 //! enforced), round-trips/s and ns/RTT. With `--json <path>` the
 //! ablation table is also written as machine-readable JSON
-//! (`make bench-json` → `BENCH_PR5.json`), so the perf trajectory is
-//! diffable across PRs.
+//! (`make bench-json` → `BENCH_PR6.json`), so the perf trajectory is
+//! diffable across PRs. Since the observability layer landed, each
+//! JSON cell carries the `ukstats` counter deltas measured inside its
+//! timed window (what the datapath *did*, not just how long it took),
+//! the document ends with a full registry snapshot, and the human
+//! tables ride the `ukcore` leveled log macros — `--json` runs drop
+//! the level to `Warn`, so nothing pollutes machine-readable output.
 
 use std::time::Instant;
 
@@ -48,6 +53,21 @@ use ukplat::time::Tsc;
 
 #[global_allocator]
 static COUNTING: ukalloc::stats::CountingAlloc = ukalloc::stats::CountingAlloc;
+
+/// Non-zero `ukstats` counter deltas since `base`, as a JSON object.
+/// Called only after the cell's `AllocCounter` window closed —
+/// snapshotting allocates.
+fn stats_delta_json(base: &ukstats::Snapshot) -> String {
+    let mut out = String::from("{");
+    for (i, c) in ukstats::snapshot().counters_since(base).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", c.name, c.value));
+    }
+    out.push('}');
+    out
+}
 
 /// Echoes per burst turn (matches `MAX_BURST / 2` and the zero-alloc
 /// guard's batch).
@@ -509,6 +529,8 @@ struct Row {
     rtt_per_s: f64,
     ns_per_rtt: f64,
     allocs_per_frame: f64,
+    /// `ukstats` counter deltas inside the timed window (JSON object).
+    stats: String,
 }
 
 /// One row of the bulk-throughput ablation matrix.
@@ -520,6 +542,7 @@ struct BulkRow {
     bytes_per_s: f64,
     mib_per_s: f64,
     allocs_per_frame: f64,
+    stats: String,
 }
 
 /// One row of the receive-path ablation matrix (per-MSS sender;
@@ -532,6 +555,7 @@ struct RecvRow {
     recv_bytes_per_s: f64,
     recv_mib_per_s: f64,
     allocs_per_frame: f64,
+    stats: String,
 }
 
 /// The ablation matrix: per-frame vs burst, offload on/off, pooled vs
@@ -546,8 +570,9 @@ fn ablation_report(json_path: Option<&str>) {
         h: &mut TcpHarness,
         rounds: u64,
         burst: bool,
-    ) -> (f64, f64, f64) {
+    ) -> (f64, f64, f64, String) {
         let before = h.tx_frames();
+        let sbase = ukstats::snapshot();
         let counter = AllocCounter::start();
         let start = Instant::now();
         for _ in 0..rounds {
@@ -558,12 +583,14 @@ fn ablation_report(json_path: Option<&str>) {
             }
         }
         let elapsed = start.elapsed();
+        let allocs = counter.allocs();
         let rtts = (rounds * if burst { BURST as u64 } else { 1 }) as f64;
         let frames = (h.tx_frames() - before).max(1);
         (
             rtts / elapsed.as_secs_f64(),
             elapsed.as_nanos() as f64 / rtts,
-            counter.allocs() as f64 / frames as f64,
+            allocs as f64 / frames as f64,
+            stats_delta_json(&sbase),
         )
     }
 
@@ -579,7 +606,7 @@ fn ablation_report(json_path: Option<&str>) {
         let burst = mode == "burst32";
         let mut h = TcpHarness::new(pooled, offload);
         let rounds = if burst { BURST_ROUNDS } else { ROUNDS };
-        let (rtt_per_s, ns_per_rtt, allocs_per_frame) = run_tcp(&mut h, rounds, burst);
+        let (rtt_per_s, ns_per_rtt, allocs_per_frame, stats) = run_tcp(&mut h, rounds, burst);
         rows.push(Row {
             name,
             proto: "tcp_512B",
@@ -589,6 +616,7 @@ fn ablation_report(json_path: Option<&str>) {
             rtt_per_s,
             ns_per_rtt,
             allocs_per_frame,
+            stats,
         });
     }
 
@@ -598,6 +626,7 @@ fn ablation_report(json_path: Option<&str>) {
         ("udp_burst32/no_offload", "burst32", false),
     ] {
         let mut h = UdpHarness::new(true, offload);
+        let sbase = ukstats::snapshot();
         let counter = AllocCounter::start();
         let start = Instant::now();
         let rtts = if mode == "per_frame" {
@@ -623,16 +652,16 @@ fn ablation_report(json_path: Option<&str>) {
             rtt_per_s: rtts / elapsed.as_secs_f64(),
             ns_per_rtt: elapsed.as_nanos() as f64 / rtts,
             allocs_per_frame: allocs as f64 / (rtts * 2.0),
+            stats: stats_delta_json(&sbase),
         });
     }
 
-    println!();
-    println!(
+    ukcore::log_info!(
         "{:<28} {:>12} {:>10} {:>14}",
         "netpath/ablation", "rtt/s", "ns/RTT", "allocs/frame"
     );
     for r in &rows {
-        println!(
+        ukcore::log_info!(
             "{:<28} {:>12.0} {:>10.0} {:>14.3}",
             r.name, r.rtt_per_s, r.ns_per_rtt, r.allocs_per_frame
         );
@@ -661,6 +690,7 @@ fn ablation_report(json_path: Option<&str>) {
                 h.transfer(size);
             }
             let frames_before = h.tx_frames();
+            let sbase = ukstats::snapshot();
             let counter = AllocCounter::start();
             let start = Instant::now();
             for _ in 0..reps {
@@ -668,6 +698,7 @@ fn ablation_report(json_path: Option<&str>) {
             }
             let elapsed = start.elapsed().as_secs_f64();
             let allocs = counter.allocs();
+            let stats = stats_delta_json(&sbase);
             let frames = (h.tx_frames() - frames_before).max(1);
             let total = (size as u64 * reps) as f64;
             bulk_rows.push(BulkRow {
@@ -682,16 +713,16 @@ fn ablation_report(json_path: Option<&str>) {
                 bytes_per_s: total / elapsed,
                 mib_per_s: total / elapsed / (1024.0 * 1024.0),
                 allocs_per_frame: allocs as f64 / frames as f64,
+                stats,
             });
         }
     }
-    println!();
-    println!(
+    ukcore::log_info!(
         "{:<28} {:>12} {:>14}",
         "netpath/bulk", "MiB/s", "allocs/frame"
     );
     for r in &bulk_rows {
-        println!(
+        ukcore::log_info!(
             "{:<28} {:>12.1} {:>14.3}",
             r.name, r.mib_per_s, r.allocs_per_frame
         );
@@ -714,12 +745,14 @@ fn ablation_report(json_path: Option<&str>) {
             }
             let frames_before = h.rx_frames();
             let runs_before = h.gro_runs();
+            let sbase = ukstats::snapshot();
             let counter = AllocCounter::start();
             let mut recv_secs = 0.0;
             for _ in 0..reps {
                 recv_secs += h.transfer(size, netbuf);
             }
             let allocs = counter.allocs();
+            let stats = stats_delta_json(&sbase);
             let frames = (h.rx_frames() - frames_before).max(1);
             if gro {
                 assert!(h.gro_runs() > runs_before, "GRO engaged on {label}");
@@ -737,16 +770,16 @@ fn ablation_report(json_path: Option<&str>) {
                 recv_bytes_per_s: total / recv_secs,
                 recv_mib_per_s: total / recv_secs / (1024.0 * 1024.0),
                 allocs_per_frame: allocs as f64 / frames as f64,
+                stats,
             });
         }
     }
-    println!();
-    println!(
+    ukcore::log_info!(
         "{:<28} {:>12} {:>14}",
         "netpath/recv (rx-side)", "MiB/s", "allocs/frame"
     );
     for r in &recv_rows {
-        println!(
+        ukcore::log_info!(
             "{:<28} {:>12.1} {:>14.3}",
             r.name, r.recv_mib_per_s, r.allocs_per_frame
         );
@@ -768,7 +801,7 @@ fn ablation_report(json_path: Option<&str>) {
         / recv_cell(64 * 1024, false, false).recv_bytes_per_s;
     let recv_netbuf_speedup = recv_cell(64 * 1024, true, true).recv_bytes_per_s
         / recv_cell(64 * 1024, true, false).recv_bytes_per_s;
-    println!(
+    ukcore::log_info!(
         "netpath/recv 64KB speedups: gro {recv_gro_speedup:.2}x (netbuf recv; \
          {recv_gro_speedup_copy:.2}x under copy recv), netbuf-vs-copy {recv_netbuf_speedup:.2}x"
     );
@@ -789,7 +822,7 @@ fn ablation_report(json_path: Option<&str>) {
         .find(|r| r.transfer_bytes == 64 * 1024 && !r.tso && r.rx_csum)
         .expect("tso-off cell");
     let speedup_64k_tso_only = fast.bytes_per_s / soft_tso_only.bytes_per_s;
-    println!(
+    ukcore::log_info!(
         "netpath/bulk 64KB speedup: fast-path {speedup_64k:.2}x vs all-software \
          ({speedup_64k_tso_only:.2}x vs tso-off alone)"
     );
@@ -802,7 +835,7 @@ fn ablation_report(json_path: Option<&str>) {
         out.push_str("  \"configs\": [\n");
         for (i, r) in rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"proto\": \"{}\", \"mode\": \"{}\", \"pooled\": {}, \"csum_offload\": {}, \"rtt_per_s\": {:.0}, \"ns_per_rtt\": {:.1}, \"allocs_per_frame\": {:.3} }}{}\n",
+                "    {{ \"name\": \"{}\", \"proto\": \"{}\", \"mode\": \"{}\", \"pooled\": {}, \"csum_offload\": {}, \"rtt_per_s\": {:.0}, \"ns_per_rtt\": {:.1}, \"allocs_per_frame\": {:.3}, \"stats\": {} }}{}\n",
                 r.name,
                 r.proto,
                 r.mode,
@@ -811,6 +844,7 @@ fn ablation_report(json_path: Option<&str>) {
                 r.rtt_per_s,
                 r.ns_per_rtt,
                 r.allocs_per_frame,
+                r.stats,
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
@@ -818,7 +852,7 @@ fn ablation_report(json_path: Option<&str>) {
         out.push_str("  \"bulk_configs\": [\n");
         for (i, r) in bulk_rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"transfer_bytes\": {}, \"tso\": {}, \"rx_csum_offload\": {}, \"bytes_per_s\": {:.0}, \"mib_per_s\": {:.1}, \"allocs_per_frame\": {:.3} }}{}\n",
+                "    {{ \"name\": \"{}\", \"transfer_bytes\": {}, \"tso\": {}, \"rx_csum_offload\": {}, \"bytes_per_s\": {:.0}, \"mib_per_s\": {:.1}, \"allocs_per_frame\": {:.3}, \"stats\": {} }}{}\n",
                 r.name,
                 r.transfer_bytes,
                 r.tso,
@@ -826,6 +860,7 @@ fn ablation_report(json_path: Option<&str>) {
                 r.bytes_per_s,
                 r.mib_per_s,
                 r.allocs_per_frame,
+                r.stats,
                 if i + 1 == bulk_rows.len() { "" } else { "," }
             ));
         }
@@ -833,7 +868,7 @@ fn ablation_report(json_path: Option<&str>) {
         out.push_str("  \"recv_configs\": [\n");
         for (i, r) in recv_rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"transfer_bytes\": {}, \"gro\": {}, \"netbuf_recv\": {}, \"recv_bytes_per_s\": {:.0}, \"recv_mib_per_s\": {:.1}, \"allocs_per_frame\": {:.3} }}{}\n",
+                "    {{ \"name\": \"{}\", \"transfer_bytes\": {}, \"gro\": {}, \"netbuf_recv\": {}, \"recv_bytes_per_s\": {:.0}, \"recv_mib_per_s\": {:.1}, \"allocs_per_frame\": {:.3}, \"stats\": {} }}{}\n",
                 r.name,
                 r.transfer_bytes,
                 r.gro,
@@ -841,6 +876,7 @@ fn ablation_report(json_path: Option<&str>) {
                 r.recv_bytes_per_s,
                 r.recv_mib_per_s,
                 r.allocs_per_frame,
+                r.stats,
                 if i + 1 == recv_rows.len() { "" } else { "," }
             ));
         }
@@ -858,11 +894,15 @@ fn ablation_report(json_path: Option<&str>) {
             "  \"bulk_64k_speedup_vs_all_software\": {speedup_64k:.2},\n"
         ));
         out.push_str(&format!(
-            "  \"bulk_64k_speedup_vs_tso_off\": {speedup_64k_tso_only:.2}\n"
+            "  \"bulk_64k_speedup_vs_tso_off\": {speedup_64k_tso_only:.2},\n"
         ));
+        // The whole registry as the run left it — heap gauges included
+        // — so the snapshot in the file matches what `/stats` serves.
+        ukalloc::stats::publish_heap_stats();
+        out.push_str(&format!("  \"registry\": {}\n", ukstats::snapshot().to_json()));
         out.push_str("}\n");
         std::fs::write(path, out).expect("write bench json");
-        println!("netpath/ablation written to {path}");
+        ukcore::log_warn!("netpath/ablation written to {path}");
     }
 }
 
@@ -876,5 +916,11 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    if json.is_some() {
+        // Machine-readable run: suppress the Info-level tables so the
+        // only bench output is the JSON file (and Warn+ diagnostics on
+        // stderr).
+        ukcore::ukdebug::set_global_level(ukcore::ukdebug::LogLevel::Warn);
+    }
     ablation_report(json.as_deref());
 }

@@ -35,10 +35,10 @@ fn main() {
             Some(report) => {
                 println!("==================== {id} ====================");
                 println!("{report}");
-                println!("[{id} completed in {:.2?}]\n", t.elapsed());
+                ukcore::log_info!("{id} completed in {:.2?}", t.elapsed());
             }
             None => {
-                eprintln!("unknown experiment: {id}");
+                ukcore::log_error!("unknown experiment: {id}");
                 failed = true;
             }
         }

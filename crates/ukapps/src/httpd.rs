@@ -271,6 +271,13 @@ impl Httpd {
                                 self.errors += 1;
                                 render_response(404, "Not Found", b"blob too large")
                             }
+                        } else if path == "/stats" {
+                            // The live observability plane: a JSON dump
+                            // of the whole ukstats registry, served over
+                            // the same queued send path as every other
+                            // response.
+                            self.served += 1;
+                            render_json_response(ukstats::snapshot().to_json().as_bytes())
                         } else {
                             match self.files.get(&path) {
                                 Some(body) => {
@@ -415,6 +422,17 @@ fn parse_request(req: &[u8]) -> Result<String> {
     Ok(path.to_string())
 }
 
+/// Renders a 200 response carrying a JSON body (the `/stats` plane).
+fn render_json_response(body: &[u8]) -> Vec<u8> {
+    let mut r = format!(
+        "HTTP/1.1 200 OK\r\nServer: unikraft-rs\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    r.extend_from_slice(body);
+    r
+}
+
 fn render_response(code: u16, reason: &str, body: &[u8]) -> Vec<u8> {
     let mut r = format!(
         "HTTP/1.1 {code} {reason}\r\nServer: unikraft-rs\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
@@ -493,6 +511,45 @@ mod tests {
         assert_eq!(httpd.served(), 1);
         // No allocator leaks across requests.
         assert_eq!(httpd.alloc_stats().cur_bytes, 0);
+    }
+
+    #[test]
+    fn stats_endpoint_serves_live_registry_json() {
+        let mut net = Network::new();
+        let ci = net.attach(mk_stack(1));
+        let mut ss = mk_stack(2);
+        let mut httpd = Httpd::new(&mut ss, 80, mk_alloc()).unwrap();
+        let si = net.attach(ss);
+        let conn = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        net.stack(ci)
+            .tcp_send(conn, b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        for _ in 0..8 {
+            net.run_until_quiet(16);
+            httpd.poll(net.stack(si));
+        }
+        let resp = net.stack(ci).tcp_recv(conn, 256 * 1024).unwrap();
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Content-Type: application/json"));
+        let body = &text[text.find("\r\n\r\n").unwrap() + 4..];
+        assert!(body.starts_with('{') && body.ends_with('}'), "JSON body");
+        if ukstats::COMPILED_IN {
+            // The datapath that carried this very request shows up in
+            // the report it served.
+            assert!(body.contains("\"netstack.rx_frames\":"), "{body}");
+            assert!(body.contains("\"netstack.demux_tcp\":"));
+            assert!(body.contains("\"netdev.tx_frames\":"));
+            assert!(body.contains("\"netstack.pump_ns\":{\"count\":"));
+        }
+        assert_eq!(httpd.served(), 1);
     }
 
     #[test]

@@ -29,6 +29,39 @@ pub enum WaitOutcome {
     Parked,
 }
 
+/// Pre-registered `ukstats` handles for the event plane. Counters are
+/// global (every queue aggregates into the same slots); registration
+/// happens once per queue construction and dedups by name.
+#[derive(Clone, Copy)]
+struct EvCounters {
+    /// `wait` calls (ready and parked alike).
+    waits: ukstats::Counter,
+    /// `wait` calls that found nothing ready and parked the caller.
+    parks: ukstats::Counter,
+    /// Threads released by readiness edges.
+    wakeups: ukstats::Counter,
+    /// Rising edges observed from watched sources.
+    edges: ukstats::Counter,
+    /// `epoll_wait` latency: duration of the ready-scan inside `wait`.
+    wait_ns: ukstats::Histogram,
+    /// Park-to-wake latency: time between parking in `wait` and the
+    /// readiness edge that released the queue's waiters.
+    park_to_wake_ns: ukstats::Histogram,
+}
+
+impl EvCounters {
+    fn register() -> Self {
+        EvCounters {
+            waits: ukstats::Counter::register("ukevent.waits"),
+            parks: ukstats::Counter::register("ukevent.parks"),
+            wakeups: ukstats::Counter::register("ukevent.wakeups"),
+            edges: ukstats::Counter::register("ukevent.edges"),
+            wait_ns: ukstats::Histogram::register("ukevent.wait_ns"),
+            park_to_wake_ns: ukstats::Histogram::register("ukevent.park_to_wake_ns"),
+        }
+    }
+}
+
 /// State shared between the queue and the sources watching it; the part
 /// a readiness edge must reach without borrowing the whole queue.
 pub(crate) struct QueueShared {
@@ -42,6 +75,10 @@ pub(crate) struct QueueShared {
     pending: bool,
     /// Total edges observed (for reports/benchmarks).
     edges_seen: u64,
+    /// When the current parked spell began (set by `wait`, consumed by
+    /// the next waking edge).
+    park_started: Option<std::time::Instant>,
+    stats: EvCounters,
 }
 
 impl QueueShared {
@@ -49,7 +86,16 @@ impl QueueShared {
     pub(crate) fn on_readiness(&mut self) {
         self.pending = true;
         self.edges_seen += 1;
+        self.stats.edges.inc();
         let woken = self.waiters.wake_all();
+        if !woken.is_empty() {
+            self.stats.wakeups.add(woken.len() as u64);
+            if let Some(parked_at) = self.park_started.take() {
+                self.stats
+                    .park_to_wake_ns
+                    .record(parked_at.elapsed().as_nanos() as u64);
+            }
+        }
         self.wakeups.extend(woken);
     }
 }
@@ -75,6 +121,7 @@ pub struct EventQueue {
     /// tokens cannot starve higher ones (Linux rotates its ready list
     /// the same way).
     scan_from: u64,
+    stats: EvCounters,
 }
 
 impl Default for EventQueue {
@@ -95,16 +142,20 @@ impl std::fmt::Debug for EventQueue {
 impl EventQueue {
     /// Creates an empty queue (`epoll_create1`).
     pub fn new() -> Self {
+        let stats = EvCounters::register();
         EventQueue {
             shared: Rc::new(RefCell::new(QueueShared {
                 waiters: WaitQueue::new(),
                 wakeups: Vec::new(),
                 pending: false,
                 edges_seen: 0,
+                park_started: None,
+                stats,
             })),
             interest: BTreeMap::new(),
             delivered: 0,
             scan_from: 0,
+            stats,
         }
     }
 
@@ -242,11 +293,19 @@ impl EventQueue {
     /// block ([`uksched::StepResult::Block`]); a readiness edge releases
     /// it through [`take_wakeups`](Self::take_wakeups).
     pub fn wait(&mut self, max_events: usize, tid: ThreadId) -> WaitOutcome {
+        let scan_start = std::time::Instant::now();
+        self.stats.waits.inc();
         let events = self.poll_ready(max_events);
+        self.stats
+            .wait_ns
+            .record(scan_start.elapsed().as_nanos() as u64);
         if !events.is_empty() {
             return WaitOutcome::Ready(events);
         }
-        self.shared.borrow_mut().waiters.wait(tid);
+        self.stats.parks.inc();
+        let mut shared = self.shared.borrow_mut();
+        shared.park_started = Some(std::time::Instant::now());
+        shared.waiters.wait(tid);
         WaitOutcome::Parked
     }
 

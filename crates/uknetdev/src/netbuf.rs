@@ -473,6 +473,10 @@ pub struct NetbufPool {
     free: Vec<usize>,
     buf_cap: usize,
     headroom: usize,
+    /// Fewest free buffers ever observed — the occupancy high-water
+    /// mark is `capacity - low_water`. Plain integer math on the hot
+    /// path; exported through the stats plane by the pool's owner.
+    low_water: usize,
 }
 
 impl NetbufPool {
@@ -508,12 +512,14 @@ impl NetbufPool {
             free,
             buf_cap: cap,
             headroom,
+            low_water: count,
         }
     }
 
     /// Takes a buffer from the pool, or `None` if exhausted.
     pub fn take(&mut self) -> Option<Netbuf> {
         let slot = self.free.pop()?;
+        self.low_water = self.low_water.min(self.free.len());
         let mut nb = self.bufs[slot].take().expect("slot tracked as free");
         nb.reset(self.headroom);
         Some(nb)
@@ -567,6 +573,12 @@ impl NetbufPool {
     /// Per-buffer storage size.
     pub fn buf_capacity(&self) -> usize {
         self.buf_cap
+    }
+
+    /// Fewest free buffers ever observed; `capacity() - low_water()` is
+    /// the pool-occupancy high-water mark.
+    pub fn low_water(&self) -> usize {
+        self.low_water
     }
 
     /// The headroom buffers are reset to on `take`.

@@ -45,6 +45,41 @@ struct TxQueue {
     done: Vec<Netbuf>,
 }
 
+/// Global device-plane stats, pre-registered at construction so every
+/// hot-path touch is one relaxed atomic op (see `ukstats`).
+#[derive(Clone, Copy)]
+struct DevCounters {
+    tx_bursts: ukstats::Counter,
+    tx_frames: ukstats::Counter,
+    tx_bytes: ukstats::Counter,
+    rx_bursts: ukstats::Counter,
+    rx_frames: ukstats::Counter,
+    rx_ring_drops: ukstats::Counter,
+    csum_offload_hits: ukstats::Counter,
+    tso_super_frames: ukstats::Counter,
+    irq_fires: ukstats::Counter,
+    tx_burst_frames: ukstats::Histogram,
+    rx_burst_frames: ukstats::Histogram,
+}
+
+impl DevCounters {
+    fn register() -> Self {
+        DevCounters {
+            tx_bursts: ukstats::Counter::register("netdev.tx_bursts"),
+            tx_frames: ukstats::Counter::register("netdev.tx_frames"),
+            tx_bytes: ukstats::Counter::register("netdev.tx_bytes"),
+            rx_bursts: ukstats::Counter::register("netdev.rx_bursts"),
+            rx_frames: ukstats::Counter::register("netdev.rx_frames"),
+            rx_ring_drops: ukstats::Counter::register("netdev.rx_ring_drops"),
+            csum_offload_hits: ukstats::Counter::register("netdev.csum_offload_hits"),
+            tso_super_frames: ukstats::Counter::register("netdev.tso_super_frames"),
+            irq_fires: ukstats::Counter::register("netdev.irq_fires"),
+            tx_burst_frames: ukstats::Histogram::register("netdev.tx_burst_frames"),
+            rx_burst_frames: ukstats::Histogram::register("netdev.rx_burst_frames"),
+        }
+    }
+}
+
 /// The virtio-net device.
 pub struct VirtioNet {
     tsc: Tsc,
@@ -61,6 +96,7 @@ pub struct VirtioNet {
     guest_tso: bool,
     /// GSO super-frames accepted on TX.
     tso_frames: u64,
+    ustats: DevCounters,
 }
 
 impl std::fmt::Debug for VirtioNet {
@@ -85,6 +121,7 @@ impl VirtioNet {
             tso: true,
             guest_tso: true,
             tso_frames: 0,
+            ustats: DevCounters::register(),
         }
     }
 
@@ -125,10 +162,12 @@ impl VirtioNet {
             stats.bytes += f.len();
             q.ring.push(f).expect("room checked");
         }
+        self.ustats.rx_ring_drops.add(stats.drops as u64);
         if injected > 0 && q.irq_armed {
             // One interrupt, then the line stays off until re-armed.
             q.irq_armed = false;
             q.irq_fires += 1;
+            self.ustats.irq_fires.inc();
             self.tsc.advance(cost::IRQ_INJECT_CYCLES);
             if let Some(cb) = q.callback.as_mut() {
                 cb();
@@ -296,6 +335,7 @@ impl NetDev for VirtioNet {
                     ck => ck,
                 };
                 nb.payload_mut()[field..field + 2].copy_from_slice(&ck.to_be_bytes());
+                self.ustats.csum_offload_hits.inc();
             } else {
                 // No offload requested: the frame claims complete
                 // checksums — hold it to that in debug builds.
@@ -308,6 +348,13 @@ impl NetDev for VirtioNet {
             q.ring.push(nb).expect("room checked");
         }
         self.tso_frames += tso_frames;
+        if sent > 0 {
+            self.ustats.tx_bursts.inc();
+            self.ustats.tx_frames.add(sent as u64);
+            self.ustats.tx_bytes.add(bytes as u64);
+            self.ustats.tso_super_frames.add(tso_frames);
+            self.ustats.tx_burst_frames.record(sent as u64);
+        }
         // Notify / drain the backend.
         if sent > 0 {
             if self.backend.needs_kick() {
@@ -335,6 +382,11 @@ impl NetDev for VirtioNet {
         }
         let q = self.rxqs.get_mut(queue as usize).ok_or(Errno::Inval)?;
         let received = q.ring.pop_burst(out, max.min(MAX_BURST));
+        if received > 0 {
+            self.ustats.rx_bursts.inc();
+            self.ustats.rx_frames.add(received as u64);
+            self.ustats.rx_burst_frames.record(received as u64);
+        }
         let more = !q.ring.is_empty();
         if !more && q.mode == QueueMode::Interrupt {
             // Queue ran dry: arm the interrupt line (§3.1).

@@ -326,6 +326,108 @@ pub struct StackStats {
     pub dropped: u64,
 }
 
+/// Typed tracepoints of the stack datapath. Each fires into the owning
+/// stack's [`TraceRing`](uktrace::TraceRing) (drained via
+/// [`NetStack::trace_events`]); with the `trace` feature off every call
+/// site compiles to nothing.
+pub mod tp {
+    uktrace::tracepoints! {
+        // ARP: resolution traffic and the parking queue.
+        arp_request_tx(dst_ip),
+        arp_request_rx(sender_ip),
+        arp_reply_rx(sender_ip),
+        arp_parked(dst_ip, queued),
+        // TCP: connection lifecycle and the data fast paths.
+        tcp_syn_rx(local_port, remote_port),
+        tcp_established(conn),
+        tcp_data_rx(conn, bytes),
+        tcp_super_rx(conn, bytes),
+        tcp_dup_ack(conn, seq),
+        tcp_fin_rx(local_port, seq),
+        tcp_segment_tx(dst_port, seq),
+        tso_super_tx(bytes, mss),
+        gro_merge(conn, frames),
+        // Other demux outcomes.
+        udp_rx(dst_port, bytes),
+        icmp_echo_rx(ident, seq),
+        demux_miss(proto, port),
+    }
+}
+
+/// Records a trace ring holds before overwriting the oldest.
+pub const TRACE_RING_CAP: usize = 1024;
+
+/// Pre-registered `ukstats` handles for the stack: every [`StackStats`]
+/// field mirrored into the global registry under `netstack.*`, plus the
+/// demux/ARP/pump observability the plain struct never carried.
+/// Registration (which may lock and allocate) happens once in
+/// [`NetStack::new`]; the hot path only ever does relaxed atomic adds
+/// on these resolved slots.
+struct StackCounters {
+    rx_frames: ukstats::Counter,
+    tx_frames: ukstats::Counter,
+    tx_bytes: ukstats::Counter,
+    rx_bursts: ukstats::Counter,
+    tx_bursts: ukstats::Counter,
+    csum_offloaded: ukstats::Counter,
+    tso_super_frames: ukstats::Counter,
+    tso_super_bytes: ukstats::Counter,
+    rx_csum_skipped: ukstats::Counter,
+    rx_super_frames: ukstats::Counter,
+    gro_runs: ukstats::Counter,
+    gro_merged_frames: ukstats::Counter,
+    dropped: ukstats::Counter,
+    demux_tcp: ukstats::Counter,
+    demux_udp: ukstats::Counter,
+    demux_arp: ukstats::Counter,
+    demux_icmp: ukstats::Counter,
+    demux_miss: ukstats::Counter,
+    dup_acks: ukstats::Counter,
+    arp_parked: ukstats::Counter,
+    arp_evicted: ukstats::Counter,
+    arp_requests_tx: ukstats::Counter,
+    pump_sweeps: ukstats::Counter,
+    /// Wall-clock duration of one full `pump` sweep.
+    pump_ns: ukstats::Histogram,
+    /// Most pooled buffers ever in flight at once (pool high-water).
+    pool_inflight_hiwater: ukstats::Gauge,
+    /// Most packets ever parked behind one unresolved next-hop.
+    arp_parked_hiwater: ukstats::Gauge,
+}
+
+impl StackCounters {
+    fn register() -> Self {
+        StackCounters {
+            rx_frames: ukstats::Counter::register("netstack.rx_frames"),
+            tx_frames: ukstats::Counter::register("netstack.tx_frames"),
+            tx_bytes: ukstats::Counter::register("netstack.tx_bytes"),
+            rx_bursts: ukstats::Counter::register("netstack.rx_bursts"),
+            tx_bursts: ukstats::Counter::register("netstack.tx_bursts"),
+            csum_offloaded: ukstats::Counter::register("netstack.csum_offloaded"),
+            tso_super_frames: ukstats::Counter::register("netstack.tso_super_frames"),
+            tso_super_bytes: ukstats::Counter::register("netstack.tso_super_bytes"),
+            rx_csum_skipped: ukstats::Counter::register("netstack.rx_csum_skipped"),
+            rx_super_frames: ukstats::Counter::register("netstack.rx_super_frames"),
+            gro_runs: ukstats::Counter::register("netstack.gro_runs"),
+            gro_merged_frames: ukstats::Counter::register("netstack.gro_merged_frames"),
+            dropped: ukstats::Counter::register("netstack.dropped"),
+            demux_tcp: ukstats::Counter::register("netstack.demux_tcp"),
+            demux_udp: ukstats::Counter::register("netstack.demux_udp"),
+            demux_arp: ukstats::Counter::register("netstack.demux_arp"),
+            demux_icmp: ukstats::Counter::register("netstack.demux_icmp"),
+            demux_miss: ukstats::Counter::register("netstack.demux_miss"),
+            dup_acks: ukstats::Counter::register("netstack.dup_acks"),
+            arp_parked: ukstats::Counter::register("netstack.arp_parked"),
+            arp_evicted: ukstats::Counter::register("netstack.arp_evicted"),
+            arp_requests_tx: ukstats::Counter::register("netstack.arp_requests_tx"),
+            pump_sweeps: ukstats::Counter::register("netstack.pump_sweeps"),
+            pump_ns: ukstats::Histogram::register("netstack.pump_ns"),
+            pool_inflight_hiwater: ukstats::Gauge::register("netstack.pool_inflight_hiwater"),
+            arp_parked_hiwater: ukstats::Gauge::register("netstack.arp_parked_hiwater"),
+        }
+    }
+}
+
 /// The network stack.
 pub struct NetStack {
     config: StackConfig,
@@ -392,6 +494,10 @@ pub struct NetStack {
     arp_memo: Vec<(Ipv4Addr, Mac)>,
     /// Next-hops due a who-has re-broadcast this pump (reused).
     arp_retry_scratch: Vec<Ipv4Addr>,
+    /// Pre-registered global counter/gauge/histogram handles.
+    ustats: StackCounters,
+    /// Tracepoint ring (a ZST no-op with the `trace` feature off).
+    trace: uktrace::TraceRing,
 }
 
 impl std::fmt::Debug for NetStack {
@@ -470,7 +576,27 @@ impl NetStack {
             gro_cont: None,
             arp_memo: Vec::with_capacity(ARP_MEMO_SIZE),
             arp_retry_scratch: Vec::new(),
+            ustats: StackCounters::register(),
+            trace: uktrace::TraceRing::new(TRACE_RING_CAP),
         }
+    }
+
+    /// Stamps this stack's trace records with the platform's virtual
+    /// clock instead of the default per-ring sequence numbers.
+    pub fn set_trace_clock(&mut self, tsc: &ukplat::time::Tsc) {
+        self.trace.set_clock(tsc);
+    }
+
+    /// The stack's tracepoint ring (zero-sized no-op with the `trace`
+    /// feature off).
+    pub fn trace_ring(&mut self) -> &mut uktrace::TraceRing {
+        &mut self.trace
+    }
+
+    /// Drains and returns the stack's buffered trace records, oldest
+    /// first (always empty with the `trace` feature off).
+    pub fn trace_events(&mut self) -> Vec<uktrace::TraceEvent> {
+        self.trace.drain()
     }
 
     /// Whether TX transport checksums are being offloaded to the
@@ -1167,6 +1293,9 @@ impl NetStack {
             self.stats.tx_frames += st.stats.frames as u64;
             self.stats.tx_bytes += st.stats.bytes as u64;
             self.stats.tx_bursts += 1;
+            self.ustats.tx_frames.add(st.stats.frames as u64);
+            self.ustats.tx_bytes.add(st.stats.bytes as u64);
+            self.ustats.tx_bursts.inc();
         }
         Ok(())
     }
@@ -1199,6 +1328,8 @@ impl NetStack {
         let mut anb = self.take_buf();
         anb.append(&req.encode());
         self.stage_eth(Mac::BROADCAST, EtherType::Arp, anb);
+        self.ustats.arp_requests_tx.inc();
+        uktrace::trace!(self.trace, tp::arp_request_tx, dst.0);
     }
 
     /// Routes an IP-level packet (headers already in place, Ethernet
@@ -1212,7 +1343,7 @@ impl NetStack {
         match self.lookup_next_hop(dst) {
             Some(mac) => self.stage_eth(mac, EtherType::Ipv4, nb),
             None => {
-                let (evicted, request_due) = {
+                let (evicted, request_due, queued) = {
                     let pending = self.arp_pending.entry(dst).or_default();
                     pending.packets.push((proto, nb));
                     pending.parked_total += 1;
@@ -1230,10 +1361,16 @@ impl NetStack {
                     (
                         evicted,
                         pending.parked_total % ARP_REQUEST_RETRY_EVERY == 1,
+                        pending.packets.len(),
                     )
                 };
+                self.ustats.arp_parked.inc();
+                self.ustats.arp_parked_hiwater.set_max(queued as u64);
+                uktrace::trace!(self.trace, tp::arp_parked, dst.0, queued);
                 if let Some((_, old)) = evicted {
                     self.stats.dropped += 1;
+                    self.ustats.dropped.inc();
+                    self.ustats.arp_evicted.inc();
                     self.recycle(old);
                 }
                 if request_due {
@@ -1328,12 +1465,14 @@ impl NetStack {
                     offloaded += 1;
                     supers += 1;
                     super_bytes += plen as u64;
+                    uktrace::trace!(self.trace, tp::tso_super_tx, plen, mss);
                 } else if offload {
                     header.encode_into_partial(&ip, &mut nb);
                     offloaded += 1;
                 } else {
                     header.encode_into(&ip, &mut nb);
                 }
+                uktrace::trace!(self.trace, tp::tcp_segment_tx, header.dst_port, header.seq);
                 ip.encode_into(&mut nb);
                 staged.push((dst, nb));
             });
@@ -1342,6 +1481,9 @@ impl NetStack {
         self.stats.csum_offloaded += offloaded;
         self.stats.tso_super_frames += supers;
         self.stats.tso_super_bytes += super_bytes;
+        self.ustats.csum_offloaded.add(offloaded);
+        self.ustats.tso_super_frames.add(supers);
+        self.ustats.tso_super_bytes.add(super_bytes);
         for (dst, nb) in staged.drain(..) {
             self.send_ipv4_nb(dst, IpProto::Tcp, nb);
         }
@@ -1361,6 +1503,7 @@ impl NetStack {
     /// `tx_burst` push, one readiness sync. Per-packet overheads
     /// become per-burst overheads.
     pub fn pump(&mut self) -> usize {
+        let sweep_start = std::time::Instant::now();
         let mut handled = 0;
         let mut frames = std::mem::take(&mut self.rx_scratch);
         self.arp_memo.clear();
@@ -1371,12 +1514,14 @@ impl NetStack {
             };
             if st.received > 0 {
                 self.stats.rx_bursts += 1;
+                self.ustats.rx_bursts.inc();
             }
             for nb in frames.drain(..) {
                 if self.handle_frame(nb).is_ok() {
                     handled += 1;
                 } else {
                     self.stats.dropped += 1;
+                    self.ustats.dropped.inc();
                 }
             }
             if st.received == 0 && !st.more {
@@ -1390,6 +1535,15 @@ impl NetStack {
         self.arp_retry_tick();
         let _ = self.flush_tcp();
         self.sync_readiness();
+        self.ustats.pump_sweeps.inc();
+        self.ustats
+            .pump_ns
+            .record(sweep_start.elapsed().as_nanos() as u64);
+        if let Some(p) = self.pool.as_ref() {
+            self.ustats
+                .pool_inflight_hiwater
+                .set_max((p.capacity() - p.low_water()) as u64);
+        }
         handled
     }
 
@@ -1414,6 +1568,7 @@ impl NetStack {
         });
         while let Some(rest) = frames.pop() {
             self.stats.dropped += 1;
+            self.ustats.dropped.inc();
             self.recycle(rest);
         }
         stats
@@ -1431,6 +1586,7 @@ impl NetStack {
 
     fn handle_frame(&mut self, mut nb: Netbuf) -> Result<()> {
         self.stats.rx_frames += 1;
+        self.ustats.rx_frames.inc();
         let eth = match EthHeader::decode(nb.payload()) {
             Ok((h, _)) => h,
             Err(e) => {
@@ -1445,6 +1601,7 @@ impl NetStack {
         nb.pull_header(ETH_HDR_LEN);
         match eth.ethertype {
             EtherType::Arp => {
+                self.ustats.demux_arp.inc();
                 let r = self.handle_arp(nb.payload());
                 self.recycle(nb);
                 r
@@ -1455,6 +1612,14 @@ impl NetStack {
 
     fn handle_arp(&mut self, data: &[u8]) -> Result<()> {
         let arp = ArpPacket::decode(data)?;
+        match arp.op {
+            ArpOp::Request => {
+                uktrace::trace!(self.trace, tp::arp_request_rx, arp.spa.0);
+            }
+            ArpOp::Reply => {
+                uktrace::trace!(self.trace, tp::arp_reply_rx, arp.spa.0);
+            }
+        }
         self.arp.insert(arp.spa, arp.sha);
         // The table changed: memoized next-hops may be stale.
         self.arp_memo.clear();
@@ -1518,6 +1683,7 @@ impl NetStack {
         }
         if trusted && matches!(ip.proto, IpProto::Tcp | IpProto::Udp) {
             self.stats.rx_csum_skipped += 1;
+            self.ustats.rx_csum_skipped.inc();
         }
         nb.pull_header(IPV4_HDR_LEN);
         nb.truncate(body_len);
@@ -1534,7 +1700,9 @@ impl NetStack {
 
     fn handle_icmp(&mut self, ip: &Ipv4Header, data: &[u8]) -> Result<()> {
         let (request, ident, seq, payload) = icmp::decode_echo(data)?;
+        self.ustats.demux_icmp.inc();
         if request {
+            uktrace::trace!(self.trace, tp::icmp_echo_rx, ident, seq);
             // Answer pings like lwIP does: echo the payload into a
             // fresh pooled buffer, headers prepended in place. A
             // request too large for a reply buffer (an injected
@@ -1600,6 +1768,8 @@ impl NetStack {
             }
         };
         let Some(&h) = self.udp_ports.get(&udp.dst_port) else {
+            self.ustats.demux_miss.inc();
+            uktrace::trace!(self.trace, tp::demux_miss, 17u64, udp.dst_port);
             self.recycle(nb);
             return Err(Errno::ConnRefused);
         };
@@ -1617,6 +1787,8 @@ impl NetStack {
         }
         nb.pull_header(UDP_HDR_LEN);
         nb.truncate(body_len);
+        self.ustats.demux_udp.inc();
+        uktrace::trace!(self.trace, tp::udp_rx, udp.dst_port, body_len);
         let sock = self.udp_socks.get_mut(&h).expect("checked above");
         sock.rx
             .push_back((Endpoint::new(ip.src, udp.src_port), nb));
@@ -1670,14 +1842,22 @@ impl NetStack {
         };
         let remote = Endpoint::new(src, tcp.src_port);
         let Some(&h) = self.tcp_demux.get(&(tcp.dst_port, remote)) else {
+            self.ustats.demux_miss.inc();
+            uktrace::trace!(self.trace, tp::demux_miss, 6u64, tcp.dst_port);
             self.recycle(nb);
             return Err(Errno::ConnRefused);
         };
         let Some(c) = self.conns.get_mut(&h) else {
+            self.ustats.demux_miss.inc();
+            uktrace::trace!(self.trace, tp::demux_miss, 6u64, tcp.dst_port);
             self.recycle(nb);
             return Err(Errno::ConnRefused);
         };
         nb.pull_header(consumed);
+        // Only read by the `tcp_super_rx` tracepoint (unused when
+        // tracing is compiled out, hence the underscore).
+        let _bytes = nb.chain_len();
+        let dup0 = c.tcb.dup_acks();
         let mut pool = self.pool.take();
         c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
             if let Some(p) = pool.as_mut() {
@@ -1685,8 +1865,17 @@ impl NetStack {
             }
         });
         self.pool = pool;
+        let dup = self.conns[&h].tcb.dup_acks() - dup0;
+        if dup > 0 {
+            self.ustats.dup_acks.add(dup);
+            uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
+        }
+        self.ustats.demux_tcp.inc();
+        uktrace::trace!(self.trace, tp::tcp_super_rx, h, _bytes);
         self.stats.rx_super_frames += 1;
         self.stats.rx_csum_skipped += 1;
+        self.ustats.rx_super_frames.inc();
+        self.ustats.rx_csum_skipped.inc();
         Ok(())
     }
 
@@ -1730,6 +1919,7 @@ impl NetStack {
                     cont.next_seq = tcp.seq.wrapping_add(nb.len() as u32);
                     let conn = cont.conn;
                     self.gro_stage.push((conn, tcp, nb));
+                    self.ustats.demux_tcp.inc();
                     return Ok(());
                 }
             }
@@ -1754,21 +1944,42 @@ impl NetStack {
                     // flushing the stage, so nothing overtakes data
                     // already queued for this connection.
                     self.gro_flush();
+                    if tcp.flags.fin {
+                        uktrace::trace!(self.trace, tp::tcp_fin_rx, tcp.dst_port, tcp.seq);
+                    }
+                    let bytes = nb.len();
                     let mut pool = self.pool.take();
                     let c = self.conns.get_mut(&h).expect("checked above");
+                    let dup0 = c.tcb.dup_acks();
+                    let state0 = c.tcb.state;
                     c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
                         if let Some(p) = pool.as_mut() {
                             p.give_back_chain(b);
                         }
                     });
+                    let dup = c.tcb.dup_acks() - dup0;
+                    let established =
+                        state0 != TcpState::Established && c.tcb.state == TcpState::Established;
                     self.pool = pool;
+                    if established {
+                        uktrace::trace!(self.trace, tp::tcp_established, h, tcp.dst_port);
+                    }
+                    if dup > 0 {
+                        self.ustats.dup_acks.add(dup);
+                        uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
+                    }
+                    if bytes > 0 && !tcp.flags.syn {
+                        uktrace::trace!(self.trace, tp::tcp_data_rx, h, bytes);
+                    }
                 }
+                self.ustats.demux_tcp.inc();
                 return Ok(());
             }
         }
         // No connection: a SYN to a listener spawns one.
         if tcp.flags.syn && !tcp.flags.ack {
             if let Some(l) = self.listeners.get_mut(&tcp.dst_port) {
+                uktrace::trace!(self.trace, tp::tcp_syn_rx, tcp.dst_port, tcp.src_port);
                 let port = l.port;
                 let mut tcb = Tcb::listen(port);
                 tcb.set_mss(self.config.mss);
@@ -1784,9 +1995,12 @@ impl NetStack {
                     .expect("listener exists");
                 l.backlog.push_back(SocketHandle(h));
                 l.accepted_total += 1;
+                self.ustats.demux_tcp.inc();
                 return Ok(());
             }
         }
+        self.ustats.demux_miss.inc();
+        uktrace::trace!(self.trace, tp::demux_miss, 6u64, tcp.dst_port);
         self.recycle(nb);
         Err(Errno::ConnRefused)
     }
@@ -1818,9 +2032,15 @@ impl NetStack {
                 j += 1;
             }
             let last = stage[j - 1].1;
+            // Only read by the `tcp_data_rx` tracepoint (unused when
+            // tracing is compiled out, hence the underscore).
+            let _run_bytes = next_seq.wrapping_sub(first.seq);
             if j > 1 {
                 self.stats.gro_runs += 1;
                 self.stats.gro_merged_frames += j as u64;
+                self.ustats.gro_runs.inc();
+                self.ustats.gro_merged_frames.add(j as u64);
+                uktrace::trace!(self.trace, tp::gro_merge, conn, j);
             }
             let merged = TcpHeader {
                 src_port: first.src_port,
@@ -1836,12 +2056,19 @@ impl NetStack {
             };
             match self.conns.get_mut(&conn) {
                 Some(c) => {
+                    let dup0 = c.tcb.dup_acks();
                     c.tcb
                         .on_segment_bufs(&merged, stage.drain(..j).map(|(_, _, nb)| nb), |nb| {
                             if let Some(p) = pool.as_mut() {
                                 p.give_back_chain(nb);
                             }
-                        })
+                        });
+                    let dup = c.tcb.dup_acks() - dup0;
+                    if dup > 0 {
+                        self.ustats.dup_acks.add(dup);
+                        uktrace::trace!(self.trace, tp::tcp_dup_ack, conn, merged.seq);
+                    }
+                    uktrace::trace!(self.trace, tp::tcp_data_rx, conn, _run_bytes);
                 }
                 None => stage.drain(..j).for_each(|(_, _, nb)| {
                     if let Some(p) = pool.as_mut() {

@@ -336,6 +336,10 @@ pub struct Tcb {
     /// edge-triggered watchers re-trigger on new arrivals even while
     /// data is already pending).
     rx_total: u64,
+    /// Immediate duplicate ACKs forced by dropped (old / out-of-order /
+    /// out-of-window) ingest data — the loss signal observability
+    /// exports per connection.
+    dup_acks: u64,
     /// Control segments (no payload) ready to be emitted on the wire.
     /// Data segments are never queued here: their buffers move out of
     /// `send_q` at `poll_output_chain_with` time.
@@ -386,6 +390,7 @@ impl Tcb {
             recv_q_len: 0,
             flatten_scratch: Vec::new(),
             rx_total: 0,
+            dup_acks: 0,
             out: VecDeque::new(),
             ack_pending: false,
             mss: MSS,
@@ -661,6 +666,7 @@ impl Tcb {
             // segment was duplicated/reordered in delivery would wait
             // forever for an acknowledgement that never comes.
             self.ack_pending = true;
+            self.dup_acks += 1;
         }
         seq
     }
@@ -802,6 +808,11 @@ impl Tcb {
     /// Monotonic count of bytes ever received (readiness progress).
     pub fn rx_total(&self) -> u64 {
         self.rx_total
+    }
+
+    /// Immediate duplicate ACKs forced by dropped ingest data.
+    pub fn dup_acks(&self) -> u64 {
+        self.dup_acks
     }
 
     /// Whether the peer has closed and all data was read.

@@ -36,12 +36,16 @@
 //!
 //! For receive-path robustness tests the wire can also be made
 //! **imperfect**: [`Network::set_dup_every`] duplicates every n-th
-//! delivered plain frame and [`Network::set_reorder_every`] swaps
-//! every n-th with its predecessor in the same destination's batch —
-//! deterministic stand-ins for the duplicated/reordered deliveries a
-//! real L2 can produce, which the TCP ingest must survive (drop the
-//! stale copy, answer with a duplicate ACK, never desync on a
-//! reordered FIN).
+//! delivered plain frame, [`Network::set_reorder_every`] swaps
+//! every n-th with its predecessor in the same destination's batch,
+//! and [`Network::set_drop_every`] silently discards every n-th —
+//! deterministic stand-ins for the duplicated/reordered/lost
+//! deliveries a real L2 can produce, which the TCP ingest must survive
+//! (drop the stale copy, answer with a duplicate ACK, never desync on
+//! a reordered FIN). Injected faults are visible both through
+//! [`Network::faults_injected`] and, for drops, through the
+//! `testnet.drops_injected` counter in the global `ukstats` registry,
+//! so fault schedules show up in `/stats` and bench snapshots.
 
 use uknetdev::netbuf::Netbuf;
 
@@ -65,10 +69,20 @@ pub struct Network {
     /// Swap every n-th delivered plain frame with its predecessor in
     /// the same destination batch (0 = off).
     reorder_every: u64,
+    /// Discard every n-th delivered plain frame (0 = off).
+    drop_every: u64,
     /// Plain frames delivered since the fault counters were armed.
     fault_tick: u64,
     /// Faults injected so far (tests assert against this).
     faults_injected: u64,
+}
+
+/// The wire-side drop counter, shared by every [`Network`] in the
+/// process (the `ukstats` registry is global; registration dedups by
+/// name, so this is one slot no matter how many wires exist).
+fn drops_counter() -> ukstats::Counter {
+    static C: std::sync::OnceLock<ukstats::Counter> = std::sync::OnceLock::new();
+    *C.get_or_init(|| ukstats::Counter::register("testnet.drops_injected"))
 }
 
 impl Network {
@@ -121,7 +135,18 @@ impl Network {
         self.fault_tick = 0;
     }
 
-    /// Faults (duplicates + reorders) injected so far.
+    /// Discards every `n`-th delivered plain frame before it reaches
+    /// the receiver's ring, like congestive loss on a real cable. `0`
+    /// disables. Each drop bumps `testnet.drops_injected` in the
+    /// global stats registry. This wire has no TCP retransmission to
+    /// lean on, so loss tests ride datagram traffic (UDP, pings).
+    pub fn set_drop_every(&mut self, n: u64) {
+        self.drop_every = n;
+        self.fault_tick = 0;
+        drops_counter(); // Register the slot up front.
+    }
+
+    /// Faults (duplicates + reorders + drops) injected so far.
     pub fn faults_injected(&self) -> u64 {
         self.faults_injected
     }
@@ -217,14 +242,24 @@ impl Network {
                             log.push(rx.chain_segments().flatten().copied().collect());
                         }
                     }
-                    // Configured wire faults: duplicate delivery and
-                    // adjacent reorder of plain frames, on
+                    // Configured wire faults: drop, duplicate delivery
+                    // and adjacent reorder of plain frames, on
                     // deterministic cadences.
-                    if (self.dup_every > 0 || self.reorder_every > 0)
+                    if (self.dup_every > 0 || self.reorder_every > 0 || self.drop_every > 0)
                         && stage[i].len() > staged_from
                         && !stage[i].last().expect("staged").has_frags()
                     {
                         self.fault_tick += 1;
+                        if self.drop_every > 0 && self.fault_tick % self.drop_every == 0 {
+                            // The frame came off the receiver's pool;
+                            // recycle it there so loss never leaks.
+                            let lost = stage[i].pop().expect("staged");
+                            self.stacks[i].recycle(lost);
+                            moved -= 1;
+                            self.faults_injected += 1;
+                            drops_counter().inc();
+                            continue; // Next destination; nothing to dup/reorder.
+                        }
                         if self.dup_every > 0 && self.fault_tick % self.dup_every == 0 {
                             let mut dup = self.stacks[i].take_rx_buf();
                             dup.set_payload(stage[i].last().expect("staged").payload());
@@ -1042,6 +1077,58 @@ mod tests {
         assert!(got.iter().all(|&b| b == 0x4d));
         net.run_until_quiet(16);
         assert_eq!(net.stack(1).pool_available(), Some(512), "no leak");
+    }
+
+    /// A lossy wire: every 3rd plain frame is silently discarded. The
+    /// surviving datagrams arrive intact and in order, the loss shows
+    /// up in both the wire's fault counter and the global
+    /// `testnet.drops_injected` stat, and the dropped buffers are
+    /// recycled — no pool leak. UDP carries the test because this wire
+    /// has no TCP retransmission to paper over the loss.
+    #[test]
+    fn dropped_wire_frames_are_counted_and_leak_nothing() {
+        let mut net = two_node_net();
+        let ss = net.stack(1).udp_bind(7).unwrap();
+        let cs = net.stack(0).udp_bind(5000).unwrap();
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7);
+        // Warm ARP before arming the fault so the resolution exchange
+        // itself cannot be eaten.
+        net.stack(0).udp_send_to(cs, b"warm", ep).unwrap();
+        net.run_until_quiet(16);
+        net.stack(1).udp_recv_from(ss).unwrap();
+
+        let base = ukstats::snapshot();
+        net.set_drop_every(3);
+        for i in 0..30u8 {
+            net.stack(0).udp_send_to(cs, &[i; 32], ep).unwrap();
+            net.run_until_quiet(16);
+        }
+        let mut got = Vec::new();
+        while let Some((_, data)) = net.stack(1).udp_recv_from(ss) {
+            got.push(data[0]);
+        }
+        assert_eq!(got.len(), 20, "every 3rd of 30 datagrams was lost");
+        // Survivors arrive in order with their payloads intact.
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "order preserved: {got:?}");
+        assert_eq!(net.faults_injected(), 10, "the wire really dropped");
+        if ukstats::COMPILED_IN {
+            let snap = ukstats::snapshot();
+            let before = base.counter("testnet.drops_injected").unwrap_or(0);
+            assert_eq!(
+                snap.counter("testnet.drops_injected").unwrap() - before,
+                10,
+                "drops are observable in the stats registry"
+            );
+        }
+        net.run_until_quiet(16);
+        assert_eq!(net.stack(1).pool_available(), Some(512), "no leak on loss");
+        assert_eq!(net.stack(0).pool_available(), Some(512));
+
+        // Disarming restores the lossless wire.
+        net.set_drop_every(0);
+        net.stack(0).udp_send_to(cs, b"clean", ep).unwrap();
+        net.run_until_quiet(16);
+        assert_eq!(net.stack(1).udp_recv_from(ss).unwrap().1, b"clean");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! The compile-out guarantee, asserted as a cfg test.
+//!
+//! Built with the `trace` feature off (`make verify-trace-off`), this
+//! binary proves the no-op tracing path adds nothing to the stack:
+//! the ring each `NetStack` embeds is a zero-sized type, recording is
+//! inert, and `trace!` expands to no tokens at all — so `pump` and the
+//! rest of the datapath carry no tracing code, not even a branch.
+
+#![cfg(not(feature = "trace"))]
+
+use uknetdev::backend::VhostKind;
+use uknetdev::dev::{NetDev, NetDevConf};
+use uknetdev::VirtioNet;
+use uknetstack::stack::{NetStack, StackConfig};
+use uknetstack::testnet::Network;
+use uknetstack::{Endpoint, Ipv4Addr};
+use ukplat::time::Tsc;
+
+#[test]
+fn noop_ring_is_zero_sized_and_inert() {
+    assert!(!uktrace::COMPILED_IN);
+    assert_eq!(
+        std::mem::size_of::<uktrace::TraceRing>(),
+        0,
+        "a NetStack embeds a zero-sized ring when tracing is compiled out"
+    );
+    let mut ring = uktrace::TraceRing::new(1024);
+    assert_eq!(ring.capacity(), 0);
+    assert!(ring.is_empty());
+    assert!(ring.drain().is_empty());
+    assert_eq!(ring.dropped(), 0);
+}
+
+#[test]
+fn datapath_runs_with_tracing_compiled_out_and_records_nothing() {
+    let mk = |n: u8| {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        NetStack::new(StackConfig::node(n), Box::new(dev))
+    };
+    let mut net = Network::new();
+    let ci = net.attach(mk(1));
+    let si = net.attach(mk(2));
+    let listener = net.stack(si).tcp_listen(7).unwrap();
+    let client = net
+        .stack(ci)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7))
+        .unwrap();
+    net.run_until_quiet(32);
+    let server = net.stack(si).tcp_accept(listener).unwrap();
+    net.stack(ci).tcp_send(client, b"silent").unwrap();
+    net.run_until_quiet(32);
+    let mut buf = [0u8; 64];
+    let n = net.stack(si).tcp_recv_into(server, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"silent");
+    // The scenario that fills the ring under `trace` leaves it empty:
+    // every instrumentation site compiled to nothing.
+    assert!(net.stack(si).trace_events().is_empty());
+    assert!(net.stack(ci).trace_events().is_empty());
+}

@@ -75,13 +75,39 @@ fn tcp_echo_round_trip_is_allocation_free_in_steady_state() {
         echo_round_trip(&mut net);
     }
 
+    // Stats and tracing are ON in this build (default features): the
+    // round-trip below must advance counters and write trace records
+    // while STILL performing zero heap allocations — that is the whole
+    // "observability without perturbing the hot path" contract.
+    // Snapshotting and draining allocate, so both stay outside the
+    // measured window.
+    let base = ukstats::snapshot();
+    net.stack(si).trace_events();
+
     let counter = AllocCounter::start();
     echo_round_trip(&mut net);
     assert_eq!(
         counter.allocs(),
         0,
-        "steady-state TCP echo round-trip must not touch the heap"
+        "steady-state TCP echo round-trip must not touch the heap \
+         (with stats + tracing enabled)"
     );
+
+    if ukstats::COMPILED_IN {
+        let snap = ukstats::snapshot();
+        let delta = |name: &str| {
+            snap.counter(name).unwrap_or(0) - base.counter(name).unwrap_or(0)
+        };
+        assert!(delta("netstack.rx_frames") > 0, "counters advanced in the window");
+        assert!(delta("netstack.demux_tcp") > 0, "TCP demux was counted");
+        assert!(delta("netstack.pump_sweeps") > 0, "pump sweeps were counted");
+    }
+    if uktrace::COMPILED_IN {
+        assert!(
+            !net.stack(si).trace_ring().is_empty(),
+            "the round-trip wrote trace records"
+        );
+    }
 }
 
 #[test]
@@ -324,6 +350,10 @@ fn bulk_1mb_tso_transfer_is_allocation_free_in_steady_state() {
 
     let frames_before =
         net.stack(ci).stats().tx_frames + net.stack(si).stats().tx_frames;
+    // As in the echo guard: stats + tracing are enabled and must ride
+    // along allocation-free (snapshot/drain allocate, so outside).
+    let base = ukstats::snapshot();
+    net.stack(ci).trace_events();
     let counter = AllocCounter::start();
     transfer(&mut net, &mut buf);
     let allocs = counter.allocs();
@@ -333,10 +363,27 @@ fn bulk_1mb_tso_transfer_is_allocation_free_in_steady_state() {
     assert_eq!(
         allocs, 0,
         "steady-state 1 MB pooled transfer must not touch the heap \
-         ({allocs} allocs over {frames} frames)"
+         ({allocs} allocs over {frames} frames, stats + tracing enabled)"
     );
     // And it really rode the fast path: super-segments, not per-MSS.
     assert!(net.stack(ci).stats().tso_super_frames > 0);
+    if ukstats::COMPILED_IN {
+        let snap = ukstats::snapshot();
+        let delta = |name: &str| {
+            snap.counter(name).unwrap_or(0) - base.counter(name).unwrap_or(0)
+        };
+        assert!(delta("netstack.tso_super_frames") > 0, "registry saw the supers");
+        assert!(delta("netstack.tx_bytes") >= TOTAL as u64, "bytes were counted");
+        let hist = snap.hist("netstack.pump_ns").expect("pump histogram");
+        let base_hist = base.hist("netstack.pump_ns").expect("pump histogram");
+        assert!(hist.count > base_hist.count, "pump latency was recorded");
+    }
+    if uktrace::COMPILED_IN {
+        assert!(
+            !net.stack(ci).trace_ring().is_empty(),
+            "the transfer wrote trace records (tso_super_tx et al.)"
+        );
+    }
 }
 
 /// The receive-side guard: a 1 MB transfer from a **per-MSS sender**

@@ -6,8 +6,21 @@
 //! sending thread".
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use crate::thread::ThreadId;
+
+/// Global park/wake counters shared by every wait queue (names dedup in
+/// the registry anyway; one resolve pays the registration lock once).
+fn counters() -> &'static (ukstats::Counter, ukstats::Counter) {
+    static C: OnceLock<(ukstats::Counter, ukstats::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        (
+            ukstats::Counter::register("uksched.parks"),
+            ukstats::Counter::register("uksched.wakes"),
+        )
+    })
+}
 
 /// A FIFO wait queue of thread ids.
 #[derive(Debug, Default, Clone)]
@@ -26,17 +39,24 @@ impl WaitQueue {
     pub fn wait(&mut self, id: ThreadId) {
         if !self.waiters.contains(&id) {
             self.waiters.push_back(id);
+            counters().0.inc();
         }
     }
 
     /// Removes and returns the first waiter.
     pub fn wake_one(&mut self) -> Option<ThreadId> {
-        self.waiters.pop_front()
+        let woken = self.waiters.pop_front();
+        if woken.is_some() {
+            counters().1.inc();
+        }
+        woken
     }
 
     /// Drains all waiters.
     pub fn wake_all(&mut self) -> Vec<ThreadId> {
-        self.waiters.drain(..).collect()
+        let woken: Vec<ThreadId> = self.waiters.drain(..).collect();
+        counters().1.add(woken.len() as u64);
+        woken
     }
 
     /// Removes a specific thread (e.g. on timeout).

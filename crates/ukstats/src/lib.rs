@@ -1,0 +1,605 @@
+//! `ukstats`: a global, lock-free registry of named counters, gauges and
+//! log-bucketed latency histograms.
+//!
+//! Unikraft exports per-library state through `ukstore`; the evaluation
+//! (Figs. 10–13 style throughput/latency curves) depends on measuring
+//! *inside* the unikernel without perturbing the hot path. This crate is
+//! that substrate:
+//!
+//! * **Registration** happens at subsystem construction time
+//!   ([`Counter::register`], [`Gauge::register`],
+//!   [`Histogram::register`]). Slots are static atomics; registering the
+//!   same name twice returns the same slot, so counters aggregate across
+//!   instances. Registration may take a lock and touch the heap — it is
+//!   *setup-time only*.
+//! * **Increments** ([`Counter::add`], [`Histogram::record`]) are relaxed
+//!   atomic RMWs on pre-resolved `&'static` slots: no lock, no allocation,
+//!   no lookup. The zero-alloc tier-1 tests run with stats enabled and
+//!   still assert 0.000 allocs/frame.
+//! * **Snapshots** ([`snapshot`]) walk the registry under the
+//!   registration lock and render to plain structs (and JSON via
+//!   [`Snapshot::to_json`]) — they allocate, and belong on the control
+//!   plane (`/stats`, bench reports, tests), never in `pump`.
+//!
+//! Histograms are log-bucketed in the HDR shape: power-of-two octaves with
+//! 8 linear sub-buckets each, so any recorded value lands in a bucket whose
+//! bounds are within 12.5 % of the value. Quantiles ([`Histogram::quantile`])
+//! return the upper bound of the bucket holding the rank — the naive
+//! sorted-vec quantile is guaranteed to lie inside that bucket, which is
+//! exactly what the property tests check.
+//!
+//! Building with `--no-default-features` compiles every handle down to a
+//! zero-sized no-op: `add`/`record` become empty inline functions and the
+//! registry reports itself [`COMPILED_IN`]` == false`.
+
+#[cfg(feature = "stats")]
+use std::sync::Mutex;
+
+/// Whether the stats plane is compiled in (`stats` feature).
+pub const COMPILED_IN: bool = cfg!(feature = "stats");
+
+/// Counter slots available before [`Counter::register`] panics.
+pub const MAX_COUNTERS: usize = 256;
+/// Gauge slots available before [`Gauge::register`] panics.
+pub const MAX_GAUGES: usize = 64;
+/// Histogram slots available before [`Histogram::register`] panics.
+pub const MAX_HISTOGRAMS: usize = 32;
+
+const SUB_BUCKETS: usize = 8; // 3 bits of sub-bucket precision per octave.
+#[cfg_attr(not(feature = "stats"), allow(dead_code))]
+const NUM_BUCKETS: usize = 61 * SUB_BUCKETS + SUB_BUCKETS; // 496
+
+/// Maps a value to its HDR-shaped bucket index.
+///
+/// Values below 8 get exact unit buckets; above that, each power-of-two
+/// octave is split into 8 linear sub-buckets.
+#[cfg_attr(not(feature = "stats"), allow(dead_code))]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let shift = msb - 3;
+        (shift + 1) * SUB_BUCKETS + ((v >> shift) as usize & (SUB_BUCKETS - 1))
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `idx`.
+#[cfg_attr(not(feature = "stats"), allow(dead_code))]
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB_BUCKETS {
+        (idx as u64, idx as u64)
+    } else {
+        let shift = idx / SUB_BUCKETS - 1;
+        let base = ((SUB_BUCKETS + idx % SUB_BUCKETS) as u64) << shift;
+        (base, base + ((1u64 << shift) - 1))
+    }
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnap {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnap {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// One histogram in a snapshot: totals plus the three headline quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnap {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<CounterSnap>,
+    pub gauges: Vec<GaugeSnap>,
+    pub hists: Vec<HistSnap>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnap> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Counter deltas relative to an earlier snapshot, dropping zeros.
+    /// This is how the bench harness attributes global counters to one
+    /// ablation cell.
+    pub fn counters_since(&self, base: &Snapshot) -> Vec<CounterSnap> {
+        self.counters
+            .iter()
+            .map(|c| CounterSnap {
+                name: c.name,
+                value: c.value - base.counter(c.name).unwrap_or(0),
+            })
+            .filter(|c| c.value != 0)
+            .collect()
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled — the registry
+    /// has no serde dependency; names are static identifiers that never
+    /// need escaping).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name, c.value));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", g.name, g.value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let min = if h.count == 0 { 0 } else { h.min };
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p99\":{},\"p999\":{}}}",
+                h.name, h.count, h.sum, min, h.max, h.p50, h.p99, h.p999
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(feature = "stats")]
+struct Index {
+    counters: Vec<&'static str>,
+    gauges: Vec<&'static str>,
+    hists: Vec<&'static str>,
+}
+
+#[cfg(feature = "stats")]
+static INDEX: Mutex<Index> = Mutex::new(Index {
+    counters: Vec::new(),
+    gauges: Vec::new(),
+    hists: Vec::new(),
+});
+
+#[cfg(feature = "stats")]
+mod imp {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    // `const` items with interior mutability are re-instantiated per array
+    // element, which is exactly what static slot arrays need.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+
+    static COUNTERS: [AtomicU64; MAX_COUNTERS] = [ZERO; MAX_COUNTERS];
+    static GAUGES: [AtomicU64; MAX_GAUGES] = [ZERO; MAX_GAUGES];
+
+    pub(super) struct HistSlot {
+        pub(super) count: AtomicU64,
+        pub(super) sum: AtomicU64,
+        pub(super) min: AtomicU64,
+        pub(super) max: AtomicU64,
+        pub(super) buckets: [AtomicU64; NUM_BUCKETS],
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY_HIST: HistSlot = HistSlot {
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        min: AtomicU64::new(u64::MAX),
+        max: AtomicU64::new(0),
+        buckets: [ZERO; NUM_BUCKETS],
+    };
+
+    static HISTS: [HistSlot; MAX_HISTOGRAMS] = [EMPTY_HIST; MAX_HISTOGRAMS];
+
+    /// A monotonically increasing counter. `Copy`: handles are meant to be
+    /// resolved once at registration and embedded in the owning struct.
+    #[derive(Clone, Copy)]
+    pub struct Counter {
+        slot: &'static AtomicU64,
+    }
+
+    impl Counter {
+        /// Registers (or re-resolves) the counter named `name`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if more than [`MAX_COUNTERS`] distinct names register.
+        pub fn register(name: &'static str) -> Counter {
+            let mut idx = INDEX.lock().expect("ukstats registry poisoned");
+            let i = match idx.counters.iter().position(|n| *n == name) {
+                Some(i) => i,
+                None => {
+                    assert!(idx.counters.len() < MAX_COUNTERS, "ukstats: counter slots exhausted");
+                    idx.counters.push(name);
+                    idx.counters.len() - 1
+                }
+            };
+            Counter { slot: &COUNTERS[i] }
+        }
+
+        /// Adds `n`: one relaxed atomic add, the whole hot path.
+        #[inline(always)]
+        pub fn add(&self, n: u64) {
+            self.slot.fetch_add(n, Relaxed);
+        }
+
+        /// Adds one.
+        #[inline(always)]
+        pub fn inc(&self) {
+            self.add(1);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> u64 {
+            self.slot.load(Relaxed)
+        }
+    }
+
+    /// A last-value / high-watermark cell.
+    #[derive(Clone, Copy)]
+    pub struct Gauge {
+        slot: &'static AtomicU64,
+    }
+
+    impl Gauge {
+        /// Registers (or re-resolves) the gauge named `name`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if more than [`MAX_GAUGES`] distinct names register.
+        pub fn register(name: &'static str) -> Gauge {
+            let mut idx = INDEX.lock().expect("ukstats registry poisoned");
+            let i = match idx.gauges.iter().position(|n| *n == name) {
+                Some(i) => i,
+                None => {
+                    assert!(idx.gauges.len() < MAX_GAUGES, "ukstats: gauge slots exhausted");
+                    idx.gauges.push(name);
+                    idx.gauges.len() - 1
+                }
+            };
+            Gauge { slot: &GAUGES[i] }
+        }
+
+        /// Stores `v`.
+        #[inline(always)]
+        pub fn set(&self, v: u64) {
+            self.slot.store(v, Relaxed);
+        }
+
+        /// Raises the gauge to `v` if `v` is higher (high-watermark use).
+        #[inline(always)]
+        pub fn set_max(&self, v: u64) {
+            self.slot.fetch_max(v, Relaxed);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> u64 {
+            self.slot.load(Relaxed)
+        }
+    }
+
+    /// A log-bucketed latency histogram (HDR shape).
+    #[derive(Clone, Copy)]
+    pub struct Histogram {
+        slot: &'static HistSlot,
+    }
+
+    impl Histogram {
+        /// Registers (or re-resolves) the histogram named `name`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if more than [`MAX_HISTOGRAMS`] distinct names register.
+        pub fn register(name: &'static str) -> Histogram {
+            let mut idx = INDEX.lock().expect("ukstats registry poisoned");
+            let i = match idx.hists.iter().position(|n| *n == name) {
+                Some(i) => i,
+                None => {
+                    assert!(
+                        idx.hists.len() < MAX_HISTOGRAMS,
+                        "ukstats: histogram slots exhausted"
+                    );
+                    idx.hists.push(name);
+                    idx.hists.len() - 1
+                }
+            };
+            Histogram { slot: &HISTS[i] }
+        }
+
+        /// Records one sample: a handful of relaxed atomic RMWs, no
+        /// allocation, no lock.
+        #[inline]
+        pub fn record(&self, v: u64) {
+            self.slot.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+            self.slot.count.fetch_add(1, Relaxed);
+            self.slot.sum.fetch_add(v, Relaxed);
+            self.slot.min.fetch_min(v, Relaxed);
+            self.slot.max.fetch_max(v, Relaxed);
+        }
+
+        /// Samples recorded.
+        pub fn count(&self) -> u64 {
+            self.slot.count.load(Relaxed)
+        }
+
+        /// Inclusive bucket bounds containing the `q`-quantile
+        /// (`0.0 ..= 1.0`). The naive sorted-sample quantile
+        /// `sorted[max(1, ceil(q·n)) - 1]` is guaranteed to lie within.
+        /// Returns `None` when the histogram is empty.
+        pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+            let count = self.count();
+            if count == 0 {
+                return None;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (i, b) in self.slot.buckets.iter().enumerate() {
+                cum += b.load(Relaxed);
+                if cum >= rank {
+                    return Some(bucket_bounds(i));
+                }
+            }
+            Some(bucket_bounds(NUM_BUCKETS - 1))
+        }
+
+        /// Upper bound of the bucket containing the `q`-quantile; 0 when
+        /// empty.
+        pub fn quantile(&self, q: f64) -> u64 {
+            self.quantile_bounds(q).map(|(_, hi)| hi).unwrap_or(0)
+        }
+
+        fn snap(&self, name: &'static str) -> HistSnap {
+            HistSnap {
+                name,
+                count: self.count(),
+                sum: self.slot.sum.load(Relaxed),
+                min: self.slot.min.load(Relaxed),
+                max: self.slot.max.load(Relaxed),
+                p50: self.quantile(0.50),
+                p99: self.quantile(0.99),
+                p999: self.quantile(0.999),
+            }
+        }
+    }
+
+    /// Copies the whole registry.
+    pub fn snapshot() -> Snapshot {
+        let idx = INDEX.lock().expect("ukstats registry poisoned");
+        Snapshot {
+            counters: idx
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| CounterSnap {
+                    name,
+                    value: COUNTERS[i].load(Relaxed),
+                })
+                .collect(),
+            gauges: idx
+                .gauges
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| GaugeSnap {
+                    name,
+                    value: GAUGES[i].load(Relaxed),
+                })
+                .collect(),
+            hists: idx
+                .hists
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| Histogram { slot: &HISTS[i] }.snap(name))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered value while keeping registrations. Meant
+    /// for single-threaded harnesses (benches) — racing resets against
+    /// live increments only loses increments, never corrupts.
+    pub fn reset_all() {
+        let idx = INDEX.lock().expect("ukstats registry poisoned");
+        for i in 0..idx.counters.len() {
+            COUNTERS[i].store(0, Relaxed);
+        }
+        for i in 0..idx.gauges.len() {
+            GAUGES[i].store(0, Relaxed);
+        }
+        for i in 0..idx.hists.len() {
+            let h = &HISTS[i];
+            h.count.store(0, Relaxed);
+            h.sum.store(0, Relaxed);
+            h.min.store(u64::MAX, Relaxed);
+            h.max.store(0, Relaxed);
+            for b in h.buckets.iter() {
+                b.store(0, Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "stats"))]
+mod imp {
+    use super::Snapshot;
+
+    /// No-op counter: the stats plane is compiled out.
+    #[derive(Clone, Copy)]
+    pub struct Counter;
+
+    impl Counter {
+        pub fn register(_name: &'static str) -> Counter {
+            Counter
+        }
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+        #[inline(always)]
+        pub fn inc(&self) {}
+        pub fn get(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op gauge: the stats plane is compiled out.
+    #[derive(Clone, Copy)]
+    pub struct Gauge;
+
+    impl Gauge {
+        pub fn register(_name: &'static str) -> Gauge {
+            Gauge
+        }
+        #[inline(always)]
+        pub fn set(&self, _v: u64) {}
+        #[inline(always)]
+        pub fn set_max(&self, _v: u64) {}
+        pub fn get(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op histogram: the stats plane is compiled out.
+    #[derive(Clone, Copy)]
+    pub struct Histogram;
+
+    impl Histogram {
+        pub fn register(_name: &'static str) -> Histogram {
+            Histogram
+        }
+        #[inline(always)]
+        pub fn record(&self, _v: u64) {}
+        pub fn count(&self) -> u64 {
+            0
+        }
+        pub fn quantile_bounds(&self, _q: f64) -> Option<(u64, u64)> {
+            None
+        }
+        pub fn quantile(&self, _q: f64) -> u64 {
+            0
+        }
+    }
+
+    /// Empty snapshot: nothing is recorded when compiled out.
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// No-op.
+    pub fn reset_all() {}
+}
+
+pub use imp::{reset_all, snapshot, Counter, Gauge, Histogram};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiled_out_handles_are_zero_sized() {
+        if !COMPILED_IN {
+            assert_eq!(std::mem::size_of::<Counter>(), 0);
+            assert_eq!(std::mem::size_of::<Gauge>(), 0);
+            assert_eq!(std::mem::size_of::<Histogram>(), 0);
+            assert!(snapshot().counters.is_empty());
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 17, 100, 1_000, 65_535, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo},{hi}]");
+            // HDR shape: bucket width within 12.5 % of the value.
+            assert!(hi - lo <= lo.max(1) / 8 + 1, "bucket too wide at {v}");
+        }
+    }
+
+    #[cfg(feature = "stats")]
+    mod live {
+        use super::super::*;
+
+        #[test]
+        fn register_dedups_and_counts() {
+            let a = Counter::register("test.dedup");
+            let b = Counter::register("test.dedup");
+            let before = a.get();
+            a.inc();
+            b.add(2);
+            assert_eq!(a.get(), before + 3, "same name, same slot");
+            assert!(snapshot().counter("test.dedup").unwrap() >= 3);
+        }
+
+        #[test]
+        fn gauge_set_max_is_a_high_watermark() {
+            let g = Gauge::register("test.hiwater");
+            g.set(0);
+            g.set_max(5);
+            g.set_max(3);
+            assert_eq!(g.get(), 5);
+        }
+
+        #[test]
+        fn histogram_quantiles_bound_the_samples() {
+            let h = Histogram::register("test.hist");
+            for v in 1..=1000u64 {
+                h.record(v);
+            }
+            assert!(h.count() >= 1000);
+            let (lo, hi) = h.quantile_bounds(0.5).unwrap();
+            assert!(lo <= 500 && 500 <= hi + hi / 8, "p50 near 500: [{lo},{hi}]");
+            let p999 = h.quantile(0.999);
+            assert!(p999 >= 999, "p999 upper bound covers the tail");
+        }
+
+        #[test]
+        fn snapshot_renders_json() {
+            let c = Counter::register("test.json_counter");
+            c.inc();
+            let h = Histogram::register("test.json_hist");
+            h.record(42);
+            let json = snapshot().to_json();
+            assert!(json.contains("\"test.json_counter\":"));
+            assert!(json.contains("\"test.json_hist\":{\"count\":"));
+            assert!(json.starts_with('{') && json.ends_with('}'));
+        }
+
+        #[test]
+        fn counters_since_reports_deltas_only() {
+            let c = Counter::register("test.delta");
+            let base = snapshot();
+            c.add(7);
+            let now = snapshot();
+            let d = now.counters_since(&base);
+            assert!(d.iter().any(|s| s.name == "test.delta" && s.value == 7));
+        }
+    }
+}

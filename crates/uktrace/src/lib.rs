@@ -1,0 +1,357 @@
+//! `uktrace`: typed tracepoints writing fixed-size records into
+//! per-instance ring buffers stamped by the virtual clock.
+//!
+//! Unikraft's `uktrace` (behind `CONFIG_LIBUKDEBUG_TRACEPOINTS`) compiles
+//! tracepoint call sites into either a store into a static trace buffer
+//! or — when the option is off — nothing at all. This crate reproduces
+//! that shape:
+//!
+//! * [`tracepoints!`] declares typed tracepoints as `pub static`s carrying
+//!   their name and argument names, so records decode symbolically.
+//! * [`trace!`] writes one fixed-size [`TraceEvent`] (timestamp, point,
+//!   up to [`MAX_ARGS`] `u64` args) into a [`TraceRing`]. The ring is
+//!   preallocated at construction; recording is index arithmetic plus a
+//!   few stores — zero allocation, which is why the zero-alloc tier-1
+//!   tests pass with tracing **enabled**.
+//! * Timestamps come from the platform's virtual clock when one is
+//!   attached ([`TraceRing::set_clock`]); otherwise a per-ring sequence
+//!   number keeps records ordered.
+//! * Building with `--no-default-features` compiles the whole plane out:
+//!   [`TraceRing`] becomes a zero-sized type, `trace!` expands to
+//!   nothing, and [`COMPILED_IN`] is `false`. `make verify-trace-off`
+//!   asserts this.
+//!
+//! Draining ([`TraceRing::drain`]) returns records oldest-first and is
+//! the basis of the trace-order test style: "this scenario fired exactly
+//! these tracepoints in this order".
+
+/// Whether tracepoints are compiled in (`tracepoints` feature).
+pub const COMPILED_IN: bool = cfg!(feature = "tracepoints");
+
+/// Maximum `u64` arguments a record carries.
+pub const MAX_ARGS: usize = 2;
+
+/// A tracepoint definition: declared once as a `pub static` (see
+/// [`tracepoints!`]), referenced by every record that fires it.
+#[derive(Debug)]
+pub struct Tracepoint {
+    /// Symbolic name, e.g. `"tcp_syn_tx"`.
+    pub name: &'static str,
+    /// Names of the arguments, e.g. `["local_port", "remote_port"]`.
+    pub arg_names: &'static [&'static str],
+}
+
+/// One fixed-size trace record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Virtual-clock nanoseconds (or ring sequence number when no clock
+    /// is attached).
+    pub ts: u64,
+    /// The tracepoint that fired.
+    pub point: &'static Tracepoint,
+    /// Argument values; only the first `argc` are meaningful.
+    pub args: [u64; MAX_ARGS],
+    /// How many of `args` were recorded.
+    pub argc: u8,
+}
+
+impl TraceEvent {
+    /// The tracepoint's symbolic name.
+    pub fn name(&self) -> &'static str {
+        self.point.name
+    }
+
+    /// Renders `name arg0=v0 arg1=v1` for dumps and assertion messages.
+    pub fn decode(&self) -> String {
+        let mut out = String::from(self.point.name);
+        for i in 0..self.argc as usize {
+            let arg = self.point.arg_names.get(i).copied().unwrap_or("arg");
+            out.push_str(&format!(" {}={}", arg, self.args[i]));
+        }
+        out
+    }
+}
+
+/// Declares typed tracepoints as `pub static`s.
+///
+/// ```
+/// pub mod tp {
+///     uktrace::tracepoints! {
+///         tcp_rto_fired(tcb_id, seq),
+///         pump_idle(),
+///     }
+/// }
+/// assert_eq!(tp::tcp_rto_fired.name, "tcp_rto_fired");
+/// ```
+#[macro_export]
+macro_rules! tracepoints {
+    ($( $name:ident ( $($arg:ident),* $(,)? ) ),* $(,)?) => {
+        $(
+            // dead_code: with tracepoints compiled out every `trace!`
+            // reference to the static vanishes with the call site.
+            #[allow(non_upper_case_globals, dead_code)]
+            pub static $name: $crate::Tracepoint = $crate::Tracepoint {
+                name: stringify!($name),
+                arg_names: &[ $( stringify!($arg) ),* ],
+            };
+        )*
+    };
+}
+
+/// Fires a tracepoint into a ring: `trace!(ring, tp::tcp_rto_fired, tcb,
+/// seq)`. With tracepoints compiled out this expands to nothing at all.
+#[cfg(feature = "tracepoints")]
+#[macro_export]
+macro_rules! trace {
+    ($ring:expr, $tp:expr) => {
+        $ring.record(&$tp, &[])
+    };
+    ($ring:expr, $tp:expr, $a:expr) => {
+        $ring.record(&$tp, &[$a as u64])
+    };
+    ($ring:expr, $tp:expr, $a:expr, $b:expr) => {
+        $ring.record(&$tp, &[$a as u64, $b as u64])
+    };
+}
+
+/// Fires a tracepoint into a ring — compiled out: expands to nothing.
+#[cfg(not(feature = "tracepoints"))]
+#[macro_export]
+macro_rules! trace {
+    ($($t:tt)*) => {};
+}
+
+#[cfg(feature = "tracepoints")]
+mod imp {
+    use super::{TraceEvent, Tracepoint, MAX_ARGS};
+    use ukplat::time::{MonotonicClock, Tsc};
+
+    static NULL_POINT: Tracepoint = Tracepoint {
+        name: "",
+        arg_names: &[],
+    };
+
+    /// A per-instance ring of fixed-size trace records. Preallocated at
+    /// construction; recording never allocates. When full, the oldest
+    /// record is overwritten and counted in [`dropped`](Self::dropped).
+    #[derive(Debug)]
+    pub struct TraceRing {
+        buf: Box<[TraceEvent]>,
+        /// Next write position.
+        head: usize,
+        /// Live records (≤ capacity).
+        len: usize,
+        /// Monotonic fallback stamp when no clock is attached.
+        seq: u64,
+        /// Records overwritten because the ring was full.
+        dropped: u64,
+        clock: Option<MonotonicClock>,
+    }
+
+    impl TraceRing {
+        /// Creates a ring holding `capacity` records (min 1).
+        pub fn new(capacity: usize) -> Self {
+            let capacity = capacity.max(1);
+            TraceRing {
+                buf: vec![
+                    TraceEvent {
+                        ts: 0,
+                        point: &NULL_POINT,
+                        args: [0; MAX_ARGS],
+                        argc: 0,
+                    };
+                    capacity
+                ]
+                .into_boxed_slice(),
+                head: 0,
+                len: 0,
+                seq: 0,
+                dropped: 0,
+                clock: None,
+            }
+        }
+
+        /// Stamps subsequent records with the platform's virtual clock.
+        pub fn set_clock(&mut self, tsc: &Tsc) {
+            self.clock = Some(MonotonicClock::new(tsc));
+        }
+
+        /// Writes one record. Fixed-size stores into the preallocated
+        /// ring — the hot-path cost tracing adds.
+        #[inline]
+        pub fn record(&mut self, point: &'static Tracepoint, args: &[u64]) {
+            let ts = match &self.clock {
+                Some(c) => c.now_ns(),
+                None => self.seq,
+            };
+            self.seq += 1;
+            let mut rec = TraceEvent {
+                ts,
+                point,
+                args: [0; MAX_ARGS],
+                argc: args.len().min(MAX_ARGS) as u8,
+            };
+            rec.args[..rec.argc as usize].copy_from_slice(&args[..rec.argc as usize]);
+            if self.len == self.buf.len() {
+                self.dropped += 1;
+            } else {
+                self.len += 1;
+            }
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.buf.len();
+        }
+
+        /// Removes and returns all buffered records, oldest first.
+        pub fn drain(&mut self) -> Vec<TraceEvent> {
+            let cap = self.buf.len();
+            let start = (self.head + cap - self.len) % cap;
+            let out = (0..self.len).map(|i| self.buf[(start + i) % cap]).collect();
+            self.len = 0;
+            self.head = 0;
+            out
+        }
+
+        /// Buffered record count.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the ring holds no records.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Ring capacity in records.
+        pub fn capacity(&self) -> usize {
+            self.buf.len()
+        }
+
+        /// Records overwritten because the ring was full.
+        pub fn dropped(&self) -> u64 {
+            self.dropped
+        }
+    }
+}
+
+#[cfg(not(feature = "tracepoints"))]
+mod imp {
+    use super::{TraceEvent, Tracepoint};
+    use ukplat::time::Tsc;
+
+    /// Zero-sized no-op ring: tracepoints are compiled out.
+    #[derive(Debug)]
+    pub struct TraceRing;
+
+    impl TraceRing {
+        pub fn new(_capacity: usize) -> Self {
+            TraceRing
+        }
+        pub fn set_clock(&mut self, _tsc: &Tsc) {}
+        #[inline(always)]
+        pub fn record(&mut self, _point: &'static Tracepoint, _args: &[u64]) {}
+        /// `Vec::new` does not allocate: drain stays allocation-free too.
+        pub fn drain(&mut self) -> Vec<TraceEvent> {
+            Vec::new()
+        }
+        pub fn len(&self) -> usize {
+            0
+        }
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+        pub fn capacity(&self) -> usize {
+            0
+        }
+        pub fn dropped(&self) -> u64 {
+            0
+        }
+    }
+}
+
+pub use imp::TraceRing;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    mod tp {
+        crate::tracepoints! {
+            unit_fired(value),
+            unit_pair(a, b),
+            unit_bare(),
+        }
+    }
+
+    #[test]
+    fn compiled_out_ring_is_zero_sized() {
+        if !COMPILED_IN {
+            assert_eq!(std::mem::size_of::<TraceRing>(), 0);
+            let mut r = TraceRing::new(64);
+            trace!(r, tp::unit_fired, 1u64);
+            assert!(r.drain().is_empty());
+        }
+    }
+
+    #[test]
+    fn tracepoint_metadata_decodes() {
+        assert_eq!(tp::unit_pair.name, "unit_pair");
+        assert_eq!(tp::unit_pair.arg_names, ["a", "b"]);
+    }
+
+    #[cfg(feature = "tracepoints")]
+    mod live {
+        use super::tp;
+        use crate::TraceRing;
+
+        #[test]
+        fn records_drain_oldest_first() {
+            let mut r = TraceRing::new(8);
+            crate::trace!(r, tp::unit_fired, 10u64);
+            crate::trace!(r, tp::unit_pair, 1u64, 2u64);
+            crate::trace!(r, tp::unit_bare);
+            let ev = r.drain();
+            assert_eq!(
+                ev.iter().map(|e| e.name()).collect::<Vec<_>>(),
+                ["unit_fired", "unit_pair", "unit_bare"]
+            );
+            assert_eq!(ev[0].decode(), "unit_fired value=10");
+            assert_eq!(ev[1].decode(), "unit_pair a=1 b=2");
+            assert_eq!(ev[2].decode(), "unit_bare");
+            assert!(r.is_empty());
+        }
+
+        #[test]
+        fn sequence_stamps_are_monotonic_without_a_clock() {
+            let mut r = TraceRing::new(8);
+            for i in 0..5u64 {
+                crate::trace!(r, tp::unit_fired, i);
+            }
+            let ts: Vec<u64> = r.drain().iter().map(|e| e.ts).collect();
+            assert_eq!(ts, [0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn virtual_clock_stamps_records() {
+            let tsc = ukplat::time::Tsc::new(1_000_000_000);
+            let mut r = TraceRing::new(8);
+            r.set_clock(&tsc);
+            crate::trace!(r, tp::unit_bare);
+            tsc.advance_ns(250);
+            crate::trace!(r, tp::unit_bare);
+            let ev = r.drain();
+            assert_eq!(ev[0].ts, 0);
+            assert_eq!(ev[1].ts, 250);
+        }
+
+        #[test]
+        fn full_ring_overwrites_oldest_and_counts_drops() {
+            let mut r = TraceRing::new(2);
+            crate::trace!(r, tp::unit_fired, 1u64);
+            crate::trace!(r, tp::unit_fired, 2u64);
+            crate::trace!(r, tp::unit_fired, 3u64);
+            assert_eq!(r.dropped(), 1);
+            let vals: Vec<u64> = r.drain().iter().map(|e| e.args[0]).collect();
+            assert_eq!(vals, [2, 3]);
+        }
+    }
+}

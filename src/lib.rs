@@ -15,6 +15,8 @@
 //! - [`netdev`] — `uknetdev`: netbufs, burst TX/RX, virtio-net model
 //! - [`netstack`] — lwIP-analog network stack + sockets
 //! - [`event`] — `ukevent`: epoll/eventfd readiness subsystem
+//! - [`stats`] — `ukstats`: lock-free counter/gauge/histogram registry
+//! - [`trace`] — `uktrace`: zero-alloc typed tracepoints + ring buffers
 //! - [`blockdev`] — `ukblockdev`: block devices, ramdisk
 //! - [`vfs`] — vfscore + ramfs + 9pfs + SHFS
 //! - [`syscall`] — syscall shim layer
@@ -53,7 +55,9 @@ pub use uknetstack as netstack;
 pub use ukplat as plat;
 pub use ukport as port;
 pub use uksched as sched;
+pub use ukstats as stats;
 pub use uksyscall as syscall;
+pub use uktrace as trace;
 pub use ukvfs as vfs;
 
 pub use ukapps as apps;
