@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-trace-off verify-workspace test bench bench-event bench-smoke bench-json examples clean
+.PHONY: verify verify-trace-off verify-fault-matrix verify-workspace test bench bench-event bench-smoke bench-json examples clean
 
 ## Tier-1: release build + root-crate tests (ROADMAP's check).
 verify:
@@ -23,6 +23,18 @@ verify-trace-off:
 	$(CARGO) test -q -p ukstats --no-default-features
 	$(CARGO) test -q -p uktrace --no-default-features
 
+## The loss-tolerance property in both feature modes: the
+## fault-schedule proptest (arbitrary drop × dup × reorder × burst
+## schedules must deliver byte-identical TCP streams in both
+## directions) and the wire-level recovery suite run with the
+## observability features on (default) and compiled out — the recovery
+## machinery must not depend on stats/tracing being present.
+verify-fault-matrix:
+	$(CARGO) test -q -p uknetstack --test proptests any_fault_schedule
+	$(CARGO) test -q -p uknetstack --test tcp_recovery
+	$(CARGO) test -q -p uknetstack --no-default-features --test proptests any_fault_schedule
+	$(CARGO) test -q -p uknetstack --no-default-features --test tcp_recovery
+
 ## The full sweep: every workspace crate's unit, integration and prop
 ## tests, plus bench/example compilation and the netpath smoke bench
 ## (which asserts 0.000 allocs/frame on the pooled datapath).
@@ -30,6 +42,7 @@ verify-workspace:
 	$(CARGO) build --release --workspace --benches --examples
 	$(CARGO) test -q --workspace
 	$(MAKE) verify-trace-off
+	$(MAKE) verify-fault-matrix
 	$(MAKE) bench-smoke
 
 test:
@@ -54,15 +67,18 @@ bench-smoke:
 ## Machine-readable perf trajectory: runs the netpath ablation
 ## matrices — the PR 3 RTT cells (per-frame vs burst, checksum offload
 ## on/off, pooled vs heap), the PR 4 bulk-throughput grid
-## (4KB/64KB/1MB × tso × rx_csum, bytes/s, allocs/frame), and the PR 5
+## (4KB/64KB/1MB × tso × rx_csum, bytes/s, allocs/frame), the PR 5
 ## receive-path grid (64KB/1MB per-MSS ingest × gro on/off ×
-## netbuf-recv vs copy-recv, receiver-side bytes/s, allocs/frame) —
-## and writes them to BENCH_PR6.json. Since PR 6 each cell also embeds
-## the ukstats counter deltas measured inside its timed window and the
+## netbuf-recv vs copy-recv, receiver-side bytes/s, allocs/frame), and
+## the PR 7 goodput-vs-loss grid (1MB per-MSS transfers × drop rate
+## {0, 1/64, 1/16, 1/8} × congestion control on/off, goodput with
+## recovery overhead included plus retransmit/RTO counts) — and writes
+## them to BENCH_PR7.json. Since PR 6 each cell also embeds the
+## ukstats counter deltas measured inside its timed window and the
 ## document ends with a full registry snapshot; the human tables are
 ## suppressed (leveled logging drops to Warn in --json mode).
 bench-json:
-	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR6.json
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR7.json
 
 examples:
 	$(CARGO) build --release --examples

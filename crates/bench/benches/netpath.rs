@@ -26,12 +26,20 @@
 //! across the `{gro, netbuf-vs-copy recv}` grid. The headline is the
 //! 64 KB GRO-on vs GRO-off receive throughput.
 //!
+//! Since loss-tolerant TCP landed, a **goodput-vs-loss matrix** rides
+//! along: a per-MSS sender streams 1 MB per rep through a wire
+//! dropping every {∞, 64th, 16th, 8th} frame, with the virtual clock
+//! arming the retransmission timers and NewReno switchable — goodput
+//! (recovery overhead included) per cell, plus what the recovery did
+//! (retransmits, fast retransmits, RTO fires). The headline asserts
+//! goodput at 1/64 drop holds ≥ 50% of the lossless baseline.
+//!
 //! The binary installs `ukalloc::stats::CountingAlloc` as its global
 //! allocator, so alongside the ns/iter numbers it prints measured
 //! **allocations per frame** (expected: 0.000 on every pooled config,
 //! enforced), round-trips/s and ns/RTT. With `--json <path>` the
 //! ablation table is also written as machine-readable JSON
-//! (`make bench-json` → `BENCH_PR6.json`), so the perf trajectory is
+//! (`make bench-json` → `BENCH_PR7.json`), so the perf trajectory is
 //! diffable across PRs. Since the observability layer landed, each
 //! JSON cell carries the `ukstats` counter deltas measured inside its
 //! timed window (what the datapath *did*, not just how long it took),
@@ -489,6 +497,102 @@ impl RecvHarness {
     }
 }
 
+/// The loss-recovery harness: a per-MSS (non-TSO) sender — the frame
+/// shape the testnet fault injector acts on — streaming through a
+/// lossy wire with a shared virtual clock arming the retransmission
+/// timers. The congestion-control ablation switch and the drop cadence
+/// are the matrix axes; goodput is application bytes delivered per
+/// wall-clock second, recovery overhead included.
+struct LossHarness {
+    net: Network,
+    ci: usize,
+    si: usize,
+    client: SocketHandle,
+    server: SocketHandle,
+    buf: Vec<u8>,
+}
+
+impl LossHarness {
+    fn new(cc: bool, drop_every: u64) -> Self {
+        let mk = |n: u8| {
+            let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+            let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+            dev.configure(NetDevConf::default()).unwrap();
+            let mut cfg = StackConfig::node(n);
+            cfg.tso = false; // Plain per-MSS frames: droppable.
+            cfg.congestion_control = cc;
+            NetStack::new(cfg, Box::new(dev))
+        };
+        let mut net = Network::new();
+        let ci = net.attach(mk(1));
+        let si = net.attach(mk(2));
+        let clock = Tsc::new(1_000_000_000); // 1 cycle = 1 ns.
+        net.set_clock(&clock);
+        // 5 ms of virtual time per step: RTO waits (200 ms floor) cost
+        // tens of steps, not thousands, while lossless cells never wait.
+        net.set_step_ns(5_000_000);
+        // Establish on a clean wire, then arm the schedule.
+        let listener = net.stack(si).tcp_listen(9200).unwrap();
+        let client = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9200))
+            .unwrap();
+        net.run_until_quiet(32);
+        let server = net.stack(si).tcp_accept(listener).unwrap();
+        net.set_drop_every(drop_every);
+        let mut h = LossHarness {
+            net,
+            ci,
+            si,
+            client,
+            server,
+            buf: vec![0; 64 * 1024],
+        };
+        for _ in 0..3 {
+            h.transfer(64 * 1024);
+        }
+        h
+    }
+
+    /// Streams `total` bytes client → server through the lossy wire,
+    /// draining as they arrive.
+    fn transfer(&mut self, total: usize) {
+        const CHUNK: [u8; 64 * 1024] = [0x6b; 64 * 1024];
+        let mut sent = 0;
+        let mut got = 0;
+        while got < total {
+            if sent < total {
+                let want = CHUNK.len().min(total - sent);
+                let n = self
+                    .net
+                    .stack(self.ci)
+                    .tcp_send_queued(self.client, &CHUNK[..want])
+                    .unwrap_or(0);
+                sent += n;
+                self.net.stack(self.ci).flush_output().unwrap();
+            }
+            self.net.step();
+            loop {
+                let n = self
+                    .net
+                    .stack(self.si)
+                    .tcp_recv_into(self.server, &mut self.buf)
+                    .unwrap();
+                if n == 0 {
+                    break;
+                }
+                got += n;
+            }
+        }
+    }
+
+    /// `(rto_fires, retransmits, fast_retransmits)` on the sender.
+    fn loss_stats(&mut self) -> (u64, u64, u64) {
+        let (rto, rtx, fast, _) = self.net.stack(self.ci).tcp_loss_stats(self.client);
+        (rto, rtx, fast)
+    }
+}
+
 fn bench_tcp_echo(c: &mut Criterion) {
     let mut g = c.benchmark_group("netpath/tcp_echo_512B");
     for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
@@ -555,6 +659,21 @@ struct RecvRow {
     recv_bytes_per_s: f64,
     recv_mib_per_s: f64,
     allocs_per_frame: f64,
+    stats: String,
+}
+
+/// One row of the goodput-vs-loss matrix (per-MSS sender over a lossy
+/// wire; congestion control as the ablation switch).
+struct LossRow {
+    name: String,
+    drop_every: u64,
+    cc: bool,
+    bytes_per_s: f64,
+    mib_per_s: f64,
+    goodput_vs_lossless: f64,
+    rto_fires: u64,
+    retransmits: u64,
+    fast_retransmits: u64,
     stats: String,
 }
 
@@ -806,6 +925,103 @@ fn ablation_report(json_path: Option<&str>) {
          {recv_gro_speedup_copy:.2}x under copy recv), netbuf-vs-copy {recv_netbuf_speedup:.2}x"
     );
 
+    // --- Goodput-vs-loss matrix: drop ∈ {0, 1/64, 1/16, 1/8} × cc.
+    // A per-MSS sender streams 1 MB per rep through a lossy wire with
+    // the retransmission timers armed; goodput is application bytes
+    // per wall-clock second with all recovery overhead (dup-ACKs,
+    // retransmits, RTO waits) on the bill. Each cell also records what
+    // the recovery actually did.
+    let mut loss_rows: Vec<LossRow> = Vec::new();
+    const LOSS_TOTAL: usize = 1024 * 1024;
+    for cc in [true, false] {
+        for (drop_every, label, reps) in [
+            (0u64, "lossless", 8u64),
+            (64, "1_64", 4),
+            (16, "1_16", 4),
+            (8, "1_8", 2),
+        ] {
+            let mut h = LossHarness::new(cc, drop_every);
+            for _ in 0..2 {
+                h.transfer(LOSS_TOTAL);
+            }
+            let (rto0, rtx0, fast0) = h.loss_stats();
+            let sbase = ukstats::snapshot();
+            let start = Instant::now();
+            for _ in 0..reps {
+                h.transfer(LOSS_TOTAL);
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = stats_delta_json(&sbase);
+            let (rto, rtx, fast) = h.loss_stats();
+            let total = (LOSS_TOTAL as u64 * reps) as f64;
+            loss_rows.push(LossRow {
+                name: format!(
+                    "tcp_loss_1mb/drop_{label}/{}",
+                    if cc { "cc" } else { "nocc" }
+                ),
+                drop_every,
+                cc,
+                bytes_per_s: total / elapsed,
+                mib_per_s: total / elapsed / (1024.0 * 1024.0),
+                goodput_vs_lossless: 0.0, // Filled against the baseline below.
+                rto_fires: rto - rto0,
+                retransmits: rtx - rtx0,
+                fast_retransmits: fast - fast0,
+                stats,
+            });
+        }
+    }
+    for i in 0..loss_rows.len() {
+        let base = loss_rows
+            .iter()
+            .find(|r| r.cc == loss_rows[i].cc && r.drop_every == 0)
+            .expect("lossless baseline")
+            .bytes_per_s;
+        loss_rows[i].goodput_vs_lossless = loss_rows[i].bytes_per_s / base;
+        if loss_rows[i].drop_every > 0 {
+            assert!(
+                loss_rows[i].retransmits > 0,
+                "losses were repaired by retransmission ({})",
+                loss_rows[i].name
+            );
+        }
+    }
+    ukcore::log_info!(
+        "{:<28} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "netpath/loss", "MiB/s", "vs lossless", "rtx", "fast", "rto"
+    );
+    for r in &loss_rows {
+        ukcore::log_info!(
+            "{:<28} {:>12.1} {:>11.0}% {:>8} {:>8} {:>8}",
+            r.name,
+            r.mib_per_s,
+            r.goodput_vs_lossless * 100.0,
+            r.retransmits,
+            r.fast_retransmits,
+            r.rto_fires
+        );
+    }
+    let loss_cell = |drop: u64, cc: bool| {
+        loss_rows
+            .iter()
+            .find(|r| r.drop_every == drop && r.cc == cc)
+            .expect("loss cell")
+    };
+    let goodput_1_64 = loss_cell(64, true).goodput_vs_lossless;
+    ukcore::log_info!(
+        "netpath/loss headline: {:.0}% of lossless goodput at 1/64 drop (cc on), \
+         {:.0}% at 1/16, {:.0}% at 1/8",
+        goodput_1_64 * 100.0,
+        loss_cell(16, true).goodput_vs_lossless * 100.0,
+        loss_cell(8, true).goodput_vs_lossless * 100.0
+    );
+    assert!(
+        goodput_1_64 >= 0.5,
+        "goodput at 1/64 drop must hold at least half the lossless baseline \
+         (got {:.0}%)",
+        goodput_1_64 * 100.0
+    );
+
     // The PR's headline: the 64 KB fast path (TSO + RX csum offload)
     // vs the all-software segmentation ablation.
     let fast = bulk_rows
@@ -881,6 +1097,27 @@ fn ablation_report(json_path: Option<&str>) {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"loss_configs\": [\n");
+        for (i, r) in loss_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"drop_every\": {}, \"congestion_control\": {}, \"bytes_per_s\": {:.0}, \"mib_per_s\": {:.1}, \"goodput_vs_lossless\": {:.3}, \"retransmits\": {}, \"fast_retransmits\": {}, \"rto_fires\": {}, \"stats\": {} }}{}\n",
+                r.name,
+                r.drop_every,
+                r.cc,
+                r.bytes_per_s,
+                r.mib_per_s,
+                r.goodput_vs_lossless,
+                r.retransmits,
+                r.fast_retransmits,
+                r.rto_fires,
+                r.stats,
+                if i + 1 == loss_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"loss_1_64_goodput_vs_lossless\": {goodput_1_64:.3},\n"
+        ));
         out.push_str(&format!(
             "  \"recv_64k_gro_speedup\": {recv_gro_speedup:.2},\n"
         ));

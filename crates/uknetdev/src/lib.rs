@@ -39,7 +39,7 @@ pub mod virtio;
 
 pub use backend::{HostBackend, VhostKind, Wire};
 pub use dev::{BurstStats, NetDev, NetDevConf, NetDevInfo, QueueMode};
-pub use netbuf::{GsoRequest, Netbuf, NetbufPool};
+pub use netbuf::{GsoRequest, Netbuf, NetbufPool, TcpHold};
 pub use ring::DescRing;
 pub use virtio::VirtioNet;
 

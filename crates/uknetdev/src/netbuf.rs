@@ -136,6 +136,25 @@ pub struct GsoRequest {
     pub mss: u16,
 }
 
+/// A retransmission hold riding on an in-flight TCP data frame.
+///
+/// The stack tags every TCP frame that carries payload bytes with the
+/// owning connection and the sequence range of those bytes. When the
+/// frame comes back from the device/wire (TX reclaim, ARP-park
+/// eviction, testnet recycle), the stack intercepts the recycle and
+/// files the still-unacknowledged payload into the connection's
+/// retransmission queue instead of the pool — retransmission without
+/// ever re-copying application bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHold {
+    /// Connection handle the payload belongs to.
+    pub conn: u64,
+    /// TCP sequence number of the first payload byte.
+    pub seq: u32,
+    /// Payload byte count (excludes all headers).
+    pub payload_len: u32,
+}
+
 /// A packet buffer with driver metadata.
 #[derive(Debug)]
 pub struct Netbuf {
@@ -157,6 +176,10 @@ pub struct Netbuf {
     /// (`VIRTIO_NET_F_GUEST_CSUM` shape); the stack may skip software
     /// verification.
     csum_verified: bool,
+    /// TX: unacknowledged TCP payload rides in this frame; recycling
+    /// must route it back to the owning connection's retransmission
+    /// queue, not the pool.
+    tcp_hold: Option<TcpHold>,
     /// Scatter-gather fragments owned by this (head) buffer.
     frags: Vec<Netbuf>,
 }
@@ -177,6 +200,7 @@ impl Netbuf {
             csum: None,
             gso: None,
             csum_verified: false,
+            tcp_hold: None,
             frags: Vec::new(),
         }
     }
@@ -320,6 +344,7 @@ impl Netbuf {
         self.csum = None;
         self.gso = None;
         self.csum_verified = false;
+        self.tcp_hold = None;
     }
 
     /// Attaches a checksum-offload request: the device must compute
@@ -383,6 +408,27 @@ impl Netbuf {
     /// Whether the wire/device validated this frame's checksums.
     pub fn csum_verified(&self) -> bool {
         self.csum_verified
+    }
+
+    /// Tags this frame's payload as unacknowledged TCP data (see
+    /// [`TcpHold`]). Set by the stack when it emits a data frame.
+    pub fn set_tcp_hold(&mut self, conn: u64, seq: u32, payload_len: u32) {
+        self.tcp_hold = Some(TcpHold {
+            conn,
+            seq,
+            payload_len,
+        });
+    }
+
+    /// The retransmission hold, if any.
+    pub fn tcp_hold(&self) -> Option<TcpHold> {
+        self.tcp_hold
+    }
+
+    /// Takes the retransmission hold (the recycle interception calls
+    /// this exactly once per returning frame).
+    pub fn take_tcp_hold(&mut self) -> Option<TcpHold> {
+        self.tcp_hold.take()
     }
 
     // --- Scatter-gather chains ---------------------------------------

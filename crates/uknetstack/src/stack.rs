@@ -102,7 +102,7 @@ use std::collections::{HashMap, VecDeque};
 
 use ukevent::{EventMask, ReadySource};
 use uknetdev::dev::{BurstStats, NetDev};
-use uknetdev::netbuf::{Netbuf, NetbufPool};
+use uknetdev::netbuf::{Netbuf, NetbufPool, TcpHold};
 use uknetdev::MAX_BURST;
 use ukplat::{Errno, Result};
 
@@ -134,8 +134,9 @@ const UDP_RX_QUEUE_CAP: usize = 256;
 /// Packets parked per next-hop awaiting ARP resolution before
 /// *droppable* (non-TCP) packets start being evicted oldest-first
 /// (Linux's `unres_qlen` idea). TCP segments are preferred survivors —
-/// the stack has no retransmission (lossless in-process wire), so a
-/// dropped SYN or data segment would hang its connection forever.
+/// a dropped segment is recoverable only by a full RTO fire (200 ms
+/// floor, then exponential backoff), so evicting one trades a queue
+/// slot for orders of magnitude of added latency.
 const ARP_PENDING_CAP: usize = 16;
 
 /// Absolute per-next-hop parking bound. Parked packets pin pooled
@@ -212,6 +213,12 @@ pub struct StackConfig {
     pub gro: bool,
     /// Maximum segment size for this stack's TCP connections.
     pub mss: usize,
+    /// Whether TCP connections run NewReno congestion control (slow
+    /// start / congestion avoidance / fast recovery): the congestion
+    /// window bounds emission alongside the peer window. Disable for
+    /// the peer-window-only ablation — loss recovery (RTO, fast
+    /// retransmit, reassembly) works either way.
+    pub congestion_control: bool,
 }
 
 impl StackConfig {
@@ -229,6 +236,7 @@ impl StackConfig {
             guest_tso: true,
             gro: true,
             mss: MSS,
+            congestion_control: true,
         }
     }
 }
@@ -347,6 +355,11 @@ pub mod tp {
         tcp_segment_tx(dst_port, seq),
         tso_super_tx(bytes, mss),
         gro_merge(conn, frames),
+        // TCP loss recovery.
+        tcp_rto_fire(conn, backlog),
+        tcp_retransmit(conn, count),
+        tcp_fast_retransmit(conn, count),
+        tcp_ooo_queue(conn, count),
         // Other demux outcomes.
         udp_rx(dst_port, bytes),
         icmp_echo_rx(ident, seq),
@@ -383,6 +396,17 @@ struct StackCounters {
     demux_icmp: ukstats::Counter,
     demux_miss: ukstats::Counter,
     dup_acks: ukstats::Counter,
+    /// Retransmission-timeout fires across all connections.
+    tcp_rto_fires: ukstats::Counter,
+    /// Segments re-emitted (data, SYN, SYN-ACK, FIN retransmissions).
+    tcp_retransmits: ukstats::Counter,
+    /// Fast-retransmit triggers (3rd duplicate ACK).
+    tcp_fast_retransmits: ukstats::Counter,
+    /// Out-of-order extents filed into reassembly queues.
+    tcp_ooo_queued: ukstats::Counter,
+    /// Last observed congestion window (bytes; most recently polled
+    /// connection).
+    tcp_cwnd: ukstats::Gauge,
     arp_parked: ukstats::Counter,
     arp_evicted: ukstats::Counter,
     arp_requests_tx: ukstats::Counter,
@@ -417,6 +441,11 @@ impl StackCounters {
             demux_icmp: ukstats::Counter::register("netstack.demux_icmp"),
             demux_miss: ukstats::Counter::register("netstack.demux_miss"),
             dup_acks: ukstats::Counter::register("netstack.dup_acks"),
+            tcp_rto_fires: ukstats::Counter::register("netstack.tcp.rto_fires"),
+            tcp_retransmits: ukstats::Counter::register("netstack.tcp.retransmits"),
+            tcp_fast_retransmits: ukstats::Counter::register("netstack.tcp.fast_retransmits"),
+            tcp_ooo_queued: ukstats::Counter::register("netstack.tcp.ooo_queued"),
+            tcp_cwnd: ukstats::Gauge::register("netstack.tcp.cwnd"),
             arp_parked: ukstats::Counter::register("netstack.arp_parked"),
             arp_evicted: ukstats::Counter::register("netstack.arp_evicted"),
             arp_requests_tx: ukstats::Counter::register("netstack.arp_requests_tx"),
@@ -498,6 +527,13 @@ pub struct NetStack {
     ustats: StackCounters,
     /// Tracepoint ring (a ZST no-op with the `trace` feature off).
     trace: uktrace::TraceRing,
+    /// Virtual clock driving the per-connection retransmission timers
+    /// (`pump` ticks every TCB when installed). No clock means no
+    /// timer fires — the pre-loss-recovery behavior.
+    clock: Option<ukplat::time::Tsc>,
+    /// Scratch for flattening returning held TX frames into their
+    /// payload extents (reused).
+    hold_scratch: Vec<Netbuf>,
 }
 
 impl std::fmt::Debug for NetStack {
@@ -518,8 +554,9 @@ impl NetStack {
     pub fn new(mut config: StackConfig, dev: Box<dyn NetDev>) -> Self {
         config.mss = config.mss.clamp(1, MSS);
         // Headers + super-segment payload must fit the u16 IPv4 total
-        // length, or the frame would be unparseable on arrival (and
-        // this stack has no retransmission to recover a drop).
+        // length, or the frame would be unparseable on arrival — a
+        // deterministic parse failure retransmission must not paper
+        // over.
         const GSO_HARD_MAX: usize = 65_535 - IPV4_HDR_LEN - TCP_HDR_LEN;
         config.gso_max_size = config.gso_max_size.clamp(config.mss, GSO_HARD_MAX);
         let info = dev.info();
@@ -540,7 +577,11 @@ impl NetStack {
         let chain_frags = if tso || guest_tso {
             config.gso_max_size.div_ceil(BUF_CAP) + 2
         } else {
-            0
+            // Even with both offloads down the sw-seg path builds
+            // small chains: a sub-MSS frame coalesced from several
+            // queued extents rides the spent (emptied) buffers as
+            // fragments so they recycle with the frame.
+            4
         };
         let pool = config.use_pools.then(|| {
             NetbufPool::with_chain_capacity(config.pool_size, BUF_CAP, TX_HEADROOM, chain_frags)
@@ -578,7 +619,20 @@ impl NetStack {
             arp_retry_scratch: Vec::new(),
             ustats: StackCounters::register(),
             trace: uktrace::TraceRing::new(TRACE_RING_CAP),
+            clock: None,
+            hold_scratch: Vec::with_capacity(MAX_BURST),
         }
+    }
+
+    /// Installs the virtual clock that drives TCP retransmission
+    /// timers: every `pump` ticks each connection's RTO/persist timer
+    /// against it. Also stamps trace records with the same clock.
+    /// Without a clock no timer ever fires (timer-less setups keep
+    /// their exact pre-timer behavior); the returning-frame
+    /// retransmission queue and fast retransmit still work.
+    pub fn set_clock(&mut self, tsc: &ukplat::time::Tsc) {
+        self.clock = Some(tsc.clone());
+        self.set_trace_clock(tsc);
     }
 
     /// Stamps this stack's trace records with the platform's virtual
@@ -1045,6 +1099,7 @@ impl NetStack {
         self.iss = self.iss.wrapping_add(64_000);
         let mut tcb = Tcb::connect(local_port, to.port, self.iss);
         tcb.set_mss(self.config.mss);
+        tcb.set_congestion_control(self.config.congestion_control);
         let h = self.handle();
         self.conns.insert(h, TcpConn { tcb, remote: to });
         self.tcp_demux.insert((local_port, to), h);
@@ -1210,6 +1265,29 @@ impl NetStack {
             .unwrap_or(true)
     }
 
+    /// Loss-recovery counters for one connection — cumulative
+    /// `(rto_fires, retransmits, fast_retransmits, ooo_queued)`, for
+    /// tests and diagnostics. The stack-wide `netstack.tcp.*` counters
+    /// aggregate the same values across connections.
+    pub fn tcp_loss_stats(&self, conn: SocketHandle) -> (u64, u64, u64, u64) {
+        self.conns
+            .get(&conn.0)
+            .map(|c| {
+                (
+                    c.tcb.rto_fires(),
+                    c.tcb.retransmits(),
+                    c.tcb.fast_retransmits(),
+                    c.tcb.ooo_queued(),
+                )
+            })
+            .unwrap_or((0, 0, 0, 0))
+    }
+
+    /// Current congestion window (bytes) for one connection.
+    pub fn tcp_cwnd(&self, conn: SocketHandle) -> usize {
+        self.conns.get(&conn.0).map(|c| c.tcb.cwnd()).unwrap_or(0)
+    }
+
     /// Bytes ready to read.
     pub fn tcp_readable(&self, conn: SocketHandle) -> usize {
         self.conns.get(&conn.0).map(|c| c.tcb.readable()).unwrap_or(0)
@@ -1262,12 +1340,58 @@ impl NetStack {
     /// wire harness via [`harvest_tx`](Self::harvest_tx), readers via
     /// the `*_recv_into` paths — hands it back here.
     pub fn recycle(&mut self, mut nb: Netbuf) {
+        if let Some(hold) = nb.take_tcp_hold() {
+            self.rtx_return_chain(hold, nb);
+            return;
+        }
+        self.recycle_plain(nb);
+    }
+
+    /// Pool return without retransmission interception.
+    fn recycle_plain(&mut self, mut nb: Netbuf) {
         if let Some(pool) = self.pool.as_mut() {
             pool.give_back_chain(nb);
         } else {
             // No pool: still unlink the chain so fragments drop flat.
             while nb.pop_frag().is_some() {}
         }
+    }
+
+    /// A TCP data frame came back from the wire (TX-complete harvest or
+    /// ARP-queue eviction): instead of returning it to the pool, strip
+    /// the protocol headers off the head (restoring its headroom) and
+    /// file the payload extents back into the owning connection's
+    /// retransmission queue keyed by sequence number. Extents the TCB
+    /// no longer needs — already acknowledged, duplicate coverage,
+    /// connection gone — fall through to the pool as usual, so nothing
+    /// leaks.
+    fn rtx_return_chain(&mut self, hold: TcpHold, mut head: Netbuf) {
+        head.take_csum_request();
+        head.take_gso_request();
+        // All protocol headers live in the head buffer.
+        let hdr = head.chain_len().saturating_sub(hold.payload_len as usize);
+        if hdr <= head.len() {
+            head.pull_header(hdr);
+        }
+        let mut scratch = core::mem::take(&mut self.hold_scratch);
+        scratch.clear();
+        head.take_frags_into(&mut scratch);
+        scratch.insert(0, head);
+        let mut seq = hold.seq;
+        for mut ext in scratch.drain(..) {
+            let len = ext.len() as u32;
+            ext.take_csum_request();
+            ext.take_gso_request();
+            let back = match self.conns.get_mut(&(hold.conn as usize)) {
+                Some(c) => c.tcb.rtx_return(seq, ext),
+                None => Some(ext),
+            };
+            if let Some(nb) = back {
+                self.recycle_plain(nb);
+            }
+            seq = seq.wrapping_add(len);
+        }
+        self.hold_scratch = scratch;
     }
 
     /// Prepends the Ethernet header and stages the frame for the next
@@ -1437,7 +1561,8 @@ impl NetStack {
         let mut offloaded = 0u64;
         let mut supers = 0u64;
         let mut super_bytes = 0u64;
-        for c in self.conns.values_mut() {
+        let mut rtx_delta = 0u64;
+        for (&h, c) in self.conns.iter_mut() {
             let dst = c.remote.addr;
             let mss = c.tcb.mss();
             // The GSO budget is floored to a multiple of the MSS so a
@@ -1445,10 +1570,12 @@ impl NetStack {
             // mid-stream — the cut frames land on exactly the byte
             // boundaries software segmentation would produce.
             let max_seg = if tso { (gso_max / mss).max(1) * mss } else { mss };
+            let rtx0 = c.tcb.retransmits();
             c.tcb.poll_output_chain_with(max_seg, &take_buf, |header, chain| {
                 // Data rides in as the send queue's own buffers —
                 // chained for a super-segment, a single moved buffer
                 // otherwise; control segments get a fresh head.
+                let was_data = chain.is_some();
                 let mut nb = chain.unwrap_or_else(&take_buf);
                 let plen = nb.chain_len();
                 let ip = Ipv4Header {
@@ -1474,9 +1601,22 @@ impl NetStack {
                 }
                 uktrace::trace!(self.trace, tp::tcp_segment_tx, header.dst_port, header.seq);
                 ip.encode_into(&mut nb);
+                if was_data {
+                    // Tag unacknowledged data so the recycle path files
+                    // the payload into the retransmission queue instead
+                    // of the pool (see `rtx_return_chain`).
+                    nb.set_tcp_hold(h as u64, header.seq, plen as u32);
+                }
                 staged.push((dst, nb));
             });
+            let d = c.tcb.retransmits() - rtx0;
+            if d > 0 {
+                rtx_delta += d;
+                uktrace::trace!(self.trace, tp::tcp_retransmit, h, d);
+            }
+            self.ustats.tcp_cwnd.set(c.tcb.cwnd() as u64);
         }
+        self.ustats.tcp_retransmits.add(rtx_delta);
         self.pool = pool.into_inner();
         self.stats.csum_offloaded += offloaded;
         self.stats.tso_super_frames += supers;
@@ -1489,6 +1629,29 @@ impl NetStack {
         }
         self.tcp_stage = staged;
         self.flush_tx()
+    }
+
+    /// Drives every connection's retransmission timer off the virtual
+    /// clock (a no-op until [`set_clock`](Self::set_clock) arms one).
+    /// Fired timers queue retransmission work — re-emitted SYN /
+    /// SYN-ACK / FIN control segments, a data-retransmit request, or a
+    /// zero-window probe — which the `flush_tcp` that follows in the
+    /// same `pump` emits.
+    fn tcp_timer_tick(&mut self) {
+        let now_ns = match self.clock.as_ref() {
+            Some(c) => c.cycles_to_ns(c.now_cycles()),
+            None => return,
+        };
+        let mut fires = 0u64;
+        for (&h, c) in self.conns.iter_mut() {
+            if c.tcb.on_tick(now_ns) {
+                fires += 1;
+                uktrace::trace!(self.trace, tp::tcp_rto_fire, h, c.tcb.rto_fires());
+            }
+        }
+        if fires > 0 {
+            self.ustats.tcp_rto_fires.add(fires);
+        }
     }
 
     /// Processes received frames in bursts and flushes replies once.
@@ -1533,6 +1696,7 @@ impl NetStack {
         // the transport flush, so the coalesced ACKs ride it.
         self.gro_flush();
         self.arp_retry_tick();
+        self.tcp_timer_tick();
         let _ = self.flush_tcp();
         self.sync_readiness();
         self.ustats.pump_sweeps.inc();
@@ -1858,6 +2022,8 @@ impl NetStack {
         // tracing is compiled out, hence the underscore).
         let _bytes = nb.chain_len();
         let dup0 = c.tcb.dup_acks();
+        let fr0 = c.tcb.fast_retransmits();
+        let ooo0 = c.tcb.ooo_queued();
         let mut pool = self.pool.take();
         c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
             if let Some(p) = pool.as_mut() {
@@ -1865,10 +2031,21 @@ impl NetStack {
             }
         });
         self.pool = pool;
-        let dup = self.conns[&h].tcb.dup_acks() - dup0;
+        let tcb = &self.conns[&h].tcb;
+        let dup = tcb.dup_acks() - dup0;
         if dup > 0 {
             self.ustats.dup_acks.add(dup);
             uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
+        }
+        let fr = tcb.fast_retransmits() - fr0;
+        if fr > 0 {
+            self.ustats.tcp_fast_retransmits.add(fr);
+            uktrace::trace!(self.trace, tp::tcp_fast_retransmit, h, fr);
+        }
+        let ooo = tcb.ooo_queued() - ooo0;
+        if ooo > 0 {
+            self.ustats.tcp_ooo_queued.add(ooo);
+            uktrace::trace!(self.trace, tp::tcp_ooo_queue, h, ooo);
         }
         self.ustats.demux_tcp.inc();
         uktrace::trace!(self.trace, tp::tcp_super_rx, h, _bytes);
@@ -1910,17 +2087,24 @@ impl NetStack {
             && nb.len() > doff;
         if mergeable {
             if let Some(cont) = self.gro_cont.as_mut() {
-                if cont.next_seq == tcp.seq
-                    && cont.src_port == tcp.src_port
+                let flow_match = cont.src_port == tcp.src_port
                     && cont.dst_port == tcp.dst_port
-                    && cont.src == ip.src
-                {
+                    && cont.src == ip.src;
+                if flow_match && cont.next_seq == tcp.seq {
                     nb.pull_header(doff);
                     cont.next_seq = tcp.seq.wrapping_add(nb.len() as u32);
                     let conn = cont.conn;
                     self.gro_stage.push((conn, tcp, nb));
                     self.ustats.demux_tcp.inc();
                     return Ok(());
+                }
+                if flow_match {
+                    // Sequence gap in the staged flow (a drop or
+                    // reorder on the wire): deliver the staged run
+                    // *now* so coalescing never merges across the
+                    // hole — the gapped segment takes the demux path
+                    // below and lands in the reassembly queue.
+                    self.gro_flush();
                 }
             }
         }
@@ -1951,6 +2135,8 @@ impl NetStack {
                     let mut pool = self.pool.take();
                     let c = self.conns.get_mut(&h).expect("checked above");
                     let dup0 = c.tcb.dup_acks();
+                    let fr0 = c.tcb.fast_retransmits();
+                    let ooo0 = c.tcb.ooo_queued();
                     let state0 = c.tcb.state;
                     c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
                         if let Some(p) = pool.as_mut() {
@@ -1958,6 +2144,8 @@ impl NetStack {
                         }
                     });
                     let dup = c.tcb.dup_acks() - dup0;
+                    let fr = c.tcb.fast_retransmits() - fr0;
+                    let ooo = c.tcb.ooo_queued() - ooo0;
                     let established =
                         state0 != TcpState::Established && c.tcb.state == TcpState::Established;
                     self.pool = pool;
@@ -1967,6 +2155,14 @@ impl NetStack {
                     if dup > 0 {
                         self.ustats.dup_acks.add(dup);
                         uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
+                    }
+                    if fr > 0 {
+                        self.ustats.tcp_fast_retransmits.add(fr);
+                        uktrace::trace!(self.trace, tp::tcp_fast_retransmit, h, fr);
+                    }
+                    if ooo > 0 {
+                        self.ustats.tcp_ooo_queued.add(ooo);
+                        uktrace::trace!(self.trace, tp::tcp_ooo_queue, h, ooo);
                     }
                     if bytes > 0 && !tcp.flags.syn {
                         uktrace::trace!(self.trace, tp::tcp_data_rx, h, bytes);
@@ -1983,6 +2179,7 @@ impl NetStack {
                 let port = l.port;
                 let mut tcb = Tcb::listen(port);
                 tcb.set_mss(self.config.mss);
+                tcb.set_congestion_control(self.config.congestion_control);
                 self.iss = self.iss.wrapping_add(64_000);
                 tcb.on_segment(&tcp, &nb.payload()[doff..]);
                 self.recycle(nb);
@@ -2057,6 +2254,8 @@ impl NetStack {
             match self.conns.get_mut(&conn) {
                 Some(c) => {
                     let dup0 = c.tcb.dup_acks();
+                    let fr0 = c.tcb.fast_retransmits();
+                    let ooo0 = c.tcb.ooo_queued();
                     c.tcb
                         .on_segment_bufs(&merged, stage.drain(..j).map(|(_, _, nb)| nb), |nb| {
                             if let Some(p) = pool.as_mut() {
@@ -2067,6 +2266,16 @@ impl NetStack {
                     if dup > 0 {
                         self.ustats.dup_acks.add(dup);
                         uktrace::trace!(self.trace, tp::tcp_dup_ack, conn, merged.seq);
+                    }
+                    let fr = c.tcb.fast_retransmits() - fr0;
+                    if fr > 0 {
+                        self.ustats.tcp_fast_retransmits.add(fr);
+                        uktrace::trace!(self.trace, tp::tcp_fast_retransmit, conn, fr);
+                    }
+                    let ooo = c.tcb.ooo_queued() - ooo0;
+                    if ooo > 0 {
+                        self.ustats.tcp_ooo_queued.add(ooo);
+                        uktrace::trace!(self.trace, tp::tcp_ooo_queue, conn, ooo);
                     }
                     uktrace::trace!(self.trace, tp::tcp_data_rx, conn, _run_bytes);
                 }
@@ -2185,7 +2394,7 @@ mod tests {
             .count();
         assert_eq!(
             tcp_parked, 1,
-            "the SYN survives eviction (no retransmission exists to recover it)"
+            "the SYN survives eviction (recovering it would cost a full RTO)"
         );
     }
 

@@ -1,11 +1,9 @@
 //! TCP: header codec and a compact connection state machine.
 //!
 //! Enough TCP to run the paper's request/response servers over real
-//! packets: three-way handshake, sequence/ack tracking, MSS segmentation,
-//! PSH data delivery, FIN teardown and RST on unexpected segments. The
-//! in-process wire is lossless and ordered, so retransmission and
-//! congestion control are intentionally out of scope (documented in
-//! DESIGN.md).
+//! packets — and over a *lossy* wire: three-way handshake, sequence/ack
+//! tracking, MSS segmentation, PSH data delivery, FIN teardown, RST on
+//! unexpected segments, plus the full loss-recovery suite (see below).
 //!
 //! Since the large-transfer fast path, the send queue is **zero-copy**:
 //! [`Tcb::app_send_with`] writes application bytes once into pooled
@@ -24,15 +22,56 @@
 //! ([`app_recv_into_with`](Tcb::app_recv_into_with)) or take whole
 //! buffers ([`app_recv_netbuf`](Tcb::app_recv_netbuf) — the
 //! `tcp_recv_netbuf` substrate, the receiver's mirror of the zero-copy
-//! send queue). Ingest is **in-order only**: a payload extent is
-//! accepted exactly when it lands at `rcv_nxt`; anything else (old,
-//! duplicated, or out-of-window data, including a reordered FIN) is
-//! dropped *and answered with an immediate duplicate ACK*
-//! (`ack_pending` forced) so the peer always learns our cumulative
-//! position — a silent drop would wedge the connection. A FIN is
-//! processed only when it lands in sequence, i.e. after every payload
-//! byte preceding it was accepted; a FIN riding a dropped segment
-//! neither advances `rcv_nxt` nor changes state.
+//! send queue).
+//!
+//! # Loss recovery
+//!
+//! The TCB survives arbitrary drop/dup/reorder fault schedules with
+//! byte-identical delivery. Four interlocking pieces:
+//!
+//! - **Retransmission without re-copying.** Emitted data frames carry a
+//!   [`TcpHold`](uknetdev::netbuf::TcpHold) tag; when the frame returns
+//!   from the device (TX reclaim / wire recycle), the stack files its
+//!   still-unacknowledged payload extents back into the TCB's
+//!   retransmission queue ([`Tcb::rtx_return`]) instead of the pool.
+//!   The wire only ever destroys the *receiver-side DMA copy* of a
+//!   frame — the sender's pooled buffer always comes home, so the
+//!   retransmission queue regenerates from the frames themselves and
+//!   application bytes are never copied again. ACKs release covered
+//!   extents back to the pool ([`Tcb::process_ack`]); partial coverage
+//!   trims in place.
+//! - **RTO timers on the virtual clock (RFC 6298).** SRTT/RTTVAR
+//!   estimation with Karn's rule (samples are invalidated by any
+//!   retransmission), exponential backoff, 200 ms floor / 60 s ceiling.
+//!   [`Tcb::on_tick`] fires the timer: data at `snd_una` is flagged for
+//!   re-emission, a lost SYN/SYN-ACK/FIN is re-queued, and a closed
+//!   peer window with queued data turns the timer into a persist
+//!   (zero-window probe) timer.
+//! - **Fast retransmit / NewReno recovery (RFC 6582).** Three duplicate
+//!   ACKs retransmit the segment at `snd_una` without waiting for the
+//!   RTO; with congestion control enabled
+//!   ([`Tcb::set_congestion_control`], a `StackConfig` ablation) this
+//!   also halves `ssthresh`, inflates `cwnd` per extra dup-ACK, and
+//!   NewReno partial ACKs retransmit the next hole until the recovery
+//!   point is crossed. `cwnd` (slow start / congestion avoidance)
+//!   bounds emission alongside the peer window and composes with the
+//!   TSO super-segment budget (a super-segment splits at the
+//!   `min(cwnd, snd_wnd)` edge exactly like at the window edge).
+//! - **Bounded out-of-order reassembly.** A payload extent landing
+//!   ahead of `rcv_nxt` is queued (sequence-sorted, overlap-trimmed
+//!   against both neighbours and `rcv_nxt`) in a budgeted reassembly
+//!   queue instead of being discarded; the hole's arrival drains every
+//!   contiguous queued extent in one sweep. Extents that exceed the
+//!   budget, duplicate queued data, or land outside the sequence
+//!   horizon are recycled to their pool — never leaked. Dropped *or
+//!   queued-out-of-order* data still forces a duplicate ACK (capped at
+//!   one immediate dup-ACK per ingest sweep) so the peer's fast
+//!   retransmit always has its signal without ACK-storming the wire.
+//!
+//! A FIN is processed only when it lands in sequence, i.e. after every
+//! payload byte preceding it was accepted; a FIN riding dropped or
+//! queued-out-of-order data neither advances `rcv_nxt` nor changes
+//! state (the peer's FIN retransmission recovers it).
 
 use std::collections::VecDeque;
 
@@ -57,6 +96,28 @@ const SEND_BUF_SHAPE: (usize, usize) = (2048, 64);
 /// Receive-buffer capacity; also the largest window we advertise (the
 /// field is 16 bits without window scaling).
 pub const RCV_BUF_CAP: usize = 65_535;
+/// Initial retransmission timeout before the first RTT sample
+/// (RFC 6298 §2 says 1 s; we keep it).
+const RTO_INITIAL_NS: u64 = 1_000_000_000;
+/// RTO floor: the in-process wire's RTT is far below real-network
+/// granularity, so the classic 1 s floor would dominate every test —
+/// 200 ms keeps backoff doubling observable while staying well above
+/// any virtual-clock RTT.
+const RTO_MIN_NS: u64 = 200_000_000;
+/// RTO ceiling (RFC 6298 §2.4 allows 60 s).
+const RTO_MAX_NS: u64 = 60_000_000_000;
+/// Reassembly-queue budget, in buffers: each queued out-of-order
+/// extent pins a pool buffer, so the queue is capped independently of
+/// byte count.
+const OOO_QUEUE_BUFS: usize = 64;
+/// Reassembly-queue budget, in payload bytes (one receive window).
+const OOO_QUEUE_BYTES: usize = RCV_BUF_CAP;
+/// How far ahead of `rcv_nxt` an out-of-order extent may start and
+/// still be queued; anything beyond is garbage (or an attack) and is
+/// recycled immediately.
+const OOO_SEQ_HORIZON: u32 = 1 << 17;
+/// Initial congestion window, in segments (RFC 6928's IW10).
+const INITIAL_CWND_SEGS: usize = 10;
 
 /// TCP flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -358,6 +419,71 @@ pub struct Tcb {
     closing: bool,
     /// Peer closed its direction.
     peer_fin: bool,
+    /// Whether our FIN has been emitted (so the RTO can re-emit it).
+    fin_sent: bool,
+    /// Retransmission queue: unacknowledged payload extents, sequence-
+    /// sorted, regenerated from returning TX frames ([`rtx_return`]
+    /// (Self::rtx_return)) — the buffers *are* the frames' payload, so
+    /// retransmission never re-copies application bytes.
+    rtx_q: VecDeque<(u32, Netbuf)>,
+    /// Extents fully acknowledged between polls, awaiting recycle (the
+    /// next `on_segment_bufs` drains them through its recycle sink).
+    rtx_released: Vec<Netbuf>,
+    /// Retransmission of the extent at `snd_una` is due at the next
+    /// output poll (set by the RTO, fast retransmit, and NewReno
+    /// partial ACKs).
+    rtx_request: bool,
+    /// Virtual-clock time of the most recent stack tick (ns).
+    now_ns: u64,
+    /// Smoothed RTT (RFC 6298); 0 until the first sample.
+    srtt_ns: u64,
+    /// RTT variance (RFC 6298).
+    rttvar_ns: u64,
+    /// Current retransmission timeout (includes backoff).
+    rto_ns: u64,
+    /// Armed retransmission/persist deadline, if anything is
+    /// outstanding.
+    rtx_deadline_ns: Option<u64>,
+    /// Consecutive RTO fires without forward progress (backoff level).
+    backoff: u32,
+    /// In-flight RTT measurement: `(end_seq, sent_at_ns)`; Karn's rule
+    /// clears it on any retransmission.
+    rtt_probe: Option<(u32, u64)>,
+    /// A zero-window probe is due at the next output poll (persist
+    /// timer fired).
+    probe_pending: bool,
+    /// Consecutive duplicate ACKs received (fast-retransmit trigger).
+    dup_ack_rx: u32,
+    /// Whether NewReno fast recovery is active.
+    in_recovery: bool,
+    /// NewReno recovery point: `snd_nxt` when recovery was entered.
+    recover: u32,
+    /// Whether the congestion window bounds emission (the
+    /// `StackConfig::congestion_control` ablation; raw TCBs default
+    /// off).
+    cc_enabled: bool,
+    /// Congestion window (bytes).
+    cwnd: usize,
+    /// Slow-start threshold (bytes).
+    ssthresh: usize,
+    /// An immediate duplicate ACK is owed; the next output poll emits
+    /// exactly one pure ACK for it, however many gapped segments the
+    /// sweep carried (dup-ACK coalescing).
+    dup_ack_now: bool,
+    /// Out-of-order reassembly queue: `(seq, extent)` sorted by
+    /// sequence, overlap-trimmed, bounded by [`OOO_QUEUE_BUFS`] /
+    /// [`OOO_QUEUE_BYTES`].
+    ooo_q: VecDeque<(u32, Netbuf)>,
+    /// Payload bytes across `ooo_q`.
+    ooo_bytes: usize,
+    /// Cumulative RTO fires (observability).
+    stat_rto_fires: u64,
+    /// Cumulative data retransmissions emitted (observability).
+    stat_retransmits: u64,
+    /// Cumulative fast-retransmit triggers (observability).
+    stat_fast_retransmits: u64,
+    /// Cumulative extents queued out of order (observability).
+    stat_ooo_queued: u64,
 }
 
 impl Tcb {
@@ -384,9 +510,15 @@ impl Tcb {
             snd_una: iss,
             snd_wnd: RCV_BUF_CAP as u32,
             last_adv_wnd: RCV_BUF_CAP as u16,
-            send_q: VecDeque::new(),
+            // Pre-sized for their steady-state bulk depth (the
+            // zero-alloc tier-1 invariant): a full send buffer is ~32
+            // pool-sized extents; the receive queue holds at most a
+            // receive window of per-MSS frames (~46) plus a reassembly
+            // drain burst. Recovery timing shifts queue depth between
+            // runs, so lazy growth would allocate mid-measurement.
+            send_q: VecDeque::with_capacity(OOO_QUEUE_BUFS),
             send_q_len: 0,
-            recv_q: VecDeque::new(),
+            recv_q: VecDeque::with_capacity(2 * OOO_QUEUE_BUFS),
             recv_q_len: 0,
             flatten_scratch: Vec::new(),
             rx_total: 0,
@@ -396,6 +528,34 @@ impl Tcb {
             mss: MSS,
             closing: false,
             peer_fin: false,
+            fin_sent: false,
+            // Pre-sized so steady-state loss recovery never touches
+            // the heap (the zero-alloc tier-1 invariant): a full send
+            // buffer is at most SND_BUF_CAP/MSS ≈ 45 in-flight extents.
+            rtx_q: VecDeque::with_capacity(OOO_QUEUE_BUFS),
+            rtx_released: Vec::with_capacity(OOO_QUEUE_BUFS),
+            rtx_request: false,
+            now_ns: 0,
+            srtt_ns: 0,
+            rttvar_ns: 0,
+            rto_ns: RTO_INITIAL_NS,
+            rtx_deadline_ns: None,
+            backoff: 0,
+            rtt_probe: None,
+            probe_pending: false,
+            dup_ack_rx: 0,
+            in_recovery: false,
+            recover: iss,
+            cc_enabled: false,
+            cwnd: INITIAL_CWND_SEGS * MSS,
+            ssthresh: SND_BUF_CAP,
+            dup_ack_now: false,
+            ooo_q: VecDeque::with_capacity(OOO_QUEUE_BUFS),
+            ooo_bytes: 0,
+            stat_rto_fires: 0,
+            stat_retransmits: 0,
+            stat_fast_retransmits: 0,
+            stat_ooo_queued: 0,
         }
     }
 
@@ -407,6 +567,45 @@ impl Tcb {
     pub fn set_mss(&mut self, mss: usize) {
         assert!(mss > 0, "zero mss");
         self.mss = mss;
+        // The initial window is denominated in segments (IW10).
+        if self.cwnd == INITIAL_CWND_SEGS * MSS {
+            self.cwnd = INITIAL_CWND_SEGS * mss;
+        }
+    }
+
+    /// Enables/disables NewReno congestion control (the
+    /// `StackConfig::congestion_control` ablation). Off, emission is
+    /// bounded by the peer window alone — the pre-loss-recovery
+    /// behavior; fast retransmit and the RTO still work either way.
+    pub fn set_congestion_control(&mut self, enabled: bool) {
+        self.cc_enabled = enabled;
+    }
+
+    /// Current congestion window in bytes (meaningful with the
+    /// ablation on; exported as the `netstack.tcp.cwnd` gauge).
+    pub fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    /// Cumulative retransmission-timeout fires.
+    pub fn rto_fires(&self) -> u64 {
+        self.stat_rto_fires
+    }
+
+    /// Cumulative retransmitted segments (data re-emissions plus
+    /// SYN/SYN-ACK/FIN re-emissions).
+    pub fn retransmits(&self) -> u64 {
+        self.stat_retransmits
+    }
+
+    /// Cumulative fast-retransmit triggers (3rd duplicate ACK).
+    pub fn fast_retransmits(&self) -> u64 {
+        self.stat_fast_retransmits
+    }
+
+    /// Cumulative extents filed into the reassembly queue.
+    pub fn ooo_queued(&self) -> u64 {
+        self.stat_ooo_queued
     }
 
     /// The segment size software segmentation cuts to.
@@ -445,15 +644,302 @@ impl Tcb {
         b.wrapping_sub(a) as i32 >= 0
     }
 
+    /// `a < b` in sequence space.
+    fn seq_lt(a: u32, b: u32) -> bool {
+        (b.wrapping_sub(a) as i32) > 0
+    }
+
     /// Processes the acknowledgement and window fields of a segment.
-    fn process_ack(&mut self, h: &TcpHeader) {
+    /// `seg_payload` is the segment's payload byte count — a pure ACK
+    /// (no payload, no SYN/FIN) at `snd_una` with data outstanding is a
+    /// *duplicate ACK* (RFC 5681 §2), the fast-retransmit signal.
+    fn process_ack(&mut self, h: &TcpHeader, seg_payload: usize) {
         if !h.flags.ack {
             return;
         }
-        if Self::seq_le(self.snd_una, h.ack) && Self::seq_le(h.ack, self.snd_nxt) {
-            self.snd_una = h.ack;
-        }
         self.snd_wnd = u32::from(h.window);
+        if Self::seq_lt(self.snd_una, h.ack) && Self::seq_le(h.ack, self.snd_nxt) {
+            // New data acknowledged: release covered retransmission
+            // extents, take the RTT sample, grow/deflate cwnd, restart
+            // the timer.
+            let acked = h.ack.wrapping_sub(self.snd_una) as usize;
+            self.snd_una = h.ack;
+            self.dup_ack_rx = 0;
+            self.rtx_request = false;
+            if self.backoff > 0 {
+                self.backoff = 0;
+                self.rto_ns = self.computed_rto();
+            }
+            self.rtx_release();
+            if let Some((end, sent_at)) = self.rtt_probe {
+                if Self::seq_le(end, h.ack) {
+                    let sample = self.now_ns.saturating_sub(sent_at);
+                    self.rtt_sample(sample);
+                    self.rtt_probe = None;
+                }
+            }
+            if self.in_recovery {
+                if Self::seq_le(self.recover, h.ack) {
+                    // Full ACK: the loss episode is over.
+                    self.in_recovery = false;
+                    if self.cc_enabled {
+                        self.cwnd = self.ssthresh.max(2 * self.mss);
+                    }
+                } else {
+                    // NewReno partial ACK: the next hole starts at the
+                    // new `snd_una` — retransmit it immediately (this
+                    // also paces go-back-N recovery of a multi-segment
+                    // loss after an RTO: one hole per arriving ACK
+                    // instead of one per timeout), deflating by the
+                    // bytes this ACK covered when cc is on.
+                    self.rtx_request = true;
+                    if self.cc_enabled {
+                        self.cwnd =
+                            self.cwnd.saturating_sub(acked).max(2 * self.mss) + self.mss;
+                    }
+                }
+            }
+            if self.cc_enabled && !self.in_recovery {
+                if self.cwnd < self.ssthresh {
+                    // Slow start: one MSS per ACK (bounded by bytes
+                    // actually covered, so stretch ACKs don't over-open).
+                    self.cwnd += acked.min(self.mss);
+                } else {
+                    // Congestion avoidance: ~one MSS per RTT.
+                    self.cwnd += (self.mss * self.mss / self.cwnd.max(1)).max(1);
+                }
+                self.cwnd = self.cwnd.min(4 * SND_BUF_CAP);
+            }
+            self.rtx_deadline_ns = if self.snd_una == self.snd_nxt {
+                None
+            } else {
+                Some(self.now_ns.saturating_add(self.rto_ns))
+            };
+        } else if h.ack == self.snd_una
+            && seg_payload == 0
+            && !h.flags.syn
+            && !h.flags.fin
+            && self.snd_una != self.snd_nxt
+        {
+            // Duplicate ACK: the peer is missing the segment at
+            // `snd_una`.
+            self.dup_ack_rx += 1;
+            if self.dup_ack_rx == 3 {
+                self.stat_fast_retransmits += 1;
+                self.rtx_request = true;
+                if !self.in_recovery {
+                    // Enter the loss episode (partial ACKs inside it
+                    // retransmit the next hole directly); cwnd surgery
+                    // on top only when NewReno is on.
+                    self.in_recovery = true;
+                    self.recover = self.snd_nxt;
+                    if self.cc_enabled {
+                        let flight = self.bytes_in_flight() as usize;
+                        self.ssthresh = (flight / 2).max(2 * self.mss);
+                        self.cwnd = self.ssthresh + 3 * self.mss;
+                    }
+                }
+            } else if self.dup_ack_rx > 3 && self.cc_enabled && self.in_recovery {
+                // Each further dup-ACK means another segment left the
+                // network: inflate.
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    /// Pops retransmission-queue extents fully covered by `snd_una`
+    /// into `rtx_released` (recycled at the next ingest) and trims a
+    /// partially covered front extent in place.
+    fn rtx_release(&mut self) {
+        while let Some((seq, nb)) = self.rtx_q.front_mut() {
+            let end = seq.wrapping_add(nb.len() as u32);
+            if Self::seq_le(end, self.snd_una) {
+                let (_, nb) = self.rtx_q.pop_front().expect("front exists");
+                self.rtx_released.push(nb);
+            } else if Self::seq_lt(*seq, self.snd_una) {
+                let trim = self.snd_una.wrapping_sub(*seq) as usize;
+                nb.pull_header(trim);
+                *seq = self.snd_una;
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Files a returning TX frame's payload extent back into the
+    /// retransmission queue (sequence-sorted, overlap-trimmed against
+    /// both neighbours and `snd_una`). Returns the buffer when its
+    /// bytes are already acknowledged or duplicated — the caller
+    /// recycles it to the pool. The stack calls this when a frame
+    /// tagged with a [`TcpHold`](uknetdev::netbuf::TcpHold) comes back
+    /// from the device.
+    pub fn rtx_return(&mut self, seq: u32, nb: Netbuf) -> Option<Netbuf> {
+        let mut seq = seq;
+        let mut nb = nb;
+        if nb.is_empty() || self.state == TcpState::Closed {
+            return Some(nb);
+        }
+        let mut end = seq.wrapping_add(nb.len() as u32);
+        if Self::seq_le(end, self.snd_una) {
+            return Some(nb); // Fully acknowledged while in flight.
+        }
+        if Self::seq_lt(seq, self.snd_una) {
+            let trim = self.snd_una.wrapping_sub(seq) as usize;
+            nb.pull_header(trim);
+            seq = self.snd_una;
+        }
+        let mut idx = self.rtx_q.len();
+        while idx > 0 && Self::seq_lt(seq, self.rtx_q[idx - 1].0) {
+            idx -= 1;
+        }
+        if idx > 0 {
+            // A retransmitted copy of this range may already sit in the
+            // queue (original and retransmission both came home): keep
+            // only the uncovered tail.
+            let (pseq, pnb) = &self.rtx_q[idx - 1];
+            let pend = pseq.wrapping_add(pnb.len() as u32);
+            if Self::seq_le(end, pend) {
+                return Some(nb);
+            }
+            if Self::seq_lt(seq, pend) {
+                let trim = pend.wrapping_sub(seq) as usize;
+                nb.pull_header(trim);
+                seq = pend;
+            }
+        }
+        if idx < self.rtx_q.len() {
+            let succ_seq = self.rtx_q[idx].0;
+            end = seq.wrapping_add(nb.len() as u32);
+            if Self::seq_lt(succ_seq, end) {
+                let keep = succ_seq.wrapping_sub(seq) as usize;
+                if keep == 0 {
+                    return Some(nb);
+                }
+                nb.truncate(keep);
+            }
+        }
+        self.rtx_q.insert(idx, (seq, nb));
+        // Unacknowledged bytes are now held locally: make sure a timer
+        // backs them.
+        if self.rtx_deadline_ns.is_none() {
+            self.rtx_deadline_ns = Some(self.now_ns.saturating_add(self.rto_ns));
+        }
+        None
+    }
+
+    /// Feeds an RTT measurement into the RFC 6298 estimator.
+    fn rtt_sample(&mut self, sample_ns: u64) {
+        if self.srtt_ns == 0 {
+            self.srtt_ns = sample_ns.max(1);
+            self.rttvar_ns = sample_ns / 2;
+        } else {
+            let diff = self.srtt_ns.abs_diff(sample_ns);
+            self.rttvar_ns = (3 * self.rttvar_ns + diff) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + sample_ns) / 8;
+        }
+        self.rto_ns = self.computed_rto();
+    }
+
+    /// The un-backed-off RTO from the current estimator state.
+    fn computed_rto(&self) -> u64 {
+        if self.srtt_ns == 0 {
+            RTO_INITIAL_NS
+        } else {
+            (self.srtt_ns + (4 * self.rttvar_ns).max(1)).clamp(RTO_MIN_NS, RTO_MAX_NS)
+        }
+    }
+
+    /// Advances the TCB's clock and fires the retransmission/persist
+    /// timer if its deadline passed. Returns whether the timer fired
+    /// (the stack counts fires and polls output afterwards). No clock
+    /// installed on the stack means this is never called — lossless
+    /// setups keep their exact pre-timer behavior.
+    pub fn on_tick(&mut self, now_ns: u64) -> bool {
+        self.now_ns = now_ns;
+        let Some(deadline) = self.rtx_deadline_ns else {
+            return false;
+        };
+        if now_ns < deadline {
+            return false;
+        }
+        self.stat_rto_fires += 1;
+        self.backoff = self.backoff.saturating_add(1);
+        self.rto_ns = (self.rto_ns * 2).min(RTO_MAX_NS);
+        self.rtt_probe = None; // Karn: samples over retransmits lie.
+        match self.state {
+            TcpState::SynSent => self.emit_at(self.snd_una, TcpFlags::SYN),
+            TcpState::SynReceived => self.emit_at(
+                self.snd_una,
+                TcpFlags {
+                    syn: true,
+                    ack: true,
+                    ..Default::default()
+                },
+            ),
+            _ => {
+                if self
+                    .rtx_q
+                    .front()
+                    .is_some_and(|(seq, _)| *seq == self.snd_una)
+                {
+                    // Timeout: retransmit the oldest hole and open (or
+                    // refresh) a loss episode up to `snd_nxt`, so the
+                    // partial ACKs that follow walk the remaining holes
+                    // one per ACK instead of one per timeout. With cc
+                    // on this is a full loss event — restart slow
+                    // start.
+                    self.rtx_request = true;
+                    self.in_recovery = true;
+                    self.recover = self.snd_nxt;
+                    if self.cc_enabled {
+                        let flight = self.bytes_in_flight() as usize;
+                        self.ssthresh = (flight / 2).max(2 * self.mss);
+                        self.cwnd = self.mss;
+                    }
+                } else if self.fin_sent && self.snd_una != self.snd_nxt && self.rtx_q.is_empty()
+                {
+                    // Only our FIN is unacknowledged: re-emit it.
+                    self.emit_at(
+                        self.snd_nxt.wrapping_sub(1),
+                        TcpFlags {
+                            fin: true,
+                            ack: true,
+                            ..Default::default()
+                        },
+                    );
+                } else if self.snd_una == self.snd_nxt
+                    && self.send_q_len > 0
+                    && self.window_closed()
+                {
+                    // Persist timer: the window-update ACK reopening a
+                    // zero window may itself have been lost — probe
+                    // with one byte beyond the window.
+                    self.probe_pending = true;
+                }
+                // Otherwise the lost bytes are still in flight back to
+                // us (not yet reclaimed): keep backing off, the frames
+                // re-file themselves via `rtx_return` when they arrive.
+            }
+        }
+        self.rtx_deadline_ns = Some(now_ns.saturating_add(self.rto_ns));
+        true
+    }
+
+    /// Queues a control segment at an explicit (re)transmission
+    /// sequence position — SYN / SYN-ACK / FIN retransmission.
+    fn emit_at(&mut self, seq: u32, flags: TcpFlags) {
+        let window = self.rcv_window();
+        self.last_adv_wnd = window;
+        self.stat_retransmits += 1;
+        self.out.push_back(TcpHeader {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq,
+            ack: self.rcv_nxt,
+            flags,
+            window,
+        });
     }
 
     /// Handles an incoming segment (borrowed-payload convenience over
@@ -503,7 +989,10 @@ impl Tcb {
         let payload = payload.into_iter();
         if h.flags.rst {
             self.state = TcpState::Closed;
-            payload.for_each(recycle);
+            payload.for_each(&mut recycle);
+            // A dead connection holds nothing back for retransmission
+            // or reassembly: return every queued buffer to the pool.
+            self.drain_recovery_queues(&mut recycle);
             return;
         }
         match self.state {
@@ -523,7 +1012,7 @@ impl Tcb {
             }
             TcpState::SynSent => {
                 if h.flags.syn && h.flags.ack {
-                    self.process_ack(h);
+                    self.process_ack(h, 0);
                     self.rcv_nxt = h.seq.wrapping_add(1);
                     self.emit(TcpFlags {
                             ack: true,
@@ -535,7 +1024,7 @@ impl Tcb {
             }
             TcpState::SynReceived => {
                 if h.flags.ack {
-                    self.process_ack(h);
+                    self.process_ack(h, 0);
                     self.state = TcpState::Established;
                     // The ACK completing the handshake may carry data.
                     self.ingest_bufs(h, payload, &mut recycle);
@@ -544,8 +1033,12 @@ impl Tcb {
                 }
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
-                self.process_ack(h);
                 let seg_end = self.ingest_bufs(h, payload, &mut recycle);
+                let seg_payload = seg_end.wrapping_sub(h.seq) as usize;
+                self.process_ack(h, seg_payload);
+                while let Some(nb) = self.rtx_released.pop() {
+                    recycle(nb);
+                }
                 // A FIN is in sequence only when it lands exactly at
                 // `rcv_nxt` — i.e. after every payload byte preceding
                 // it was accepted. A FIN riding dropped (out-of-order
@@ -574,10 +1067,16 @@ impl Tcb {
                 }
             }
             TcpState::LastAck => {
-                if h.flags.ack {
+                self.process_ack(h, 0);
+                // Only the ACK that covers our FIN closes; a stale or
+                // duplicate ACK (rampant on a lossy wire) must not.
+                if h.flags.ack && h.ack == self.snd_nxt {
                     self.state = TcpState::Closed;
                 }
-                payload.for_each(recycle);
+                payload.for_each(&mut recycle);
+                while let Some(nb) = self.rtx_released.pop() {
+                    recycle(nb);
+                }
             }
             TcpState::Closed => {
                 // Reply RST to anything but RST.
@@ -591,16 +1090,14 @@ impl Tcb {
         }
     }
 
-    /// Moves in-order payload buffers into the receive queue (chains
-    /// are flattened; every extent landing exactly at `rcv_nxt` is
-    /// kept, everything else recycled). Returns the segment's end
-    /// sequence number (`h.seq` + total payload length) — the position
-    /// a trailing FIN would occupy.
-    ///
-    /// The buffers are consecutive extents of one logical segment:
-    /// each continues at the sequence position the previous one ended,
-    /// so a duplicate whose tail reaches past `rcv_nxt` still has its
-    /// new extents accepted at buffer granularity.
+    /// Moves payload buffers into the receive queue (chains are
+    /// flattened). An extent landing exactly at `rcv_nxt` is accepted;
+    /// one spanning `rcv_nxt` is overlap-trimmed and its new tail
+    /// accepted (a retransmission often re-covers bytes we already
+    /// have); one landing ahead is filed into the bounded reassembly
+    /// queue; wholly old or out-of-horizon data is recycled. Returns
+    /// the segment's end sequence number (`h.seq` + total payload
+    /// length) — the position a trailing FIN would occupy.
     fn ingest_bufs<I, R>(&mut self, h: &TcpHeader, payload: I, recycle: &mut R) -> u32
     where
         I: IntoIterator<Item = Netbuf>,
@@ -616,44 +1113,46 @@ impl Tcb {
             // buffer still builds chains allocation-free after it is
             // recycled).
             head.take_frags_into(&mut scratch);
-            for nb in std::iter::once(head).chain(scratch.drain(..)) {
+            for mut nb in std::iter::once(head).chain(scratch.drain(..)) {
                 let len = nb.len();
                 if len == 0 {
                     recycle(nb);
+                    seq = seq.wrapping_add(len as u32);
                     continue;
                 }
+                let end = seq.wrapping_add(len as u32);
                 if seq == self.rcv_nxt {
-                    self.recv_q_len += len;
-                    self.rx_total += len as u64;
-                    self.rcv_nxt = self.rcv_nxt.wrapping_add(len as u32);
-                    // Coalesce into the queue tail's tailroom when the
-                    // extent fits (Linux's `tcp_try_coalesce`): the
-                    // advertised window counts payload bytes, but each
-                    // retained buffer pins a whole pool buffer — a
-                    // fine-grained sender (many small segments) must
-                    // not pin a buffer per segment. The copy touches
-                    // only small extents; a full-MSS stream never fits
-                    // the tail and stays zero-copy.
-                    match self.recv_q.back_mut() {
-                        Some(tail) if len <= tail.tailroom() => {
-                            tail.append(nb.payload());
-                            recycle(nb);
-                        }
-                        _ => self.recv_q.push_back(nb),
-                    }
+                    self.accept_in_order(nb, recycle);
                     ingested = true;
-                } else {
-                    // In-order-only ingest: old, duplicated or
-                    // out-of-window data is dropped — but never
-                    // silently (see below).
+                } else if Self::seq_le(end, self.rcv_nxt) {
+                    // Wholly old/duplicated: drop — but never silently
+                    // (see below).
                     dropped = true;
                     recycle(nb);
+                } else if Self::seq_lt(seq, self.rcv_nxt) {
+                    // Spans `rcv_nxt`: trim the already-received front,
+                    // accept the new tail (a retransmitted segment
+                    // whose front we already took must not deadlock).
+                    let trim = self.rcv_nxt.wrapping_sub(seq) as usize;
+                    nb.pull_header(trim);
+                    self.accept_in_order(nb, recycle);
+                    ingested = true;
+                } else {
+                    // Ahead of `rcv_nxt`: reassembly-queue it (bounded;
+                    // overflow recycles). Either way it is a hole
+                    // signal — count it as dropped so the duplicate
+                    // ACK goes out.
+                    dropped = true;
+                    self.ooo_insert(seq, nb, recycle);
                 }
-                seq = seq.wrapping_add(len as u32);
+                seq = end;
             }
         }
         self.flatten_scratch = scratch;
         if ingested {
+            // The accepted bytes may have closed the hole in front of
+            // the reassembly queue: drain every now-contiguous extent.
+            self.ooo_drain(recycle);
             // Delayed-ACK coalescing: the acknowledgement rides the
             // next outgoing segment (or one pure ACK at poll time),
             // so a burst of segments is answered once per poll, not
@@ -661,14 +1160,131 @@ impl Tcb {
             self.ack_pending = true;
         }
         if dropped {
-            // Duplicate ACK: dropped data *must* be acknowledged at
-            // our current cumulative position, or a peer whose
-            // segment was duplicated/reordered in delivery would wait
-            // forever for an acknowledgement that never comes.
+            // Duplicate ACK: dropped or queued-out-of-order data
+            // *must* be acknowledged at our current cumulative
+            // position, or a peer whose segment was lost in delivery
+            // would wait forever for an acknowledgement that never
+            // comes. Emit at most one immediate dup-ACK per poll
+            // cycle: a burst carrying N gapped segments answers with
+            // one dup-ACK, not N (`ack_pending` still guarantees the
+            // cumulative position goes out).
             self.ack_pending = true;
             self.dup_acks += 1;
+            self.dup_ack_now = true;
         }
         seq
+    }
+
+    /// Accepts one extent at `rcv_nxt` into the receive queue,
+    /// coalescing into the queue tail's tailroom when the extent fits
+    /// (Linux's `tcp_try_coalesce`): the advertised window counts
+    /// payload bytes, but each retained buffer pins a whole pool
+    /// buffer — a fine-grained sender (many small segments) must not
+    /// pin a buffer per segment. The copy touches only small extents;
+    /// a full-MSS stream never fits the tail and stays zero-copy.
+    fn accept_in_order<R: FnMut(Netbuf)>(&mut self, nb: Netbuf, recycle: &mut R) {
+        let len = nb.len();
+        self.recv_q_len += len;
+        self.rx_total += len as u64;
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(len as u32);
+        match self.recv_q.back_mut() {
+            Some(tail) if len <= tail.tailroom() => {
+                tail.append(nb.payload());
+                recycle(nb);
+            }
+            _ => self.recv_q.push_back(nb),
+        }
+    }
+
+    /// Files an out-of-order extent into the reassembly queue:
+    /// sequence-sorted insert, overlap trimmed against both neighbours
+    /// (fully covered, over-budget, or out-of-horizon extents are
+    /// recycled instead).
+    fn ooo_insert<R: FnMut(Netbuf)>(&mut self, seq: u32, nb: Netbuf, recycle: &mut R) {
+        let mut seq = seq;
+        let mut nb = nb;
+        if self.ooo_q.len() >= OOO_QUEUE_BUFS
+            || self.ooo_bytes + nb.len() > OOO_QUEUE_BYTES
+            || seq.wrapping_sub(self.rcv_nxt) > OOO_SEQ_HORIZON
+        {
+            recycle(nb);
+            return;
+        }
+        let mut idx = self.ooo_q.len();
+        while idx > 0 && Self::seq_lt(seq, self.ooo_q[idx - 1].0) {
+            idx -= 1;
+        }
+        let mut end = seq.wrapping_add(nb.len() as u32);
+        if idx > 0 {
+            let (pseq, pnb) = &self.ooo_q[idx - 1];
+            let pend = pseq.wrapping_add(pnb.len() as u32);
+            if Self::seq_le(end, pend) {
+                recycle(nb); // Fully covered by a queued extent.
+                return;
+            }
+            if Self::seq_lt(seq, pend) {
+                let trim = pend.wrapping_sub(seq) as usize;
+                nb.pull_header(trim);
+                seq = pend;
+            }
+        }
+        if idx < self.ooo_q.len() {
+            let succ_seq = self.ooo_q[idx].0;
+            end = seq.wrapping_add(nb.len() as u32);
+            if Self::seq_lt(succ_seq, end) {
+                // Keep only the part in front of the queued successor;
+                // any tail beyond it is the peer's to retransmit.
+                let keep = succ_seq.wrapping_sub(seq) as usize;
+                if keep == 0 {
+                    recycle(nb);
+                    return;
+                }
+                nb.truncate(keep);
+            }
+        }
+        self.ooo_bytes += nb.len();
+        self.stat_ooo_queued += 1;
+        self.ooo_q.insert(idx, (seq, nb));
+    }
+
+    /// Drains reassembly-queue extents made contiguous by an advance
+    /// of `rcv_nxt` into the receive queue (front-trimming partial
+    /// overlap, recycling wholly stale entries).
+    fn ooo_drain<R: FnMut(Netbuf)>(&mut self, recycle: &mut R) {
+        while let Some(&(seq, _)) = self.ooo_q.front() {
+            if Self::seq_lt(self.rcv_nxt, seq) {
+                break; // Still a hole in front of the queue.
+            }
+            let (seq, mut nb) = self.ooo_q.pop_front().expect("front exists");
+            self.ooo_bytes -= nb.len();
+            let end = seq.wrapping_add(nb.len() as u32);
+            if Self::seq_le(end, self.rcv_nxt) {
+                recycle(nb); // Stale: in-order delivery overtook it.
+                continue;
+            }
+            if Self::seq_lt(seq, self.rcv_nxt) {
+                let trim = self.rcv_nxt.wrapping_sub(seq) as usize;
+                nb.pull_header(trim);
+            }
+            self.accept_in_order(nb, recycle);
+        }
+    }
+
+    /// Recycles every buffer held for loss recovery (retransmission
+    /// queue, pending releases, reassembly queue) — called when the
+    /// connection dies and can no longer use them.
+    fn drain_recovery_queues<R: FnMut(Netbuf)>(&mut self, recycle: &mut R) {
+        while let Some((_, nb)) = self.rtx_q.pop_front() {
+            recycle(nb);
+        }
+        while let Some(nb) = self.rtx_released.pop() {
+            recycle(nb);
+        }
+        while let Some((_, nb)) = self.ooo_q.pop_front() {
+            recycle(nb);
+        }
+        self.ooo_bytes = 0;
+        self.rtx_deadline_ns = None;
     }
 
     /// Queues application data for transmission, accepting at most the
@@ -802,7 +1418,7 @@ impl Tcb {
     /// the cheap "does a flush have anything to do" probe the netbuf
     /// receive paths use to avoid a full output poll per buffer.
     pub fn has_pending_control(&self) -> bool {
-        !self.out.is_empty()
+        !self.out.is_empty() || self.dup_ack_now
     }
 
     /// Monotonic count of bytes ever received (readiness progress).
@@ -948,10 +1564,76 @@ impl Tcb {
             emitted_ack |= h.flags.ack;
             emit(h, None);
         }
+        // Owed duplicate ACK: emitted as a *pure* ACK (the peer's
+        // dup-ACK counter ignores segments with payload) with the
+        // final cumulative position of the sweep, before any data —
+        // and at most once per poll cycle, however many gapped
+        // segments the sweep carried.
+        if self.dup_ack_now && self.state != TcpState::Closed {
+            self.dup_ack_now = false;
+            let header = self.make_header(TcpFlags {
+                ack: true,
+                ..Default::default()
+            });
+            emit(header, None);
+            emitted_ack = true;
+        }
+        // Retransmission first: a requested re-emission of the extent
+        // at `snd_una` (RTO fire, fast retransmit, NewReno partial
+        // ACK) goes out before any new data — the peer is stalled on
+        // exactly these bytes. The extent *is* the original frame's
+        // payload buffer (headers stripped, headroom restored), moved
+        // back out of the retransmission queue without a copy; its
+        // next return re-files it.
+        if self.rtx_request
+            && matches!(
+                self.state,
+                TcpState::Established
+                    | TcpState::CloseWait
+                    | TcpState::FinWait
+                    | TcpState::LastAck
+            )
+        {
+            if let Some(&(seq, _)) = self.rtx_q.front() {
+                if seq == self.snd_una {
+                    self.rtx_request = false;
+                    let (start, nb) = self.rtx_q.pop_front().expect("front exists");
+                    let window = self.rcv_window();
+                    self.last_adv_wnd = window;
+                    let header = TcpHeader {
+                        src_port: self.local_port,
+                        dst_port: self.remote_port,
+                        seq: start,
+                        ack: self.rcv_nxt,
+                        flags: TcpFlags {
+                            ack: true,
+                            psh: true,
+                            ..Default::default()
+                        },
+                        window,
+                    };
+                    self.stat_retransmits += 1;
+                    self.rtt_probe = None; // Karn.
+                    emit(header, Some(nb));
+                    emitted_ack = true;
+                }
+            }
+            // If the front extent is not at `snd_una` (still in flight
+            // back to us), the request stays pending: the next poll
+            // after the frame re-files itself satisfies it.
+        }
         if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
             while self.send_q_len > 0 {
                 let in_flight = self.bytes_in_flight();
-                let window_room = self.snd_wnd.saturating_sub(in_flight) as usize;
+                // The peer's window and (when the ablation is on) the
+                // congestion window both bound what may be in flight;
+                // a TSO super-segment splits at the combined edge.
+                let wnd = if self.cc_enabled {
+                    (self.snd_wnd as usize).min(self.cwnd)
+                } else {
+                    self.snd_wnd as usize
+                };
+                let window_room = wnd.saturating_sub(in_flight as usize);
                 if window_room == 0 {
                     break; // Tx window closed; data stays queued.
                 }
@@ -966,6 +1648,29 @@ impl Tcb {
                 emit(header, Some(chain));
                 emitted_ack = true;
                 self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+                if self.rtt_probe.is_none() && self.backoff == 0 {
+                    // Time this flight for the RFC 6298 estimator.
+                    self.rtt_probe = Some((self.snd_nxt, self.now_ns));
+                }
+            }
+            if self.probe_pending {
+                self.probe_pending = false;
+                if self.send_q_len > 0 && self.snd_una == self.snd_nxt && self.snd_wnd == 0 {
+                    // Zero-window probe: one byte beyond the window.
+                    // The receiver accepts in-order data regardless of
+                    // the advertised edge and its ACK re-synchronizes
+                    // the window; the byte rides the normal
+                    // retransmission machinery if the probe is lost.
+                    let header = self.make_header(TcpFlags {
+                        ack: true,
+                        psh: true,
+                        ..Default::default()
+                    });
+                    let chain = self.assemble_chain(1, &mut take_buf);
+                    emit(header, Some(chain));
+                    emitted_ack = true;
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                }
             }
             if self.closing && self.send_q_len == 0 {
                 let header = self.make_header(TcpFlags {
@@ -976,6 +1681,7 @@ impl Tcb {
                 emit(header, None);
                 emitted_ack = true;
                 self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.fin_sent = true;
                 self.state = if self.state == TcpState::CloseWait {
                     TcpState::LastAck
                 } else {
@@ -995,6 +1701,18 @@ impl Tcb {
             emit(header, None);
         }
         self.ack_pending = false;
+        // Arm the retransmission/persist timer: anything unacknowledged
+        // in the sequence space (data, SYN, FIN) — or queued data
+        // behind a closed zero window — must be backed by a deadline.
+        if self.state == TcpState::Closed {
+            self.rtx_deadline_ns = None;
+        } else if self.snd_una != self.snd_nxt || (self.send_q_len > 0 && self.snd_wnd == 0) {
+            if self.rtx_deadline_ns.is_none() {
+                self.rtx_deadline_ns = Some(self.now_ns.saturating_add(self.rto_ns));
+            }
+        } else {
+            self.rtx_deadline_ns = None;
+        }
     }
 
     /// Owned-segment convenience over

@@ -38,14 +38,26 @@
 //! **imperfect**: [`Network::set_dup_every`] duplicates every n-th
 //! delivered plain frame, [`Network::set_reorder_every`] swaps
 //! every n-th with its predecessor in the same destination's batch,
-//! and [`Network::set_drop_every`] silently discards every n-th —
-//! deterministic stand-ins for the duplicated/reordered/lost
-//! deliveries a real L2 can produce, which the TCP ingest must survive
-//! (drop the stale copy, answer with a duplicate ACK, never desync on
-//! a reordered FIN). Injected faults are visible both through
-//! [`Network::faults_injected`] and, for drops, through the
-//! `testnet.drops_injected` counter in the global `ukstats` registry,
-//! so fault schedules show up in `/stats` and bench snapshots.
+//! [`Network::set_drop_every`] silently discards every n-th, and
+//! [`Network::set_drop_burst`] discards a whole run of consecutive
+//! frames on a cadence (congestive tail loss) — deterministic
+//! stand-ins for the duplicated/reordered/lost deliveries a real L2
+//! can produce, which the TCP loss-recovery machinery must survive
+//! with byte-identical delivery (retransmit the hole, reassemble the
+//! out-of-order tail, never desync on a reordered FIN). Injected
+//! faults are visible both through [`Network::faults_injected`] and,
+//! for drops, through the `testnet.drops_injected` counter in the
+//! global `ukstats` registry, so fault schedules show up in `/stats`
+//! and bench snapshots.
+//!
+//! [`Network::set_bandwidth_delay`] turns the ideal cable into a
+//! bandwidth-delay pipe: delivered frames sit in an in-flight line for
+//! a fixed number of steps (propagation delay) and at most a budget of
+//! frames drains per step (link rate), so congestion-control tests see
+//! queueing, RTT, and a real in-flight cap. [`Network::set_clock`]
+//! shares one virtual [`ukplat::time::Tsc`] across every attached
+//! stack and advances it per step ([`Network::set_step_ns`]), driving
+//! the stacks' retransmission timers deterministically.
 
 use uknetdev::netbuf::Netbuf;
 
@@ -71,10 +83,29 @@ pub struct Network {
     reorder_every: u64,
     /// Discard every n-th delivered plain frame (0 = off).
     drop_every: u64,
+    /// Start a drop burst every n-th plain frame (0 = off).
+    drop_burst_every: u64,
+    /// Length of each drop burst (frames).
+    drop_burst_len: u64,
+    /// Frames still to discard in the current burst.
+    drop_burst_left: u64,
     /// Plain frames delivered since the fault counters were armed.
     fault_tick: u64,
     /// Faults injected so far (tests assert against this).
     faults_injected: u64,
+    /// Propagation delay in steps for the bandwidth-delay pipe
+    /// (0 with `bw_per_step == 0` = ideal cable).
+    delay_steps: u64,
+    /// Frames released from the in-flight line per step (0 = no cap).
+    bw_per_step: usize,
+    /// In-flight frames: (release step, destination, frame).
+    delay_line: std::collections::VecDeque<(u64, usize, Netbuf)>,
+    /// Steps taken (drives the delay line).
+    step_no: u64,
+    /// Shared virtual clock, advanced per step when armed.
+    clock: Option<ukplat::time::Tsc>,
+    /// Nanoseconds the clock advances per step.
+    step_ns: u64,
 }
 
 /// The wire-side drop counter, shared by every [`Network`] in the
@@ -94,7 +125,14 @@ impl Network {
     /// Attaches a stack; returns its index.
     pub fn attach(&mut self, stack: NetStack) -> usize {
         self.stacks.push(stack);
-        self.inject_stage.push(Vec::new());
+        // Pre-sized for the deepest step backlogs the bulk workloads
+        // reach: harvest and stage depth shifts between runs with the
+        // stacks' recovery/ACK timing, and the zero-alloc guards would
+        // see a mid-measurement Vec growth as a datapath allocation.
+        self.inject_stage.push(Vec::with_capacity(256));
+        if self.wire_scratch.capacity() < 256 {
+            self.wire_scratch.reserve(256 - self.wire_scratch.capacity());
+        }
         self.stacks.len() - 1
     }
 
@@ -138,12 +176,56 @@ impl Network {
     /// Discards every `n`-th delivered plain frame before it reaches
     /// the receiver's ring, like congestive loss on a real cable. `0`
     /// disables. Each drop bumps `testnet.drops_injected` in the
-    /// global stats registry. This wire has no TCP retransmission to
-    /// lean on, so loss tests ride datagram traffic (UDP, pings).
+    /// global stats registry. Datagram traffic (UDP, pings) loses
+    /// those frames for good; TCP streams recover them through the
+    /// stack's retransmission machinery.
     pub fn set_drop_every(&mut self, n: u64) {
         self.drop_every = n;
         self.fault_tick = 0;
         drops_counter(); // Register the slot up front.
+    }
+
+    /// Discards `len` *consecutive* plain frames starting at every
+    /// `every`-th delivery — the congestive tail-loss pattern that
+    /// defeats fast retransmit (not enough dup-ACKs survive) and
+    /// forces the RTO path. `every == 0` disables.
+    pub fn set_drop_burst(&mut self, every: u64, len: u64) {
+        self.drop_burst_every = every;
+        self.drop_burst_len = len;
+        self.drop_burst_left = 0;
+        self.fault_tick = 0;
+        drops_counter(); // Register the slot up front.
+    }
+
+    /// Turns the ideal cable into a bandwidth-delay pipe: every
+    /// delivered frame sits in flight for `delay_steps` steps
+    /// (propagation delay), and at most `per_step` frames drain from
+    /// the line per step (the link rate; `0` = uncapped). Frames
+    /// beyond the budget queue behind — the standing queue a
+    /// congestion controller is supposed to regulate. `(0, 0)`
+    /// restores the ideal cable (any frames still in flight are
+    /// delivered on the following steps).
+    pub fn set_bandwidth_delay(&mut self, delay_steps: u64, per_step: usize) {
+        self.delay_steps = delay_steps;
+        self.bw_per_step = per_step;
+    }
+
+    /// Shares one virtual clock across every *currently attached*
+    /// stack (arming their retransmission timers) and keeps a handle
+    /// so [`step`](Self::step) can advance it. Pair with
+    /// [`set_step_ns`](Self::set_step_ns).
+    pub fn set_clock(&mut self, tsc: &ukplat::time::Tsc) {
+        for s in &mut self.stacks {
+            s.set_clock(tsc);
+        }
+        self.clock = Some(tsc.clone());
+    }
+
+    /// Nanoseconds the shared clock advances at the start of every
+    /// [`step`](Self::step) (default 0 — the clock only moves when the
+    /// test advances it by hand).
+    pub fn set_step_ns(&mut self, ns: u64) {
+        self.step_ns = ns;
     }
 
     /// Faults (duplicates + reorders + drops) injected so far.
@@ -244,41 +326,100 @@ impl Network {
                     }
                     // Configured wire faults: drop, duplicate delivery
                     // and adjacent reorder of plain frames, on
-                    // deterministic cadences.
-                    if (self.dup_every > 0 || self.reorder_every > 0 || self.drop_every > 0)
-                        && stage[i].len() > staged_from
-                        && !stage[i].last().expect("staged").has_frags()
+                    // deterministic cadences. Every plain frame staged
+                    // by this delivery ticks the cadence once — a
+                    // host-cut super-segment exposes each cut frame to
+                    // the schedule individually, exactly as it would
+                    // travel a real lossy link. Chained big-receive
+                    // frames stay exempt (they never exist on a real
+                    // wire as one frame).
+                    if self.dup_every > 0
+                        || self.reorder_every > 0
+                        || self.drop_every > 0
+                        || self.drop_burst_every > 0
                     {
-                        self.fault_tick += 1;
-                        if self.drop_every > 0 && self.fault_tick % self.drop_every == 0 {
-                            // The frame came off the receiver's pool;
-                            // recycle it there so loss never leaks.
-                            let lost = stage[i].pop().expect("staged");
-                            self.stacks[i].recycle(lost);
-                            moved -= 1;
-                            self.faults_injected += 1;
-                            drops_counter().inc();
-                            continue; // Next destination; nothing to dup/reorder.
-                        }
-                        if self.dup_every > 0 && self.fault_tick % self.dup_every == 0 {
-                            let mut dup = self.stacks[i].take_rx_buf();
-                            dup.set_payload(stage[i].last().expect("staged").payload());
-                            dup.mark_csum_verified();
-                            stage[i].push(dup);
-                            moved += 1;
-                            self.faults_injected += 1;
-                        }
-                        if self.reorder_every > 0
-                            && self.fault_tick % self.reorder_every == 0
-                            && stage[i].len() >= 2
-                        {
-                            let n = stage[i].len();
-                            stage[i].swap(n - 1, n - 2);
-                            self.faults_injected += 1;
+                        let mut k = staged_from;
+                        while k < stage[i].len() {
+                            if stage[i][k].has_frags() {
+                                k += 1;
+                                continue;
+                            }
+                            self.fault_tick += 1;
+                            let mut drop =
+                                self.drop_every > 0 && self.fault_tick % self.drop_every == 0;
+                            if self.drop_burst_left > 0 {
+                                // Mid-burst: this frame goes down too.
+                                self.drop_burst_left -= 1;
+                                drop = true;
+                            } else if self.drop_burst_every > 0
+                                && self.fault_tick % self.drop_burst_every == 0
+                            {
+                                self.drop_burst_left = self.drop_burst_len.saturating_sub(1);
+                                drop = true;
+                            }
+                            if drop {
+                                // The frame came off the receiver's pool;
+                                // recycle it there so loss never leaks.
+                                let lost = stage[i].remove(k);
+                                self.stacks[i].recycle(lost);
+                                moved -= 1;
+                                self.faults_injected += 1;
+                                drops_counter().inc();
+                                continue; // `k` now names the next frame.
+                            }
+                            if self.dup_every > 0 && self.fault_tick % self.dup_every == 0 {
+                                let mut dup = self.stacks[i].take_rx_buf();
+                                dup.set_payload(stage[i][k].payload());
+                                dup.mark_csum_verified();
+                                stage[i].insert(k + 1, dup);
+                                moved += 1;
+                                self.faults_injected += 1;
+                                k += 1; // The copy itself never ticks.
+                            }
+                            if self.reorder_every > 0
+                                && self.fault_tick % self.reorder_every == 0
+                                && k >= 1
+                            {
+                                stage[i].swap(k, k - 1);
+                                self.faults_injected += 1;
+                            }
+                            k += 1;
                         }
                     }
                 }
                 self.stacks[src].recycle(nb);
+            }
+        }
+        // Bandwidth-delay pipe: staged frames enter the in-flight
+        // line; only the frames whose propagation delay has elapsed —
+        // at most the per-step link budget — reach the rings below.
+        self.step_no += 1;
+        if self.delay_steps > 0 || self.bw_per_step > 0 || !self.delay_line.is_empty() {
+            for (i, frames) in stage.iter_mut().enumerate() {
+                for nb in frames.drain(..) {
+                    self.delay_line
+                        .push_back((self.step_no + self.delay_steps, i, nb));
+                }
+            }
+            let budget = if self.bw_per_step == 0 {
+                usize::MAX
+            } else {
+                self.bw_per_step
+            };
+            let mut released = 0;
+            while released < budget {
+                match self.delay_line.front() {
+                    Some(&(due, _, _)) if due <= self.step_no => {}
+                    _ => break,
+                }
+                let (_, i, nb) = self.delay_line.pop_front().expect("checked front");
+                stage[i].push(nb);
+                released += 1;
+            }
+            if !self.delay_line.is_empty() {
+                // Frames still in flight: keep `run_until_quiet`
+                // stepping until the pipe drains.
+                moved += 1;
             }
         }
         // One ring injection per destination per step.
@@ -296,6 +437,9 @@ impl Network {
     /// what arrived; returns frames moved (wire frames, i.e. a TSO
     /// super-segment counts once per cut frame).
     pub fn step(&mut self) -> usize {
+        if let Some(c) = self.clock.as_ref() {
+            c.advance_ns(self.step_ns);
+        }
         let moved = self.transfer();
         for s in &mut self.stacks {
             s.pump();
@@ -980,9 +1124,9 @@ mod tests {
         let got = net.stack(1).tcp_recv(conn, 1024).unwrap();
         assert_eq!(got, payload, "data accepted despite the early FIN");
         // The reordered FIN was dropped, not processed out of order:
-        // the connection is still Established (the FIN is gone for
-        // good — this wire has no retransmission — but the sequence
-        // space is intact, which is the property under test).
+        // the connection is still Established (no clock is armed here,
+        // so the peer's FIN retransmission never fires — the sequence
+        // space staying intact is the property under test).
         assert_eq!(
             net.stack(1).tcp_state(conn),
             Some(TcpState::Established),
@@ -1083,8 +1227,8 @@ mod tests {
     /// surviving datagrams arrive intact and in order, the loss shows
     /// up in both the wire's fault counter and the global
     /// `testnet.drops_injected` stat, and the dropped buffers are
-    /// recycled — no pool leak. UDP carries the test because this wire
-    /// has no TCP retransmission to paper over the loss.
+    /// recycled — no pool leak. UDP carries the test so nothing
+    /// retransmits and every injected loss stays visible end to end.
     #[test]
     fn dropped_wire_frames_are_counted_and_leak_nothing() {
         let mut net = two_node_net();

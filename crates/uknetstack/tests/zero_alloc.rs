@@ -47,6 +47,15 @@ fn tcp_echo_round_trip_is_allocation_free_in_steady_state() {
     let mut net = Network::new();
     let ci = net.attach(mk_stack(1));
     let si = net.attach(mk_stack(2));
+    // Arm the loss-recovery machinery: with a clock installed every
+    // pump runs the RTO scan and every data frame is filed into the
+    // retransmission queue on recycle. The wire is lossless, so no
+    // timer ever fires — but the whole armed path must still stay
+    // allocation-free. 1 µs steps keep virtual time far below the
+    // 200 ms RTO floor.
+    let clock = Tsc::new(1_000_000_000);
+    net.set_clock(&clock);
+    net.set_step_ns(1_000);
     let listener = net.stack(si).tcp_listen(7).unwrap();
     let client = net
         .stack(ci)
@@ -303,6 +312,12 @@ fn bulk_1mb_tso_transfer_is_allocation_free_in_steady_state() {
     let mut net = Network::new();
     let ci = net.attach(mk_stack(1));
     let si = net.attach(mk_stack(2));
+    // Same arming as the echo guard: clock installed, RTO scan live,
+    // every data frame filed for retransmission on recycle — and the
+    // lossless bulk path still must not allocate.
+    let clock = Tsc::new(1_000_000_000);
+    net.set_clock(&clock);
+    net.set_step_ns(1_000);
     assert!(net.stack(ci).tso(), "bulk path runs over TSO super-segments");
     let listener = net.stack(si).tcp_listen(9000).unwrap();
     let client = net
