@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-trace-off verify-fault-matrix verify-workspace test bench bench-event bench-smoke bench-json examples clean
+.PHONY: verify verify-trace-off verify-fault-matrix verify-churn verify-workspace test bench bench-event bench-smoke bench-json examples clean
 
 ## Tier-1: release build + root-crate tests (ROADMAP's check).
 verify:
@@ -35,6 +35,19 @@ verify-fault-matrix:
 	$(CARGO) test -q -p uknetstack --no-default-features --test proptests any_fault_schedule
 	$(CARGO) test -q -p uknetstack --no-default-features --test tcp_recovery
 
+## The connection-lifecycle properties in both feature modes: the
+## wire-level lifecycle suite (SYN-flood survival and reclamation,
+## handshake-timeout reaping, TIME_WAIT 2MSL + port recycling,
+## keepalive dead-peer teardown, RST discipline, churn leak-checks)
+## and the timer-wheel-vs-reference proptest run with the
+## observability features on (default) and compiled out — the control
+## plane must not depend on stats/tracing being present.
+verify-churn:
+	$(CARGO) test -q -p uknetstack --test tcp_lifecycle
+	$(CARGO) test -q -p uknetstack --test proptests timer_wheel_matches
+	$(CARGO) test -q -p uknetstack --no-default-features --test tcp_lifecycle
+	$(CARGO) test -q -p uknetstack --no-default-features --test proptests timer_wheel_matches
+
 ## The full sweep: every workspace crate's unit, integration and prop
 ## tests, plus bench/example compilation and the netpath smoke bench
 ## (which asserts 0.000 allocs/frame on the pooled datapath).
@@ -43,6 +56,7 @@ verify-workspace:
 	$(CARGO) test -q --workspace
 	$(MAKE) verify-trace-off
 	$(MAKE) verify-fault-matrix
+	$(MAKE) verify-churn
 	$(MAKE) bench-smoke
 
 test:
@@ -72,13 +86,17 @@ bench-smoke:
 ## netbuf-recv vs copy-recv, receiver-side bytes/s, allocs/frame), and
 ## the PR 7 goodput-vs-loss grid (1MB per-MSS transfers × drop rate
 ## {0, 1/64, 1/16, 1/8} × congestion control on/off, goodput with
-## recovery overhead included plus retransmit/RTO counts) — and writes
-## them to BENCH_PR7.json. Since PR 6 each cell also embeds the
-## ukstats counter deltas measured inside its timed window and the
-## document ends with a full registry snapshot; the human tables are
-## suppressed (leveled logging drops to Warn in --json mode).
+## recovery overhead included plus retransmit/RTO counts), and the
+## PR 8 connection-scale grid (1K/10K/100K established-idle
+## connections: establishment rate, resident bytes/conn, echo hot
+## path at scale, plus connect/close churn rate and accept rate under
+## a 10×-backlog SYN flood) — and writes them to BENCH_PR8.json.
+## Since PR 6 each cell also embeds the ukstats counter deltas
+## measured inside its timed window and the document ends with a full
+## registry snapshot; the human tables are suppressed (leveled
+## logging drops to Warn in --json mode).
 bench-json:
-	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR7.json
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR8.json
 
 examples:
 	$(CARGO) build --release --examples

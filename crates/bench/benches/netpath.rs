@@ -34,6 +34,15 @@
 //! (retransmits, fast retransmits, RTO fires). The headline asserts
 //! goodput at 1/64 drop holds ≥ 50% of the lossless baseline.
 //!
+//! Since the lifecycle control plane landed, a **connection-scale
+//! grid** rides along: 1K / 10K / 100K established-idle connections
+//! on one lean-TCB stack (forged handshakes completed through the
+//! wire capture), measuring establishment rate, resident bytes per
+//! connection (linear in conn count, enforced), and the echo hot path
+//! threading the idle population (allocation-free at every scale,
+//! enforced) — plus connect/close churn rate through TIME_WAIT and
+//! accept throughput under a 10×-backlog SYN flood.
+//!
 //! The binary installs `ukalloc::stats::CountingAlloc` as its global
 //! allocator, so alongside the ns/iter numbers it prints measured
 //! **allocations per frame** (expected: 0.000 on every pooled config,
@@ -593,6 +602,228 @@ impl LossHarness {
     }
 }
 
+/// Resident-set size of this process (Linux `statm`), the basis of the
+/// memory-vs-connection-count cells. Coarse (page granularity, shared
+/// pages included) but the deltas at 10K–100K connections are tens of
+/// megabytes — far above the noise.
+fn rss_bytes() -> u64 {
+    let statm = std::fs::read_to_string("/proc/self/statm").unwrap_or_default();
+    let pages: u64 = statm
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    pages * 4096
+}
+
+/// Reads one `ukstats` counter (0 when stats are compiled out).
+fn stat_counter(name: &str) -> u64 {
+    ukstats::snapshot().counter(name).unwrap_or(0)
+}
+
+/// The connection-scale harness: one lean-TCB server stack holding
+/// thousands of established-but-idle connections (forged handshakes
+/// from spoofed peers, completed through the wire capture), plus one
+/// real client connection threading the population so the hot path
+/// can be timed — and allocation-checked — at scale.
+struct ScaleHarness {
+    net: Network,
+    ci: usize,
+    si: usize,
+    listener: SocketHandle,
+    client: SocketHandle,
+    server: SocketHandle,
+    established: Vec<SocketHandle>,
+    next_peer: usize,
+    buf: Vec<u8>,
+}
+
+impl ScaleHarness {
+    fn new() -> Self {
+        let mk = |n: u8, lean: bool| {
+            let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+            let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+            dev.configure(NetDevConf::default()).unwrap();
+            let mut cfg = StackConfig::node(n);
+            cfg.lean_tcbs = lean;
+            cfg.listen_backlog = 1024;
+            NetStack::new(cfg, Box::new(dev))
+        };
+        let mut net = Network::new();
+        let ci = net.attach(mk(1, false));
+        let si = net.attach(mk(2, true));
+        let clock = Tsc::new(1_000_000_000); // 1 cycle = 1 ns.
+        net.set_clock(&clock);
+        net.set_step_ns(1_000_000); // 1 ms per step.
+        let listener = net.stack(si).tcp_listen(9300).unwrap();
+        let client = net
+            .stack(ci)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9300))
+            .unwrap();
+        net.run_until_quiet(32);
+        let server = net.stack(si).tcp_accept(listener).unwrap();
+        let mut h = ScaleHarness {
+            net,
+            ci,
+            si,
+            listener,
+            client,
+            server,
+            established: Vec::new(),
+            next_peer: 0,
+            buf: vec![0; 4096],
+        };
+        for _ in 0..8 {
+            h.echo();
+        }
+        h
+    }
+
+    /// Grows the idle population to `target` established connections,
+    /// in waves sized to the accept backlog.
+    fn grow_to(&mut self, target: usize) {
+        while self.established.len() < target {
+            let wave = (target - self.established.len()).min(512);
+            let done = self
+                .net
+                .forge_established(self.si, 9300, self.next_peer, wave, 64);
+            assert_eq!(done, wave, "every forged handshake completed");
+            self.next_peer += wave;
+            while let Some(h) = self.net.stack(self.si).tcp_accept(self.listener) {
+                self.established.push(h);
+            }
+        }
+        assert_eq!(self.established.len(), target, "population reached");
+    }
+
+    /// One 512 B echo round-trip on the live connection threading the
+    /// idle population — the hot path whose cost and allocation count
+    /// the scale cells measure.
+    fn echo(&mut self) {
+        self.net
+            .stack(self.ci)
+            .tcp_send(self.client, &[0x42; 512])
+            .unwrap();
+        self.net.run_until_quiet(32);
+        let n = self
+            .net
+            .stack(self.si)
+            .tcp_recv_into(self.server, &mut self.buf)
+            .unwrap();
+        let buf = std::mem::take(&mut self.buf);
+        self.net
+            .stack(self.si)
+            .tcp_send(self.server, &buf[..n])
+            .unwrap();
+        self.buf = buf;
+        self.net.run_until_quiet(32);
+        self.net
+            .stack(self.ci)
+            .tcp_recv_into(self.client, &mut self.buf)
+            .unwrap();
+    }
+}
+
+/// One row of the connection-scale grid.
+struct ScaleRow {
+    name: String,
+    conns: usize,
+    setup_per_s: f64,
+    rss_bytes_per_conn: f64,
+    echo_rtt_per_s: f64,
+    allocs_per_rtt: f64,
+    stats: String,
+}
+
+/// Connect/accept/close cycle rate on a clocked two-node net (active
+/// closer walks FIN_WAIT → TIME_WAIT; the wheel reaps 2MSL parks as
+/// virtual time advances, so TIME_WAIT population stays bounded while
+/// cycles run back-to-back).
+fn conn_churn_rate(cycles: usize) -> (f64, u64) {
+    let mk = |n: u8| {
+        let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        NetStack::new(StackConfig::node(n), Box::new(dev))
+    };
+    let mut net = Network::new();
+    let ci = net.attach(mk(1));
+    let si = net.attach(mk(2));
+    let clock = Tsc::new(1_000_000_000);
+    net.set_clock(&clock);
+    net.set_step_ns(5_000_000); // 5 ms: TIME_WAIT drains across cycles.
+    let listener = net.stack(si).tcp_listen(9400).unwrap();
+    let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9400);
+    // Warmup.
+    for _ in 0..16 {
+        let c = net.stack(ci).tcp_connect(ep).unwrap();
+        net.run_until_quiet(32);
+        let s = net.stack(si).tcp_accept(listener).unwrap();
+        net.stack(ci).tcp_close(c).unwrap();
+        net.stack(si).tcp_close(s).unwrap();
+        net.run_until_quiet(32);
+    }
+    let tw0 = stat_counter("netstack.tcp.timewait");
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let c = net.stack(ci).tcp_connect(ep).unwrap();
+        net.run_until_quiet(32);
+        let s = net.stack(si).tcp_accept(listener).expect("cycle accepted");
+        net.stack(ci).tcp_close(c).unwrap();
+        net.stack(si).tcp_close(s).unwrap();
+        net.run_until_quiet(32);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        cycles as f64 / elapsed,
+        stat_counter("netstack.tcp.timewait") - tw0,
+    )
+}
+
+/// Accept throughput for a legitimate client while a SYN flood ten
+/// times the listener's backlog hammers the same port each round.
+/// Returns `(accepts_per_s, syn_overflow_delta)` — and panics if the
+/// legitimate client ever fails to get through, since surviving the
+/// flood is the property the cell exists to measure.
+fn accept_rate_under_flood(rounds: usize) -> (f64, u64) {
+    let mk = |n: u8| {
+        let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        NetStack::new(StackConfig::node(n), Box::new(dev)) // backlog 64.
+    };
+    let mut net = Network::new();
+    let ci = net.attach(mk(1));
+    let si = net.attach(mk(2));
+    let clock = Tsc::new(1_000_000_000);
+    net.set_clock(&clock);
+    net.set_step_ns(5_000_000);
+    let listener = net.stack(si).tcp_listen(9500).unwrap();
+    let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 9500);
+    let backlog = 64;
+    let mut base = 0;
+    let overflow0 = stat_counter("netstack.tcp.syn_overflow");
+    let start = Instant::now();
+    for _ in 0..rounds {
+        net.syn_flood(si, 9500, base, 10 * backlog, 32);
+        base += 10 * backlog;
+        let c = net.stack(ci).tcp_connect(ep).unwrap();
+        net.run_until_quiet(48);
+        let s = net
+            .stack(si)
+            .tcp_accept(listener)
+            .expect("legitimate client accepted despite the flood");
+        net.stack(ci).tcp_close(c).unwrap();
+        net.stack(si).tcp_close(s).unwrap();
+        net.run_until_quiet(32);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        rounds as f64 / elapsed,
+        stat_counter("netstack.tcp.syn_overflow") - overflow0,
+    )
+}
+
 fn bench_tcp_echo(c: &mut Criterion) {
     let mut g = c.benchmark_group("netpath/tcp_echo_512B");
     for (label, pools) in [("pooled", true), ("heap_bufs", false)] {
@@ -1022,6 +1253,104 @@ fn ablation_report(json_path: Option<&str>) {
         goodput_1_64 * 100.0
     );
 
+    // --- Connection-scale grid: 1K / 10K / 100K established-idle
+    // connections resident on one lean-TCB stack (forged handshakes
+    // completed through the wire capture). Each cell records the
+    // establishment rate, resident memory per connection (linear in
+    // conn count is the claim), and the echo hot path threading the
+    // idle population — which must stay allocation-free at every
+    // scale.
+    let mut scale_rows: Vec<ScaleRow> = Vec::new();
+    {
+        let mut h = ScaleHarness::new();
+        let rss0 = rss_bytes();
+        let mut prev_conns = 0usize;
+        for (target, echo_reps) in [(1_000usize, 400u64), (10_000, 200), (100_000, 100)] {
+            let sbase = ukstats::snapshot();
+            let start = Instant::now();
+            h.grow_to(target);
+            let setup_secs = start.elapsed().as_secs_f64();
+            let setup_per_s = (target - prev_conns) as f64 / setup_secs;
+            prev_conns = target;
+            let rss_per_conn = rss_bytes().saturating_sub(rss0) as f64 / target as f64;
+            for _ in 0..8 {
+                h.echo(); // Re-warm after the growth phase.
+            }
+            let counter = AllocCounter::start();
+            let start = Instant::now();
+            for _ in 0..echo_reps {
+                h.echo();
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let allocs = counter.allocs();
+            let stats = stats_delta_json(&sbase);
+            scale_rows.push(ScaleRow {
+                name: format!("tcp_scale/{}k_conns", target / 1000),
+                conns: target,
+                setup_per_s,
+                rss_bytes_per_conn: rss_per_conn,
+                echo_rtt_per_s: echo_reps as f64 / elapsed,
+                allocs_per_rtt: allocs as f64 / echo_reps as f64,
+                stats,
+            });
+        }
+    }
+    ukcore::log_info!(
+        "{:<28} {:>10} {:>12} {:>12} {:>12}",
+        "netpath/scale", "conns", "setup/s", "B/conn", "echo rtt/s"
+    );
+    for r in &scale_rows {
+        ukcore::log_info!(
+            "{:<28} {:>10} {:>12.0} {:>12.0} {:>12.0}",
+            r.name, r.conns, r.setup_per_s, r.rss_bytes_per_conn, r.echo_rtt_per_s
+        );
+        assert_eq!(
+            r.allocs_per_rtt, 0.0,
+            "echo hot path must stay allocation-free with {} idle conns resident",
+            r.conns
+        );
+    }
+    let scale_cell = |conns: usize| {
+        scale_rows
+            .iter()
+            .find(|r| r.conns == conns)
+            .expect("scale cell")
+    };
+    let b_100k = scale_cell(100_000).rss_bytes_per_conn;
+    let b_10k = scale_cell(10_000).rss_bytes_per_conn;
+    assert!(
+        b_100k < 4096.0,
+        "an idle connection must stay small ({b_100k:.0} B/conn at 100K)"
+    );
+    assert!(
+        b_100k <= 3.0 * b_10k.max(256.0),
+        "memory must stay linear in connection count \
+         ({b_10k:.0} B/conn at 10K vs {b_100k:.0} B/conn at 100K)"
+    );
+    ukcore::log_info!(
+        "netpath/scale headline: {b_100k:.0} B/conn resident at 100K idle connections, \
+         hot path allocation-free at every scale"
+    );
+
+    // --- Lifecycle rates: connect/close churn (TIME_WAIT walked and
+    // reaped by the wheel) and accept throughput under a 10×-backlog
+    // SYN flood.
+    let (churn_per_s, churn_timewait) = conn_churn_rate(800);
+    let (flood_accepts_per_s, flood_overflow) = accept_rate_under_flood(24);
+    assert!(
+        churn_timewait >= 800,
+        "every churn cycle parks in TIME_WAIT (saw {churn_timewait})"
+    );
+    assert!(
+        flood_overflow > 0,
+        "the flood must overflow the SYN queue for the cell to mean anything"
+    );
+    ukcore::log_info!(
+        "netpath/lifecycle: {churn_per_s:.0} connect/close cycles/s, \
+         {flood_accepts_per_s:.1} accepts/s under 10x-backlog SYN flood \
+         ({flood_overflow} evictions)"
+    );
+
     // The PR's headline: the 64 KB fast path (TSO + RX csum offload)
     // vs the all-software segmentation ablation.
     let fast = bulk_rows
@@ -1115,6 +1444,27 @@ fn ablation_report(json_path: Option<&str>) {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"conn_scale_configs\": [\n");
+        for (i, r) in scale_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"conns\": {}, \"setup_per_s\": {:.0}, \"rss_bytes_per_conn\": {:.0}, \"echo_rtt_per_s\": {:.0}, \"allocs_per_rtt\": {:.3}, \"stats\": {} }}{}\n",
+                r.name,
+                r.conns,
+                r.setup_per_s,
+                r.rss_bytes_per_conn,
+                r.echo_rtt_per_s,
+                r.allocs_per_rtt,
+                r.stats,
+                if i + 1 == scale_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"conn_churn_cycles_per_s\": {churn_per_s:.0},\n"
+        ));
+        out.push_str(&format!(
+            "  \"accept_per_s_under_10x_syn_flood\": {flood_accepts_per_s:.1},\n"
+        ));
         out.push_str(&format!(
             "  \"loss_1_64_goodput_vs_lossless\": {goodput_1_64:.3},\n"
         ));

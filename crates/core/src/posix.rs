@@ -361,7 +361,9 @@ impl PosixEnv {
         // are serialized into the user buffer as packed 12-byte records
         // (u32 events, u64 data), the x86_64 `struct epoll_event` layout.
         // The shim itself never sleeps — a blocking wait is the
-        // scheduler-integrated `EventQueue::wait` path.
+        // scheduler-integrated `EventQueue::wait` path, and a timed one
+        // is `EventQueue::wait_until` with its deadline expired by a
+        // timer wheel driving `fire_deadlines`.
         {
             let ev = events.clone();
             let bufs = buffers.clone();

@@ -27,6 +27,10 @@ pub enum WaitOutcome {
     /// Nothing ready; the calling thread was parked on the queue's
     /// [`WaitQueue`] and must block until woken by a readiness edge.
     Parked,
+    /// Nothing ready and the wait's deadline is due: `epoll_wait`'s
+    /// "returned 0 events" outcome. Only produced by
+    /// [`EventQueue::wait_until`].
+    TimedOut,
 }
 
 /// Pre-registered `ukstats` handles for the event plane. Counters are
@@ -42,6 +46,8 @@ struct EvCounters {
     wakeups: ukstats::Counter,
     /// Rising edges observed from watched sources.
     edges: ukstats::Counter,
+    /// Timed waits that expired with nothing ready.
+    timeouts: ukstats::Counter,
     /// `epoll_wait` latency: duration of the ready-scan inside `wait`.
     wait_ns: ukstats::Histogram,
     /// Park-to-wake latency: time between parking in `wait` and the
@@ -56,6 +62,7 @@ impl EvCounters {
             parks: ukstats::Counter::register("ukevent.parks"),
             wakeups: ukstats::Counter::register("ukevent.wakeups"),
             edges: ukstats::Counter::register("ukevent.edges"),
+            timeouts: ukstats::Counter::register("ukevent.timeouts"),
             wait_ns: ukstats::Histogram::register("ukevent.wait_ns"),
             park_to_wake_ns: ukstats::Histogram::register("ukevent.park_to_wake_ns"),
         }
@@ -78,6 +85,9 @@ pub(crate) struct QueueShared {
     /// When the current parked spell began (set by `wait`, consumed by
     /// the next waking edge).
     park_started: Option<std::time::Instant>,
+    /// Absolute deadlines (virtual-clock ns) for threads parked via
+    /// [`EventQueue::wait_until`]; expired by `fire_deadlines`.
+    deadlines: Vec<(ThreadId, u64)>,
     stats: EvCounters,
 }
 
@@ -89,6 +99,9 @@ impl QueueShared {
         self.stats.edges.inc();
         let woken = self.waiters.wake_all();
         if !woken.is_empty() {
+            // Readiness beat the timers: the woken threads' deadlines
+            // are moot (re-armed on their next timed wait).
+            self.deadlines.retain(|(t, _)| !woken.contains(t));
             self.stats.wakeups.add(woken.len() as u64);
             if let Some(parked_at) = self.park_started.take() {
                 self.stats
@@ -150,6 +163,7 @@ impl EventQueue {
                 pending: false,
                 edges_seen: 0,
                 park_started: None,
+                deadlines: Vec::new(),
                 stats,
             })),
             interest: BTreeMap::new(),
@@ -306,7 +320,77 @@ impl EventQueue {
         let mut shared = self.shared.borrow_mut();
         shared.park_started = Some(std::time::Instant::now());
         shared.waiters.wait(tid);
+        // An untimed wait supersedes any stale deadline for this thread.
+        shared.deadlines.retain(|(t, _)| *t != tid);
         WaitOutcome::Parked
+    }
+
+    /// `epoll_wait(timeout)`: like [`wait`](Self::wait), but the park
+    /// carries an absolute virtual-clock deadline. A deadline already
+    /// due returns [`WaitOutcome::TimedOut`] without parking (epoll's
+    /// `timeout == 0` poll). Otherwise the caller blocks and whoever
+    /// drives the clock — typically a timer-wheel slot armed at
+    /// [`next_deadline`](Self::next_deadline) — expires the park with
+    /// [`fire_deadlines`](Self::fire_deadlines); the rerun `wait_until`
+    /// then observes the due deadline and reports the timeout.
+    pub fn wait_until(
+        &mut self,
+        max_events: usize,
+        tid: ThreadId,
+        now_ns: u64,
+        deadline_ns: u64,
+    ) -> WaitOutcome {
+        let scan_start = std::time::Instant::now();
+        self.stats.waits.inc();
+        let events = self.poll_ready(max_events);
+        self.stats
+            .wait_ns
+            .record(scan_start.elapsed().as_nanos() as u64);
+        if !events.is_empty() {
+            return WaitOutcome::Ready(events);
+        }
+        if deadline_ns <= now_ns {
+            self.stats.timeouts.inc();
+            let mut shared = self.shared.borrow_mut();
+            shared.deadlines.retain(|(t, _)| *t != tid);
+            return WaitOutcome::TimedOut;
+        }
+        self.stats.parks.inc();
+        let mut shared = self.shared.borrow_mut();
+        shared.park_started = Some(std::time::Instant::now());
+        shared.waiters.wait(tid);
+        match shared.deadlines.iter_mut().find(|(t, _)| *t == tid) {
+            Some(slot) => slot.1 = deadline_ns,
+            None => shared.deadlines.push((tid, deadline_ns)),
+        }
+        WaitOutcome::Parked
+    }
+
+    /// Expires timed parks: every thread whose deadline is ≤ `now_ns`
+    /// leaves the wait queue and joins the wakeup list (drained by
+    /// [`take_wakeups`](Self::take_wakeups)). Returns how many expired.
+    pub fn fire_deadlines(&mut self, now_ns: u64) -> usize {
+        let mut shared = self.shared.borrow_mut();
+        let mut fired = 0;
+        let mut i = 0;
+        while i < shared.deadlines.len() {
+            if shared.deadlines[i].1 <= now_ns {
+                let (tid, _) = shared.deadlines.swap_remove(i);
+                if shared.waiters.remove(tid) {
+                    shared.wakeups.push(tid);
+                    fired += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        fired
+    }
+
+    /// Earliest deadline among parked timed waits — the instant a
+    /// timer wheel should arm its wakeup for this queue.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.shared.borrow().deadlines.iter().map(|&(_, d)| d).min()
     }
 
     /// Threads released by readiness edges since the last call; hand
@@ -441,7 +525,7 @@ mod tests {
         assert_eq!(q.waiter_count(), 0);
         match q.wait(8, tid) {
             WaitOutcome::Ready(ev) => assert_eq!(ev[0].token, 1),
-            WaitOutcome::Parked => panic!("should be ready"),
+            other => panic!("should be ready, got {other:?}"),
         }
     }
 
@@ -491,7 +575,7 @@ mod tests {
         assert_eq!(q.take_wakeups(), vec![tid]);
         match q.wait(8, tid) {
             WaitOutcome::Ready(ev) => assert_eq!(ev[0].token, 2),
-            WaitOutcome::Parked => panic!("sibling token must deliver"),
+            other => panic!("sibling token must deliver, got {other:?}"),
         }
         // Removing the last token drops the subscription for real.
         q.ctl_del(2).unwrap();
@@ -499,6 +583,67 @@ mod tests {
         assert_eq!(q.wait(8, tid), WaitOutcome::Parked);
         s.raise(EventMask::IN);
         assert!(q.take_wakeups().is_empty(), "no interest, no wakeup");
+    }
+
+    #[test]
+    fn timed_wait_expires_via_fire_deadlines() {
+        let mut q = EventQueue::new();
+        let s = ReadySource::new();
+        q.ctl_add(1, &s, EventMask::IN).unwrap();
+        let tid = ThreadId(9);
+        // Nothing ready, future deadline: parks and records it.
+        assert_eq!(q.wait_until(8, tid, 1_000, 5_000), WaitOutcome::Parked);
+        assert_eq!(q.waiter_count(), 1);
+        assert_eq!(q.next_deadline(), Some(5_000));
+        // Clock short of the deadline: nothing fires.
+        assert_eq!(q.fire_deadlines(4_999), 0);
+        assert!(q.take_wakeups().is_empty());
+        // Deadline reached: the parked thread becomes a wakeup, and
+        // its rerun wait observes the timeout.
+        assert_eq!(q.fire_deadlines(5_000), 1);
+        assert_eq!(q.take_wakeups(), vec![tid]);
+        assert_eq!(q.waiter_count(), 0);
+        assert_eq!(q.next_deadline(), None);
+        assert_eq!(q.wait_until(8, tid, 5_000, 5_000), WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn timed_wait_prefers_readiness_over_timeout() {
+        let mut q = EventQueue::new();
+        let s = ReadySource::new();
+        q.ctl_add(1, &s, EventMask::IN).unwrap();
+        let tid = ThreadId(4);
+        assert_eq!(q.wait_until(8, tid, 0, 1_000), WaitOutcome::Parked);
+        // The edge wins the race: wakes the thread and retires its
+        // deadline so a later clock tick cannot double-wake it.
+        s.raise(EventMask::IN);
+        assert_eq!(q.take_wakeups(), vec![tid]);
+        assert_eq!(q.next_deadline(), None);
+        assert_eq!(q.fire_deadlines(1_000), 0);
+        match q.wait_until(8, tid, 500, 1_000) {
+            WaitOutcome::Ready(ev) => assert_eq!(ev[0].token, 1),
+            other => panic!("expected events, got {other:?}"),
+        }
+        // An expired deadline with events ready still delivers them.
+        match q.wait_until(8, tid, 2_000, 1_000) {
+            WaitOutcome::Ready(ev) => assert_eq!(ev[0].token, 1),
+            other => panic!("expected events, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untimed_wait_clears_stale_deadline() {
+        let mut q = EventQueue::new();
+        let s = ReadySource::new();
+        q.ctl_add(1, &s, EventMask::IN).unwrap();
+        let tid = ThreadId(2);
+        assert_eq!(q.wait_until(8, tid, 0, 700), WaitOutcome::Parked);
+        // Rewaiting without a timeout supersedes the old deadline: a
+        // later clock tick must not wake this park.
+        assert_eq!(q.wait(8, tid), WaitOutcome::Parked);
+        assert_eq!(q.next_deadline(), None);
+        assert_eq!(q.fire_deadlines(u64::MAX), 0);
+        assert_eq!(q.waiter_count(), 1, "still parked, untimed");
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Open-addressing TCP flow table: `(local port, remote endpoint)` →
+//! connection slot, flat and cache-friendly at any connection count.
+//!
+//! The demux used to be a `HashMap<(u16, Endpoint), usize>` — fine for
+//! benchmark traffic, but SipHash over a 3-field tuple key plus the
+//! std map's bucket indirection is measurable per packet, and the
+//! map's memory layout scatters at 100 K–1 M flows. This table packs
+//! the whole flow identity into one `u64` key:
+//!
+//! ```text
+//! bits 63..48   local port
+//! bits 47..16   remote IPv4 address
+//! bits 15..0    remote port
+//! ```
+//!
+//! and probes linearly over parallel `keys`/`vals`/`ctrl` arrays — one
+//! multiply-xor hash, one cache line per probe step in the common
+//! case. Deletions leave tombstones so probe chains stay intact;
+//! growth (at 7/8 occupancy, counting tombstones) rehashes live
+//! entries only, clearing the tombstone debt. Lookup, insert and
+//! remove are O(1) amortized and allocation-free outside growth.
+
+use crate::Endpoint;
+
+/// Control byte: nothing ever stored here.
+const EMPTY: u8 = 0;
+/// Control byte: live entry.
+const FULL: u8 = 1;
+/// Control byte: deleted entry (probe chains continue through it).
+const TOMB: u8 = 2;
+
+/// Packs a flow identity into the table's `u64` key form.
+#[inline]
+pub fn flow_key(local_port: u16, remote: Endpoint) -> u64 {
+    ((local_port as u64) << 48) | ((remote.addr.0 as u64) << 16) | remote.port as u64
+}
+
+/// Finalizer of splitmix64: full-avalanche mixing of the packed key,
+/// so flows differing only in a port land in unrelated buckets.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The open-addressing flow table.
+#[derive(Debug)]
+pub struct FlowTable {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    ctrl: Vec<u8>,
+    /// Live entries.
+    len: usize,
+    /// Live entries + tombstones (drives the growth trigger: probe
+    /// chains lengthen with tombstones even when `len` is small).
+    used: usize,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowTable {
+    /// Minimum bucket count (power of two, so masking replaces modulo).
+    const MIN_CAP: usize = 64;
+
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable {
+            keys: vec![0; Self::MIN_CAP],
+            vals: vec![0; Self::MIN_CAP],
+            ctrl: vec![EMPTY; Self::MIN_CAP],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Live flow count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no flows are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current bucket count (diagnostics; growth is power-of-two).
+    pub fn capacity(&self) -> usize {
+        self.ctrl.len()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.ctrl.len() - 1
+    }
+
+    /// Looks up the slot stored under `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.mask();
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            match self.ctrl[i] {
+                EMPTY => return None,
+                FULL if self.keys[i] == key => return Some(self.vals[i]),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts `key → val`, replacing (and returning) any previous
+    /// value stored under the key.
+    pub fn insert(&mut self, key: u64, val: u32) -> Option<u32> {
+        if (self.used + 1) * 8 >= self.ctrl.len() * 7 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = (mix(key) as usize) & mask;
+        // First tombstone seen on the probe path: if the key turns out
+        // absent, the new entry backfills it, shortening future chains.
+        let mut tomb: Option<usize> = None;
+        loop {
+            match self.ctrl[i] {
+                EMPTY => {
+                    let at = tomb.unwrap_or(i);
+                    if tomb.is_none() {
+                        self.used += 1;
+                    }
+                    self.ctrl[at] = FULL;
+                    self.keys[at] = key;
+                    self.vals[at] = val;
+                    self.len += 1;
+                    return None;
+                }
+                FULL if self.keys[i] == key => {
+                    let old = self.vals[i];
+                    self.vals[i] = val;
+                    return Some(old);
+                }
+                TOMB => {
+                    tomb.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value. Leaves a tombstone so other
+    /// flows' probe chains keep resolving.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        let mask = self.mask();
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            match self.ctrl[i] {
+                EMPTY => return None,
+                FULL if self.keys[i] == key => {
+                    self.ctrl[i] = TOMB;
+                    self.len -= 1;
+                    return Some(self.vals[i]);
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Doubles the bucket array (or just rehashes at the same size
+    /// when tombstones, not live entries, tripped the trigger) and
+    /// reinserts live entries. The one allocating path.
+    fn grow(&mut self) {
+        let new_cap = if self.len * 4 >= self.ctrl.len() {
+            self.ctrl.len() * 2
+        } else {
+            self.ctrl.len() // Tombstone debt only: rehash in place.
+        };
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![EMPTY; new_cap]);
+        self.len = 0;
+        self.used = 0;
+        let mask = new_cap - 1;
+        for (i, &c) in old_ctrl.iter().enumerate() {
+            if c != FULL {
+                continue;
+            }
+            let (key, val) = (old_keys[i], old_vals[i]);
+            let mut j = (mix(key) as usize) & mask;
+            while self.ctrl[j] == FULL {
+                j = (j + 1) & mask;
+            }
+            self.ctrl[j] = FULL;
+            self.keys[j] = key;
+            self.vals[j] = val;
+            self.len += 1;
+            self.used += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ipv4Addr;
+    use std::collections::HashMap;
+
+    fn ep(ip: u32, port: u16) -> Endpoint {
+        Endpoint::new(Ipv4Addr(ip), port)
+    }
+
+    #[test]
+    fn flow_key_packs_all_fields() {
+        let k = flow_key(0x1234, ep(0xdead_beef, 0x5678));
+        assert_eq!(k >> 48, 0x1234);
+        assert_eq!((k >> 16) & 0xffff_ffff, 0xdead_beef);
+        assert_eq!(k & 0xffff, 0x5678);
+        // Distinct fields, distinct keys.
+        assert_ne!(k, flow_key(0x1235, ep(0xdead_beef, 0x5678)));
+        assert_ne!(k, flow_key(0x1234, ep(0xdead_beee, 0x5678)));
+        assert_ne!(k, flow_key(0x1234, ep(0xdead_beef, 0x5679)));
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = FlowTable::new();
+        let k = flow_key(80, ep(0x0a00_0002, 49152));
+        assert_eq!(t.get(k), None);
+        assert_eq!(t.insert(k, 7), None);
+        assert_eq!(t.get(k), Some(7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(k, 9), Some(7), "replace returns the old value");
+        assert_eq!(t.get(k), Some(9));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(k), Some(9));
+        assert_eq!(t.get(k), None);
+        assert!(t.is_empty());
+        assert_eq!(t.remove(k), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_and_keeps_every_entry() {
+        let mut t = FlowTable::new();
+        // Far beyond MIN_CAP: multiple growth steps.
+        for i in 0..10_000u32 {
+            let k = flow_key((i % 7) as u16 + 80, ep(0x0a00_0000 + i, 40000 + (i % 1000) as u16));
+            t.insert(k, i);
+        }
+        for i in 0..10_000u32 {
+            let k = flow_key((i % 7) as u16 + 80, ep(0x0a00_0000 + i, 40000 + (i % 1000) as u16));
+            assert_eq!(t.get(k), Some(i));
+        }
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    fn tombstones_keep_probe_chains_alive() {
+        let mut t = FlowTable::new();
+        // Insert a batch, delete every other one, and verify survivors
+        // still resolve (deletions must not cut probe chains short).
+        let keys: Vec<u64> = (0..500u32)
+            .map(|i| flow_key(80, ep(i, 1000)))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u32);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(t.remove(k), Some(i as u32));
+            }
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let want = if i % 2 == 0 { None } else { Some(i as u32) };
+            assert_eq!(t.get(k), want);
+        }
+    }
+
+    #[test]
+    fn churn_against_hashmap_reference() {
+        // Deterministic pseudo-random insert/remove/lookup churn,
+        // mirrored into a std HashMap; the two must agree at every
+        // step. Exercises tombstone backfill and same-size rehash.
+        let mut t = FlowTable::new();
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut step = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for i in 0..50_000u32 {
+            let r = step();
+            let k = flow_key((r % 1024) as u16, ep((r >> 10) as u32 % 4096, 9000));
+            match r % 3 {
+                0 | 1 => {
+                    assert_eq!(t.insert(k, i), reference.insert(k, i), "insert {i}");
+                }
+                _ => {
+                    assert_eq!(t.remove(k), reference.remove(&k), "remove {i}");
+                }
+            }
+            if i % 97 == 0 {
+                assert_eq!(t.get(k), reference.get(&k).copied());
+                assert_eq!(t.len(), reference.len());
+            }
+        }
+        for (&k, &v) in reference.iter() {
+            assert_eq!(t.get(k), Some(v));
+        }
+    }
+}

@@ -108,9 +108,11 @@ use ukplat::{Errno, Result};
 
 use crate::arp::{ArpCache, ArpOp, ArpPacket};
 use crate::eth::{EthHeader, EtherType, ETH_HDR_LEN};
+use crate::flow::{flow_key, FlowTable};
 use crate::icmp::{self, ICMP_ECHO_LEN};
 use crate::ipv4::{IpProto, Ipv4Header, IPV4_HDR_LEN};
 use crate::tcp::{Tcb, TcpFlags, TcpHeader, TcpState, MSS, TCP_HDR_LEN};
+use crate::timer::{TimerToken, TimerWheel};
 use crate::udp::{UdpHeader, UDP_HDR_LEN};
 use crate::{Endpoint, Ipv4Addr, Mac};
 
@@ -162,6 +164,83 @@ const ARP_REQUEST_RETRY_PUMPS: u64 = 8;
 /// to the same few peers does one ARP-table lookup per peer, not per
 /// frame.
 const ARP_MEMO_SIZE: usize = 8;
+
+/// Listener handles carry this tag. It sits far above both the UDP
+/// handle range (a small counter, < 2³²) and connection handles
+/// (`generation << 32 | slot`, generation ≤ 0xffff, so < 2⁴⁸) — the
+/// three handle spaces can never collide, and a garbage handle decodes
+/// to generation 0, which no live connection ever carries.
+const LISTENER_TAG: usize = 1 << 48;
+
+/// TCP maximum segment lifetime against the virtual clock (TIME_WAIT
+/// lingers 2×MSL before its port recycles). Deliberately compressed
+/// versus RFC 793's 2 minutes — with a virtual clock the constant is
+/// policy, and tests/benches drive hours of it in milliseconds.
+pub const TCP_MSL_NS: u64 = 500_000_000;
+
+/// A connection stuck in the handshake (SYN_SENT / SYN_RECEIVED) is
+/// reaped after this long: generous against SYN-retransmit backoff,
+/// finite against a peer that vanished mid-handshake.
+pub const HANDSHAKE_TIMEOUT_NS: u64 = 6_000_000_000;
+
+/// FIN_WAIT_2 orphan reaping: the peer acked our FIN but never sent
+/// its own (Linux's `tcp_fin_timeout` shape).
+pub const FINWAIT2_TIMEOUT_NS: u64 = 3_000_000_000;
+
+/// Keepalive: idle time on an established connection before the first
+/// probe is sent.
+pub const KEEPALIVE_IDLE_NS: u64 = 5_000_000_000;
+
+/// Keepalive: spacing between unanswered probes.
+pub const KEEPALIVE_INTVL_NS: u64 = 1_000_000_000;
+
+/// Keepalive: unanswered probes before the peer is declared dead and
+/// the connection torn down.
+pub const KEEPALIVE_PROBES: u32 = 3;
+
+/// A fully Closed connection lingers this long before its slot is
+/// reclaimed (and keeps being re-checked on the same cadence while
+/// the application still has readable data to drain).
+pub const CLOSED_LINGER_NS: u64 = 10_000_000;
+
+// Timer-key kinds (bits 63..48 of a wheel key; the low 48 bits carry
+// `generation << 32 | slot`, validated against the slab at dispatch so
+// a timer armed by a dead incarnation fires into nothing).
+const TK_RTO: u64 = 0;
+const TK_DELACK: u64 = 1;
+const TK_LIFE: u64 = 2;
+
+// Reap-reason codes carried by the `tcp_conn_reaped` tracepoint.
+const REAP_CLOSED: u64 = 0;
+const REAP_HANDSHAKE: u64 = 1;
+const REAP_KEEPALIVE: u64 = 2;
+const REAP_FINWAIT2: u64 = 3;
+const REAP_TIMEWAIT: u64 = 4;
+const REAP_SYN_EVICTED: u64 = 5;
+
+/// Packs a connection handle from its slab coordinates.
+fn conn_handle(slot: u32, gen: u16) -> usize {
+    ((gen as usize) << 32) | slot as usize
+}
+
+/// Splits a handle back into `(slot, generation)` — `None` for
+/// listener, UDP and garbage handles (generation 0 is never issued).
+fn conn_parts(h: usize) -> Option<(u32, u16)> {
+    if h >> 48 != 0 {
+        return None;
+    }
+    let gen = (h >> 32) as u16;
+    if gen == 0 {
+        return None;
+    }
+    Some(((h & 0xffff_ffff) as u32, gen))
+}
+
+/// Packs a timer-wheel key: kind, then the same generation-tagged slab
+/// coordinates a handle carries.
+fn timer_key(kind: u64, slot: u32, gen: u16) -> u64 {
+    (kind << 48) | ((gen as u64) << 32) | slot as u64
+}
 
 // All three header layers must fit the reserved headroom.
 const _: () = assert!(TX_HEADROOM >= ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN);
@@ -219,6 +298,32 @@ pub struct StackConfig {
     /// the peer-window-only ablation — loss recovery (RTO, fast
     /// retransmit, reassembly) works either way.
     pub congestion_control: bool,
+    /// Whether ACKs for received data may be deferred onto the timer
+    /// wheel (fire after ~40 ms or every second full segment, the
+    /// RFC 1122 shape) instead of leaving with the next flush.
+    /// Effective only with a virtual clock installed; delivery is
+    /// property-tested byte-identical with the switch on and off.
+    pub delayed_ack: bool,
+    /// Whether idle established connections probe the peer
+    /// (keepalive) and tear down after unanswered probes — dead peers
+    /// stop pinning TCBs and pooled buffers. Effective only with a
+    /// virtual clock installed.
+    pub keepalive: bool,
+    /// Per-listener bound on both the half-open SYN queue and the
+    /// accept backlog. When the SYN queue is full, the **oldest
+    /// half-open** connection is evicted to admit a new SYN; when the
+    /// accept backlog is full, handshake-completing ACKs are dropped
+    /// (the client retransmits, the handshake timer bounds the
+    /// half-open lifetime).
+    pub listen_backlog: usize,
+    /// Whether new TCBs start with empty send/receive/retransmit
+    /// queues that grow on demand, instead of the steady-state
+    /// preallocation. For connection-scale workloads (tens of
+    /// thousands of mostly-idle connections) this shrinks an idle
+    /// connection to its struct size; active connections grow to the
+    /// same steady-state capacity after their first bursts, so the
+    /// zero-alloc hot-path property still holds once warm.
+    pub lean_tcbs: bool,
 }
 
 impl StackConfig {
@@ -237,6 +342,10 @@ impl StackConfig {
             gro: true,
             mss: MSS,
             congestion_control: true,
+            delayed_ack: false,
+            keepalive: false,
+            listen_backlog: 64,
+            lean_tcbs: false,
         }
     }
 }
@@ -254,9 +363,52 @@ struct UdpSocket {
     rx_total: u64,
 }
 
+/// Which lifecycle timer (one per connection, multiplexed through
+/// `TK_LIFE`) is armed for a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LifeKind {
+    /// No lifecycle timer.
+    None,
+    /// Handshake timeout (SYN_SENT / SYN_RECEIVED reclamation).
+    Handshake,
+    /// Keepalive probing on an idle established connection.
+    Keepalive,
+    /// FIN_WAIT_2 orphan reaping.
+    FinWait2,
+    /// 2MSL TIME_WAIT expiry (port recycling).
+    TimeWait,
+    /// Closed-slot reclamation (short linger for EPOLLHUP delivery).
+    Reap,
+}
+
 struct TcpConn {
     tcb: Tcb,
     remote: Endpoint,
+    local_port: u16,
+    /// Wheel mirror of the TCB's RTO/persist deadline.
+    rto_tok: TimerToken,
+    rto_armed_ns: Option<u64>,
+    /// Wheel mirror of the TCB's delayed-ACK deadline.
+    delack_tok: TimerToken,
+    delack_armed_ns: Option<u64>,
+    /// The single lifecycle timer (kind says which one is armed).
+    life_tok: TimerToken,
+    life_kind: LifeKind,
+    /// Last segment activity (keepalive idle reference).
+    last_activity_ns: u64,
+    /// Unanswered keepalive probes since the last activity.
+    ka_probes: u32,
+    /// Whether this connection sits on the stack's dirty list (its
+    /// output and timers get reconciled by the next flush).
+    dirty: bool,
+}
+
+/// One slab slot: the generation tag survives the connection, so a
+/// handle minted for a reaped incarnation fails the lookup instead of
+/// aliasing the slot's next occupant.
+struct ConnSlot {
+    gen: u16,
+    conn: Option<TcpConn>,
 }
 
 /// Packets parked for one unresolved next-hop: IP-level packets with
@@ -290,7 +442,10 @@ struct GroCont {
 }
 
 struct TcpListener {
-    port: u16,
+    /// Half-open (SYN_RECEIVED) connections, oldest first — the
+    /// bounded SYN queue. Overflow evicts the front.
+    syn_queue: VecDeque<u32>,
+    /// Fully established connections awaiting `tcp_accept`.
     backlog: VecDeque<SocketHandle>,
     /// Monotonic count of connections ever queued (readiness progress).
     accepted_total: u64,
@@ -360,6 +515,12 @@ pub mod tp {
         tcp_retransmit(conn, count),
         tcp_fast_retransmit(conn, count),
         tcp_ooo_queue(conn, count),
+        // TCP connection lifecycle (timer wheel).
+        tcp_rst_tx(dst_port, seq),
+        tcp_time_wait(conn, port),
+        tcp_conn_reaped(conn, reason),
+        tcp_syn_evicted(port, slot),
+        tcp_keepalive_probe(conn, probes),
         // Other demux outcomes.
         udp_rx(dst_port, bytes),
         icmp_echo_rx(ident, seq),
@@ -407,6 +568,16 @@ struct StackCounters {
     /// Last observed congestion window (bytes; most recently polled
     /// connection).
     tcp_cwnd: ukstats::Gauge,
+    /// Connections that entered TIME_WAIT.
+    tcp_timewait: ukstats::Counter,
+    /// Connections reaped by keepalive dead-peer detection.
+    tcp_keepalive_drops: ukstats::Counter,
+    /// Listener overflow events: half-open connections evicted from a
+    /// full SYN queue plus handshake-completing ACKs dropped against a
+    /// full accept backlog.
+    tcp_syn_overflow: ukstats::Counter,
+    /// RST segments generated for segments that missed the demux.
+    tcp_rst_tx: ukstats::Counter,
     arp_parked: ukstats::Counter,
     arp_evicted: ukstats::Counter,
     arp_requests_tx: ukstats::Counter,
@@ -446,6 +617,10 @@ impl StackCounters {
             tcp_fast_retransmits: ukstats::Counter::register("netstack.tcp.fast_retransmits"),
             tcp_ooo_queued: ukstats::Counter::register("netstack.tcp.ooo_queued"),
             tcp_cwnd: ukstats::Gauge::register("netstack.tcp.cwnd"),
+            tcp_timewait: ukstats::Counter::register("netstack.tcp.timewait"),
+            tcp_keepalive_drops: ukstats::Counter::register("netstack.tcp.keepalive_drops"),
+            tcp_syn_overflow: ukstats::Counter::register("netstack.tcp.syn_overflow"),
+            tcp_rst_tx: ukstats::Counter::register("netstack.tcp.rst_tx"),
             arp_parked: ukstats::Counter::register("netstack.arp_parked"),
             arp_evicted: ukstats::Counter::register("netstack.arp_evicted"),
             arp_requests_tx: ukstats::Counter::register("netstack.arp_requests_tx"),
@@ -465,9 +640,29 @@ pub struct NetStack {
     pool: Option<NetbufPool>,
     udp_socks: HashMap<usize, UdpSocket>,
     udp_ports: HashMap<u16, usize>,
-    conns: HashMap<usize, TcpConn>,
-    /// (local port, remote endpoint) → conn handle.
-    tcp_demux: HashMap<(u16, Endpoint), usize>,
+    /// Connection slab: TCBs live inline in slots; a slot's generation
+    /// tag is baked into the connection handle, so a stale handle (a
+    /// reaped connection whose slot was reused) fails the lookup
+    /// instead of reaching the wrong TCB.
+    conn_slots: Vec<ConnSlot>,
+    /// Free slots awaiting reuse (LIFO keeps the working set warm).
+    conn_free: Vec<u32>,
+    /// Open-addressing demux: packed `(local port, remote)` flow key →
+    /// slab slot. Replaces the old `HashMap<(u16, Endpoint), usize>` —
+    /// lookup cost and memory stay flat at 100 K–1 M flows.
+    flow: FlowTable,
+    /// Hierarchical timer wheel driving every connection timer —
+    /// RTO/persist, delayed ACK and the lifecycle set (handshake
+    /// timeout, keepalive, FIN_WAIT_2 reaping, 2MSL TIME_WAIT) — off
+    /// the virtual clock, O(1) per arm/cancel/advance.
+    wheel: TimerWheel,
+    /// Connections touched since the last flush (slot list,
+    /// deduplicated by the per-connection `dirty` flag): the output
+    /// and timer-sync passes walk this instead of every connection, so
+    /// 100 K idle connections cost nothing per pump.
+    dirty: Vec<u32>,
+    /// Fired-timer scratch for `tcp_timer_tick` (reused).
+    fired_scratch: Vec<(u64, u64)>,
     listeners: HashMap<u16, TcpListener>,
     next_handle: usize,
     next_ephemeral: u16,
@@ -540,7 +735,7 @@ impl std::fmt::Debug for NetStack {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetStack")
             .field("ip", &self.config.ip)
-            .field("conns", &self.conns.len())
+            .field("conns", &(self.conn_slots.len() - self.conn_free.len()))
             .field("stats", &self.stats)
             .finish()
     }
@@ -559,6 +754,7 @@ impl NetStack {
         // over.
         const GSO_HARD_MAX: usize = 65_535 - IPV4_HDR_LEN - TCP_HDR_LEN;
         config.gso_max_size = config.gso_max_size.clamp(config.mss, GSO_HARD_MAX);
+        config.listen_backlog = config.listen_backlog.clamp(1, 4096);
         let info = dev.info();
         let csum_offload = config.tx_csum_offload && info.tx_csum_offload;
         // TSO requires checksum offload (the cut frames' checksums are
@@ -593,8 +789,12 @@ impl NetStack {
             pool,
             udp_socks: HashMap::new(),
             udp_ports: HashMap::new(),
-            conns: HashMap::new(),
-            tcp_demux: HashMap::new(),
+            conn_slots: Vec::new(),
+            conn_free: Vec::new(),
+            flow: FlowTable::new(),
+            wheel: TimerWheel::new(),
+            dirty: Vec::new(),
+            fired_scratch: Vec::new(),
             listeners: HashMap::new(),
             next_handle: 1,
             next_ephemeral: 49152,
@@ -707,15 +907,140 @@ impl NetStack {
         self.pool.as_ref().map(|p| p.available())
     }
 
+    /// Allocates a UDP socket handle (plain counter; connection and
+    /// listener handles live in disjoint ranges — see
+    /// [`LISTENER_TAG`]).
     fn handle(&mut self) -> usize {
-        // Bit 16 encodes listener handles; plain handles must never
-        // carry it, so hop over that range when the counter reaches it.
-        if self.next_handle & 0x1_0000 != 0 {
-            self.next_handle += 0x1_0000;
-        }
         let h = self.next_handle;
         self.next_handle += 1;
         h
+    }
+
+    /// Current virtual time, when a clock is installed.
+    fn now_ns(&self) -> Option<u64> {
+        self.clock.as_ref().map(|c| c.cycles_to_ns(c.now_cycles()))
+    }
+
+    /// Resolves a generation-tagged handle to its live connection.
+    fn conn(&self, h: usize) -> Option<&TcpConn> {
+        let (slot, gen) = conn_parts(h)?;
+        let cs = self.conn_slots.get(slot as usize)?;
+        if cs.gen != gen {
+            return None;
+        }
+        cs.conn.as_ref()
+    }
+
+    /// Mutable form of [`conn`](Self::conn).
+    fn conn_mut(&mut self, h: usize) -> Option<&mut TcpConn> {
+        let (slot, gen) = conn_parts(h)?;
+        let cs = self.conn_slots.get_mut(slot as usize)?;
+        if cs.gen != gen {
+            return None;
+        }
+        cs.conn.as_mut()
+    }
+
+    /// Live TCP connections in the slab (any state, TIME_WAIT
+    /// included) — diagnostics for tests and reports.
+    pub fn tcp_conn_count(&self) -> usize {
+        self.conn_slots.len() - self.conn_free.len()
+    }
+
+    /// Timers currently armed on the wheel (diagnostics).
+    pub fn armed_timer_count(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Puts a connection on the dirty list (idempotent): the next
+    /// flush polls its output and reconciles its wheel timers.
+    fn mark_dirty_handle(&mut self, h: usize) {
+        let Some((slot, gen)) = conn_parts(h) else {
+            return;
+        };
+        if let Some(cs) = self.conn_slots.get_mut(slot as usize) {
+            if cs.gen == gen {
+                if let Some(c) = cs.conn.as_mut() {
+                    if !c.dirty {
+                        c.dirty = true;
+                        self.dirty.push(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs a connection into the slab + flow table, bumping the
+    /// slot's generation, and marks it dirty (its first output — SYN
+    /// or SYN-ACK — leaves with the next flush).
+    fn alloc_conn(&mut self, tcb: Tcb, remote: Endpoint, local_port: u16, now: u64) -> usize {
+        let slot = match self.conn_free.pop() {
+            Some(s) => s,
+            None => {
+                self.conn_slots.push(ConnSlot { gen: 0, conn: None });
+                (self.conn_slots.len() - 1) as u32
+            }
+        };
+        let cs = &mut self.conn_slots[slot as usize];
+        cs.gen = if cs.gen == u16::MAX { 1 } else { cs.gen + 1 };
+        cs.conn = Some(TcpConn {
+            tcb,
+            remote,
+            local_port,
+            rto_tok: TimerToken::NONE,
+            rto_armed_ns: None,
+            delack_tok: TimerToken::NONE,
+            delack_armed_ns: None,
+            life_tok: TimerToken::NONE,
+            life_kind: LifeKind::None,
+            last_activity_ns: now,
+            ka_probes: 0,
+            dirty: false,
+        });
+        let gen = cs.gen;
+        self.flow.insert(flow_key(local_port, remote), slot);
+        let h = conn_handle(slot, gen);
+        self.mark_dirty_handle(h);
+        h
+    }
+
+    /// Tears a connection down completely: cancels its wheel timers,
+    /// removes its flow entry, scrubs it from its listener's queues,
+    /// returns **every** buffer it holds (send, receive, reassembly,
+    /// staged control) to the pool, frees the slab slot and publishes
+    /// the final `EPOLLHUP`. In-flight TX frames tagged with the old
+    /// generation fall through to the pool on return — nothing leaks.
+    // `_reason` feeds only the `tcp_conn_reaped` tracepoint (unused
+    // when tracing is compiled out, hence the underscore).
+    fn reap_conn_slot(&mut self, slot: u32, _reason: u64) {
+        let Some(cs) = self.conn_slots.get_mut(slot as usize) else {
+            return;
+        };
+        let gen = cs.gen;
+        let Some(mut c) = cs.conn.take() else {
+            return;
+        };
+        let h = conn_handle(slot, gen);
+        self.wheel.cancel(c.rto_tok);
+        self.wheel.cancel(c.delack_tok);
+        self.wheel.cancel(c.life_tok);
+        self.flow.remove(flow_key(c.local_port, c.remote));
+        if let Some(l) = self.listeners.get_mut(&c.local_port) {
+            l.syn_queue.retain(|&s| s != slot);
+            l.backlog.retain(|s| s.0 != h);
+        }
+        if self.gro_cont.as_ref().is_some_and(|g| g.conn == h) {
+            self.gro_cont = None;
+        }
+        let mut pool = self.pool.take();
+        c.tcb.drain_all_buffers(|mut nb| match pool.as_mut() {
+            Some(p) => p.give_back_chain(nb),
+            None => while nb.pop_frag().is_some() {},
+        });
+        self.pool = pool;
+        self.conn_free.push(slot);
+        uktrace::trace!(self.trace, tp::tcp_conn_reaped, h, _reason);
+        self.sync_one(h);
     }
 
     // --- Readiness (ukevent integration) ------------------------------
@@ -730,7 +1055,7 @@ impl NetStack {
     ///   the send buffer has room, `EPOLLHUP` when fully closed;
     /// - unknown/closed handles: `EPOLLHUP`.
     pub fn readiness(&self, sock: SocketHandle) -> EventMask {
-        if sock.0 & 0x1_0000 != 0 {
+        if sock.0 & LISTENER_TAG != 0 {
             let port = (sock.0 & 0xffff) as u16;
             return match self.listeners.get(&port) {
                 Some(l) if !l.backlog.is_empty() => EventMask::IN,
@@ -745,7 +1070,7 @@ impl NetStack {
             }
             return m;
         }
-        if let Some(c) = self.conns.get(&sock.0) {
+        if let Some(c) = self.conn(sock.0) {
             let mut m = EventMask::EMPTY;
             if c.tcb.readable() > 0 {
                 m |= EventMask::IN;
@@ -788,7 +1113,7 @@ impl NetStack {
     /// from *pending* input, which is what re-triggers `EPOLLET`
     /// watchers while the readable level is already high.
     fn rx_progress(&self, sock: SocketHandle) -> u64 {
-        if sock.0 & 0x1_0000 != 0 {
+        if sock.0 & LISTENER_TAG != 0 {
             return self
                 .listeners
                 .get(&((sock.0 & 0xffff) as u16))
@@ -798,10 +1123,7 @@ impl NetStack {
         if let Some(u) = self.udp_socks.get(&sock.0) {
             return u.rx_total;
         }
-        self.conns
-            .get(&sock.0)
-            .map(|c| c.tcb.rx_total())
-            .unwrap_or(0)
+        self.conn(sock.0).map(|c| c.tcb.rx_total()).unwrap_or(0)
     }
 
     /// Number of live readiness cells the stack is publishing to (for
@@ -814,13 +1136,13 @@ impl NetStack {
     /// listener/UDP socket, or a fully closed connection with no
     /// residual readable data. Its readiness can never change again.
     fn socket_defunct(&self, sock: SocketHandle) -> bool {
-        if sock.0 & 0x1_0000 != 0 {
+        if sock.0 & LISTENER_TAG != 0 {
             return !self.listeners.contains_key(&((sock.0 & 0xffff) as u16));
         }
         if self.udp_socks.contains_key(&sock.0) {
             return false;
         }
-        match self.conns.get(&sock.0) {
+        match self.conn(sock.0) {
             Some(c) => c.tcb.state == TcpState::Closed && c.tcb.readable() == 0,
             None => true,
         }
@@ -1076,16 +1398,21 @@ impl NetStack {
         self.listeners.insert(
             port,
             TcpListener {
-                port,
-                backlog: VecDeque::new(),
+                syn_queue: VecDeque::with_capacity(self.config.listen_backlog),
+                backlog: VecDeque::with_capacity(self.config.listen_backlog),
                 accepted_total: 0,
             },
         );
-        Ok(SocketHandle(port as usize | 0x1_0000))
+        Ok(SocketHandle(port as usize | LISTENER_TAG))
     }
 
-    /// Accepts a pending connection, if any.
+    /// Accepts a pending connection, if any. Only fully established
+    /// connections ever reach the accept backlog — half-open ones wait
+    /// in the listener's SYN queue until their handshake completes.
     pub fn tcp_accept(&mut self, listener: SocketHandle) -> Option<SocketHandle> {
+        if listener.0 & LISTENER_TAG == 0 {
+            return None;
+        }
         let port = (listener.0 & 0xffff) as u16;
         let r = self.listeners.get_mut(&port)?.backlog.pop_front();
         self.sync_one(listener.0);
@@ -1093,23 +1420,43 @@ impl NetStack {
     }
 
     /// Starts an active connection; completes after network pumping.
+    ///
+    /// Ephemeral port selection scans for a port whose `(port, peer)`
+    /// flow key is free: a flow lingering in TIME_WAIT blocks only its
+    /// exact 4-tuple, and its 2MSL reap recycles the port.
     pub fn tcp_connect(&mut self, to: Endpoint) -> Result<SocketHandle> {
-        let local_port = self.next_ephemeral;
-        self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(49152);
+        let mut port = self.next_ephemeral;
+        let mut chosen = None;
+        for _ in 0..=(65535u32 - 49152) {
+            if self.flow.get(flow_key(port, to)).is_none() {
+                chosen = Some(port);
+                break;
+            }
+            port = if port == 65535 { 49152 } else { port + 1 };
+        }
+        let local_port = chosen.ok_or(Errno::AddrInUse)?;
+        self.next_ephemeral = if local_port == 65535 { 49152 } else { local_port + 1 };
         self.iss = self.iss.wrapping_add(64_000);
         let mut tcb = Tcb::connect(local_port, to.port, self.iss);
+        if self.config.lean_tcbs {
+            tcb.shrink_queues();
+        }
         tcb.set_mss(self.config.mss);
         tcb.set_congestion_control(self.config.congestion_control);
-        let h = self.handle();
-        self.conns.insert(h, TcpConn { tcb, remote: to });
-        self.tcp_demux.insert((local_port, to), h);
+        tcb.set_lifecycle_enabled(self.clock.is_some());
+        tcb.set_delayed_ack(self.config.delayed_ack && self.clock.is_some());
+        let now = self.now_ns();
+        if let Some(n) = now {
+            tcb.set_now(n);
+        }
+        let h = self.alloc_conn(tcb, to, local_port, now.unwrap_or(0));
         self.flush_tcp()?;
         Ok(SocketHandle(h))
     }
 
     /// Connection state.
     pub fn tcp_state(&self, conn: SocketHandle) -> Option<TcpState> {
-        self.conns.get(&conn.0).map(|c| c.tcb.state)
+        self.conn(conn.0).map(|c| c.tcb.state)
     }
 
     /// Queues data on a connection, returning the bytes accepted — a
@@ -1133,7 +1480,7 @@ impl NetStack {
     /// the TSO path) without ever re-copying the payload.
     pub fn tcp_send_queued(&mut self, conn: SocketHandle, data: &[u8]) -> Result<usize> {
         let mut pool = self.pool.take();
-        let r = match self.conns.get_mut(&conn.0) {
+        let r = match self.conn_mut(conn.0) {
             Some(c) => c.tcb.app_send_with(data, || {
                 pool.as_mut()
                     .and_then(|p| p.take())
@@ -1143,6 +1490,7 @@ impl NetStack {
         };
         self.pool = pool;
         let accepted = r?;
+        self.mark_dirty_handle(conn.0);
         self.sync_one(conn.0);
         Ok(accepted)
     }
@@ -1159,12 +1507,7 @@ impl NetStack {
     /// Reads up to `max` bytes from a connection (allocating
     /// convenience wrapper over [`tcp_recv_into`](Self::tcp_recv_into)).
     pub fn tcp_recv(&mut self, conn: SocketHandle, max: usize) -> Result<Vec<u8>> {
-        let readable = self
-            .conns
-            .get(&conn.0)
-            .ok_or(Errno::BadF)?
-            .tcb
-            .readable();
+        let readable = self.conn(conn.0).ok_or(Errno::BadF)?.tcb.readable();
         let mut data = vec![0u8; max.min(readable)];
         let n = self.tcp_recv_into(conn, &mut data)?;
         data.truncate(n);
@@ -1178,7 +1521,7 @@ impl NetStack {
     /// window-update ACK when a previously-zero receive window reopens.
     pub fn tcp_recv_into(&mut self, conn: SocketHandle, out: &mut [u8]) -> Result<usize> {
         let mut pool = self.pool.take();
-        let r = match self.conns.get_mut(&conn.0) {
+        let r = match self.conn_mut(conn.0) {
             Some(c) => Ok(c.tcb.app_recv_into_with(out, |nb| {
                 if let Some(p) = pool.as_mut() {
                     p.give_back_chain(nb);
@@ -1188,6 +1531,7 @@ impl NetStack {
         };
         self.pool = pool;
         let n = r?;
+        self.mark_dirty_handle(conn.0);
         self.flush_tcp()?;
         self.sync_one(conn.0);
         Ok(n)
@@ -1206,9 +1550,10 @@ impl NetStack {
     /// staged when a previously-zero receive window reopens; it is
     /// flushed here only when output is actually pending.
     pub fn tcp_recv_netbuf(&mut self, conn: SocketHandle) -> Option<Netbuf> {
-        let c = self.conns.get_mut(&conn.0)?;
+        let c = self.conn_mut(conn.0)?;
         let nb = c.tcb.app_recv_netbuf()?;
         if c.tcb.has_pending_control() {
+            self.mark_dirty_handle(conn.0);
             let _ = self.flush_tcp();
         }
         self.sync_one(conn.0);
@@ -1226,7 +1571,7 @@ impl NetStack {
         out: &mut Vec<Netbuf>,
         max: usize,
     ) -> usize {
-        let Some(c) = self.conns.get_mut(&conn.0) else {
+        let Some(c) = self.conn_mut(conn.0) else {
             return 0;
         };
         let mut taken = 0;
@@ -1242,6 +1587,7 @@ impl NetStack {
         let pending = c.tcb.has_pending_control();
         if taken > 0 {
             if pending {
+                self.mark_dirty_handle(conn.0);
                 let _ = self.flush_tcp();
             }
             self.sync_one(conn.0);
@@ -1251,18 +1597,12 @@ impl NetStack {
 
     /// Free send-buffer space on a connection (0 for closed handles).
     pub fn tcp_send_capacity(&self, conn: SocketHandle) -> usize {
-        self.conns
-            .get(&conn.0)
-            .map(|c| c.tcb.send_capacity())
-            .unwrap_or(0)
+        self.conn(conn.0).map(|c| c.tcb.send_capacity()).unwrap_or(0)
     }
 
     /// Whether the peer's advertised receive window admits no more data.
     pub fn tcp_window_closed(&self, conn: SocketHandle) -> bool {
-        self.conns
-            .get(&conn.0)
-            .map(|c| c.tcb.window_closed())
-            .unwrap_or(true)
+        self.conn(conn.0).map(|c| c.tcb.window_closed()).unwrap_or(true)
     }
 
     /// Loss-recovery counters for one connection — cumulative
@@ -1270,8 +1610,7 @@ impl NetStack {
     /// tests and diagnostics. The stack-wide `netstack.tcp.*` counters
     /// aggregate the same values across connections.
     pub fn tcp_loss_stats(&self, conn: SocketHandle) -> (u64, u64, u64, u64) {
-        self.conns
-            .get(&conn.0)
+        self.conn(conn.0)
             .map(|c| {
                 (
                     c.tcb.rto_fires(),
@@ -1285,26 +1624,29 @@ impl NetStack {
 
     /// Current congestion window (bytes) for one connection.
     pub fn tcp_cwnd(&self, conn: SocketHandle) -> usize {
-        self.conns.get(&conn.0).map(|c| c.tcb.cwnd()).unwrap_or(0)
+        self.conn(conn.0).map(|c| c.tcb.cwnd()).unwrap_or(0)
     }
 
     /// Bytes ready to read.
     pub fn tcp_readable(&self, conn: SocketHandle) -> usize {
-        self.conns.get(&conn.0).map(|c| c.tcb.readable()).unwrap_or(0)
+        self.conn(conn.0).map(|c| c.tcb.readable()).unwrap_or(0)
     }
 
     /// Whether the peer closed (EOF).
     pub fn tcp_peer_closed(&self, conn: SocketHandle) -> bool {
-        self.conns
-            .get(&conn.0)
-            .map(|c| c.tcb.peer_closed())
-            .unwrap_or(true)
+        self.conn(conn.0).map(|c| c.tcb.peer_closed()).unwrap_or(true)
+    }
+
+    /// The remote endpoint of a connection (`getpeername` shape).
+    pub fn tcp_peer(&self, conn: SocketHandle) -> Option<Endpoint> {
+        self.conn(conn.0).map(|c| c.remote)
     }
 
     /// Starts an orderly close.
     pub fn tcp_close(&mut self, conn: SocketHandle) -> Result<()> {
-        let c = self.conns.get_mut(&conn.0).ok_or(Errno::BadF)?;
+        let c = self.conn_mut(conn.0).ok_or(Errno::BadF)?;
         c.tcb.app_close();
+        self.mark_dirty_handle(conn.0);
         let r = self.flush_tcp();
         self.sync_one(conn.0);
         r
@@ -1382,7 +1724,7 @@ impl NetStack {
             let len = ext.len() as u32;
             ext.take_csum_request();
             ext.take_gso_request();
-            let back = match self.conns.get_mut(&(hold.conn as usize)) {
+            let back = match self.conn_mut(hold.conn as usize) {
                 Some(c) => c.tcb.rtx_return(seq, ext),
                 None => Some(ext),
             };
@@ -1392,6 +1734,7 @@ impl NetStack {
             seq = seq.wrapping_add(len);
         }
         self.hold_scratch = scratch;
+        self.mark_dirty_handle(hold.conn as usize);
     }
 
     /// Prepends the Ethernet header and stages the frame for the next
@@ -1562,7 +1905,28 @@ impl NetStack {
         let mut supers = 0u64;
         let mut super_bytes = 0u64;
         let mut rtx_delta = 0u64;
-        for (&h, c) in self.conns.iter_mut() {
+        let now = self.now_ns();
+        // Only dirty connections are polled — at 100 K idle
+        // connections the flush touches none of them. The list is
+        // walked by index (not drained) because segment emission below
+        // can re-mark connections mid-walk via `rtx_return_chain`.
+        let mut i = 0;
+        while i < self.dirty.len() {
+            let slot = self.dirty[i];
+            i += 1;
+            let Some(cs) = self.conn_slots.get_mut(slot as usize) else {
+                continue;
+            };
+            let gen = cs.gen;
+            let Some(c) = cs.conn.as_mut() else { continue };
+            if !c.dirty {
+                continue;
+            }
+            c.dirty = false;
+            let h = conn_handle(slot, gen);
+            if let Some(n) = now {
+                c.tcb.set_now(n);
+            }
             let dst = c.remote.addr;
             let mss = c.tcb.mss();
             // The GSO budget is floored to a multiple of the MSS so a
@@ -1624,6 +1988,17 @@ impl NetStack {
         self.ustats.csum_offloaded.add(offloaded);
         self.ustats.tso_super_frames.add(supers);
         self.ustats.tso_super_bytes.add(super_bytes);
+        // Second pass: mirror every polled connection's timer wants
+        // (RTO, delayed ACK, lifecycle) into the wheel.
+        if let Some(n) = now {
+            let mut i = 0;
+            while i < self.dirty.len() {
+                let slot = self.dirty[i];
+                i += 1;
+                self.sync_conn_timers(slot, n);
+            }
+        }
+        self.dirty.clear();
         for (dst, nb) in staged.drain(..) {
             self.send_ipv4_nb(dst, IpProto::Tcp, nb);
         }
@@ -1631,27 +2006,241 @@ impl NetStack {
         self.flush_tx()
     }
 
-    /// Drives every connection's retransmission timer off the virtual
-    /// clock (a no-op until [`set_clock`](Self::set_clock) arms one).
-    /// Fired timers queue retransmission work — re-emitted SYN /
-    /// SYN-ACK / FIN control segments, a data-retransmit request, or a
-    /// zero-window probe — which the `flush_tcp` that follows in the
-    /// same `pump` emits.
+    /// Advances the hierarchical timer wheel to the virtual clock (a
+    /// no-op until [`set_clock`](Self::set_clock) arms one) and
+    /// dispatches every expired timer: RTO/persist fires, delayed-ACK
+    /// deadlines, and lifecycle events (handshake timeout, keepalive
+    /// probes, FIN-WAIT-2 orphan reaping, TIME_WAIT 2MSL expiry).
+    /// Cost is O(expired timers), not O(connections) — 100 K idle
+    /// connections cost the tick nothing.
     fn tcp_timer_tick(&mut self) {
-        let now_ns = match self.clock.as_ref() {
-            Some(c) => c.cycles_to_ns(c.now_cycles()),
-            None => return,
-        };
-        let mut fires = 0u64;
-        for (&h, c) in self.conns.iter_mut() {
-            if c.tcb.on_tick(now_ns) {
-                fires += 1;
-                uktrace::trace!(self.trace, tp::tcp_rto_fire, h, c.tcb.rto_fires());
+        let Some(now) = self.now_ns() else { return };
+        let mut fired = std::mem::take(&mut self.fired_scratch);
+        fired.clear();
+        self.wheel.advance(now, |key, deadline| fired.push((key, deadline)));
+        for (key, _) in fired.drain(..) {
+            self.dispatch_timer(key, now);
+        }
+        self.fired_scratch = fired;
+    }
+
+    /// Routes one expired wheel timer to its connection. The key
+    /// carries the timer kind, the slot, and the generation the timer
+    /// was armed under — a reused slot simply ignores stale fires.
+    fn dispatch_timer(&mut self, key: u64, now: u64) {
+        let kind = key >> 48;
+        let gen = ((key >> 32) & 0xffff) as u16;
+        let slot = (key & 0xffff_ffff) as u32;
+        enum Act {
+            None,
+            Reap(u64),
+        }
+        let mut act = Act::None;
+        {
+            let Some(cs) = self.conn_slots.get_mut(slot as usize) else {
+                return;
+            };
+            if cs.gen != gen {
+                return;
+            }
+            let Some(c) = cs.conn.as_mut() else { return };
+            match kind {
+                TK_RTO => {
+                    c.rto_tok = TimerToken::NONE;
+                    c.rto_armed_ns = None;
+                    if c.tcb.on_tick(now) {
+                        self.ustats.tcp_rto_fires.inc();
+                        uktrace::trace!(
+                            self.trace,
+                            tp::tcp_rto_fire,
+                            conn_handle(slot, gen),
+                            c.tcb.rto_fires()
+                        );
+                    }
+                    if !c.dirty {
+                        c.dirty = true;
+                        self.dirty.push(slot);
+                    }
+                }
+                TK_DELACK => {
+                    c.delack_tok = TimerToken::NONE;
+                    c.delack_armed_ns = None;
+                    c.tcb.on_delack_timeout();
+                    if !c.dirty {
+                        c.dirty = true;
+                        self.dirty.push(slot);
+                    }
+                }
+                TK_LIFE => {
+                    c.life_tok = TimerToken::NONE;
+                    match c.life_kind {
+                        LifeKind::Handshake => act = Act::Reap(REAP_HANDSHAKE),
+                        LifeKind::FinWait2 => act = Act::Reap(REAP_FINWAIT2),
+                        LifeKind::TimeWait => act = Act::Reap(REAP_TIMEWAIT),
+                        LifeKind::Reap => {
+                            if c.tcb.readable() == 0 {
+                                act = Act::Reap(REAP_CLOSED);
+                            } else if !c.dirty {
+                                // Application still owes a read; check
+                                // again on the same cadence.
+                                c.dirty = true;
+                                self.dirty.push(slot);
+                            }
+                        }
+                        LifeKind::Keepalive => {
+                            let idle = now.saturating_sub(c.last_activity_ns);
+                            if idle >= KEEPALIVE_IDLE_NS {
+                                if c.ka_probes >= KEEPALIVE_PROBES {
+                                    self.ustats.tcp_keepalive_drops.inc();
+                                    act = Act::Reap(REAP_KEEPALIVE);
+                                } else {
+                                    c.ka_probes += 1;
+                                    c.tcb.emit_keepalive_probe();
+                                    uktrace::trace!(
+                                        self.trace,
+                                        tp::tcp_keepalive_probe,
+                                        conn_handle(slot, gen),
+                                        c.ka_probes as usize
+                                    );
+                                    if !c.dirty {
+                                        c.dirty = true;
+                                        self.dirty.push(slot);
+                                    }
+                                }
+                            } else {
+                                c.ka_probes = 0;
+                                if !c.dirty {
+                                    c.dirty = true;
+                                    self.dirty.push(slot);
+                                }
+                            }
+                        }
+                        LifeKind::None => {}
+                    }
+                }
+                _ => {}
             }
         }
-        if fires > 0 {
-            self.ustats.tcp_rto_fires.add(fires);
+        if let Act::Reap(reason) = act {
+            self.reap_conn_slot(slot, reason);
         }
+    }
+
+    /// Mirrors one connection's timer wants into the wheel: the TCB's
+    /// RTO/persist deadline, its delayed-ACK deadline, and the
+    /// lifecycle deadline implied by its state. Re-arms only on
+    /// change, so steady-state data flow costs one compare per kind.
+    fn sync_conn_timers(&mut self, slot: u32, now: u64) {
+        let keepalive = self.config.keepalive;
+        let delayed_ack = self.config.delayed_ack;
+        let Some(cs) = self.conn_slots.get_mut(slot as usize) else {
+            return;
+        };
+        let gen = cs.gen;
+        let Some(c) = cs.conn.as_mut() else { return };
+        let want = c.tcb.rtx_deadline();
+        if want != c.rto_armed_ns || (want.is_some() && c.rto_tok.is_none()) {
+            self.wheel.cancel(c.rto_tok);
+            c.rto_tok = TimerToken::NONE;
+            c.rto_armed_ns = want;
+            if let Some(d) = want {
+                c.rto_tok = self.wheel.arm(d, timer_key(TK_RTO, slot, gen));
+            }
+        }
+        let want = if delayed_ack { c.tcb.ack_deadline() } else { None };
+        if want != c.delack_armed_ns || (want.is_some() && c.delack_tok.is_none()) {
+            self.wheel.cancel(c.delack_tok);
+            c.delack_tok = TimerToken::NONE;
+            c.delack_armed_ns = want;
+            if let Some(d) = want {
+                c.delack_tok = self.wheel.arm(d, timer_key(TK_DELACK, slot, gen));
+            }
+        }
+        let (kind, deadline) = match c.tcb.state {
+            TcpState::SynSent | TcpState::SynReceived => {
+                (LifeKind::Handshake, now + HANDSHAKE_TIMEOUT_NS)
+            }
+            TcpState::Established | TcpState::CloseWait if keepalive => {
+                let idle_deadline = c.last_activity_ns + KEEPALIVE_IDLE_NS;
+                let d = if idle_deadline <= now {
+                    now + KEEPALIVE_INTVL_NS
+                } else {
+                    idle_deadline
+                };
+                (LifeKind::Keepalive, d)
+            }
+            TcpState::FinWait2 => (LifeKind::FinWait2, now + FINWAIT2_TIMEOUT_NS),
+            TcpState::TimeWait => (LifeKind::TimeWait, now + 2 * TCP_MSL_NS),
+            TcpState::Closed => (LifeKind::Reap, now + CLOSED_LINGER_NS),
+            _ => (LifeKind::None, 0),
+        };
+        if kind != c.life_kind || (kind != LifeKind::None && c.life_tok.is_none()) {
+            if kind == LifeKind::TimeWait && c.life_kind != LifeKind::TimeWait {
+                self.ustats.tcp_timewait.inc();
+                uktrace::trace!(
+                    self.trace,
+                    tp::tcp_time_wait,
+                    conn_handle(slot, gen),
+                    c.local_port as usize
+                );
+            }
+            self.wheel.cancel(c.life_tok);
+            c.life_tok = TimerToken::NONE;
+            c.life_kind = kind;
+            if kind != LifeKind::None {
+                c.life_tok = self.wheel.arm(deadline, timer_key(TK_LIFE, slot, gen));
+            }
+        }
+    }
+
+    /// Answers a segment that matched no flow and no listener with a
+    /// correctly-sequenced RST (RFC 793 §3.4): a connection that died
+    /// here tells its peer immediately instead of letting it
+    /// retransmit into a black hole. Never RSTs a RST.
+    fn stage_rst(&mut self, dst: Ipv4Addr, tcp: &TcpHeader, payload_len: usize) {
+        if tcp.flags.rst {
+            return;
+        }
+        let (seq, ack, flags) = if tcp.flags.ack {
+            // The peer told us what it expects next; answer from there
+            // with a bare RST.
+            (tcp.ack, 0, TcpFlags { rst: true, ..TcpFlags::default() })
+        } else {
+            // No ACK to echo: seq 0, and acknowledge everything the
+            // segment occupied so the RST is acceptable to the peer.
+            let occupied =
+                payload_len as u32 + tcp.flags.syn as u32 + tcp.flags.fin as u32;
+            (
+                0,
+                tcp.seq.wrapping_add(occupied),
+                TcpFlags { rst: true, ack: true, ..TcpFlags::default() },
+            )
+        };
+        let header = TcpHeader {
+            src_port: tcp.dst_port,
+            dst_port: tcp.src_port,
+            seq,
+            ack,
+            flags,
+            window: 0,
+        };
+        let mut nb = self.take_buf();
+        let ip = Ipv4Header {
+            src: self.config.ip,
+            dst,
+            proto: IpProto::Tcp,
+            payload_len: TCP_HDR_LEN,
+            ttl: 64,
+        };
+        if self.csum_offload {
+            header.encode_into_partial(&ip, &mut nb);
+        } else {
+            header.encode_into(&ip, &mut nb);
+        }
+        ip.encode_into(&mut nb);
+        self.ustats.tcp_rst_tx.inc();
+        uktrace::trace!(self.trace, tp::tcp_rst_tx, header.dst_port, header.seq);
+        self.send_ipv4_nb(dst, IpProto::Tcp, nb);
     }
 
     /// Processes received frames in bursts and flushes replies once.
@@ -2005,22 +2594,33 @@ impl NetStack {
             }
         };
         let remote = Endpoint::new(src, tcp.src_port);
-        let Some(&h) = self.tcp_demux.get(&(tcp.dst_port, remote)) else {
+        let payload_len = nb.chain_len() - consumed;
+        let Some(slot) = self.flow.get(flow_key(tcp.dst_port, remote)) else {
             self.ustats.demux_miss.inc();
             uktrace::trace!(self.trace, tp::demux_miss, 6u64, tcp.dst_port);
+            self.stage_rst(src, &tcp, payload_len);
             self.recycle(nb);
             return Err(Errno::ConnRefused);
         };
-        let Some(c) = self.conns.get_mut(&h) else {
+        let now = self.now_ns();
+        let cs = &mut self.conn_slots[slot as usize];
+        let gen = cs.gen;
+        // `_h` and `_bytes` are only read by tracepoints (unused when
+        // tracing is compiled out, hence the underscores).
+        let _h = conn_handle(slot, gen);
+        let Some(c) = cs.conn.as_mut() else {
             self.ustats.demux_miss.inc();
             uktrace::trace!(self.trace, tp::demux_miss, 6u64, tcp.dst_port);
             self.recycle(nb);
             return Err(Errno::ConnRefused);
         };
         nb.pull_header(consumed);
-        // Only read by the `tcp_super_rx` tracepoint (unused when
-        // tracing is compiled out, hence the underscore).
         let _bytes = nb.chain_len();
+        if let Some(n) = now {
+            c.tcb.set_now(n);
+            c.last_activity_ns = n;
+            c.ka_probes = 0;
+        }
         let dup0 = c.tcb.dup_acks();
         let fr0 = c.tcb.fast_retransmits();
         let ooo0 = c.tcb.ooo_queued();
@@ -2031,24 +2631,27 @@ impl NetStack {
             }
         });
         self.pool = pool;
-        let tcb = &self.conns[&h].tcb;
-        let dup = tcb.dup_acks() - dup0;
+        let dup = c.tcb.dup_acks() - dup0;
         if dup > 0 {
             self.ustats.dup_acks.add(dup);
-            uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
+            uktrace::trace!(self.trace, tp::tcp_dup_ack, _h, tcp.seq);
         }
-        let fr = tcb.fast_retransmits() - fr0;
+        let fr = c.tcb.fast_retransmits() - fr0;
         if fr > 0 {
             self.ustats.tcp_fast_retransmits.add(fr);
-            uktrace::trace!(self.trace, tp::tcp_fast_retransmit, h, fr);
+            uktrace::trace!(self.trace, tp::tcp_fast_retransmit, _h, fr);
         }
-        let ooo = tcb.ooo_queued() - ooo0;
+        let ooo = c.tcb.ooo_queued() - ooo0;
         if ooo > 0 {
             self.ustats.tcp_ooo_queued.add(ooo);
-            uktrace::trace!(self.trace, tp::tcp_ooo_queue, h, ooo);
+            uktrace::trace!(self.trace, tp::tcp_ooo_queue, _h, ooo);
+        }
+        if !c.dirty {
+            c.dirty = true;
+            self.dirty.push(slot);
         }
         self.ustats.demux_tcp.inc();
-        uktrace::trace!(self.trace, tp::tcp_super_rx, h, _bytes);
+        uktrace::trace!(self.trace, tp::tcp_super_rx, _h, _bytes);
         self.stats.rx_super_frames += 1;
         self.stats.rx_csum_skipped += 1;
         self.ustats.rx_super_frames.inc();
@@ -2073,6 +2676,7 @@ impl NetStack {
                 return Err(e);
             }
         };
+        let payload_len = nb.len() - doff;
         // GRO: a plain data segment (ACK set, no SYN/FIN/RST) joins
         // the burst's staging area; consecutive ones merge into one
         // ingest at flush. A segment continuing the staged run's flow
@@ -2109,11 +2713,40 @@ impl NetStack {
             }
         }
         let remote = Endpoint::new(ip.src, tcp.src_port);
-        let key = (tcp.dst_port, remote);
-        if let Some(&h) = self.tcp_demux.get(&key) {
-            if self.conns.contains_key(&h) {
+        let fkey = flow_key(tcp.dst_port, remote);
+        let mut hit = self.flow.get(fkey);
+        // TIME_WAIT assassination (RFC 1122 §4.2.2.13): a fresh SYN
+        // landing on a connection parked in TIME_WAIT reaps it on the
+        // spot and falls through to the listener below — the port
+        // recycles without waiting out the full 2MSL.
+        if tcp.flags.syn && !tcp.flags.ack {
+            if let Some(slot) = hit {
+                let is_tw = self
+                    .conn_slots
+                    .get(slot as usize)
+                    .and_then(|cs| cs.conn.as_ref())
+                    .map(|c| c.tcb.state == TcpState::TimeWait)
+                    .unwrap_or(false);
+                if is_tw {
+                    self.reap_conn_slot(slot, REAP_TIMEWAIT);
+                    hit = None;
+                }
+            }
+        }
+        if let Some(slot) = hit {
+            let state0 = self
+                .conn_slots
+                .get(slot as usize)
+                .and_then(|cs| cs.conn.as_ref())
+                .map(|c| c.tcb.state);
+            if let Some(state0) = state0 {
+                let gen = self.conn_slots[slot as usize].gen;
+                let h = conn_handle(slot, gen);
                 nb.pull_header(doff);
-                if mergeable {
+                // GRO staging is for flows in steady data transfer;
+                // anything mid-handshake or mid-teardown takes the
+                // direct path so state transitions apply immediately.
+                if mergeable && state0 == TcpState::Established {
                     // Start (or interleave) a staged run for this flow.
                     self.gro_cont = Some(GroCont {
                         src: ip.src,
@@ -2123,81 +2756,154 @@ impl NetStack {
                         next_seq: tcp.seq.wrapping_add(nb.len() as u32),
                     });
                     self.gro_stage.push((h, tcp, nb));
-                } else {
-                    // Control flags take the direct path — after
-                    // flushing the stage, so nothing overtakes data
-                    // already queued for this connection.
-                    self.gro_flush();
-                    if tcp.flags.fin {
-                        uktrace::trace!(self.trace, tp::tcp_fin_rx, tcp.dst_port, tcp.seq);
+                    self.ustats.demux_tcp.inc();
+                    return Ok(());
+                }
+                // Control flags take the direct path — after flushing
+                // the stage, so nothing overtakes data already queued
+                // for this connection.
+                self.gro_flush();
+                if state0 == TcpState::SynReceived
+                    && tcp.flags.ack
+                    && !tcp.flags.syn
+                    && !tcp.flags.rst
+                {
+                    // The handshake-completing ACK would move this
+                    // connection onto the accept backlog; if that is
+                    // full, drop the ACK — the connection stays
+                    // half-open until the peer retransmits or the
+                    // handshake timer reclaims it.
+                    let full = self
+                        .listeners
+                        .get(&tcp.dst_port)
+                        .map(|l| l.backlog.len() >= self.config.listen_backlog)
+                        .unwrap_or(false);
+                    if full {
+                        self.ustats.tcp_syn_overflow.inc();
+                        self.recycle(nb);
+                        return Err(Errno::NoMem);
                     }
-                    let bytes = nb.len();
-                    let mut pool = self.pool.take();
-                    let c = self.conns.get_mut(&h).expect("checked above");
-                    let dup0 = c.tcb.dup_acks();
-                    let fr0 = c.tcb.fast_retransmits();
-                    let ooo0 = c.tcb.ooo_queued();
-                    let state0 = c.tcb.state;
-                    c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
-                        if let Some(p) = pool.as_mut() {
-                            p.give_back_chain(b);
+                }
+                if tcp.flags.fin {
+                    uktrace::trace!(self.trace, tp::tcp_fin_rx, tcp.dst_port, tcp.seq);
+                }
+                let bytes = nb.len();
+                let now = self.now_ns();
+                let mut pool = self.pool.take();
+                let cs = &mut self.conn_slots[slot as usize];
+                let c = cs.conn.as_mut().expect("checked above");
+                if let Some(n) = now {
+                    c.tcb.set_now(n);
+                    c.last_activity_ns = n;
+                    c.ka_probes = 0;
+                }
+                let dup0 = c.tcb.dup_acks();
+                let fr0 = c.tcb.fast_retransmits();
+                let ooo0 = c.tcb.ooo_queued();
+                c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
+                    if let Some(p) = pool.as_mut() {
+                        p.give_back_chain(b);
+                    }
+                });
+                let dup = c.tcb.dup_acks() - dup0;
+                let fr = c.tcb.fast_retransmits() - fr0;
+                let ooo = c.tcb.ooo_queued() - ooo0;
+                let established =
+                    state0 != TcpState::Established && c.tcb.state == TcpState::Established;
+                if !c.dirty {
+                    c.dirty = true;
+                    self.dirty.push(slot);
+                }
+                self.pool = pool;
+                if established {
+                    uktrace::trace!(self.trace, tp::tcp_established, h, tcp.dst_port);
+                    if state0 == TcpState::SynReceived {
+                        // Handshake complete: graduate from the SYN
+                        // queue to the accept backlog.
+                        if let Some(l) = self.listeners.get_mut(&tcp.dst_port) {
+                            if let Some(pos) = l.syn_queue.iter().position(|&s| s == slot) {
+                                l.syn_queue.remove(pos);
+                            }
+                            l.backlog.push_back(SocketHandle(h));
+                            l.accepted_total += 1;
+                            self.sync_one(LISTENER_TAG | tcp.dst_port as usize);
                         }
-                    });
-                    let dup = c.tcb.dup_acks() - dup0;
-                    let fr = c.tcb.fast_retransmits() - fr0;
-                    let ooo = c.tcb.ooo_queued() - ooo0;
-                    let established =
-                        state0 != TcpState::Established && c.tcb.state == TcpState::Established;
-                    self.pool = pool;
-                    if established {
-                        uktrace::trace!(self.trace, tp::tcp_established, h, tcp.dst_port);
                     }
-                    if dup > 0 {
-                        self.ustats.dup_acks.add(dup);
-                        uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
-                    }
-                    if fr > 0 {
-                        self.ustats.tcp_fast_retransmits.add(fr);
-                        uktrace::trace!(self.trace, tp::tcp_fast_retransmit, h, fr);
-                    }
-                    if ooo > 0 {
-                        self.ustats.tcp_ooo_queued.add(ooo);
-                        uktrace::trace!(self.trace, tp::tcp_ooo_queue, h, ooo);
-                    }
-                    if bytes > 0 && !tcp.flags.syn {
-                        uktrace::trace!(self.trace, tp::tcp_data_rx, h, bytes);
-                    }
+                }
+                if dup > 0 {
+                    self.ustats.dup_acks.add(dup);
+                    uktrace::trace!(self.trace, tp::tcp_dup_ack, h, tcp.seq);
+                }
+                if fr > 0 {
+                    self.ustats.tcp_fast_retransmits.add(fr);
+                    uktrace::trace!(self.trace, tp::tcp_fast_retransmit, h, fr);
+                }
+                if ooo > 0 {
+                    self.ustats.tcp_ooo_queued.add(ooo);
+                    uktrace::trace!(self.trace, tp::tcp_ooo_queue, h, ooo);
+                }
+                if bytes > 0 && !tcp.flags.syn {
+                    uktrace::trace!(self.trace, tp::tcp_data_rx, h, bytes);
                 }
                 self.ustats.demux_tcp.inc();
                 return Ok(());
             }
         }
-        // No connection: a SYN to a listener spawns one.
+        // No connection: a SYN to a listener spawns a half-open one on
+        // the listener's bounded SYN queue.
         if tcp.flags.syn && !tcp.flags.ack {
-            if let Some(l) = self.listeners.get_mut(&tcp.dst_port) {
+            if self.listeners.contains_key(&tcp.dst_port) {
                 uktrace::trace!(self.trace, tp::tcp_syn_rx, tcp.dst_port, tcp.src_port);
-                let port = l.port;
-                let mut tcb = Tcb::listen(port);
+                // At capacity the *oldest* half-open connection is
+                // evicted (its buffers pool-returned, its flow entry
+                // and timers dropped) — a SYN flood churns the queue
+                // but can neither grow it nor starve established
+                // connections.
+                let victim = {
+                    let l = self.listeners.get(&tcp.dst_port).expect("checked above");
+                    if l.syn_queue.len() >= self.config.listen_backlog {
+                        l.syn_queue.front().copied()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(v) = victim {
+                    self.ustats.tcp_syn_overflow.inc();
+                    uktrace::trace!(self.trace, tp::tcp_syn_evicted, tcp.dst_port, v as usize);
+                    self.reap_conn_slot(v, REAP_SYN_EVICTED);
+                }
+                let mut tcb = Tcb::listen(tcp.dst_port);
+                if self.config.lean_tcbs {
+                    tcb.shrink_queues();
+                }
                 tcb.set_mss(self.config.mss);
                 tcb.set_congestion_control(self.config.congestion_control);
+                tcb.set_lifecycle_enabled(self.clock.is_some());
+                tcb.set_delayed_ack(self.config.delayed_ack && self.clock.is_some());
                 self.iss = self.iss.wrapping_add(64_000);
+                let now = self.now_ns();
+                if let Some(n) = now {
+                    tcb.set_now(n);
+                }
                 tcb.on_segment(&tcp, &nb.payload()[doff..]);
                 self.recycle(nb);
-                let h = self.handle();
-                self.conns.insert(h, TcpConn { tcb, remote });
-                self.tcp_demux.insert(key, h);
-                let l = self
-                    .listeners
+                let h = self.alloc_conn(tcb, remote, tcp.dst_port, now.unwrap_or(0));
+                let slot = (h & 0xffff_ffff) as u32;
+                self.listeners
                     .get_mut(&tcp.dst_port)
-                    .expect("listener exists");
-                l.backlog.push_back(SocketHandle(h));
-                l.accepted_total += 1;
+                    .expect("listener exists")
+                    .syn_queue
+                    .push_back(slot);
                 self.ustats.demux_tcp.inc();
                 return Ok(());
             }
         }
+        // Nothing claimed the segment: count the miss and answer with
+        // a RST (suppressed for incoming RSTs — including in-window
+        // RSTs aimed at a bare listener, which are simply dropped).
         self.ustats.demux_miss.inc();
         uktrace::trace!(self.trace, tp::demux_miss, 6u64, tcp.dst_port);
+        self.stage_rst(ip.src, &tcp, payload_len);
         self.recycle(nb);
         Err(Errno::ConnRefused)
     }
@@ -2218,6 +2924,7 @@ impl NetStack {
         }
         let mut stage = std::mem::take(&mut self.gro_stage);
         let mut pool = self.pool.take();
+        let now = self.now_ns();
         while !stage.is_empty() {
             // The run at the stage front: adjacent entries, same
             // connection, consecutive sequence numbers.
@@ -2251,8 +2958,20 @@ impl NetStack {
                 },
                 window: last.window,
             };
-            match self.conns.get_mut(&conn) {
-                Some(c) => {
+            let target = match conn_parts(conn) {
+                Some((slot, gen)) => match self.conn_slots.get_mut(slot as usize) {
+                    Some(cs) if cs.gen == gen => cs.conn.as_mut().map(|c| (slot, c)),
+                    _ => None,
+                },
+                None => None,
+            };
+            match target {
+                Some((slot, c)) => {
+                    if let Some(n) = now {
+                        c.tcb.set_now(n);
+                        c.last_activity_ns = n;
+                        c.ka_probes = 0;
+                    }
                     let dup0 = c.tcb.dup_acks();
                     let fr0 = c.tcb.fast_retransmits();
                     let ooo0 = c.tcb.ooo_queued();
@@ -2276,6 +2995,10 @@ impl NetStack {
                     if ooo > 0 {
                         self.ustats.tcp_ooo_queued.add(ooo);
                         uktrace::trace!(self.trace, tp::tcp_ooo_queue, conn, ooo);
+                    }
+                    if !c.dirty {
+                        c.dirty = true;
+                        self.dirty.push(slot);
                     }
                     uktrace::trace!(self.trace, tp::tcp_data_rx, conn, _run_bytes);
                 }
@@ -2537,13 +3260,19 @@ mod tests {
     }
 
     #[test]
-    fn plain_handles_skip_listener_bit_range() {
+    fn handle_spaces_are_disjoint() {
         let mut s = stack(1);
-        s.next_handle = 0x1_0000;
-        let h = s.handle();
-        assert_eq!(h & 0x1_0000, 0, "bit 16 is reserved for listeners");
-        assert_eq!(h, 0x2_0000);
-        assert_eq!(s.handle(), 0x2_0001);
+        let udp = s.udp_bind(9000).unwrap();
+        let listener = s.tcp_listen(80).unwrap();
+        let conn = s
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        assert_eq!(listener.0 & LISTENER_TAG, LISTENER_TAG);
+        assert!(udp.0 < 1 << 32, "UDP handles stay in the counter range");
+        assert_eq!(conn.0 & LISTENER_TAG, 0);
+        assert!(conn.0 >> 32 > 0, "conn handles carry a generation tag");
+        assert!(s.tcp_state(conn).is_some());
+        assert_eq!(s.tcp_state(SocketHandle(99)), None, "garbage handle");
     }
 
     #[test]

@@ -118,6 +118,15 @@ const OOO_QUEUE_BYTES: usize = RCV_BUF_CAP;
 const OOO_SEQ_HORIZON: u32 = 1 << 17;
 /// Initial congestion window, in segments (RFC 6928's IW10).
 const INITIAL_CWND_SEGS: usize = 10;
+/// Delayed-ACK hold time (RFC 1122 §4.2.3.2 caps it at 500 ms; 40 ms
+/// matches Linux's default quick timeout). Only meaningful with
+/// [`Tcb::set_delayed_ack`] on — which the stack enables solely when a
+/// virtual clock drives the timer wheel.
+pub const DELACK_NS: u64 = 40_000_000;
+/// Quick-ACK threshold: an ACK is owed immediately once this many
+/// in-order segments are unacknowledged (RFC 1122: at least every
+/// second full-sized segment).
+const DELACK_SEGS: u32 = 2;
 
 /// TCP flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -320,6 +329,15 @@ impl TcpHeader {
 }
 
 /// TCP connection states (subset of RFC 793).
+///
+/// `FinWait` merges FIN-WAIT-1 and CLOSING; with the connection
+/// lifecycle enabled ([`Tcb::set_lifecycle_enabled`], which the stack
+/// switches on whenever a virtual clock is installed) an acknowledged
+/// FIN promotes to [`FinWait2`](Self::FinWait2) and the final FIN
+/// lands the TCB in [`TimeWait`](Self::TimeWait) for the stack's 2MSL
+/// reaper instead of closing outright. Raw TCBs (no lifecycle) keep
+/// the pre-wheel behavior: FIN exchange ends in
+/// [`Closed`](Self::Closed) directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpState {
     /// Passive open.
@@ -330,12 +348,18 @@ pub enum TcpState {
     SynReceived,
     /// Data flows.
     Established,
-    /// We sent FIN.
+    /// We sent FIN (FIN-WAIT-1 / CLOSING).
     FinWait,
+    /// Our FIN is acknowledged; awaiting the peer's (orphan-reaped by
+    /// the stack if it never comes).
+    FinWait2,
     /// Peer sent FIN; we may still send.
     CloseWait,
     /// We sent FIN after CloseWait.
     LastAck,
+    /// Both FINs exchanged; lingering 2MSL so a retransmitted peer FIN
+    /// still finds the TCB (and our final ACK can be regenerated).
+    TimeWait,
     /// Done.
     Closed,
 }
@@ -484,6 +508,20 @@ pub struct Tcb {
     stat_fast_retransmits: u64,
     /// Cumulative extents queued out of order (observability).
     stat_ooo_queued: u64,
+    /// Whether the full connection lifecycle (FIN_WAIT_2, TIME_WAIT)
+    /// is enabled — the stack switches this on when a virtual clock
+    /// drives its timer wheel; raw TCBs keep the direct-to-Closed
+    /// behavior so clockless setups need no reaper.
+    lifecycle_enabled: bool,
+    /// Whether pure ACKs are held for the delayed-ACK timer instead of
+    /// being emitted at poll time (`StackConfig::delayed_ack`).
+    delack_enabled: bool,
+    /// Armed delayed-ACK deadline (the stack mirrors this onto its
+    /// timer wheel).
+    ack_deadline_ns: Option<u64>,
+    /// In-order segments ingested since the last emitted ACK — the
+    /// quick-ACK trigger.
+    delack_segs: u32,
 }
 
 impl Tcb {
@@ -556,7 +594,27 @@ impl Tcb {
             stat_retransmits: 0,
             stat_fast_retransmits: 0,
             stat_ooo_queued: 0,
+            lifecycle_enabled: false,
+            delack_enabled: false,
+            ack_deadline_ns: None,
+            delack_segs: 0,
         }
+    }
+
+    /// Releases the steady-state queue preallocation while the queues
+    /// are still empty, letting them grow on demand instead. For
+    /// stacks holding very large numbers of mostly-idle connections
+    /// (`StackConfig::lean_tcbs`): an idle TCB then costs its struct
+    /// size alone, and an active one reaches the same steady-state
+    /// capacity after its first bursts — the zero-alloc invariant is a
+    /// steady-state property, so the warmup growth amortizes away.
+    pub fn shrink_queues(&mut self) {
+        debug_assert!(self.send_q.is_empty() && self.recv_q.is_empty());
+        self.send_q = VecDeque::new();
+        self.recv_q = VecDeque::new();
+        self.rtx_q = VecDeque::new();
+        self.rtx_released = Vec::new();
+        self.ooo_q = VecDeque::new();
     }
 
     /// Overrides the maximum segment size (defaults to [`MSS`]).
@@ -585,6 +643,79 @@ impl Tcb {
     /// ablation on; exported as the `netstack.tcp.cwnd` gauge).
     pub fn cwnd(&self) -> usize {
         self.cwnd
+    }
+
+    /// Enables the full connection lifecycle: an orderly close walks
+    /// FIN_WAIT_2 and parks in TIME_WAIT instead of jumping straight
+    /// to `Closed`. The stack turns this on when a virtual clock
+    /// drives its timer wheel (which then reaps TIME_WAIT after 2MSL);
+    /// raw TCBs leave it off so clockless tests need no reaper.
+    pub fn set_lifecycle_enabled(&mut self, enabled: bool) {
+        self.lifecycle_enabled = enabled;
+    }
+
+    /// Enables delayed ACKs (`StackConfig::delayed_ack`): a lone
+    /// in-order segment's pure ACK is held up to [`DELACK_NS`] for a
+    /// chance to ride a data segment or coalesce with a second
+    /// arrival. The stack mirrors [`ack_deadline`](Self::ack_deadline)
+    /// onto its timer wheel; without a clock this must stay off or
+    /// held ACKs would never fire.
+    pub fn set_delayed_ack(&mut self, enabled: bool) {
+        self.delack_enabled = enabled;
+        if !enabled {
+            self.ack_deadline_ns = None;
+        }
+    }
+
+    /// The armed delayed-ACK deadline, if a pure ACK is being held.
+    pub fn ack_deadline(&self) -> Option<u64> {
+        self.ack_deadline_ns
+    }
+
+    /// Delayed-ACK timer fired: release the held ACK at the next
+    /// output poll.
+    pub fn on_delack_timeout(&mut self) {
+        if self.ack_deadline_ns.is_some() {
+            self.ack_deadline_ns = None;
+            self.delack_segs = DELACK_SEGS; // Force quick-ACK.
+        }
+    }
+
+    /// The armed retransmission/persist deadline (the stack mirrors
+    /// this onto its timer wheel).
+    pub fn rtx_deadline(&self) -> Option<u64> {
+        self.rtx_deadline_ns
+    }
+
+    /// Advances the TCB's notion of time without running the timer —
+    /// the stack stamps active connections from the pump so RTT
+    /// probes and newly armed deadlines are measured from fresh time
+    /// even though idle connections are never scanned.
+    pub fn set_now(&mut self, now_ns: u64) {
+        if now_ns > self.now_ns {
+            self.now_ns = now_ns;
+        }
+    }
+
+    /// Queues a keepalive probe: a pure ACK one sequence number below
+    /// `snd_nxt`, which is outside the peer's acceptable window and so
+    /// forces an immediate ACK from a live peer (RFC 1122 §4.2.3.6).
+    /// The stack's keepalive timer drives this on idle connections and
+    /// tears the connection down when enough probes go unanswered.
+    pub fn emit_keepalive_probe(&mut self) {
+        let window = self.rcv_window();
+        self.last_adv_wnd = window;
+        self.out.push_back(TcpHeader {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq: self.snd_nxt.wrapping_sub(1),
+            ack: self.rcv_nxt,
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
+            window,
+        });
     }
 
     /// Cumulative retransmission-timeout fires.
@@ -988,6 +1119,14 @@ impl Tcb {
     {
         let payload = payload.into_iter();
         if h.flags.rst {
+            // A listener must survive RSTs: an RST aimed at a LISTEN
+            // socket acknowledges nothing and resets nothing (RFC 793
+            // p.65 — return to LISTEN) — wedging the listener on a
+            // stray RST would let one spoofed packet kill the service.
+            if self.state == TcpState::Listen {
+                payload.for_each(&mut recycle);
+                return;
+            }
             self.state = TcpState::Closed;
             payload.for_each(&mut recycle);
             // A dead connection holds nothing back for retransmission
@@ -1032,12 +1171,25 @@ impl Tcb {
                     payload.for_each(recycle);
                 }
             }
-            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+            TcpState::Established
+            | TcpState::FinWait
+            | TcpState::FinWait2
+            | TcpState::CloseWait => {
                 let seg_end = self.ingest_bufs(h, payload, &mut recycle);
                 let seg_payload = seg_end.wrapping_sub(h.seq) as usize;
                 self.process_ack(h, seg_payload);
                 while let Some(nb) = self.rtx_released.pop() {
                     recycle(nb);
+                }
+                // With the lifecycle enabled, the ACK covering our FIN
+                // promotes FIN-WAIT-1 → FIN-WAIT-2 (a FIN riding the
+                // same segment then lands in TIME_WAIT below).
+                if self.lifecycle_enabled
+                    && self.state == TcpState::FinWait
+                    && self.fin_sent
+                    && self.snd_una == self.snd_nxt
+                {
+                    self.state = TcpState::FinWait2;
                 }
                 // A FIN is in sequence only when it lands exactly at
                 // `rcv_nxt` — i.e. after every payload byte preceding
@@ -1056,14 +1208,42 @@ impl Tcb {
                             ..Default::default()
                         });
                     self.state = TcpState::CloseWait;
-                } else if h.flags.fin && self.state == TcpState::FinWait {
+                } else if h.flags.fin
+                    && matches!(self.state, TcpState::FinWait | TcpState::FinWait2)
+                {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
                     self.peer_fin = true;
                     self.emit(TcpFlags {
                             ack: true,
                             ..Default::default()
                         });
-                    self.state = TcpState::Closed;
+                    // Both FINs exchanged. With the lifecycle on, park
+                    // in TIME_WAIT for the stack's 2MSL reaper (a
+                    // retransmitted peer FIN still finds us and our
+                    // final ACK can be regenerated); without it, the
+                    // legacy direct close.
+                    self.state = if self.lifecycle_enabled {
+                        TcpState::TimeWait
+                    } else {
+                        TcpState::Closed
+                    };
+                }
+            }
+            TcpState::TimeWait => {
+                // The peer retransmitting its FIN means our final ACK
+                // was lost: regenerate it. Stale data duplicates in
+                // 2MSL get the same treatment — re-ACK our position so
+                // the peer can converge (RFC 793 p.73).
+                let mut had_payload = false;
+                for nb in payload {
+                    had_payload |= !nb.is_empty();
+                    recycle(nb);
+                }
+                if h.flags.fin || had_payload {
+                    self.emit(TcpFlags {
+                        ack: true,
+                        ..Default::default()
+                    });
                 }
             }
             TcpState::LastAck => {
@@ -1106,6 +1286,7 @@ impl Tcb {
         let mut seq = h.seq;
         let mut ingested = false;
         let mut dropped = false;
+        let mut had_payload = false;
         let mut scratch = std::mem::take(&mut self.flatten_scratch);
         for mut head in payload {
             // Flatten a chain into its extents, head first (the
@@ -1116,10 +1297,13 @@ impl Tcb {
             for mut nb in std::iter::once(head).chain(scratch.drain(..)) {
                 let len = nb.len();
                 if len == 0 {
+                    // An empty buffer carries no sequence space: the
+                    // segment is still "pure ACK" for the
+                    // out-of-window probe check below.
                     recycle(nb);
-                    seq = seq.wrapping_add(len as u32);
                     continue;
                 }
+                had_payload = true;
                 let end = seq.wrapping_add(len as u32);
                 if seq == self.rcv_nxt {
                     self.accept_in_order(nb, recycle);
@@ -1149,6 +1333,14 @@ impl Tcb {
             }
         }
         self.flatten_scratch = scratch;
+        // A zero-length segment that is not at `rcv_nxt` is outside
+        // the acceptable window — RFC 793 demands an ACK in reply.
+        // This is what answers a keepalive probe (a pure ACK one
+        // sequence number below `rcv_nxt`): a live peer acks it
+        // immediately, a dead one stays silent.
+        if !had_payload && h.seq != self.rcv_nxt && !h.flags.syn && !h.flags.fin {
+            dropped = true;
+        }
         if ingested {
             // The accepted bytes may have closed the hole in front of
             // the reassembly queue: drain every now-contiguous extent.
@@ -1158,6 +1350,7 @@ impl Tcb {
             // so a burst of segments is answered once per poll, not
             // once per segment.
             self.ack_pending = true;
+            self.delack_segs = self.delack_segs.saturating_add(1);
         }
         if dropped {
             // Duplicate ACK: dropped or queued-out-of-order data
@@ -1268,6 +1461,26 @@ impl Tcb {
             }
             self.accept_in_order(nb, recycle);
         }
+    }
+
+    /// Recycles **every** pooled buffer the TCB holds — send queue,
+    /// receive queue, and the recovery queues — and clears the armed
+    /// deadlines. The stack's reapers (TIME_WAIT 2MSL, handshake
+    /// timeout, keepalive dead-peer, FIN-WAIT-2 orphan, SYN-queue
+    /// eviction) call this so a torn-down connection returns its
+    /// memory to the pools in full.
+    pub fn drain_all_buffers<R: FnMut(Netbuf)>(&mut self, mut recycle: R) {
+        while let Some(nb) = self.send_q.pop_front() {
+            recycle(nb);
+        }
+        self.send_q_len = 0;
+        while let Some(nb) = self.recv_q.pop_front() {
+            recycle(nb);
+        }
+        self.recv_q_len = 0;
+        self.drain_recovery_queues(&mut recycle);
+        self.ack_deadline_ns = None;
+        self.out.clear();
     }
 
     /// Recycles every buffer held for loss recovery (retransmission
@@ -1692,15 +1905,39 @@ impl Tcb {
         }
         // Ingested data still unacknowledged and no segment carried
         // the cumulative ACK out: emit one pure ACK for the whole
-        // poll's worth of arrivals.
+        // poll's worth of arrivals — unless delayed ACKs are on and
+        // this is a lone in-order segment, in which case the ACK is
+        // held for the delayed-ACK timer (a data segment queued
+        // before the deadline carries it out for free; a second
+        // arrival forces it — quick-ACK; the timer fires it at the
+        // latest).
         if self.ack_pending && !emitted_ack && self.state != TcpState::Closed {
-            let header = self.make_header(TcpFlags {
-                ack: true,
-                ..Default::default()
-            });
-            emit(header, None);
+            let defer = self.delack_enabled
+                && self.state == TcpState::Established
+                && !self.peer_fin
+                && self.delack_segs < DELACK_SEGS;
+            if defer {
+                if self.ack_deadline_ns.is_none() {
+                    self.ack_deadline_ns = Some(self.now_ns.saturating_add(DELACK_NS));
+                }
+            } else {
+                let header = self.make_header(TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                });
+                emit(header, None);
+                emitted_ack = true;
+            }
         }
-        self.ack_pending = false;
+        if emitted_ack {
+            // The cumulative position went out: any held ACK is
+            // satisfied.
+            self.ack_deadline_ns = None;
+            self.delack_segs = 0;
+            self.ack_pending = false;
+        } else if self.ack_deadline_ns.is_none() {
+            self.ack_pending = false;
+        }
         // Arm the retransmission/persist timer: anything unacknowledged
         // in the sequence space (data, SYN, FIN) — or queued data
         // behind a closed zero window — must be backed by a deadline.

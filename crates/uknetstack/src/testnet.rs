@@ -61,9 +61,12 @@
 
 use uknetdev::netbuf::Netbuf;
 
-use crate::eth::EthHeader;
+use crate::arp::{ArpOp, ArpPacket};
+use crate::eth::{EthHeader, EtherType};
+use crate::ipv4::{IpProto, Ipv4Header};
 use crate::stack::NetStack;
-use crate::Mac;
+use crate::tcp::{TcpFlags, TcpHeader, TCP_HDR_LEN};
+use crate::{Endpoint, Ipv4Addr, Mac};
 
 /// A hub connecting multiple stacks.
 #[derive(Debug, Default)]
@@ -154,6 +157,14 @@ impl Network {
     /// on with an empty log).
     pub fn take_wire_capture(&mut self) -> Vec<Vec<u8>> {
         self.wire_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Stops recording wire frames and discards anything captured —
+    /// capturing allocates per frame, so drivers that interleave
+    /// capture-assisted setup with allocation-sensitive measurement
+    /// turn it off before the timed window.
+    pub fn stop_wire_capture(&mut self) {
+        self.wire_log = None;
     }
 
     /// Duplicates every `n`-th delivered plain (unchained) frame: the
@@ -259,6 +270,21 @@ impl Network {
                         continue;
                     }
                 };
+                let deliverable = dst == Mac::BROADCAST
+                    || self
+                        .stacks
+                        .iter()
+                        .enumerate()
+                        .any(|(i, s)| i != src && dst == s.mac());
+                if !deliverable {
+                    // Addressed to a MAC nobody owns (e.g. a response
+                    // drawn by forged traffic): the frame vanishes on
+                    // the wire — but the capture still sees it, so
+                    // drivers can observe what the victim answered.
+                    if let Some(log) = self.wire_log.as_mut() {
+                        log.push(nb.chain_segments().flatten().copied().collect());
+                    }
+                }
                 for i in 0..self.stacks.len() {
                     if i == src {
                         continue;
@@ -459,6 +485,214 @@ impl Network {
         }
         total
     }
+
+    /// Teaches stack `dst` an ARP mapping by injecting a forged reply,
+    /// the way an attacker on the L2 segment would poison the cache.
+    /// The mapping lets the victim's responses (SYN-ACKs, RSTs) leave
+    /// the stack instead of parking on a never-answered ARP request —
+    /// they cross the wire to a MAC nobody owns and are recycled, so
+    /// robustness tests can leak-check the victim's pool.
+    pub fn inject_arp_reply(&mut self, dst: usize, ip: Ipv4Addr, mac: Mac) {
+        let victim_mac = self.stacks[dst].mac();
+        let victim_ip = self.stacks[dst].ip();
+        let mut nb = Netbuf::alloc(2048, 64);
+        nb.append(
+            &ArpPacket {
+                op: ArpOp::Reply,
+                sha: mac,
+                spa: ip,
+                tha: victim_mac,
+                tpa: victim_ip,
+            }
+            .encode(),
+        );
+        EthHeader {
+            dst: victim_mac,
+            src: mac,
+            ethertype: EtherType::Arp,
+        }
+        .encode_into(&mut nb);
+        self.stacks[dst].deliver_frame(nb);
+    }
+
+    /// Forges a bare TCP segment (no payload) from a spoofed remote
+    /// endpoint and delivers it straight into stack `dst`'s RX ring.
+    /// The segment carries a valid checksum and is wire-marked, so it
+    /// exercises the demux and state machine, not the verification
+    /// pass. This is the raw material for SYN floods, stray-segment
+    /// RST tests, and handshake-timeout reclamation.
+    pub fn inject_tcp(
+        &mut self,
+        dst: usize,
+        from: Endpoint,
+        from_mac: Mac,
+        dst_port: u16,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+    ) {
+        let victim_mac = self.stacks[dst].mac();
+        let victim_ip = self.stacks[dst].ip();
+        let mut nb = Netbuf::alloc(2048, 64);
+        let ip = Ipv4Header {
+            src: from.addr,
+            dst: victim_ip,
+            proto: IpProto::Tcp,
+            payload_len: TCP_HDR_LEN,
+            ttl: 64,
+        };
+        TcpHeader {
+            src_port: from.port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65_535,
+        }
+        .encode_into(&ip, &mut nb);
+        ip.encode_into(&mut nb);
+        EthHeader {
+            dst: victim_mac,
+            src: from_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .encode_into(&mut nb);
+        nb.mark_csum_verified();
+        self.stacks[dst].deliver_frame(nb);
+    }
+
+    /// The spoofed source endpoint and MAC the flood driver uses for
+    /// attacker index `i` — a disjoint address plane (10.66.x.y) so
+    /// forged traffic can never collide with attached stacks (10.0.0.n).
+    pub fn spoofed_peer(i: usize) -> (Endpoint, Mac) {
+        let ep = Endpoint::new(
+            Ipv4Addr::new(10, 66, (i >> 8) as u8, i as u8),
+            40_000 + (i % 20_000) as u16,
+        );
+        let mac = Mac([0x66, 0x66, 0x00, 0x00, (i >> 8) as u8, i as u8]);
+        (ep, mac)
+    }
+
+    /// SYN-floods stack `dst`'s listener on `dst_port` with `count`
+    /// forged handshake openers from distinct spoofed endpoints
+    /// (`spoofed_peer(base)` through `spoofed_peer(base + count - 1)`)
+    /// that will never complete — half-open connections. Each spoofed
+    /// peer first teaches the victim its MAC so SYN-ACK replies drain
+    /// onto the wire (and vanish) instead of pinning pool buffers
+    /// under a pending ARP request. Frames are delivered in bursts of
+    /// `per_step` with a wire step between bursts, like a real flood
+    /// arriving across ring interrupts. Pass a fresh `base` per call
+    /// to keep four-tuples distinct across calls.
+    pub fn syn_flood(
+        &mut self,
+        dst: usize,
+        dst_port: u16,
+        base: usize,
+        count: usize,
+        per_step: usize,
+    ) {
+        let syn = TcpFlags {
+            syn: true,
+            ..TcpFlags::default()
+        };
+        let mut i = base;
+        while i < base + count {
+            let end = (i + per_step.max(1)).min(base + count);
+            for j in i..end {
+                let (ep, mac) = Self::spoofed_peer(j);
+                self.inject_arp_reply(dst, ep.addr, mac);
+                self.inject_tcp(dst, ep, mac, dst_port, syn, 0x1000_0000 + j as u32, 0);
+            }
+            self.step();
+            i = end;
+        }
+    }
+
+    /// Establishes `count` connections on stack `dst`'s listener on
+    /// `dst_port` from spoofed peers `base..base + count`, completing
+    /// each forged handshake: per burst of `per_step`, the driver
+    /// poisons ARP, injects the SYNs, reads the listener's SYN-ACKs
+    /// off the wire capture, and answers each with its matching ACK.
+    /// The graduated connections land in the listener's accept backlog
+    /// — the caller drains them with `tcp_accept` (so `count` per call
+    /// must fit the backlog). Returns how many handshakes completed.
+    /// This is the connection-scale driver: thousands of established
+    /// TCBs on one stack without thousands of peer stacks.
+    pub fn forge_established(
+        &mut self,
+        dst: usize,
+        dst_port: u16,
+        base: usize,
+        count: usize,
+        per_step: usize,
+    ) -> usize {
+        let victim_ip = self.stacks[dst].ip();
+        let syn = TcpFlags {
+            syn: true,
+            ..TcpFlags::default()
+        };
+        let ack_flags = TcpFlags {
+            ack: true,
+            ..TcpFlags::default()
+        };
+        let mut completed = 0;
+        let mut i = base;
+        while i < base + count {
+            let end = (i + per_step.max(1)).min(base + count);
+            self.start_wire_capture();
+            let mut burst: std::collections::HashMap<(Ipv4Addr, u16), (usize, Mac)> =
+                std::collections::HashMap::new();
+            for j in i..end {
+                let (ep, mac) = Self::spoofed_peer(j);
+                burst.insert((ep.addr, ep.port), (j, mac));
+                self.inject_arp_reply(dst, ep.addr, mac);
+                self.inject_tcp(dst, ep, mac, dst_port, syn, 0x1000_0000 + j as u32, 0);
+            }
+            // Two steps: the first pump processes the SYNs and stages
+            // the SYN-ACKs; the second step's transfer carries them
+            // across the (captured) wire.
+            self.step();
+            self.step();
+            for frame in self.take_wire_capture() {
+                let Ok((eth, rest)) = EthHeader::decode(&frame) else {
+                    continue;
+                };
+                if eth.ethertype != EtherType::Ipv4 {
+                    continue;
+                }
+                let Ok((ip, seg)) = Ipv4Header::decode_trusted(rest) else {
+                    continue;
+                };
+                if ip.proto != IpProto::Tcp || ip.src != victim_ip {
+                    continue;
+                }
+                let Ok((h, _)) = TcpHeader::decode_trusted(&ip, seg) else {
+                    continue;
+                };
+                let Some(&(j, mac)) = burst.get(&(ip.dst, h.dst_port)) else {
+                    continue;
+                };
+                if !(h.flags.syn && h.flags.ack) || h.src_port != dst_port {
+                    continue;
+                }
+                let ep = Endpoint::new(ip.dst, h.dst_port);
+                self.inject_tcp(
+                    dst,
+                    ep,
+                    mac,
+                    dst_port,
+                    ack_flags,
+                    0x1000_0000 + j as u32 + 1,
+                    h.seq.wrapping_add(1),
+                );
+                completed += 1;
+            }
+            self.step(); // ACKs graduate embryos into the backlog.
+            i = end;
+        }
+        self.stop_wire_capture();
+        completed
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +718,40 @@ mod tests {
         net.attach(mk_stack(1));
         net.attach(mk_stack(2));
         net
+    }
+
+    #[test]
+    fn forge_established_graduates_into_the_backlog() {
+        let mut net = Network::new();
+        net.attach(mk_stack(1));
+        let victim = {
+            let tsc = Tsc::new(3_600_000_000);
+            let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+            dev.configure(NetDevConf::default()).unwrap();
+            let mut cfg = StackConfig::node(2);
+            cfg.listen_backlog = 128;
+            cfg.lean_tcbs = true;
+            NetStack::new(cfg, Box::new(dev))
+        };
+        let si = net.attach(victim);
+        let clock = Tsc::new(1_000_000_000);
+        net.set_clock(&clock);
+        net.set_step_ns(1_000_000);
+        let listener = net.stack(si).tcp_listen(9300).unwrap();
+        let completed = net.forge_established(si, 9300, 0, 96, 32);
+        assert_eq!(completed, 96, "every forged handshake answered");
+        let mut got = Vec::new();
+        while let Some(h) = net.stack(si).tcp_accept(listener) {
+            got.push(h);
+        }
+        assert_eq!(got.len(), 96, "every completion graduated");
+        for h in got {
+            assert_eq!(net.stack(si).tcp_state(h), Some(TcpState::Established));
+        }
+        // Forged frames are heap buffers and SYN-ACKs went to the
+        // wire: the victim's pool is whole.
+        net.run_until_quiet(16);
+        assert_eq!(net.stack(si).pool_available(), Some(512));
     }
 
     #[test]

@@ -857,6 +857,305 @@ proptest! {
     }
 }
 
+// --- timer wheel ≡ naive sorted-list reference -----------------------
+//
+// The hierarchical wheel's contract: a timer armed for deadline `d`
+// fires on the first advance where the wheel's tick reaches
+// `floor(d / tick)`; arms in the past fire on the very next advance;
+// cancel is exact and idempotent, stale tokens cancel nothing. The
+// reference below is the obvious O(n) list every one of those words
+// maps onto directly — the wheel must be indistinguishable from it
+// under arbitrary interleavings of arm/cancel/advance, including
+// clock jumps crossing cascade boundaries and jumps beyond the whole
+// hierarchy span.
+
+#[derive(Debug, Clone)]
+enum WheelOp {
+    /// Arm at `now + delta_ms` (negative = in the past).
+    Arm { delta_ms: i64 },
+    /// Cancel one of the tokens issued so far (stale ones included).
+    Cancel { pick: usize },
+    /// Advance the clock by `delta_ms` (0 = drain ready list only).
+    Advance { delta_ms: u64 },
+}
+
+fn arb_wheel_op() -> impl Strategy<Value = WheelOp> {
+    prop_oneof![
+        4 => (-50i64..500).prop_map(|delta_ms| WheelOp::Arm { delta_ms }),
+        2 => (0usize..4096).prop_map(|pick| WheelOp::Cancel { pick }),
+        3 => prop_oneof![
+            // Ordinary ticks, level-crossing jumps, and rare jumps
+            // beyond the wheel's full span (64^4 ticks ≈ 4.7 h).
+            8 => 0u64..150,
+            3 => 1_000u64..600_000,
+            1 => 17_000_000u64..20_000_000,
+        ]
+        .prop_map(|delta_ms| WheelOp::Advance { delta_ms }),
+    ]
+}
+
+proptest! {
+    /// The wheel is observationally identical to the naive reference:
+    /// same fired keys (as a set — intra-advance order is
+    /// unspecified), same cancel outcomes, same armed count, at every
+    /// step of any operation sequence.
+    #[test]
+    fn timer_wheel_matches_naive_reference(
+        ops in proptest::collection::vec(arb_wheel_op(), 1..80),
+    ) {
+        use uknetstack::timer::{TimerToken, TimerWheel, DEFAULT_TICK_NS};
+        let mut wheel = TimerWheel::new();
+        let mut now: u64 = 0;
+        let mut next_id: u64 = 0;
+        // The reference: armed timers as (id, deadline_tick), plus
+        // every token ever issued so cancels can target stale ones.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut issued: Vec<(TimerToken, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                WheelOp::Arm { delta_ms } => {
+                    let deadline = now.saturating_add_signed(delta_ms * 1_000_000);
+                    let id = next_id;
+                    next_id += 1;
+                    let tok = wheel.arm(deadline, id);
+                    model.push((id, deadline / DEFAULT_TICK_NS));
+                    issued.push((tok, id));
+                }
+                WheelOp::Cancel { pick } => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let (tok, id) = issued[pick % issued.len()];
+                    let wheel_hit = wheel.cancel(tok);
+                    let model_pos = model.iter().position(|&(mid, _)| mid == id);
+                    if let Some(pos) = model_pos {
+                        model.swap_remove(pos);
+                    }
+                    prop_assert_eq!(
+                        wheel_hit,
+                        model_pos.is_some(),
+                        "cancel outcome diverged for id {}", id
+                    );
+                }
+                WheelOp::Advance { delta_ms } => {
+                    now += delta_ms * 1_000_000;
+                    let mut fired = Vec::new();
+                    wheel.advance(now, |key, _| fired.push(key));
+                    let tick = now / DEFAULT_TICK_NS;
+                    let mut expected: Vec<u64> = model
+                        .iter()
+                        .filter(|&&(_, dt)| dt <= tick)
+                        .map(|&(id, _)| id)
+                        .collect();
+                    model.retain(|&(_, dt)| dt > tick);
+                    fired.sort_unstable();
+                    expected.sort_unstable();
+                    prop_assert_eq!(fired, expected, "fired set diverged at now={}", now);
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.len(), "armed count diverged");
+        }
+        // Drain everything: advance past the furthest deadline.
+        let horizon = now + 30_000_000_000_000; // +8.3 h: beyond any arm.
+        let mut fired = Vec::new();
+        wheel.advance(horizon, |key, _| fired.push(key));
+        let mut expected: Vec<u64> = model.iter().map(|&(id, _)| id).collect();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected, "final drain diverged");
+        prop_assert!(wheel.is_empty());
+    }
+}
+
+// --- delayed ACK ≡ immediate ACK on delivery -------------------------
+
+/// Runs one client→server transfer on a clocked two-node net with the
+/// delayed-ACK switch set as given; returns the bytes the server read.
+fn delack_transfer(delayed_ack: bool, data: &[u8]) -> Vec<u8> {
+    use uknetdev::backend::VhostKind;
+    use uknetdev::dev::{NetDev, NetDevConf};
+    use uknetdev::VirtioNet;
+    use uknetstack::stack::{NetStack, StackConfig};
+    use uknetstack::testnet::Network;
+    use uknetstack::Endpoint;
+    use ukplat::time::Tsc;
+
+    let mk = |n: u8| {
+        let tsc = Tsc::new(3_600_000_000);
+        let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+        dev.configure(NetDevConf::default()).unwrap();
+        let mut cfg = StackConfig::node(n);
+        cfg.delayed_ack = delayed_ack;
+        NetStack::new(cfg, Box::new(dev))
+    };
+    let mut net = Network::new();
+    net.attach(mk(1));
+    net.attach(mk(2));
+    let clock = Tsc::new(1_000_000_000);
+    net.set_clock(&clock);
+    net.set_step_ns(1_000_000); // 1 ms per step: the delack cadence.
+    let listener = net.stack(1).tcp_listen(80).unwrap();
+    let client = net
+        .stack(0)
+        .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+        .unwrap();
+    net.run_until_quiet(32);
+    let conn = net.stack(1).tcp_accept(listener).unwrap();
+
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut sent = 0;
+    let mut got: Vec<u8> = Vec::with_capacity(data.len());
+    for _ in 0..20_000 {
+        if sent < data.len() {
+            sent += net
+                .stack(0)
+                .tcp_send_queued(client, &data[sent..])
+                .unwrap_or(0);
+            net.stack(0).flush_output().unwrap();
+        }
+        net.step();
+        loop {
+            let n = net.stack(1).tcp_recv_into(conn, &mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        if sent == data.len() && got.len() == data.len() {
+            break;
+        }
+    }
+    // The final ACK may be parked on the delack timer (40 ms) — buy
+    // enough virtual time for it to fire before accounting for pools,
+    // since unacked tail data pins retransmit-queue buffers.
+    for _ in 0..64 {
+        net.step();
+    }
+    net.run_until_quiet(64);
+    assert_eq!(net.stack(0).pool_available(), Some(512), "client pool whole");
+    assert_eq!(net.stack(1).pool_available(), Some(512), "server pool whole");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Delayed ACKs change when acknowledgements travel, never what
+    /// the application receives: for arbitrary payloads, delivery is
+    /// byte-identical with the switch on and off, and neither mode
+    /// leaks a buffer.
+    #[test]
+    fn delayed_ack_delivery_is_byte_identical(
+        len in 1usize..60_000,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..len)
+            .map(|i| ((i as u32).wrapping_mul(23).wrapping_add(seed as u32) % 251) as u8)
+            .collect();
+        let with = delack_transfer(true, &data);
+        let without = delack_transfer(false, &data);
+        prop_assert_eq!(&with, &data, "delayed-ACK stream exact");
+        prop_assert_eq!(with, without, "identical delivery either way");
+    }
+}
+
+// --- SYN flood interleaved with live transfers -----------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A SYN flood pounding the same listener an established
+    /// connection came from — at arbitrary burst sizes and cadences —
+    /// never corrupts the established stream and never leaks: the
+    /// embryos the flood parks are reclaimed by the handshake timer
+    /// and every pooled buffer comes home.
+    #[test]
+    fn syn_flood_interleaving_preserves_established_streams(
+        len in 4_000usize..40_000,
+        burst in 2usize..12,
+        cadence in 2usize..8,
+        backlog in 8usize..32,
+        seed in any::<u8>(),
+    ) {
+        use uknetdev::backend::VhostKind;
+        use uknetdev::dev::{NetDev, NetDevConf};
+        use uknetdev::VirtioNet;
+        use uknetstack::stack::{NetStack, StackConfig, HANDSHAKE_TIMEOUT_NS};
+        use uknetstack::testnet::Network;
+        use uknetstack::Endpoint;
+        use ukplat::time::Tsc;
+
+        let mk = |n: u8| {
+            let tsc = Tsc::new(3_600_000_000);
+            let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
+            dev.configure(NetDevConf::default()).unwrap();
+            let mut cfg = StackConfig::node(n);
+            cfg.listen_backlog = backlog;
+            NetStack::new(cfg, Box::new(dev))
+        };
+        let mut net = Network::new();
+        net.attach(mk(1));
+        net.attach(mk(2));
+        let clock = Tsc::new(1_000_000_000);
+        net.set_clock(&clock);
+        net.set_step_ns(5_000_000); // 5 ms per step.
+        let listener = net.stack(1).tcp_listen(80).unwrap();
+        let client = net
+            .stack(0)
+            .tcp_connect(Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 80))
+            .unwrap();
+        net.run_until_quiet(32);
+        let conn = net.stack(1).tcp_accept(listener).unwrap();
+
+        let data: Vec<u8> = (0..len)
+            .map(|i| ((i as u32).wrapping_mul(41).wrapping_add(seed as u32) % 251) as u8)
+            .collect();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut sent = 0;
+        let mut flooded = 0;
+        let mut got: Vec<u8> = Vec::with_capacity(data.len());
+        for round in 0..20_000 {
+            if round % cadence == 0 {
+                net.syn_flood(1, 80, flooded, burst, burst);
+                flooded += burst;
+            }
+            if sent < data.len() {
+                sent += net
+                    .stack(0)
+                    .tcp_send_queued(client, &data[sent..])
+                    .unwrap_or(0);
+                net.stack(0).flush_output().unwrap();
+            }
+            net.step();
+            loop {
+                let n = net.stack(1).tcp_recv_into(conn, &mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            if sent == data.len() && got.len() == data.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(&got, &data, "established stream intact through the flood");
+
+        // Every embryo the flood parked is reclaimed by the handshake
+        // timer, and nothing leaked anywhere.
+        for _ in 0..(HANDSHAKE_TIMEOUT_NS / 5_000_000) as usize + 8 {
+            net.step();
+        }
+        prop_assert_eq!(
+            net.stack(1).tcp_conn_count(),
+            1,
+            "only the established connection survives"
+        );
+        net.run_until_quiet(32);
+        prop_assert_eq!(net.stack(1).pool_available(), Some(512), "server pool whole");
+        prop_assert_eq!(net.stack(0).pool_available(), Some(512), "client pool whole");
+    }
+}
+
 /// Drives two TCBs against each other until quiescent.
 fn pump(a: &mut Tcb, b: &mut Tcb) {
     for _ in 0..64 {

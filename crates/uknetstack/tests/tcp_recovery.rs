@@ -258,6 +258,9 @@ fn dropped_syn_is_retransmitted() {
         Some(uknetstack::tcp::TcpState::Established),
         "handshake completed through SYN retransmission"
     );
+    // The handshake-completing ACK needs one more wire hop before the
+    // server moves the connection onto its accept backlog.
+    net.run_until_quiet(8);
     let conn = net.stack(1).tcp_accept(listener).unwrap();
     net.stack(0).tcp_send(client, b"post-loss hello").unwrap();
     net.run_until_quiet(32);

@@ -151,6 +151,91 @@ fn epoll_family_multiplexes_eventfd_and_socket_by_syscall_number() {
     assert_eq!(events[0].1, efd);
 }
 
+/// `epoll_wait(timeout)` end to end: the thread parks with a deadline,
+/// the queue's earliest deadline arms a hierarchical timer-wheel slot,
+/// and advancing the virtual clock fires the wheel → expires the park
+/// → wakes the thread through the scheduler — which then observes
+/// `TimedOut` (epoll's "0 ready events") because no readiness arrived.
+#[test]
+fn timed_epoll_wait_expires_through_the_timer_wheel() {
+    use unikraft_rs::netstack::timer::TimerWheel;
+
+    let queue = Rc::new(RefCell::new(EventQueue::new()));
+    let efd = Rc::new(RefCell::new(
+        unikraft_rs::event::EventFd::new(0, 0).unwrap(),
+    ));
+    queue
+        .borrow_mut()
+        .ctl_add(1, &*efd.borrow(), EventMask::IN)
+        .unwrap();
+
+    let tsc = Tsc::new(3_600_000_000);
+    let mut sched = CoopScheduler::new(&tsc);
+    let now = Rc::new(RefCell::new(0u64)); // Virtual-clock ns.
+    let outcome: Rc<RefCell<Option<&'static str>>> = Rc::new(RefCell::new(None));
+    const TIMEOUT_NS: u64 = 5_000_000; // epoll_wait(…, 5 ms).
+
+    let tid_holder: Rc<RefCell<Option<unikraft_rs::sched::ThreadId>>> =
+        Rc::new(RefCell::new(None));
+    let server = {
+        let queue = queue.clone();
+        let now = now.clone();
+        let outcome = outcome.clone();
+        let tid_holder = tid_holder.clone();
+        Thread::new("timed-epoll", move || {
+            let tid = tid_holder.borrow().expect("tid installed before run");
+            let t = *now.borrow();
+            match queue.borrow_mut().wait_until(8, tid, t, TIMEOUT_NS) {
+                WaitOutcome::Parked => StepResult::Block,
+                WaitOutcome::TimedOut => {
+                    *outcome.borrow_mut() = Some("timeout");
+                    StepResult::Exit
+                }
+                WaitOutcome::Ready(_) => {
+                    *outcome.borrow_mut() = Some("ready");
+                    StepResult::Exit
+                }
+            }
+        })
+    };
+    let tid = sched.spawn(server);
+    *tid_holder.borrow_mut() = Some(tid);
+
+    // Park with the deadline recorded; no spinning while blocked.
+    assert_eq!(sched.run_to_idle(), 1, "parked after one step");
+    assert_eq!(queue.borrow().waiter_count(), 1);
+
+    // The queue's earliest deadline becomes a wheel timer.
+    let mut wheel = TimerWheel::new();
+    let deadline = queue.borrow().next_deadline().expect("deadline armed");
+    assert_eq!(deadline, TIMEOUT_NS);
+    wheel.arm(deadline, 0xE9);
+
+    // Advance the virtual clock in coarse ticks; the wheel, not the
+    // caller, decides when the deadline is due.
+    let mut fired = false;
+    for step in 1..=10u64 {
+        *now.borrow_mut() = step * 1_000_000;
+        wheel.advance(*now.borrow(), |key, _| {
+            assert_eq!(key, 0xE9);
+            fired = true;
+        });
+        if fired {
+            break;
+        }
+    }
+    assert!(fired, "wheel fired within the timeout horizon");
+    assert_eq!(queue.borrow_mut().fire_deadlines(*now.borrow()), 1);
+    let woken = queue.borrow_mut().take_wakeups();
+    assert_eq!(woken, vec![tid]);
+    for id in woken {
+        sched.wake(id).unwrap();
+    }
+    sched.run_to_idle();
+    assert_eq!(*outcome.borrow(), Some("timeout"), "observed 0-event return");
+    assert_eq!(sched.alive(), 0);
+}
+
 /// `epoll_wait` parks the calling thread on the queue's `WaitQueue` and
 /// a readiness edge wakes it through the scheduler — no spinning: the
 /// server thread runs a bounded number of steps while idle.
@@ -180,7 +265,6 @@ fn parked_wait_is_woken_by_readiness_not_spinning() {
         Thread::new("epoll-server", move || {
             let tid = tid_holder.borrow().expect("tid installed before run");
             match queue.borrow_mut().wait(8, tid) {
-                WaitOutcome::Parked => StepResult::Block,
                 WaitOutcome::Ready(events) => {
                     for ev in events {
                         observed.borrow_mut().push(ev.token);
@@ -189,6 +273,7 @@ fn parked_wait_is_woken_by_readiness_not_spinning() {
                     observed.borrow_mut().push(v);
                     StepResult::Exit
                 }
+                _ => StepResult::Block,
             }
         })
     };
