@@ -24,15 +24,20 @@ verify-trace-off:
 	$(CARGO) test -q -p uktrace --no-default-features
 
 ## The loss-tolerance property in both feature modes: the
-## fault-schedule proptest (arbitrary drop × dup × reorder × burst
-## schedules must deliver byte-identical TCP streams in both
-## directions) and the wire-level recovery suite run with the
+## fault-schedule proptest (arbitrary drop × dup × reorder × corrupt ×
+## burst schedules crossed with the {sack, rack, pacing} recovery
+## switches must deliver byte-identical TCP streams in both
+## directions), the SACK conformance proptests (receiver block
+## generation vs an RFC 2018 reference, sender scoreboard vs a naive
+## bitmap) and the wire-level recovery suite run with the
 ## observability features on (default) and compiled out — the recovery
 ## machinery must not depend on stats/tracing being present.
 verify-fault-matrix:
 	$(CARGO) test -q -p uknetstack --test proptests any_fault_schedule
+	$(CARGO) test -q -p uknetstack --test proptests sack_
 	$(CARGO) test -q -p uknetstack --test tcp_recovery
 	$(CARGO) test -q -p uknetstack --no-default-features --test proptests any_fault_schedule
+	$(CARGO) test -q -p uknetstack --no-default-features --test proptests sack_
 	$(CARGO) test -q -p uknetstack --no-default-features --test tcp_recovery
 
 ## The connection-lifecycle properties in both feature modes: the
@@ -90,13 +95,19 @@ bench-smoke:
 ## PR 8 connection-scale grid (1K/10K/100K established-idle
 ## connections: establishment rate, resident bytes/conn, echo hot
 ## path at scale, plus connect/close churn rate and accept rate under
-## a 10×-backlog SYN flood) — and writes them to BENCH_PR8.json.
-## Since PR 6 each cell also embeds the ukstats counter deltas
-## measured inside its timed window and the document ends with a full
-## registry snapshot; the human tables are suppressed (leveled
-## logging drops to Warn in --json mode).
+## a 10×-backlog SYN flood), and the PR 9 recovery grid (1MB per-MSS
+## transfers × wire {lossless, 1/8 drop, reorder, drop+reorder} ×
+## recovery {off, sack, sack+rack, sack+rack+pacing}, goodput plus
+## scoreboard/RACK/TLP/pacing counters, gated: sack never loses to
+## blind recovery on a lossy wire, sack+rack holds ≥ 32% of lossless
+## at 1/8 drop, reorder-only cells see zero false fast-retransmits,
+## lossless cells stay 0.000 allocs/frame) — and writes them to
+## BENCH_PR9.json. Since PR 6 each cell also embeds the ukstats
+## counter deltas measured inside its timed window and the document
+## ends with a full registry snapshot; the human tables are suppressed
+## (leveled logging drops to Warn in --json mode).
 bench-json:
-	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR8.json
+	$(CARGO) bench -p ukbench --bench netpath -- --test --json $(CURDIR)/BENCH_PR9.json
 
 examples:
 	$(CARGO) build --release --examples

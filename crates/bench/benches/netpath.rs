@@ -43,12 +43,23 @@
 //! enforced) — plus connect/close churn rate through TIME_WAIT and
 //! accept throughput under a 10×-backlog SYN flood.
 //!
+//! Since surgical loss recovery landed, a **recovery grid** rides
+//! along: wire {lossless, 1/8 drop, adjacent reorder, both} ×
+//! recovery {off, sack, rack, sack+rack, sack+rack+pacing}, cc on.
+//! Each cell records wall-clock goodput *and* the deterministic
+//! virtual wire-step count (the A/B gates compare steps, immune to
+//! host noise): sack must not cost wire time vs rack-only, sack+rack
+//! must beat blind go-back-N outright and hold ≥ 32% of lossless at a
+//! 1-in-8 drop (2× the PR 7 figure), reorder-only cells must show
+//! zero false fast retransmits, and lossless cells stay
+//! allocation-free.
+//!
 //! The binary installs `ukalloc::stats::CountingAlloc` as its global
 //! allocator, so alongside the ns/iter numbers it prints measured
 //! **allocations per frame** (expected: 0.000 on every pooled config,
 //! enforced), round-trips/s and ns/RTT. With `--json <path>` the
 //! ablation table is also written as machine-readable JSON
-//! (`make bench-json` → `BENCH_PR7.json`), so the perf trajectory is
+//! (`make bench-json` → `BENCH_PR9.json`), so the perf trajectory is
 //! diffable across PRs. Since the observability layer landed, each
 //! JSON cell carries the `ukstats` counter deltas measured inside its
 //! timed window (what the datapath *did*, not just how long it took),
@@ -519,10 +530,30 @@ struct LossHarness {
     client: SocketHandle,
     server: SocketHandle,
     buf: Vec<u8>,
+    /// Wire steps driven so far (5 ms of virtual time each). The
+    /// recovery grid measures goodput against this virtual clock —
+    /// deterministic given the deterministic fault schedule, so its
+    /// gates are exact instead of wall-clock-noise-tolerant.
+    steps: u64,
 }
 
 impl LossHarness {
+    /// The PR 7 matrix shape: stack-default recovery (SACK + RACK on,
+    /// pacing off), drop cadence as the only fault.
     fn new(cc: bool, drop_every: u64) -> Self {
+        Self::with_recovery(cc, drop_every, 0, true, true, false)
+    }
+
+    /// Full-grid constructor: the three recovery switches and the
+    /// adjacent-reorder cadence become axes alongside the drop rate.
+    fn with_recovery(
+        cc: bool,
+        drop_every: u64,
+        reorder_every: u64,
+        sack: bool,
+        rack: bool,
+        pacing: bool,
+    ) -> Self {
         let mk = |n: u8| {
             let tsc = Tsc::new(ukplat::cost::CPU_FREQ_HZ);
             let mut dev = VirtioNet::new(VhostKind::VhostUser, &tsc);
@@ -530,6 +561,9 @@ impl LossHarness {
             let mut cfg = StackConfig::node(n);
             cfg.tso = false; // Plain per-MSS frames: droppable.
             cfg.congestion_control = cc;
+            cfg.sack = sack;
+            cfg.rack = rack;
+            cfg.pacing = pacing;
             NetStack::new(cfg, Box::new(dev))
         };
         let mut net = Network::new();
@@ -549,6 +583,7 @@ impl LossHarness {
         net.run_until_quiet(32);
         let server = net.stack(si).tcp_accept(listener).unwrap();
         net.set_drop_every(drop_every);
+        net.set_reorder_every(reorder_every);
         let mut h = LossHarness {
             net,
             ci,
@@ -556,6 +591,7 @@ impl LossHarness {
             client,
             server,
             buf: vec![0; 64 * 1024],
+            steps: 0,
         };
         for _ in 0..3 {
             h.transfer(64 * 1024);
@@ -581,6 +617,7 @@ impl LossHarness {
                 self.net.stack(self.ci).flush_output().unwrap();
             }
             self.net.step();
+            self.steps += 1;
             loop {
                 let n = self
                     .net
@@ -599,6 +636,18 @@ impl LossHarness {
     fn loss_stats(&mut self) -> (u64, u64, u64) {
         let (rto, rtx, fast, _) = self.net.stack(self.ci).tcp_loss_stats(self.client);
         (rto, rtx, fast)
+    }
+
+    /// `(sack_rtx, spurious_rtx, tlp_probes, paced_releases)` on the
+    /// sender.
+    fn recovery_stats(&mut self) -> (u64, u64, u64, u64) {
+        let (sack_rtx, spur, tlp, paced, _) =
+            self.net.stack(self.ci).tcp_recovery_stats(self.client);
+        (sack_rtx, spur, tlp, paced)
+    }
+
+    fn tx_frames(&mut self) -> u64 {
+        self.net.stack(self.ci).stats().tx_frames + self.net.stack(self.si).stats().tx_frames
     }
 }
 
@@ -905,6 +954,33 @@ struct LossRow {
     rto_fires: u64,
     retransmits: u64,
     fast_retransmits: u64,
+    stats: String,
+}
+
+/// One row of the recovery grid: loss × reorder wire cells crossed
+/// with the three recovery switches (cc always on — the deployment
+/// shape the recovery machinery has to win in).
+struct RecoveryRow {
+    name: String,
+    drop_every: u64,
+    reorder_every: u64,
+    sack: bool,
+    rack: bool,
+    pacing: bool,
+    bytes_per_s: f64,
+    mib_per_s: f64,
+    goodput_vs_lossless: f64,
+    /// Virtual wire steps (5 ms each) to complete the cell's
+    /// transfers — deterministic, the basis of the A/B gates.
+    wire_steps: u64,
+    allocs_per_frame: f64,
+    rto_fires: u64,
+    retransmits: u64,
+    fast_retransmits: u64,
+    sack_rtx: u64,
+    spurious_rtx: u64,
+    tlp_probes: u64,
+    paced_releases: u64,
     stats: String,
 }
 
@@ -1253,6 +1329,184 @@ fn ablation_report(json_path: Option<&str>) {
         goodput_1_64 * 100.0
     );
 
+    // --- Recovery grid: wire ∈ {lossless, 1/8 drop, reorder, both} ×
+    // recovery ∈ {off, sack, rack, sack+rack, sack+rack+pacing}, cc
+    // on. Same per-MSS 1 MB stream as the loss matrix. Each cell
+    // records two clocks: wall-clock goodput (comparable to the loss
+    // matrix and the PR 7 baseline) and the *virtual* wire-step count
+    // — the testnet and its fault schedule are deterministic, so step
+    // counts are exactly reproducible and the A/B gates below compare
+    // steps, immune to host scheduling noise. Each cell also records
+    // what the scoreboard, the reordering window and the pacing gate
+    // actually did, and the lossless cells stay allocation-free.
+    let mut rec_rows: Vec<RecoveryRow> = Vec::new();
+    for (sack, rack, pacing, rlabel) in [
+        (false, false, false, "off"),
+        (true, false, false, "sack"),
+        (false, true, false, "rack"),
+        (true, true, false, "sack_rack"),
+        (true, true, true, "full"),
+    ] {
+        for (drop_every, reorder_every, wlabel) in [
+            (0u64, 0u64, "lossless"),
+            (8, 0, "drop_1_8"),
+            (0, 3, "reorder_3"),
+            (8, 3, "drop_1_8_reorder_3"),
+        ] {
+            let mut h =
+                LossHarness::with_recovery(true, drop_every, reorder_every, sack, rack, pacing);
+            for _ in 0..3 {
+                h.transfer(LOSS_TOTAL); // Warm reps on the armed wire.
+            }
+            let (rto0, rtx0, fast0) = h.loss_stats();
+            let (srtx0, spur0, tlp0, paced0) = h.recovery_stats();
+            let frames0 = h.tx_frames();
+            let steps0 = h.steps;
+            let sbase = ukstats::snapshot();
+            let counter = AllocCounter::start();
+            let start = Instant::now();
+            let reps = 2u64;
+            for _ in 0..reps {
+                h.transfer(LOSS_TOTAL);
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let wire_steps = h.steps - steps0;
+            let allocs = counter.allocs();
+            let stats = stats_delta_json(&sbase);
+            let frames = (h.tx_frames() - frames0).max(1);
+            let (rto, rtx, fast) = h.loss_stats();
+            let (srtx, spur, tlp, paced) = h.recovery_stats();
+            let total = (LOSS_TOTAL as u64 * reps) as f64;
+            rec_rows.push(RecoveryRow {
+                name: format!("tcp_recovery_1mb/{wlabel}/{rlabel}"),
+                drop_every,
+                reorder_every,
+                sack,
+                rack,
+                pacing,
+                bytes_per_s: total / elapsed,
+                mib_per_s: total / elapsed / (1024.0 * 1024.0),
+                goodput_vs_lossless: 0.0, // Filled below.
+                wire_steps,
+                allocs_per_frame: allocs as f64 / frames as f64,
+                rto_fires: rto - rto0,
+                retransmits: rtx - rtx0,
+                fast_retransmits: fast - fast0,
+                sack_rtx: srtx - srtx0,
+                spurious_rtx: spur - spur0,
+                tlp_probes: tlp - tlp0,
+                paced_releases: paced - paced0,
+                stats,
+            });
+        }
+    }
+    for i in 0..rec_rows.len() {
+        let base = rec_rows
+            .iter()
+            .find(|r| {
+                r.sack == rec_rows[i].sack
+                    && r.rack == rec_rows[i].rack
+                    && r.pacing == rec_rows[i].pacing
+                    && r.drop_every == 0
+                    && r.reorder_every == 0
+            })
+            .expect("recovery lossless baseline")
+            .bytes_per_s;
+        rec_rows[i].goodput_vs_lossless = rec_rows[i].bytes_per_s / base;
+    }
+    ukcore::log_info!(
+        "{:<44} {:>9} {:>11} {:>6} {:>6} {:>6} {:>6} {:>8} {:>6} {:>6}",
+        "netpath/recovery", "MiB/s", "vs lossless", "steps", "rtx", "fast", "rto", "sack", "tlp",
+        "paced"
+    );
+    for r in &rec_rows {
+        ukcore::log_info!(
+            "{:<44} {:>9.1} {:>10.0}% {:>6} {:>6} {:>6} {:>6} {:>8} {:>6} {:>6}",
+            r.name,
+            r.mib_per_s,
+            r.goodput_vs_lossless * 100.0,
+            r.wire_steps,
+            r.retransmits,
+            r.fast_retransmits,
+            r.rto_fires,
+            r.sack_rtx,
+            r.tlp_probes,
+            r.paced_releases
+        );
+    }
+    let rec_cell = |drop: u64, reord: u64, sack: bool, rack: bool, pacing: bool| {
+        rec_rows
+            .iter()
+            .find(|r| {
+                r.drop_every == drop
+                    && r.reorder_every == reord
+                    && r.sack == sack
+                    && r.rack == rack
+                    && r.pacing == pacing
+            })
+            .expect("recovery cell")
+    };
+    // Gate (deterministic, on wire steps): with a time-based loss
+    // detector armed (RACK — without it, cc-on recovery is RTO-bound
+    // and the scoreboard never engages: the sack_rtx column is zero),
+    // turning the scoreboard on must not cost wire time on any lossy
+    // cell, and the full sack+rack stack must beat blind go-back-N
+    // recovery outright.
+    for (drop, reord) in [(8u64, 0u64), (8, 3)] {
+        let sack_off = rec_cell(drop, reord, false, true, false).wire_steps;
+        let sack_on = rec_cell(drop, reord, true, true, false).wire_steps;
+        assert!(
+            sack_on <= sack_off + sack_off / 50,
+            "sack-on must not cost wire time vs sack-off at drop={drop} reorder={reord} \
+             ({sack_on} vs {sack_off} steps)"
+        );
+        let blind = rec_cell(drop, reord, false, false, false).wire_steps;
+        assert!(
+            sack_on < blind,
+            "sack+rack must beat blind recovery at drop={drop} reorder={reord} \
+             ({sack_on} vs {blind} steps)"
+        );
+    }
+    // Gate: the full tentpole (sack+rack) holds ≥ 32% of its lossless
+    // baseline at a 1-in-8 drop — twice the PR 7 figure (16%).
+    let headline_1_8 = rec_cell(8, 0, true, true, false).goodput_vs_lossless;
+    ukcore::log_info!(
+        "netpath/recovery headline: {:.0}% of lossless goodput at 1/8 drop \
+         (cc on, sack+rack); reorder-only false fast-rtx = {}",
+        headline_1_8 * 100.0,
+        rec_cell(0, 3, true, true, false).fast_retransmits
+    );
+    assert!(
+        headline_1_8 >= 0.32,
+        "sack+rack goodput at 1/8 drop must hold at least 32% of lossless \
+         (2x the PR 7 baseline; got {:.0}%)",
+        headline_1_8 * 100.0
+    );
+    // Gate: reorder-only wires never trigger a false fast retransmit
+    // with the reordering window armed.
+    for (sack, rack, pacing) in [(true, true, false), (true, true, true)] {
+        let cell = rec_cell(0, 3, sack, rack, pacing);
+        assert_eq!(
+            cell.fast_retransmits, 0,
+            "zero false fast retransmits on the reorder-only wire ({})",
+            cell.name
+        );
+        assert_eq!(
+            cell.retransmits, 0,
+            "zero spurious data retransmissions on the reorder-only wire ({})",
+            cell.name
+        );
+    }
+    // Gate: lossless cells stay allocation-free per frame regardless
+    // of which recovery machinery is armed.
+    for r in rec_rows.iter().filter(|r| r.drop_every == 0 && r.reorder_every == 0) {
+        assert_eq!(
+            r.allocs_per_frame, 0.0,
+            "lossless recovery cell must stay allocation-free ({})",
+            r.name
+        );
+    }
+
     // --- Connection-scale grid: 1K / 10K / 100K established-idle
     // connections resident on one lean-TCB stack (forged handshakes
     // completed through the wire capture). Each cell records the
@@ -1444,6 +1698,33 @@ fn ablation_report(json_path: Option<&str>) {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"recovery_configs\": [\n");
+        for (i, r) in rec_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"drop_every\": {}, \"reorder_every\": {}, \"sack\": {}, \"rack\": {}, \"pacing\": {}, \"bytes_per_s\": {:.0}, \"mib_per_s\": {:.1}, \"goodput_vs_lossless\": {:.3}, \"wire_steps\": {}, \"allocs_per_frame\": {:.3}, \"retransmits\": {}, \"fast_retransmits\": {}, \"rto_fires\": {}, \"sack_rtx\": {}, \"spurious_rtx\": {}, \"tlp_probes\": {}, \"paced_releases\": {}, \"stats\": {} }}{}\n",
+                r.name,
+                r.drop_every,
+                r.reorder_every,
+                r.sack,
+                r.rack,
+                r.pacing,
+                r.bytes_per_s,
+                r.mib_per_s,
+                r.goodput_vs_lossless,
+                r.wire_steps,
+                r.allocs_per_frame,
+                r.retransmits,
+                r.fast_retransmits,
+                r.rto_fires,
+                r.sack_rtx,
+                r.spurious_rtx,
+                r.tlp_probes,
+                r.paced_releases,
+                r.stats,
+                if i + 1 == rec_rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"conn_scale_configs\": [\n");
         for (i, r) in scale_rows.iter().enumerate() {
             out.push_str(&format!(
@@ -1467,6 +1748,9 @@ fn ablation_report(json_path: Option<&str>) {
         ));
         out.push_str(&format!(
             "  \"loss_1_64_goodput_vs_lossless\": {goodput_1_64:.3},\n"
+        ));
+        out.push_str(&format!(
+            "  \"recovery_1_8_goodput_vs_lossless_sack_rack\": {headline_1_8:.3},\n"
         ));
         out.push_str(&format!(
             "  \"recv_64k_gro_speedup\": {recv_gro_speedup:.2},\n"

@@ -153,6 +153,10 @@ pub struct TcpHold {
     pub seq: u32,
     /// Payload byte count (excludes all headers).
     pub payload_len: u32,
+    /// Virtual-clock time the frame was (last) transmitted; rides
+    /// back with the extent so the sender's RACK logic can judge the
+    /// extent's freshness against the reordering window.
+    pub sent_ns: u64,
 }
 
 /// A packet buffer with driver metadata.
@@ -410,13 +414,23 @@ impl Netbuf {
         self.csum_verified
     }
 
+    /// Clears the checksum-validated mark. A wire model that mutates
+    /// frame bytes in flight (payload corruption faults) must drop the
+    /// mark so the receiver falls back to software verification and
+    /// actually catches the damage.
+    pub fn clear_csum_verified(&mut self) {
+        self.csum_verified = false;
+    }
+
     /// Tags this frame's payload as unacknowledged TCP data (see
-    /// [`TcpHold`]). Set by the stack when it emits a data frame.
-    pub fn set_tcp_hold(&mut self, conn: u64, seq: u32, payload_len: u32) {
+    /// [`TcpHold`]). Set by the stack when it emits a data frame;
+    /// `sent_ns` stamps the transmission on the virtual clock.
+    pub fn set_tcp_hold(&mut self, conn: u64, seq: u32, payload_len: u32, sent_ns: u64) {
         self.tcp_hold = Some(TcpHold {
             conn,
             seq,
             payload_len,
+            sent_ns,
         });
     }
 

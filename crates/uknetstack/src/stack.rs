@@ -111,15 +111,19 @@ use crate::eth::{EthHeader, EtherType, ETH_HDR_LEN};
 use crate::flow::{flow_key, FlowTable};
 use crate::icmp::{self, ICMP_ECHO_LEN};
 use crate::ipv4::{IpProto, Ipv4Header, IPV4_HDR_LEN};
-use crate::tcp::{Tcb, TcpFlags, TcpHeader, TcpState, MSS, TCP_HDR_LEN};
+use crate::tcp::{
+    Tcb, TcpFlags, TcpHeader, TcpOptions, TcpState, MSS, SACK_PERMITTED_OPT, TCP_HDR_LEN,
+    TCP_MAX_OPT_LEN,
+};
 use crate::timer::{TimerToken, TimerWheel};
 use crate::udp::{UdpHeader, UDP_HDR_LEN};
 use crate::{Endpoint, Ipv4Addr, Mac};
 
 /// Headroom reserved in every TX buffer: room for Ethernet + IPv4 +
-/// the largest transport header, so payloads are written once and all
-/// headers are prepended in place.
-pub const TX_HEADROOM: usize = 64;
+/// the largest transport header **including TCP options** (SACK blocks
+/// on pure ACKs need up to [`TCP_MAX_OPT_LEN`] extra bytes), so
+/// payloads are written once and all headers are prepended in place.
+pub const TX_HEADROOM: usize = 96;
 
 /// Storage size of each packet buffer (MTU + headers, rounded up).
 pub const BUF_CAP: usize = 2048;
@@ -203,12 +207,23 @@ pub const KEEPALIVE_PROBES: u32 = 3;
 /// the application still has readable data to drain).
 pub const CLOSED_LINGER_NS: u64 = 10_000_000;
 
+/// Netbuf-pool level below which the receive path sheds the newest
+/// out-of-order reassembly extents back to the pool. Sustained loss
+/// pins buffers on both ends (rtx extents on the sender, OOO extents
+/// on the receiver); shedding the newest OOO data — the furthest from
+/// being cumulatively acknowledged, and guaranteed to be retransmitted
+/// by the peer — degrades goodput gracefully where a starved pool
+/// would stall the whole stack.
+pub const LOW_POOL_BUFS: usize = 16;
+
 // Timer-key kinds (bits 63..48 of a wheel key; the low 48 bits carry
 // `generation << 32 | slot`, validated against the slab at dispatch so
 // a timer armed by a dead incarnation fires into nothing).
 const TK_RTO: u64 = 0;
 const TK_DELACK: u64 = 1;
 const TK_LIFE: u64 = 2;
+const TK_RACK: u64 = 3;
+const TK_PACE: u64 = 4;
 
 // Reap-reason codes carried by the `tcp_conn_reaped` tracepoint.
 const REAP_CLOSED: u64 = 0;
@@ -242,8 +257,10 @@ fn timer_key(kind: u64, slot: u32, gen: u16) -> u64 {
     (kind << 48) | ((gen as u64) << 32) | slot as u64
 }
 
-// All three header layers must fit the reserved headroom.
-const _: () = assert!(TX_HEADROOM >= ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN);
+// All three header layers — options included — must fit the reserved
+// headroom.
+const _: () =
+    assert!(TX_HEADROOM >= ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + TCP_MAX_OPT_LEN);
 
 /// Interface configuration.
 #[derive(Debug, Clone, Copy)]
@@ -316,6 +333,27 @@ pub struct StackConfig {
     /// (the client retransmits, the handshake timer bounds the
     /// half-open lifetime).
     pub listen_backlog: usize,
+    /// Whether connections negotiate and use selective acknowledgment
+    /// (RFC 2018): the receiver reports its out-of-order reassembly
+    /// extents as SACK blocks on pure ACKs, and the sender keeps a
+    /// scoreboard over the retransmission queue so a multi-hole loss
+    /// episode retransmits *only the holes* (with D-SACK detection of
+    /// spurious retransmits). Disable for the go-back-N ablation.
+    pub sack: bool,
+    /// Whether loss detection is time-based (RACK-TLP shape,
+    /// RFC 8985): per-extent transmit timestamps plus a
+    /// reordering-window timer replace the brittle 3-dup-ACK
+    /// threshold, and a tail-loss probe rescues last-segment drops
+    /// without a full RTO. Effective only with a virtual clock
+    /// installed (the reordering window needs a timebase); without
+    /// one the classic dup-ACK threshold stays in force.
+    pub rack: bool,
+    /// Whether recovery-episode emission (retransmissions and
+    /// post-RTO slow start) is paced: the `min(cwnd, snd_wnd)` budget
+    /// is released in SRTT-spread quanta through a wheel timer
+    /// instead of as one burst. Effective only with a virtual clock
+    /// installed.
+    pub pacing: bool,
     /// Whether new TCBs start with empty send/receive/retransmit
     /// queues that grow on demand, instead of the steady-state
     /// preallocation. For connection-scale workloads (tens of
@@ -345,6 +383,9 @@ impl StackConfig {
             delayed_ack: false,
             keepalive: false,
             listen_backlog: 64,
+            sack: true,
+            rack: true,
+            pacing: false,
             lean_tcbs: false,
         }
     }
@@ -394,6 +435,13 @@ struct TcpConn {
     /// The single lifecycle timer (kind says which one is armed).
     life_tok: TimerToken,
     life_kind: LifeKind,
+    /// Wheel mirror of the TCB's RACK deadline (reordering window or
+    /// tail-loss probe, whichever is nearer).
+    rack_tok: TimerToken,
+    rack_armed_ns: Option<u64>,
+    /// Wheel mirror of the TCB's pacing-gate deadline.
+    pace_tok: TimerToken,
+    pace_armed_ns: Option<u64>,
     /// Last segment activity (keepalive idle reference).
     last_activity_ns: u64,
     /// Unanswered keepalive probes since the last activity.
@@ -515,6 +563,12 @@ pub mod tp {
         tcp_retransmit(conn, count),
         tcp_fast_retransmit(conn, count),
         tcp_ooo_queue(conn, count),
+        // TCP surgical recovery (SACK scoreboard / RACK-TLP / pacing).
+        tcp_sack_rtx(conn, count),
+        tcp_spurious_rtx(conn, count),
+        tcp_tlp_probe(conn, count),
+        tcp_paced_release(conn, count),
+        tcp_ooo_shed(conn, count),
         // TCP connection lifecycle (timer wheel).
         tcp_rst_tx(dst_port, seq),
         tcp_time_wait(conn, port),
@@ -565,6 +619,20 @@ struct StackCounters {
     tcp_fast_retransmits: ukstats::Counter,
     /// Out-of-order extents filed into reassembly queues.
     tcp_ooo_queued: ukstats::Counter,
+    /// Scoreboard-driven (SACK) hole retransmissions beyond the
+    /// cumulative-ACK front.
+    tcp_sack_rtx: ukstats::Counter,
+    /// Spurious retransmissions detected via D-SACK.
+    tcp_spurious_rtx: ukstats::Counter,
+    /// Tail-loss probes fired in place of a full RTO.
+    tcp_tlp_probes: ukstats::Counter,
+    /// Pacing-gate quantum releases during recovery episodes.
+    tcp_paced_releases: ukstats::Counter,
+    /// Out-of-order extents shed under netbuf-pool pressure.
+    tcp_ooo_shed: ukstats::Counter,
+    /// Last observed RACK reordering window (ns; most recently polled
+    /// connection).
+    tcp_rack_reorder_window_ns: ukstats::Gauge,
     /// Last observed congestion window (bytes; most recently polled
     /// connection).
     tcp_cwnd: ukstats::Gauge,
@@ -616,6 +684,14 @@ impl StackCounters {
             tcp_retransmits: ukstats::Counter::register("netstack.tcp.retransmits"),
             tcp_fast_retransmits: ukstats::Counter::register("netstack.tcp.fast_retransmits"),
             tcp_ooo_queued: ukstats::Counter::register("netstack.tcp.ooo_queued"),
+            tcp_sack_rtx: ukstats::Counter::register("netstack.tcp.sack_rtx"),
+            tcp_spurious_rtx: ukstats::Counter::register("netstack.tcp.spurious_rtx"),
+            tcp_tlp_probes: ukstats::Counter::register("netstack.tcp.tlp_probes"),
+            tcp_paced_releases: ukstats::Counter::register("netstack.tcp.paced_releases"),
+            tcp_ooo_shed: ukstats::Counter::register("netstack.tcp.ooo_shed"),
+            tcp_rack_reorder_window_ns: ukstats::Gauge::register(
+                "netstack.tcp.rack_reorder_window_ns",
+            ),
             tcp_cwnd: ukstats::Gauge::register("netstack.tcp.cwnd"),
             tcp_timewait: ukstats::Counter::register("netstack.tcp.timewait"),
             tcp_keepalive_drops: ukstats::Counter::register("netstack.tcp.keepalive_drops"),
@@ -993,6 +1069,10 @@ impl NetStack {
             delack_armed_ns: None,
             life_tok: TimerToken::NONE,
             life_kind: LifeKind::None,
+            rack_tok: TimerToken::NONE,
+            rack_armed_ns: None,
+            pace_tok: TimerToken::NONE,
+            pace_armed_ns: None,
             last_activity_ns: now,
             ka_probes: 0,
             dirty: false,
@@ -1024,6 +1104,8 @@ impl NetStack {
         self.wheel.cancel(c.rto_tok);
         self.wheel.cancel(c.delack_tok);
         self.wheel.cancel(c.life_tok);
+        self.wheel.cancel(c.rack_tok);
+        self.wheel.cancel(c.pace_tok);
         self.flow.remove(flow_key(c.local_port, c.remote));
         if let Some(l) = self.listeners.get_mut(&c.local_port) {
             l.syn_queue.retain(|&s| s != slot);
@@ -1251,7 +1333,7 @@ impl NetStack {
     /// buffer and UDP/IP/Ethernet headers are prepended in place.
     ///
     /// The stack does not fragment: payloads beyond a packet buffer's
-    /// tailroom ([`BUF_CAP`] − [`TX_HEADROOM`] = 1984 bytes — already
+    /// tailroom ([`BUF_CAP`] − [`TX_HEADROOM`] = 1952 bytes — already
     /// past the 1500-byte wire MTU) are rejected with `EINVAL`.
     pub fn udp_send_to(&mut self, sock: SocketHandle, data: &[u8], to: Endpoint) -> Result<()> {
         let src_port = self
@@ -1445,6 +1527,11 @@ impl NetStack {
         tcb.set_congestion_control(self.config.congestion_control);
         tcb.set_lifecycle_enabled(self.clock.is_some());
         tcb.set_delayed_ack(self.config.delayed_ack && self.clock.is_some());
+        tcb.set_sack(self.config.sack);
+        // RACK and pacing need a timebase: without a clock the dup-ACK
+        // threshold and burst emission stay in force.
+        tcb.set_rack(self.config.rack && self.clock.is_some());
+        tcb.set_pacing(self.config.pacing && self.clock.is_some());
         let now = self.now_ns();
         if let Some(n) = now {
             tcb.set_now(n);
@@ -1622,6 +1709,23 @@ impl NetStack {
             .unwrap_or((0, 0, 0, 0))
     }
 
+    /// Surgical-recovery counters for one connection — cumulative
+    /// `(sack_rtx, spurious_rtx, tlp_probes, paced_releases, ooo_shed)`,
+    /// the PR 9 companions to [`tcp_loss_stats`](Self::tcp_loss_stats).
+    pub fn tcp_recovery_stats(&self, conn: SocketHandle) -> (u64, u64, u64, u64, u64) {
+        self.conn(conn.0)
+            .map(|c| {
+                (
+                    c.tcb.sack_rtx(),
+                    c.tcb.spurious_rtx(),
+                    c.tcb.tlp_probes(),
+                    c.tcb.paced_releases(),
+                    c.tcb.ooo_shed(),
+                )
+            })
+            .unwrap_or((0, 0, 0, 0, 0))
+    }
+
     /// Current congestion window (bytes) for one connection.
     pub fn tcp_cwnd(&self, conn: SocketHandle) -> usize {
         self.conn(conn.0).map(|c| c.tcb.cwnd()).unwrap_or(0)
@@ -1725,7 +1829,7 @@ impl NetStack {
             ext.take_csum_request();
             ext.take_gso_request();
             let back = match self.conn_mut(hold.conn as usize) {
-                Some(c) => c.tcb.rtx_return(seq, ext),
+                Some(c) => c.tcb.rtx_return(seq, hold.sent_ns, ext),
                 None => Some(ext),
             };
             if let Some(nb) = back {
@@ -1905,6 +2009,7 @@ impl NetStack {
         let mut supers = 0u64;
         let mut super_bytes = 0u64;
         let mut rtx_delta = 0u64;
+        let mut sack_rtx_delta = 0u64;
         let now = self.now_ns();
         // Only dirty connections are polled — at 100 K idle
         // connections the flush touches none of them. The list is
@@ -1935,6 +2040,16 @@ impl NetStack {
             // boundaries software segmentation would produce.
             let max_seg = if tso { (gso_max / mss).max(1) * mss } else { mss };
             let rtx0 = c.tcb.retransmits();
+            let sack_rtx0 = c.tcb.sack_rtx();
+            // The receiver half's SACK report for this poll: D-SACK
+            // plus the reassembly queue's extents, encoded once and
+            // attached to the first *pure ACK* the poll emits (the GSO
+            // cutter forbids options on data frames, and a poll that
+            // owes the peer a SACK always emits a pure ACK).
+            let mut sack_opt = [0u8; TCP_MAX_OPT_LEN];
+            let sack_len = c.tcb.fill_sack_option(&mut sack_opt);
+            let sack_on = c.tcb.sack_enabled();
+            let mut sack_used = false;
             c.tcb.poll_output_chain_with(max_seg, &take_buf, |header, chain| {
                 // Data rides in as the send queue's own buffers —
                 // chained for a super-segment, a single moved buffer
@@ -1942,11 +2057,25 @@ impl NetStack {
                 let was_data = chain.is_some();
                 let mut nb = chain.unwrap_or_else(&take_buf);
                 let plen = nb.chain_len();
+                // Options ride only on control segments: SACK-permitted
+                // on SYN / SYN-ACK, SACK blocks on the poll's first
+                // pure ACK.
+                let opts: &[u8] = if was_data || header.flags.rst {
+                    &[]
+                } else if header.flags.syn && sack_on {
+                    &SACK_PERMITTED_OPT
+                } else if header.flags.ack && !header.flags.syn && !sack_used && sack_len > 0
+                {
+                    sack_used = true;
+                    &sack_opt[..sack_len]
+                } else {
+                    &[]
+                };
                 let ip = Ipv4Header {
                     src: src_ip,
                     dst,
                     proto: IpProto::Tcp,
-                    payload_len: TCP_HDR_LEN + plen,
+                    payload_len: TCP_HDR_LEN + opts.len() + plen,
                     ttl: 64,
                 };
                 if plen > mss {
@@ -1957,6 +2086,13 @@ impl NetStack {
                     supers += 1;
                     super_bytes += plen as u64;
                     uktrace::trace!(self.trace, tp::tso_super_tx, plen, mss);
+                } else if !opts.is_empty() {
+                    if offload {
+                        header.encode_into_partial_opts(&ip, &mut nb, opts);
+                        offloaded += 1;
+                    } else {
+                        header.encode_into_opts(&ip, &mut nb, opts);
+                    }
                 } else if offload {
                     header.encode_into_partial(&ip, &mut nb);
                     offloaded += 1;
@@ -1968,8 +2104,9 @@ impl NetStack {
                 if was_data {
                     // Tag unacknowledged data so the recycle path files
                     // the payload into the retransmission queue instead
-                    // of the pool (see `rtx_return_chain`).
-                    nb.set_tcp_hold(h as u64, header.seq, plen as u32);
+                    // of the pool (see `rtx_return_chain`), stamped
+                    // with the transmit time RACK's loss logic keys on.
+                    nb.set_tcp_hold(h as u64, header.seq, plen as u32, now.unwrap_or(0));
                 }
                 staged.push((dst, nb));
             });
@@ -1978,9 +2115,18 @@ impl NetStack {
                 rtx_delta += d;
                 uktrace::trace!(self.trace, tp::tcp_retransmit, h, d);
             }
+            let ds = c.tcb.sack_rtx() - sack_rtx0;
+            if ds > 0 {
+                sack_rtx_delta += ds;
+                uktrace::trace!(self.trace, tp::tcp_sack_rtx, h, ds);
+            }
             self.ustats.tcp_cwnd.set(c.tcb.cwnd() as u64);
+            if c.tcb.rack_enabled() {
+                self.ustats.tcp_rack_reorder_window_ns.set(c.tcb.reo_wnd_ns());
+            }
         }
         self.ustats.tcp_retransmits.add(rtx_delta);
+        self.ustats.tcp_sack_rtx.add(sack_rtx_delta);
         self.pool = pool.into_inner();
         self.stats.csum_offloaded += offloaded;
         self.stats.tso_super_frames += supers;
@@ -2071,6 +2217,57 @@ impl NetStack {
                         self.dirty.push(slot);
                     }
                 }
+                TK_RACK => {
+                    c.rack_tok = TimerToken::NONE;
+                    c.rack_armed_ns = None;
+                    let fr0 = c.tcb.fast_retransmits();
+                    let tlp0 = c.tcb.tlp_probes();
+                    c.tcb.on_rack_timeout(now);
+                    let fr = c.tcb.fast_retransmits() - fr0;
+                    if fr > 0 {
+                        self.ustats.tcp_fast_retransmits.add(fr);
+                        uktrace::trace!(
+                            self.trace,
+                            tp::tcp_fast_retransmit,
+                            conn_handle(slot, gen),
+                            fr
+                        );
+                    }
+                    let tlp = c.tcb.tlp_probes() - tlp0;
+                    if tlp > 0 {
+                        self.ustats.tcp_tlp_probes.add(tlp);
+                        uktrace::trace!(
+                            self.trace,
+                            tp::tcp_tlp_probe,
+                            conn_handle(slot, gen),
+                            tlp
+                        );
+                    }
+                    if !c.dirty {
+                        c.dirty = true;
+                        self.dirty.push(slot);
+                    }
+                }
+                TK_PACE => {
+                    c.pace_tok = TimerToken::NONE;
+                    c.pace_armed_ns = None;
+                    let p0 = c.tcb.paced_releases();
+                    c.tcb.on_pace_timeout(now);
+                    let p = c.tcb.paced_releases() - p0;
+                    if p > 0 {
+                        self.ustats.tcp_paced_releases.add(p);
+                        uktrace::trace!(
+                            self.trace,
+                            tp::tcp_paced_release,
+                            conn_handle(slot, gen),
+                            p
+                        );
+                    }
+                    if !c.dirty {
+                        c.dirty = true;
+                        self.dirty.push(slot);
+                    }
+                }
                 TK_LIFE => {
                     c.life_tok = TimerToken::NONE;
                     match c.life_kind {
@@ -2154,6 +2351,24 @@ impl NetStack {
             c.delack_armed_ns = want;
             if let Some(d) = want {
                 c.delack_tok = self.wheel.arm(d, timer_key(TK_DELACK, slot, gen));
+            }
+        }
+        let want = c.tcb.rack_deadline();
+        if want != c.rack_armed_ns || (want.is_some() && c.rack_tok.is_none()) {
+            self.wheel.cancel(c.rack_tok);
+            c.rack_tok = TimerToken::NONE;
+            c.rack_armed_ns = want;
+            if let Some(d) = want {
+                c.rack_tok = self.wheel.arm(d, timer_key(TK_RACK, slot, gen));
+            }
+        }
+        let want = c.tcb.pace_deadline();
+        if want != c.pace_armed_ns || (want.is_some() && c.pace_tok.is_none()) {
+            self.wheel.cancel(c.pace_tok);
+            c.pace_tok = TimerToken::NONE;
+            c.pace_armed_ns = want;
+            if let Some(d) = want {
+                c.pace_tok = self.wheel.arm(d, timer_key(TK_PACE, slot, gen));
             }
         }
         let (kind, deadline) = match c.tcb.state {
@@ -2742,6 +2957,14 @@ impl NetStack {
             if let Some(state0) = state0 {
                 let gen = self.conn_slots[slot as usize].gen;
                 let h = conn_handle(slot, gen);
+                // TCP options (SACK-permitted on SYNs, SACK blocks on
+                // pure ACKs) live between the fixed header and the
+                // payload; capture them before the header is pulled.
+                let opts = if doff > TCP_HDR_LEN {
+                    Some(TcpOptions::parse(&nb.payload()[TCP_HDR_LEN..doff]))
+                } else {
+                    None
+                };
                 nb.pull_header(doff);
                 // GRO staging is for flows in steady data transfer;
                 // anything mid-handshake or mid-teardown takes the
@@ -2800,6 +3023,10 @@ impl NetStack {
                 let dup0 = c.tcb.dup_acks();
                 let fr0 = c.tcb.fast_retransmits();
                 let ooo0 = c.tcb.ooo_queued();
+                let sp0 = c.tcb.spurious_rtx();
+                if let Some(ref opts) = opts {
+                    c.tcb.process_options(&tcp, opts);
+                }
                 c.tcb.on_segment_bufs(&tcp, std::iter::once(nb), |b| {
                     if let Some(p) = pool.as_mut() {
                         p.give_back_chain(b);
@@ -2808,6 +3035,19 @@ impl NetStack {
                 let dup = c.tcb.dup_acks() - dup0;
                 let fr = c.tcb.fast_retransmits() - fr0;
                 let ooo = c.tcb.ooo_queued() - ooo0;
+                let sp = c.tcb.spurious_rtx() - sp0;
+                let shed0 = c.tcb.ooo_shed();
+                while pool.as_ref().is_some_and(|p| p.available() < LOW_POOL_BUFS) {
+                    let mut give = |b: Netbuf| {
+                        if let Some(p) = pool.as_mut() {
+                            p.give_back_chain(b);
+                        }
+                    };
+                    if !c.tcb.shed_newest_ooo(&mut give) {
+                        break;
+                    }
+                }
+                let shed = c.tcb.ooo_shed() - shed0;
                 let established =
                     state0 != TcpState::Established && c.tcb.state == TcpState::Established;
                 if !c.dirty {
@@ -2841,6 +3081,14 @@ impl NetStack {
                 if ooo > 0 {
                     self.ustats.tcp_ooo_queued.add(ooo);
                     uktrace::trace!(self.trace, tp::tcp_ooo_queue, h, ooo);
+                }
+                if sp > 0 {
+                    self.ustats.tcp_spurious_rtx.add(sp);
+                    uktrace::trace!(self.trace, tp::tcp_spurious_rtx, h, sp);
+                }
+                if shed > 0 {
+                    self.ustats.tcp_ooo_shed.add(shed);
+                    uktrace::trace!(self.trace, tp::tcp_ooo_shed, h, shed);
                 }
                 if bytes > 0 && !tcp.flags.syn {
                     uktrace::trace!(self.trace, tp::tcp_data_rx, h, bytes);
@@ -2880,10 +3128,17 @@ impl NetStack {
                 tcb.set_congestion_control(self.config.congestion_control);
                 tcb.set_lifecycle_enabled(self.clock.is_some());
                 tcb.set_delayed_ack(self.config.delayed_ack && self.clock.is_some());
+                tcb.set_sack(self.config.sack);
+                tcb.set_rack(self.config.rack && self.clock.is_some());
+                tcb.set_pacing(self.config.pacing && self.clock.is_some());
                 self.iss = self.iss.wrapping_add(64_000);
                 let now = self.now_ns();
                 if let Some(n) = now {
                     tcb.set_now(n);
+                }
+                if doff > TCP_HDR_LEN {
+                    let opts = TcpOptions::parse(&nb.payload()[TCP_HDR_LEN..doff]);
+                    tcb.process_options(&tcp, &opts);
                 }
                 tcb.on_segment(&tcp, &nb.payload()[doff..]);
                 self.recycle(nb);
@@ -2995,6 +3250,22 @@ impl NetStack {
                     if ooo > 0 {
                         self.ustats.tcp_ooo_queued.add(ooo);
                         uktrace::trace!(self.trace, tp::tcp_ooo_queue, conn, ooo);
+                    }
+                    let shed0 = c.tcb.ooo_shed();
+                    while pool.as_ref().is_some_and(|p| p.available() < LOW_POOL_BUFS) {
+                        let mut give = |b: Netbuf| {
+                            if let Some(p) = pool.as_mut() {
+                                p.give_back_chain(b);
+                            }
+                        };
+                        if !c.tcb.shed_newest_ooo(&mut give) {
+                            break;
+                        }
+                    }
+                    let shed = c.tcb.ooo_shed() - shed0;
+                    if shed > 0 {
+                        self.ustats.tcp_ooo_shed.add(shed);
+                        uktrace::trace!(self.trace, tp::tcp_ooo_shed, conn, shed);
                     }
                     if !c.dirty {
                         c.dirty = true;

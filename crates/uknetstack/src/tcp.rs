@@ -127,6 +127,32 @@ pub const DELACK_NS: u64 = 40_000_000;
 /// in-order segments are unacknowledged (RFC 1122: at least every
 /// second full-sized segment).
 const DELACK_SEGS: u32 = 2;
+/// Most SACK blocks one option ever carries: 3 regular blocks
+/// (RFC 2018 §3 with a NOP-NOP-prefixed option) plus one leading
+/// D-SACK block (RFC 2883 §4).
+pub const MAX_SACK_BLOCKS: usize = 4;
+/// Largest TCP option run the stack emits: `NOP NOP kind len` plus
+/// [`MAX_SACK_BLOCKS`] 8-byte blocks — already a multiple of 4.
+pub const TCP_MAX_OPT_LEN: usize = 4 + 8 * MAX_SACK_BLOCKS;
+/// SACK-permitted option (kind 4), NOP-padded to a 4-byte word; rides
+/// SYN and SYN-ACK segments only (RFC 2018 §2).
+pub const SACK_PERMITTED_OPT: [u8; 4] = [1, 1, 4, 2];
+/// Scoreboard capacity: disjoint SACKed ranges tracked per
+/// connection. A 64 KB send buffer is ≤ 45 MSS segments, so ≤ 23
+/// alternating holes; 32 ranges cover every reachable episode and the
+/// `Vec` never reallocates in steady state.
+const MAX_SACKED_RANGES: usize = 32;
+/// RACK reordering-window floor: how long after loss evidence (first
+/// duplicate ACK / SACK advance) the sender waits before declaring
+/// loss, so mere reordering can cancel the episode. Half the SRTT,
+/// floored here to stay above the virtual wire's delivery quantum.
+const RACK_REO_WND_MIN_NS: u64 = 10_000_000;
+/// Tail-loss-probe floor (the PTO is `2 * srtt` once an RTT sample
+/// exists; before that, half the initial RTO).
+const TLP_MIN_NS: u64 = 2_000_000;
+/// Pacing-gate release interval floor (the interval is `srtt / 8` —
+/// eight sub-bursts per RTT — floored to stay schedulable).
+const PACE_INTERVAL_MIN_NS: u64 = 1_000_000;
 
 /// TCP flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -269,6 +295,64 @@ impl TcpHeader {
         nb.request_gso(mss);
     }
 
+    /// [`encode_into`](Self::encode_into) with TCP options: prepends a
+    /// `20 + opts.len()`-byte header (data offset raised accordingly)
+    /// and checksums the whole segment in software. `opts` must
+    /// already be NOP-padded to a multiple of 4 and `ip.payload_len`
+    /// must include the option bytes. The GSO cutter rejects options,
+    /// so only uncut frames — pure ACKs and handshake segments — ever
+    /// take this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb` lacks `20 + opts.len()` bytes of headroom or
+    /// `opts.len()` is not a multiple of 4.
+    pub fn encode_into_opts(&self, ip: &Ipv4Header, nb: &mut Netbuf, opts: &[u8]) {
+        let hlen = self.push_opts_header(nb, opts);
+        let hdr = &mut nb.payload_mut()[..hlen];
+        hdr[16..18].copy_from_slice(&[0, 0]); // Checksum placeholder.
+        let ck = inet_checksum(nb.payload(), ip.pseudo_header_sum());
+        nb.payload_mut()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// The checksum-offload form of
+    /// [`encode_into_opts`](Self::encode_into_opts): the checksum
+    /// field holds the folded pseudo-header sum and a
+    /// [`CsumRequest`](uknetdev::netbuf::CsumRequest) spanning the
+    /// whole segment (header + options + payload) is attached for the
+    /// device to complete.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`encode_into_opts`](Self::encode_into_opts).
+    pub fn encode_into_partial_opts(&self, ip: &Ipv4Header, nb: &mut Netbuf, opts: &[u8]) {
+        let hlen = self.push_opts_header(nb, opts);
+        let partial = uknetdev::csum::fold_partial_sum(u64::from(ip.pseudo_header_sum()));
+        nb.payload_mut()[..hlen][16..18].copy_from_slice(&partial.to_be_bytes());
+        nb.request_csum(nb.len(), 16);
+    }
+
+    /// Shared prepend of the option-carrying encoders: full header
+    /// with `opts` in the option space and the data offset covering
+    /// them; the checksum field is left zero for the caller to fill.
+    /// Returns the header length.
+    fn push_opts_header(&self, nb: &mut Netbuf, opts: &[u8]) -> usize {
+        assert_eq!(opts.len() % 4, 0, "options must be padded to 32-bit words");
+        let hlen = TCP_HDR_LEN + opts.len();
+        let hdr = nb.push_header_uninit(hlen);
+        hdr[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        hdr[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        hdr[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        hdr[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        hdr[12] = ((hlen / 4) as u8) << 4;
+        hdr[13] = self.flags.to_u8();
+        hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
+        hdr[16..18].copy_from_slice(&[0, 0]);
+        hdr[18..20].copy_from_slice(&[0, 0]); // Urgent pointer.
+        hdr[20..hlen].copy_from_slice(opts);
+        hlen
+    }
+
     /// Shared header prepend of the offload encoders: every field
     /// final except the checksum, which holds the folded pseudo-header
     /// sum for a downstream completer.
@@ -325,6 +409,64 @@ impl TcpHeader {
             },
             &seg[doff..],
         ))
+    }
+}
+
+/// Parsed TCP options — the subset the stack understands (SACK
+/// machinery; everything else is skipped structurally).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// SACK-permitted (kind 4) was present — legal on SYN/SYN-ACK
+    /// only, which is the only place the stack emits or honors it.
+    pub sack_permitted: bool,
+    /// SACK blocks (kind 5) in wire order; `sack_count` entries valid.
+    pub sack_blocks: [(u32, u32); MAX_SACK_BLOCKS],
+    /// Number of valid entries in `sack_blocks`.
+    pub sack_count: usize,
+}
+
+impl TcpOptions {
+    /// Parses the option bytes between the fixed header and the data
+    /// offset (`&seg[20..doff]`). Unknown options are skipped by their
+    /// length byte; a malformed tail ends the walk (the fixed header
+    /// was already validated, so the segment itself stands).
+    pub fn parse(opts: &[u8]) -> Self {
+        let mut out = TcpOptions::default();
+        let mut i = 0;
+        while i < opts.len() {
+            match opts[i] {
+                0 => break,  // End of option list.
+                1 => i += 1, // NOP.
+                kind => {
+                    if i + 1 >= opts.len() {
+                        break;
+                    }
+                    let len = opts[i + 1] as usize;
+                    if len < 2 || i + len > opts.len() {
+                        break;
+                    }
+                    if kind == 4 && len == 2 {
+                        out.sack_permitted = true;
+                    } else if kind == 5 && len >= 10 && (len - 2) % 8 == 0 {
+                        let nblocks = (len - 2) / 8;
+                        for b in 0..nblocks.min(MAX_SACK_BLOCKS) {
+                            let o = i + 2 + b * 8;
+                            let s = u32::from_be_bytes(opts[o..o + 4].try_into().unwrap());
+                            let e = u32::from_be_bytes(opts[o + 4..o + 8].try_into().unwrap());
+                            out.sack_blocks[out.sack_count] = (s, e);
+                            out.sack_count += 1;
+                        }
+                    }
+                    i += len;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether anything the stack acts on was present.
+    pub fn is_empty(&self) -> bool {
+        !self.sack_permitted && self.sack_count == 0
     }
 }
 
@@ -445,11 +587,14 @@ pub struct Tcb {
     peer_fin: bool,
     /// Whether our FIN has been emitted (so the RTO can re-emit it).
     fin_sent: bool,
-    /// Retransmission queue: unacknowledged payload extents, sequence-
-    /// sorted, regenerated from returning TX frames ([`rtx_return`]
-    /// (Self::rtx_return)) — the buffers *are* the frames' payload, so
-    /// retransmission never re-copies application bytes.
-    rtx_q: VecDeque<(u32, Netbuf)>,
+    /// Retransmission queue: unacknowledged payload extents as
+    /// `(seq, sent_ns, buffer)`, sequence-sorted, regenerated from
+    /// returning TX frames ([`rtx_return`](Self::rtx_return)) — the
+    /// buffers *are* the frames' payload, so retransmission never
+    /// re-copies application bytes. `sent_ns` is the extent's last
+    /// transmission time off the virtual clock (the RACK freshness
+    /// input); a retransmission refreshes it when the frame re-files.
+    rtx_q: VecDeque<(u32, u64, Netbuf)>,
     /// Extents fully acknowledged between polls, awaiting recycle (the
     /// next `on_segment_bufs` drains them through its recycle sink).
     rtx_released: Vec<Netbuf>,
@@ -522,6 +667,59 @@ pub struct Tcb {
     /// In-order segments ingested since the last emitted ACK — the
     /// quick-ACK trigger.
     delack_segs: u32,
+    /// Whether this side generates and consumes SACK information
+    /// (`StackConfig::sack`); the wire still needs the peer's
+    /// SACK-permitted handshake option before anything is emitted.
+    sack_enabled: bool,
+    /// Peer announced SACK-permitted on its SYN/SYN-ACK.
+    peer_sack_ok: bool,
+    /// Start of the most recently queued out-of-order extent — the
+    /// block RFC 2018 §4 requires first in the next SACK option.
+    sack_recent: Option<u32>,
+    /// Pending duplicate-arrival report (RFC 2883 D-SACK), emitted as
+    /// the first block of exactly one SACK option.
+    dsack_pending: Option<(u32, u32)>,
+    /// Sender scoreboard: disjoint, ascending SACKed ranges strictly
+    /// above `snd_una`, merged from the peer's SACK blocks. The
+    /// hole-walk retransmits only `rtx_q` extents *not* covered here.
+    sacked: Vec<(u32, u32)>,
+    /// Highest sequence end the hole-walk has retransmitted this
+    /// episode (reset when `snd_una` advances or the RTO fires) — the
+    /// RACK-less guard against re-sending the same hole every ACK.
+    sack_rtx_mark: u32,
+    /// Whether RACK-style time-based loss detection replaces the
+    /// 3-dup-ACK threshold (`StackConfig::rack`; needs the virtual
+    /// clock, the stack gates it on one being installed).
+    rack_enabled: bool,
+    /// Armed reordering-window deadline: loss evidence arrived and
+    /// the episode opens when it expires — unless cumulative progress
+    /// cancels it first (reordering, not loss).
+    reo_deadline_ns: Option<u64>,
+    /// Armed tail-loss-probe deadline (PTO).
+    tlp_deadline_ns: Option<u64>,
+    /// A tail-loss probe is due at the next output poll.
+    tlp_pending: bool,
+    /// A probe was already spent on this tail (one per episode; reset
+    /// when `snd_una` advances).
+    tlp_consumed: bool,
+    /// Whether recovery emission is metered through the pacing gate
+    /// (`StackConfig::pacing`; needs the virtual clock).
+    pacing_enabled: bool,
+    /// Bytes the pacing gate still admits before the next release.
+    pace_budget: usize,
+    /// Armed pacing-gate release deadline.
+    pace_deadline_ns: Option<u64>,
+    /// Cumulative scoreboard-driven hole retransmissions beyond the
+    /// first hole (observability).
+    stat_sack_rtx: u64,
+    /// Cumulative spurious retransmissions detected via D-SACK.
+    stat_spurious_rtx: u64,
+    /// Cumulative tail-loss probes fired.
+    stat_tlp_probes: u64,
+    /// Cumulative pacing-gate releases.
+    stat_paced_releases: u64,
+    /// Cumulative out-of-order extents shed under pool pressure.
+    stat_ooo_shed: u64,
 }
 
 impl Tcb {
@@ -598,6 +796,25 @@ impl Tcb {
             delack_enabled: false,
             ack_deadline_ns: None,
             delack_segs: 0,
+            sack_enabled: false,
+            peer_sack_ok: false,
+            sack_recent: None,
+            dsack_pending: None,
+            sacked: Vec::with_capacity(MAX_SACKED_RANGES),
+            sack_rtx_mark: iss,
+            rack_enabled: false,
+            reo_deadline_ns: None,
+            tlp_deadline_ns: None,
+            tlp_pending: false,
+            tlp_consumed: false,
+            pacing_enabled: false,
+            pace_budget: 0,
+            pace_deadline_ns: None,
+            stat_sack_rtx: 0,
+            stat_spurious_rtx: 0,
+            stat_tlp_probes: 0,
+            stat_paced_releases: 0,
+            stat_ooo_shed: 0,
         }
     }
 
@@ -615,6 +832,7 @@ impl Tcb {
         self.rtx_q = VecDeque::new();
         self.rtx_released = Vec::new();
         self.ooo_q = VecDeque::new();
+        self.sacked = Vec::new();
     }
 
     /// Overrides the maximum segment size (defaults to [`MSS`]).
@@ -643,6 +861,161 @@ impl Tcb {
     /// ablation on; exported as the `netstack.tcp.cwnd` gauge).
     pub fn cwnd(&self) -> usize {
         self.cwnd
+    }
+
+    /// Enables/disables the SACK machinery (the `StackConfig::sack`
+    /// ablation): generating SACK options from the reassembly queue,
+    /// keeping the sender scoreboard, and the surgical hole-walk
+    /// retransmission. Off, every recovery path behaves exactly as
+    /// before this machinery existed.
+    pub fn set_sack(&mut self, enabled: bool) {
+        self.sack_enabled = enabled;
+        if !enabled {
+            self.sacked.clear();
+            self.dsack_pending = None;
+            self.sack_recent = None;
+        }
+    }
+
+    /// Whether the SACK ablation is on (the stack's emission path
+    /// checks this to decide whether SYN/SYN-ACK carry
+    /// SACK-permitted).
+    pub fn sack_enabled(&self) -> bool {
+        self.sack_enabled
+    }
+
+    /// Enables/disables RACK-style time-based loss detection and the
+    /// tail-loss probe (the `StackConfig::rack` ablation). Needs the
+    /// virtual clock: the stack only switches it on when one drives
+    /// its timer wheel, since with no timer the suppressed 3-dup-ACK
+    /// threshold would have no time-based replacement.
+    pub fn set_rack(&mut self, enabled: bool) {
+        self.rack_enabled = enabled;
+        if !enabled {
+            self.reo_deadline_ns = None;
+            self.tlp_deadline_ns = None;
+            self.tlp_pending = false;
+        }
+    }
+
+    /// Whether RACK-style loss detection is on.
+    pub fn rack_enabled(&self) -> bool {
+        self.rack_enabled
+    }
+
+    /// Enables/disables the recovery pacing gate (the
+    /// `StackConfig::pacing` ablation; clock-gated like RACK).
+    pub fn set_pacing(&mut self, enabled: bool) {
+        self.pacing_enabled = enabled;
+        if !enabled {
+            self.pace_deadline_ns = None;
+            self.pace_budget = 0;
+        }
+    }
+
+    /// The reordering window RACK currently applies before declaring
+    /// loss (exported as the `netstack.tcp.rack_reorder_window_ns`
+    /// gauge).
+    pub fn reo_wnd_ns(&self) -> u64 {
+        (self.srtt_ns / 2).max(RACK_REO_WND_MIN_NS)
+    }
+
+    /// The sender scoreboard: disjoint ascending SACKed ranges above
+    /// `snd_una` (diagnostics; the proptests compare this against a
+    /// per-byte bitmap reference).
+    pub fn sacked_ranges(&self) -> &[(u32, u32)] {
+        &self.sacked
+    }
+
+    /// The armed RACK deadline — the nearer of the reordering-window
+    /// and tail-loss-probe deadlines (the stack mirrors this onto its
+    /// timer wheel).
+    pub fn rack_deadline(&self) -> Option<u64> {
+        match (self.reo_deadline_ns, self.tlp_deadline_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The armed pacing-gate deadline (mirrored onto the stack's
+    /// wheel like the RACK deadline).
+    pub fn pace_deadline(&self) -> Option<u64> {
+        self.pace_deadline_ns
+    }
+
+    /// RACK timer fired: settle whichever deadlines have passed. An
+    /// expired reordering window with the hole still open is loss —
+    /// enter fast retransmit exactly as the 3rd duplicate ACK would
+    /// have (the dup-ACK count merely *arms* the window with RACK on;
+    /// expiry is what declares loss, so reordering that resolves
+    /// within the window never triggers a retransmission). An expired
+    /// PTO owes the wire a tail-loss probe.
+    pub fn on_rack_timeout(&mut self, now_ns: u64) {
+        self.set_now(now_ns);
+        if self.reo_deadline_ns.is_some_and(|d| d <= now_ns) {
+            self.reo_deadline_ns = None;
+            if self.snd_una != self.snd_nxt
+                && !self.in_recovery
+                && (self.dup_ack_rx > 0 || !self.sacked.is_empty())
+            {
+                self.stat_fast_retransmits += 1;
+                self.rtx_request = true;
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.sack_rtx_mark = self.snd_una;
+                if self.cc_enabled {
+                    let flight = self.bytes_in_flight() as usize;
+                    self.ssthresh = (flight / 2).max(2 * self.mss);
+                    self.cwnd = self.ssthresh + 3 * self.mss;
+                }
+            }
+        }
+        if self.tlp_deadline_ns.is_some_and(|d| d <= now_ns) {
+            self.tlp_deadline_ns = None;
+            if self.snd_una != self.snd_nxt && !self.in_recovery && !self.tlp_consumed {
+                self.tlp_pending = true;
+                self.tlp_consumed = true;
+                self.stat_tlp_probes += 1;
+            }
+        }
+    }
+
+    /// Pacing timer fired: release the next emission quantum.
+    pub fn on_pace_timeout(&mut self, now_ns: u64) {
+        self.set_now(now_ns);
+        if self.pace_deadline_ns.is_some_and(|d| d <= now_ns) {
+            self.pace_deadline_ns = None;
+            self.pace_budget = self.pace_quantum();
+            self.stat_paced_releases += 1;
+        }
+    }
+
+    /// Whether the pacing gate currently meters emission: only during
+    /// a loss episode (recovery or backed-off RTO) — the lossless
+    /// path is byte-identical with pacing compiled in and armed.
+    fn pacing_active(&self) -> bool {
+        self.pacing_enabled && (self.in_recovery || self.backoff > 0)
+    }
+
+    /// Bytes one pacing release admits: an eighth of the effective
+    /// window, floored at two segments so recovery always progresses.
+    fn pace_quantum(&self) -> usize {
+        ((self.snd_wnd as usize).min(self.cwnd) / 8).max(2 * self.mss)
+    }
+
+    /// Sheds the newest (highest-sequence) reassembly-queue extent
+    /// back to the pool — the low-pool graceful-degradation policy.
+    /// Newest first because the peer must retransmit shed bytes
+    /// anyway and the oldest extents are the ones an imminent hole
+    /// fill will drain. Returns whether an extent was shed.
+    pub fn shed_newest_ooo<R: FnMut(Netbuf)>(&mut self, recycle: &mut R) -> bool {
+        let Some((_, nb)) = self.ooo_q.pop_back() else {
+            return false;
+        };
+        self.ooo_bytes -= nb.len();
+        self.stat_ooo_shed += 1;
+        recycle(nb);
+        true
     }
 
     /// Enables the full connection lifecycle: an orderly close walks
@@ -739,6 +1112,33 @@ impl Tcb {
         self.stat_ooo_queued
     }
 
+    /// Cumulative scoreboard-driven retransmissions of holes beyond
+    /// the first (the surgical part of SACK recovery).
+    pub fn sack_rtx(&self) -> u64 {
+        self.stat_sack_rtx
+    }
+
+    /// Cumulative spurious retransmissions the peer reported via
+    /// D-SACK.
+    pub fn spurious_rtx(&self) -> u64 {
+        self.stat_spurious_rtx
+    }
+
+    /// Cumulative tail-loss probes fired.
+    pub fn tlp_probes(&self) -> u64 {
+        self.stat_tlp_probes
+    }
+
+    /// Cumulative pacing-gate releases.
+    pub fn paced_releases(&self) -> u64 {
+        self.stat_paced_releases
+    }
+
+    /// Cumulative reassembly-queue extents shed under pool pressure.
+    pub fn ooo_shed(&self) -> u64 {
+        self.stat_ooo_shed
+    }
+
     /// The segment size software segmentation cuts to.
     pub fn mss(&self) -> usize {
         self.mss
@@ -780,6 +1180,109 @@ impl Tcb {
         (b.wrapping_sub(a) as i32) > 0
     }
 
+    /// Processes a segment's parsed TCP options — called by the stack
+    /// before [`on_segment_bufs`](Self::on_segment_bufs) whenever the
+    /// data offset exceeded 20. SYN/SYN-ACK latch the peer's
+    /// SACK-permitted announcement; SACK blocks feed the sender
+    /// scoreboard: a D-SACK first block (at/below the cumulative ACK,
+    /// or re-reporting already-SACKed bytes — RFC 2883 §4) counts a
+    /// spurious retransmission and undoes the RTO backoff it caused
+    /// (the Eifel-style response: the network delivered twice, it
+    /// didn't lose), every other valid block merges into the
+    /// scoreboard. New scoreboard coverage is loss evidence: it arms
+    /// the RACK reordering window and re-requests the hole-walk
+    /// mid-episode.
+    pub fn process_options(&mut self, h: &TcpHeader, opts: &TcpOptions) {
+        if h.flags.syn {
+            self.peer_sack_ok = opts.sack_permitted;
+        }
+        if !self.sack_enabled || !h.flags.ack || opts.sack_count == 0 {
+            return;
+        }
+        let mut advanced = false;
+        for i in 0..opts.sack_count {
+            let (s, e) = opts.sack_blocks[i];
+            if !Self::seq_lt(s, e) {
+                continue;
+            }
+            if i == 0 && (Self::seq_le(e, h.ack) || self.sack_covers(s, e)) {
+                // D-SACK: the peer received these bytes twice — our
+                // retransmission was spurious. Karn already voided the
+                // RTT sample; the backoff the false loss inflicted is
+                // undone here.
+                self.stat_spurious_rtx += 1;
+                if self.backoff > 0 {
+                    self.backoff = 0;
+                    self.rto_ns = self.computed_rto();
+                }
+                continue;
+            }
+            // A usable block lies strictly inside (cumack, snd_nxt].
+            if !Self::seq_lt(h.ack, s) || !Self::seq_le(e, self.snd_nxt) {
+                continue;
+            }
+            advanced |= self.sack_merge(s, e);
+        }
+        if advanced {
+            if self.rack_enabled
+                && !self.in_recovery
+                && self.reo_deadline_ns.is_none()
+                && self.snd_una != self.snd_nxt
+            {
+                self.reo_deadline_ns = Some(self.now_ns.saturating_add(self.reo_wnd_ns()));
+            }
+            if self.in_recovery {
+                // Fresh coverage mid-episode exposes newly confirmed
+                // holes below it: run the hole-walk again.
+                self.rtx_request = true;
+            }
+        }
+    }
+
+    /// Whether the scoreboard fully covers `[s, e)`.
+    fn sack_covers(&self, s: u32, e: u32) -> bool {
+        self.sacked
+            .iter()
+            .any(|&(rs, re)| Self::seq_le(rs, s) && Self::seq_le(e, re))
+    }
+
+    /// Merges `[s, e)` into the sorted, disjoint scoreboard. Returns
+    /// whether any previously uncovered byte became covered.
+    fn sack_merge(&mut self, s: u32, e: u32) -> bool {
+        if self.sack_covers(s, e) {
+            return false;
+        }
+        let mut s = s;
+        let mut e = e;
+        // Absorb every overlapping/touching range into the new one.
+        let mut i = 0;
+        while i < self.sacked.len() {
+            let (rs, re) = self.sacked[i];
+            if Self::seq_le(rs, e) && Self::seq_le(s, re) {
+                if Self::seq_lt(rs, s) {
+                    s = rs;
+                }
+                if Self::seq_lt(e, re) {
+                    e = re;
+                }
+                self.sacked.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let idx = self
+            .sacked
+            .iter()
+            .position(|&(rs, _)| Self::seq_lt(s, rs))
+            .unwrap_or(self.sacked.len());
+        if self.sacked.len() < MAX_SACKED_RANGES {
+            self.sacked.insert(idx, (s, e));
+        }
+        // A full scoreboard drops the new range: bounded memory beats
+        // completeness — uncovered bytes are merely retransmitted.
+        true
+    }
+
     /// Processes the acknowledgement and window fields of a segment.
     /// `seg_payload` is the segment's payload byte count — a pure ACK
     /// (no payload, no SYN/FIN) at `snd_una` with data outstanding is a
@@ -801,6 +1304,20 @@ impl Tcb {
                 self.backoff = 0;
                 self.rto_ns = self.computed_rto();
             }
+            // Cumulative progress: retire scoreboard ranges the ACK
+            // overtook, restart the hole-walk mark, and disarm the
+            // RACK deadlines — the hole they watched is gone (loss
+            // evidence that persists re-arms them immediately).
+            self.sacked.retain(|&(_, e)| Self::seq_lt(self.snd_una, e));
+            if let Some(first) = self.sacked.first_mut() {
+                if Self::seq_lt(first.0, self.snd_una) {
+                    first.0 = self.snd_una;
+                }
+            }
+            self.sack_rtx_mark = self.snd_una;
+            self.reo_deadline_ns = None;
+            self.tlp_deadline_ns = None;
+            self.tlp_consumed = false;
             self.rtx_release();
             if let Some((end, sent_at)) = self.rtt_probe {
                 if Self::seq_le(end, h.ack) {
@@ -855,7 +1372,20 @@ impl Tcb {
             // Duplicate ACK: the peer is missing the segment at
             // `snd_una`.
             self.dup_ack_rx += 1;
-            if self.dup_ack_rx == 3 {
+            if self.rack_enabled {
+                // RACK: a dup-ACK count is reordering-ambiguous, so it
+                // only *arms* the reordering window — expiry with the
+                // hole still open declares loss
+                // ([`on_rack_timeout`](Self::on_rack_timeout));
+                // cumulative progress before that cancels it silently.
+                if !self.in_recovery && self.reo_deadline_ns.is_none() {
+                    self.reo_deadline_ns =
+                        Some(self.now_ns.saturating_add(self.reo_wnd_ns()));
+                }
+                if self.dup_ack_rx > 3 && self.cc_enabled && self.in_recovery {
+                    self.cwnd += self.mss;
+                }
+            } else if self.dup_ack_rx == 3 {
                 self.stat_fast_retransmits += 1;
                 self.rtx_request = true;
                 if !self.in_recovery {
@@ -864,6 +1394,7 @@ impl Tcb {
                     // on top only when NewReno is on.
                     self.in_recovery = true;
                     self.recover = self.snd_nxt;
+                    self.sack_rtx_mark = self.snd_una;
                     if self.cc_enabled {
                         let flight = self.bytes_in_flight() as usize;
                         self.ssthresh = (flight / 2).max(2 * self.mss);
@@ -882,10 +1413,10 @@ impl Tcb {
     /// into `rtx_released` (recycled at the next ingest) and trims a
     /// partially covered front extent in place.
     fn rtx_release(&mut self) {
-        while let Some((seq, nb)) = self.rtx_q.front_mut() {
+        while let Some((seq, _, nb)) = self.rtx_q.front_mut() {
             let end = seq.wrapping_add(nb.len() as u32);
             if Self::seq_le(end, self.snd_una) {
-                let (_, nb) = self.rtx_q.pop_front().expect("front exists");
+                let (_, _, nb) = self.rtx_q.pop_front().expect("front exists");
                 self.rtx_released.push(nb);
             } else if Self::seq_lt(*seq, self.snd_una) {
                 let trim = self.snd_una.wrapping_sub(*seq) as usize;
@@ -904,8 +1435,9 @@ impl Tcb {
     /// bytes are already acknowledged or duplicated — the caller
     /// recycles it to the pool. The stack calls this when a frame
     /// tagged with a [`TcpHold`](uknetdev::netbuf::TcpHold) comes back
-    /// from the device.
-    pub fn rtx_return(&mut self, seq: u32, nb: Netbuf) -> Option<Netbuf> {
+    /// from the device; `sent_ns` is the hold's transmission stamp —
+    /// the extent keeps it in the queue so RACK can judge freshness.
+    pub fn rtx_return(&mut self, seq: u32, sent_ns: u64, nb: Netbuf) -> Option<Netbuf> {
         let mut seq = seq;
         let mut nb = nb;
         if nb.is_empty() || self.state == TcpState::Closed {
@@ -928,7 +1460,7 @@ impl Tcb {
             // A retransmitted copy of this range may already sit in the
             // queue (original and retransmission both came home): keep
             // only the uncovered tail.
-            let (pseq, pnb) = &self.rtx_q[idx - 1];
+            let (pseq, _, pnb) = &self.rtx_q[idx - 1];
             let pend = pseq.wrapping_add(pnb.len() as u32);
             if Self::seq_le(end, pend) {
                 return Some(nb);
@@ -950,7 +1482,7 @@ impl Tcb {
                 nb.truncate(keep);
             }
         }
-        self.rtx_q.insert(idx, (seq, nb));
+        self.rtx_q.insert(idx, (seq, sent_ns, nb));
         // Unacknowledged bytes are now held locally: make sure a timer
         // backs them.
         if self.rtx_deadline_ns.is_none() {
@@ -1012,17 +1544,29 @@ impl Tcb {
                 if self
                     .rtx_q
                     .front()
-                    .is_some_and(|(seq, _)| *seq == self.snd_una)
+                    .is_some_and(|(seq, _, _)| *seq == self.snd_una)
                 {
                     // Timeout: retransmit the oldest hole and open (or
                     // refresh) a loss episode up to `snd_nxt`, so the
                     // partial ACKs that follow walk the remaining holes
                     // one per ACK instead of one per timeout. With cc
                     // on this is a full loss event — restart slow
-                    // start.
+                    // start. The RTO supersedes any armed RACK
+                    // deadlines, and the hole-walk mark resets so the
+                    // front hole is eligible again.
                     self.rtx_request = true;
                     self.in_recovery = true;
                     self.recover = self.snd_nxt;
+                    self.sack_rtx_mark = self.snd_una;
+                    self.reo_deadline_ns = None;
+                    self.tlp_deadline_ns = None;
+                    // Reneging safeguard (RFC 6675 §5.1): a receiver
+                    // under memory pressure may discard data it
+                    // already SACKed (see `shed_newest_ooo`), so an
+                    // RTO distrusts the whole scoreboard — everything
+                    // outstanding is eligible for retransmission
+                    // again.
+                    self.sacked.clear();
                     if self.cc_enabled {
                         let flight = self.bytes_in_flight() as usize;
                         self.ssthresh = (flight / 2).max(2 * self.mss);
@@ -1310,8 +1854,11 @@ impl Tcb {
                     ingested = true;
                 } else if Self::seq_le(end, self.rcv_nxt) {
                     // Wholly old/duplicated: drop — but never silently
-                    // (see below).
+                    // (see below); the duplicate arrival is reported
+                    // back as a D-SACK so the peer can tell a spurious
+                    // retransmission from a lost ACK.
                     dropped = true;
+                    self.note_dsack(seq, end);
                     recycle(nb);
                 } else if Self::seq_lt(seq, self.rcv_nxt) {
                     // Spans `rcv_nxt`: trim the already-received front,
@@ -1412,7 +1959,10 @@ impl Tcb {
             let (pseq, pnb) = &self.ooo_q[idx - 1];
             let pend = pseq.wrapping_add(pnb.len() as u32);
             if Self::seq_le(end, pend) {
-                recycle(nb); // Fully covered by a queued extent.
+                // Fully covered by a queued extent: a duplicate
+                // arrival, reported back as a D-SACK.
+                self.note_dsack(seq, end);
+                recycle(nb);
                 return;
             }
             if Self::seq_lt(seq, pend) {
@@ -1429,6 +1979,7 @@ impl Tcb {
                 // any tail beyond it is the peer's to retransmit.
                 let keep = succ_seq.wrapping_sub(seq) as usize;
                 if keep == 0 {
+                    self.note_dsack(seq, end);
                     recycle(nb);
                     return;
                 }
@@ -1437,7 +1988,107 @@ impl Tcb {
         }
         self.ooo_bytes += nb.len();
         self.stat_ooo_queued += 1;
+        // RFC 2018 §4: the first SACK block must report the block
+        // containing the most recently received extent.
+        self.sack_recent = Some(seq);
         self.ooo_q.insert(idx, (seq, nb));
+    }
+
+    /// Records a duplicate data arrival for D-SACK reporting
+    /// (RFC 2883) — only when the SACK machinery is on and the peer
+    /// negotiated it; at most one pending report (the newest wins),
+    /// emitted as the first block of exactly one SACK option.
+    fn note_dsack(&mut self, seq: u32, end: u32) {
+        if self.sack_enabled && self.peer_sack_ok {
+            self.dsack_pending = Some((seq, end));
+        }
+    }
+
+    /// Builds the SACK option for the next pure ACK into `buf`,
+    /// returning its total length (0 = nothing to report). Layout:
+    /// `NOP NOP 5 len` then up to [`MAX_SACK_BLOCKS`] 8-byte blocks —
+    /// a pending D-SACK first (RFC 2883), then the merged reassembly
+    /// range containing the most recently queued extent (RFC 2018
+    /// §4's recency rule), then the remaining merged ranges ascending,
+    /// at most 3 non-D-SACK blocks. Consumes the pending D-SACK; the
+    /// stack calls this once per output poll and attaches the bytes
+    /// to the first pure ACK it emits (data frames can't carry
+    /// options — the GSO cutter assumes a bare header).
+    pub fn fill_sack_option(&mut self, buf: &mut [u8; TCP_MAX_OPT_LEN]) -> usize {
+        if !self.sack_enabled || !self.peer_sack_ok {
+            self.dsack_pending = None;
+            return 0;
+        }
+        let dsack = self.dsack_pending.take();
+        if dsack.is_none() && self.ooo_q.is_empty() {
+            return 0;
+        }
+        let mut blocks = [(0u32, 0u32); MAX_SACK_BLOCKS];
+        let mut n = 0;
+        if let Some(d) = dsack {
+            blocks[n] = d;
+            n += 1;
+        }
+        // Merge the (sorted, overlap-trimmed) reassembly extents into
+        // contiguous ranges on the fly: the range holding the most
+        // recent insert is set aside to lead, the rest collect
+        // ascending.
+        let recent = self.sack_recent;
+        let mut recent_block: Option<(u32, u32)> = None;
+        let mut asc = [(0u32, 0u32); MAX_SACK_BLOCKS];
+        let mut asc_n = 0;
+        let file = |r: (u32, u32),
+                        recent_block: &mut Option<(u32, u32)>,
+                        asc: &mut [(u32, u32); MAX_SACK_BLOCKS],
+                        asc_n: &mut usize| {
+            if recent.is_some_and(|p| Self::seq_le(r.0, p) && Self::seq_lt(p, r.1)) {
+                *recent_block = Some(r);
+            } else if *asc_n < asc.len() {
+                asc[*asc_n] = r;
+                *asc_n += 1;
+            }
+        };
+        let mut cur: Option<(u32, u32)> = None;
+        for (seq, nb) in &self.ooo_q {
+            let end = seq.wrapping_add(nb.len() as u32);
+            match cur {
+                Some((s, e)) if e == *seq => cur = Some((s, end)),
+                Some(r) => {
+                    file(r, &mut recent_block, &mut asc, &mut asc_n);
+                    cur = Some((*seq, end));
+                }
+                None => cur = Some((*seq, end)),
+            }
+        }
+        if let Some(r) = cur {
+            file(r, &mut recent_block, &mut asc, &mut asc_n);
+        }
+        let mut normal = 0;
+        if let Some(r) = recent_block {
+            blocks[n] = r;
+            n += 1;
+            normal += 1;
+        }
+        let mut i = 0;
+        while normal < 3 && i < asc_n && n < MAX_SACK_BLOCKS {
+            blocks[n] = asc[i];
+            n += 1;
+            normal += 1;
+            i += 1;
+        }
+        if n == 0 {
+            return 0;
+        }
+        buf[0] = 1; // NOP.
+        buf[1] = 1; // NOP.
+        buf[2] = 5; // SACK.
+        buf[3] = (2 + 8 * n) as u8;
+        for (i, (s, e)) in blocks[..n].iter().enumerate() {
+            let o = 4 + i * 8;
+            buf[o..o + 4].copy_from_slice(&s.to_be_bytes());
+            buf[o + 4..o + 8].copy_from_slice(&e.to_be_bytes());
+        }
+        4 + 8 * n
     }
 
     /// Drains reassembly-queue extents made contiguous by an advance
@@ -1487,7 +2138,7 @@ impl Tcb {
     /// queue, pending releases, reassembly queue) — called when the
     /// connection dies and can no longer use them.
     fn drain_recovery_queues<R: FnMut(Netbuf)>(&mut self, recycle: &mut R) {
-        while let Some((_, nb)) = self.rtx_q.pop_front() {
+        while let Some((_, _, nb)) = self.rtx_q.pop_front() {
             recycle(nb);
         }
         while let Some(nb) = self.rtx_released.pop() {
@@ -1498,6 +2149,14 @@ impl Tcb {
         }
         self.ooo_bytes = 0;
         self.rtx_deadline_ns = None;
+        self.sacked.clear();
+        self.dsack_pending = None;
+        self.sack_recent = None;
+        self.reo_deadline_ns = None;
+        self.tlp_deadline_ns = None;
+        self.tlp_pending = false;
+        self.pace_deadline_ns = None;
+        self.pace_budget = 0;
     }
 
     /// Queues application data for transmission, accepting at most the
@@ -1665,6 +2324,21 @@ impl Tcb {
         self.snd_nxt.wrapping_sub(self.snd_una)
     }
 
+    /// Oldest unacknowledged sequence number.
+    pub fn snd_una(&self) -> u32 {
+        self.snd_una
+    }
+
+    /// Next sequence number to be sent.
+    pub fn snd_nxt(&self) -> u32 {
+        self.snd_nxt
+    }
+
+    /// Next sequence number expected from the peer.
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
     /// Whether the peer's advertised window admits no more data.
     pub fn window_closed(&self) -> bool {
         self.bytes_in_flight() >= self.snd_wnd
@@ -1791,13 +2465,31 @@ impl Tcb {
             emit(header, None);
             emitted_ack = true;
         }
-        // Retransmission first: a requested re-emission of the extent
-        // at `snd_una` (RTO fire, fast retransmit, NewReno partial
-        // ACK) goes out before any new data — the peer is stalled on
-        // exactly these bytes. The extent *is* the original frame's
-        // payload buffer (headers stripped, headroom restored), moved
-        // back out of the retransmission queue without a copy; its
-        // next return re-files it.
+        // Pacing gate: during a loss episode (recovery or a backed-off
+        // RTO) the budget meters how many bytes one poll may emit —
+        // retransmissions and post-RTO slow-start data alike — and the
+        // timer wheel releases the next quantum over the SRTT instead
+        // of the whole window leaving as one burst. Outside an episode
+        // the gate is inert: the lossless path is byte-identical with
+        // pacing compiled in and armed.
+        let pacing = self.pacing_active();
+        let mut pace_starved = false;
+        if !pacing {
+            self.pace_deadline_ns = None;
+            self.pace_budget = 0;
+        } else if self.pace_budget == 0 && self.pace_deadline_ns.is_none() {
+            // Fresh episode: the first quantum is free.
+            self.pace_budget = self.pace_quantum();
+        }
+        // Retransmission first: a requested re-emission (RTO fire,
+        // fast retransmit, NewReno partial ACK, SACK evidence) goes
+        // out before any new data — the peer is stalled on exactly
+        // these bytes. With a populated scoreboard the hole-walk
+        // re-emits every known hole surgically; without one, the
+        // legacy single extent at `snd_una`. Either way the extent
+        // *is* the original frame's payload buffer (headers stripped,
+        // headroom restored), moved back out of the retransmission
+        // queue without a copy; its next return re-files it.
         if self.rtx_request
             && matches!(
                 self.state,
@@ -1807,10 +2499,54 @@ impl Tcb {
                     | TcpState::LastAck
             )
         {
-            if let Some(&(seq, _)) = self.rtx_q.front() {
-                if seq == self.snd_una {
+            let front_home = self
+                .rtx_q
+                .front()
+                .is_some_and(|&(seq, _, _)| seq == self.snd_una);
+            if self.sack_enabled && !self.sacked.is_empty() {
+                emitted_ack |= self.hole_walk(&mut emit, pacing, &mut pace_starved);
+                if front_home {
                     self.rtx_request = false;
-                    let (start, nb) = self.rtx_q.pop_front().expect("front exists");
+                }
+            } else if front_home {
+                self.rtx_request = false;
+                let (start, _, nb) = self.rtx_q.pop_front().expect("front exists");
+                let window = self.rcv_window();
+                self.last_adv_wnd = window;
+                let header = TcpHeader {
+                    src_port: self.local_port,
+                    dst_port: self.remote_port,
+                    seq: start,
+                    ack: self.rcv_nxt,
+                    flags: TcpFlags {
+                        ack: true,
+                        psh: true,
+                        ..Default::default()
+                    },
+                    window,
+                };
+                self.stat_retransmits += 1;
+                self.rtt_probe = None; // Karn.
+                emit(header, Some(nb));
+                emitted_ack = true;
+            }
+            // If the front extent is not at `snd_una` (still in flight
+            // back to us), the request stays pending: the next poll
+            // after the frame re-files itself satisfies it.
+        }
+        // Tail-loss probe: re-emit the highest outstanding extent so a
+        // dropped flight tail produces the ACK/SACK evidence normal
+        // recovery needs, without waiting out a full RTO.
+        if self.tlp_pending {
+            self.tlp_pending = false;
+            if matches!(
+                self.state,
+                TcpState::Established
+                    | TcpState::CloseWait
+                    | TcpState::FinWait
+                    | TcpState::LastAck
+            ) {
+                if let Some((start, _, nb)) = self.rtx_q.pop_back() {
                     let window = self.rcv_window();
                     self.last_adv_wnd = window;
                     let header = TcpHeader {
@@ -1831,9 +2567,6 @@ impl Tcb {
                     emitted_ack = true;
                 }
             }
-            // If the front extent is not at `snd_una` (still in flight
-            // back to us), the request stays pending: the next poll
-            // after the frame re-files itself satisfies it.
         }
         if matches!(self.state, TcpState::Established | TcpState::CloseWait) {
             while self.send_q_len > 0 {
@@ -1850,7 +2583,16 @@ impl Tcb {
                 if window_room == 0 {
                     break; // Tx window closed; data stays queued.
                 }
-                let n = self.send_q_len.min(max_seg).min(window_room);
+                if pacing && self.pace_budget == 0 {
+                    // Quantum spent: the rest of this window leaves on
+                    // the next pacing release, not in this burst.
+                    pace_starved = true;
+                    break;
+                }
+                let mut n = self.send_q_len.min(max_seg).min(window_room);
+                if pacing {
+                    n = n.min(self.pace_budget);
+                }
                 let last = n == self.send_q_len;
                 let header = self.make_header(TcpFlags {
                     ack: true,
@@ -1861,6 +2603,9 @@ impl Tcb {
                 emit(header, Some(chain));
                 emitted_ack = true;
                 self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+                if pacing {
+                    self.pace_budget -= n;
+                }
                 if self.rtt_probe.is_none() && self.backoff == 0 {
                     // Time this flight for the RFC 6298 estimator.
                     self.rtt_probe = Some((self.snd_nxt, self.now_ns));
@@ -1950,6 +2695,133 @@ impl Tcb {
         } else {
             self.rtx_deadline_ns = None;
         }
+        // RACK deadlines: nothing outstanding disarms everything; an
+        // outstanding tail with no open episode is backed by the
+        // tail-loss probe (PTO of two SRTTs — well under the RTO
+        // floor, so a dropped last segment is probed, not timed out).
+        if self.state == TcpState::Closed || self.snd_una == self.snd_nxt {
+            self.reo_deadline_ns = None;
+            self.tlp_deadline_ns = None;
+            self.pace_deadline_ns = None;
+        } else if self.rack_enabled
+            && !self.in_recovery
+            && !self.tlp_consumed
+            && self.tlp_deadline_ns.is_none()
+            && matches!(
+                self.state,
+                TcpState::Established
+                    | TcpState::CloseWait
+                    | TcpState::FinWait
+                    | TcpState::LastAck
+            )
+        {
+            let pto = if self.srtt_ns > 0 {
+                2 * self.srtt_ns
+            } else {
+                RTO_INITIAL_NS / 2
+            };
+            self.tlp_deadline_ns = Some(self.now_ns.saturating_add(pto.max(TLP_MIN_NS)));
+        }
+        if pace_starved && self.pace_deadline_ns.is_none() {
+            self.pace_deadline_ns = Some(
+                self.now_ns
+                    .saturating_add((self.srtt_ns / 8).max(PACE_INTERVAL_MIN_NS)),
+            );
+        }
+    }
+
+    /// The SACK scoreboard's surgical retransmission pass (see
+    /// [`poll_output_chain_with`](Self::poll_output_chain_with)):
+    /// walks the retransmission queue ascending and re-emits only
+    /// extents below the highest SACKed byte that the scoreboard does
+    /// not cover — the holes. Returns whether anything was emitted.
+    ///
+    /// Guards against re-sending a hole every ACK: with RACK on, an
+    /// extent is eligible only once its last transmission is at least
+    /// `srtt + reo_wnd` old (a just-retransmitted extent gets its
+    /// round trip); with RACK off, the episode mark admits each hole
+    /// once per episode. The pacing/cwnd budget caps the walk's total
+    /// bytes, but the first eligible extent always goes (forward
+    /// progress).
+    fn hole_walk<F>(&mut self, emit: &mut F, pacing: bool, pace_starved: &mut bool) -> bool
+    where
+        F: FnMut(TcpHeader, Option<Netbuf>),
+    {
+        let Some(&(_, high)) = self.sacked.last() else {
+            return false;
+        };
+        let mut budget = if pacing {
+            self.pace_budget
+        } else if self.cc_enabled {
+            (self.snd_wnd as usize).min(self.cwnd).max(2 * self.mss)
+        } else {
+            usize::MAX
+        };
+        let age_floor = self.srtt_ns + self.reo_wnd_ns();
+        let mut emitted = false;
+        let mut i = 0;
+        while i < self.rtx_q.len() {
+            let (seq, sent) = (self.rtx_q[i].0, self.rtx_q[i].1);
+            let len = self.rtx_q[i].2.len();
+            let end = seq.wrapping_add(len as u32);
+            if !Self::seq_lt(seq, high) {
+                // Nothing above the highest SACKed byte is known lost
+                // (the tail is the probe's and the RTO's business).
+                break;
+            }
+            if self.sack_covers(seq, end) {
+                i += 1;
+                continue;
+            }
+            let eligible = if self.rack_enabled {
+                self.now_ns.saturating_sub(sent) >= age_floor
+            } else {
+                Self::seq_le(self.sack_rtx_mark, seq)
+            };
+            if !eligible {
+                i += 1;
+                continue;
+            }
+            if emitted && len > budget {
+                if pacing {
+                    *pace_starved = true;
+                }
+                break;
+            }
+            let (start, _, nb) = self.rtx_q.remove(i).expect("index checked");
+            let window = self.rcv_window();
+            self.last_adv_wnd = window;
+            let header = TcpHeader {
+                src_port: self.local_port,
+                dst_port: self.remote_port,
+                seq: start,
+                ack: self.rcv_nxt,
+                flags: TcpFlags {
+                    ack: true,
+                    psh: true,
+                    ..Default::default()
+                },
+                window,
+            };
+            self.stat_retransmits += 1;
+            if start != self.snd_una {
+                // A hole beyond the first: the retransmission classic
+                // go-back-N recovery would only reach a round trip
+                // later (or re-send everything in between).
+                self.stat_sack_rtx += 1;
+            }
+            self.rtt_probe = None; // Karn.
+            if !self.rack_enabled {
+                self.sack_rtx_mark = end;
+            }
+            budget = budget.saturating_sub(len);
+            emit(header, Some(nb));
+            emitted = true;
+        }
+        if pacing {
+            self.pace_budget = budget;
+        }
+        emitted
     }
 
     /// Owned-segment convenience over

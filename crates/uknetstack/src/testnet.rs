@@ -86,6 +86,8 @@ pub struct Network {
     reorder_every: u64,
     /// Discard every n-th delivered plain frame (0 = off).
     drop_every: u64,
+    /// Bit-flip every n-th delivered plain IPv4 frame (0 = off).
+    corrupt_every: u64,
     /// Start a drop burst every n-th plain frame (0 = off).
     drop_burst_every: u64,
     /// Length of each drop burst (frames).
@@ -194,6 +196,20 @@ impl Network {
         self.drop_every = n;
         self.fault_tick = 0;
         drops_counter(); // Register the slot up front.
+    }
+
+    /// Flips one payload bit in every `n`-th delivered plain IPv4
+    /// frame — in-flight corruption a real cable or a flaky NIC can
+    /// produce. `0` disables. The corrupted frame loses its
+    /// device-verified checksum mark (`VIRTIO_NET_F_GUEST_CSUM` no
+    /// longer vouches for it), so the receiving stack's software
+    /// verification pass detects the damage and drops the frame — to
+    /// TCP it looks like loss and is recovered by retransmission.
+    /// Non-IP frames (ARP) are exempt: they carry no checksum to
+    /// detect the damage with.
+    pub fn set_corrupt_every(&mut self, n: u64) {
+        self.corrupt_every = n;
+        self.fault_tick = 0;
     }
 
     /// Discards `len` *consecutive* plain frames starting at every
@@ -363,6 +379,7 @@ impl Network {
                         || self.reorder_every > 0
                         || self.drop_every > 0
                         || self.drop_burst_every > 0
+                        || self.corrupt_every > 0
                     {
                         let mut k = staged_from;
                         while k < stage[i].len() {
@@ -393,10 +410,39 @@ impl Network {
                                 drops_counter().inc();
                                 continue; // `k` now names the next frame.
                             }
+                            if self.corrupt_every > 0
+                                && self.fault_tick % self.corrupt_every == 0
+                            {
+                                // Only IPv4 frames: a flipped ARP byte
+                                // has no checksum to be caught by and
+                                // would poison address resolution
+                                // outside the fault model.
+                                let rx = &mut stage[i][k];
+                                let is_ipv4 = rx.payload().len() > 14
+                                    && rx.payload()[12..14] == [0x08, 0x00];
+                                if is_ipv4 {
+                                    // Flip a bit in the last byte —
+                                    // always inside the transport
+                                    // checksum's coverage.
+                                    let end = rx.payload().len() - 1;
+                                    rx.payload_mut()[end] ^= 0x10;
+                                    // The device's checksum guarantee
+                                    // no longer holds: the receiver
+                                    // must software-verify (and drop).
+                                    rx.clear_csum_verified();
+                                    self.faults_injected += 1;
+                                }
+                            }
                             if self.dup_every > 0 && self.fault_tick % self.dup_every == 0 {
                                 let mut dup = self.stacks[i].take_rx_buf();
                                 dup.set_payload(stage[i][k].payload());
-                                dup.mark_csum_verified();
+                                // The copy inherits the original's
+                                // checksum state: duplicating a frame
+                                // the corrupt fault just touched must
+                                // not restore the trusted mark.
+                                if stage[i][k].csum_verified() {
+                                    dup.mark_csum_verified();
+                                }
                                 stage[i].insert(k + 1, dup);
                                 moved += 1;
                                 self.faults_injected += 1;

@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use uknetstack::arp::{ArpOp, ArpPacket};
 use uknetstack::eth::{EthHeader, EtherType};
 use uknetstack::ipv4::{IpProto, Ipv4Header};
-use uknetstack::tcp::{Tcb, TcpFlags, TcpHeader, TcpState};
+use uknetstack::tcp::{
+    Tcb, TcpFlags, TcpHeader, TcpOptions, TcpState, MAX_SACK_BLOCKS, SACK_PERMITTED_OPT,
+    TCP_MAX_OPT_LEN,
+};
 use uknetstack::udp::UdpHeader;
 use uknetstack::{inet_checksum, Ipv4Addr, Mac};
 
@@ -692,9 +695,11 @@ proptest! {
 fn fault_schedule_transfer(
     tso: bool,
     gro: bool,
+    recovery: (bool, bool, bool), // (sack, rack, pacing) ablation switches
     drop_every: u64,
     dup_every: u64,
     reorder_every: u64,
+    corrupt_every: u64,
     burst: (u64, u64),
     c2s: &[u8],
     s2c: &[u8],
@@ -714,6 +719,9 @@ fn fault_schedule_transfer(
         let mut cfg = StackConfig::node(n);
         cfg.tso = tso;
         cfg.gro = gro;
+        cfg.sack = recovery.0;
+        cfg.rack = recovery.1;
+        cfg.pacing = recovery.2;
         if tso {
             cfg.rx_csum_offload = false; // Decline big receive: host cuts.
         }
@@ -741,6 +749,7 @@ fn fault_schedule_transfer(
     net.set_drop_every(drop_every);
     net.set_dup_every(dup_every);
     net.set_reorder_every(reorder_every);
+    net.set_corrupt_every(corrupt_every);
     net.set_drop_burst(burst.0, burst.1);
 
     let mut buf = vec![0u8; 64 * 1024];
@@ -787,6 +796,7 @@ fn fault_schedule_transfer(
     net.set_drop_every(0);
     net.set_dup_every(0);
     net.set_reorder_every(0);
+    net.set_corrupt_every(0);
     net.set_drop_burst(0, 0);
     net.run_until_quiet(64);
     assert_eq!(
@@ -806,17 +816,23 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// The tentpole property: **any** fault schedule — drop cadence ×
-    /// duplication × adjacent reorder × loss bursts, composed — still
-    /// delivers byte-identical streams in both directions, with GRO
-    /// and TSO on or off, and returns every pooled buffer afterwards.
+    /// duplication × adjacent reorder × payload corruption × loss
+    /// bursts, composed — still delivers byte-identical streams in
+    /// both directions, with GRO and TSO on or off and every
+    /// combination of the `{sack, rack, pacing}` recovery ablation
+    /// switches, and returns every pooled buffer afterwards.
     #[test]
     fn any_fault_schedule_delivers_byte_identical_streams(
         drop_every in prop_oneof![Just(0u64), 6u64..16],
         dup_every in prop_oneof![Just(0u64), 4u64..12],
         reorder_every in prop_oneof![Just(0u64), 4u64..12],
+        corrupt_every in prop_oneof![Just(0u64), 6u64..14],
         burst in prop_oneof![Just((0u64, 0u64)), (48u64..96, 2u64..7)],
         tso in any::<bool>(),
         gro in any::<bool>(),
+        sack in any::<bool>(),
+        rack in any::<bool>(),
+        pacing in any::<bool>(),
         len_c in 16_000usize..48_000,
         len_s in 16_000usize..48_000,
         seed in any::<u8>(),
@@ -828,31 +844,251 @@ proptest! {
             .map(|i| ((i as u32).wrapping_mul(29).wrapping_add(seed as u32) % 251) as u8)
             .collect();
         let (got_s, got_c, faults) = fault_schedule_transfer(
-            tso, gro, drop_every, dup_every, reorder_every, burst, &c2s, &s2c,
+            tso, gro, (sack, rack, pacing),
+            drop_every, dup_every, reorder_every, corrupt_every, burst,
+            &c2s, &s2c,
         );
         prop_assert_eq!(
             got_s.len(),
             c2s.len(),
-            "client→server complete (drop={}, dup={}, reorder={}, burst={:?}, tso={}, gro={})",
-            drop_every, dup_every, reorder_every, burst, tso, gro
+            "client→server complete (drop={}, dup={}, reorder={}, corrupt={}, burst={:?}, tso={}, gro={}, sack={}, rack={}, pacing={})",
+            drop_every, dup_every, reorder_every, corrupt_every, burst, tso, gro, sack, rack, pacing
         );
         prop_assert_eq!(got_s, c2s, "client→server byte-identical");
         prop_assert_eq!(
             got_c.len(),
             s2c.len(),
-            "server→client complete (drop={}, dup={}, reorder={}, burst={:?}, tso={}, gro={})",
-            drop_every, dup_every, reorder_every, burst, tso, gro
+            "server→client complete (drop={}, dup={}, reorder={}, corrupt={}, burst={:?}, tso={}, gro={}, sack={}, rack={}, pacing={})",
+            drop_every, dup_every, reorder_every, corrupt_every, burst, tso, gro, sack, rack, pacing
         );
         prop_assert_eq!(got_c, s2c, "server→client byte-identical");
         // Drop and dup cadences fire deterministically once enough
-        // frames flow; reorder needs two frames staged at its tick and
-        // bursts have long cadences, so neither is guaranteed to land.
+        // frames flow; reorder needs two frames staged at its tick,
+        // corruption only touches IPv4 frames, and bursts have long
+        // cadences, so none of those are guaranteed to land.
         if drop_every > 0 || dup_every > 0 {
             prop_assert!(
                 faults > 0,
-                "the schedule really perturbed the wire (drop={}, dup={}, reorder={}, burst={:?}, tso={}, gro={}, len_c={}, len_s={})",
-                drop_every, dup_every, reorder_every, burst, tso, gro, len_c, len_s
+                "the schedule really perturbed the wire (drop={}, dup={}, reorder={}, corrupt={}, burst={:?}, tso={}, gro={}, len_c={}, len_s={})",
+                drop_every, dup_every, reorder_every, corrupt_every, burst, tso, gro, len_c, len_s
             );
+        }
+    }
+}
+
+// --- SACK generation / scoreboard ≡ naive references -----------------
+//
+// Two sides of the SACK machinery, each checked against the obvious
+// model: the receiver's block generation against RFC 2018/2883 rules
+// computed from a set of received chunks, and the sender's scoreboard
+// against a per-byte bitmap. Chunk-aligned ingest keeps the receiver
+// reference exact (an arriving chunk is either entirely new or an
+// exact duplicate of a queued one); the sender side uses arbitrary
+// byte ranges because `sack_merge` is a pure union.
+
+/// Establishes a server-side TCB with SACK negotiated (the peer's
+/// SACK-permitted SYN replayed through `process_options`), returning
+/// it alongside its `rcv_nxt` base.
+fn sack_receiver(iss: u32) -> (Tcb, u32) {
+    let mut server = Tcb::listen(80);
+    let mut client = Tcb::connect(5000, 80, iss);
+    pump(&mut client, &mut server);
+    assert_eq!(server.state, TcpState::Established);
+    server.set_sack(true);
+    let syn = TcpHeader {
+        src_port: 5000,
+        dst_port: 80,
+        seq: iss,
+        ack: 0,
+        flags: TcpFlags::SYN,
+        window: 65535,
+    };
+    server.process_options(&syn, &TcpOptions::parse(&SACK_PERMITTED_OPT));
+    let base = server.rcv_nxt();
+    (server, base)
+}
+
+proptest! {
+    /// Receiver SACK generation matches the RFC 2018/2883 reference:
+    /// at most 3 regular blocks, the block containing the most
+    /// recently received data first, remaining blocks ascending,
+    /// blocks are exactly the maximal contiguous received ranges, and
+    /// a duplicate arrival leads with a D-SACK block (RFC 2883).
+    #[test]
+    fn sack_blocks_match_rfc2018_reference(
+        iss in prop_oneof![Just(7u32), Just(u32::MAX - 3_000)],
+        chunks in proptest::collection::vec(1u32..61, 1..24),
+    ) {
+        const C: u32 = 100; // Chunk size (bytes); index 0 stays a hole.
+        let (mut server, base) = sack_receiver(iss);
+        let peer_ack = server.snd_nxt();
+        let payload = [0xABu8; C as usize];
+        let mut received: Vec<bool> = vec![false; 62];
+        let mut last_new: u32 = 0;
+        for &idx in &chunks {
+            let seq = base.wrapping_add(idx * C);
+            let dup = received[idx as usize];
+            let h = TcpHeader {
+                src_port: 5000,
+                dst_port: 80,
+                seq,
+                ack: peer_ack,
+                flags: TcpFlags { ack: true, psh: true, ..TcpFlags::default() },
+                window: 65535,
+            };
+            server.on_segment(&h, &payload);
+            received[idx as usize] = true;
+            if !dup {
+                last_new = idx;
+            }
+            let mut buf = [0u8; TCP_MAX_OPT_LEN];
+            let n = server.fill_sack_option(&mut buf);
+            prop_assert!(n > 0, "data is queued out of order: something to report");
+            prop_assert!(n <= TCP_MAX_OPT_LEN);
+            let opts = TcpOptions::parse(&buf[..n]);
+            prop_assert_eq!(n, 4 + 8 * opts.sack_count, "layout: NOP NOP 5 len + 8/block");
+            // Reference: maximal contiguous runs of received chunks.
+            let mut runs: Vec<(u32, u32)> = Vec::new();
+            for i in 1..62u32 {
+                if received[i as usize] {
+                    match runs.last_mut() {
+                        Some(r) if r.1 == i => r.1 = i + 1,
+                        _ => runs.push((i, i + 1)),
+                    }
+                }
+            }
+            let to_seq =
+                |r: (u32, u32)| (base.wrapping_add(r.0 * C), base.wrapping_add(r.1 * C));
+            let recent = runs
+                .iter()
+                .copied()
+                .find(|r| r.0 <= last_new && last_new < r.1)
+                .expect("the most recent new chunk is in some run");
+            let mut expect: Vec<(u32, u32)> = Vec::new();
+            if dup {
+                // RFC 2883: the duplicate chunk itself, reported first.
+                expect.push((seq, seq.wrapping_add(C)));
+            }
+            expect.push(to_seq(recent));
+            for r in runs.iter().copied().filter(|&r| r != recent) {
+                expect.push(to_seq(r));
+            }
+            expect.truncate(if dup { 4 } else { 3 }); // ≤ 3 regular blocks.
+            prop_assert_eq!(
+                &opts.sack_blocks[..opts.sack_count],
+                &expect[..],
+                "blocks = [D-SACK?] ++ [recent] ++ ascending rest (dup={}, idx={})",
+                dup, idx
+            );
+            // The D-SACK was consumed: a second fill in the same poll
+            // round would report only the regular blocks.
+            let mut buf2 = [0u8; TCP_MAX_OPT_LEN];
+            let n2 = server.fill_sack_option(&mut buf2);
+            let opts2 = TcpOptions::parse(&buf2[..n2]);
+            prop_assert_eq!(opts2.sack_count, runs.len().min(3));
+        }
+    }
+
+    /// Sender scoreboard matches a naive per-byte bitmap under
+    /// arbitrary SACK blocks and cumulative-ACK advances: the merged
+    /// ranges are exactly the bitmap's maximal runs above `snd_una`,
+    /// and D-SACK classification (first block at/below the cumulative
+    /// ACK or re-reporting covered bytes) counts spurious
+    /// retransmissions instead of merging.
+    #[test]
+    fn sack_scoreboard_matches_bitmap_reference(
+        iss in prop_oneof![Just(7u32), Just(u32::MAX - 60_000)],
+        ops in proptest::collection::vec(
+            (0u32..3000, proptest::collection::vec((0u32..40_000, 1u32..2500), 0..4)),
+            1..10,
+        ),
+    ) {
+        const N: u32 = 40_000;
+        let mut server = Tcb::listen(80);
+        let mut client = Tcb::connect(5000, 80, iss);
+        pump(&mut client, &mut server);
+        prop_assert_eq!(client.state, TcpState::Established);
+        client.set_sack(true);
+        let synack = TcpHeader {
+            src_port: 80,
+            dst_port: 5000,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags { syn: true, ack: true, ..TcpFlags::default() },
+            window: 65535,
+        };
+        client.process_options(&synack, &TcpOptions::parse(&SACK_PERMITTED_OPT));
+        let base = client.snd_una();
+        client.app_send(&vec![0x5Au8; N as usize]).unwrap();
+        while client.snd_nxt().wrapping_sub(base) < N {
+            let segs = client.poll_output();
+            prop_assert!(!segs.is_empty(), "window admits the whole buffer");
+        }
+        prop_assert_eq!(client.snd_nxt().wrapping_sub(base), N);
+
+        let mut bits = vec![false; N as usize];
+        let mut cum: u32 = 0; // Relative cumulative ACK.
+        let mut expect_spurious: u64 = 0;
+        for (delta, blocks) in &ops {
+            let new_cum = (cum + delta).min(N);
+            let ack = base.wrapping_add(new_cum);
+            let mut opts = TcpOptions::default();
+            for (i, &(s_rel, len)) in blocks.iter().take(MAX_SACK_BLOCKS).enumerate() {
+                let e_rel = (s_rel + len).min(N);
+                opts.sack_blocks[i] =
+                    (base.wrapping_add(s_rel), base.wrapping_add(e_rel));
+                opts.sack_count = i + 1;
+            }
+            let h = TcpHeader {
+                src_port: 80,
+                dst_port: 5000,
+                seq: client.rcv_nxt(),
+                ack,
+                flags: TcpFlags { ack: true, ..TcpFlags::default() },
+                window: 65535,
+            };
+            client.process_options(&h, &opts);
+            client.on_segment(&h, &[]);
+            // Reference: the same classification rules over the bitmap.
+            for (i, &(s, e)) in opts.sack_blocks[..opts.sack_count].iter().enumerate() {
+                let (s_rel, e_rel) = (s.wrapping_sub(base), e.wrapping_sub(base));
+                if s_rel >= e_rel {
+                    continue;
+                }
+                let covered = bits[s_rel as usize..e_rel as usize].iter().all(|&b| b);
+                if i == 0 && (e_rel <= new_cum || covered) {
+                    expect_spurious += 1; // D-SACK: delivered twice.
+                    continue;
+                }
+                if new_cum < s_rel && e_rel <= N {
+                    bits[s_rel as usize..e_rel as usize].fill(true);
+                }
+            }
+            if new_cum > cum {
+                bits[..new_cum as usize].fill(false); // Retired by the ACK.
+            }
+            cum = new_cum;
+            prop_assert_eq!(client.snd_una().wrapping_sub(base), cum);
+            let mut expect: Vec<(u32, u32)> = Vec::new();
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    let i = i as u32;
+                    match expect.last_mut() {
+                        Some(r) if r.1 == base.wrapping_add(i) => {
+                            r.1 = base.wrapping_add(i + 1)
+                        }
+                        _ => expect
+                            .push((base.wrapping_add(i), base.wrapping_add(i + 1))),
+                    }
+                }
+            }
+            prop_assert_eq!(
+                client.sacked_ranges(),
+                &expect[..],
+                "scoreboard == bitmap maximal runs (cum={}, op={:?})",
+                cum, (delta, blocks)
+            );
+            prop_assert_eq!(client.spurious_rtx(), expect_spurious, "D-SACK classification");
         }
     }
 }
