@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-trace-off verify-fault-matrix verify-churn verify-workspace test bench bench-event bench-smoke bench-json examples clean
+.PHONY: verify verify-trace-off verify-fault-matrix verify-churn verify-sanitize verify-workspace lint test bench bench-event bench-smoke bench-json examples clean
 
 ## Tier-1: release build + root-crate tests (ROADMAP's check).
 verify:
@@ -53,12 +53,35 @@ verify-churn:
 	$(CARGO) test -q -p uknetstack --no-default-features --test tcp_lifecycle
 	$(CARGO) test -q -p uknetstack --no-default-features --test proptests timer_wheel_matches
 
+## Repo-native invariant linter (crates/ukcheck): no-alloc hot path,
+## panic-free datapath, SAFETY-commented unsafe, atomic-ordering
+## policy. Exits non-zero on any unescaped violation; every escape
+## must carry a written justification (see crates/ukcheck/README.md).
+lint:
+	$(CARGO) run -q --release -p ukcheck -- --root $(CURDIR)
+
+## The dynamic counterpart of `lint`: the pool suites with the
+## `netbuf-sanitizer` feature on, so double-recycle, cross-pool
+## give-back, use-after-recycle and end-of-test leaks panic at the
+## faulting site instead of surfacing as downstream corruption. The
+## zero_alloc guard runs sanitized too — poisoning is a byte fill and
+## provenance is `&'static Location`, so even the sanitized pool must
+## circulate without touching the heap.
+verify-sanitize:
+	$(CARGO) test -q -p uknetdev --features netbuf-sanitizer
+	$(CARGO) test -q -p uknetstack --features netbuf-sanitizer --lib
+	$(CARGO) test -q -p uknetstack --features netbuf-sanitizer --test zero_alloc
+	$(CARGO) test -q -p uknetstack --features netbuf-sanitizer --test tcp_recovery
+
 ## The full sweep: every workspace crate's unit, integration and prop
-## tests, plus bench/example compilation and the netpath smoke bench
-## (which asserts 0.000 allocs/frame on the pooled datapath).
+## tests, the static invariant lint, the sanitized pool suites, plus
+## bench/example compilation and the netpath smoke bench (which
+## asserts 0.000 allocs/frame on the pooled datapath).
 verify-workspace:
 	$(CARGO) build --release --workspace --benches --examples
 	$(CARGO) test -q --workspace
+	$(MAKE) lint
+	$(MAKE) verify-sanitize
 	$(MAKE) verify-trace-off
 	$(MAKE) verify-fault-matrix
 	$(MAKE) verify-churn

@@ -71,26 +71,37 @@ static HEAP_FREES: AtomicU64 = AtomicU64::new(0);
 /// to be exactly zero.
 pub struct CountingAlloc;
 
+// SAFETY: a pure pass-through to `std::alloc::System` — every method
+// forwards its arguments unchanged, so `System`'s own `GlobalAlloc`
+// contract (layout validity, pointer provenance, no unwinding) is
+// upheld verbatim; the counter bumps are side-effect-free atomics.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (non-zero
+    // sized, valid layout); we forward it to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: same pass-through contract as `alloc` above.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller guarantees `ptr` was allocated here with `layout`
+    // (the `GlobalAlloc::realloc` contract); forwarded to `System`.
+    // Every realloc counts as an allocation as far as
+    // "allocation-free hot path" claims are concerned, paired with
+    // a free of the old block so allocs/frees stay balanced.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        // Every realloc counts as an allocation as far as
-        // "allocation-free hot path" claims are concerned, paired with
-        // a free of the old block so allocs/frees stay balanced.
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
         HEAP_FREES.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` match the original
+    // allocation (the `GlobalAlloc::dealloc` contract); forwarded.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         HEAP_FREES.fetch_add(1, Ordering::Relaxed);
         System.dealloc(ptr, layout)

@@ -1,0 +1,414 @@
+//! A hand-rolled Rust lexer — just enough tokenization to lint safely.
+//!
+//! The linter's one hard requirement is that it must never mistake the
+//! *text* of a string literal or comment for code (`"unwrap()"` inside
+//! a doc example, `// calls panic!` in prose), and conversely must
+//! never let a string or comment swallow real code. Everything the
+//! lint passes consume — identifiers, punctuation, comment text with
+//! line numbers — falls out of walking the source once with the full
+//! set of Rust's literal forms handled:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string literals with escapes, including multi-line strings;
+//! - raw strings `r"…"` / `r#"…"#` (any hash depth, no escapes),
+//!   byte/C-string prefixes (`b"`, `br#"`, `c"`, `cr#"`);
+//! - raw identifiers `r#ident`;
+//! - char literals vs lifetime ticks (`'a'` vs `'a`), byte chars
+//!   `b'x'`, and escape forms (`'\''`, `'\u{1F600}'`);
+//! - numeric literals with type suffixes (enough to not desync).
+//!
+//! No `syn`, no dependencies: the workspace builds offline and the
+//! linter must be buildable before anything else in the tree.
+
+/// One lexed token. Only identifiers carry their text — the lint
+/// passes match identifier sequences and single punctuation marks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    /// A single punctuation character; multi-char operators (`::`)
+    /// appear as consecutive tokens.
+    Punct(char),
+    /// String literal of any form (the contents are dropped).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime tick (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (suffix included; exact value is irrelevant).
+    Num,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its line extent and raw text (markers included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lexes `src` into tokens plus a comment side-table.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unterminated literals run to end of input) — the linter must never
+/// crash on a source file, only report what it can see.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let tline = line;
+                i = scan_string(b, i + 1, &mut line);
+                out.toks.push(Tok { kind: TokKind::Str, line: tline });
+            }
+            b'\'' => {
+                let tline = line;
+                i = scan_tick(b, i, &mut line, &mut out.toks, tline);
+            }
+            _ if is_ident_start(c) => {
+                let tline = line;
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Literal prefixes: a raw/byte/C string or a raw
+                // identifier hides behind what lexed as an identifier.
+                let next = b.get(i).copied();
+                match (word, next) {
+                    ("r" | "br" | "cr", Some(b'"')) => {
+                        // Raw string, zero hashes: no escapes, ends at
+                        // the next quote.
+                        i += 1;
+                        i = scan_raw_string(b, i, 0, &mut line);
+                        out.toks.push(Tok { kind: TokKind::Str, line: tline });
+                    }
+                    ("b" | "c", Some(b'"')) => {
+                        i = scan_string(b, i + 1, &mut line);
+                        out.toks.push(Tok { kind: TokKind::Str, line: tline });
+                    }
+                    ("r" | "br" | "cr", Some(b'#')) => {
+                        let mut hashes = 0usize;
+                        let mut j = i;
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&b'"') {
+                            i = scan_raw_string(b, j + 1, hashes, &mut line);
+                            out.toks.push(Tok { kind: TokKind::Str, line: tline });
+                        } else {
+                            // `r#ident`: a raw identifier. Consume the
+                            // hash and the identifier body.
+                            i += 1;
+                            let istart = i;
+                            while i < b.len() && is_ident_cont(b[i]) {
+                                i += 1;
+                            }
+                            out.toks.push(Tok {
+                                kind: TokKind::Ident(src[istart..i].to_string()),
+                                line: tline,
+                            });
+                        }
+                    }
+                    ("b", Some(b'\'')) => {
+                        i = scan_tick(b, i, &mut line, &mut out.toks, tline);
+                    }
+                    _ => out.toks.push(Tok {
+                        kind: TokKind::Ident(word.to_string()),
+                        line: tline,
+                    }),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let tline = line;
+                while i < b.len() && (is_ident_cont(b[i])) {
+                    i += 1;
+                }
+                // A fractional part: consume `.` only when a digit
+                // follows, so `1..5` stays three tokens.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Num, line: tline });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a (non-raw) string body starting just after the opening
+/// quote; returns the index just past the closing quote. Handles
+/// escapes and embedded newlines.
+fn scan_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // A line-continuation escape (`\` before a newline)
+                // still advances the line counter.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a raw string body (no escapes) until `"` followed by
+/// `hashes` `#` characters; returns the index just past the
+/// terminator.
+fn scan_raw_string(b: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && j < b.len() && b[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguates a `'` at `b[i]` into a char literal or a lifetime
+/// tick and pushes the token; returns the index past the consumed
+/// text.
+fn scan_tick(b: &[u8], i: usize, line: &mut u32, toks: &mut Vec<Tok>, tline: u32) -> usize {
+    // `b[i]` may be the `b` of a byte-char literal.
+    let q = if b[i] == b'\'' { i } else { i + 1 };
+    let after = q + 1;
+    if after >= b.len() {
+        toks.push(Tok { kind: TokKind::Punct('\''), line: tline });
+        return after;
+    }
+    if b[after] == b'\\' {
+        // Escaped char literal: walk to the closing quote, stepping
+        // over backslash pairs (`'\''`, `'\\'`, `'\u{…}'`).
+        let mut j = after;
+        while j < b.len() {
+            if b[j] == b'\\' {
+                j += 2;
+            } else if b[j] == b'\'' {
+                j += 1;
+                break;
+            } else {
+                j += 1;
+            }
+        }
+        toks.push(Tok { kind: TokKind::Char, line: tline });
+        return j;
+    }
+    if is_ident_start(b[after]) {
+        // One content char then a quote → char literal ('a'); an
+        // identifier run without a closing quote → lifetime ('a, 'de).
+        let clen = utf8_len(b[after]);
+        if b.get(after + clen) == Some(&b'\'') {
+            toks.push(Tok { kind: TokKind::Char, line: tline });
+            return after + clen + 1;
+        }
+        let mut j = after;
+        while j < b.len() && is_ident_cont(b[j]) {
+            j += 1;
+        }
+        toks.push(Tok { kind: TokKind::Lifetime, line: tline });
+        return j;
+    }
+    // Digit or punctuation content: a char literal if the quote
+    // closes right after ('1', '.', ' '), otherwise a stray tick.
+    let clen = utf8_len(b[after]);
+    if b.get(after + clen) == Some(&b'\'') {
+        if b[after] == b'\n' {
+            *line += 1;
+        }
+        toks.push(Tok { kind: TokKind::Char, line: tline });
+        return after + clen + 1;
+    }
+    toks.push(Tok { kind: TokKind::Punct('\''), line: tline });
+    after
+}
+
+fn utf8_len(lead: u8) -> usize {
+    if lead < 0x80 {
+        1
+    } else if lead >= 0xF0 {
+        4
+    } else if lead >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let x = "unwrap() panic! // not a comment"; y.unwrap();"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "x", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r##"let s = r#"quote " inside"#; s.expect("x")"##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "s", "expect"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let lexed = lex(src);
+        let lifetimes = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ real";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(idents(src), ["real"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nb";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.ident() == Some("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        assert_eq!(idents("r#type = 1"), ["type"]);
+    }
+
+    #[test]
+    fn byte_and_escape_char_literals() {
+        let src = r"let a = b'x'; let b = '\''; let c = '\u{1F600}'; d";
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c", "d"]);
+    }
+}

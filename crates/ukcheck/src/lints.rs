@@ -1,0 +1,656 @@
+//! The lint passes: the repo's written-down invariants, machine-checked.
+//!
+//! Every pass works on the token stream from [`crate::lexer`] plus the
+//! comment side-table; none of them parse Rust properly — they match
+//! token *sequences*, which is exactly enough for invariants of the
+//! form "this identifier must not appear here without a justification
+//! next to it". See `crates/ukcheck/README.md` for the invariant
+//! catalogue and the escape contract.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{lex, Comment, Tok};
+
+/// Which invariant a violation belongs to. The lint's name doubles as
+/// the key accepted inside an allow-escape comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// Heap allocation in a manifest-listed hot module.
+    Alloc,
+    /// Panicking construct (`unwrap`/`expect`/`panic!`/…) in a hot
+    /// module.
+    Panic,
+    /// `unsafe` without an adjacent `// SAFETY:` comment. Not
+    /// escapable via `allow` — the SAFETY comment *is* the escape.
+    Unsafe,
+    /// Atomic-ordering policy: `SeqCst` anywhere, or any non-Relaxed
+    /// ordering inside the `ukstats`/`uktrace` hot crates.
+    Atomics,
+    /// A malformed escape comment (unknown lint name, missing `--`
+    /// justification) — escapes are part of the contract and are
+    /// themselves linted.
+    Escape,
+}
+
+impl Lint {
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Alloc => "alloc",
+            Lint::Panic => "panic",
+            Lint::Unsafe => "unsafe",
+            Lint::Atomics => "atomics",
+            Lint::Escape => "escape",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "alloc" => Lint::Alloc,
+            "panic" => Lint::Panic,
+            "atomics" => Lint::Atomics,
+            _ => return None,
+        })
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub lint: Lint,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.lint.name(),
+            self.msg
+        )
+    }
+}
+
+/// Allocation-performing constructors: `Type::method` pairs forbidden
+/// on the hot path. (`Vec::new` itself does not allocate, but it is
+/// the seed of lazy growth — the exact bug class the zero-alloc gates
+/// kept catching at runtime — so it is flagged with the rest.)
+const ALLOC_CTORS: &[&str] = &[
+    "Vec", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Box", "String", "Rc",
+    "Arc",
+];
+const ALLOC_CTOR_METHODS: &[&str] = &["new", "from", "with_capacity", "from_iter"];
+
+/// Allocating methods: `.method(` forms forbidden on the hot path.
+/// `reserve` is here because on-demand growth *is* an allocation —
+/// three of these hid behind warm-up in earlier PRs.
+const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "collect",
+    "reserve",
+    "reserve_exact",
+];
+
+/// Allocating macros: `name!` forms forbidden on the hot path.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Panicking macros forbidden on the datapath.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panicking methods (`.unwrap()` / `.expect(…)`) forbidden on the
+/// datapath. Exact-identifier matches only — `unwrap_or` is fine.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Checks one source file. `hot` applies the hot-path-only passes
+/// (alloc, panic) in addition to the workspace-wide ones (unsafe,
+/// atomics, escape); `relaxed_only` additionally restricts atomic
+/// orderings to `Relaxed` (the ukstats/uktrace policy).
+pub fn check_source(file: &str, src: &str, hot: bool, relaxed_only: bool) -> Vec<Violation> {
+    let lexed = lex(src);
+    let active = active_mask(&lexed.toks);
+    let (allows, mut out) = parse_escapes(file, &lexed.comments);
+    let safety_lines = safety_comment_lines(&lexed.comments);
+    let comment_lines = comment_line_set(&lexed.comments);
+
+    let toks = &lexed.toks;
+    let ranges = allow_ranges(toks, &allows);
+    let allowed = |line: u32, lint: Lint| -> bool {
+        ranges
+            .iter()
+            .any(|r| r.lint == lint && r.start <= line && line <= r.end)
+    };
+    let push = |line: u32, lint: Lint, msg: String, out: &mut Vec<Violation>| {
+        if !allowed(line, lint) {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                lint,
+                msg,
+            });
+        }
+    };
+
+    for i in 0..toks.len() {
+        if !active[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let id = match t.ident() {
+            Some(id) => id,
+            None => continue,
+        };
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_bang = matches!(toks.get(i + 1), Some(n) if n.is_punct('!'));
+        let next_paren_after_bang =
+            matches!(toks.get(i + 2), Some(n) if n.is_punct('(') || n.is_punct('[') || n.is_punct('{'));
+
+        // --- hot-path passes ---------------------------------------
+        if hot {
+            // `Type::{new,from,with_capacity,…}`
+            if ALLOC_CTORS.contains(&id)
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct(':'))
+                && matches!(toks.get(i + 2), Some(n) if n.is_punct(':'))
+            {
+                if let Some(m) = toks.get(i + 3).and_then(|t| t.ident()) {
+                    if ALLOC_CTOR_METHODS.contains(&m) {
+                        push(
+                            t.line,
+                            Lint::Alloc,
+                            format!("`{id}::{m}` allocates (or seeds lazy growth) in a hot module"),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            // `.to_vec(` / `.collect(` / `.reserve(` …
+            if prev_dot
+                && ALLOC_METHODS.contains(&id)
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct('(') || n.is_punct(':'))
+            {
+                push(
+                    t.line,
+                    Lint::Alloc,
+                    format!("`.{id}()` allocates in a hot module"),
+                    &mut out,
+                );
+            }
+            // `vec![` / `format!(`
+            if ALLOC_MACROS.contains(&id) && next_bang && next_paren_after_bang && !prev_dot {
+                push(
+                    t.line,
+                    Lint::Alloc,
+                    format!("`{id}!` allocates in a hot module"),
+                    &mut out,
+                );
+            }
+            // `.unwrap()` / `.expect(`
+            if prev_dot
+                && PANIC_METHODS.contains(&id)
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct('('))
+            {
+                push(
+                    t.line,
+                    Lint::Panic,
+                    format!("`.{id}()` can panic on the datapath — return an error or drop the segment"),
+                    &mut out,
+                );
+            }
+            // `panic!` / `unreachable!` / …
+            if PANIC_MACROS.contains(&id) && next_bang && next_paren_after_bang && !prev_dot {
+                push(
+                    t.line,
+                    Lint::Panic,
+                    format!("`{id}!` on the datapath — the kernel must not have panicking paths"),
+                    &mut out,
+                );
+            }
+        }
+
+        // --- workspace-wide passes ---------------------------------
+        if id == "unsafe" {
+            if !has_safety_comment(t.line, &safety_lines, &comment_lines) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    lint: Lint::Unsafe,
+                    msg: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                });
+            }
+        }
+        if id == "SeqCst" {
+            push(
+                t.line,
+                Lint::Atomics,
+                "`SeqCst` ordering — justify why Relaxed/Acquire/Release is insufficient"
+                    .to_string(),
+                &mut out,
+            );
+        } else if relaxed_only && matches!(id, "Acquire" | "Release" | "AcqRel") {
+            // Only flag actual ordering arguments (`Ordering::Acquire`),
+            // not arbitrary identifiers that happen to share the name.
+            let after_colons = i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].ident() == Some("Ordering");
+            if after_colons {
+                push(
+                    t.line,
+                    Lint::Atomics,
+                    format!("`Ordering::{id}` in a Relaxed-only crate — hot counters must be Relaxed"),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.msg.cmp(&b.msg)));
+    out
+}
+
+/// Marks which tokens are "active" (not under a `#[test]`- or
+/// `#[cfg(test)]`-guarded item). Test code may unwrap and allocate
+/// freely — the invariants protect the image, not the test harness.
+fn active_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut active = vec![true; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]`
+        let mut j = i + 1;
+        if matches!(toks.get(j), Some(t) if t.is_punct('!')) {
+            j += 1;
+        }
+        if !matches!(toks.get(j), Some(t) if t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, mentions_test) = scan_attr(toks, j);
+        if !mentions_test {
+            i = attr_end;
+            continue;
+        }
+        // Deactivate this attribute, any stacked attributes after it,
+        // and the item they decorate (to its `;` or matching `}`).
+        for t in active.iter_mut().take(attr_end).skip(i) {
+            *t = false;
+        }
+        let mut k = attr_end;
+        while matches!(toks.get(k), Some(t) if t.is_punct('#')) {
+            let mut a = k + 1;
+            if matches!(toks.get(a), Some(t) if t.is_punct('!')) {
+                a += 1;
+            }
+            if !matches!(toks.get(a), Some(t) if t.is_punct('[')) {
+                break;
+            }
+            let (end, _) = scan_attr(toks, a);
+            for t in active.iter_mut().take(end).skip(k) {
+                *t = false;
+            }
+            k = end;
+        }
+        let mut depth = 0i32;
+        let mut inner = 0i32; // parens/brackets: `[u8; 4]` must not end the item
+        while k < toks.len() {
+            active[k] = false;
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            } else if toks[k].is_punct('(') || toks[k].is_punct('[') {
+                inner += 1;
+            } else if toks[k].is_punct(')') || toks[k].is_punct(']') {
+                inner -= 1;
+            } else if toks[k].is_punct(';') && depth == 0 && inner == 0 {
+                k += 1;
+                break;
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    active
+}
+
+/// Scans an attribute starting at its `[` token; returns (index past
+/// the closing `]`, whether the attribute mentions the ident `test`).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut mentions_test = false;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('[') {
+            depth += 1;
+        } else if toks[k].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (k + 1, mentions_test);
+            }
+        } else if toks[k].ident() == Some("test") {
+            mentions_test = true;
+        }
+        k += 1;
+    }
+    (k, mentions_test)
+}
+
+/// A resolved escape: `lint` is allowed on lines `start..=end`.
+struct AllowRange {
+    lint: Lint,
+    start: u32,
+    end: u32,
+}
+
+/// Resolves parsed escapes into line ranges:
+///
+/// - a **trailing** escape (code on the same line) covers that line;
+/// - a **standalone** escape covers the next code line;
+/// - a standalone escape whose next code line starts an `fn` item
+///   covers the whole function body — one justified escape above a
+///   constructor, not one per field.
+fn allow_ranges(toks: &[Tok], allows: &HashMap<u32, HashSet<Lint>>) -> Vec<AllowRange> {
+    let mut out = Vec::new();
+    for (&line, set) in allows {
+        let trailing = toks.iter().any(|t| t.line == line);
+        let (start, end) = if trailing {
+            (line, line)
+        } else {
+            // First token past the comment, skipping over attributes
+            // (`#[cfg(...)]` lines between the escape and its item).
+            let Some(mut first) = toks.iter().position(|t| t.line > line) else {
+                continue;
+            };
+            while toks[first].is_punct('#') {
+                let mut a = first + 1;
+                if matches!(toks.get(a), Some(t) if t.is_punct('!')) {
+                    a += 1;
+                }
+                if !matches!(toks.get(a), Some(t) if t.is_punct('[')) {
+                    break;
+                }
+                let (end, _) = scan_attr(toks, a);
+                if end >= toks.len() {
+                    break;
+                }
+                first = end;
+            }
+            let code_line = toks[first].line;
+            let fn_on_line = toks[first..]
+                .iter()
+                .take_while(|t| t.line == code_line)
+                .any(|t| t.ident() == Some("fn"));
+            if fn_on_line {
+                (code_line, item_end_line(toks, first))
+            } else {
+                (code_line, code_line)
+            }
+        };
+        for &lint in set {
+            out.push(AllowRange { lint, start, end });
+        }
+    }
+    out
+}
+
+/// The last line of the item starting at token `from`: its matching
+/// close brace, or its `;` for a body-less declaration.
+fn item_end_line(toks: &[Tok], from: usize) -> u32 {
+    let mut depth = 0i32;
+    let mut inner = 0i32;
+    let mut k = from;
+    while k < toks.len() {
+        if toks[k].is_punct('{') {
+            depth += 1;
+        } else if toks[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return toks[k].line;
+            }
+        } else if toks[k].is_punct('(') || toks[k].is_punct('[') {
+            inner += 1;
+        } else if toks[k].is_punct(')') || toks[k].is_punct(']') {
+            inner -= 1;
+        } else if toks[k].is_punct(';') && depth == 0 && inner == 0 {
+            return toks[k].line;
+        }
+        k += 1;
+    }
+    toks.last().map_or(0, |t| t.line)
+}
+
+/// Parses every allow escape (the lint name in parentheses, a `--`,
+/// then a mandatory justification) out of the comments. Returns the
+/// per-line allow sets (keyed by the comment's *end* line, so both
+/// trailing and preceding-line comments work) and any violations for
+/// malformed escapes.
+fn parse_escapes(
+    file: &str,
+    comments: &[Comment],
+) -> (HashMap<u32, HashSet<Lint>>, Vec<Violation>) {
+    let mut allows: HashMap<u32, HashSet<Lint>> = HashMap::new();
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("ukcheck:") {
+            rest = &rest[pos + "ukcheck:".len()..];
+            let body = rest.trim_start();
+            let Some(args) = body.strip_prefix("allow(") else {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: c.end_line,
+                    lint: Lint::Escape,
+                    msg: "malformed escape: expected `ukcheck: allow(<lint>) -- <why>`"
+                        .to_string(),
+                });
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: c.end_line,
+                    lint: Lint::Escape,
+                    msg: "malformed escape: unterminated `allow(`".to_string(),
+                });
+                continue;
+            };
+            let name = args[..close].trim();
+            let after = args[close + 1..].trim_start();
+            let Some(lint) = Lint::from_name(name) else {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: c.end_line,
+                    lint: Lint::Escape,
+                    msg: format!(
+                        "unknown lint `{name}` in escape (valid: alloc, panic, atomics; \
+                         `unsafe` is escaped by a `// SAFETY:` comment)"
+                    ),
+                });
+                continue;
+            };
+            let justification = after
+                .strip_prefix("--")
+                .map(str::trim_start)
+                .filter(|j| !j.is_empty());
+            if justification.is_none() {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: c.end_line,
+                    lint: Lint::Escape,
+                    msg: format!(
+                        "escape `allow({name})` without a justification — write \
+                         `ukcheck: allow({name}) -- <why this is safe here>`"
+                    ),
+                });
+                continue;
+            }
+            allows.entry(c.end_line).or_default().insert(lint);
+        }
+    }
+    (allows, out)
+}
+
+/// Lines on which a comment containing `SAFETY:` ends.
+fn safety_comment_lines(comments: &[Comment]) -> HashSet<u32> {
+    comments
+        .iter()
+        .filter(|c| c.text.contains("SAFETY:"))
+        .flat_map(|c| c.start_line..=c.end_line)
+        .collect()
+}
+
+/// Every line touched by any comment (for walking up a contiguous
+/// comment block above an `unsafe`).
+fn comment_line_set(comments: &[Comment]) -> HashSet<u32> {
+    comments
+        .iter()
+        .flat_map(|c| c.start_line..=c.end_line)
+        .collect()
+}
+
+/// An `unsafe` on line L is justified if a `SAFETY:` comment sits on
+/// L itself (trailing) or anywhere in the contiguous run of
+/// comment-bearing lines immediately above L.
+fn has_safety_comment(
+    line: u32,
+    safety_lines: &HashSet<u32>,
+    comment_lines: &HashSet<u32>,
+) -> bool {
+    if safety_lines.contains(&line) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && comment_lines.contains(&l) {
+        if safety_lines.contains(&l) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_hot(src: &str) -> Vec<Violation> {
+        check_source("test.rs", src, true, false)
+    }
+
+    #[test]
+    fn flags_unwrap_and_alloc_in_hot_code() {
+        let v = check_hot("fn f(x: Option<u8>) { x.unwrap(); let v = Vec::new(); }");
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|v| v.lint == Lint::Panic));
+        assert!(v.iter().any(|v| v.lint == Lint::Alloc));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let v = check_hot("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_escape_with_justification_suppresses() {
+        let src = "fn f() {\n    // ukcheck: allow(alloc) -- init-time only\n    let v: Vec<u8> = Vec::new();\n}";
+        assert!(check_hot(src).is_empty());
+        let trailing =
+            "fn f() { let v: Vec<u8> = Vec::new(); } // ukcheck: allow(alloc) -- init";
+        assert!(check_hot(trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_itself_flagged() {
+        let src = "// ukcheck: allow(alloc)\nfn f() { let v: Vec<u8> = Vec::new(); }";
+        let v = check_hot(src);
+        assert!(v.iter().any(|v| v.lint == Lint::Escape), "{v:?}");
+        assert!(v.iter().any(|v| v.lint == Lint::Alloc), "escape invalid → lint still fires");
+    }
+
+    #[test]
+    fn wrong_lint_name_does_not_suppress() {
+        let src = "// ukcheck: allow(panic) -- wrong lint\nfn f() { let v: Vec<u8> = Vec::new(); }";
+        let v = check_hot(src);
+        assert!(v.iter().any(|v| v.lint == Lint::Alloc));
+    }
+
+    #[test]
+    fn fn_scoped_escape_covers_the_whole_function() {
+        let src = "// ukcheck: allow(alloc) -- constructor runs once at boot\n\
+                   pub fn new() -> Self {\n\
+                       let a: Vec<u8> = Vec::new();\n\
+                       let b: Vec<u8> = Vec::new();\n\
+                       Self { a, b }\n\
+                   }\n\
+                   fn hot() { let c: Vec<u8> = Vec::new(); }";
+        let v = check_hot(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 7, "escape must not leak past the fn body");
+    }
+
+    #[test]
+    fn fn_scoped_escape_skips_attributes() {
+        let src = "// ukcheck: allow(panic) -- feature-gated diagnostic\n\
+                   #[cfg(feature = \"x\")]\n\
+                   fn diag() { panic!(\"boom\"); }";
+        assert!(check_hot(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); let v = vec![1]; }\n}";
+        assert!(check_hot(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// calls unwrap() and panic!\nfn f() { let s = \"x.unwrap()\"; }";
+        assert!(check_hot(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { core(); } }";
+        let v = check_source("t.rs", bad, false, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::Unsafe);
+
+        let good = "fn f() {\n    // SAFETY: core() has no preconditions here.\n    unsafe { core(); }\n}";
+        assert!(check_source("t.rs", good, false, false).is_empty());
+
+        let multiline = "fn f() {\n    // SAFETY: the pointer is valid because\n    // the pool pins the slab.\n    unsafe { core(); }\n}";
+        assert!(check_source("t.rs", multiline, false, false).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_justification_everywhere() {
+        let bad = "fn f() { X.load(Ordering::SeqCst); }";
+        let v = check_source("t.rs", bad, false, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::Atomics);
+        let good = "fn f() {\n    // ukcheck: allow(atomics) -- total order required for the epoch fence\n    X.load(Ordering::SeqCst);\n}";
+        assert!(check_source("t.rs", good, false, false).is_empty());
+    }
+
+    #[test]
+    fn relaxed_only_crates_reject_acquire() {
+        let src = "fn f() { X.load(Ordering::Acquire); }";
+        assert!(check_source("t.rs", src, false, false).is_empty());
+        let v = check_source("t.rs", src, false, true);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::Atomics);
+    }
+}

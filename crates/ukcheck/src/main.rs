@@ -1,0 +1,77 @@
+//! The `ukcheck` binary: `make lint`'s engine.
+//!
+//! ```text
+//! ukcheck [--root DIR]            scan the workspace (default: cwd)
+//! ukcheck --files F... [--hot]    scan specific files; --hot applies
+//!                                 the hot-path passes to all of them
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut files_mode = false;
+    let mut hot = false;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage("--root needs a directory"),
+            },
+            "--files" => files_mode = true,
+            "--hot" => hot = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "ukcheck: repo-native invariant linter\n\
+                     usage: ukcheck [--root DIR] | ukcheck --files F... [--hot]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            f if files_mode && !f.starts_with("--") => files.push(PathBuf::from(f)),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let result = if files_mode {
+        if files.is_empty() {
+            return usage("--files needs at least one path");
+        }
+        ukcheck::walk::check_files(&files, hot)
+    } else {
+        ukcheck::walk::check_workspace(&root)
+    };
+
+    match result {
+        Err(e) => {
+            eprintln!("ukcheck: error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(violations) if violations.is_empty() => {
+            if !quiet {
+                println!("ukcheck: clean");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("ukcheck: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ukcheck: {msg} (try --help)");
+    ExitCode::from(2)
+}

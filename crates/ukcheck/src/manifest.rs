@@ -1,0 +1,57 @@
+//! The lint manifest: which files are "hot", which crates are
+//! Relaxed-only, and what the workspace walker skips.
+//!
+//! This is the written-down form of the repo's datapath map. A module
+//! belongs here when a per-frame or per-segment code path runs through
+//! it — the no-alloc and panic-free invariants apply to the whole
+//! file, with justified allow escapes for the init-time and
+//! cold-export islands inside it.
+
+/// Files on which the hot-path passes (no-alloc, panic-free) run.
+pub const HOT_FILES: &[&str] = &[
+    // The TCP engine: segment ingest, emission, retransmission.
+    "crates/uknetstack/src/tcp.rs",
+    // The per-pump sweep: demux, GRO, ARP, socket queues.
+    "crates/uknetstack/src/stack.rs",
+    // Flow-table lookups run once per demuxed segment.
+    "crates/uknetstack/src/flow.rs",
+    // The timer wheel: armed/cancelled per segment, advanced per pump.
+    "crates/uknetstack/src/timer.rs",
+    // The buffer pool: every frame takes and recycles through it.
+    "crates/uknetdev/src/netbuf.rs",
+    // Checksums run over every frame's bytes.
+    "crates/uknetdev/src/csum.rs",
+    // TSO cutting runs per super-segment on the host path.
+    "crates/uknetdev/src/gso.rs",
+];
+
+/// Crate source directories that are hot in their entirety.
+pub const HOT_DIRS: &[&str] = &["crates/ukstats/src/", "crates/uktrace/src/"];
+
+/// Crates whose atomics must be `Relaxed`: their hot ops are
+/// fire-and-forget counter RMWs, and anything stronger on those paths
+/// is either a bug or needs a written justification.
+pub const RELAXED_ONLY_DIRS: &[&str] = &["crates/ukstats/src/", "crates/uktrace/src/"];
+
+/// Directory names the workspace walker never descends into.
+pub const SKIP_DIRS: &[&str] = &[
+    "target",
+    "third_party", // vendored stand-ins, not this repo's code
+    "tests",       // test harnesses may unwrap/allocate freely
+    "benches",
+    "examples",
+    "fixtures", // ukcheck's own known-bad corpus
+    "out",
+    ".git",
+];
+
+/// Whether the hot-path passes apply to `rel` (a `/`-separated path
+/// relative to the workspace root).
+pub fn is_hot(rel: &str) -> bool {
+    HOT_FILES.contains(&rel) || HOT_DIRS.iter().any(|d| rel.starts_with(d))
+}
+
+/// Whether the Relaxed-only atomics policy applies to `rel`.
+pub fn is_relaxed_only(rel: &str) -> bool {
+    RELAXED_ONLY_DIRS.iter().any(|d| rel.starts_with(d))
+}

@@ -1,0 +1,72 @@
+//! Fixture corpus driven through the `ukcheck` binary itself: every
+//! known-bad snippet must exit 1 naming the expected lint, every
+//! known-good snippet must exit 0 — so the exit-code contract `make
+//! lint` relies on is itself under test.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+/// Runs the built binary on one fixture as a hot-path file, returning
+/// (exit code, stdout).
+fn run_hot(rel: &str) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ukcheck"))
+        .arg("--files")
+        .arg(fixture(rel))
+        .arg("--hot")
+        .output()
+        .expect("spawn ukcheck");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn bad_fixtures_fail_with_the_expected_lint() {
+    // (fixture, lint tag that must appear, minimum violation count)
+    let cases = [
+        ("bad/alloc_ctor.rs", "[alloc]", 1),
+        ("bad/alloc_macro.rs", "[alloc]", 2),
+        ("bad/alloc_method.rs", "[alloc]", 2),
+        ("bad/panic_unwrap.rs", "[panic]", 2),
+        ("bad/panic_macro.rs", "[panic]", 1),
+        ("bad/unsafe_bare.rs", "[unsafe]", 1),
+        ("bad/seqcst.rs", "[atomics]", 1),
+        ("bad/escape_unjustified.rs", "[escape]", 1),
+    ];
+    for (rel, tag, min) in cases {
+        let (code, stdout) = run_hot(rel);
+        assert_eq!(code, 1, "{rel} should exit 1; output:\n{stdout}");
+        let hits = stdout.matches(tag).count();
+        assert!(
+            hits >= min,
+            "{rel}: wanted >= {min} {tag} findings, got {hits}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_pass_clean() {
+    for rel in [
+        "good/clean.rs",
+        "good/escaped.rs",
+        "good/safety.rs",
+        "good/test_code.rs",
+        "good/tricky_lexing.rs",
+    ] {
+        let (code, stdout) = run_hot(rel);
+        assert_eq!(code, 0, "{rel} should exit 0; output:\n{stdout}");
+    }
+}
+
+#[test]
+fn missing_file_is_a_usage_error_not_a_pass() {
+    let (code, _) = run_hot("no/such/file.rs");
+    assert_eq!(code, 2, "IO failures must be distinguishable from clean runs");
+}

@@ -1,0 +1,5 @@
+// Known-bad: heap constructor on the hot path, no escape.
+pub fn stage() -> Vec<u8> {
+    let staged = Vec::new();
+    staged
+}

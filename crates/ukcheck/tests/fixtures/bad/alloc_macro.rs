@@ -1,0 +1,5 @@
+// Known-bad: vec! and format! allocate on the hot path.
+pub fn label(n: usize) -> String {
+    let _scratch = vec![0u8; n];
+    format!("frame-{n}")
+}

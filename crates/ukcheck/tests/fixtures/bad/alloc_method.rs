@@ -1,0 +1,8 @@
+// Known-bad: allocating method calls on the hot path.
+pub fn copy_out(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+
+pub fn gather(it: impl Iterator<Item = u8>) -> Vec<u8> {
+    it.collect()
+}

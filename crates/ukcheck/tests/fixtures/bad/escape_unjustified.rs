@@ -1,0 +1,5 @@
+// Known-bad: the escape hatch itself must carry a justification.
+// ukcheck: allow(alloc)
+pub fn stage() -> Vec<u8> {
+    Vec::new()
+}

@@ -1,0 +1,8 @@
+// Known-bad: panicking macros on the datapath.
+pub fn demux(kind: u8) -> u8 {
+    match kind {
+        6 => 1,
+        17 => 2,
+        _ => unreachable!("unknown protocol"),
+    }
+}

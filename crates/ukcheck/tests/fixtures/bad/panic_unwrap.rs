@@ -1,0 +1,6 @@
+// Known-bad: unwrap/expect on the datapath.
+pub fn front(q: &[u8]) -> u8 {
+    let first = *q.first().unwrap();
+    let second = *q.get(1).expect("second byte");
+    first ^ second
+}

@@ -1,0 +1,4 @@
+// Known-bad: unsafe block with no SAFETY comment.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

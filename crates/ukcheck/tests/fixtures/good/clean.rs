@@ -1,0 +1,15 @@
+// Known-good: branch-and-arithmetic datapath code, nothing to flag.
+pub fn fold(sum: u64) -> u16 {
+    let mut s = sum;
+    while s >> 16 != 0 {
+        s = (s & 0xffff) + (s >> 16);
+    }
+    s as u16
+}
+
+pub fn pick(q: &[u8]) -> u8 {
+    match q.first() {
+        Some(b) => *b,
+        None => 0,
+    }
+}

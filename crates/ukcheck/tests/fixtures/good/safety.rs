@@ -1,0 +1,6 @@
+// Known-good: unsafe with a SAFETY contract above it.
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer into a live, pool-owned buffer;
+    // the pool keeps the storage alive for the read's duration.
+    unsafe { *p }
+}

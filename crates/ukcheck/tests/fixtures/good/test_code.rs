@@ -1,0 +1,16 @@
+// Known-good: unwrap/alloc inside #[cfg(test)] items is exempt — the
+// invariants police shipped datapath code, not its tests.
+pub fn add(a: u8, b: u8) -> u8 {
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(add(*v.first().unwrap(), 2), 3);
+    }
+}

@@ -1,0 +1,19 @@
+// Known-good: every forbidden pattern appears only inside strings,
+// raw strings, chars or comments — a lexer that loses sync here will
+// report phantom violations.
+pub fn banner() -> &'static str {
+    "call Vec::new() then .unwrap() and panic!(\"boom\")"
+}
+
+pub fn raw() -> &'static str {
+    r#"format!("{}", x.expect("msg")) // vec![0; 4]"#
+}
+
+/* block comment: Box::new(x).to_vec().collect() /* nested: y.unwrap() */
+   still commented: Ordering::SeqCst */
+pub fn tick<'alloc>(v: &'alloc [u8]) -> u8 {
+    // line comment: unreachable!() and String::from("x")
+    let quote = '"';
+    let _ = quote;
+    v.len() as u8
+}

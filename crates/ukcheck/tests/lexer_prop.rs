@@ -1,0 +1,102 @@
+//! Property tests for the ukcheck lexer: whatever mix of strings,
+//! char/lifetime ticks, nested block comments and raw strings the
+//! generator assembles, the lexer must never desynchronize — sentinel
+//! identifiers planted *between* fragments must all come back out as
+//! `Ident` tokens, in order, on exactly the line the builder put them.
+//!
+//! A desync (a fragment's terminator mis-scanned, swallowing the
+//! following code into a string or comment) deletes or displaces a
+//! sentinel, so the exact `(name, line)` comparison catches both
+//! token-stream and line-counter drift.
+
+use proptest::prelude::*;
+use ukcheck::lexer::lex;
+
+/// One source fragment: a string/char/comment/raw-string shape built
+/// from generator-chosen filler. Filler alphabets exclude `z` and `q`
+/// so fragment *content* can never collide with the `zq<i>` sentinels,
+/// and exclude `#` so raw-string bodies can never fake a terminator.
+fn fragment(kind: u8, a: &str, b: &str) -> String {
+    let lt: String = a.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    match kind {
+        0 => format!("\"{a}\""),
+        1 => format!("\"{a}\\\"{b}\""),        // escaped quote inside
+        2 => format!("\"{a}\\\\\""),           // trailing escaped backslash
+        3 => format!("r#\"{a}\"{b}\"#"),       // raw string containing a quote
+        4 => format!("r\"{a}\""),
+        5 => format!("br\"{a}\""),
+        6 => "'x'".to_string(),
+        7 => "'\\n'".to_string(),              // escaped char literal
+        8 => format!("'lt{lt}"),               // lifetime tick
+        9 => format!("// {a}\n"),
+        10 => format!("/* {a} /* {b} */ {a} */"), // nested block comment
+        11 => format!("/* {a}\n{b} */"),       // multi-line block comment
+        12 => format!("r##\"{a}\n\"{b}\"##"),  // multi-line raw, hash depth 2
+        13 => format!("\"{a}\\\n{b}\""),       // line continuation in string
+        14 => format!("fn {lt}x(v: u8) -> u8 {{ v }}"),
+        _ => format!("{a}; let n = 0x1f + {b}.len();"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn sentinels_survive_any_fragment_soup(
+        frags in proptest::collection::vec(
+            (0u8..16, "[a-p ]{0,10}", "[a-p ]{0,8}"),
+            0..32,
+        ),
+    ) {
+        let mut src = String::new();
+        let mut line = 1u32;
+        let mut expected: Vec<(String, u32)> = Vec::new();
+        for (i, (kind, a, b)) in frags.iter().enumerate() {
+            let frag = fragment(*kind, a, b);
+            line += frag.matches('\n').count() as u32;
+            src.push_str(&frag);
+            // Plant the sentinel on its own line after the fragment.
+            src.push('\n');
+            line += 1;
+            let name = format!("zq{i}");
+            src.push_str(&name);
+            expected.push((name, line));
+            src.push('\n');
+            line += 1;
+        }
+        let lexed = lex(&src);
+        let got: Vec<(String, u32)> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| {
+                t.ident()
+                    .filter(|n| n.starts_with("zq"))
+                    .map(|n| (n.to_string(), t.line))
+            })
+            .collect();
+        prop_assert_eq!(&got, &expected, "desync lexing: {:?}", src);
+        // No token or comment may claim a line past the end of input.
+        let total = line;
+        for t in &lexed.toks {
+            prop_assert!(t.line >= 1 && t.line <= total, "token line {} > {total}", t.line);
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.start_line <= c.end_line && c.end_line <= total);
+        }
+    }
+
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // The lexer must terminate without panicking on arbitrary
+        // (lossily decoded) input — unterminated strings, stray ticks,
+        // truncated comments and all.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lexed = lex(&src);
+        let total = src.matches('\n').count() as u32 + 1;
+        for t in &lexed.toks {
+            prop_assert!(t.line >= 1 && t.line <= total);
+        }
+    }
+}

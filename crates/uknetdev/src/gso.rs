@@ -103,7 +103,13 @@ where
     // Forward-only cursor over the chain's payload bytes, starting
     // just past the headers in the head extent.
     let mut segs = superframe.chain_segments();
-    let mut cur = segs.next().expect("chain has a head");
+    // `chain_segments` starts with `iter::once(head)`, so a missing
+    // head extent is structurally impossible; degrade to a malformed-
+    // frame error rather than carrying a panicking path.
+    let Some(mut cur) = segs.next() else {
+        debug_assert!(false, "chain_segments yielded no head extent");
+        return Err(Errno::Inval);
+    };
     let mut cur_off = HDRS;
 
     // The IPv4 header differs between frames only in its length field

@@ -95,6 +95,29 @@ use bytes::BytesMut;
 /// returned to a pool it did not come from).
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
+/// The byte pattern the `netbuf-sanitizer` feature writes over a
+/// buffer's entire storage on give-back. A pool-resident buffer must
+/// stay wall-to-wall poison until its next `take`; any other content
+/// means someone wrote through a stale handle while the pool owned
+/// the bytes.
+#[cfg(feature = "netbuf-sanitizer")]
+pub const SANITIZER_POISON: u8 = 0xA5;
+
+/// Per-slot provenance the sanitizer tracks alongside the pool.
+///
+/// Compiled to nothing without the `netbuf-sanitizer` feature — the
+/// zero-alloc bench gates prove the default build pays nothing.
+#[cfg(feature = "netbuf-sanitizer")]
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotSan {
+    /// Buffer is out in the datapath (`true`) or home in the pool.
+    live: bool,
+    /// Call site of the `take` that made the slot live.
+    last_take: Option<&'static core::panic::Location<'static>>,
+    /// Call site of the most recent give-back.
+    last_give_back: Option<&'static core::panic::Location<'static>>,
+}
+
 /// A transmit checksum-offload request riding on a netbuf — the role
 /// of `virtio_net_hdr`'s `csum_start`/`csum_offset` pair.
 ///
@@ -191,6 +214,9 @@ pub struct Netbuf {
 impl Netbuf {
     /// Allocates a standalone (heap) netbuf with `cap` bytes of storage
     /// and `headroom` reserved in front.
+    // ukcheck: allow(alloc) -- the explicit heap-buffer constructor: pools
+    // call it at build time, and the memory-frugal path allocates here by
+    // design (§3.1); the steady-state datapath only circulates pooled bufs
     pub fn alloc(cap: usize, headroom: usize) -> Self {
         assert!(headroom <= cap, "headroom exceeds capacity");
         let mut data = BytesMut::with_capacity(cap);
@@ -510,7 +536,20 @@ impl Netbuf {
     /// once at construction so steady-state chain building never
     /// allocates).
     pub fn reserve_frags(&mut self, n: usize) {
+        // ukcheck: allow(alloc) -- called once per buffer at pool construction
         self.frags.reserve(n);
+    }
+
+    /// Overwrites the whole storage with the sanitizer poison pattern.
+    #[cfg(feature = "netbuf-sanitizer")]
+    fn poison(&mut self) {
+        self.data.fill(SANITIZER_POISON);
+    }
+
+    /// Whether the storage is still wall-to-wall poison.
+    #[cfg(feature = "netbuf-sanitizer")]
+    fn poison_intact(&self) -> bool {
+        self.data.iter().all(|&b| b == SANITIZER_POISON)
     }
 }
 
@@ -537,6 +576,10 @@ pub struct NetbufPool {
     /// mark is `capacity - low_water`. Plain integer math on the hot
     /// path; exported through the stats plane by the pool's owner.
     low_water: usize,
+    /// Per-slot provenance (live/recycled state, last take/give-back
+    /// sites). Only present with the `netbuf-sanitizer` feature.
+    #[cfg(feature = "netbuf-sanitizer")]
+    san: Vec<SlotSan>,
 }
 
 impl NetbufPool {
@@ -549,6 +592,8 @@ impl NetbufPool {
     /// `chain_frags` scatter-gather fragments, so chain heads built
     /// from this pool never grow their fragment list on the hot path
     /// (the capacity survives recycling).
+    // ukcheck: allow(alloc) -- pool construction is the one-time
+    // pre-allocation that makes the per-frame path allocation-free
     pub fn with_chain_capacity(
         count: usize,
         cap: usize,
@@ -563,6 +608,10 @@ impl NetbufPool {
             nb.pool_slot = Some(slot);
             nb.pool_id = id;
             nb.reserve_frags(chain_frags);
+            // Pool-resident storage is poison from birth, so the very
+            // first take can already verify integrity.
+            #[cfg(feature = "netbuf-sanitizer")]
+            nb.poison();
             bufs.push(Some(nb));
             free.push(slot);
         }
@@ -573,14 +622,41 @@ impl NetbufPool {
             buf_cap: cap,
             headroom,
             low_water: count,
+            #[cfg(feature = "netbuf-sanitizer")]
+            san: vec![SlotSan::default(); count],
         }
     }
 
     /// Takes a buffer from the pool, or `None` if exhausted.
+    // ukcheck: allow(panic) -- the only panic inside is the sanitizer's
+    // use-after-recycle report, compiled out of the default build
+    #[cfg_attr(feature = "netbuf-sanitizer", track_caller)]
     pub fn take(&mut self) -> Option<Netbuf> {
         let slot = self.free.pop()?;
         self.low_water = self.low_water.min(self.free.len());
-        let mut nb = self.bufs[slot].take().expect("slot tracked as free");
+        let Some(mut nb) = self.bufs[slot].take() else {
+            // The free list named a slot whose buffer is gone — the
+            // pool's own bookkeeping is corrupt. Surface it in debug
+            // builds; in release, treat the pool as exhausted rather
+            // than bringing down the datapath.
+            debug_assert!(false, "free list names an empty slot {slot}");
+            return None;
+        };
+        #[cfg(feature = "netbuf-sanitizer")]
+        {
+            if !nb.poison_intact() {
+                panic!(
+                    "netbuf sanitizer: use-after-recycle on pool {} slot {slot}: \
+                     storage was modified while the pool owned it \
+                     (last give-back at {}, last take at {})",
+                    self.id,
+                    site(self.san[slot].last_give_back),
+                    site(self.san[slot].last_take),
+                );
+            }
+            self.san[slot].live = true;
+            self.san[slot].last_take = Some(core::panic::Location::caller());
+        }
         nb.reset(self.headroom);
         Some(nb)
     }
@@ -597,26 +673,87 @@ impl NetbufPool {
     ///
     /// Panics if the buffer is not from this pool, the slot is
     /// occupied, or the buffer still owns chain fragments.
+    #[cfg_attr(feature = "netbuf-sanitizer", track_caller)]
     pub fn give_back(&mut self, nb: Netbuf) {
+        // ukcheck: allow(panic) -- documented API contract: recycling a heap
+        // buffer or a forged/duplicate slot is a caller bug the pool must
+        // refuse loudly, not absorb.
         let slot = nb.pool_slot.expect("netbuf is not pooled");
+        #[cfg(feature = "netbuf-sanitizer")]
+        {
+            if nb.pool_id != self.id {
+                // ukcheck: allow(panic) -- the sanitizer exists to turn
+                // ownership violations into immediate loud failures
+                panic!(
+                    "netbuf sanitizer: cross-pool give-back: buffer from pool {} \
+                     (slot {slot}) returned to pool {}",
+                    nb.pool_id, self.id,
+                );
+            }
+            if slot >= self.san.len() || !self.san[slot].live {
+                // ukcheck: allow(panic) -- the sanitizer exists to turn
+                // ownership violations into immediate loud failures
+                panic!(
+                    "netbuf sanitizer: double-recycle of pool {} slot {slot}: \
+                     slot is not live (previous give-back at {}, take at {})",
+                    self.id,
+                    site(self.san.get(slot).and_then(|s| s.last_give_back)),
+                    site(self.san.get(slot).and_then(|s| s.last_take)),
+                );
+            }
+        }
         assert!(nb.pool_id == self.id, "netbuf belongs to another pool");
         assert!(nb.frags.is_empty(), "give_back with live chain fragments");
         assert!(self.bufs[slot].is_none(), "double give_back for slot {slot}");
+        #[cfg(feature = "netbuf-sanitizer")]
+        let nb = {
+            let mut nb = nb;
+            nb.poison();
+            self.san[slot].live = false;
+            self.san[slot].last_give_back = Some(core::panic::Location::caller());
+            nb
+        };
         self.bufs[slot] = Some(nb);
         self.free.push(slot);
     }
 
     /// Returns a whole chain to this pool: every fragment and then the
     /// head. Fragments not owned by this pool (heap buffers, foreign
-    /// pools) are dropped.
+    /// pools) are dropped — except under the `netbuf-sanitizer`
+    /// feature, where silently dropping a *pooled* foreign fragment is
+    /// reported as a cross-pool give-back (it would surface later as a
+    /// leak in the owning pool anyway; the sanitizer names the site).
+    #[cfg_attr(feature = "netbuf-sanitizer", track_caller)]
     pub fn give_back_chain(&mut self, mut nb: Netbuf) {
         while let Some(frag) = nb.pop_frag() {
             if self.owns(&frag) {
                 self.give_back(frag);
+            } else {
+                #[cfg(feature = "netbuf-sanitizer")]
+                if frag.is_pooled() {
+                    // ukcheck: allow(panic) -- the sanitizer exists to turn
+                    // ownership violations into immediate loud failures
+                    panic!(
+                        "netbuf sanitizer: cross-pool give-back via chain: \
+                         fragment from pool {} dropped into pool {}",
+                        frag.pool_id, self.id,
+                    );
+                }
             }
         }
         if self.owns(&nb) {
             self.give_back(nb);
+        } else {
+            #[cfg(feature = "netbuf-sanitizer")]
+            if nb.is_pooled() {
+                // ukcheck: allow(panic) -- the sanitizer exists to turn
+                // ownership violations into immediate loud failures
+                panic!(
+                    "netbuf sanitizer: cross-pool give-back via chain: head \
+                     from pool {} dropped into pool {}",
+                    nb.pool_id, self.id,
+                );
+            }
         }
     }
 
@@ -644,6 +781,52 @@ impl NetbufPool {
     /// The headroom buffers are reset to on `take`.
     pub fn headroom(&self) -> usize {
         self.headroom
+    }
+
+    /// End-of-test leak check: panics if any buffer is still out,
+    /// naming each leaked slot and the call site that took it. Only
+    /// present with the `netbuf-sanitizer` feature — call it after the
+    /// datapath has quiesced and every buffer should be home.
+    // ukcheck: allow(alloc) -- sanitizer-only diagnostic rendering,
+    // compiled out of the default build
+    // ukcheck: allow(panic) -- the sanitizer exists to fail loudly
+    #[cfg(feature = "netbuf-sanitizer")]
+    pub fn sanitize_assert_all_returned(&self) {
+        let leaked: Vec<String> = self
+            .san
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(slot, s)| format!("slot {slot} (taken at {})", site(s.last_take)))
+            .collect();
+        if !leaked.is_empty() {
+            // ukcheck: allow(panic) -- the sanitizer exists to turn
+            // ownership violations into immediate loud failures
+            panic!(
+                "netbuf sanitizer: {} buffer(s) leaked from pool {}: {}",
+                leaked.len(),
+                self.id,
+                leaked.join(", "),
+            );
+        }
+    }
+
+    /// How many buffers the sanitizer currently tracks as live (out in
+    /// the datapath). Only present with the `netbuf-sanitizer` feature.
+    #[cfg(feature = "netbuf-sanitizer")]
+    pub fn sanitize_live_count(&self) -> usize {
+        self.san.iter().filter(|s| s.live).count()
+    }
+}
+
+/// Renders an optional sanitizer call site for a panic message.
+// ukcheck: allow(alloc) -- sanitizer-only diagnostic rendering, compiled
+// out of the default build
+#[cfg(feature = "netbuf-sanitizer")]
+fn site(loc: Option<&'static core::panic::Location<'static>>) -> String {
+    match loc {
+        Some(l) => format!("{}:{}:{}", l.file(), l.line(), l.column()),
+        None => "<never>".to_string(),
     }
 }
 
@@ -760,8 +943,12 @@ mod tests {
         let _ = p2.take();
     }
 
+    // The sanitizer intercepts ownership violations before the plain
+    // asserts and reports with provenance, so the expected panic
+    // message differs per feature mode.
     #[test]
-    #[should_panic(expected = "another pool")]
+    #[cfg_attr(not(feature = "netbuf-sanitizer"), should_panic(expected = "another pool"))]
+    #[cfg_attr(feature = "netbuf-sanitizer", should_panic(expected = "cross-pool give-back"))]
     fn cross_pool_give_back_panics() {
         let mut p1 = NetbufPool::new(1, 128, 0);
         let mut p2 = NetbufPool::new(1, 128, 0);
@@ -866,12 +1053,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double give_back")]
+    #[cfg_attr(not(feature = "netbuf-sanitizer"), should_panic(expected = "double give_back"))]
+    #[cfg_attr(feature = "netbuf-sanitizer", should_panic(expected = "double-recycle"))]
     fn double_give_back_panics() {
         let mut pool = NetbufPool::new(2, 128, 0);
         let a = pool.take().unwrap();
         let slot = a.pool_slot().unwrap();
         // Forge a second buffer claiming the same slot.
+        let mut forged = Netbuf::alloc(128, 0);
+        forged.pool_slot = Some(slot);
+        forged.pool_id = a.pool_id;
+        pool.give_back(a);
+        pool.give_back(forged);
+    }
+
+    /// Seeded use-after-recycle: a stale pointer writes into pool-owned
+    /// storage after give-back; the next take must catch the broken
+    /// poison and name both provenance sites.
+    #[test]
+    #[cfg(feature = "netbuf-sanitizer")]
+    #[should_panic(expected = "use-after-recycle")]
+    fn sanitizer_catches_use_after_recycle() {
+        let mut pool = NetbufPool::new(1, 128, 0);
+        let mut nb = pool.take().unwrap();
+        nb.append(&[1, 2, 3, 4]);
+        let stale = nb.payload_mut().as_mut_ptr();
+        pool.give_back(nb);
+        // SAFETY: deliberately unsound — this models a datapath bug
+        // (writing through a reference that outlived the recycle). The
+        // storage itself is still alive inside the pool, so the write
+        // lands in valid memory; the sanitizer must detect it.
+        unsafe { stale.write(0xFF) };
+        let _ = pool.take();
+    }
+
+    /// Clean recycling leaves the poison intact: the same slot can
+    /// cycle repeatedly without tripping the use-after-recycle check.
+    #[test]
+    #[cfg(feature = "netbuf-sanitizer")]
+    fn sanitizer_passes_clean_cycles() {
+        let mut pool = NetbufPool::new(1, 128, 0);
+        for round in 0..8u8 {
+            let mut nb = pool.take().unwrap();
+            nb.append(&[round; 16]);
+            pool.give_back(nb);
+        }
+        assert_eq!(pool.sanitize_live_count(), 0);
+        pool.sanitize_assert_all_returned();
+    }
+
+    /// Seeded double-recycle through the *forged-slot* route: the slot
+    /// is marked dead by the first give-back, so the sanitizer fires
+    /// before the plain slot-occupancy assert can.
+    #[test]
+    #[cfg(feature = "netbuf-sanitizer")]
+    #[should_panic(expected = "double-recycle")]
+    fn sanitizer_names_double_recycle() {
+        let mut pool = NetbufPool::new(2, 128, 0);
+        let a = pool.take().unwrap();
+        let slot = a.pool_slot().unwrap();
         let mut forged = Netbuf::alloc(128, 0);
         forged.pool_slot = Some(slot);
         forged.pool_id = a.pool_id;

@@ -1,0 +1,47 @@
+//! End-of-test leak detection under the `netbuf-sanitizer` feature:
+//! buffers that never come home must turn into a loud, slot-naming
+//! panic, and fully returned pools must pass the same check silently.
+//!
+//! Compiled only with `--features netbuf-sanitizer` (`make
+//! verify-sanitize`); the default build contains none of this.
+#![cfg(feature = "netbuf-sanitizer")]
+
+use uknetdev::netbuf::NetbufPool;
+
+#[test]
+fn all_returned_passes_the_leak_check() {
+    let mut pool = NetbufPool::new(4, 256, 64);
+    let bufs: Vec<_> = (0..4).map(|_| pool.take().unwrap()).collect();
+    assert_eq!(pool.sanitize_live_count(), 4);
+    for nb in bufs {
+        pool.give_back(nb);
+    }
+    assert_eq!(pool.sanitize_live_count(), 0);
+    pool.sanitize_assert_all_returned();
+}
+
+#[test]
+#[should_panic(expected = "leaked")]
+fn seeded_leak_fails_loudly() {
+    let mut pool = NetbufPool::new(4, 256, 64);
+    let kept = pool.take().unwrap();
+    let returned = pool.take().unwrap();
+    pool.give_back(returned);
+    // `kept` is deliberately never given back: the check must name it.
+    assert_eq!(pool.sanitize_live_count(), 1);
+    pool.sanitize_assert_all_returned();
+    drop(kept);
+}
+
+#[test]
+#[should_panic(expected = "cross-pool give-back via chain")]
+fn chain_with_foreign_fragment_is_reported() {
+    let mut a = NetbufPool::new(2, 256, 64);
+    let mut b = NetbufPool::new(2, 256, 64);
+    let mut head = a.take().unwrap();
+    let frag = b.take().unwrap();
+    head.chain_append(frag);
+    // Returning the chain to pool A would silently drop B's fragment
+    // in the default build (a slow leak); the sanitizer names it now.
+    a.give_back_chain(head);
+}

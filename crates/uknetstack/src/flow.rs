@@ -68,6 +68,8 @@ impl FlowTable {
     const MIN_CAP: usize = 64;
 
     /// Creates an empty table.
+    // ukcheck: allow(alloc) -- one-time construction; lookups and
+    // inserts below the growth trigger never allocate
     pub fn new() -> Self {
         FlowTable {
             keys: vec![0; Self::MIN_CAP],
@@ -171,6 +173,8 @@ impl FlowTable {
     /// Doubles the bucket array (or just rehashes at the same size
     /// when tombstones, not live entries, tripped the trigger) and
     /// reinserts live entries. The one allocating path.
+    // ukcheck: allow(alloc) -- the documented single allocating path:
+    // amortized doubling; a table sized for its flow count stops here
     fn grow(&mut self) {
         let new_cap = if self.len * 4 >= self.ctrl.len() {
             self.ctrl.len() * 2

@@ -822,6 +822,9 @@ impl NetStack {
     /// knobs are clamped to safe values: the MSS to what one wire
     /// frame and one pooled buffer can carry, the GSO budget to what
     /// the IPv4 16-bit total-length field admits.
+    // ukcheck: allow(alloc) -- one-time stack construction: maps, the
+    // pool, scratch vectors and the trace ring are all built here so the
+    // per-frame pump never allocates (the zero_alloc suite enforces it)
     pub fn new(mut config: StackConfig, dev: Box<dyn NetDev>) -> Self {
         config.mss = config.mss.clamp(1, MSS);
         // Headers + super-segment payload must fit the u16 IPv4 total
@@ -1241,7 +1244,10 @@ impl NetStack {
         }
         let level = self.readiness(SocketHandle(key));
         let progress = self.rx_progress(SocketHandle(key));
-        let entry = self.sources.get_mut(&key).expect("checked above");
+        let Some(entry) = self.sources.get_mut(&key) else {
+            // Checked above; re-fetched only to scope the mutable borrow.
+            return;
+        };
         let had_in = entry.src.current().contains(EventMask::IN);
         let new_input = progress > entry.progress;
         entry.progress = progress;
@@ -1278,6 +1284,8 @@ impl NetStack {
     // --- UDP ----------------------------------------------------------
 
     /// Binds a UDP socket to `port`.
+    // ukcheck: allow(alloc) -- socket creation is control plane; the
+    // per-datagram path reuses the queue allocated here
     pub fn udp_bind(&mut self, port: u16) -> Result<SocketHandle> {
         if self.udp_ports.contains_key(&port) {
             return Err(Errno::AddrInUse);
@@ -1387,6 +1395,8 @@ impl NetStack {
 
     /// Receives a datagram, if one is queued (allocating convenience
     /// wrapper over [`udp_recv_into`](Self::udp_recv_into)).
+    // ukcheck: allow(alloc) -- documented allocating convenience API;
+    // zero-copy callers use `udp_recv_into` instead
     pub fn udp_recv_from(&mut self, sock: SocketHandle) -> Option<(Endpoint, Vec<u8>)> {
         let (from, nb) = self.udp_socks.get_mut(&sock.0)?.rx.pop_front()?;
         let data = nb.payload().to_vec();
@@ -1451,7 +1461,12 @@ impl NetStack {
                 if !fits {
                     break;
                 }
-                let (from, nb) = s.rx.pop_front().expect("checked above");
+                let Some((from, nb)) = s.rx.pop_front() else {
+                    // `fits` proved front() was Some; bail defensively
+                    // rather than panic if that invariant ever breaks.
+                    debug_assert!(false, "rx queue emptied between front() and pop_front()");
+                    break;
+                };
                 buf[off..off + nb.len()].copy_from_slice(nb.payload());
                 msgs.push((from, nb.len()));
                 off += nb.len();
@@ -1473,6 +1488,9 @@ impl NetStack {
     // --- TCP ----------------------------------------------------------
 
     /// Starts listening on `port`.
+    // ukcheck: allow(alloc) -- listener creation is control plane; the
+    // SYN/accept queues are pre-sized to the backlog here so the
+    // handshake path never grows them
     pub fn tcp_listen(&mut self, port: u16) -> Result<SocketHandle> {
         if self.listeners.contains_key(&port) {
             return Err(Errno::AddrInUse);
@@ -1593,6 +1611,8 @@ impl NetStack {
 
     /// Reads up to `max` bytes from a connection (allocating
     /// convenience wrapper over [`tcp_recv_into`](Self::tcp_recv_into)).
+    // ukcheck: allow(alloc) -- documented allocating convenience API;
+    // zero-copy callers use `tcp_recv_into` instead
     pub fn tcp_recv(&mut self, conn: SocketHandle, max: usize) -> Result<Vec<u8>> {
         let readable = self.conn(conn.0).ok_or(Errno::BadF)?.tcb.readable();
         let mut data = vec![0u8; max.min(readable)];
@@ -2757,7 +2777,13 @@ impl NetStack {
         nb.truncate(body_len);
         self.ustats.demux_udp.inc();
         uktrace::trace!(self.trace, tp::udp_rx, udp.dst_port, body_len);
-        let sock = self.udp_socks.get_mut(&h).expect("checked above");
+        let Some(sock) = self.udp_socks.get_mut(&h) else {
+            // `queued` above proved the socket exists; drop the
+            // datagram instead of panicking if that ever regresses.
+            debug_assert!(false, "udp socket vanished between queue check and push");
+            self.recycle(nb);
+            return Err(Errno::BadF);
+        };
         sock.rx
             .push_back((Endpoint::new(ip.src, udp.src_port), nb));
         sock.rx_total += 1;
@@ -3014,7 +3040,15 @@ impl NetStack {
                 let now = self.now_ns();
                 let mut pool = self.pool.take();
                 let cs = &mut self.conn_slots[slot as usize];
-                let c = cs.conn.as_mut().expect("checked above");
+                let Some(c) = cs.conn.as_mut() else {
+                    // The flow table named this slot, so it must be
+                    // occupied; drop the segment rather than panic if
+                    // the table and slab ever disagree.
+                    debug_assert!(false, "flow table points at an empty connection slot");
+                    self.pool = pool;
+                    self.recycle(nb);
+                    return Err(Errno::BadF);
+                };
                 if let Some(n) = now {
                     c.tcb.set_now(n);
                     c.last_activity_ns = n;
@@ -3107,14 +3141,13 @@ impl NetStack {
                 // and timers dropped) — a SYN flood churns the queue
                 // but can neither grow it nor starve established
                 // connections.
-                let victim = {
-                    let l = self.listeners.get(&tcp.dst_port).expect("checked above");
+                let victim = self.listeners.get(&tcp.dst_port).and_then(|l| {
                     if l.syn_queue.len() >= self.config.listen_backlog {
                         l.syn_queue.front().copied()
                     } else {
                         None
                     }
-                };
+                });
                 if let Some(v) = victim {
                     self.ustats.tcp_syn_overflow.inc();
                     uktrace::trace!(self.trace, tp::tcp_syn_evicted, tcp.dst_port, v as usize);
@@ -3144,11 +3177,14 @@ impl NetStack {
                 self.recycle(nb);
                 let h = self.alloc_conn(tcb, remote, tcp.dst_port, now.unwrap_or(0));
                 let slot = (h & 0xffff_ffff) as u32;
-                self.listeners
-                    .get_mut(&tcp.dst_port)
-                    .expect("listener exists")
-                    .syn_queue
-                    .push_back(slot);
+                if let Some(l) = self.listeners.get_mut(&tcp.dst_port) {
+                    l.syn_queue.push_back(slot);
+                } else {
+                    // Guarded by contains_key above and alloc_conn does
+                    // not touch listeners; the half-open connection will
+                    // simply time out if this invariant ever breaks.
+                    debug_assert!(false, "listener vanished while spawning half-open conn");
+                }
                 self.ustats.demux_tcp.inc();
                 return Ok(());
             }

@@ -217,6 +217,8 @@ pub struct TcpHeader {
 
 impl TcpHeader {
     /// Serializes header + payload into a segment with a valid checksum.
+    // ukcheck: allow(alloc) -- test/tooling codec; the datapath writes
+    // headers in place via `encode_into` on pooled buffers
     pub fn encode(&self, ip: &Ipv4Header, payload: &[u8]) -> Vec<u8> {
         let mut seg = Vec::with_capacity(TCP_HDR_LEN + payload.len());
         seg.extend_from_slice(&self.src_port.to_be_bytes());
@@ -451,8 +453,11 @@ impl TcpOptions {
                         let nblocks = (len - 2) / 8;
                         for b in 0..nblocks.min(MAX_SACK_BLOCKS) {
                             let o = i + 2 + b * 8;
-                            let s = u32::from_be_bytes(opts[o..o + 4].try_into().unwrap());
-                            let e = u32::from_be_bytes(opts[o + 4..o + 8].try_into().unwrap());
+                            // Length-validated above (`i + len <= opts.len()`),
+                            // so the indexed form has no failure path.
+                            let s = u32::from_be_bytes([opts[o], opts[o + 1], opts[o + 2], opts[o + 3]]);
+                            let e =
+                                u32::from_be_bytes([opts[o + 4], opts[o + 5], opts[o + 6], opts[o + 7]]);
                             out.sack_blocks[out.sack_count] = (s, e);
                             out.sack_count += 1;
                         }
@@ -736,6 +741,9 @@ impl Tcb {
         tcb
     }
 
+    // ukcheck: allow(alloc) -- one-time TCB construction: queues are
+    // pre-sized for steady-state bulk depth precisely so the segment
+    // path never grows them (the zero_alloc suite enforces it)
     fn new(state: TcpState, local_port: u16, remote_port: u16, iss: u32) -> Self {
         Tcb {
             state,
@@ -825,6 +833,8 @@ impl Tcb {
     /// size alone, and an active one reaches the same steady-state
     /// capacity after its first bursts — the zero-alloc invariant is a
     /// steady-state property, so the warmup growth amortizes away.
+    // ukcheck: allow(alloc) -- empty VecDeque/Vec::new perform no heap
+    // allocation; this *releases* memory for lean idle TCBs
     pub fn shrink_queues(&mut self) {
         debug_assert!(self.send_q.is_empty() && self.recv_q.is_empty());
         self.send_q = VecDeque::new();
@@ -1416,7 +1426,11 @@ impl Tcb {
         while let Some((seq, _, nb)) = self.rtx_q.front_mut() {
             let end = seq.wrapping_add(nb.len() as u32);
             if Self::seq_le(end, self.snd_una) {
-                let (_, _, nb) = self.rtx_q.pop_front().expect("front exists");
+                let Some((_, _, nb)) = self.rtx_q.pop_front() else {
+                    // front_mut() above proved the queue is non-empty.
+                    debug_assert!(false, "rtx_q emptied between front_mut() and pop_front()");
+                    break;
+                };
                 self.rtx_released.push(nb);
             } else if Self::seq_lt(*seq, self.snd_una) {
                 let trim = self.snd_una.wrapping_sub(*seq) as usize;
@@ -2099,7 +2113,11 @@ impl Tcb {
             if Self::seq_lt(self.rcv_nxt, seq) {
                 break; // Still a hole in front of the queue.
             }
-            let (seq, mut nb) = self.ooo_q.pop_front().expect("front exists");
+            let Some((seq, mut nb)) = self.ooo_q.pop_front() else {
+                // front() above proved the queue is non-empty.
+                debug_assert!(false, "ooo_q emptied between front() and pop_front()");
+                break;
+            };
             self.ooo_bytes -= nb.len();
             let end = seq.wrapping_add(nb.len() as u32);
             if Self::seq_le(end, self.rcv_nxt) {
@@ -2197,11 +2215,15 @@ impl Tcb {
                         self.send_q.push_back(take_buf());
                         continue;
                     }
+                    let Some(back) = self.send_q.back_mut() else {
+                        // room > 0 above implies a back buffer exists;
+                        // recover by taking a fresh one if not.
+                        debug_assert!(false, "send_q lost its back buffer mid-append");
+                        self.send_q.push_back(take_buf());
+                        continue;
+                    };
                     let take = room.min(n - off);
-                    self.send_q
-                        .back_mut()
-                        .expect("queue non-empty")
-                        .append(&data[off..off + take]);
+                    back.append(&data[off..off + take]);
                     off += take;
                 }
                 self.send_q_len += n;
@@ -2214,6 +2236,8 @@ impl Tcb {
     /// Reads up to `max` bytes the peer sent. Draining a buffer that had
     /// advertised a zero window emits a window-update ACK so the peer's
     /// transmission can resume.
+    // ukcheck: allow(alloc) -- allocating convenience API; zero-copy
+    // callers use `app_recv_into`/`app_recv_into_with`
     pub fn app_recv(&mut self, max: usize) -> Vec<u8> {
         let mut data = vec![0u8; max.min(self.recv_q_len)];
         let n = self.app_recv_into(&mut data);
@@ -2247,8 +2271,11 @@ impl Tcb {
             front.pull_header(take);
             n += take;
             if front.is_empty() {
-                let spent = self.recv_q.pop_front().expect("front exists");
-                recycle(spent);
+                match self.recv_q.pop_front() {
+                    Some(spent) => recycle(spent),
+                    // front_mut() above proved the queue is non-empty.
+                    None => debug_assert!(false, "recv_q emptied between front_mut() and pop_front()"),
+                }
             }
         }
         self.recv_q_len -= n;
@@ -2375,7 +2402,13 @@ impl Tcb {
         let mut assembled = 0;
         while assembled < n {
             let need = n - assembled;
-            let front_len = self.send_q.front().expect("bytes tracked").len();
+            let Some(front_len) = self.send_q.front().map(Netbuf::len) else {
+                // `send_q_len` accounting (asserted at entry) says more
+                // bytes are queued; stop and emit the short chain
+                // rather than panic if the queue and counter disagree.
+                debug_assert!(false, "send_q ran dry before n assembled bytes");
+                break;
+            };
             let whole = front_len <= need;
             let take = front_len.min(need);
             if single_frame {
@@ -2386,39 +2419,47 @@ impl Tcb {
                 // so it rides the chain as an empty fragment and gets
                 // recycled with the frame.
                 if whole && take == n {
-                    link(&mut head, self.send_q.pop_front().expect("checked"));
-                } else {
-                    if head.is_none() {
-                        head = Some(take_buf());
+                    if let Some(b) = self.send_q.pop_front() {
+                        link(&mut head, b);
                     }
-                    let front = self.send_q.front_mut().expect("checked");
-                    head.as_mut()
-                        .expect("created above")
-                        .append(&front.payload()[..take]);
-                    front.pull_header(take);
+                } else {
+                    let h = head.get_or_insert_with(|| take_buf());
+                    if let Some(front) = self.send_q.front_mut() {
+                        h.append(&front.payload()[..take]);
+                        front.pull_header(take);
+                    }
                     if whole {
-                        let spent = self.send_q.pop_front().expect("checked");
-                        head.as_mut().expect("created above").chain_append(spent);
+                        if let Some(spent) = self.send_q.pop_front() {
+                            h.chain_append(spent);
+                        }
                     }
                 }
             } else if whole {
                 // Chain frame: whole buffers move, zero-copy.
-                link(&mut head, self.send_q.pop_front().expect("checked"));
+                if let Some(b) = self.send_q.pop_front() {
+                    link(&mut head, b);
+                }
             } else {
                 // Boundary splits the buffer: copy out the split-off
                 // front, keep the remainder queued (its start advances
                 // over the consumed bytes, growing the headroom).
                 let mut part = take_buf();
-                let front = self.send_q.front_mut().expect("checked");
-                part.append(&front.payload()[..take]);
-                front.pull_header(take);
+                if let Some(front) = self.send_q.front_mut() {
+                    part.append(&front.payload()[..take]);
+                    front.pull_header(take);
+                }
                 link(&mut head, part);
             }
             assembled += take;
         }
-        self.send_q_len -= n;
-        let head = head.expect("n > 0");
-        debug_assert_eq!(head.chain_len(), n);
+        self.send_q_len -= assembled;
+        let head = head.unwrap_or_else(|| {
+            // Unreachable unless the accounting check above fired: the
+            // entry assertion guarantees at least one loop iteration.
+            debug_assert!(false, "assemble_chain produced no head buffer");
+            take_buf()
+        });
+        debug_assert_eq!(head.chain_len(), assembled);
         head
     }
 
@@ -2510,7 +2551,13 @@ impl Tcb {
                 }
             } else if front_home {
                 self.rtx_request = false;
-                let (start, _, nb) = self.rtx_q.pop_front().expect("front exists");
+                let Some((start, _, nb)) = self.rtx_q.pop_front() else {
+                    // `front_home` above proved the front exists; skip
+                    // this retransmission rather than panic (the RTO
+                    // will re-request it if anything is really lost).
+                    debug_assert!(false, "rtx_q emptied between front() and pop_front()");
+                    return;
+                };
                 let window = self.rcv_window();
                 self.last_adv_wnd = window;
                 let header = TcpHeader {
@@ -2788,7 +2835,12 @@ impl Tcb {
                 }
                 break;
             }
-            let (start, _, nb) = self.rtx_q.remove(i).expect("index checked");
+            let Some((start, _, nb)) = self.rtx_q.remove(i) else {
+                // The loop condition bounds i below rtx_q.len(); stop
+                // the walk rather than panic (RTO covers what's left).
+                debug_assert!(false, "rtx_q index went stale during hole walk");
+                break;
+            };
             let window = self.rcv_window();
             self.last_adv_wnd = window;
             let header = TcpHeader {
@@ -2836,6 +2888,9 @@ impl Tcb {
     /// [`poll_output`](Self::poll_output) with an explicit
     /// segmentation bound (tests drive GSO-sized super-segments
     /// through this).
+    // ukcheck: allow(alloc) -- owned-segment convenience for tests and
+    // diagnostics; the datapath uses `poll_output_chain_with` on
+    // pooled buffers
     pub fn poll_output_seg(&mut self, max_seg: usize) -> Vec<OutSegment> {
         let (cap, headroom) = SEND_BUF_SHAPE;
         let mut segs = Vec::new();

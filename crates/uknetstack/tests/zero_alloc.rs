@@ -482,6 +482,44 @@ fn recv_1mb_gro_netbuf_path_is_allocation_free_in_steady_state() {
     assert!(net.stack(si).stats().gro_runs > 0, "GRO merged runs");
 }
 
+/// The pool-layer guard beneath all the round-trip guards above: raw
+/// take/give-back circulation performs zero heap allocations. This
+/// holds in the default (tier-1) build — proving the `netbuf-sanitizer`
+/// feature compiles out to literally nothing the allocator can see —
+/// and under `make verify-sanitize` too, where poisoning is a byte fill
+/// into existing storage and provenance is `&'static Location`, so even
+/// the sanitized pool never touches the heap while circulating.
+#[test]
+fn pool_circulation_is_allocation_free_in_both_feature_modes() {
+    let _guard = serial();
+    let mut pool = uknetdev::netbuf::NetbufPool::new(8, 2048, 64);
+    let mut held = Vec::with_capacity(8);
+    // Warm one cycle (nothing to size, but keep the shape uniform).
+    for _ in 0..8 {
+        held.push(pool.take().unwrap());
+    }
+    for nb in held.drain(..) {
+        pool.give_back(nb);
+    }
+
+    let counter = AllocCounter::start();
+    for _ in 0..32 {
+        for _ in 0..8 {
+            held.push(pool.take().unwrap());
+        }
+        for nb in held.drain(..) {
+            pool.give_back(nb);
+        }
+    }
+    assert_eq!(
+        counter.allocs(),
+        0,
+        "pool circulation must not touch the heap (netbuf-sanitizer {})",
+        if cfg!(feature = "netbuf-sanitizer") { "on" } else { "off" },
+    );
+    assert_eq!(pool.available(), 8, "every buffer came home");
+}
+
 #[test]
 fn buffers_circulate_without_draining_the_pools() {
     let _guard = serial();

@@ -130,6 +130,8 @@ impl Snapshot {
     /// Counter deltas relative to an earlier snapshot, dropping zeros.
     /// This is how the bench harness attributes global counters to one
     /// ablation cell.
+    // ukcheck: allow(alloc) -- snapshot diffing runs in the bench
+    // harness between measured windows, never on the packet path
     pub fn counters_since(&self, base: &Snapshot) -> Vec<CounterSnap> {
         self.counters
             .iter()
@@ -144,6 +146,8 @@ impl Snapshot {
     /// Renders the snapshot as a JSON object (hand-rolled — the registry
     /// has no serde dependency; names are static identifiers that never
     /// need escaping).
+    // ukcheck: allow(alloc) -- cold /stats export path; the hot ops are
+    // the Relaxed atomic add/store/observe on the slot arrays
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"counters\":{");
@@ -186,9 +190,9 @@ struct Index {
 
 #[cfg(feature = "stats")]
 static INDEX: Mutex<Index> = Mutex::new(Index {
-    counters: Vec::new(),
-    gauges: Vec::new(),
-    hists: Vec::new(),
+    counters: Vec::new(), // ukcheck: allow(alloc) -- const-eval empty Vec, no heap
+    gauges: Vec::new(),   // ukcheck: allow(alloc) -- const-eval empty Vec, no heap
+    hists: Vec::new(),    // ukcheck: allow(alloc) -- const-eval empty Vec, no heap
 });
 
 #[cfg(feature = "stats")]
@@ -237,7 +241,10 @@ mod imp {
         ///
         /// Panics if more than [`MAX_COUNTERS`] distinct names register.
         pub fn register(name: &'static str) -> Counter {
-            let mut idx = INDEX.lock().expect("ukstats registry poisoned");
+            // A panic while holding the lock leaves the index structurally
+            // valid (it only appends static names), so recover it
+            // rather than cascading the poison into every later user.
+            let mut idx = INDEX.lock().unwrap_or_else(|p| p.into_inner());
             let i = match idx.counters.iter().position(|n| *n == name) {
                 Some(i) => i,
                 None => {
@@ -280,7 +287,10 @@ mod imp {
         ///
         /// Panics if more than [`MAX_GAUGES`] distinct names register.
         pub fn register(name: &'static str) -> Gauge {
-            let mut idx = INDEX.lock().expect("ukstats registry poisoned");
+            // A panic while holding the lock leaves the index structurally
+            // valid (it only appends static names), so recover it
+            // rather than cascading the poison into every later user.
+            let mut idx = INDEX.lock().unwrap_or_else(|p| p.into_inner());
             let i = match idx.gauges.iter().position(|n| *n == name) {
                 Some(i) => i,
                 None => {
@@ -323,7 +333,10 @@ mod imp {
         ///
         /// Panics if more than [`MAX_HISTOGRAMS`] distinct names register.
         pub fn register(name: &'static str) -> Histogram {
-            let mut idx = INDEX.lock().expect("ukstats registry poisoned");
+            // A panic while holding the lock leaves the index structurally
+            // valid (it only appends static names), so recover it
+            // rather than cascading the poison into every later user.
+            let mut idx = INDEX.lock().unwrap_or_else(|p| p.into_inner());
             let i = match idx.hists.iter().position(|n| *n == name) {
                 Some(i) => i,
                 None => {
@@ -395,8 +408,11 @@ mod imp {
     }
 
     /// Copies the whole registry.
+    // ukcheck: allow(alloc) -- snapshotting copies the registry for
+    // export/bench attribution; callers take it outside measured windows
     pub fn snapshot() -> Snapshot {
-        let idx = INDEX.lock().expect("ukstats registry poisoned");
+        // See `register`: a poisoned index is still structurally valid.
+        let idx = INDEX.lock().unwrap_or_else(|p| p.into_inner());
         Snapshot {
             counters: idx
                 .counters
@@ -429,7 +445,8 @@ mod imp {
     /// for single-threaded harnesses (benches) — racing resets against
     /// live increments only loses increments, never corrupts.
     pub fn reset_all() {
-        let idx = INDEX.lock().expect("ukstats registry poisoned");
+        // See `register`: a poisoned index is still structurally valid.
+        let idx = INDEX.lock().unwrap_or_else(|p| p.into_inner());
         for i in 0..idx.counters.len() {
             COUNTERS[i].store(0, Relaxed);
         }
